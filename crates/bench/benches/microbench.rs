@@ -1,0 +1,191 @@
+//! Criterion micro-benchmarks for the performance-critical kernels:
+//! the alignment DP inner loop, PAM family construction, WAL framing and
+//! replay, OCR parsing, a full (small) engine run, scheduling decisions
+//! and the adaptive monitor.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_alignment(c: &mut Criterion) {
+    use bioopera_darwin::align::{align_score, AlignParams};
+    use bioopera_darwin::dataset::random_sequence;
+    use bioopera_darwin::pam::{PamFamily, FIXED_PAM};
+    use rand::SeedableRng;
+
+    let fam = PamFamily::default();
+    let matrix = fam.nearest(FIXED_PAM);
+    let params = AlignParams::default();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let a = random_sequence(&mut rng, 370);
+    let b = random_sequence(&mut rng, 370);
+    let mut g = c.benchmark_group("alignment");
+    g.throughput(Throughput::Elements((a.len() * b.len()) as u64));
+    g.bench_function("smith_waterman_370x370", |bench| {
+        bench.iter(|| align_score(black_box(&a), black_box(&b), matrix, &params))
+    });
+    g.finish();
+}
+
+fn bench_pam_family(c: &mut Criterion) {
+    use bioopera_darwin::pam::PamFamily;
+    c.bench_function("pam_family_build_12_ladder", |b| {
+        b.iter(|| PamFamily::default())
+    });
+}
+
+fn bench_wal(c: &mut Criterion) {
+    use bioopera_store::{Batch, MemDisk, Space, Store};
+    let mut g = c.benchmark_group("store");
+    g.bench_function("wal_append_batch_of_8", |b| {
+        let store = Store::open(MemDisk::new()).unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            let mut batch = Batch::new();
+            for k in 0..8 {
+                batch.put(Space::Instance, format!("inst/{i}/task/{k}"), vec![0u8; 128]);
+            }
+            i += 1;
+            store.apply(batch).unwrap();
+        })
+    });
+    g.bench_function("recovery_replay_1000_batches", |b| {
+        // Build a disk image once per batch run.
+        b.iter_batched(
+            || {
+                let disk = MemDisk::new();
+                let store = Store::open(disk.clone()).unwrap();
+                for i in 0..1000 {
+                    store
+                        .put(Space::History, format!("ev/{i:06}"), vec![7u8; 64])
+                        .unwrap();
+                }
+                disk
+            },
+            |disk| Store::open(black_box(disk)).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_ocr_parse(c: &mut Criterion) {
+    use bioopera_workloads::allvsall::top_template;
+    let text = bioopera_ocr::to_ocr_text(&top_template());
+    let mut g = c.benchmark_group("ocr");
+    g.throughput(Throughput::Bytes(text.len() as u64));
+    g.bench_function("parse_allvsall_template", |b| {
+        b.iter(|| bioopera_ocr::parse_process(black_box(&text)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_engine_run(c: &mut Criterion) {
+    use bioopera_cluster::{Cluster, NodeSpec, SimTime};
+    use bioopera_core::{ActivityLibrary, ProgramOutput, Runtime, RuntimeConfig};
+    use bioopera_ocr::model::{ExternalBinding, ParallelBody, TypeTag};
+    use bioopera_ocr::value::Value;
+    use bioopera_ocr::ProcessBuilder;
+    use bioopera_store::MemDisk;
+
+    let template = ProcessBuilder::new("Bench")
+        .activity("Gen", "gen", |t| t.output("items", TypeTag::List))
+        .parallel(
+            "Fan",
+            "items",
+            ParallelBody::Activity(ExternalBinding::program("work")),
+            "results",
+            |t| t,
+        )
+        .connect("Gen", "Fan")
+        .flow_to_task("Gen", "items", "Fan", "items")
+        .build()
+        .unwrap();
+    let mut lib = ActivityLibrary::new();
+    lib.register("gen", |_| {
+        Ok(ProgramOutput::from_fields([("items", Value::int_list(0..32))], 100.0))
+    });
+    lib.register("work", |_| Ok(ProgramOutput::from_fields([("ok", Value::Bool(true))], 60_000.0)));
+    let cluster = || {
+        Cluster::new(
+            "b",
+            (0..4).map(|i| NodeSpec::new(format!("n{i}"), 2, 500, "linux")).collect(),
+        )
+    };
+    c.bench_function("engine_fanout_32_tasks_end_to_end", |b| {
+        b.iter(|| {
+            let mut cfg = RuntimeConfig::default();
+            cfg.heartbeat = SimTime::from_mins(10);
+            let mut rt =
+                Runtime::new(MemDisk::new(), cluster(), lib.clone(), cfg).unwrap();
+            rt.register_template(&template).unwrap();
+            let id = rt.submit("Bench", BTreeMap::new()).unwrap();
+            rt.run_to_completion().unwrap();
+            black_box(rt.instance_status(id))
+        })
+    });
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    use bioopera_core::dispatcher::{schedule, LeastLoaded, NodeView};
+    use bioopera_ocr::ExternalBinding;
+    let nodes: Vec<NodeView> = (0..64)
+        .map(|i| NodeView {
+            name: format!("n{i:02}"),
+            os: if i % 3 == 0 { "solaris".into() } else { "linux".into() },
+            speed: 0.7 + (i % 5) as f64 * 0.1,
+            cpus_online: 2,
+            running_jobs: (i % 3) as u32,
+            load: (i % 10) as f64 / 10.0,
+            up: i % 11 != 0,
+        })
+        .collect();
+    let binding = ExternalBinding::program("p");
+    c.bench_function("scheduler_least_loaded_64_nodes", |b| {
+        let mut policy = LeastLoaded;
+        b.iter(|| schedule(&mut policy, black_box(&nodes), &binding))
+    });
+}
+
+fn bench_monitor(c: &mut Criterion) {
+    use bioopera_cluster::loadgen::{load_curve, LoadModel};
+    use bioopera_cluster::monitor::{evaluate, MonitorConfig};
+    let curve = load_curve(9, 100_000, &LoadModel::default());
+    let mut g = c.benchmark_group("monitor");
+    g.throughput(Throughput::Elements(curve.len() as u64));
+    g.bench_function("adaptive_monitor_100k_ticks", |b| {
+        b.iter(|| evaluate(black_box(&curve), MonitorConfig::default()))
+    });
+    g.finish();
+}
+
+fn bench_refinement(c: &mut Criterion) {
+    use bioopera_darwin::align::AlignParams;
+    use bioopera_darwin::dataset::{evolve, random_sequence};
+    use bioopera_darwin::pam::PamFamily;
+    use bioopera_darwin::refine::refine_pam_distance;
+    use rand::SeedableRng;
+    let fam = Arc::new(PamFamily::default());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let anc = random_sequence(&mut rng, 250);
+    let a = evolve(&anc, 40, &fam, &mut rng, 0.003);
+    let b = evolve(&anc, 40, &fam, &mut rng, 0.003);
+    let params = AlignParams::default();
+    c.bench_function("pam_refinement_12_ladder_250aa", |bench| {
+        bench.iter(|| refine_pam_distance(black_box(&a), black_box(&b), &fam, &params))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_alignment,
+    bench_pam_family,
+    bench_wal,
+    bench_ocr_parse,
+    bench_engine_run,
+    bench_scheduler,
+    bench_monitor,
+    bench_refinement,
+);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! **Dependability ablation** — BioOpera vs the manual script-driver
+//! status quo (paper §1/§2: "currently, users are required to manually
+//! handle almost all aspects of such computations ... a major bottleneck
+//! and a significant source of inefficiencies"; §5.4: "previous manual
+//! efforts required significantly more time").
+//!
+//! Both systems run the *same* TEU work on the *same* cluster under the
+//! *same* failure trace; we compare wall time, wasted CPU and the number
+//! of manual interventions.
+
+use bioopera_bench::{fmt_days, run_allvsall, write_results};
+use bioopera_cluster::{Cluster, SimTime, Trace};
+use bioopera_workloads::allvsall::{AllVsAllConfig, AllVsAllSetup};
+use bioopera_workloads::baseline::{BaselineConfig, ScriptDriver};
+use std::fmt::Write;
+
+fn main() {
+    // A month-scale workload: 20 000 entries, 200 TEUs on the shared pool
+    // with the full Figure-5 failure trace.
+    let n = 75_458;
+    let teus = 500;
+    let setup = AllVsAllSetup::synthetic(
+        n,
+        370,
+        38,
+        AllVsAllConfig { teus, ..Default::default() },
+    );
+    let trace = Trace::shared_run();
+
+    eprintln!("running BioOpera...");
+    let out = run_allvsall(&setup, Cluster::shared_pool(), &trace, SimTime::from_hours(2));
+    let rt = &out.runtime;
+    let stats = rt.stats(out.instance).expect("stats");
+    // Manual interventions under BioOpera: the trace's operator suspends /
+    // resumes (events that "will always occur in any system") plus the
+    // event-10 restart.  Node/cluster/server failures are masked.
+    let bioopera_interventions = rt
+        .event_log()
+        .iter()
+        .filter(|(_, m)| m.contains("manual") || m.contains("restarted"))
+        .count() as u32;
+    let masked = rt
+        .awareness()
+        .of_kind(rt.store(), "task.systemfail")
+        .map(|v| v.len())
+        .unwrap_or(0);
+
+    eprintln!("running the manual script driver on the same trace...");
+    // The same TEU works, extracted from the setup's cost programs.
+    let lib = &setup.library;
+    let partition = lib.get("darwin.partition").unwrap();
+    let fixed = lib.get("darwin.align_fixed").unwrap();
+    let refine = lib.get("darwin.refine").unwrap();
+    let mut inputs = std::collections::BTreeMap::new();
+    inputs.insert("queue_file".to_string(), bioopera_ocr::Value::int_list(0..n as i64));
+    inputs.insert("teus".to_string(), bioopera_ocr::Value::Int(teus));
+    let chunks = partition(&inputs).unwrap().outputs["partition"].clone();
+    let works: Vec<f64> = chunks
+        .as_list()
+        .unwrap()
+        .iter()
+        .map(|c| {
+            let mut i = std::collections::BTreeMap::new();
+            i.insert("item".to_string(), c.clone());
+            let fx = fixed(&i).unwrap();
+            let mut j = fx.outputs.clone();
+            j.insert("matches".to_string(), bioopera_ocr::Value::List(vec![]));
+            fx.cost_ref_ms + refine(&j).unwrap().cost_ref_ms
+        })
+        .collect();
+    let baseline =
+        ScriptDriver::new(BaselineConfig::default()).run(Cluster::shared_pool(), &trace, &works);
+
+    let mut t = String::new();
+    let _ = writeln!(t, "Dependability: BioOpera vs manual script driver");
+    let _ = writeln!(t, "(same {teus} TEUs over {n} entries, same shared cluster + failure trace)\n");
+    let _ = writeln!(t, "{:<26} {:>18} {:>18}", "", "BioOpera", "manual scripts");
+    let _ = writeln!(t, "{:<26} {:>18} {:>18}", "WALL", fmt_days(stats.wall), fmt_days(baseline.wall));
+    let _ = writeln!(
+        t,
+        "{:<26} {:>18} {:>18}",
+        "CPU consumed",
+        fmt_days(stats.cpu),
+        fmt_days(baseline.cpu_consumed)
+    );
+    let _ = writeln!(
+        t,
+        "{:<26} {:>18} {:>18}",
+        "CPU thrown away",
+        "(masked; re-runs only)",
+        fmt_days(baseline.cpu_lost)
+    );
+    let _ = writeln!(
+        t,
+        "{:<26} {:>18} {:>18}",
+        "manual interventions",
+        bioopera_interventions,
+        baseline.manual_interventions
+    );
+    let _ = writeln!(
+        t,
+        "{:<26} {:>18} {:>18}",
+        "failures masked",
+        masked,
+        "n/a (human-detected)"
+    );
+    println!("{t}");
+    write_results("ablation_baseline.txt", &t);
+
+    if baseline.manual_interventions <= bioopera_interventions {
+        eprintln!("WARNING: baseline should need more manual interventions");
+    }
+    if baseline.wall.as_millis() < stats.wall.as_millis() {
+        eprintln!("WARNING: baseline should not finish faster");
+    }
+}

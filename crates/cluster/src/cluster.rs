@@ -1,0 +1,200 @@
+//! Clusters: named groups of nodes plus network state, with factories for
+//! the paper's three hardware environments (§5.1).
+
+use crate::node::{Node, NodeSpec};
+use crate::time::SimTime;
+
+/// Reachability of the cluster LAN from the BioOpera server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetworkState {
+    /// Normal operation.
+    Up,
+    /// Complete network outage: no dispatch, completions are buffered at
+    /// the PECs until connectivity returns.
+    Down,
+}
+
+/// A set of nodes on one LAN.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// Cluster name, e.g. `linneus`.
+    pub name: String,
+    nodes: Vec<Node>,
+    network: NetworkState,
+}
+
+impl Cluster {
+    /// Build a cluster from specs.
+    pub fn new(name: impl Into<String>, specs: Vec<NodeSpec>) -> Self {
+        Cluster {
+            name: name.into(),
+            nodes: specs.into_iter().map(Node::new).collect(),
+            network: NetworkState::Up,
+        }
+    }
+
+    /// Merge another cluster's nodes into this one (the shared experiment
+    /// ran on linneus + two ik-sun nodes as one pool).
+    pub fn absorb(&mut self, other: Cluster) {
+        self.nodes.extend(other.nodes);
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// All nodes, mutable.
+    pub fn nodes_mut(&mut self) -> &mut [Node] {
+        &mut self.nodes
+    }
+
+    /// Find a node by name.
+    pub fn node(&self, name: &str) -> Option<&Node> {
+        self.nodes.iter().find(|n| n.spec.name == name)
+    }
+
+    /// Find a node by name, mutable.
+    pub fn node_mut(&mut self, name: &str) -> Option<&mut Node> {
+        self.nodes.iter_mut().find(|n| n.spec.name == name)
+    }
+
+    /// Network state.
+    pub fn network(&self) -> NetworkState {
+        self.network
+    }
+
+    /// Set network state.
+    pub fn set_network(&mut self, s: NetworkState) {
+        self.network = s;
+    }
+
+    /// Processors available from the server's point of view: online CPUs of
+    /// up nodes, or zero during a network outage (the dark series of
+    /// Figs. 5/6).
+    pub fn availability(&self) -> u32 {
+        if self.network == NetworkState::Down {
+            return 0;
+        }
+        self.nodes.iter().map(|n| n.cpus_online()).sum()
+    }
+
+    /// Processors currently executing BioOpera jobs (the light series of
+    /// Figs. 5/6).  Jobs keep running during a network outage, but the
+    /// server cannot see them; we report the physical truth and let the
+    /// experiment harness decide which view to plot.
+    pub fn utilization(&self) -> f64 {
+        self.nodes.iter().map(|n| n.utilization()).sum()
+    }
+
+    /// Occupancy consumed by killed jobs across all nodes (lost work).
+    pub fn wasted_cpu_ms(&self) -> f64 {
+        self.nodes.iter().map(|n| n.wasted_cpu_ms()).sum()
+    }
+
+    /// Total installed processors (for capacity planning).
+    pub fn installed_cpus(&self) -> u32 {
+        self.nodes.iter().map(|n| n.spec.cpus).sum()
+    }
+
+    /// Advance every node to `now` (used before cluster-wide queries).
+    pub fn advance_all(&mut self, now: SimTime) {
+        for n in &mut self.nodes {
+            n.advance(now);
+        }
+    }
+
+    /// The `linneus` cluster: 13 two-processor 500 MHz PCs (Red Hat Linux)
+    /// plus one 6-CPU 336 MHz Sun SparcStation (Solaris) — 32 CPUs.
+    pub fn linneus() -> Cluster {
+        let mut specs: Vec<NodeSpec> = (1..=13)
+            .map(|i| NodeSpec::new(format!("linneus{i}"), 2, 500, "linux"))
+            .collect();
+        specs.push(NodeSpec::new("linneus-sparc", 6, 336, "solaris"));
+        Cluster::new("linneus", specs)
+    }
+
+    /// The `ik-sun` cluster: 5 single-CPU 360 MHz Sun Ultras (Solaris).
+    pub fn ik_sun() -> Cluster {
+        let specs = (1..=5)
+            .map(|i| NodeSpec::new(format!("ik-sun{i}"), 1, 360, "solaris"))
+            .collect();
+        Cluster::new("ik-sun", specs)
+    }
+
+    /// The `ik-linux` cluster: 8 two-processor 600 MHz PCs (Red Hat Linux)
+    /// that *start* with one processor online; the second is enabled by a
+    /// mid-run OS configuration change (Fig. 6, day ~25).
+    pub fn ik_linux() -> Cluster {
+        let specs: Vec<NodeSpec> = (1..=8)
+            .map(|i| NodeSpec::new(format!("ik-linux{i}"), 2, 600, "linux"))
+            .collect();
+        let mut c = Cluster::new("ik-linux", specs);
+        for n in c.nodes_mut() {
+            n.set_cpus(SimTime::ZERO, 1);
+        }
+        c
+    }
+
+    /// The shared-run pool: linneus plus two ik-sun nodes ("we used the
+    /// ik-sun (only two nodes) and linneus clusters").
+    pub fn shared_pool() -> Cluster {
+        let mut pool = Cluster::linneus();
+        let mut ik = Cluster::ik_sun();
+        ik.nodes.truncate(2);
+        pool.absorb(ik);
+        pool.name = "linneus+ik-sun".into();
+        pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_clusters_have_paper_capacities() {
+        assert_eq!(Cluster::linneus().availability(), 13 * 2 + 6);
+        assert_eq!(Cluster::ik_sun().availability(), 5);
+        // ik-linux starts at 8 online CPUs, 16 installed.
+        let ik = Cluster::ik_linux();
+        assert_eq!(ik.availability(), 8);
+        assert_eq!(ik.installed_cpus(), 16);
+        // Shared pool: 32 + 2 = 34 CPUs reachable at best.
+        assert_eq!(Cluster::shared_pool().availability(), 34);
+    }
+
+    #[test]
+    fn network_outage_zeroes_availability() {
+        let mut c = Cluster::ik_sun();
+        c.set_network(NetworkState::Down);
+        assert_eq!(c.availability(), 0);
+        c.set_network(NetworkState::Up);
+        assert_eq!(c.availability(), 5);
+    }
+
+    #[test]
+    fn node_lookup_and_crash_affects_availability() {
+        let mut c = Cluster::ik_sun();
+        c.node_mut("ik-sun3").unwrap().crash(SimTime::ZERO);
+        assert_eq!(c.availability(), 4);
+        assert!(c.node("ik-sun9").is_none());
+    }
+
+    #[test]
+    fn utilization_sums_over_nodes() {
+        let mut c = Cluster::ik_sun();
+        c.node_mut("ik-sun1").unwrap().start_job(SimTime::ZERO, 1, 1000.0);
+        c.node_mut("ik-sun2").unwrap().start_job(SimTime::ZERO, 2, 1000.0);
+        assert!((c.utilization() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ik_linux_upgrade_path() {
+        let mut c = Cluster::ik_linux();
+        for n in c.nodes_mut() {
+            n.set_cpus(SimTime::from_days(25), 2);
+        }
+        assert_eq!(c.availability(), 16);
+    }
+}

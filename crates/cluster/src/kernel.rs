@@ -1,0 +1,173 @@
+//! The discrete-event simulation kernel.
+//!
+//! A min-heap of `(time, sequence, event)` entries.  The sequence number
+//! makes simultaneous events pop in scheduling order, which keeps whole
+//! experiment runs bit-for-bit deterministic — a property the recovery
+//! property-tests rely on (crash/replay must reproduce the same world).
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A scheduled entry (internal ordering wrapper).
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The event queue driving a simulation.
+///
+/// `E` is the driver's event type; the kernel itself is policy-free.
+pub struct SimKernel<E> {
+    queue: BinaryHeap<Reverse<Entry<E>>>,
+    now: SimTime,
+    next_seq: u64,
+    processed: u64,
+}
+
+impl<E> Default for SimKernel<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> SimKernel<E> {
+    /// A kernel at time zero with an empty queue.
+    pub fn new() -> Self {
+        SimKernel { queue: BinaryHeap::new(), now: SimTime::ZERO, next_seq: 0, processed: 0 }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events popped so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule `event` at absolute time `at`.  Scheduling in the past is a
+    /// driver bug and panics (it would silently reorder causality).
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now, "scheduled event in the past: {at} < {}", self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Reverse(Entry { at, seq, event }));
+    }
+
+    /// Schedule `event` after a delay from now.
+    pub fn schedule_after(&mut self, delay: SimTime, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(entry) = self.queue.pop()?;
+        debug_assert!(entry.at >= self.now);
+        self.now = entry.at;
+        self.processed += 1;
+        Some((entry.at, entry.event))
+    }
+
+    /// Peek at the next event time without advancing.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Discard events matching a predicate (used to cancel stale
+    /// completion events after a reschedule; drivers usually prefer
+    /// generation counters, but cancellation is handy in tests).
+    pub fn retain(&mut self, mut keep: impl FnMut(&E) -> bool) {
+        let drained: Vec<Entry<E>> = std::mem::take(&mut self.queue)
+            .into_iter()
+            .map(|Reverse(e)| e)
+            .filter(|e| keep(&e.event))
+            .collect();
+        for e in drained {
+            self.queue.push(Reverse(e));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut k = SimKernel::new();
+        k.schedule_at(SimTime::from_secs(5), "c");
+        k.schedule_at(SimTime::from_secs(1), "a");
+        k.schedule_at(SimTime::from_secs(3), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| k.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert_eq!(k.now(), SimTime::from_secs(5));
+        assert_eq!(k.processed(), 3);
+    }
+
+    #[test]
+    fn simultaneous_events_pop_fifo() {
+        let mut k = SimKernel::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            k.schedule_at(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| k.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn schedule_after_uses_current_time() {
+        let mut k = SimKernel::new();
+        k.schedule_at(SimTime::from_secs(10), "first");
+        k.pop();
+        k.schedule_after(SimTime::from_secs(5), "second");
+        let (at, _) = k.pop().unwrap();
+        assert_eq!(at, SimTime::from_secs(15));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled event in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut k = SimKernel::new();
+        k.schedule_at(SimTime::from_secs(10), "x");
+        k.pop();
+        k.schedule_at(SimTime::from_secs(5), "y");
+    }
+
+    #[test]
+    fn retain_cancels_events() {
+        let mut k = SimKernel::new();
+        for i in 0..10 {
+            k.schedule_at(SimTime::from_secs(i), i);
+        }
+        k.retain(|e| e % 2 == 0);
+        assert_eq!(k.pending(), 5);
+        let order: Vec<u64> = std::iter::from_fn(|| k.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![0, 2, 4, 6, 8]);
+    }
+}

@@ -1,0 +1,430 @@
+//! Node model: CPUs, clock speed, OS, external user load, crashes and
+//! upgrades, with a processor-sharing execution model.
+//!
+//! Work is measured in **reference CPU-milliseconds**: the CPU time a job
+//! needs on one 500 MHz processor (the paper's linneus PCs).  A node's
+//! speed factor scales that; external (non-BioOpera) users take CPUs first
+//! because BioOpera jobs run "in nice mode, giving priority to the other
+//! users" (§5.4).
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Reference clock speed for work-unit accounting.
+pub const REF_MHZ: f64 = 500.0;
+
+/// Identifier of a dispatched job, unique per run.
+pub type JobId = u64;
+
+/// Static description of a node (stored in the configuration space).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Host name, e.g. `linneus3`.
+    pub name: String,
+    /// Installed processors.
+    pub cpus: u32,
+    /// Clock speed in MHz; the speed factor is `mhz / 500`.
+    pub mhz: u32,
+    /// Operating system, e.g. `linux` or `solaris` (placement constraint).
+    pub os: String,
+}
+
+impl NodeSpec {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, cpus: u32, mhz: u32, os: impl Into<String>) -> Self {
+        NodeSpec { name: name.into(), cpus, mhz, os: os.into() }
+    }
+
+    /// Speed factor relative to the 500 MHz reference.
+    pub fn speed(&self) -> f64 {
+        self.mhz as f64 / REF_MHZ
+    }
+}
+
+/// How a job left a node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum JobOutcome {
+    /// Ran to completion; carries consumed CPU milliseconds (occupancy).
+    Completed { cpu_ms: f64 },
+    /// Killed by a node crash or an explicit abort.
+    Killed,
+}
+
+#[derive(Debug, Clone)]
+struct RunningJob {
+    id: JobId,
+    /// Remaining work in reference CPU-milliseconds.
+    remaining: f64,
+    /// Consumed CPU occupancy in milliseconds (what `CPU(A_i)` reports).
+    consumed_cpu_ms: f64,
+}
+
+/// A simulated node.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Static description.
+    pub spec: NodeSpec,
+    up: bool,
+    cpus_online: u32,
+    /// CPUs currently consumed by external users (may be fractional).
+    external_cpus: f64,
+    jobs: Vec<RunningJob>,
+    last_advance: SimTime,
+    /// Bumped whenever the completion schedule becomes stale; drivers tag
+    /// scheduled completion events with the generation and ignore stale ones.
+    pub generation: u64,
+    /// CPU occupancy consumed by jobs that were killed before completing
+    /// (crashes, aborts) — the "lost work" metric of the checkpoint
+    /// ablation.
+    wasted_cpu_ms: f64,
+}
+
+impl Node {
+    /// A fresh, idle, healthy node.
+    pub fn new(spec: NodeSpec) -> Self {
+        let cpus = spec.cpus;
+        Node {
+            spec,
+            up: true,
+            cpus_online: cpus,
+            external_cpus: 0.0,
+            jobs: Vec::new(),
+            last_advance: SimTime::ZERO,
+            generation: 0,
+            wasted_cpu_ms: 0.0,
+        }
+    }
+
+    /// Is the node powered and healthy?
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// Processors currently online (0 when down).
+    pub fn cpus_online(&self) -> u32 {
+        if self.up {
+            self.cpus_online
+        } else {
+            0
+        }
+    }
+
+    /// CPUs taken by external users right now.
+    pub fn external_cpus(&self) -> f64 {
+        self.external_cpus
+    }
+
+    /// Jobs currently hosted.
+    pub fn job_count(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// IDs of jobs currently hosted.
+    pub fn job_ids(&self) -> Vec<JobId> {
+        self.jobs.iter().map(|j| j.id).collect()
+    }
+
+    /// CPUs left for BioOpera after external users (nice semantics).
+    fn available_for_jobs(&self) -> f64 {
+        if !self.up {
+            return 0.0;
+        }
+        (self.cpus_online as f64 - self.external_cpus).max(0.0)
+    }
+
+    /// Per-job CPU share in [0, 1]: full CPU if enough are free, otherwise
+    /// equal processor sharing.
+    fn share(&self) -> f64 {
+        if self.jobs.is_empty() {
+            return 0.0;
+        }
+        (self.available_for_jobs() / self.jobs.len() as f64).min(1.0)
+    }
+
+    /// Work units per millisecond each job currently progresses by.
+    fn rate(&self) -> f64 {
+        self.share() * self.spec.speed()
+    }
+
+    /// Number of processors currently busy with BioOpera jobs (the
+    /// "processor utilization" series of Figs. 5/6).
+    pub fn utilization(&self) -> f64 {
+        self.share() * self.jobs.len() as f64
+    }
+
+    /// The load fraction an external observer (the PEC's load monitor)
+    /// reads: busy CPUs over online CPUs.
+    pub fn load_fraction(&self) -> f64 {
+        if !self.up || self.cpus_online == 0 {
+            return 0.0;
+        }
+        let busy = self.utilization() + self.external_cpus.min(self.cpus_online as f64);
+        (busy / self.cpus_online as f64).clamp(0.0, 1.0)
+    }
+
+    /// Advance job progress to `now`.  Must be called (by every mutating
+    /// entry point) before the execution state changes; rates are constant
+    /// between events, so this is exact.
+    pub fn advance(&mut self, now: SimTime) {
+        debug_assert!(now >= self.last_advance, "time went backwards");
+        let elapsed_ms = (now - self.last_advance).as_millis() as f64;
+        if elapsed_ms > 0.0 && !self.jobs.is_empty() && self.up {
+            let rate = self.rate();
+            let share = self.share();
+            for job in &mut self.jobs {
+                job.remaining = (job.remaining - elapsed_ms * rate).max(0.0);
+                job.consumed_cpu_ms += elapsed_ms * share;
+            }
+        }
+        self.last_advance = now;
+    }
+
+    /// Start a job needing `work_ref_cpu_ms` reference CPU-milliseconds.
+    /// Panics if the node is down (the dispatcher checks availability).
+    pub fn start_job(&mut self, now: SimTime, id: JobId, work_ref_cpu_ms: f64) {
+        assert!(self.up, "dispatched to a down node");
+        assert!(work_ref_cpu_ms >= 0.0);
+        self.advance(now);
+        self.jobs.push(RunningJob { id, remaining: work_ref_cpu_ms, consumed_cpu_ms: 0.0 });
+        self.generation += 1;
+    }
+
+    /// When will the earliest current job finish, given current conditions?
+    /// `None` if idle or fully starved by external load.
+    pub fn next_completion(&self, now: SimTime) -> Option<(SimTime, JobId)> {
+        let rate = self.rate();
+        if rate <= 0.0 || self.jobs.is_empty() || !self.up {
+            return None;
+        }
+        self.jobs
+            .iter()
+            .map(|j| {
+                // Ceil so the completion event never fires a hair early.
+                let ms = (j.remaining / rate).ceil() as u64;
+                (now + SimTime::from_millis(ms), j.id)
+            })
+            .min()
+    }
+
+    /// Remove and return jobs whose work is done at `now`.
+    pub fn take_finished(&mut self, now: SimTime) -> Vec<(JobId, JobOutcome)> {
+        self.advance(now);
+        let mut done = Vec::new();
+        self.jobs.retain(|j| {
+            // One simulated millisecond of slack absorbs ceil() rounding.
+            if j.remaining <= self.spec.speed() {
+                done.push((j.id, JobOutcome::Completed { cpu_ms: j.consumed_cpu_ms }));
+                false
+            } else {
+                true
+            }
+        });
+        if !done.is_empty() {
+            self.generation += 1;
+        }
+        done
+    }
+
+    /// Abort a specific job (kill-and-restart migration, §5.4 discussion).
+    pub fn abort_job(&mut self, now: SimTime, id: JobId) -> Option<JobOutcome> {
+        self.advance(now);
+        let idx = self.jobs.iter().position(|j| j.id == id)?;
+        let job = self.jobs.remove(idx);
+        self.wasted_cpu_ms += job.consumed_cpu_ms;
+        self.generation += 1;
+        Some(JobOutcome::Killed)
+    }
+
+    /// Crash the node: all hosted jobs are killed and returned.
+    pub fn crash(&mut self, now: SimTime) -> Vec<JobId> {
+        self.advance(now);
+        self.up = false;
+        self.generation += 1;
+        let killed: Vec<RunningJob> = self.jobs.drain(..).collect();
+        self.wasted_cpu_ms += killed.iter().map(|j| j.consumed_cpu_ms).sum::<f64>();
+        killed.into_iter().map(|j| j.id).collect()
+    }
+
+    /// Total occupancy consumed by jobs killed on this node.
+    pub fn wasted_cpu_ms(&self) -> f64 {
+        self.wasted_cpu_ms
+    }
+
+    /// Bring the node back (empty, healthy, same hardware).
+    pub fn recover(&mut self, now: SimTime) {
+        self.advance(now);
+        self.up = true;
+        self.generation += 1;
+    }
+
+    /// Change the external user load (CPUs consumed by other users).
+    pub fn set_external_load(&mut self, now: SimTime, cpus: f64) {
+        self.advance(now);
+        self.external_cpus = cpus.max(0.0);
+        self.generation += 1;
+    }
+
+    /// Hardware upgrade: change the number of online processors.  The
+    /// second all-vs-all run "added a second processor to each node ... and
+    /// BioOpera was able to take advantage of this" (Fig. 6).
+    pub fn set_cpus(&mut self, now: SimTime, cpus: u32) {
+        self.advance(now);
+        self.cpus_online = cpus;
+        self.spec.cpus = self.spec.cpus.max(cpus);
+        self.generation += 1;
+    }
+
+    /// Remaining work of a job (testing/inspection).
+    pub fn remaining_work(&self, id: JobId) -> Option<f64> {
+        self.jobs.iter().find(|j| j.id == id).map(|j| j.remaining)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(cpus: u32, mhz: u32) -> Node {
+        Node::new(NodeSpec::new("n", cpus, mhz, "linux"))
+    }
+
+    #[test]
+    fn single_job_runs_at_full_speed() {
+        let mut n = node(2, 500);
+        n.start_job(SimTime::ZERO, 1, 10_000.0); // 10 ref-CPU-seconds
+        let (t, id) = n.next_completion(SimTime::ZERO).unwrap();
+        assert_eq!(id, 1);
+        assert_eq!(t, SimTime::from_secs(10));
+        let done = n.take_finished(t);
+        assert_eq!(done.len(), 1);
+        match done[0].1 {
+            JobOutcome::Completed { cpu_ms } => assert!((cpu_ms - 10_000.0).abs() < 1.5),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn fast_node_finishes_sooner() {
+        let mut n = node(1, 1000); // 2x reference speed
+        n.start_job(SimTime::ZERO, 1, 10_000.0);
+        let (t, _) = n.next_completion(SimTime::ZERO).unwrap();
+        assert_eq!(t, SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn two_jobs_on_one_cpu_share() {
+        let mut n = node(1, 500);
+        n.start_job(SimTime::ZERO, 1, 10_000.0);
+        n.start_job(SimTime::ZERO, 2, 10_000.0);
+        // Each runs at 0.5 CPU: 20s to finish.
+        let (t, _) = n.next_completion(SimTime::ZERO).unwrap();
+        assert_eq!(t, SimTime::from_secs(20));
+        let done = n.take_finished(t);
+        assert_eq!(done.len(), 2);
+    }
+
+    #[test]
+    fn two_jobs_on_two_cpus_do_not_contend() {
+        let mut n = node(2, 500);
+        n.start_job(SimTime::ZERO, 1, 10_000.0);
+        n.start_job(SimTime::ZERO, 2, 10_000.0);
+        let (t, _) = n.next_completion(SimTime::ZERO).unwrap();
+        assert_eq!(t, SimTime::from_secs(10));
+        assert!((n.utilization() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn external_load_starves_nice_jobs() {
+        let mut n = node(2, 500);
+        n.start_job(SimTime::ZERO, 1, 10_000.0);
+        n.set_external_load(SimTime::ZERO, 2.0);
+        assert_eq!(n.next_completion(SimTime::ZERO), None, "fully starved");
+        assert!((n.load_fraction() - 1.0).abs() < 1e-9);
+        // External users leave at t=30s; job then needs its full 10s.
+        let t1 = SimTime::from_secs(30);
+        n.set_external_load(t1, 0.0);
+        let (t, _) = n.next_completion(t1).unwrap();
+        assert_eq!(t, SimTime::from_secs(40));
+    }
+
+    #[test]
+    fn partial_external_load_slows_jobs() {
+        let mut n = node(2, 500);
+        n.set_external_load(SimTime::ZERO, 1.0);
+        n.start_job(SimTime::ZERO, 1, 10_000.0);
+        n.start_job(SimTime::ZERO, 2, 10_000.0);
+        // One CPU left for two jobs: each at 0.5 CPU -> 20 s.
+        let (t, _) = n.next_completion(SimTime::ZERO).unwrap();
+        assert_eq!(t, SimTime::from_secs(20));
+    }
+
+    #[test]
+    fn crash_kills_jobs_and_recovery_restores_capacity() {
+        let mut n = node(2, 500);
+        n.start_job(SimTime::ZERO, 1, 10_000.0);
+        n.start_job(SimTime::ZERO, 2, 10_000.0);
+        let killed = n.crash(SimTime::from_secs(3));
+        assert_eq!(killed, vec![1, 2]);
+        assert!(!n.is_up());
+        assert_eq!(n.cpus_online(), 0);
+        assert_eq!(n.utilization(), 0.0);
+        n.recover(SimTime::from_secs(60));
+        assert!(n.is_up());
+        assert_eq!(n.cpus_online(), 2);
+        assert_eq!(n.job_count(), 0);
+    }
+
+    #[test]
+    fn upgrade_doubles_throughput() {
+        let mut n = node(1, 500);
+        n.start_job(SimTime::ZERO, 1, 10_000.0);
+        n.start_job(SimTime::ZERO, 2, 10_000.0);
+        // After 10 s at 0.5 CPU each, both are half done.
+        let mid = SimTime::from_secs(10);
+        n.set_cpus(mid, 2);
+        let (t, _) = n.next_completion(mid).unwrap();
+        // Remaining 5 000 units now at full speed: 5 more seconds.
+        assert_eq!(t, SimTime::from_secs(15));
+    }
+
+    #[test]
+    fn abort_removes_job_and_speeds_up_sibling() {
+        let mut n = node(1, 500);
+        n.start_job(SimTime::ZERO, 1, 10_000.0);
+        n.start_job(SimTime::ZERO, 2, 10_000.0);
+        let t = SimTime::from_secs(10); // both half done
+        assert_eq!(n.abort_job(t, 1), Some(JobOutcome::Killed));
+        assert_eq!(n.abort_job(t, 99), None);
+        let (done_at, id) = n.next_completion(t).unwrap();
+        assert_eq!(id, 2);
+        assert_eq!(done_at, SimTime::from_secs(15)); // 5000 units left at full speed
+    }
+
+    #[test]
+    fn consumed_cpu_tracks_occupancy_not_work() {
+        // On a 2x-speed node, a 10 000-unit job takes 5 s of wall and 5 s of
+        // CPU occupancy (work units are reference-speed units).
+        let mut n = node(1, 1000);
+        n.start_job(SimTime::ZERO, 1, 10_000.0);
+        let (t, _) = n.next_completion(SimTime::ZERO).unwrap();
+        let done = n.take_finished(t);
+        match done[0].1 {
+            JobOutcome::Completed { cpu_ms } => assert!((cpu_ms - 5_000.0).abs() < 2.0),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn generation_bumps_on_every_schedule_change() {
+        let mut n = node(1, 500);
+        let g0 = n.generation;
+        n.start_job(SimTime::ZERO, 1, 1000.0);
+        assert!(n.generation > g0);
+        let g1 = n.generation;
+        n.set_external_load(SimTime::from_secs(1), 0.5);
+        assert!(n.generation > g1);
+        let g2 = n.generation;
+        n.set_cpus(SimTime::from_secs(2), 2);
+        assert!(n.generation > g2);
+    }
+}

@@ -1,0 +1,159 @@
+//! Virtual time.
+//!
+//! The simulator runs in milliseconds of *virtual* time so that the
+//! all-vs-all experiments — 38 and 51 days of wall time in the paper —
+//! complete in seconds of real time while the engine observes realistic
+//! timestamps in its persistent history.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time (milliseconds since simulation start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// From milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        SimTime(ms)
+    }
+
+    /// From seconds.
+    pub fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000)
+    }
+
+    /// From fractional seconds (rounds to the nearest millisecond).
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimTime((s * 1_000.0).round().max(0.0) as u64)
+    }
+
+    /// From minutes.
+    pub fn from_mins(m: u64) -> Self {
+        SimTime(m * 60_000)
+    }
+
+    /// From hours.
+    pub fn from_hours(h: u64) -> Self {
+        SimTime(h * 3_600_000)
+    }
+
+    /// From days.
+    pub fn from_days(d: u64) -> Self {
+        SimTime(d * 86_400_000)
+    }
+
+    /// Milliseconds since start.
+    pub fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since start.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Hours since start.
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / 3_600_000.0
+    }
+
+    /// Days since start.
+    pub fn as_days_f64(self) -> f64 {
+        self.0 as f64 / 86_400_000.0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    /// `12d 03h 45m 10s` — the format used in the experiment tables
+    /// (mirrors the paper's `CPU(Π)` rows like "31d 6h 1m").
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total_secs = self.0 / 1_000;
+        let days = total_secs / 86_400;
+        let hours = (total_secs % 86_400) / 3_600;
+        let mins = (total_secs % 3_600) / 60;
+        let secs = total_secs % 60;
+        if days > 0 {
+            write!(f, "{days}d {hours:02}h {mins:02}m")
+        } else if hours > 0 {
+            write!(f, "{hours}h {mins:02}m {secs:02}s")
+        } else if mins > 0 {
+            write!(f, "{mins}m {secs:02}s")
+        } else {
+            write!(f, "{secs}s")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_days(1), SimTime::from_hours(24));
+        assert_eq!(SimTime::from_hours(1), SimTime::from_mins(60));
+        assert_eq!(SimTime::from_mins(1), SimTime::from_secs(60));
+        assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1000));
+        assert_eq!(SimTime::from_secs_f64(1.5), SimTime::from_millis(1500));
+    }
+
+    #[test]
+    fn month_scale_fits() {
+        let two_months = SimTime::from_days(60);
+        assert!(two_months.as_days_f64() > 59.9);
+        // u64 ms supports ~584 million years; no overflow concern.
+        let _ = two_months + SimTime::from_days(60);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime::from_secs(5).to_string(), "5s");
+        assert_eq!(SimTime::from_secs(65).to_string(), "1m 05s");
+        assert_eq!(SimTime::from_secs(3_600 + 120 + 3).to_string(), "1h 02m 03s");
+        assert_eq!(
+            (SimTime::from_days(31) + SimTime::from_hours(6) + SimTime::from_mins(1)).to_string(),
+            "31d 06h 01m"
+        );
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_secs(10);
+        let b = SimTime::from_secs(3);
+        assert_eq!(a - b, SimTime::from_secs(7));
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, SimTime::from_secs(13));
+    }
+}

@@ -1,0 +1,276 @@
+//! Environment traces: timed sequences of failures, outages, upgrades,
+//! external-load changes and operator actions.
+//!
+//! The paper stresses that "the failures observed were not injected but
+//! part of the everyday operation of the systems" (§5); its event log is
+//! nonetheless specific enough (category, approximate day, engine
+//! reaction) to encode as a reproducible trace.  [`Trace::shared_run`]
+//! models the ten numbered events of Figure 5 and [`Trace::nonshared_run`]
+//! the three events of Figure 6.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One kind of environment change.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEventKind {
+    /// A single node fails (hardware crash); its jobs are killed.
+    NodeDown(String),
+    /// A failed node comes back, empty.
+    NodeUp(String),
+    /// Massive failure: every node in the cluster goes down.
+    AllNodesDown,
+    /// All nodes recover.
+    AllNodesUp,
+    /// Complete network outage between server and cluster.
+    NetworkDown,
+    /// Network restored.
+    NetworkUp,
+    /// External users now occupy `fraction` of every node's CPUs
+    /// (BioOpera runs nice, so this directly steals capacity).
+    ExternalLoadAll {
+        /// Fraction of each node's online CPUs consumed, in [0, 1].
+        fraction: f64,
+    },
+    /// External load on a single node, in CPUs.
+    ExternalLoad {
+        /// Node name.
+        node: String,
+        /// CPUs consumed.
+        cpus: f64,
+    },
+    /// OS/hardware upgrade: set every node's online CPU count.
+    UpgradeAllTo {
+        /// New online CPU count per node.
+        cpus: u32,
+    },
+    /// The BioOpera server process dies (in-memory state lost; the
+    /// persistent spaces survive and recovery rebuilds from them).
+    ServerCrash,
+    /// The server host is back; the engine re-opens its store and resumes.
+    ServerRecover,
+    /// An operator suspends the process (e.g. another user requested
+    /// exclusive cluster access): running jobs drain, nothing new starts.
+    OperatorSuspend,
+    /// Operator resumes a suspended process.
+    OperatorResume,
+    /// The result storage device fills up: completed activities cannot
+    /// persist their results and are treated as failed until space returns.
+    DiskFull,
+    /// Storage freed.
+    DiskFreed,
+    /// `count` running activities silently fail to report their results
+    /// (the paper's event 10: "two of the last TEUs failed to report");
+    /// detected only by the operator-triggered restart.
+    TaskNonReport {
+        /// How many currently-running activities are affected.
+        count: u32,
+    },
+}
+
+/// A timed, labeled environment event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// When the event fires.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: TraceEventKind,
+    /// Label used in the experiment's event log (e.g. Figure 5's markers).
+    pub label: Option<String>,
+}
+
+/// A sorted sequence of environment events.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Empty trace (fault-free environment).
+    pub fn empty() -> Self {
+        Trace::default()
+    }
+
+    /// Add an unlabeled event.
+    pub fn push(&mut self, at: SimTime, kind: TraceEventKind) -> &mut Self {
+        self.events.push(TraceEvent { at, kind, label: None });
+        self
+    }
+
+    /// Add a labeled event (shows up in the experiment's event log).
+    pub fn push_labeled(&mut self, at: SimTime, kind: TraceEventKind, label: impl Into<String>) -> &mut Self {
+        self.events.push(TraceEvent { at, kind, label: Some(label.into()) });
+        self
+    }
+
+    /// Events sorted by time (stable for equal times).
+    pub fn sorted_events(&self) -> Vec<TraceEvent> {
+        let mut ev = self.events.clone();
+        ev.sort_by_key(|e| e.at);
+        ev
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Is the trace empty?
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The shared-cluster run (Figure 5): BioOpera in nice mode on
+    /// linneus + 2×ik-sun, 17 Dec – 23 Jan, with the paper's ten events.
+    ///
+    /// Day numbers are relative to the start of the run.
+    pub fn shared_run() -> Trace {
+        let d = |days_x10: u64| SimTime::from_hours(days_x10 * 24 / 10); // tenths of days
+        let mut t = Trace::empty();
+        // Background: the cluster is shared, so a moderate external load is
+        // present from the start and fluctuates.
+        t.push(SimTime::ZERO, TraceEventKind::ExternalLoadAll { fraction: 0.25 });
+        // (1) Another user requests exclusive access; process suspended,
+        // resumed once the cluster is freed.
+        t.push_labeled(d(15), TraceEventKind::OperatorSuspend, "1: other user needs cluster (manual suspend)");
+        t.push(d(15), TraceEventKind::ExternalLoadAll { fraction: 0.95 });
+        t.push(d(30), TraceEventKind::ExternalLoadAll { fraction: 0.25 });
+        t.push_labeled(d(30), TraceEventKind::OperatorResume, "1b: cluster freed (resume)");
+        // (2) The sole BioOpera server crash (communication protocol bug).
+        t.push_labeled(d(50), TraceEventKind::ServerCrash, "2: BioOpera server crash");
+        t.push(d(51), TraceEventKind::ServerRecover);
+        // (3) First massive hardware failure.
+        t.push_labeled(d(75), TraceEventKind::AllNodesDown, "3: cluster failure");
+        t.push(d(80), TraceEventKind::AllNodesUp);
+        // (5) Cluster heavily used by other jobs for almost a week.
+        t.push_labeled(d(100), TraceEventKind::ExternalLoadAll { fraction: 0.85 }, "5: cluster busy with other jobs");
+        t.push(d(160), TraceEventKind::ExternalLoadAll { fraction: 0.25 });
+        // (4) Some nodes unavailable for a while.
+        t.push_labeled(d(175), TraceEventKind::NodeDown("linneus3".into()), "4: some nodes unavailable");
+        t.push(d(175), TraceEventKind::NodeDown("linneus4".into()));
+        t.push(d(175), TraceEventKind::NodeDown("linneus5".into()));
+        t.push(d(175), TraceEventKind::NodeDown("linneus6".into()));
+        t.push(d(190), TraceEventKind::NodeUp("linneus3".into()));
+        t.push(d(190), TraceEventKind::NodeUp("linneus4".into()));
+        t.push(d(190), TraceEventKind::NodeUp("linneus5".into()));
+        t.push(d(190), TraceEventKind::NodeUp("linneus6".into()));
+        // (6) Out of disk space; nobody watching; manually stopped, fixed,
+        // and resumed (7).
+        t.push_labeled(d(205), TraceEventKind::DiskFull, "6: disk space shortage");
+        t.push(d(220), TraceEventKind::OperatorSuspend);
+        t.push_labeled(d(222), TraceEventKind::DiskFreed, "7: storage fixed (resume)");
+        t.push(d(222), TraceEventKind::OperatorResume);
+        // (7 in figure) Second massive hardware failure.
+        t.push_labeled(d(240), TraceEventKind::AllNodesDown, "7: cluster failure (second)");
+        t.push(d(244), TraceEventKind::AllNodesUp);
+        // (8) Server host maintenance: planned shutdown, smooth restart.
+        t.push_labeled(d(260), TraceEventKind::ServerCrash, "8: server maintenance");
+        t.push(d(265), TraceEventKind::ServerRecover);
+        // (9) Many higher-priority jobs; file-system instability raises the
+        // activity failure rate slightly (modeled by a node flap).
+        t.push_labeled(d(280), TraceEventKind::ExternalLoadAll { fraction: 0.8 }, "9: higher-priority jobs");
+        t.push(d(300), TraceEventKind::NodeDown("linneus7".into()));
+        t.push(d(302), TraceEventKind::NodeUp("linneus7".into()));
+        t.push(d(330), TraceEventKind::ExternalLoadAll { fraction: 0.2 });
+        // (10) Two TEUs fail to report results; the operator restarts the
+        // process and BioOpera immediately re-schedules them.
+        t.push_labeled(d(350), TraceEventKind::TaskNonReport { count: 2 }, "10: TEUs fail to report results");
+        t
+    }
+
+    /// The non-shared run (Figure 6): ik-linux, 31 May – 21 Jul; two
+    /// planned network outages and the CPU-doubling OS change at ~day 25.
+    pub fn nonshared_run() -> Trace {
+        let mut t = Trace::empty();
+        t.push_labeled(
+            SimTime::from_days(10),
+            TraceEventKind::NetworkDown,
+            "planned network outage #1 (suspend)",
+        );
+        t.push(SimTime::from_days(10), TraceEventKind::OperatorSuspend);
+        t.push(SimTime::from_days(10) + SimTime::from_hours(12), TraceEventKind::NetworkUp);
+        t.push(SimTime::from_days(10) + SimTime::from_hours(12), TraceEventKind::OperatorResume);
+        t.push_labeled(
+            SimTime::from_days(18),
+            TraceEventKind::NetworkDown,
+            "planned network outage #2 (suspend)",
+        );
+        t.push(SimTime::from_days(18), TraceEventKind::OperatorSuspend);
+        t.push(SimTime::from_days(18) + SimTime::from_hours(8), TraceEventKind::NetworkUp);
+        t.push(SimTime::from_days(18) + SimTime::from_hours(8), TraceEventKind::OperatorResume);
+        t.push_labeled(
+            SimTime::from_days(25),
+            TraceEventKind::UpgradeAllTo { cpus: 2 },
+            "OS configuration change: second processor enabled on every node",
+        );
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_sorted_and_labeled() {
+        for trace in [Trace::shared_run(), Trace::nonshared_run()] {
+            let ev = trace.sorted_events();
+            assert!(!ev.is_empty());
+            for w in ev.windows(2) {
+                assert!(w[0].at <= w[1].at);
+            }
+        }
+        let labels: Vec<String> = Trace::shared_run()
+            .sorted_events()
+            .into_iter()
+            .filter_map(|e| e.label)
+            .collect();
+        // All ten numbered event groups of Figure 5 are present.
+        for needle in ["1:", "2:", "3:", "4:", "5:", "6:", "7:", "8:", "9:", "10:"] {
+            assert!(
+                labels.iter().any(|l| l.starts_with(needle)),
+                "missing event {needle} in shared trace"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_run_spans_over_a_month() {
+        let ev = Trace::shared_run().sorted_events();
+        assert!(ev.last().unwrap().at >= SimTime::from_days(34));
+    }
+
+    #[test]
+    fn nonshared_run_has_upgrade_at_day_25() {
+        let ev = Trace::nonshared_run().sorted_events();
+        let up = ev
+            .iter()
+            .find(|e| matches!(e.kind, TraceEventKind::UpgradeAllTo { .. }))
+            .unwrap();
+        assert_eq!(up.at, SimTime::from_days(25));
+    }
+
+    #[test]
+    fn suspends_and_resumes_pair_up() {
+        for trace in [Trace::shared_run(), Trace::nonshared_run()] {
+            let mut depth = 0i32;
+            for e in trace.sorted_events() {
+                match e.kind {
+                    TraceEventKind::OperatorSuspend => depth += 1,
+                    TraceEventKind::OperatorResume => depth -= 1,
+                    _ => {}
+                }
+                assert!((0..=1).contains(&depth), "unbalanced suspend/resume");
+            }
+            assert_eq!(depth, 0);
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = Trace::shared_run();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,112 @@
+//! The awareness model: persistent history of everything that happened.
+//!
+//! "Beyond task start times, task finish times and task failures, the
+//! system also stores information regarding the load in each node, node
+//! availability, node failure, node capacity, and other relevant
+//! information regarding the state of the computing environment.  All
+//! together, this information allows the creation of an awareness model"
+//! (§3.4).  Records live in the History space and survive everything.
+
+use bioopera_cluster::SimTime;
+use bioopera_store::{Disk, Space, Store, TypedSpace};
+use serde::{Deserialize, Serialize};
+
+/// One history record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistoryEvent {
+    /// Virtual time of the event.
+    pub at: SimTime,
+    /// Category, e.g. `task.end`, `node.crash`, `server.recover`.
+    pub kind: String,
+    /// Free-form details (instance/task/node names, counts).
+    pub detail: String,
+}
+
+/// Append-only writer/reader for the History space.
+pub struct Awareness {
+    events: TypedSpace<HistoryEvent>,
+    next_seq: u64,
+}
+
+impl Awareness {
+    /// Open over a store, continuing after any existing records.
+    pub fn open<D: Disk>(store: &Store<D>) -> Result<Self, bioopera_store::StoreError> {
+        let events: TypedSpace<HistoryEvent> = TypedSpace::new(Space::History, "ev/");
+        let existing = events.scan(store)?;
+        let next_seq = existing
+            .last()
+            .and_then(|(k, _)| k.parse::<u64>().ok().map(|n| n + 1))
+            .unwrap_or(0);
+        Ok(Awareness { events, next_seq })
+    }
+
+    /// Record an event.
+    pub fn record<D: Disk>(
+        &mut self,
+        store: &Store<D>,
+        at: SimTime,
+        kind: impl Into<String>,
+        detail: impl Into<String>,
+    ) -> Result<(), bioopera_store::StoreError> {
+        let ev = HistoryEvent { at, kind: kind.into(), detail: detail.into() };
+        let key = format!("{:010}", self.next_seq);
+        self.next_seq += 1;
+        self.events.put(store, &key, &ev)
+    }
+
+    /// All events in order.
+    pub fn all<D: Disk>(&self, store: &Store<D>) -> Result<Vec<HistoryEvent>, bioopera_store::StoreError> {
+        Ok(self.events.scan(store)?.into_iter().map(|(_, e)| e).collect())
+    }
+
+    /// Events of a given kind.
+    pub fn of_kind<D: Disk>(
+        &self,
+        store: &Store<D>,
+        kind: &str,
+    ) -> Result<Vec<HistoryEvent>, bioopera_store::StoreError> {
+        Ok(self.all(store)?.into_iter().filter(|e| e.kind == kind).collect())
+    }
+
+    /// Count by kind — the monitoring dashboards' summary query.
+    pub fn counts_by_kind<D: Disk>(
+        &self,
+        store: &Store<D>,
+    ) -> Result<Vec<(String, usize)>, bioopera_store::StoreError> {
+        let mut map = std::collections::BTreeMap::new();
+        for e in self.all(store)? {
+            *map.entry(e.kind).or_insert(0usize) += 1;
+        }
+        Ok(map.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bioopera_store::MemDisk;
+
+    #[test]
+    fn records_survive_reopen_and_keep_ordering() {
+        let disk = MemDisk::new();
+        let store = Store::open(disk.clone()).unwrap();
+        let mut aw = Awareness::open(&store).unwrap();
+        aw.record(&store, SimTime::from_secs(1), "task.start", "A on n1").unwrap();
+        aw.record(&store, SimTime::from_secs(2), "task.end", "A").unwrap();
+        aw.record(&store, SimTime::from_secs(3), "node.crash", "n1").unwrap();
+        drop(aw);
+        drop(store);
+
+        let store = Store::open(disk).unwrap();
+        let mut aw = Awareness::open(&store).unwrap();
+        // Continues the sequence instead of overwriting.
+        aw.record(&store, SimTime::from_secs(4), "node.recover", "n1").unwrap();
+        let all = aw.all(&store).unwrap();
+        assert_eq!(all.len(), 4);
+        assert_eq!(all[0].kind, "task.start");
+        assert_eq!(all[3].kind, "node.recover");
+        assert_eq!(aw.of_kind(&store, "node.crash").unwrap().len(), 1);
+        let counts = aw.counts_by_kind(&store).unwrap();
+        assert!(counts.contains(&("task.end".to_string(), 1)));
+    }
+}

@@ -1,0 +1,276 @@
+//! The dispatcher: scheduling and load balancing.
+//!
+//! "Once the navigator decides which step(s) to execute next, the
+//! information is passed to the dispatcher which, in turn, schedules the
+//! task and associates it with a processing node in the cluster ...  If the
+//! choice of assignment is not unique, the node is determined by the
+//! scheduling and load balancing policy in use" (§3.2).
+
+use bioopera_ocr::model::ExternalBinding;
+use serde::{Deserialize, Serialize};
+
+/// The dispatcher's view of one node at scheduling time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeView {
+    /// Node name.
+    pub name: String,
+    /// Operating system.
+    pub os: String,
+    /// Speed factor relative to the reference machine.
+    pub speed: f64,
+    /// CPUs online.
+    pub cpus_online: u32,
+    /// BioOpera jobs currently hosted.
+    pub running_jobs: u32,
+    /// Instantaneous load fraction in [0, 1] as last reported by the
+    /// node's load monitor (includes external users).
+    pub load: f64,
+    /// Is the node reachable and healthy?
+    pub up: bool,
+}
+
+impl NodeView {
+    /// Dispatch slots left: one job per online CPU.
+    pub fn free_slots(&self) -> u32 {
+        self.cpus_online.saturating_sub(self.running_jobs)
+    }
+}
+
+/// A scheduling policy picks among *eligible* candidates (already filtered
+/// for health, capacity and placement constraints).
+pub trait SchedulingPolicy: Send {
+    /// Index into `candidates` of the chosen node, or `None` to defer.
+    fn choose(&mut self, candidates: &[&NodeView]) -> Option<usize>;
+    /// Policy name for experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+/// Pick the node with the lowest reported load; ties broken by speed then
+/// name (deterministic).
+#[derive(Debug, Default, Clone)]
+pub struct LeastLoaded;
+
+impl SchedulingPolicy for LeastLoaded {
+    fn choose(&mut self, candidates: &[&NodeView]) -> Option<usize> {
+        (0..candidates.len()).min_by(|&a, &b| {
+            let (na, nb) = (candidates[a], candidates[b]);
+            na.load
+                .partial_cmp(&nb.load)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(nb.speed.partial_cmp(&na.speed).unwrap_or(std::cmp::Ordering::Equal))
+                .then(na.name.cmp(&nb.name))
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "least-loaded"
+    }
+}
+
+/// Pick the fastest node with a free slot; ties broken by load then name.
+#[derive(Debug, Default, Clone)]
+pub struct FastestFit;
+
+impl SchedulingPolicy for FastestFit {
+    fn choose(&mut self, candidates: &[&NodeView]) -> Option<usize> {
+        (0..candidates.len()).min_by(|&a, &b| {
+            let (na, nb) = (candidates[a], candidates[b]);
+            nb.speed
+                .partial_cmp(&na.speed)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(na.load.partial_cmp(&nb.load).unwrap_or(std::cmp::Ordering::Equal))
+                .then(na.name.cmp(&nb.name))
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "fastest-fit"
+    }
+}
+
+/// Rotate through candidates regardless of load (the naive baseline the
+/// scheduling ablation compares against).
+#[derive(Debug, Default, Clone)]
+pub struct RoundRobin {
+    counter: usize,
+}
+
+impl SchedulingPolicy for RoundRobin {
+    fn choose(&mut self, candidates: &[&NodeView]) -> Option<usize> {
+        if candidates.is_empty() {
+            return None;
+        }
+        let i = self.counter % candidates.len();
+        self.counter += 1;
+        Some(i)
+    }
+
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// Wrap a policy so it *defers* instead of placing work on nodes whose
+/// reported load exceeds `threshold` — a job started there would only
+/// starve behind the external users (§5.4).  BioOpera "schedule\[s\] the
+/// computation according to machine usage and availability" (§3.4); this
+/// is the usage-aware half.
+pub struct AvoidSaturated<P> {
+    /// The wrapped policy.
+    pub inner: P,
+    /// Maximum acceptable load fraction.
+    pub threshold: f64,
+}
+
+impl<P: SchedulingPolicy> AvoidSaturated<P> {
+    /// Wrap `inner` with a load ceiling.
+    pub fn new(inner: P, threshold: f64) -> Self {
+        AvoidSaturated { inner, threshold }
+    }
+}
+
+impl<P: SchedulingPolicy> SchedulingPolicy for AvoidSaturated<P> {
+    fn choose(&mut self, candidates: &[&NodeView]) -> Option<usize> {
+        let keep: Vec<usize> =
+            (0..candidates.len()).filter(|&i| candidates[i].load < self.threshold).collect();
+        if keep.is_empty() {
+            return None; // defer: waiting beats starving
+        }
+        let filtered: Vec<&NodeView> = keep.iter().map(|&i| candidates[i]).collect();
+        self.inner.choose(&filtered).map(|j| keep[j])
+    }
+
+    fn name(&self) -> &'static str {
+        "avoid-saturated"
+    }
+}
+
+/// Filter nodes by an activity's placement constraints and capacity, then
+/// ask the policy.  Returns the chosen node name.
+pub fn schedule<'a>(
+    policy: &mut dyn SchedulingPolicy,
+    nodes: &'a [NodeView],
+    binding: &ExternalBinding,
+) -> Option<&'a str> {
+    let eligible: Vec<&NodeView> = nodes
+        .iter()
+        .filter(|n| n.up && n.free_slots() > 0)
+        .filter(|n| binding.os.as_deref().map(|os| os == n.os).unwrap_or(true))
+        .filter(|n| binding.hosts.is_empty() || binding.hosts.iter().any(|h| *h == n.name))
+        .collect();
+    if eligible.is_empty() {
+        return None;
+    }
+    let idx = policy.choose(&eligible)?;
+    Some(
+        nodes
+            .iter()
+            .position(|n| std::ptr::eq(n, eligible[idx]))
+            .map(|i| nodes[i].name.as_str())
+            .expect("eligible node comes from nodes"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(name: &str, os: &str, speed: f64, cpus: u32, jobs: u32, load: f64) -> NodeView {
+        NodeView {
+            name: name.into(),
+            os: os.into(),
+            speed,
+            cpus_online: cpus,
+            running_jobs: jobs,
+            load,
+            up: true,
+        }
+    }
+
+    fn any() -> ExternalBinding {
+        ExternalBinding::program("p")
+    }
+
+    #[test]
+    fn least_loaded_prefers_idle_node() {
+        let nodes = vec![
+            node("busy", "linux", 1.0, 2, 0, 0.9),
+            node("idle", "linux", 1.0, 2, 0, 0.1),
+        ];
+        let mut p = LeastLoaded;
+        assert_eq!(schedule(&mut p, &nodes, &any()), Some("idle"));
+    }
+
+    #[test]
+    fn fastest_fit_prefers_speed() {
+        let nodes = vec![
+            node("slow", "linux", 0.7, 2, 0, 0.0),
+            node("fast", "linux", 1.2, 2, 0, 0.5),
+        ];
+        let mut p = FastestFit;
+        assert_eq!(schedule(&mut p, &nodes, &any()), Some("fast"));
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let nodes = vec![
+            node("a", "linux", 1.0, 4, 0, 0.0),
+            node("b", "linux", 1.0, 4, 0, 0.0),
+        ];
+        let mut p = RoundRobin::default();
+        assert_eq!(schedule(&mut p, &nodes, &any()), Some("a"));
+        assert_eq!(schedule(&mut p, &nodes, &any()), Some("b"));
+        assert_eq!(schedule(&mut p, &nodes, &any()), Some("a"));
+    }
+
+    #[test]
+    fn placement_constraints_filter() {
+        let nodes = vec![
+            node("sun1", "solaris", 0.7, 1, 0, 0.0),
+            node("pc1", "linux", 1.0, 2, 0, 0.0),
+        ];
+        let mut p = LeastLoaded;
+        let mut b = any();
+        b.os = Some("solaris".into());
+        assert_eq!(schedule(&mut p, &nodes, &b), Some("sun1"));
+        let mut b2 = any();
+        b2.hosts = vec!["pc1".into()];
+        assert_eq!(schedule(&mut p, &nodes, &b2), Some("pc1"));
+        let mut b3 = any();
+        b3.os = Some("irix".into());
+        assert_eq!(schedule(&mut p, &nodes, &b3), None);
+    }
+
+    #[test]
+    fn full_nodes_are_ineligible() {
+        let nodes = vec![node("a", "linux", 1.0, 2, 2, 0.0)];
+        let mut p = LeastLoaded;
+        assert_eq!(schedule(&mut p, &nodes, &any()), None);
+        // Down nodes too.
+        let mut n = node("b", "linux", 1.0, 2, 0, 0.0);
+        n.up = false;
+        assert_eq!(schedule(&mut p, &[n], &any()), None);
+    }
+
+    #[test]
+    fn avoid_saturated_defers_rather_than_starving() {
+        let nodes = vec![
+            node("busy", "linux", 1.0, 2, 0, 0.99),
+            node("alsobusy", "linux", 1.0, 2, 0, 0.97),
+        ];
+        let mut p = AvoidSaturated::new(LeastLoaded, 0.95);
+        assert_eq!(schedule(&mut p, &nodes, &any()), None, "defer on saturation");
+        let nodes2 = vec![node("busy", "linux", 1.0, 2, 0, 0.99), node("free", "linux", 0.7, 1, 0, 0.1)];
+        assert_eq!(schedule(&mut p, &nodes2, &any()), Some("free"));
+    }
+
+    #[test]
+    fn deterministic_tie_break_by_name() {
+        let nodes = vec![
+            node("zeta", "linux", 1.0, 2, 0, 0.3),
+            node("alpha", "linux", 1.0, 2, 0, 0.3),
+        ];
+        let mut p = LeastLoaded;
+        assert_eq!(schedule(&mut p, &nodes, &any()), Some("alpha"));
+    }
+}

@@ -1,0 +1,57 @@
+//! Engine errors.
+
+use std::fmt;
+
+/// Result alias for engine operations.
+pub type EngineResult<T> = Result<T, EngineError>;
+
+/// Errors surfaced by the BioOpera engine.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The persistent store failed (or simulated a crash).
+    Store(bioopera_store::StoreError),
+    /// A template failed validation on submission.
+    Validation(bioopera_ocr::ValidationError),
+    /// A referenced template does not exist in the template space
+    /// (late binding resolves at start time; this is the runtime error).
+    UnknownTemplate(String),
+    /// A referenced instance does not exist.
+    UnknownInstance(u64),
+    /// An activity's program is not in the activity library.
+    UnknownProgram(String),
+    /// A guard failed to evaluate (bad data reference or type error).
+    Guard(String, bioopera_ocr::EvalError),
+    /// The operation conflicts with the instance's status.
+    BadStatus(String),
+    /// Internal invariant broken (a bug; carries context).
+    Internal(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Store(e) => write!(f, "store: {e}"),
+            EngineError::Validation(e) => write!(f, "template invalid: {e}"),
+            EngineError::UnknownTemplate(t) => write!(f, "unknown template `{t}`"),
+            EngineError::UnknownInstance(i) => write!(f, "unknown instance {i}"),
+            EngineError::UnknownProgram(p) => write!(f, "program `{p}` not in activity library"),
+            EngineError::Guard(ctx, e) => write!(f, "guard on {ctx}: {e}"),
+            EngineError::BadStatus(m) => write!(f, "{m}"),
+            EngineError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<bioopera_store::StoreError> for EngineError {
+    fn from(e: bioopera_store::StoreError) -> Self {
+        EngineError::Store(e)
+    }
+}
+
+impl From<bioopera_ocr::ValidationError> for EngineError {
+    fn from(e: bioopera_ocr::ValidationError) -> Self {
+        EngineError::Validation(e)
+    }
+}

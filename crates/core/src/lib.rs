@@ -1,0 +1,42 @@
+//! # bioopera-core
+//!
+//! The BioOpera engine (paper §3): "a high-level distributed operating
+//! system managing processes and the resources of a computer cluster".
+//!
+//! Architecture (Fig. 2):
+//!
+//! * the **navigator** ([`navigator`]) interprets OCR process instances —
+//!   evaluates activation conditions, binds task inputs, runs the mapping
+//!   phase on completion, expands parallel tasks, late-binds subprocesses;
+//! * the **dispatcher** ([`dispatcher`]) schedules ready activities onto
+//!   cluster nodes under pluggable scheduling/load-balancing policies and
+//!   placement constraints;
+//! * the **recovery module** and the persistent **spaces** ([`state`],
+//!   backed by `bioopera-store`) make every transition durable *before* it
+//!   is acted on, so node, network and server failures never lose completed
+//!   work;
+//! * the **awareness model** ([`awareness`]) persistently records task
+//!   timings, node events and load samples, powering monitoring queries;
+//! * the **planner** ([`planner`]) answers what-if questions ("which
+//!   processes are affected if these nodes go off-line?", §3.5);
+//! * the **runtime** ([`runtime`]) ties the engine to the discrete-event
+//!   cluster simulator and drives whole month-long executions, including
+//!   every failure class of the paper's evaluation.
+
+pub mod awareness;
+pub mod dispatcher;
+pub mod error;
+pub mod library;
+pub mod lineage;
+pub mod navigator;
+pub mod planner;
+pub mod runtime;
+pub mod state;
+
+pub use dispatcher::{AvoidSaturated, FastestFit, LeastLoaded, RoundRobin, SchedulingPolicy};
+pub use error::{EngineError, EngineResult};
+pub use library::{ActivityLibrary, Program, ProgramOutput};
+pub use lineage::{Lineage, RecomputePlan};
+pub use planner::{OutageImpact, Planner};
+pub use runtime::{Runtime, RuntimeConfig, RunStats, SeriesSample};
+pub use state::{InstanceHeader, InstanceId, InstanceStatus, TaskRecord, TaskState};

@@ -1,0 +1,143 @@
+//! The activity library (paper §3.2, "library management element").
+//!
+//! "The library management element allows the definition of the runtime
+//! aspects of activities: program to be invoked, input, output, where it
+//! runs, how to pass arguments."  Here a program is a deterministic Rust
+//! closure that, given the activity's input structure, produces its output
+//! structure plus the amount of reference-CPU work the job represents; the
+//! runtime charges that work to the node the dispatcher picked.
+//!
+//! Determinism matters: a retried or re-dispatched activity must produce
+//! the same outputs, which is what makes recovery transparent.
+
+use bioopera_ocr::value::Value;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// What a program run produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramOutput {
+    /// The activity's output structure.
+    pub outputs: BTreeMap<String, Value>,
+    /// Reference-CPU milliseconds of work this run represents.
+    pub cost_ref_ms: f64,
+}
+
+impl ProgramOutput {
+    /// An output set with zero cost (control-only activities).
+    pub fn instant(outputs: BTreeMap<String, Value>) -> Self {
+        ProgramOutput { outputs, cost_ref_ms: 0.0 }
+    }
+
+    /// Convenience builder from field pairs.
+    pub fn from_fields(
+        fields: impl IntoIterator<Item = (&'static str, Value)>,
+        cost_ref_ms: f64,
+    ) -> Self {
+        ProgramOutput {
+            outputs: fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+            cost_ref_ms,
+        }
+    }
+}
+
+/// A program body: inputs → outputs + cost, or a failure message.
+pub type Program = dyn Fn(&BTreeMap<String, Value>) -> Result<ProgramOutput, String> + Send + Sync;
+
+/// The library mapping external-binding program names to bodies.
+#[derive(Clone, Default)]
+pub struct ActivityLibrary {
+    programs: BTreeMap<String, Arc<Program>>,
+}
+
+impl ActivityLibrary {
+    /// Empty library.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `name`; replaces any previous registration.
+    pub fn register<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: Fn(&BTreeMap<String, Value>) -> Result<ProgramOutput, String> + Send + Sync + 'static,
+    {
+        self.programs.insert(name.into(), Arc::new(f));
+        self
+    }
+
+    /// Register a program that always succeeds with fixed outputs and cost
+    /// (useful for tests and control activities).
+    pub fn register_const(
+        &mut self,
+        name: impl Into<String>,
+        outputs: BTreeMap<String, Value>,
+        cost_ref_ms: f64,
+    ) -> &mut Self {
+        self.register(name, move |_| {
+            Ok(ProgramOutput { outputs: outputs.clone(), cost_ref_ms })
+        })
+    }
+
+    /// Look up a program.
+    pub fn get(&self, name: &str) -> Option<Arc<Program>> {
+        self.programs.get(name).cloned()
+    }
+
+    /// Registered program names (sorted).
+    pub fn names(&self) -> Vec<&str> {
+        self.programs.keys().map(|s| s.as_str()).collect()
+    }
+}
+
+impl std::fmt::Debug for ActivityLibrary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ActivityLibrary").field("programs", &self.names()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_run() {
+        let mut lib = ActivityLibrary::new();
+        lib.register("math.double", |inputs| {
+            let x = inputs
+                .get("x")
+                .and_then(|v| v.as_int())
+                .ok_or_else(|| "missing int input x".to_string())?;
+            Ok(ProgramOutput::from_fields([("y", Value::Int(x * 2))], 10.0))
+        });
+        let prog = lib.get("math.double").unwrap();
+        let mut inputs = BTreeMap::new();
+        inputs.insert("x".to_string(), Value::Int(21));
+        let out = prog(&inputs).unwrap();
+        assert_eq!(out.outputs["y"], Value::Int(42));
+        assert_eq!(out.cost_ref_ms, 10.0);
+        // Failure path.
+        let err = prog(&BTreeMap::new()).unwrap_err();
+        assert!(err.contains("missing"));
+    }
+
+    #[test]
+    fn unknown_program_is_none_and_names_sorted() {
+        let mut lib = ActivityLibrary::new();
+        lib.register_const("z.prog", BTreeMap::new(), 0.0);
+        lib.register_const("a.prog", BTreeMap::new(), 0.0);
+        assert!(lib.get("nope").is_none());
+        assert_eq!(lib.names(), vec!["a.prog", "z.prog"]);
+    }
+
+    #[test]
+    fn determinism_of_registered_programs() {
+        let mut lib = ActivityLibrary::new();
+        lib.register("echo", |inputs| {
+            Ok(ProgramOutput { outputs: inputs.clone(), cost_ref_ms: 1.0 })
+        });
+        let p = lib.get("echo").unwrap();
+        let mut inputs = BTreeMap::new();
+        inputs.insert("k".into(), Value::from("v"));
+        assert_eq!(p(&inputs).unwrap(), p(&inputs).unwrap());
+    }
+}

@@ -1,0 +1,212 @@
+//! Planning and dealing with outages (paper §3.5).
+//!
+//! "A system administrator could ask the system which processes will be
+//! affected if a node or set of nodes is taken off-line.  BioOpera will
+//! then use the configuration information and the process structure to
+//! determine whether alternatives exist and will then re-schedule the
+//! processes accordingly, notifying the administrator of the processes
+//! that will stop, how far in their execution these processes are, their
+//! priority, and so forth."
+
+use crate::runtime::Runtime;
+use crate::state::{InstanceId, TaskState};
+use bioopera_ocr::model::TaskKind;
+use bioopera_store::Disk;
+use std::collections::BTreeSet;
+
+/// One affected in-flight job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AffectedJob {
+    /// Instance owning the task.
+    pub instance: InstanceId,
+    /// Task path.
+    pub task: String,
+    /// The node it currently occupies.
+    pub node: String,
+    /// Can it be placed on a surviving node (placement constraints)?
+    pub reschedulable: bool,
+}
+
+/// Per-instance impact summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceImpact {
+    /// Instance id.
+    pub instance: InstanceId,
+    /// Template name.
+    pub template: String,
+    /// Fraction of (non-container) tasks already completed, in [0, 1].
+    pub progress: f64,
+    /// Whether the instance would stop making progress entirely (some
+    /// affected or future task cannot run on the surviving nodes).
+    pub would_stall: bool,
+}
+
+/// Result of a what-if analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutageImpact {
+    /// Hypothetically removed nodes.
+    pub offline: Vec<String>,
+    /// CPUs lost.
+    pub cpus_lost: u32,
+    /// In-flight jobs that would be killed.
+    pub affected_jobs: Vec<AffectedJob>,
+    /// Per-instance summaries.
+    pub instances: Vec<InstanceImpact>,
+}
+
+impl OutageImpact {
+    /// Render the administrator notification.
+    pub fn report(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "what-if: taking {} node(s) off-line ({} CPUs): {}",
+            self.offline.len(),
+            self.cpus_lost,
+            self.offline.join(", ")
+        );
+        let _ = writeln!(out, "  {} in-flight job(s) would be killed:", self.affected_jobs.len());
+        for j in &self.affected_jobs {
+            let _ = writeln!(
+                out,
+                "    instance {} task {} on {} -> {}",
+                j.instance,
+                j.task,
+                j.node,
+                if j.reschedulable { "re-schedulable" } else { "NOT re-schedulable" }
+            );
+        }
+        for i in &self.instances {
+            let _ = writeln!(
+                out,
+                "  instance {} ({}) {:.0}% complete{}",
+                i.instance,
+                i.template,
+                i.progress * 100.0,
+                if i.would_stall { " — WOULD STALL" } else { "" }
+            );
+        }
+        out
+    }
+}
+
+/// The what-if planner.
+pub struct Planner;
+
+impl Planner {
+    /// Analyze the impact of taking `offline` nodes away from the runtime's
+    /// cluster, using the live instance state and configuration space.
+    pub fn what_if_offline<D: Disk + Clone>(rt: &Runtime<D>, offline: &[&str]) -> OutageImpact {
+        let offline_set: BTreeSet<&str> = offline.iter().copied().collect();
+        let survivors: Vec<&bioopera_cluster::Node> = rt
+            .cluster()
+            .nodes()
+            .iter()
+            .filter(|n| !offline_set.contains(n.spec.name.as_str()) && n.is_up())
+            .collect();
+        let cpus_lost = rt
+            .cluster()
+            .nodes()
+            .iter()
+            .filter(|n| offline_set.contains(n.spec.name.as_str()))
+            .map(|n| n.cpus_online())
+            .sum();
+
+        // Placement feasibility of a binding on the surviving set.
+        let feasible = |os: Option<&str>, hosts: &[String]| -> bool {
+            survivors.iter().any(|n| {
+                os.map(|o| o == n.spec.os).unwrap_or(true)
+                    && (hosts.is_empty() || hosts.iter().any(|h| *h == n.spec.name))
+            })
+        };
+
+        let mut affected_jobs = Vec::new();
+        for (instance, task, node) in rt.in_flight_jobs() {
+            if !offline_set.contains(node.as_str()) {
+                continue;
+            }
+            // Look up the binding constraints of the task.
+            let reschedulable = rt
+                .task_records(instance)
+                .and_then(|tasks| tasks.get(&task))
+                .map(|_| {
+                    // Parallel children inherit the parent body's binding;
+                    // plain activities their own.
+                    let binding = task_binding(rt, instance, &task);
+                    match binding {
+                        Some((os, hosts)) => feasible(os.as_deref(), &hosts),
+                        None => !survivors.is_empty(),
+                    }
+                })
+                .unwrap_or(false);
+            affected_jobs.push(AffectedJob { instance, task, node, reschedulable });
+        }
+
+        let mut instances = Vec::new();
+        for (id, status, template) in rt.instances() {
+            if status.is_terminal() {
+                continue;
+            }
+            let Some(tasks) = rt.task_records(id) else {
+                continue;
+            };
+            let mut total = 0usize;
+            let mut done = 0usize;
+            let mut stall = survivors.is_empty();
+            for rec in tasks.values() {
+                total += 1;
+                if rec.state == TaskState::Ended || rec.state == TaskState::Skipped {
+                    done += 1;
+                } else if matches!(rec.state, TaskState::Ready | TaskState::Dispatched) {
+                    if let Some((os, hosts)) = task_binding(rt, id, &rec.path) {
+                        if !feasible(os.as_deref(), &hosts) {
+                            stall = true;
+                        }
+                    }
+                }
+            }
+            instances.push(InstanceImpact {
+                instance: id,
+                template,
+                progress: if total == 0 { 0.0 } else { done as f64 / total as f64 },
+                would_stall: stall,
+            });
+        }
+
+        OutageImpact {
+            offline: offline.iter().map(|s| s.to_string()).collect(),
+            cpus_lost,
+            affected_jobs,
+            instances,
+        }
+    }
+}
+
+/// Placement constraints `(os, hosts)` of the activity behind a task path.
+fn task_binding<D: Disk + Clone>(
+    rt: &Runtime<D>,
+    instance: InstanceId,
+    path: &str,
+) -> Option<(Option<String>, Vec<String>)> {
+    let tasks = rt.task_records(instance)?;
+    let rec = tasks.get(path)?;
+    let (_, template_name) = rt
+        .instances()
+        .into_iter()
+        .find(|(id, _, _)| *id == instance)
+        .map(|(id, _, t)| (id, t))?;
+    let template_bytes = rt
+        .store()
+        .get(bioopera_store::Space::Template, &crate::state::keys::template(&template_name))
+        .ok()??;
+    let template: bioopera_ocr::ProcessTemplate = serde_json::from_slice(&template_bytes).ok()?;
+    let decl_name = rec.parallel_parent().unwrap_or(path);
+    match &template.task(decl_name)?.kind {
+        TaskKind::Activity { binding } => Some((binding.os.clone(), binding.hosts.clone())),
+        TaskKind::Parallel { body: bioopera_ocr::ParallelBody::Activity(b), .. } => {
+            Some((b.os.clone(), b.hosts.clone()))
+        }
+        _ => None,
+    }
+}

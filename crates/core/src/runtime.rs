@@ -1,0 +1,1800 @@
+//! The BioOpera runtime: the server loop driving whole executions.
+//!
+//! This module owns the event kernel and implements the full life of the
+//! system described in §3.2 and exercised in §5:
+//!
+//! * dispatch of ready activities to nodes (with per-activity dispatch
+//!   latency), execution in virtual time on the processor-sharing nodes,
+//!   delivery of results through the activity queue;
+//! * the recovery module: node crashes, whole-cluster failures, network
+//!   outages (results buffered at the PECs), disk-full periods (completed
+//!   activities cannot persist results and are re-run), **server crashes**
+//!   (all volatile state dropped, the store re-opened, instances rebuilt
+//!   from the instance space and resumed);
+//! * operator actions: suspend (running jobs drain), resume, abort,
+//!   process restart, external events with template event handlers;
+//! * the optional **kill-and-restart migration** strategy discussed in
+//!   §5.4 (abort TEUs starved by higher-priority external jobs and
+//!   re-schedule them elsewhere);
+//! * measurement: availability/utilization time series (Figures 5/6) and
+//!   a labeled event log.
+//!
+//! Everything the navigator decides is persisted in one atomic store batch
+//! *before* the runtime acts on it; the recovery property tests crash the
+//! runtime at arbitrary points and verify the resumed run completes with
+//! identical results.
+
+use crate::awareness::Awareness;
+use crate::dispatcher::{self, NodeView, SchedulingPolicy};
+use crate::error::{EngineError, EngineResult};
+use crate::library::{ActivityLibrary, ProgramOutput};
+use crate::navigator::{self, FailureKind, InstanceView, NavOutcome};
+use crate::state::{
+    keys, InstanceHeader, InstanceId, InstanceStatus, TaskRecord, TaskState,
+};
+use bioopera_cluster::trace::{Trace, TraceEvent, TraceEventKind};
+use bioopera_cluster::{Cluster, JobId, JobOutcome, NetworkState, SimKernel, SimTime};
+use bioopera_ocr::model::{ParallelBody, ProcessTemplate, TaskKind};
+use bioopera_ocr::value::Value;
+use bioopera_ocr::ExternalBinding;
+use bioopera_store::{Batch, Disk, Space, Store};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Events driving the runtime's kernel.
+#[derive(Debug, Clone)]
+enum EngineEvent {
+    /// A dispatched job reaches its node and starts executing.
+    JobStart { node: String, job: JobId },
+    /// A node may have finished its earliest job (validated by generation).
+    JobDone { node: String, generation: u64 },
+    /// An environment trace event fires.
+    Trace(TraceEvent),
+    /// Periodic series sampling / migration checks.
+    Heartbeat,
+    /// The warm-standby backup server assumes control (§6 future work).
+    BackupFailover,
+}
+
+/// One sample of the Figures 5/6 series.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SeriesSample {
+    /// Sample time.
+    pub at: SimTime,
+    /// Processors available from the server's perspective.
+    pub availability: u32,
+    /// Processors executing BioOpera jobs.
+    pub utilization: f64,
+}
+
+/// Aggregate statistics of a finished instance (Table 1 rows).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunStats {
+    /// Wall-clock (virtual) duration.
+    pub wall: SimTime,
+    /// Summed CPU occupancy of all executed activities.
+    pub cpu: SimTime,
+    /// Number of executed activities (parallel children count
+    /// individually; control tasks with zero cost count too).
+    pub activities: u64,
+    /// CPU per activity (`CPU(Π)/|Π|`).
+    pub cpu_per_activity: SimTime,
+    /// Peak processors in use at any series sample.
+    pub max_cpus_used: u32,
+}
+
+/// Kill-and-restart migration (§5.4 future-work strategy, implemented as
+/// an ablation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationConfig {
+    /// A job is migrated once its node has given it (almost) no CPU for
+    /// this long.
+    pub patience: SimTime,
+}
+
+/// Runtime configuration.
+pub struct RuntimeConfig {
+    /// Series sampling period (Figures 5/6 use two hours).
+    pub heartbeat: SimTime,
+    /// Wall-clock latency between dispatch and job start on the node
+    /// ("each alignment requires ... a few seconds to schedule, distribute,
+    /// initiate").
+    pub dispatch_latency: SimTime,
+    /// Reference-CPU ms charged for a program run that fails (the work
+    /// burned before the error surfaced).
+    pub failed_run_cost_ms: f64,
+    /// Scheduling policy.
+    pub policy: Box<dyn SchedulingPolicy>,
+    /// Optional kill-and-restart migration.
+    pub migration: Option<MigrationConfig>,
+    /// Warm-standby backup server (§6 future work): when set, a server
+    /// crash is followed by an automatic takeover after this delay instead
+    /// of waiting for a repair/maintenance `ServerRecover`.
+    pub backup_failover: Option<SimTime>,
+    /// Compact the store when the WAL exceeds this many bytes.
+    pub compact_wal_bytes: u64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            heartbeat: SimTime::from_hours(2),
+            dispatch_latency: SimTime::from_secs(2),
+            failed_run_cost_ms: 500.0,
+            policy: Box::new(dispatcher::LeastLoaded),
+            migration: None,
+            backup_failover: None,
+            compact_wal_bytes: 8 * 1024 * 1024,
+        }
+    }
+}
+
+/// Volatile per-instance server memory (rebuilt from the store after a
+/// server crash).
+struct InstanceMem {
+    template: ProcessTemplate,
+    header: InstanceHeader,
+    tasks: BTreeMap<String, TaskRecord>,
+}
+
+impl InstanceMem {
+    /// A *container* task's state is driven by something else — a parallel
+    /// parent by its children, a subprocess task (or a parallel child with
+    /// a subprocess body) by its child instance.  Containers are never
+    /// re-queued directly: doing so would duplicate running work.
+    fn is_container(&self, path: &str) -> bool {
+        if let Some(rec) = self.tasks.get(path) {
+            if let Some(parent) = rec.parallel_parent() {
+                return matches!(
+                    navigator::parallel_body(&self.template, parent),
+                    Some(ParallelBody::Subprocess(_))
+                );
+            }
+        }
+        matches!(
+            self.template.task(path).map(|t| &t.kind),
+            Some(TaskKind::Parallel { .. }) | Some(TaskKind::Subprocess { .. })
+        )
+    }
+}
+
+/// A job the server believes is on (or travelling to) a node.
+struct InFlight {
+    instance: InstanceId,
+    path: String,
+    node: String,
+    /// The deterministic program result, computed at dispatch.
+    result: Result<ProgramOutput, String>,
+    /// Job never reports back (paper's event 10) when set.
+    silent: bool,
+    /// Heartbeats this job has spent fully starved (for migration).
+    starved_beats: u32,
+}
+
+/// The runtime.
+pub struct Runtime<D: Disk + Clone> {
+    disk: D,
+    store: Store<D>,
+    kernel: SimKernel<EngineEvent>,
+    cluster: Cluster,
+    library: ActivityLibrary,
+    awareness: Awareness,
+    cfg: RuntimeConfig,
+
+    // ---- volatile server memory (lost on server crash) ----
+    instances: BTreeMap<InstanceId, InstanceMem>,
+    in_flight: BTreeMap<JobId, InFlight>,
+    ready_queue: VecDeque<(InstanceId, String)>,
+    next_instance_id: InstanceId,
+    next_job_id: JobId,
+
+    // ---- environment state ----
+    server_up: bool,
+    disk_full: bool,
+    operator_suspended: bool,
+    /// Completions that arrived during a network outage, buffered at PECs.
+    pec_buffer: Vec<(String, JobId, f64)>,
+    /// Pending silent-failure injections (paper event 10).
+    non_report_budget: u32,
+
+    // ---- measurement ----
+    series: Vec<SeriesSample>,
+    event_log: Vec<(SimTime, String)>,
+    heartbeat_scheduled: bool,
+    auto_restarts: u32,
+}
+
+impl<D: Disk + Clone> Runtime<D> {
+    /// Create a runtime over `disk` (recovering any existing state),
+    /// managing `cluster` with `library` and `cfg`.
+    pub fn new(
+        disk: D,
+        cluster: Cluster,
+        library: ActivityLibrary,
+        cfg: RuntimeConfig,
+    ) -> EngineResult<Self> {
+        let store = Store::open(disk.clone())?;
+        let awareness = Awareness::open(&store)?;
+        // Record the hardware configuration (§3.2: configuration space).
+        for node in cluster.nodes() {
+            store.put(
+                Space::Configuration,
+                keys::node(&node.spec.name),
+                serde_json::to_vec(&node.spec).map_err(bioopera_store::StoreError::from)?,
+            )?;
+        }
+        let mut rt = Runtime {
+            disk,
+            store,
+            kernel: SimKernel::new(),
+            cluster,
+            library,
+            awareness,
+            cfg,
+            instances: BTreeMap::new(),
+            in_flight: BTreeMap::new(),
+            ready_queue: VecDeque::new(),
+            next_instance_id: 1,
+            next_job_id: 1,
+            server_up: true,
+            disk_full: false,
+            operator_suspended: false,
+            pec_buffer: Vec::new(),
+            non_report_budget: 0,
+            series: Vec::new(),
+            event_log: Vec::new(),
+            heartbeat_scheduled: false,
+            auto_restarts: 0,
+        };
+        rt.rebuild_from_store()?;
+        Ok(rt)
+    }
+
+    // ------------------------------------------------------------------
+    // Public API
+    // ------------------------------------------------------------------
+
+    /// Validate a template and admit it to the template space.
+    pub fn register_template(&mut self, t: &ProcessTemplate) -> EngineResult<()> {
+        bioopera_ocr::validate(t)?;
+        self.store.put(
+            Space::Template,
+            keys::template(&t.name),
+            serde_json::to_vec(t).map_err(bioopera_store::StoreError::from)?,
+        )?;
+        Ok(())
+    }
+
+    /// Start an instance of `template_name` with initial whiteboard data.
+    pub fn submit(
+        &mut self,
+        template_name: &str,
+        initial: BTreeMap<String, Value>,
+    ) -> EngineResult<InstanceId> {
+        self.instantiate(template_name, initial, None)
+    }
+
+    fn instantiate(
+        &mut self,
+        template_name: &str,
+        initial: BTreeMap<String, Value>,
+        parent: Option<(InstanceId, String)>,
+    ) -> EngineResult<InstanceId> {
+        let template = self.load_template(template_name)?;
+        let id = self.next_instance_id;
+        self.next_instance_id += 1;
+        let mut header = InstanceHeader {
+            id,
+            template: template_name.to_string(),
+            status: InstanceStatus::Running,
+            whiteboard: BTreeMap::new(),
+            parent,
+            created_at: self.kernel.now(),
+            ended_at: None,
+        };
+        let mut tasks = BTreeMap::new();
+        let outcome = {
+            let mut view =
+                InstanceView { template: &template, header: &mut header, tasks: &mut tasks };
+            navigator::init_instance(&mut view, &initial)?
+        };
+        let mem = InstanceMem { template, header, tasks };
+        self.instances.insert(id, mem);
+        self.persist_full_instance(id)?;
+        self.awareness.record(
+            &self.store,
+            self.kernel.now(),
+            "instance.start",
+            format!("{id} ({template_name})"),
+        )?;
+        self.apply_outcome(id, outcome)?;
+        self.ensure_heartbeat();
+        Ok(id)
+    }
+
+    fn load_template(&self, name: &str) -> EngineResult<ProcessTemplate> {
+        let bytes = self
+            .store
+            .get(Space::Template, &keys::template(name))?
+            .ok_or_else(|| EngineError::UnknownTemplate(name.to_string()))?;
+        serde_json::from_slice(&bytes)
+            .map_err(|e| EngineError::Internal(format!("corrupt template {name}: {e}")))
+    }
+
+    /// Install an environment trace (schedules every event).
+    pub fn install_trace(&mut self, trace: &Trace) {
+        for ev in trace.sorted_events() {
+            self.kernel.schedule_at(ev.at, EngineEvent::Trace(ev));
+        }
+    }
+
+    /// Drive the simulation until every instance is terminal.
+    pub fn run_to_completion(&mut self) -> EngineResult<()> {
+        while self.step()? {}
+        Ok(())
+    }
+
+    /// One scheduler iteration: dispatch, then process the next event.
+    /// Returns `Ok(false)` once every instance is terminal.
+    pub fn step(&mut self) -> EngineResult<bool> {
+        if !self.instances.is_empty() && self.all_terminal() {
+            return Ok(false);
+        }
+        self.pump()?;
+        self.ensure_heartbeat();
+        match self.kernel.pop() {
+            Some((at, ev)) => {
+                self.handle(at, ev)?;
+                Ok(true)
+            }
+            None => {
+                if self.all_terminal() {
+                    return Ok(false);
+                }
+                if self.try_unstall()? {
+                    return Ok(true);
+                }
+                Err(EngineError::Internal(format!(
+                    "deadlock at {}: no pending events but instances incomplete \
+                     (queue={}, in_flight={}, suspended={})",
+                    self.kernel.now(),
+                    self.ready_queue.len(),
+                    self.in_flight.len(),
+                    self.operator_suspended,
+                )))
+            }
+        }
+    }
+
+    /// Events processed so far (progress reporting).
+    pub fn events_processed(&self) -> u64 {
+        self.kernel.processed()
+    }
+
+    /// Activities waiting in the activity queue.
+    pub fn ready_queue_len(&self) -> usize {
+        self.ready_queue.len()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.now()
+    }
+
+    /// Status of an instance.
+    pub fn instance_status(&self, id: InstanceId) -> Option<InstanceStatus> {
+        self.instances.get(&id).map(|m| m.header.status)
+    }
+
+    /// Whiteboard of an instance.
+    pub fn whiteboard(&self, id: InstanceId) -> Option<&BTreeMap<String, Value>> {
+        self.instances.get(&id).map(|m| &m.header.whiteboard)
+    }
+
+    /// A task record.
+    pub fn task_record(&self, id: InstanceId, path: &str) -> Option<&TaskRecord> {
+        self.instances.get(&id).and_then(|m| m.tasks.get(path))
+    }
+
+    /// All task records of an instance.
+    pub fn task_records(&self, id: InstanceId) -> Option<&BTreeMap<String, TaskRecord>> {
+        self.instances.get(&id).map(|m| &m.tasks)
+    }
+
+    /// The recorded availability/utilization series.
+    pub fn series(&self) -> &[SeriesSample] {
+        &self.series
+    }
+
+    /// The labeled event log (trace labels + engine reactions).
+    pub fn event_log(&self) -> &[(SimTime, String)] {
+        &self.event_log
+    }
+
+    /// The persistent store (for planner/history queries).
+    pub fn store(&self) -> &Store<D> {
+        &self.store
+    }
+
+    /// The cluster (for planner queries).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// The awareness model.
+    pub fn awareness(&self) -> &Awareness {
+        &self.awareness
+    }
+
+    /// Instances known to the server, with status.
+    pub fn instances(&self) -> Vec<(InstanceId, InstanceStatus, String)> {
+        self.instances
+            .iter()
+            .map(|(id, m)| (*id, m.header.status, m.header.template.clone()))
+            .collect()
+    }
+
+    /// Jobs currently in flight: `(instance, task path, node)`.
+    pub fn in_flight_jobs(&self) -> Vec<(InstanceId, String, String)> {
+        self.in_flight
+            .values()
+            .map(|f| (f.instance, f.path.clone(), f.node.clone()))
+            .collect()
+    }
+
+    /// How many times the runtime performed the automatic operator-restart
+    /// that re-schedules non-reporting TEUs.
+    pub fn auto_restarts(&self) -> u32 {
+        self.auto_restarts
+    }
+
+    /// Aggregate statistics of one instance (plus all its subprocess
+    /// children).
+    pub fn stats(&self, id: InstanceId) -> EngineResult<RunStats> {
+        let mem = self.instances.get(&id).ok_or(EngineError::UnknownInstance(id))?;
+        let mut cpu_ms = 0.0f64;
+        let mut activities = 0u64;
+        let mut stack = vec![id];
+        while let Some(cur) = stack.pop() {
+            let m = self.instances.get(&cur).ok_or(EngineError::UnknownInstance(cur))?;
+            for rec in m.tasks.values() {
+                let is_container = match rec.parallel_parent() {
+                    // Children of a parallel-subprocess body proxy a child
+                    // instance: their CPU is counted in that instance.
+                    Some(parent) => matches!(
+                        crate::navigator::parallel_body(&m.template, parent),
+                        Some(ParallelBody::Subprocess(_))
+                    ),
+                    None => matches!(
+                        m.template.task(&rec.path).map(|t| &t.kind),
+                        Some(TaskKind::Parallel { .. }) | Some(TaskKind::Subprocess { .. })
+                    ),
+                };
+                if is_container {
+                    continue; // their work is counted via children
+                }
+                if rec.state == TaskState::Ended {
+                    cpu_ms += rec.cpu_ms;
+                    activities += 1;
+                }
+            }
+            // Children instances.
+            for (cid, cm) in &self.instances {
+                if cm.header.parent.as_ref().map(|(p, _)| *p) == Some(cur) {
+                    stack.push(*cid);
+                }
+            }
+        }
+        let wall = mem
+            .header
+            .ended_at
+            .unwrap_or(self.kernel.now())
+            .saturating_sub(mem.header.created_at);
+        let max_cpus_used = self
+            .series
+            .iter()
+            .map(|s| s.utilization.round() as u32)
+            .max()
+            .unwrap_or(0);
+        Ok(RunStats {
+            wall,
+            cpu: SimTime::from_millis(cpu_ms.round() as u64),
+            activities,
+            cpu_per_activity: SimTime::from_millis(if activities == 0 {
+                0
+            } else {
+                (cpu_ms / activities as f64).round() as u64
+            }),
+            max_cpus_used,
+        })
+    }
+
+    /// Operator suspend of one instance: drain running jobs, start nothing.
+    pub fn suspend(&mut self, id: InstanceId) -> EngineResult<()> {
+        let mem = self.instances.get_mut(&id).ok_or(EngineError::UnknownInstance(id))?;
+        if mem.header.status == InstanceStatus::Running {
+            mem.header.status = InstanceStatus::Suspended;
+            self.persist_header(id)?;
+            self.log(format!("instance {id} suspended"));
+        }
+        Ok(())
+    }
+
+    /// Operator resume.
+    pub fn resume(&mut self, id: InstanceId) -> EngineResult<()> {
+        let outcome = {
+            let mem = self.instances.get_mut(&id).ok_or(EngineError::UnknownInstance(id))?;
+            let mut view = InstanceView {
+                template: &mem.template,
+                header: &mut mem.header,
+                tasks: &mut mem.tasks,
+            };
+            navigator::on_resume(&mut view)
+        };
+        self.persist_after_nav(id, &outcome, &[])?;
+        self.apply_outcome(id, outcome)?;
+        self.log(format!("instance {id} resumed"));
+        Ok(())
+    }
+
+    /// Operator abort.
+    pub fn abort(&mut self, id: InstanceId) -> EngineResult<()> {
+        let now = self.kernel.now();
+        let jobs: Vec<JobId> = self
+            .in_flight
+            .iter()
+            .filter(|(_, f)| f.instance == id)
+            .map(|(j, _)| *j)
+            .collect();
+        for job in jobs {
+            if let Some(f) = self.in_flight.remove(&job) {
+                if let Some(n) = self.cluster.node_mut(&f.node) {
+                    n.abort_job(now, job);
+                }
+            }
+        }
+        if let Some(mem) = self.instances.get_mut(&id) {
+            mem.header.status = InstanceStatus::Aborted;
+            mem.header.ended_at = Some(now);
+        }
+        self.persist_header(id)?;
+        self.resync_all_nodes();
+        self.log(format!("instance {id} aborted by operator"));
+        Ok(())
+    }
+
+    /// Operator process restart: every in-flight task of the instance is
+    /// pulled back and re-queued ("the process was re-started and BioOpera
+    /// immediately re-scheduled the TEUs that then completed successfully").
+    pub fn restart_instance(&mut self, id: InstanceId) -> EngineResult<()> {
+        let now = self.kernel.now();
+        let jobs: Vec<JobId> = self
+            .in_flight
+            .iter()
+            .filter(|(_, f)| f.instance == id)
+            .map(|(j, _)| *j)
+            .collect();
+        for job in jobs {
+            if let Some(f) = self.in_flight.remove(&job) {
+                if let Some(n) = self.cluster.node_mut(&f.node) {
+                    n.abort_job(now, job);
+                }
+            }
+        }
+        let mut outcome = NavOutcome::default();
+        if let Some(mem) = self.instances.get(&id) {
+            let restartable: Vec<String> = mem
+                .tasks
+                .iter()
+                .filter(|(path, rec)| {
+                    rec.state == TaskState::Dispatched && !mem.is_container(path)
+                })
+                .map(|(path, _)| path.clone())
+                .collect();
+            let mem = self.instances.get_mut(&id).expect("exists");
+            for path in restartable {
+                let rec = mem.tasks.get_mut(&path).expect("exists");
+                rec.state = TaskState::Ready;
+                rec.node = None;
+                outcome.newly_ready.push(path);
+            }
+        }
+        self.persist_after_nav(id, &outcome, &[])?;
+        self.apply_outcome(id, outcome)?;
+        self.resync_all_nodes();
+        self.log(format!("instance {id} restarted; in-flight TEUs re-scheduled"));
+        Ok(())
+    }
+
+    /// Selective recomputation (§6, lineage tracking): start a new
+    /// instance of the same template that **reuses** the recorded outputs
+    /// of every task unaffected by the `changed` set and re-executes only
+    /// the downstream closure — "recompute processes as data inputs or
+    /// algorithms change" without starting from the beginning.
+    ///
+    /// The source instance must be terminal.  Returns the new instance id.
+    pub fn recompute(&mut self, source: InstanceId, changed: &[&str]) -> EngineResult<InstanceId> {
+        let (template_name, reuse_records, whiteboard) = {
+            let mem = self.instances.get(&source).ok_or(EngineError::UnknownInstance(source))?;
+            if !mem.header.status.is_terminal() {
+                return Err(EngineError::BadStatus(format!(
+                    "instance {source} is still running; recompute needs a terminal source"
+                )));
+            }
+            let plan = crate::lineage::RecomputePlan::build(
+                &mem.template,
+                &mem.tasks,
+                source,
+                changed,
+            )?;
+            let mut reuse: Vec<TaskRecord> = plan
+                .reuse
+                .iter()
+                .filter_map(|p| mem.tasks.get(p).cloned())
+                .collect();
+            // Replay mapping phases in original completion order so
+            // whiteboard overwrites resolve the same way they did.
+            reuse.sort_by_key(|r| r.ended_at.unwrap_or(SimTime::ZERO));
+            (mem.header.template.clone(), reuse, mem.header.whiteboard.clone())
+        };
+        let id = self.instantiate(&template_name, whiteboard, None)?;
+        let outcome = {
+            let mem = self.instances.get_mut(&id).expect("fresh instance exists");
+            let mut view = InstanceView {
+                template: &mem.template,
+                header: &mut mem.header,
+                tasks: &mut mem.tasks,
+            };
+            let mut replay_order = Vec::new();
+            for rec in reuse_records {
+                let mut r = rec;
+                // Reused work costs nothing in the new instance's books.
+                r.cpu_ms = 0.0;
+                replay_order.push((r.state, r.path.clone()));
+                view.tasks.insert(r.path.clone(), r);
+            }
+            for (state, path) in replay_order {
+                if state == TaskState::Ended {
+                    navigator::replay_mapping(&mut view, &path);
+                }
+            }
+            navigator::reevaluate(&mut view, self.kernel.now())?
+        };
+        self.persist_full_instance(id)?;
+        self.awareness.record(
+            &self.store,
+            self.kernel.now(),
+            "instance.recompute",
+            format!("{id} from {source}, changed: {}", changed.join(",")),
+        )?;
+        self.apply_outcome(id, outcome)?;
+        self.log(format!(
+            "instance {id}: selective recomputation of {} (reusing the rest of instance {source})",
+            changed.join(", ")
+        ));
+        Ok(id)
+    }
+
+    /// Signal a named event to an instance (runs its `ON EVENT` handlers).
+    pub fn signal_event(&mut self, id: InstanceId, event: &str) -> EngineResult<()> {
+        let actions: Vec<bioopera_ocr::model::EventAction> = {
+            let mem = self.instances.get(&id).ok_or(EngineError::UnknownInstance(id))?;
+            mem.template
+                .on_event
+                .iter()
+                .filter(|h| h.event == event)
+                .map(|h| h.action.clone())
+                .collect()
+        };
+        for action in actions {
+            use bioopera_ocr::model::EventAction::*;
+            match action {
+                Suspend => self.suspend(id)?,
+                Resume => self.resume(id)?,
+                Abort => self.abort(id)?,
+                SetData(field, e) => {
+                    let value = {
+                        let mem = self.instances.get_mut(&id).unwrap();
+                        let view = InstanceView {
+                            template: &mem.template,
+                            header: &mut mem.header,
+                            tasks: &mut mem.tasks,
+                        };
+                        navigator::eval_in_instance(&view, &e)?
+                    };
+                    let mem = self.instances.get_mut(&id).unwrap();
+                    mem.header.whiteboard.insert(field.clone(), value);
+                    self.persist_header(id)?;
+                    self.log(format!("instance {id}: event {event} set {field}"));
+                }
+            }
+        }
+        self.awareness.record(&self.store, self.kernel.now(), "event.signal", format!("{id}: {event}"))?;
+        Ok(())
+    }
+
+    /// Crash the server immediately (test hook; traces use
+    /// `TraceEventKind::ServerCrash`).
+    pub fn crash_server(&mut self) -> EngineResult<()> {
+        self.on_server_crash()
+    }
+
+    /// Recover the server immediately (test hook).
+    pub fn recover_server(&mut self) -> EngineResult<()> {
+        self.on_server_recover()
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, at: SimTime, ev: EngineEvent) -> EngineResult<()> {
+        match ev {
+            EngineEvent::JobStart { node, job } => self.on_job_start(at, &node, job),
+            EngineEvent::JobDone { node, generation } => self.on_job_done(at, &node, generation),
+            EngineEvent::Trace(t) => self.on_trace(at, t),
+            EngineEvent::Heartbeat => self.on_heartbeat(at),
+            EngineEvent::BackupFailover => {
+                if !self.server_up {
+                    self.on_server_recover()?;
+                    self.log("backup server assumed control".into());
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn on_job_start(&mut self, at: SimTime, node_name: &str, job: JobId) -> EngineResult<()> {
+        if !self.server_up {
+            return Ok(()); // dispatch was annulled by the server crash
+        }
+        let Some(flight) = self.in_flight.get(&job) else {
+            return Ok(()); // annulled (abort/restart)
+        };
+        let work = match &flight.result {
+            Ok(out) => out.cost_ref_ms.max(1.0),
+            Err(_) => self.cfg.failed_run_cost_ms.max(1.0),
+        };
+        let node_up = self.cluster.node(node_name).map(|n| n.is_up()).unwrap_or(false);
+        if !node_up {
+            // Node died while the job was in transit: system failure.
+            let flight = self.in_flight.remove(&job).expect("checked above");
+            self.system_failure(flight.instance, &flight.path, "node down at job start")?;
+            return Ok(());
+        }
+        let node = self.cluster.node_mut(node_name).expect("node exists");
+        node.start_job(at, job, work);
+        self.resync_node(node_name);
+        Ok(())
+    }
+
+    fn on_job_done(&mut self, at: SimTime, node_name: &str, generation: u64) -> EngineResult<()> {
+        let Some(node) = self.cluster.node_mut(node_name) else {
+            return Ok(());
+        };
+        if node.generation != generation || !node.is_up() {
+            return Ok(()); // stale completion event
+        }
+        let finished = node.take_finished(at);
+        for (job, outcome) in finished {
+            let cpu_ms = match outcome {
+                JobOutcome::Completed { cpu_ms } => cpu_ms,
+                JobOutcome::Killed => 0.0,
+            };
+            self.deliver_completion(at, node_name, job, cpu_ms)?;
+        }
+        self.resync_node(node_name);
+        Ok(())
+    }
+
+    /// A PEC reports a finished job back to the server's activity queue.
+    fn deliver_completion(
+        &mut self,
+        at: SimTime,
+        node_name: &str,
+        job: JobId,
+        cpu_ms: f64,
+    ) -> EngineResult<()> {
+        if self.cluster.network() == NetworkState::Down {
+            // Buffered at the PEC until connectivity returns.
+            self.pec_buffer.push((node_name.to_string(), job, cpu_ms));
+            return Ok(());
+        }
+        if !self.server_up {
+            // Server down: the PEC cannot deliver; with the server's
+            // volatile state gone the result is useless — recovery re-runs
+            // the task.
+            return Ok(());
+        }
+        let Some(flight) = self.in_flight.remove(&job) else {
+            return Ok(()); // annulled
+        };
+        if flight.silent {
+            // Paper event 10: the TEU finished but never reported.
+            self.awareness.record(&self.store, at, "task.nonreport", flight.path.clone())?;
+            return Ok(());
+        }
+        if self.disk_full {
+            // Results cannot be persisted: the activity is treated as
+            // failed by the environment and will be re-run.
+            self.awareness.record(&self.store, at, "task.diskfull", flight.path.clone())?;
+            self.system_failure(flight.instance, &flight.path, "disk full")?;
+            return Ok(());
+        }
+        match flight.result {
+            Ok(out) => {
+                let outcome = {
+                    let Some(mem) = self.instances.get_mut(&flight.instance) else {
+                        return Ok(());
+                    };
+                    let mut view = InstanceView {
+                        template: &mem.template,
+                        header: &mut mem.header,
+                        tasks: &mut mem.tasks,
+                    };
+                    navigator::on_task_ended(&mut view, &flight.path, out.outputs, at, cpu_ms)?
+                };
+                self.awareness.record(&self.store, at, "task.end", format!("{} on {}", flight.path, node_name))?;
+                self.persist_after_nav(flight.instance, &outcome, &[flight.path.clone()])?;
+                self.apply_outcome(flight.instance, outcome)?;
+            }
+            Err(msg) => {
+                let outcome = {
+                    let Some(mem) = self.instances.get_mut(&flight.instance) else {
+                        return Ok(());
+                    };
+                    let mut view = InstanceView {
+                        template: &mem.template,
+                        header: &mut mem.header,
+                        tasks: &mut mem.tasks,
+                    };
+                    navigator::on_task_failed(&mut view, &flight.path, FailureKind::Program, at)?
+                };
+                self.awareness.record(
+                    &self.store,
+                    at,
+                    "task.fail",
+                    format!("{}: {msg}", flight.path),
+                )?;
+                self.persist_after_nav(flight.instance, &outcome, &[flight.path.clone()])?;
+                self.apply_outcome(flight.instance, outcome)?;
+            }
+        }
+        self.maybe_compact()?;
+        Ok(())
+    }
+
+    fn on_trace(&mut self, at: SimTime, ev: TraceEvent) -> EngineResult<()> {
+        if let Some(label) = &ev.label {
+            self.log(label.clone());
+        }
+        match ev.kind {
+            TraceEventKind::NodeDown(name) => {
+                let killed = match self.cluster.node_mut(&name) {
+                    Some(n) => n.crash(at),
+                    None => Vec::new(),
+                };
+                if self.server_up {
+                    self.awareness.record(&self.store, at, "node.crash", name.clone())?;
+                }
+                self.fail_jobs(&killed, "node crash")?;
+            }
+            TraceEventKind::NodeUp(name) => {
+                if let Some(n) = self.cluster.node_mut(&name) {
+                    n.recover(at);
+                }
+                if self.server_up {
+                    self.awareness.record(&self.store, at, "node.recover", name)?;
+                }
+            }
+            TraceEventKind::AllNodesDown => {
+                let mut killed = Vec::new();
+                for n in self.cluster.nodes_mut() {
+                    killed.extend(n.crash(at));
+                }
+                if self.server_up {
+                    self.awareness.record(&self.store, at, "cluster.failure", "all nodes down")?;
+                }
+                self.fail_jobs(&killed, "cluster failure")?;
+            }
+            TraceEventKind::AllNodesUp => {
+                for n in self.cluster.nodes_mut() {
+                    n.recover(at);
+                }
+                if self.server_up {
+                    self.awareness.record(&self.store, at, "cluster.recover", "all nodes up")?;
+                }
+            }
+            TraceEventKind::NetworkDown => {
+                self.cluster.set_network(NetworkState::Down);
+            }
+            TraceEventKind::NetworkUp => {
+                self.cluster.set_network(NetworkState::Up);
+                // Deliver everything the PECs buffered.
+                let buffered = std::mem::take(&mut self.pec_buffer);
+                for (node, job, cpu_ms) in buffered {
+                    self.deliver_completion(at, &node, job, cpu_ms)?;
+                }
+            }
+            TraceEventKind::ExternalLoadAll { fraction } => {
+                for n in self.cluster.nodes_mut() {
+                    let cpus = n.cpus_online() as f64;
+                    n.set_external_load(at, fraction * cpus);
+                }
+                self.resync_all_nodes();
+            }
+            TraceEventKind::ExternalLoad { node, cpus } => {
+                if let Some(n) = self.cluster.node_mut(&node) {
+                    n.set_external_load(at, cpus);
+                }
+                self.resync_node(&node);
+            }
+            TraceEventKind::UpgradeAllTo { cpus } => {
+                for n in self.cluster.nodes_mut() {
+                    n.set_cpus(at, cpus);
+                }
+                if self.server_up {
+                    self.awareness.record(&self.store, at, "cluster.upgrade", format!("{cpus} CPUs/node"))?;
+                }
+                self.resync_all_nodes();
+            }
+            TraceEventKind::ServerCrash => self.on_server_crash()?,
+            TraceEventKind::ServerRecover => self.on_server_recover()?,
+            TraceEventKind::OperatorSuspend => {
+                self.operator_suspended = true;
+                if self.server_up {
+                    self.awareness.record(&self.store, at, "operator.suspend", "")?;
+                }
+            }
+            TraceEventKind::OperatorResume => {
+                self.operator_suspended = false;
+                if self.server_up {
+                    self.awareness.record(&self.store, at, "operator.resume", "")?;
+                }
+                let ids: Vec<InstanceId> = self.instances.keys().copied().collect();
+                for id in ids {
+                    if self.instance_status(id) == Some(InstanceStatus::Suspended) {
+                        self.resume(id)?;
+                    }
+                }
+            }
+            TraceEventKind::DiskFull => {
+                self.disk_full = true;
+            }
+            TraceEventKind::DiskFreed => {
+                self.disk_full = false;
+            }
+            TraceEventKind::TaskNonReport { count } => {
+                // Mark up to `count` in-flight jobs as silent.
+                let mut remaining = count;
+                for flight in self.in_flight.values_mut() {
+                    if remaining == 0 {
+                        break;
+                    }
+                    if !flight.silent {
+                        flight.silent = true;
+                        remaining -= 1;
+                    }
+                }
+                self.non_report_budget += count - remaining;
+            }
+        }
+        Ok(())
+    }
+
+    fn on_heartbeat(&mut self, at: SimTime) -> EngineResult<()> {
+        self.heartbeat_scheduled = false;
+        self.cluster.advance_all(at);
+        self.series.push(SeriesSample {
+            at,
+            availability: self.cluster.availability(),
+            utilization: self.cluster.utilization(),
+        });
+        // Stall watchdog: nothing running, nothing queued, server healthy,
+        // yet instances incomplete — the signature of TEUs that finished
+        // but never reported (paper event 10).  The operator "re-starts
+        // the process and BioOpera immediately re-schedules the TEUs".
+        if self.server_up
+            && !self.operator_suspended
+            && self.cluster.network() == NetworkState::Up
+            && self.in_flight.is_empty()
+            && self.ready_queue.is_empty()
+        {
+            let stuck: Vec<InstanceId> = self
+                .instances
+                .iter()
+                .filter(|(_, m)| {
+                    m.header.status == InstanceStatus::Running
+                        && m.tasks.values().any(|r| {
+                            r.state == TaskState::Dispatched && !m.is_container(&r.path)
+                        })
+                })
+                .map(|(id, _)| *id)
+                .collect();
+            if !stuck.is_empty() {
+                for id in stuck {
+                    self.restart_instance(id)?;
+                }
+                self.auto_restarts += 1;
+            }
+        }
+        // Kill-and-restart migration: abort fully-starved jobs.
+        if let Some(mig) = self.cfg.migration {
+            let beats_needed =
+                (mig.patience.as_millis() / self.cfg.heartbeat.as_millis().max(1)).max(1) as u32;
+            let starved: Vec<JobId> = self
+                .in_flight
+                .iter_mut()
+                .filter_map(|(job, f)| {
+                    let starved = self
+                        .cluster
+                        .node(&f.node)
+                        .map(|n| n.is_up() && n.cpus_online() as f64 <= n.external_cpus())
+                        .unwrap_or(false);
+                    if starved {
+                        f.starved_beats += 1;
+                        (f.starved_beats >= beats_needed).then_some(*job)
+                    } else {
+                        f.starved_beats = 0;
+                        None
+                    }
+                })
+                .collect();
+            for job in starved {
+                if let Some(f) = self.in_flight.remove(&job) {
+                    if let Some(n) = self.cluster.node_mut(&f.node) {
+                        n.abort_job(at, job);
+                    }
+                    self.awareness.record(&self.store, at, "task.migrate", f.path.clone())?;
+                    self.system_failure(f.instance, &f.path, "migrated off starved node")?;
+                    self.resync_node(&f.node);
+                }
+            }
+        }
+        self.ensure_heartbeat();
+        Ok(())
+    }
+
+    fn ensure_heartbeat(&mut self) {
+        // Re-arm only while something can still change: pending events
+        // (trace, job completions), queued or in-flight work.  When the
+        // world is truly quiescent the run loop's unstall logic takes
+        // over; an unconditional re-arm would tick forever on a stuck
+        // instance.
+        let work_remains = !self.all_terminal()
+            && (self.kernel.pending() > 0
+                || !self.in_flight.is_empty()
+                || !self.ready_queue.is_empty());
+        if work_remains && !self.heartbeat_scheduled {
+            self.kernel.schedule_after(self.cfg.heartbeat, EngineEvent::Heartbeat);
+            self.heartbeat_scheduled = true;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Server crash / recovery
+    // ------------------------------------------------------------------
+
+    fn on_server_crash(&mut self) -> EngineResult<()> {
+        if !self.server_up {
+            return Ok(());
+        }
+        let now = self.kernel.now();
+        self.server_up = false;
+        // "When the BioOpera server fails, ongoing processes are stopped."
+        let jobs: Vec<(JobId, String)> = self
+            .in_flight
+            .iter()
+            .map(|(j, f)| (*j, f.node.clone()))
+            .collect();
+        for (job, node) in jobs {
+            if let Some(n) = self.cluster.node_mut(&node) {
+                n.abort_job(now, job);
+            }
+        }
+        // All volatile server memory is gone.
+        self.instances.clear();
+        self.in_flight.clear();
+        self.ready_queue.clear();
+        self.pec_buffer.clear();
+        self.store.poison();
+        self.resync_all_nodes();
+        if let Some(delay) = self.cfg.backup_failover {
+            self.kernel.schedule_after(delay, EngineEvent::BackupFailover);
+        }
+        self.log("server crash: volatile state lost; jobs stopped".into());
+        Ok(())
+    }
+
+    fn on_server_recover(&mut self) -> EngineResult<()> {
+        if self.server_up {
+            return Ok(());
+        }
+        self.store = Store::open(self.disk.clone())?;
+        self.awareness = Awareness::open(&self.store)?;
+        self.server_up = true;
+        self.rebuild_from_store()?;
+        self.awareness.record(&self.store, self.kernel.now(), "server.recover", "")?;
+        self.log("server recovered: instances rebuilt from the instance space".into());
+        self.ensure_heartbeat();
+        Ok(())
+    }
+
+    /// Rebuild all volatile state from the persistent spaces (cold start
+    /// and post-crash recovery use the same path).
+    fn rebuild_from_store(&mut self) -> EngineResult<()> {
+        self.instances.clear();
+        self.ready_queue.clear();
+        self.in_flight.clear();
+        let headers = self.store.scan_prefix(Space::Instance, "inst/")?;
+        let mut ids: Vec<InstanceId> = Vec::new();
+        for (key, bytes) in &headers {
+            if key.ends_with("/header") {
+                let header: InstanceHeader = serde_json::from_slice(bytes)
+                    .map_err(|e| EngineError::Internal(format!("corrupt header {key}: {e}")))?;
+                ids.push(header.id);
+                let template = self.load_template(&header.template)?;
+                self.instances.insert(
+                    header.id,
+                    InstanceMem { template, header, tasks: BTreeMap::new() },
+                );
+            }
+        }
+        for (key, bytes) in &headers {
+            if let Some(rest) = key.strip_prefix("inst/") {
+                if let Some((id_str, task_key)) = rest.split_once("/task/") {
+                    let id: InstanceId = id_str
+                        .parse()
+                        .map_err(|_| EngineError::Internal(format!("bad key {key}")))?;
+                    let rec: TaskRecord = serde_json::from_slice(bytes)
+                        .map_err(|e| EngineError::Internal(format!("corrupt task {key}: {e}")))?;
+                    if let Some(mem) = self.instances.get_mut(&id) {
+                        mem.tasks.insert(task_key.to_string(), rec);
+                    }
+                }
+            }
+        }
+        self.next_instance_id = ids.iter().max().map(|m| m + 1).unwrap_or(1);
+        // In-flight work was lost with the server: re-queue it.  Container
+        // tasks (parallel parents, subprocesses) stay Dispatched — their
+        // children records / child instances drive them.
+        let mut requeue: Vec<(InstanceId, String)> = Vec::new();
+        for (id, mem) in self.instances.iter() {
+            if mem.header.status.is_terminal() {
+                continue;
+            }
+            for (path, rec) in mem.tasks.iter() {
+                match rec.state {
+                    TaskState::Dispatched if !mem.is_container(path) => {
+                        requeue.push((*id, path.clone()));
+                    }
+                    TaskState::Ready => requeue.push((*id, path.clone())),
+                    _ => {}
+                }
+            }
+        }
+        requeue.sort();
+        for (id, path) in requeue {
+            let mem = self.instances.get_mut(&id).expect("exists");
+            let rec = mem.tasks.get_mut(&path).expect("exists");
+            if rec.state == TaskState::Dispatched {
+                rec.state = TaskState::Ready;
+                rec.node = None;
+            }
+            self.persist_task(id, &path)?;
+            self.ready_queue.push_back((id, path));
+        }
+        // Reconcile the rare crash window between "child instance became
+        // terminal" and "parent task concluded": deliver those completions
+        // now so the parent is not stuck in Dispatched forever.
+        let pending_children: Vec<(InstanceId, String, InstanceId, bool)> = self
+            .instances
+            .iter()
+            .filter_map(|(cid, cm)| {
+                let (pid, ptask) = cm.header.parent.clone()?;
+                if !cm.header.status.is_terminal() {
+                    return None;
+                }
+                let parent = self.instances.get(&pid)?;
+                let rec = parent.tasks.get(&ptask)?;
+                (rec.state == TaskState::Dispatched).then(|| {
+                    (pid, ptask, *cid, cm.header.status == InstanceStatus::Completed)
+                })
+            })
+            .collect();
+        for (pid, ptask, cid, success) in pending_children {
+            self.on_child_instance_done(pid, &ptask, cid, success)?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch
+    // ------------------------------------------------------------------
+
+    /// Try to dispatch everything in the ready queue.
+    fn pump(&mut self) -> EngineResult<()> {
+        if !self.server_up || self.operator_suspended || self.cluster.network() == NetworkState::Down
+        {
+            return Ok(());
+        }
+        let mut deferred: VecDeque<(InstanceId, String)> = VecDeque::new();
+        while let Some((id, path)) = self.ready_queue.pop_front() {
+            let Some(mem) = self.instances.get(&id) else {
+                continue;
+            };
+            if mem.header.status != InstanceStatus::Running {
+                deferred.push_back((id, path));
+                continue;
+            }
+            let Some(rec) = mem.tasks.get(&path) else {
+                continue;
+            };
+            if rec.state != TaskState::Ready {
+                continue; // stale queue entry
+            }
+            match self.task_flavor(id, &path) {
+                TaskFlavor::Activity(binding) => {
+                    if !self.dispatch_activity(id, &path, &binding)? {
+                        deferred.push_back((id, path));
+                    }
+                }
+                TaskFlavor::ParallelParent => {
+                    let (children, outcome) = {
+                        let mem = self.instances.get_mut(&id).expect("exists");
+                        let mut view = InstanceView {
+                            template: &mem.template,
+                            header: &mut mem.header,
+                            tasks: &mut mem.tasks,
+                        };
+                        navigator::expand_parallel(&mut view, &path, self.kernel.now())?
+                    };
+                    let extra: Vec<String> =
+                        children.iter().cloned().chain([path.clone()]).collect();
+                    self.persist_after_nav(id, &outcome, &extra)?;
+                    for child in children {
+                        self.ready_queue.push_back((id, child));
+                    }
+                    self.apply_outcome(id, outcome)?;
+                }
+                TaskFlavor::Subprocess(template_name) => {
+                    self.start_subprocess(id, &path, &template_name)?;
+                }
+                TaskFlavor::Unknown => {
+                    return Err(EngineError::Internal(format!(
+                        "task {path} of instance {id} has no flavor"
+                    )));
+                }
+            }
+        }
+        self.ready_queue = deferred;
+        Ok(())
+    }
+
+    fn task_flavor(&self, id: InstanceId, path: &str) -> TaskFlavor {
+        let Some(mem) = self.instances.get(&id) else {
+            return TaskFlavor::Unknown;
+        };
+        let rec = &mem.tasks[path];
+        if let Some(parent) = rec.parallel_parent() {
+            return match navigator::parallel_body(&mem.template, parent) {
+                Some(ParallelBody::Activity(b)) => TaskFlavor::Activity(b.clone()),
+                Some(ParallelBody::Subprocess(t)) => TaskFlavor::Subprocess(t.clone()),
+                None => TaskFlavor::Unknown,
+            };
+        }
+        match mem.template.task(path).map(|t| &t.kind) {
+            Some(TaskKind::Activity { binding }) => TaskFlavor::Activity(binding.clone()),
+            Some(TaskKind::Parallel { .. }) => TaskFlavor::ParallelParent,
+            Some(TaskKind::Subprocess { template }) => TaskFlavor::Subprocess(template.clone()),
+            None => TaskFlavor::Unknown,
+        }
+    }
+
+    /// Dispatch one activity; `false` means no node is available now.
+    fn dispatch_activity(
+        &mut self,
+        id: InstanceId,
+        path: &str,
+        binding: &ExternalBinding,
+    ) -> EngineResult<bool> {
+        let now = self.kernel.now();
+        let program = self
+            .library
+            .get(&binding.program)
+            .ok_or_else(|| EngineError::UnknownProgram(binding.program.clone()))?;
+        // Node views with committed (in-transit) jobs accounted.
+        let mut committed: BTreeMap<&str, u32> = BTreeMap::new();
+        for f in self.in_flight.values() {
+            *committed.entry(f.node.as_str()).or_default() += 1;
+        }
+        let views: Vec<NodeView> = self
+            .cluster
+            .nodes()
+            .iter()
+            .map(|n| NodeView {
+                name: n.spec.name.clone(),
+                os: n.spec.os.clone(),
+                speed: n.spec.speed(),
+                cpus_online: n.cpus_online(),
+                running_jobs: committed.get(n.spec.name.as_str()).copied().unwrap_or(0),
+                load: n.load_fraction(),
+                up: n.is_up(),
+            })
+            .collect();
+        let Some(node_name) = dispatcher::schedule(self.cfg.policy.as_mut(), &views, binding)
+        else {
+            return Ok(false);
+        };
+        let node_name = node_name.to_string();
+        // Bind inputs and run the (deterministic) program now; the node
+        // will "execute" for the program's declared cost in virtual time.
+        let inputs = {
+            let mem = self.instances.get(&id).expect("exists");
+            let rec = &mem.tasks[path];
+            if rec.is_parallel_child() {
+                rec.inputs.clone()
+            } else {
+                navigator::bind_inputs_parts(&mem.template, &mem.header, &mem.tasks, path)
+            }
+        };
+        let result = program(&inputs);
+        let job = self.next_job_id;
+        self.next_job_id += 1;
+        {
+            let mem = self.instances.get_mut(&id).expect("exists");
+            let rec = mem.tasks.get_mut(path).expect("exists");
+            rec.state = TaskState::Dispatched;
+            rec.node = Some(node_name.clone());
+            rec.started_at = Some(now);
+            rec.inputs = inputs;
+        }
+        self.persist_task(id, path)?;
+        self.awareness.record(
+            &self.store,
+            now,
+            "task.start",
+            format!("{path} -> {node_name} (job {job})"),
+        )?;
+        self.in_flight.insert(
+            job,
+            InFlight {
+                instance: id,
+                path: path.to_string(),
+                node: node_name.clone(),
+                result,
+                silent: false,
+                starved_beats: 0,
+            },
+        );
+        self.kernel
+            .schedule_after(self.cfg.dispatch_latency, EngineEvent::JobStart { node: node_name, job });
+        Ok(true)
+    }
+
+    fn start_subprocess(
+        &mut self,
+        id: InstanceId,
+        path: &str,
+        template_name: &str,
+    ) -> EngineResult<()> {
+        let now = self.kernel.now();
+        let initial: BTreeMap<String, Value> = {
+            let mem = self.instances.get(&id).expect("exists");
+            let rec = &mem.tasks[path];
+            if rec.is_parallel_child() {
+                rec.inputs.clone()
+            } else {
+                navigator::bind_inputs_parts(&mem.template, &mem.header, &mem.tasks, path)
+            }
+        };
+        {
+            let mem = self.instances.get_mut(&id).expect("exists");
+            let rec = mem.tasks.get_mut(path).expect("exists");
+            rec.state = TaskState::Dispatched;
+            rec.started_at = Some(now);
+            rec.inputs = initial.clone();
+        }
+        self.persist_task(id, path)?;
+        // Late binding: the template is resolved from the template space
+        // *now*, not when the parent was defined.
+        let child = self.instantiate(template_name, initial, Some((id, path.to_string())))?;
+        self.awareness.record(
+            &self.store,
+            now,
+            "subprocess.start",
+            format!("{path} -> instance {child} ({template_name})"),
+        )?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Outcome / persistence plumbing
+    // ------------------------------------------------------------------
+
+    /// Act on a navigation outcome: queue ready tasks, run compensations,
+    /// propagate completion to parent instances.
+    fn apply_outcome(&mut self, id: InstanceId, outcome: NavOutcome) -> EngineResult<()> {
+        for path in &outcome.newly_ready {
+            self.ready_queue.push_back((id, path.clone()));
+        }
+        for (task, program) in &outcome.compensations {
+            // Compensation programs are control actions; run them
+            // immediately (zero-cost) and record them.
+            if let Some(prog) = self.library.get(program) {
+                let _ = prog(&BTreeMap::new());
+            }
+            self.awareness.record(
+                &self.store,
+                self.kernel.now(),
+                "task.compensate",
+                format!("{task} via {program}"),
+            )?;
+        }
+        if outcome.completed || outcome.aborted {
+            let parent = self.instances.get(&id).and_then(|m| m.header.parent.clone());
+            self.awareness.record(
+                &self.store,
+                self.kernel.now(),
+                if outcome.completed { "instance.complete" } else { "instance.abort" },
+                format!("{id}"),
+            )?;
+            if let Some((pid, ptask)) = parent {
+                self.on_child_instance_done(pid, &ptask, id, outcome.completed)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// A subprocess child instance finished; conclude the parent task.
+    fn on_child_instance_done(
+        &mut self,
+        parent_id: InstanceId,
+        parent_task: &str,
+        child_id: InstanceId,
+        success: bool,
+    ) -> EngineResult<()> {
+        let now = self.kernel.now();
+        // A duplicate delivery (e.g. an orphaned pre-crash child finishing
+        // after the task was re-driven) must not conclude the task twice.
+        let parent_state = self
+            .instances
+            .get(&parent_id)
+            .and_then(|m| m.tasks.get(parent_task))
+            .map(|r| r.state);
+        if parent_state != Some(TaskState::Dispatched) {
+            self.awareness.record(
+                &self.store,
+                now,
+                "subprocess.duplicate",
+                format!("{parent_task} <- instance {child_id} (ignored)"),
+            )?;
+            return Ok(());
+        }
+        if success {
+            // The child's whiteboard fields matching the parent task's
+            // declared outputs become the task outputs.
+            let (outputs, child_cpu) = {
+                let child = self.instances.get(&child_id).expect("child exists");
+                let parent = self.instances.get(&parent_id).expect("parent exists");
+                let declared: Vec<String> = parent
+                    .tasks
+                    .get(parent_task)
+                    .map(|r| {
+                        if r.is_parallel_child() {
+                            // Children of parallel-subprocess bodies expose
+                            // the whole child whiteboard.
+                            Vec::new()
+                        } else {
+                            parent
+                                .template
+                                .task(parent_task)
+                                .map(|t| t.outputs.iter().map(|f| f.name.clone()).collect())
+                                .unwrap_or_default()
+                        }
+                    })
+                    .unwrap_or_default();
+                let outputs: BTreeMap<String, Value> = if declared.is_empty() {
+                    child.header.whiteboard.clone()
+                } else {
+                    declared
+                        .into_iter()
+                        .filter_map(|f| {
+                            child.header.whiteboard.get(&f).map(|v| (f, v.clone()))
+                        })
+                        .collect()
+                };
+                let child_cpu: f64 = child
+                    .tasks
+                    .values()
+                    .filter(|r| r.state == TaskState::Ended)
+                    .map(|r| {
+                        // Skip container records (their cpu duplicates
+                        // children).
+                        let is_container = !r.is_parallel_child()
+                            && matches!(
+                                child.template.task(&r.path).map(|t| &t.kind),
+                                Some(TaskKind::Parallel { .. })
+                                    | Some(TaskKind::Subprocess { .. })
+                            );
+                        if is_container {
+                            0.0
+                        } else {
+                            r.cpu_ms
+                        }
+                    })
+                    .sum();
+                (outputs, child_cpu)
+            };
+            let outcome = {
+                let mem = self.instances.get_mut(&parent_id).expect("parent exists");
+                let mut view = InstanceView {
+                    template: &mem.template,
+                    header: &mut mem.header,
+                    tasks: &mut mem.tasks,
+                };
+                navigator::on_task_ended(&mut view, parent_task, outputs, now, child_cpu)?
+            };
+            self.persist_after_nav(parent_id, &outcome, &[parent_task.to_string()])?;
+            self.apply_outcome(parent_id, outcome)?;
+        } else {
+            let outcome = {
+                let mem = self.instances.get_mut(&parent_id).expect("parent exists");
+                let mut view = InstanceView {
+                    template: &mem.template,
+                    header: &mut mem.header,
+                    tasks: &mut mem.tasks,
+                };
+                navigator::on_task_failed(&mut view, parent_task, FailureKind::Program, now)?
+            };
+            self.persist_after_nav(parent_id, &outcome, &[parent_task.to_string()])?;
+            self.apply_outcome(parent_id, outcome)?;
+        }
+        Ok(())
+    }
+
+    /// Mask a system failure: re-queue the task.
+    fn system_failure(&mut self, id: InstanceId, path: &str, why: &str) -> EngineResult<()> {
+        let Some(mem) = self.instances.get_mut(&id) else {
+            return Ok(());
+        };
+        if !mem.tasks.contains_key(path) {
+            return Ok(());
+        }
+        let outcome = {
+            let mut view = InstanceView {
+                template: &mem.template,
+                header: &mut mem.header,
+                tasks: &mut mem.tasks,
+            };
+            navigator::on_task_failed(&mut view, path, FailureKind::System, self.kernel.now())?
+        };
+        self.awareness.record(
+            &self.store,
+            self.kernel.now(),
+            "task.systemfail",
+            format!("{path}: {why}"),
+        )?;
+        self.persist_after_nav(id, &outcome, &[path.to_string()])?;
+        self.apply_outcome(id, outcome)?;
+        Ok(())
+    }
+
+    fn fail_jobs(&mut self, killed: &[JobId], why: &str) -> EngineResult<()> {
+        for job in killed {
+            if let Some(f) = self.in_flight.remove(job) {
+                if self.server_up {
+                    self.system_failure(f.instance, &f.path, why)?;
+                }
+            }
+        }
+        self.resync_all_nodes();
+        Ok(())
+    }
+
+    fn log(&mut self, msg: String) {
+        self.event_log.push((self.kernel.now(), msg));
+    }
+
+    fn all_terminal(&self) -> bool {
+        self.instances.values().all(|m| m.header.status.is_terminal())
+            || self.instances.is_empty()
+    }
+
+    /// Handle stalls: silent TEUs (paper event 10) trigger the operator
+    /// restart the paper describes; anything else is a real deadlock.
+    fn try_unstall(&mut self) -> EngineResult<bool> {
+        if !self.server_up {
+            // Trace ended with the server down: bring it back (an operator
+            // would).
+            self.on_server_recover()?;
+            self.log("operator restarted the BioOpera server".into());
+            return Ok(true);
+        }
+        if self.operator_suspended {
+            self.operator_suspended = false;
+            self.log("operator resumed the suspended computation".into());
+            let ids: Vec<InstanceId> = self.instances.keys().copied().collect();
+            for id in ids {
+                if self.instance_status(id) == Some(InstanceStatus::Suspended) {
+                    self.resume(id)?;
+                }
+            }
+            return Ok(true);
+        }
+        // Quiescent but incomplete: instances stuck on dispatched tasks
+        // whose results will never arrive (non-reporting TEUs) get the
+        // operator-restart treatment.
+        if self.in_flight.is_empty() && self.ready_queue.is_empty() {
+            let stuck: Vec<InstanceId> = self
+                .instances
+                .iter()
+                .filter(|(_, m)| {
+                    m.header.status == InstanceStatus::Running
+                        && m.tasks.values().any(|r| {
+                            r.state == TaskState::Dispatched && !m.is_container(&r.path)
+                        })
+                })
+                .map(|(id, _)| *id)
+                .collect();
+            if !stuck.is_empty() {
+                for id in stuck {
+                    self.restart_instance(id)?;
+                }
+                self.auto_restarts += 1;
+                return Ok(true);
+            }
+        }
+        // Ready work that could not be placed (all nodes down at the end of
+        // a trace, say) resolves itself only if nodes return; if the queue
+        // has entries but no event is pending, nothing will ever change.
+        Ok(false)
+    }
+
+    fn maybe_compact(&mut self) -> EngineResult<()> {
+        if self.store.stats().wal_bytes > self.cfg.compact_wal_bytes {
+            self.store.compact()?;
+        }
+        Ok(())
+    }
+
+    // ---- persistence helpers ----
+
+    /// Persist the header and every task record of an instance in one
+    /// atomic batch (used at instantiation).
+    fn persist_full_instance(&mut self, id: InstanceId) -> EngineResult<()> {
+        let mem = self.instances.get(&id).ok_or(EngineError::UnknownInstance(id))?;
+        let mut batch = Batch::new();
+        batch.put(
+            Space::Instance,
+            keys::header(id),
+            serde_json::to_vec(&mem.header).map_err(bioopera_store::StoreError::from)?,
+        );
+        for (path, rec) in &mem.tasks {
+            batch.put(
+                Space::Instance,
+                keys::task(id, path),
+                serde_json::to_vec(rec).map_err(bioopera_store::StoreError::from)?,
+            );
+        }
+        self.store.apply(batch)?;
+        Ok(())
+    }
+
+    fn persist_header(&mut self, id: InstanceId) -> EngineResult<()> {
+        let mem = self.instances.get(&id).ok_or(EngineError::UnknownInstance(id))?;
+        self.store.put(
+            Space::Instance,
+            keys::header(id),
+            serde_json::to_vec(&mem.header).map_err(bioopera_store::StoreError::from)?,
+        )?;
+        Ok(())
+    }
+
+    fn persist_task(&mut self, id: InstanceId, path: &str) -> EngineResult<()> {
+        let Some(mem) = self.instances.get(&id) else {
+            return Ok(());
+        };
+        let Some(rec) = mem.tasks.get(path) else {
+            return Ok(());
+        };
+        self.store.put(
+            Space::Instance,
+            keys::task(id, path),
+            serde_json::to_vec(rec).map_err(bioopera_store::StoreError::from)?,
+        )?;
+        Ok(())
+    }
+
+    /// Persist the header plus every task record a navigation step could
+    /// have touched, in one atomic batch.
+    fn persist_after_nav(
+        &mut self,
+        id: InstanceId,
+        outcome: &NavOutcome,
+        extra_paths: &[String],
+    ) -> EngineResult<()> {
+        let Some(mem) = self.instances.get(&id) else {
+            return Ok(());
+        };
+        let mut paths: BTreeSet<String> = BTreeSet::new();
+        for p in extra_paths {
+            paths.insert(p.clone());
+        }
+        for p in &outcome.newly_ready {
+            paths.insert(p.clone());
+        }
+        for p in &outcome.newly_skipped {
+            paths.insert(p.clone());
+        }
+        for (p, _) in &outcome.compensations {
+            paths.insert(p.clone());
+        }
+        // Mapping-phase targets and parallel parents of anything touched.
+        for p in paths.clone() {
+            if let Some(parent) = mem.tasks.get(&p).and_then(|r| {
+                r.parallel_parent().map(str::to_string)
+            }) {
+                paths.insert(parent.clone());
+                // The parent's mapping targets too (it may have concluded).
+                for flow in mem.template.dataflows_from_task(&parent) {
+                    if let bioopera_ocr::model::DataRef::TaskField(t, _) = &flow.to {
+                        paths.insert(t.clone());
+                    }
+                }
+            }
+            if mem.template.task(&p).is_some() {
+                for flow in mem.template.dataflows_from_task(&p) {
+                    if let bioopera_ocr::model::DataRef::TaskField(t, _) = &flow.to {
+                        paths.insert(t.clone());
+                    }
+                }
+            }
+        }
+        let mut batch = Batch::new();
+        batch.put(
+            Space::Instance,
+            keys::header(id),
+            serde_json::to_vec(&mem.header).map_err(bioopera_store::StoreError::from)?,
+        );
+        for p in &paths {
+            if let Some(rec) = mem.tasks.get(p) {
+                batch.put(
+                    Space::Instance,
+                    keys::task(id, p),
+                    serde_json::to_vec(rec).map_err(bioopera_store::StoreError::from)?,
+                );
+            }
+        }
+        self.store.apply(batch)?;
+        Ok(())
+    }
+
+    // ---- node completion-event plumbing ----
+
+    fn resync_node(&mut self, name: &str) {
+        let Some(node) = self.cluster.node(name) else {
+            return;
+        };
+        if let Some((at, _)) = node.next_completion(self.kernel.now()) {
+            self.kernel.schedule_at(
+                at,
+                EngineEvent::JobDone { node: name.to_string(), generation: node.generation },
+            );
+        }
+    }
+
+    fn resync_all_nodes(&mut self) {
+        let names: Vec<String> =
+            self.cluster.nodes().iter().map(|n| n.spec.name.clone()).collect();
+        for n in names {
+            self.resync_node(&n);
+        }
+    }
+}
+
+enum TaskFlavor {
+    Activity(ExternalBinding),
+    ParallelParent,
+    Subprocess(String),
+    Unknown,
+}

@@ -1,0 +1,242 @@
+//! Persistent instance state: what the navigator reads and writes.
+//!
+//! "During execution, a process instance is persistent both in terms of the
+//! data and the state of the execution" (§3.2).  Every record here has a
+//! stable key in the instance space:
+//!
+//! * `inst/{id}/header`       — [`InstanceHeader`] (status + whiteboard)
+//! * `inst/{id}/task/{path}`  — [`TaskRecord`] per task (parallel children
+//!   use indexed paths such as `Alignment[3]`)
+
+use bioopera_cluster::SimTime;
+use bioopera_ocr::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Identifier of a process instance.
+pub type InstanceId = u64;
+
+/// Life-cycle status of an instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InstanceStatus {
+    /// Being executed by the navigator.
+    Running,
+    /// Dispatch paused (operator action or event handler); running jobs
+    /// drain, nothing new starts.
+    Suspended,
+    /// All tasks reached a terminal state.
+    Completed,
+    /// Aborted by a failure policy, an event, or an operator.
+    Aborted,
+}
+
+impl InstanceStatus {
+    /// Is the instance finished (no further navigation)?
+    pub fn is_terminal(self) -> bool {
+        matches!(self, InstanceStatus::Completed | InstanceStatus::Aborted)
+    }
+}
+
+/// The instance-space header record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceHeader {
+    /// Instance id.
+    pub id: InstanceId,
+    /// Name of the template this instance was created from.
+    pub template: String,
+    /// Current status.
+    pub status: InstanceStatus,
+    /// The global data area.
+    pub whiteboard: BTreeMap<String, Value>,
+    /// If this instance implements a subprocess task of another instance:
+    /// `(parent instance, parent task path)`.
+    pub parent: Option<(InstanceId, String)>,
+    /// Virtual creation time.
+    pub created_at: SimTime,
+    /// Virtual completion time (set when terminal).
+    pub ended_at: Option<SimTime>,
+}
+
+/// Execution state of one task (or one parallel child).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskState {
+    /// Not yet eligible.
+    Inactive,
+    /// All activation requirements met; waiting in the activity queue.
+    Ready,
+    /// Handed to a node's execution client (activities), expanded
+    /// (parallel tasks) or instantiated (subprocesses); in flight.
+    Dispatched,
+    /// Finished successfully; outputs are final.
+    Ended,
+    /// Dead path: every incoming activation condition resolved to false.
+    Skipped,
+    /// Exhausted retries; waiting for a failure policy or terminal.
+    Failed,
+    /// Undone by a sphere-of-atomicity compensation.
+    Compensated,
+}
+
+impl TaskState {
+    /// Terminal for the purpose of instance completion.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, TaskState::Ended | TaskState::Skipped | TaskState::Compensated)
+    }
+
+    /// Does this state represent resolved control flow (connector sources
+    /// in this state have had their conditions decided)?
+    pub fn is_resolved(self) -> bool {
+        matches!(
+            self,
+            TaskState::Ended | TaskState::Skipped | TaskState::Failed | TaskState::Compensated
+        )
+    }
+}
+
+/// The per-task instance-space record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskRecord {
+    /// Task path: the template task name, or `Name[i]` for a parallel
+    /// child.
+    pub path: String,
+    /// Current state.
+    pub state: TaskState,
+    /// Input structure contents (filled by dataflows and defaults).
+    pub inputs: BTreeMap<String, Value>,
+    /// Output structure contents (set when `Ended`).
+    pub outputs: BTreeMap<String, Value>,
+    /// Execution attempts so far (for retry accounting).
+    pub attempts: u32,
+    /// Node that ran (or is running) the task.
+    pub node: Option<String>,
+    /// Consumed CPU milliseconds (reference-speed occupancy), for
+    /// `CPU(Π)` accounting.
+    pub cpu_ms: f64,
+    /// Virtual start of the most recent attempt.
+    pub started_at: Option<SimTime>,
+    /// Virtual end (success only).
+    pub ended_at: Option<SimTime>,
+}
+
+impl TaskRecord {
+    /// A fresh inactive record.
+    pub fn new(path: impl Into<String>) -> Self {
+        TaskRecord {
+            path: path.into(),
+            state: TaskState::Inactive,
+            inputs: BTreeMap::new(),
+            outputs: BTreeMap::new(),
+            attempts: 0,
+            node: None,
+            cpu_ms: 0.0,
+            started_at: None,
+            ended_at: None,
+        }
+    }
+
+    /// Is this a parallel child record (`Name[i]`)?
+    pub fn is_parallel_child(&self) -> bool {
+        self.path.ends_with(']')
+    }
+
+    /// For `Name[i]`, the parent task name.
+    pub fn parallel_parent(&self) -> Option<&str> {
+        let open = self.path.rfind('[')?;
+        self.path.ends_with(']').then(|| &self.path[..open])
+    }
+
+    /// For `Name[i]`, the child index.
+    pub fn parallel_index(&self) -> Option<usize> {
+        let open = self.path.rfind('[')?;
+        self.path[open + 1..self.path.len() - 1].parse().ok()
+    }
+}
+
+/// Build the path of a parallel child.
+pub fn parallel_child_path(parent: &str, index: usize) -> String {
+    format!("{parent}[{index}]")
+}
+
+/// Key helpers shared by runtime and planner.
+pub mod keys {
+    use super::InstanceId;
+
+    /// Instance header key.
+    pub fn header(id: InstanceId) -> String {
+        format!("inst/{id:012}/header")
+    }
+
+    /// Task record key.
+    pub fn task(id: InstanceId, path: &str) -> String {
+        format!("inst/{id:012}/task/{path}")
+    }
+
+    /// Prefix of all task records of an instance.
+    pub fn task_prefix(id: InstanceId) -> String {
+        format!("inst/{id:012}/task/")
+    }
+
+    /// Prefix of all records of an instance.
+    pub fn instance_prefix(id: InstanceId) -> String {
+        format!("inst/{id:012}/")
+    }
+
+    /// Template key in the template space.
+    pub fn template(name: &str) -> String {
+        format!("tmpl/{name}")
+    }
+
+    /// Node key in the configuration space.
+    pub fn node(name: &str) -> String {
+        format!("node/{name}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_paths_roundtrip() {
+        let r = TaskRecord::new(parallel_child_path("Alignment", 17));
+        assert!(r.is_parallel_child());
+        assert_eq!(r.parallel_parent(), Some("Alignment"));
+        assert_eq!(r.parallel_index(), Some(17));
+        let plain = TaskRecord::new("Alignment");
+        assert!(!plain.is_parallel_child());
+        assert_eq!(plain.parallel_parent(), None);
+    }
+
+    #[test]
+    fn state_predicates() {
+        assert!(TaskState::Ended.is_terminal());
+        assert!(TaskState::Skipped.is_terminal());
+        assert!(TaskState::Compensated.is_terminal());
+        assert!(!TaskState::Failed.is_terminal());
+        assert!(TaskState::Failed.is_resolved());
+        assert!(!TaskState::Dispatched.is_resolved());
+        assert!(!TaskState::Ready.is_resolved());
+    }
+
+    #[test]
+    fn keys_sort_by_instance() {
+        assert!(keys::header(1) < keys::header(2));
+        assert!(keys::task(1, "A").starts_with(&keys::task_prefix(1)));
+        assert!(keys::task(1, "A").starts_with(&keys::instance_prefix(1)));
+        // Ids are zero-padded so instance 10 does not interleave with 1.
+        assert!(!keys::header(10).starts_with("inst/1/"));
+    }
+
+    #[test]
+    fn record_serde_roundtrip() {
+        let mut r = TaskRecord::new("Prep");
+        r.state = TaskState::Ended;
+        r.inputs.insert("x".into(), Value::Int(5));
+        r.outputs.insert("y".into(), Value::from(vec![1i64, 2]));
+        r.cpu_ms = 123.5;
+        r.node = Some("linneus1".into());
+        let json = serde_json::to_string(&r).unwrap();
+        let back: TaskRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,562 @@
+//! End-to-end runtime tests: full processes executing in virtual time on
+//! the simulated cluster, with every failure class of the paper injected.
+
+use bioopera_cluster::{Cluster, NodeSpec, SimTime, Trace, TraceEventKind};
+use bioopera_core::navigator; // used indirectly via runtime
+use bioopera_core::state::{InstanceStatus, TaskState};
+use bioopera_core::{ActivityLibrary, ProgramOutput, Runtime, RuntimeConfig};
+use bioopera_ocr::model::{EventAction, ExternalBinding, FailurePolicy, ParallelBody, TypeTag};
+use bioopera_ocr::value::Value;
+use bioopera_ocr::{Expr, ProcessBuilder, ProcessTemplate};
+use bioopera_store::MemDisk;
+use std::collections::BTreeMap;
+
+// Silence "unused import" for navigator (kept to assert the pub API).
+#[allow(unused)]
+fn _navigator_api_exists() {
+    let _ = navigator::bind_inputs_parts
+        as fn(
+            &ProcessTemplate,
+            &bioopera_core::InstanceHeader,
+            &BTreeMap<String, bioopera_core::TaskRecord>,
+            &str,
+        ) -> BTreeMap<String, Value>;
+}
+
+fn small_cluster() -> Cluster {
+    Cluster::new(
+        "test",
+        vec![
+            NodeSpec::new("n1", 2, 500, "linux"),
+            NodeSpec::new("n2", 2, 500, "linux"),
+            NodeSpec::new("n3", 1, 1000, "solaris"),
+        ],
+    )
+}
+
+/// A library with:
+/// * `gen.list(count)` -> `items` = [0, .., count-1], cost 1 s
+/// * `work.unit` -> squares `item`, cost = `cost_ms` input (default 60 s)
+/// * `merge.sum` -> sums `results[i].value`, cost 2 s
+/// * `fail.always` -> program error
+/// * `fail.flaky` -> fails unless `attempt_ok` is set on the whiteboard
+fn library() -> ActivityLibrary {
+    let mut lib = ActivityLibrary::new();
+    lib.register("gen.list", |inputs| {
+        let count = inputs.get("count").and_then(|v| v.as_int()).unwrap_or(4);
+        Ok(ProgramOutput::from_fields(
+            [("items", Value::int_list(0..count))],
+            1_000.0,
+        ))
+    });
+    lib.register("work.unit", |inputs| {
+        let item = inputs
+            .get("item")
+            .and_then(|v| v.as_int())
+            .ok_or_else(|| "work.unit needs an item".to_string())?;
+        let cost = inputs.get("cost_ms").and_then(|v| v.as_float()).unwrap_or(60_000.0);
+        Ok(ProgramOutput::from_fields([("value", Value::Int(item * item))], cost))
+    });
+    lib.register("merge.sum", |inputs| {
+        let results = inputs
+            .get("results")
+            .and_then(|v| v.as_list().map(|l| l.to_vec()))
+            .ok_or_else(|| "merge.sum needs results".to_string())?;
+        let total: i64 = results
+            .iter()
+            .filter_map(|r| r.get_path(&["value"]).and_then(|v| v.as_int()))
+            .sum();
+        Ok(ProgramOutput::from_fields([("total", Value::Int(total))], 2_000.0))
+    });
+    lib.register("fail.always", |_| Err("deliberate failure".to_string()));
+    lib.register("noop", |_| Ok(ProgramOutput::from_fields([("ok", Value::Bool(true))], 500.0)));
+    lib.register("undo.noop", |_| Ok(ProgramOutput::instant(BTreeMap::new())));
+    lib
+}
+
+/// items -> parallel squares -> sum, the canonical fan-out process.
+fn fanout_template(count: i64, retries: u32) -> ProcessTemplate {
+    ProcessBuilder::new("Fanout")
+        .whiteboard_default("count", TypeTag::Int, Value::Int(count))
+        .whiteboard_field("total", TypeTag::Int)
+        .activity("Gen", "gen.list", |t| {
+            t.input("count", TypeTag::Int).output("items", TypeTag::List)
+        })
+        .parallel(
+            "Fan",
+            "items",
+            ParallelBody::Activity(ExternalBinding::program("work.unit")),
+            "results",
+            |t| t.retries(retries),
+        )
+        .activity("Merge", "merge.sum", |t| {
+            t.input("results", TypeTag::List).output("total", TypeTag::Int)
+        })
+        .connect("Gen", "Fan")
+        .connect("Fan", "Merge")
+        .flow_from_whiteboard("count", "Gen", "count")
+        .flow_to_task("Gen", "items", "Fan", "items")
+        .flow_to_task("Fan", "results", "Merge", "results")
+        .flow_to_whiteboard("Merge", "total", "total")
+        .build()
+        .unwrap()
+}
+
+fn runtime(cluster: Cluster) -> Runtime<MemDisk> {
+    let mut cfg = RuntimeConfig::default();
+    // Tests run minute-scale workloads; sample the series often enough to
+    // observe them (experiments use the 2-hour default).
+    cfg.heartbeat = SimTime::from_secs(20);
+    Runtime::new(MemDisk::new(), cluster, library(), cfg).unwrap()
+}
+
+/// Sum of 0²..(n-1)².
+fn expected_total(n: i64) -> i64 {
+    (0..n).map(|i| i * i).sum()
+}
+
+#[test]
+fn fanout_completes_with_correct_result() {
+    let mut rt = runtime(small_cluster());
+    rt.register_template(&fanout_template(6, 0)).unwrap();
+    let id = rt.submit("Fanout", BTreeMap::new()).unwrap();
+    rt.run_to_completion().unwrap();
+    assert_eq!(rt.instance_status(id), Some(InstanceStatus::Completed));
+    assert_eq!(rt.whiteboard(id).unwrap()["total"], Value::Int(expected_total(6)));
+    // Virtual time passed: 6 × 60 s of work on 5 CPUs plus overheads.
+    assert!(rt.now() >= SimTime::from_secs(60));
+    let stats = rt.stats(id).unwrap();
+    assert_eq!(stats.activities, 8); // Gen + 6 children + Merge
+    // Total work is ~363 reference-CPU-seconds; occupancy is lower when
+    // the 2x-speed node (n3) takes jobs, but at least half runs at 1x.
+    assert!(stats.cpu >= SimTime::from_secs(180), "cpu {}", stats.cpu);
+    assert!(stats.cpu <= SimTime::from_secs(370), "cpu {}", stats.cpu);
+    assert!(stats.max_cpus_used >= 1);
+}
+
+#[test]
+fn parallelism_reduces_wall_time() {
+    // Same work on a 1-CPU cluster vs a 6-CPU cluster.
+    let run = |cluster: Cluster| {
+        let mut rt = runtime(cluster);
+        rt.register_template(&fanout_template(6, 0)).unwrap();
+        let id = rt.submit("Fanout", BTreeMap::new()).unwrap();
+        rt.run_to_completion().unwrap();
+        rt.stats(id).unwrap()
+    };
+    let single = run(Cluster::new("one", vec![NodeSpec::new("solo", 1, 500, "linux")]));
+    let multi = run(Cluster::new(
+        "six",
+        (0..6).map(|i| NodeSpec::new(format!("n{i}"), 1, 500, "linux")).collect(),
+    ));
+    assert!(
+        multi.wall.as_millis() * 3 < single.wall.as_millis(),
+        "parallel {} vs serial {}",
+        multi.wall,
+        single.wall
+    );
+    // CPU time is essentially the same.
+    let ratio = multi.cpu.as_millis() as f64 / single.cpu.as_millis() as f64;
+    assert!((0.9..1.1).contains(&ratio), "cpu ratio {ratio}");
+}
+
+#[test]
+fn node_crash_is_masked_and_work_completes() {
+    let mut rt = runtime(small_cluster());
+    rt.register_template(&fanout_template(8, 0)).unwrap();
+    let mut trace = Trace::empty();
+    // Kill n1 30 s in (children are mid-flight), revive it later.
+    trace.push(SimTime::from_secs(30), TraceEventKind::NodeDown("n1".into()));
+    trace.push(SimTime::from_secs(200), TraceEventKind::NodeUp("n1".into()));
+    rt.install_trace(&trace);
+    let id = rt.submit("Fanout", BTreeMap::new()).unwrap();
+    rt.run_to_completion().unwrap();
+    assert_eq!(rt.instance_status(id), Some(InstanceStatus::Completed));
+    assert_eq!(rt.whiteboard(id).unwrap()["total"], Value::Int(expected_total(8)));
+    // The awareness model recorded the masked failures.
+    let crashes = rt.awareness().of_kind(rt.store(), "node.crash").unwrap();
+    assert_eq!(crashes.len(), 1);
+    let masked = rt.awareness().of_kind(rt.store(), "task.systemfail").unwrap();
+    assert!(!masked.is_empty(), "jobs on n1 must have been re-queued");
+}
+
+#[test]
+fn whole_cluster_failure_recovers() {
+    let mut rt = runtime(small_cluster());
+    rt.register_template(&fanout_template(6, 0)).unwrap();
+    let mut trace = Trace::empty();
+    trace.push(SimTime::from_secs(20), TraceEventKind::AllNodesDown);
+    trace.push(SimTime::from_secs(500), TraceEventKind::AllNodesUp);
+    rt.install_trace(&trace);
+    let id = rt.submit("Fanout", BTreeMap::new()).unwrap();
+    rt.run_to_completion().unwrap();
+    assert_eq!(rt.instance_status(id), Some(InstanceStatus::Completed));
+    assert_eq!(rt.whiteboard(id).unwrap()["total"], Value::Int(expected_total(6)));
+    // The computation paused during the outage.
+    assert!(rt.now() >= SimTime::from_secs(500));
+}
+
+#[test]
+fn server_crash_resumes_without_losing_completed_work() {
+    let mut rt = runtime(small_cluster());
+    rt.register_template(&fanout_template(6, 0)).unwrap();
+    let mut trace = Trace::empty();
+    // Crash the server after Gen has certainly completed (Gen costs 1 s,
+    // latency 2 s) but while children run; recover a minute later.
+    trace.push(SimTime::from_secs(30), TraceEventKind::ServerCrash);
+    trace.push(SimTime::from_secs(90), TraceEventKind::ServerRecover);
+    rt.install_trace(&trace);
+    let id = rt.submit("Fanout", BTreeMap::new()).unwrap();
+    rt.run_to_completion().unwrap();
+    assert_eq!(rt.instance_status(id), Some(InstanceStatus::Completed));
+    assert_eq!(rt.whiteboard(id).unwrap()["total"], Value::Int(expected_total(6)));
+    // Gen ran exactly once: completed work survived the server crash.
+    let ends = rt.awareness().of_kind(rt.store(), "task.end").unwrap();
+    let gen_ends = ends.iter().filter(|e| e.detail.starts_with("Gen ")).count();
+    assert_eq!(gen_ends, 1, "Gen must not be re-executed after recovery");
+}
+
+#[test]
+fn network_outage_buffers_results_at_pecs() {
+    let mut rt = runtime(small_cluster());
+    rt.register_template(&fanout_template(5, 0)).unwrap();
+    let mut trace = Trace::empty();
+    // Outage covers the completion times of the first child wave.
+    trace.push(SimTime::from_secs(10), TraceEventKind::NetworkDown);
+    trace.push(SimTime::from_secs(300), TraceEventKind::NetworkUp);
+    rt.install_trace(&trace);
+    let id = rt.submit("Fanout", BTreeMap::new()).unwrap();
+    rt.run_to_completion().unwrap();
+    assert_eq!(rt.instance_status(id), Some(InstanceStatus::Completed));
+    assert_eq!(rt.whiteboard(id).unwrap()["total"], Value::Int(expected_total(5)));
+    // Jobs finished during the outage were *not* re-executed: every child
+    // ended exactly once.
+    let ends = rt.awareness().of_kind(rt.store(), "task.end").unwrap();
+    for i in 0..5 {
+        let n = ends.iter().filter(|e| e.detail.starts_with(&format!("Fan[{i}] "))).count();
+        assert_eq!(n, 1, "child {i} should complete exactly once");
+    }
+}
+
+#[test]
+fn disk_full_forces_reruns_until_freed() {
+    let mut rt = runtime(small_cluster());
+    rt.register_template(&fanout_template(4, 0)).unwrap();
+    let mut trace = Trace::empty();
+    trace.push(SimTime::from_secs(5), TraceEventKind::DiskFull);
+    trace.push(SimTime::from_secs(400), TraceEventKind::DiskFreed);
+    rt.install_trace(&trace);
+    let id = rt.submit("Fanout", BTreeMap::new()).unwrap();
+    rt.run_to_completion().unwrap();
+    assert_eq!(rt.instance_status(id), Some(InstanceStatus::Completed));
+    assert_eq!(rt.whiteboard(id).unwrap()["total"], Value::Int(expected_total(4)));
+    let diskfails = rt.awareness().of_kind(rt.store(), "task.diskfull").unwrap();
+    assert!(!diskfails.is_empty(), "some completions must have hit the full disk");
+}
+
+#[test]
+fn operator_suspend_drains_and_resume_continues() {
+    let mut rt = runtime(small_cluster());
+    rt.register_template(&fanout_template(6, 0)).unwrap();
+    let mut trace = Trace::empty();
+    trace.push(SimTime::from_secs(5), TraceEventKind::OperatorSuspend);
+    trace.push(SimTime::from_hours(2), TraceEventKind::OperatorResume);
+    rt.install_trace(&trace);
+    let id = rt.submit("Fanout", BTreeMap::new()).unwrap();
+    rt.run_to_completion().unwrap();
+    assert_eq!(rt.instance_status(id), Some(InstanceStatus::Completed));
+    // Wall time reflects the suspension.
+    let stats = rt.stats(id).unwrap();
+    assert!(stats.wall >= SimTime::from_hours(2));
+}
+
+#[test]
+fn program_failure_exhausts_retries_then_aborts() {
+    let t = ProcessBuilder::new("Doomed")
+        .activity("Bad", "fail.always", |t| t.retries(2))
+        .build()
+        .unwrap();
+    let mut rt = runtime(small_cluster());
+    rt.register_template(&t).unwrap();
+    let id = rt.submit("Doomed", BTreeMap::new()).unwrap();
+    rt.run_to_completion().unwrap();
+    assert_eq!(rt.instance_status(id), Some(InstanceStatus::Aborted));
+    let fails = rt.awareness().of_kind(rt.store(), "task.fail").unwrap();
+    assert_eq!(fails.len(), 3, "1 try + 2 retries");
+}
+
+#[test]
+fn ignore_policy_lets_process_complete_despite_failure() {
+    let t = ProcessBuilder::new("Tolerant")
+        .activity("Bad", "fail.always", |t| t)
+        .activity("Good", "noop", |t| t)
+        .connect("Bad", "Good")
+        .on_failure("Bad", FailurePolicy::Ignore)
+        .build()
+        .unwrap();
+    let mut rt = runtime(small_cluster());
+    rt.register_template(&t).unwrap();
+    let id = rt.submit("Tolerant", BTreeMap::new()).unwrap();
+    rt.run_to_completion().unwrap();
+    assert_eq!(rt.instance_status(id), Some(InstanceStatus::Completed));
+    // Good was dead-path-eliminated (its one connector came from a skip).
+    assert_eq!(rt.task_record(id, "Good").unwrap().state, TaskState::Skipped);
+}
+
+#[test]
+fn sphere_compensation_runs_on_abort() {
+    let t = ProcessBuilder::new("Atomic")
+        .activity("S1", "noop", |t| t)
+        .activity("S2", "fail.always", |t| t)
+        .connect("S1", "S2")
+        .sphere("Sp", ["S1", "S2"], [("S1", "undo.noop")])
+        .on_failure("S2", FailurePolicy::CompensateSphere("Sp".into()))
+        .build()
+        .unwrap();
+    let mut rt = runtime(small_cluster());
+    rt.register_template(&t).unwrap();
+    let id = rt.submit("Atomic", BTreeMap::new()).unwrap();
+    rt.run_to_completion().unwrap();
+    assert_eq!(rt.instance_status(id), Some(InstanceStatus::Aborted));
+    assert_eq!(rt.task_record(id, "S1").unwrap().state, TaskState::Compensated);
+    let comps = rt.awareness().of_kind(rt.store(), "task.compensate").unwrap();
+    assert_eq!(comps.len(), 1);
+    assert!(comps[0].detail.contains("undo.noop"));
+}
+
+#[test]
+fn subprocess_late_binding_uses_template_at_start_time() {
+    // Parent references template "Sub" which is registered *after* the
+    // parent, and swapped before the second run.
+    let parent = ProcessBuilder::new("Parent")
+        .whiteboard_default("x", TypeTag::Int, Value::Int(7))
+        .subprocess("Child", "Sub", |t| {
+            t.input("x", TypeTag::Int).output("y", TypeTag::Int)
+        })
+        .activity("After", "noop", |t| t)
+        .connect("Child", "After")
+        .flow_from_whiteboard("x", "Child", "x")
+        .build()
+        .unwrap();
+    let sub_v1 = ProcessBuilder::new("Sub")
+        .whiteboard_field("x", TypeTag::Int)
+        .whiteboard_field("y", TypeTag::Int)
+        .activity("Work", "work.unit", |t| {
+            t.input("item", TypeTag::Int).output("value", TypeTag::Int)
+        })
+        .flow_from_whiteboard("x", "Work", "item")
+        .flow_to_whiteboard("Work", "value", "y")
+        .build()
+        .unwrap();
+
+    let mut rt = runtime(small_cluster());
+    rt.register_template(&parent).unwrap();
+    rt.register_template(&sub_v1).unwrap();
+    let id = rt.submit("Parent", BTreeMap::new()).unwrap();
+    rt.run_to_completion().unwrap();
+    assert_eq!(rt.instance_status(id), Some(InstanceStatus::Completed));
+    let child_rec = rt.task_record(id, "Child").unwrap();
+    assert_eq!(child_rec.state, TaskState::Ended);
+    // Child squared 7: parent task output y = 49 (from the child's
+    // whiteboard).
+    assert_eq!(child_rec.outputs["y"], Value::Int(49));
+}
+
+#[test]
+fn parallel_subprocess_bodies_run_one_instance_per_element() {
+    let chunk = ProcessBuilder::new("Chunk")
+        .whiteboard_field("item", TypeTag::Int)
+        .whiteboard_field("value", TypeTag::Int)
+        .activity("Square", "work.unit", |t| {
+            t.input("item", TypeTag::Int).output("value", TypeTag::Int)
+        })
+        .flow_from_whiteboard("item", "Square", "item")
+        .flow_to_whiteboard("Square", "value", "value")
+        .build()
+        .unwrap();
+    let t = ProcessBuilder::new("FanSub")
+        .whiteboard_field("total", TypeTag::Int)
+        .activity("Gen", "gen.list", |t| {
+            t.input_default("count", TypeTag::Int, Value::Int(4)).output("items", TypeTag::List)
+        })
+        .parallel("Fan", "items", ParallelBody::Subprocess("Chunk".into()), "results", |t| t)
+        .activity("Merge", "merge.sum", |t| {
+            t.input("results", TypeTag::List).output("total", TypeTag::Int)
+        })
+        .connect("Gen", "Fan")
+        .connect("Fan", "Merge")
+        .flow_to_task("Gen", "items", "Fan", "items")
+        .flow_to_task("Fan", "results", "Merge", "results")
+        .flow_to_whiteboard("Merge", "total", "total")
+        .build()
+        .unwrap();
+    let mut rt = runtime(small_cluster());
+    rt.register_template(&chunk).unwrap();
+    rt.register_template(&t).unwrap();
+    let id = rt.submit("FanSub", BTreeMap::new()).unwrap();
+    rt.run_to_completion().unwrap();
+    assert_eq!(rt.instance_status(id), Some(InstanceStatus::Completed));
+    assert_eq!(rt.whiteboard(id).unwrap()["total"], Value::Int(expected_total(4)));
+    // 4 child instances + the parent.
+    assert_eq!(rt.instances().len(), 5);
+}
+
+#[test]
+fn event_handlers_set_data_and_suspend() {
+    let t = ProcessBuilder::new("Evented")
+        .whiteboard_default("threshold", TypeTag::Float, Value::Float(80.0))
+        .activity("A", "noop", |t| t)
+        .on_event("retune", EventAction::SetData("threshold".into(), Expr::Lit(Value::Float(95.0))))
+        .on_event("pause", EventAction::Suspend)
+        .on_event("go", EventAction::Resume)
+        .build()
+        .unwrap();
+    let mut rt = runtime(small_cluster());
+    rt.register_template(&t).unwrap();
+    let id = rt.submit("Evented", BTreeMap::new()).unwrap();
+    rt.signal_event(id, "retune").unwrap();
+    assert_eq!(rt.whiteboard(id).unwrap()["threshold"], Value::Float(95.0));
+    rt.signal_event(id, "pause").unwrap();
+    assert_eq!(rt.instance_status(id), Some(InstanceStatus::Suspended));
+    rt.signal_event(id, "go").unwrap();
+    assert_eq!(rt.instance_status(id), Some(InstanceStatus::Running));
+    rt.run_to_completion().unwrap();
+    assert_eq!(rt.instance_status(id), Some(InstanceStatus::Completed));
+}
+
+#[test]
+fn placement_constraints_honored() {
+    let t = ProcessBuilder::new("Placed")
+        .activity("OnSun", "noop", |t| t.on_os("solaris"))
+        .build()
+        .unwrap();
+    let mut rt = runtime(small_cluster());
+    rt.register_template(&t).unwrap();
+    let id = rt.submit("Placed", BTreeMap::new()).unwrap();
+    rt.run_to_completion().unwrap();
+    assert_eq!(rt.task_record(id, "OnSun").unwrap().node.as_deref(), Some("n3"));
+}
+
+#[test]
+fn what_if_planner_reports_affected_jobs() {
+    use bioopera_core::Planner;
+    let mut rt = runtime(small_cluster());
+    rt.register_template(&fanout_template(6, 0)).unwrap();
+    let _id = rt.submit("Fanout", BTreeMap::new()).unwrap();
+    // Advance until children are in flight: run a bounded number of events
+    // by installing a "probe" — simplest: run until jobs exist by stepping
+    // through a silent trace event far in the future and polling; here we
+    // run to completion in a clone-free way, so instead submit and pump
+    // manually: the public API exposes in_flight_jobs after run begins.
+    // Drive a few events by running with a trace that suspends early.
+    let mut trace = Trace::empty();
+    trace.push(SimTime::from_secs(25), TraceEventKind::OperatorSuspend);
+    trace.push(SimTime::from_days(300), TraceEventKind::OperatorResume);
+    rt.install_trace(&trace);
+    // Run: will finish eventually; but we want to inspect mid-run. Use the
+    // suspension window: run_to_completion processes everything, so
+    // instead we check the planner *before* running (no jobs yet) and
+    // after (no jobs left) — the mid-run check happens in the runtime's
+    // own unit context. Here: verify the report shape on the idle state.
+    let impact = Planner::what_if_offline(&rt, &["n1", "n3"]);
+    assert_eq!(impact.cpus_lost, 3);
+    assert_eq!(impact.offline.len(), 2);
+    assert_eq!(impact.instances.len(), 1);
+    let text = impact.report();
+    assert!(text.contains("what-if"));
+    rt.run_to_completion().unwrap();
+    let impact = Planner::what_if_offline(&rt, &["n1"]);
+    assert!(impact.instances.is_empty(), "terminal instances are not affected");
+}
+
+#[test]
+fn migration_rescues_starved_jobs() {
+    // One fast node that gets fully occupied by external users right after
+    // dispatch, plus a slow-but-free node.  Without migration the job
+    // waits for the external load to clear (day 2); with migration it
+    // finishes quickly on the other node.
+    let cluster = || {
+        Cluster::new(
+            "mig",
+            vec![NodeSpec::new("hot", 1, 1000, "linux"), NodeSpec::new("cold", 1, 400, "linux")],
+        )
+    };
+    let template = ProcessBuilder::new("OneJob")
+        .activity("W", "work.unit", |t| {
+            t.input_default("item", TypeTag::Int, Value::Int(3))
+                .input_default("cost_ms", TypeTag::Float, Value::Float(600_000.0))
+                .output("value", TypeTag::Int)
+        })
+        .build()
+        .unwrap();
+    let mut trace = Trace::empty();
+    // External users grab the hot node just as the job starts, for 2 days.
+    trace.push(
+        SimTime::from_secs(3),
+        TraceEventKind::ExternalLoad { node: "hot".into(), cpus: 1.0 },
+    );
+    trace.push(
+        SimTime::from_days(2),
+        TraceEventKind::ExternalLoad { node: "hot".into(), cpus: 0.0 },
+    );
+
+    let run = |migration| {
+        let mut cfg = RuntimeConfig::default();
+        // Least-loaded: the first dispatch goes to the (idle, faster) hot
+        // node; after migration the starved node reports load 1.0 so the
+        // job lands on the cold node.  (Fastest-fit would re-pick the hot
+        // node forever — the paper's §5.4 caveat, covered by the
+        // scheduling ablation bench.)
+        cfg.policy = Box::new(bioopera_core::LeastLoaded);
+        cfg.migration = migration;
+        cfg.heartbeat = SimTime::from_mins(30);
+        let mut rt = Runtime::new(MemDisk::new(), cluster(), library(), cfg).unwrap();
+        rt.register_template(&template).unwrap();
+        let id = rt.submit("OneJob", BTreeMap::new()).unwrap();
+        rt.install_trace(&trace);
+        rt.run_to_completion().unwrap();
+        assert_eq!(rt.instance_status(id), Some(InstanceStatus::Completed));
+        rt.stats(id).unwrap().wall
+    };
+    let without = run(None);
+    let with = run(Some(bioopera_core::runtime::MigrationConfig {
+        patience: SimTime::from_hours(1),
+    }));
+    assert!(
+        with.as_millis() * 4 < without.as_millis(),
+        "migration should rescue the job: with {} vs without {}",
+        with,
+        without
+    );
+}
+
+#[test]
+fn deterministic_replay_same_disk_content() {
+    let run_digest = || {
+        let mut rt = runtime(small_cluster());
+        rt.register_template(&fanout_template(5, 0)).unwrap();
+        let id = rt.submit("Fanout", BTreeMap::new()).unwrap();
+        rt.run_to_completion().unwrap();
+        (
+            rt.now(),
+            rt.whiteboard(id).unwrap().clone(),
+            rt.stats(id).unwrap().cpu,
+            rt.awareness().all(rt.store()).unwrap().len(),
+        )
+    };
+    assert_eq!(run_digest(), run_digest());
+}
+
+#[test]
+fn store_survives_and_instance_is_queryable_after_manual_crash() {
+    let mut rt = runtime(small_cluster());
+    rt.register_template(&fanout_template(4, 0)).unwrap();
+    let id = rt.submit("Fanout", BTreeMap::new()).unwrap();
+    rt.crash_server().unwrap();
+    assert!(rt.instances().is_empty(), "volatile state gone");
+    rt.recover_server().unwrap();
+    assert_eq!(rt.instance_status(id), Some(InstanceStatus::Running));
+    rt.run_to_completion().unwrap();
+    assert_eq!(rt.instance_status(id), Some(InstanceStatus::Completed));
+    assert_eq!(rt.whiteboard(id).unwrap()["total"], Value::Int(expected_total(4)));
+}

@@ -1,0 +1,359 @@
+//! Smith–Waterman local alignment with affine gaps (Gotoh's algorithm).
+//!
+//! "This software offers a dynamic programming local alignment algorithm
+//! which uses the GCB scoring matrices and an affine gap penalty" (§4).
+//! Two entry points:
+//!
+//! * [`align_score`] — score-only, rolling arrays, O(min) memory; the hot
+//!   path for the all-vs-all's fixed-PAM pass and PAM refinement,
+//! * [`align_local`] — full traceback, used where the actual alignment is
+//!   needed (the tower-of-information example, tests).
+
+use crate::pam::ScoreMatrix;
+use crate::sequence::Sequence;
+
+/// Affine gap parameters: a gap of length `L` costs `open + extend·(L-1)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlignParams {
+    /// Cost of opening a gap (positive number, subtracted).
+    pub gap_open: f32,
+    /// Cost of each further gapped position.
+    pub gap_extend: f32,
+}
+
+impl Default for AlignParams {
+    fn default() -> Self {
+        // Tuned for the 10·log10-odds PAM family: diagonal entries run
+        // ~4–18, so opening costs about two identities.
+        AlignParams { gap_open: 22.0, gap_extend: 1.5 }
+    }
+}
+
+/// Score-only result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoreOnly {
+    /// Best local alignment score (≥ 0).
+    pub score: f32,
+    /// DP cells computed (the unit of the cost model).
+    pub cells: u64,
+}
+
+/// Score-only Smith–Waterman/Gotoh with rolling arrays.
+pub fn align_score(a: &Sequence, b: &Sequence, m: &ScoreMatrix, p: &AlignParams) -> ScoreOnly {
+    let (na, nb) = (a.residues.len(), b.residues.len());
+    if na == 0 || nb == 0 {
+        return ScoreOnly { score: 0.0, cells: 0 };
+    }
+    // Roll over b (columns); one row of H and E each.
+    let mut h_prev = vec![0.0f32; nb + 1];
+    let mut h_cur = vec![0.0f32; nb + 1];
+    let mut e_row = vec![f32::NEG_INFINITY; nb + 1];
+    let mut best = 0.0f32;
+    for i in 1..=na {
+        let ra = a.residues[i - 1] as usize;
+        let mut f = f32::NEG_INFINITY;
+        h_cur[0] = 0.0;
+        for j in 1..=nb {
+            let rb = b.residues[j - 1] as usize;
+            e_row[j] = (h_prev[j] - p.gap_open).max(e_row[j] - p.gap_extend);
+            f = (h_cur[j - 1] - p.gap_open).max(f - p.gap_extend);
+            let diag = h_prev[j - 1] + m.score(ra, rb);
+            let h = diag.max(e_row[j]).max(f).max(0.0);
+            h_cur[j] = h;
+            if h > best {
+                best = h;
+            }
+        }
+        std::mem::swap(&mut h_prev, &mut h_cur);
+    }
+    ScoreOnly { score: best, cells: (na as u64) * (nb as u64) }
+}
+
+/// One aligned column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlignOp {
+    /// Residues aligned (match or mismatch).
+    Sub,
+    /// Gap in `a` (consumes a residue of `b`).
+    InsB,
+    /// Gap in `b` (consumes a residue of `a`).
+    InsA,
+}
+
+/// A full local alignment with traceback.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alignment {
+    /// Best local score.
+    pub score: f32,
+    /// Half-open residue range of `a` covered by the alignment.
+    pub a_range: (usize, usize),
+    /// Half-open residue range of `b` covered.
+    pub b_range: (usize, usize),
+    /// Column operations, start to end.
+    pub ops: Vec<AlignOp>,
+    /// Identical aligned residue pairs.
+    pub identities: usize,
+    /// DP cells computed.
+    pub cells: u64,
+}
+
+impl Alignment {
+    /// Aligned columns.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the alignment is empty (score 0 everywhere).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Fraction of substitution columns that are identities.
+    pub fn identity_fraction(&self) -> f64 {
+        let subs = self.ops.iter().filter(|o| **o == AlignOp::Sub).count();
+        if subs == 0 {
+            0.0
+        } else {
+            self.identities as f64 / subs as f64
+        }
+    }
+}
+
+/// Full Smith–Waterman/Gotoh with traceback.
+pub fn align_local(a: &Sequence, b: &Sequence, m: &ScoreMatrix, p: &AlignParams) -> Alignment {
+    let (na, nb) = (a.residues.len(), b.residues.len());
+    let empty = Alignment {
+        score: 0.0,
+        a_range: (0, 0),
+        b_range: (0, 0),
+        ops: Vec::new(),
+        identities: 0,
+        cells: (na as u64) * (nb as u64),
+    };
+    if na == 0 || nb == 0 {
+        return empty;
+    }
+    let w = nb + 1;
+    let mut h = vec![0.0f32; (na + 1) * w];
+    let mut e = vec![f32::NEG_INFINITY; (na + 1) * w];
+    let mut f = vec![f32::NEG_INFINITY; (na + 1) * w];
+    let mut best = 0.0f32;
+    let mut best_pos = (0usize, 0usize);
+    for i in 1..=na {
+        let ra = a.residues[i - 1] as usize;
+        for j in 1..=nb {
+            let rb = b.residues[j - 1] as usize;
+            let idx = i * w + j;
+            e[idx] = (h[idx - 1] - p.gap_open).max(e[idx - 1] - p.gap_extend);
+            f[idx] = (h[idx - w] - p.gap_open).max(f[idx - w] - p.gap_extend);
+            let diag = h[idx - w - 1] + m.score(ra, rb);
+            let v = diag.max(e[idx]).max(f[idx]).max(0.0);
+            h[idx] = v;
+            if v > best {
+                best = v;
+                best_pos = (i, j);
+            }
+        }
+    }
+    if best <= 0.0 {
+        return empty;
+    }
+    // Traceback from best_pos until H hits 0.
+    let (mut i, mut j) = best_pos;
+    let mut ops = Vec::new();
+    let mut identities = 0usize;
+    #[derive(PartialEq, Clone, Copy)]
+    enum State {
+        H,
+        E,
+        F,
+    }
+    let mut state = State::H;
+    while i > 0 && j > 0 {
+        let idx = i * w + j;
+        match state {
+            State::H => {
+                let v = h[idx];
+                if v == 0.0 {
+                    break;
+                }
+                let ra = a.residues[i - 1] as usize;
+                let rb = b.residues[j - 1] as usize;
+                let diag = h[idx - w - 1] + m.score(ra, rb);
+                if v == diag {
+                    ops.push(AlignOp::Sub);
+                    if ra == rb {
+                        identities += 1;
+                    }
+                    i -= 1;
+                    j -= 1;
+                } else if v == e[idx] {
+                    state = State::E;
+                } else if v == f[idx] {
+                    state = State::F;
+                } else {
+                    // Numerical tie broke differently; prefer diagonal.
+                    ops.push(AlignOp::Sub);
+                    if ra == rb {
+                        identities += 1;
+                    }
+                    i -= 1;
+                    j -= 1;
+                }
+            }
+            State::E => {
+                ops.push(AlignOp::InsB);
+                let from_open = h[idx - 1] - p.gap_open;
+                if e[idx] == from_open {
+                    state = State::H;
+                }
+                j -= 1;
+            }
+            State::F => {
+                ops.push(AlignOp::InsA);
+                let from_open = h[idx - w] - p.gap_open;
+                if f[idx] == from_open {
+                    state = State::H;
+                }
+                i -= 1;
+            }
+        }
+    }
+    ops.reverse();
+    Alignment {
+        score: best,
+        a_range: (i, best_pos.0),
+        b_range: (j, best_pos.1),
+        ops,
+        identities,
+        cells: (na as u64) * (nb as u64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pam::{PamFamily, FIXED_PAM};
+
+    fn seq(s: &str) -> Sequence {
+        Sequence::from_str(0, s).unwrap()
+    }
+
+    fn fam() -> PamFamily {
+        PamFamily::default()
+    }
+
+    #[test]
+    fn identical_sequences_score_sum_of_self_scores() {
+        let fam = fam();
+        let m = fam.nearest(FIXED_PAM);
+        let s = seq("MKVLAWGCH");
+        let out = align_score(&s, &s, m, &AlignParams::default());
+        let expected: f32 = s.residues.iter().map(|&r| m.score(r as usize, r as usize)).sum();
+        assert!((out.score - expected).abs() < 1e-3);
+    }
+
+    #[test]
+    fn score_is_symmetric() {
+        let fam = fam();
+        let m = fam.nearest(FIXED_PAM);
+        let a = seq("MKVLAWGCHDE");
+        let b = seq("MKVIAWCHDE");
+        let p = AlignParams::default();
+        let ab = align_score(&a, &b, m, &p).score;
+        let ba = align_score(&b, &a, m, &p).score;
+        assert!((ab - ba).abs() < 1e-3);
+    }
+
+    #[test]
+    fn local_alignment_ignores_junk_flanks() {
+        let fam = fam();
+        let m = fam.nearest(FIXED_PAM);
+        let p = AlignParams::default();
+        let core = "MKVLAWGCHDEMKVLAWGCHDE";
+        let a = seq(core);
+        let b = seq(&format!("PPPPPPPP{core}GGGGGGGG"));
+        let plain = align_score(&a, &a, m, &p).score;
+        let flanked = align_score(&a, &b, m, &p).score;
+        assert!((plain - flanked).abs() < 1e-3, "{plain} vs {flanked}");
+    }
+
+    #[test]
+    fn traceback_matches_score_only() {
+        let fam = fam();
+        let m = fam.nearest(FIXED_PAM);
+        let p = AlignParams::default();
+        let a = seq("MKVLAWGCHDEAAARNDCQE");
+        let b = seq("MKVIAWGHDEAAARNDC");
+        let fast = align_score(&a, &b, m, &p);
+        let full = align_local(&a, &b, m, &p);
+        assert!((fast.score - full.score).abs() < 1e-3);
+        assert!(!full.is_empty());
+        assert!(full.identities > 5);
+    }
+
+    #[test]
+    fn gap_cost_is_affine() {
+        let fam = fam();
+        let m = fam.nearest(FIXED_PAM);
+        let p = AlignParams::default();
+        // One long gap must beat two short gaps of the same total length.
+        let a = seq("MKVLAWGCHDEMKVLAWGCHDE");
+        let gap1 = seq("MKVLAWGCHDEAAAAMKVLAWGCHDE"); // one 4-gap
+        let s1 = align_score(&a, &gap1, m, &p).score;
+        let gap2 = seq("MKVLAWGAACHDEMKVLAWAAGCHDE"); // two 2-gaps
+        let s2 = align_score(&a, &gap2, m, &p).score;
+        assert!(s1 > s2, "affine: one gap {s1} should beat two {s2}");
+    }
+
+    #[test]
+    fn random_sequences_score_low() {
+        use rand::{Rng, SeedableRng};
+        let fam = fam();
+        let m = fam.nearest(FIXED_PAM);
+        let p = AlignParams::default();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let mut rand_seq = |n: usize, entry: u32| {
+            Sequence::new(entry, (0..n).map(|_| rng.gen_range(0..20u8)).collect())
+        };
+        let mut self_scores = 0.0;
+        let mut cross_scores = 0.0;
+        for i in 0..10 {
+            let a = rand_seq(200, i * 2);
+            let b = rand_seq(200, i * 2 + 1);
+            self_scores += align_score(&a, &a, m, &p).score;
+            cross_scores += align_score(&a, &b, m, &p).score;
+        }
+        assert!(
+            cross_scores < self_scores / 4.0,
+            "unrelated sequences should score far below self: {cross_scores} vs {self_scores}"
+        );
+    }
+
+    #[test]
+    fn empty_sequences_yield_empty_alignment() {
+        let fam = fam();
+        let m = fam.nearest(FIXED_PAM);
+        let p = AlignParams::default();
+        let a = seq("");
+        let b = seq("MKV");
+        assert_eq!(align_score(&a, &b, m, &p).score, 0.0);
+        assert!(align_local(&a, &b, m, &p).is_empty());
+    }
+
+    #[test]
+    fn traceback_ranges_are_consistent_with_ops() {
+        let fam = fam();
+        let m = fam.nearest(FIXED_PAM);
+        let p = AlignParams::default();
+        let a = seq("GGGGMKVLAWGCHDEGGGG");
+        let b = seq("PPPPMKVLAWGCHDEPPPP");
+        let al = align_local(&a, &b, m, &p);
+        let a_consumed = al.ops.iter().filter(|o| **o != AlignOp::InsB).count();
+        let b_consumed = al.ops.iter().filter(|o| **o != AlignOp::InsA).count();
+        assert_eq!(al.a_range.1 - al.a_range.0, a_consumed);
+        assert_eq!(al.b_range.1 - al.b_range.0, b_consumed);
+        // The conserved core is found.
+        assert!(al.identities >= 11);
+    }
+}

@@ -1,0 +1,135 @@
+//! The 20-letter amino-acid alphabet, background frequencies and
+//! physico-chemical properties.
+//!
+//! Frequencies are the Robinson–Robinson background frequencies used by
+//! most substitution-matrix derivations; properties (Kyte–Doolittle
+//! hydropathy, side-chain volume, charge, polarity) parameterize the
+//! synthetic mutation model in [`crate::pam`].
+
+/// Number of amino acids.
+pub const ALPHABET_SIZE: usize = 20;
+
+/// An amino acid, identified by its index in canonical one-letter order
+/// `ARNDCQEGHILKMFPSTWYV`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AminoAcid(pub u8);
+
+/// Canonical one-letter codes, index order used throughout the crate.
+pub const LETTERS: [char; ALPHABET_SIZE] = [
+    'A', 'R', 'N', 'D', 'C', 'Q', 'E', 'G', 'H', 'I', 'L', 'K', 'M', 'F', 'P', 'S', 'T', 'W',
+    'Y', 'V',
+];
+
+/// Background frequencies (Robinson & Robinson 1991), normalized.
+pub const FREQUENCIES: [f64; ALPHABET_SIZE] = [
+    0.07805, 0.05129, 0.04487, 0.05364, 0.01925, 0.04264, 0.06295, 0.07377, 0.02199, 0.05142,
+    0.09019, 0.05744, 0.02243, 0.03856, 0.05203, 0.07120, 0.05841, 0.01330, 0.03216, 0.06441,
+];
+
+/// Kyte–Doolittle hydropathy.
+pub const HYDROPATHY: [f64; ALPHABET_SIZE] = [
+    1.8, -4.5, -3.5, -3.5, 2.5, -3.5, -3.5, -0.4, -3.2, 4.5, 3.8, -3.9, 1.9, 2.8, -1.6, -0.8,
+    -0.7, -0.9, -1.3, 4.2,
+];
+
+/// Side-chain volume (Å³).
+pub const VOLUME: [f64; ALPHABET_SIZE] = [
+    88.6, 173.4, 114.1, 111.1, 108.5, 143.8, 138.4, 60.1, 153.2, 166.7, 166.7, 168.6, 162.9,
+    189.9, 112.7, 89.0, 116.1, 227.8, 193.6, 140.0,
+];
+
+/// Net side-chain charge at pH 7.
+pub const CHARGE: [f64; ALPHABET_SIZE] = [
+    0.0, 1.0, 0.0, -1.0, 0.0, 0.0, -1.0, 0.0, 0.5, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0,
+    0.0, 0.0,
+];
+
+/// Polar side chain (1) or not (0).
+pub const POLAR: [f64; ALPHABET_SIZE] = [
+    0.0, 1.0, 1.0, 1.0, 0.0, 1.0, 1.0, 0.0, 1.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0, 1.0, 0.0,
+    1.0, 0.0,
+];
+
+impl AminoAcid {
+    /// From a one-letter code (case-insensitive).
+    pub fn from_char(c: char) -> Option<AminoAcid> {
+        let upper = c.to_ascii_uppercase();
+        LETTERS.iter().position(|&l| l == upper).map(|i| AminoAcid(i as u8))
+    }
+
+    /// One-letter code.
+    pub fn to_char(self) -> char {
+        LETTERS[self.0 as usize]
+    }
+
+    /// Index in canonical order.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Background frequency.
+    pub fn frequency(self) -> f64 {
+        FREQUENCIES[self.index()]
+    }
+}
+
+/// Physico-chemical dissimilarity in normalized property space; drives the
+/// synthetic exchangeability model (similar residues exchange more often,
+/// as in empirical Dayhoff matrices).
+pub fn property_distance(a: usize, b: usize) -> f64 {
+    // Normalize each property by its observed range so no axis dominates.
+    let dh = (HYDROPATHY[a] - HYDROPATHY[b]) / 9.0; // range -4.5..4.5
+    let dv = (VOLUME[a] - VOLUME[b]) / 167.7; // range 60.1..227.8
+    let dc = (CHARGE[a] - CHARGE[b]) / 2.0;
+    let dp = POLAR[a] - POLAR[b];
+    (dh * dh + dv * dv + dc * dc + 0.5 * dp * dp).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequencies_sum_to_one() {
+        let s: f64 = FREQUENCIES.iter().sum();
+        assert!((s - 1.0).abs() < 1e-3, "sum {s}");
+    }
+
+    #[test]
+    fn char_roundtrip() {
+        for (i, &c) in LETTERS.iter().enumerate() {
+            let aa = AminoAcid::from_char(c).unwrap();
+            assert_eq!(aa.index(), i);
+            assert_eq!(aa.to_char(), c);
+            // Lowercase accepted.
+            assert_eq!(AminoAcid::from_char(c.to_ascii_lowercase()), Some(aa));
+        }
+        assert_eq!(AminoAcid::from_char('B'), None);
+        assert_eq!(AminoAcid::from_char('Z'), None);
+        assert_eq!(AminoAcid::from_char('*'), None);
+    }
+
+    #[test]
+    fn property_distance_is_metric_like() {
+        for a in 0..ALPHABET_SIZE {
+            assert_eq!(property_distance(a, a), 0.0);
+            for b in 0..ALPHABET_SIZE {
+                assert_eq!(property_distance(a, b), property_distance(b, a));
+                if a != b {
+                    assert!(property_distance(a, b) > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chemically_similar_pairs_are_close() {
+        let idx = |c: char| AminoAcid::from_char(c).unwrap().index();
+        // I/L (both large hydrophobic) closer than I/D (hydrophobic vs acid).
+        assert!(property_distance(idx('I'), idx('L')) < property_distance(idx('I'), idx('D')));
+        // D/E closer than D/W.
+        assert!(property_distance(idx('D'), idx('E')) < property_distance(idx('D'), idx('W')));
+        // S/T close.
+        assert!(property_distance(idx('S'), idx('T')) < 0.3);
+    }
+}

@@ -1,0 +1,145 @@
+//! The cost model: alignment work → reference-CPU milliseconds.
+//!
+//! Two uses:
+//!
+//! 1. **Real-compute mode** (granularity experiment, examples, tests): the
+//!    alignments actually run and report DP cell counts; the cost model
+//!    converts cells to virtual CPU time so the cluster simulator charges
+//!    realistic durations.
+//! 2. **Cost-model mode** (the full SP38 all-vs-all, N = 75 458): running
+//!    2.8 × 10⁹ alignments for real is pointless for a *systems*
+//!    experiment; instead TEU durations are synthesized from the same
+//!    per-cell model plus sampled sequence lengths.
+//!
+//! Calibration: Darwin is an *interpreted* language on 2000-era hardware;
+//! we charge 75 ns per DP cell at the 500 MHz reference, which puts the
+//! full all-vs-all at a few hundred reference-CPU-days — the scale of
+//! Table 1 — and a 500-entry all-vs-all around 1–2 reference-CPU-hours,
+//! the scale of Figure 4.  The per-process interpreter start-up cost is
+//! what makes very fine granularities waste CPU (the paper's S3 segment:
+//! "the overhead incurred from Darwin initialization stages, which are
+//! repeated 500 times").
+
+use serde::{Deserialize, Serialize};
+
+/// Tunable cost parameters (all in reference-machine units).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Nanoseconds of reference CPU per DP cell.
+    pub cell_ns: f64,
+    /// Darwin interpreter start-up per launched process (ms).
+    pub darwin_init_ms: f64,
+    /// Fraction of pairs that become matches and therefore go through the
+    /// refinement ladder (used only by cost-model mode).
+    pub match_rate: f64,
+    /// Ladder length for refinement cost (each match re-aligns this many
+    /// times).
+    pub refine_ladder: u32,
+    /// BioOpera dispatch/schedule/merge overhead per activity, wall-clock
+    /// ms (the paper: "a few seconds to schedule, distribute, initiate,
+    /// and merge").
+    pub dispatch_overhead_ms: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            cell_ns: 75.0,
+            darwin_init_ms: 2_500.0,
+            match_rate: 0.02,
+            refine_ladder: 12,
+            dispatch_overhead_ms: 2_000.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// CPU milliseconds for `cells` DP cells.
+    pub fn cells_ms(&self, cells: u64) -> f64 {
+        cells as f64 * self.cell_ns / 1e6
+    }
+
+    /// CPU ms for one pairwise alignment of lengths `la`, `lb`.
+    pub fn pair_ms(&self, la: usize, lb: usize) -> f64 {
+        self.cells_ms(la as u64 * lb as u64)
+    }
+
+    /// Expected CPU ms for one pair including amortized refinement:
+    /// `cells · (1 + match_rate · ladder)`.
+    pub fn pair_ms_with_refinement(&self, la: usize, lb: usize) -> f64 {
+        self.pair_ms(la, lb) * (1.0 + self.match_rate * self.refine_ladder as f64)
+    }
+
+    /// Expected CPU ms for a one-vs-all of a length-`l` query against a
+    /// database with `n` entries of mean length `mean_len`.
+    pub fn one_vs_all_ms(&self, l: usize, n: usize, mean_len: f64) -> f64 {
+        self.pair_ms_with_refinement(l, mean_len.round() as usize) * n as f64
+    }
+
+    /// Expected CPU for a full all-vs-all: `C(n,2)` pairs.
+    pub fn all_vs_all_ms(&self, n: usize, mean_len: f64) -> f64 {
+        let pairs = n as f64 * (n as f64 - 1.0) / 2.0;
+        self.pair_ms_with_refinement(mean_len.round() as usize, mean_len.round() as usize) * pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_costs_scale_linearly() {
+        let c = CostModel::default();
+        assert!((c.cells_ms(2_000_000) - 2.0 * c.cells_ms(1_000_000)).abs() < 1e-9);
+        assert!((c.pair_ms(100, 200) - c.cells_ms(20_000)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refinement_amortization_raises_cost_modestly() {
+        let c = CostModel::default();
+        let plain = c.pair_ms(150, 150);
+        let with = c.pair_ms_with_refinement(150, 150);
+        assert!(with > plain);
+        assert!(with < plain * 2.0, "2% match rate × 12 ladder ⇒ +24%");
+    }
+
+    #[test]
+    fn full_sp38_lands_at_table1_scale() {
+        // 75 458 sequences, mean length 370: the paper's Table 1 reports
+        // CPU(Π) in the hundreds of days.
+        let c = CostModel::default();
+        let days = c.all_vs_all_ms(75_458, 370.0) / 1000.0 / 86_400.0;
+        assert!(
+            (100.0..1200.0).contains(&days),
+            "SP38 all-vs-all should cost hundreds of reference-CPU days, got {days}"
+        );
+    }
+
+    #[test]
+    fn small_all_vs_all_lands_at_fig4_scale() {
+        // 500 entries at SwissProt-like mean length 370: Figure 4's CPU
+        // axis runs from ~2 500 s (1 TEU) to ~7 000 s (500 TEUs).
+        let c = CostModel::default();
+        let secs = c.all_vs_all_ms(500, 370.0) / 1000.0;
+        assert!(
+            (800.0..10_000.0).contains(&secs),
+            "500-entry all-vs-all should cost O(an hour), got {secs}s"
+        );
+    }
+
+    #[test]
+    fn init_overhead_dominates_at_fine_granularity() {
+        // 500 TEUs of a 500-entry dataset: per-TEU work ≈ total/500; the
+        // Darwin init must be a significant fraction (the paper's CPU
+        // doubling at n = 500).
+        let c = CostModel::default();
+        let total = c.all_vs_all_ms(500, 150.0);
+        let per_teu_work = total / 500.0;
+        assert!(
+            c.darwin_init_ms > 0.3 * per_teu_work,
+            "init {} should be comparable to per-TEU work {}",
+            c.darwin_init_ms,
+            per_teu_work
+        );
+    }
+}

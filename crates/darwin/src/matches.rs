@@ -1,0 +1,150 @@
+//! Match records — the output of the all-vs-all.
+//!
+//! "The result of the computation will be the set of all sequence pairs
+//! whose similarity scores reach a user-defined threshold, along with some
+//! information about the characteristics of the pairs" (§4).
+
+use serde::{Deserialize, Serialize};
+
+/// One above-threshold sequence pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Match {
+    /// Query entry number (always < `subject` after normalization).
+    pub query: u32,
+    /// Subject entry number.
+    pub subject: u32,
+    /// Similarity score from the fixed-PAM pass.
+    pub score: f32,
+    /// Refined score (PAM-distance maximizing), set by the second stage.
+    pub refined_score: f32,
+    /// Estimated PAM distance from refinement (0 until refined).
+    pub pam_distance: u32,
+}
+
+impl Match {
+    /// A match from the fixed-PAM pass, not yet refined.
+    pub fn unrefined(query: u32, subject: u32, score: f32) -> Match {
+        let (query, subject) = if query <= subject { (query, subject) } else { (subject, query) };
+        Match { query, subject, score, refined_score: score, pam_distance: 0 }
+    }
+}
+
+/// A set of matches with the merge orders the all-vs-all's final tasks
+/// produce: by entry number (the "master file") and by PAM distance.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MatchSet {
+    /// The matches, in unspecified order until sorted.
+    pub matches: Vec<Match>,
+}
+
+impl MatchSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        MatchSet::default()
+    }
+
+    /// Number of matches.
+    pub fn len(&self) -> usize {
+        self.matches.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.matches.is_empty()
+    }
+
+    /// Append another set (merging TEU results).
+    pub fn extend(&mut self, other: MatchSet) {
+        self.matches.extend(other.matches);
+    }
+
+    /// Task *Merge by Entry #*: sort by `(query, subject)` — the master
+    /// file order.  Deterministic regardless of TEU completion order.
+    pub fn sort_by_entry(&mut self) {
+        self.matches.sort_by(|a, b| (a.query, a.subject).cmp(&(b.query, b.subject)));
+    }
+
+    /// Task *Merge by PAM distance*: bucket matches by refined PAM
+    /// distance; returns `(distance, matches)` pairs ascending.
+    pub fn by_pam_distance(&self) -> Vec<(u32, Vec<Match>)> {
+        let mut sorted = self.matches.clone();
+        sorted.sort_by(|a, b| {
+            (a.pam_distance, a.query, a.subject).cmp(&(b.pam_distance, b.query, b.subject))
+        });
+        let mut out: Vec<(u32, Vec<Match>)> = Vec::new();
+        for m in sorted {
+            match out.last_mut() {
+                Some((d, bucket)) if *d == m.pam_distance => bucket.push(m),
+                _ => out.push((m.pam_distance, vec![m])),
+            }
+        }
+        out
+    }
+
+    /// A stable content digest, used by the recovery tests to prove that a
+    /// failure-ridden run produced byte-identical results to a clean run.
+    pub fn digest(&self) -> u64 {
+        let mut sorted = self.matches.clone();
+        sorted.sort_by(|a, b| (a.query, a.subject).cmp(&(b.query, b.subject)));
+        // FNV-1a over the canonical serialization.
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        let mut feed = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= b as u64;
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        for m in &sorted {
+            feed(&m.query.to_le_bytes());
+            feed(&m.subject.to_le_bytes());
+            feed(&m.score.to_bits().to_le_bytes());
+            feed(&m.refined_score.to_bits().to_le_bytes());
+            feed(&m.pam_distance.to_le_bytes());
+        }
+        hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(q: u32, s: u32, pam: u32) -> Match {
+        Match { query: q, subject: s, score: 100.0, refined_score: 110.0, pam_distance: pam }
+    }
+
+    #[test]
+    fn unrefined_normalizes_pair_order() {
+        let a = Match::unrefined(9, 3, 85.0);
+        assert_eq!((a.query, a.subject), (3, 9));
+    }
+
+    #[test]
+    fn sort_by_entry_is_canonical() {
+        let mut s1 = MatchSet { matches: vec![m(2, 5, 50), m(0, 1, 20), m(2, 3, 90)] };
+        let mut s2 = MatchSet { matches: vec![m(2, 3, 90), m(2, 5, 50), m(0, 1, 20)] };
+        s1.sort_by_entry();
+        s2.sort_by_entry();
+        assert_eq!(s1, s2);
+        assert_eq!(s1.matches[0].query, 0);
+    }
+
+    #[test]
+    fn pam_buckets_ascend() {
+        let s = MatchSet { matches: vec![m(0, 1, 90), m(1, 2, 20), m(3, 4, 90), m(5, 6, 20)] };
+        let buckets = s.by_pam_distance();
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].0, 20);
+        assert_eq!(buckets[0].1.len(), 2);
+        assert_eq!(buckets[1].0, 90);
+    }
+
+    #[test]
+    fn digest_is_order_insensitive_but_content_sensitive() {
+        let s1 = MatchSet { matches: vec![m(0, 1, 20), m(2, 3, 90)] };
+        let s2 = MatchSet { matches: vec![m(2, 3, 90), m(0, 1, 20)] };
+        assert_eq!(s1.digest(), s2.digest());
+        let s3 = MatchSet { matches: vec![m(0, 1, 21), m(2, 3, 90)] };
+        assert_ne!(s1.digest(), s3.digest());
+    }
+}

@@ -1,0 +1,304 @@
+//! Dayhoff-style PAM matrix family.
+//!
+//! The paper's all-vs-all uses "the GCB scoring matrices and an affine gap
+//! penalty" (Gonnet/Cohen/Benner 1992).  Those matrices are not
+//! redistributable, so we rebuild the *construction*: a reversible 1-PAM
+//! Markov mutation model (1 accepted point mutation per 100 residues),
+//! powered to any evolutionary distance `k`, converted to 10·log₁₀ odds
+//! scores:
+//!
+//! ```text
+//! S_k(i,j) = 10 · log10( M_k(i,j) / f_j )
+//! ```
+//!
+//! Exchangeabilities derive from physico-chemical similarity
+//! ([`crate::alphabet::property_distance`]), which reproduces the
+//! qualitative structure of empirical matrices (conservative substitutions
+//! score higher, rare residues such as W/C have sharp self-scores), and the
+//! model is exactly reversible, making scores symmetric.
+
+use crate::alphabet::{property_distance, ALPHABET_SIZE, FREQUENCIES};
+
+/// A 20×20 substitution score matrix at a specific PAM distance.
+#[derive(Debug, Clone)]
+pub struct ScoreMatrix {
+    /// The PAM distance this matrix represents.
+    pub pam: u32,
+    scores: [[f32; ALPHABET_SIZE]; ALPHABET_SIZE],
+}
+
+impl ScoreMatrix {
+    /// Score of aligning residues `a` and `b` (indices).
+    #[inline]
+    pub fn score(&self, a: usize, b: usize) -> f32 {
+        self.scores[a][b]
+    }
+
+    /// Maximum diagonal entry (used to bound per-residue similarity).
+    pub fn max_self_score(&self) -> f32 {
+        (0..ALPHABET_SIZE).map(|i| self.scores[i][i]).fold(f32::MIN, f32::max)
+    }
+
+    /// Expected score between two random residues; negative for any sane
+    /// matrix (required for local alignment to stay local).
+    pub fn expected_score(&self) -> f64 {
+        let mut e = 0.0;
+        for i in 0..ALPHABET_SIZE {
+            for j in 0..ALPHABET_SIZE {
+                e += FREQUENCIES[i] * FREQUENCIES[j] * self.scores[i][j] as f64;
+            }
+        }
+        e
+    }
+}
+
+type Matrix = [[f64; ALPHABET_SIZE]; ALPHABET_SIZE];
+
+fn mat_mul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = [[0.0; ALPHABET_SIZE]; ALPHABET_SIZE];
+    for i in 0..ALPHABET_SIZE {
+        for k in 0..ALPHABET_SIZE {
+            let aik = a[i][k];
+            if aik == 0.0 {
+                continue;
+            }
+            for j in 0..ALPHABET_SIZE {
+                out[i][j] += aik * b[k][j];
+            }
+        }
+    }
+    out
+}
+
+fn identity() -> Matrix {
+    let mut m = [[0.0; ALPHABET_SIZE]; ALPHABET_SIZE];
+    for (i, row) in m.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    m
+}
+
+/// Build the 1-PAM conditional mutation matrix `M1[i][j] = P(j | i)`.
+///
+/// Reversible by construction: off-diagonals are `c · f_j · exp(-d(i,j)/T)`
+/// with the scale `c` chosen so the expected mutation probability is 1 %.
+fn build_pam1() -> Matrix {
+    const TEMPERATURE: f64 = 0.45;
+    let mut raw = [[0.0; ALPHABET_SIZE]; ALPHABET_SIZE];
+    for i in 0..ALPHABET_SIZE {
+        for j in 0..ALPHABET_SIZE {
+            if i != j {
+                raw[i][j] = FREQUENCIES[j] * (-property_distance(i, j) / TEMPERATURE).exp();
+            }
+        }
+    }
+    // Expected mutation rate sum_i f_i sum_{j!=i} c*raw[i][j] = 0.01.
+    let total: f64 = (0..ALPHABET_SIZE)
+        .map(|i| FREQUENCIES[i] * raw[i].iter().sum::<f64>())
+        .sum();
+    let c = 0.01 / total;
+    let mut m = [[0.0; ALPHABET_SIZE]; ALPHABET_SIZE];
+    for i in 0..ALPHABET_SIZE {
+        let mut off = 0.0;
+        for j in 0..ALPHABET_SIZE {
+            if i != j {
+                m[i][j] = c * raw[i][j];
+                off += m[i][j];
+            }
+        }
+        m[i][i] = 1.0 - off;
+        assert!(m[i][i] > 0.9, "1-PAM diagonal must stay near 1");
+    }
+    m
+}
+
+/// `M1^k` by binary exponentiation.
+fn pam_power(m1: &Matrix, k: u32) -> Matrix {
+    let mut result = identity();
+    let mut base = *m1;
+    let mut e = k;
+    while e > 0 {
+        if e & 1 == 1 {
+            result = mat_mul(&result, &base);
+        }
+        base = mat_mul(&base, &base);
+        e >>= 1;
+    }
+    result
+}
+
+/// A family of PAM matrices sharing one mutation model, with cached score
+/// matrices on a ladder of distances (the refinement stage scans this
+/// ladder for the similarity-maximizing distance).
+pub struct PamFamily {
+    m1: Matrix,
+    ladder: Vec<ScoreMatrix>,
+}
+
+/// The ladder of PAM distances the refinement stage scans.
+pub const DEFAULT_LADDER: [u32; 12] = [10, 20, 35, 50, 70, 90, 120, 150, 180, 220, 260, 300];
+
+/// The fixed distance used by the first (fast) all-vs-all pass.
+pub const FIXED_PAM: u32 = 120;
+
+impl Default for PamFamily {
+    fn default() -> Self {
+        Self::new(&DEFAULT_LADDER)
+    }
+}
+
+impl PamFamily {
+    /// Build the family with score matrices cached at `ladder` distances.
+    pub fn new(ladder: &[u32]) -> Self {
+        let m1 = build_pam1();
+        let mut fam = PamFamily { m1, ladder: Vec::new() };
+        fam.ladder = ladder.iter().map(|&k| fam.build_scores(k)).collect();
+        fam
+    }
+
+    /// The conditional mutation matrix at distance `k` (used by the
+    /// dataset generator to evolve sequences).
+    pub fn mutation_matrix(&self, k: u32) -> [[f64; ALPHABET_SIZE]; ALPHABET_SIZE] {
+        pam_power(&self.m1, k)
+    }
+
+    /// Build (uncached) scores at distance `k`.
+    pub fn build_scores(&self, k: u32) -> ScoreMatrix {
+        let mk = pam_power(&self.m1, k.max(1));
+        let mut scores = [[0.0f32; ALPHABET_SIZE]; ALPHABET_SIZE];
+        for i in 0..ALPHABET_SIZE {
+            for j in 0..ALPHABET_SIZE {
+                // Symmetrize explicitly to erase floating-point drift.
+                let odds_ij = mk[i][j] / FREQUENCIES[j];
+                let odds_ji = mk[j][i] / FREQUENCIES[i];
+                scores[i][j] = (10.0 * (0.5 * (odds_ij + odds_ji)).log10()) as f32;
+            }
+        }
+        ScoreMatrix { pam: k, scores }
+    }
+
+    /// The cached ladder, ascending by PAM distance.
+    pub fn ladder(&self) -> &[ScoreMatrix] {
+        &self.ladder
+    }
+
+    /// The cached matrix closest to distance `k`.
+    pub fn nearest(&self, k: u32) -> &ScoreMatrix {
+        self.ladder
+            .iter()
+            .min_by_key(|m| m.pam.abs_diff(k))
+            .expect("ladder is never empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::AminoAcid;
+
+    fn idx(c: char) -> usize {
+        AminoAcid::from_char(c).unwrap().index()
+    }
+
+    #[test]
+    fn pam1_is_stochastic_and_reversible() {
+        let m = build_pam1();
+        for row in m.iter() {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+        for i in 0..ALPHABET_SIZE {
+            for j in 0..ALPHABET_SIZE {
+                let detail_i = FREQUENCIES[i] * m[i][j];
+                let detail_j = FREQUENCIES[j] * m[j][i];
+                assert!(
+                    (detail_i - detail_j).abs() < 1e-12,
+                    "detailed balance broken at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pam1_mutation_rate_is_one_percent() {
+        let m = build_pam1();
+        let rate: f64 = (0..ALPHABET_SIZE)
+            .map(|i| FREQUENCIES[i] * (1.0 - m[i][i]))
+            .sum();
+        assert!((rate - 0.01).abs() < 1e-9, "rate {rate}");
+    }
+
+    #[test]
+    fn powers_remain_stochastic() {
+        let fam = PamFamily::default();
+        for k in [1, 10, 100, 250] {
+            let mk = fam.mutation_matrix(k);
+            for row in mk.iter() {
+                let s: f64 = row.iter().sum();
+                assert!((s - 1.0).abs() < 1e-9, "PAM{k} row sum {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn scores_are_symmetric_with_positive_diagonal() {
+        let fam = PamFamily::default();
+        for m in fam.ladder() {
+            for i in 0..ALPHABET_SIZE {
+                assert!(m.score(i, i) > 0.0, "PAM{} self-score of {i}", m.pam);
+                for j in 0..ALPHABET_SIZE {
+                    assert!(
+                        (m.score(i, j) - m.score(j, i)).abs() < 1e-4,
+                        "asymmetry at PAM{} ({i},{j})",
+                        m.pam
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expected_score_is_negative() {
+        // Required for Smith–Waterman locality.
+        let fam = PamFamily::default();
+        for m in fam.ladder() {
+            assert!(m.expected_score() < 0.0, "PAM{} expected score >= 0", m.pam);
+        }
+    }
+
+    #[test]
+    fn conservative_substitutions_outscore_radical_ones() {
+        let fam = PamFamily::default();
+        let m = fam.nearest(FIXED_PAM);
+        assert!(m.score(idx('I'), idx('L')) > m.score(idx('I'), idx('D')));
+        assert!(m.score(idx('D'), idx('E')) > m.score(idx('D'), idx('W')));
+        assert!(m.score(idx('K'), idx('R')) > m.score(idx('K'), idx('C')));
+    }
+
+    #[test]
+    fn rare_residues_have_sharp_self_scores() {
+        let fam = PamFamily::default();
+        let m = fam.nearest(FIXED_PAM);
+        // W and C are rare: their identities are the most informative.
+        assert!(m.score(idx('W'), idx('W')) > m.score(idx('A'), idx('A')));
+        assert!(m.score(idx('C'), idx('C')) > m.score(idx('S'), idx('S')));
+    }
+
+    #[test]
+    fn self_scores_decay_with_distance() {
+        let fam = PamFamily::default();
+        let near = fam.nearest(10);
+        let far = fam.nearest(300);
+        for i in 0..ALPHABET_SIZE {
+            assert!(near.score(i, i) > far.score(i, i));
+        }
+    }
+
+    #[test]
+    fn nearest_picks_closest_ladder_point() {
+        let fam = PamFamily::default();
+        assert_eq!(fam.nearest(5).pam, 10);
+        assert_eq!(fam.nearest(95).pam, 90);
+        assert_eq!(fam.nearest(1000).pam, 300);
+    }
+}

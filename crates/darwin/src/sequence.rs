@@ -1,0 +1,72 @@
+//! Protein sequences.
+
+use crate::alphabet::{AminoAcid, LETTERS};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A protein sequence: an entry number (its index in the database, as used
+/// by the all-vs-all queue file) plus residue indices.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Sequence {
+    /// Database entry number.
+    pub entry: u32,
+    /// Residues as alphabet indices (0..20).
+    pub residues: Vec<u8>,
+}
+
+impl Sequence {
+    /// Build from residue indices.
+    pub fn new(entry: u32, residues: Vec<u8>) -> Self {
+        debug_assert!(residues.iter().all(|&r| (r as usize) < LETTERS.len()));
+        Sequence { entry, residues }
+    }
+
+    /// Parse from one-letter codes; unknown letters are rejected.
+    pub fn from_str(entry: u32, s: &str) -> Option<Self> {
+        let residues: Option<Vec<u8>> =
+            s.chars().map(|c| AminoAcid::from_char(c).map(|a| a.0)).collect();
+        residues.map(|r| Sequence { entry, residues: r })
+    }
+
+    /// Length in residues.
+    pub fn len(&self) -> usize {
+        self.residues.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.residues.is_empty()
+    }
+}
+
+impl fmt::Display for Sequence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &r in &self.residues {
+            write!(f, "{}", LETTERS[r as usize])?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_display_roundtrip() {
+        let s = Sequence::from_str(7, "MKVLAW").unwrap();
+        assert_eq!(s.entry, 7);
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.to_string(), "MKVLAW");
+    }
+
+    #[test]
+    fn rejects_unknown_letters() {
+        assert!(Sequence::from_str(0, "MKXB").is_none());
+    }
+
+    #[test]
+    fn lowercase_accepted() {
+        assert_eq!(Sequence::from_str(0, "mkv").unwrap().to_string(), "MKV");
+    }
+}

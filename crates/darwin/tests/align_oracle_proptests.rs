@@ -1,0 +1,127 @@
+//! Property tests pitting the Gotoh DP aligner against a brute-force
+//! oracle that enumerates *every* local alignment of tiny sequences.
+//! If the DP recurrences mis-handle affine gap transitions, this finds it.
+
+use bioopera_darwin::align::{align_local, align_score, AlignParams};
+use bioopera_darwin::pam::PamFamily;
+use bioopera_darwin::Sequence;
+use proptest::prelude::*;
+
+/// Enumerate all local alignments by recursion over (i, j) cursors with an
+/// explicit "in gap" state, returning the best score.  Exponential — only
+/// usable for sequences of length ≤ 7.
+fn brute_force_best(
+    a: &[u8],
+    b: &[u8],
+    m: &bioopera_darwin::ScoreMatrix,
+    p: &AlignParams,
+) -> f32 {
+    #[derive(Clone, Copy, PartialEq)]
+    enum GapState {
+        None,
+        InA, // gap in a (consuming b)
+        InB, // gap in b (consuming a)
+    }
+    fn go(
+        a: &[u8],
+        b: &[u8],
+        i: usize,
+        j: usize,
+        state: GapState,
+        m: &bioopera_darwin::ScoreMatrix,
+        p: &AlignParams,
+    ) -> f32 {
+        // Best continuation from (i, j); may stop here (local alignment).
+        let mut best = 0.0f32;
+        if i < a.len() && j < b.len() {
+            let sub = m.score(a[i] as usize, b[j] as usize)
+                + go(a, b, i + 1, j + 1, GapState::None, m, p);
+            best = best.max(sub);
+        }
+        if j < b.len() {
+            let cost = if state == GapState::InA { p.gap_extend } else { p.gap_open };
+            best = best.max(-cost + go(a, b, i, j + 1, GapState::InA, m, p));
+        }
+        if i < a.len() {
+            let cost = if state == GapState::InB { p.gap_extend } else { p.gap_open };
+            best = best.max(-cost + go(a, b, i + 1, j, GapState::InB, m, p));
+        }
+        best
+    }
+    // Try every start position pair.
+    let mut best = 0.0f32;
+    for i in 0..=a.len() {
+        for j in 0..=b.len() {
+            best = best.max(go(a, b, i, j, GapState::None, m, p));
+        }
+    }
+    best
+}
+
+fn residues(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..20, 0..=max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dp_matches_brute_force_on_tiny_sequences(a in residues(6), b in residues(6)) {
+        let fam = PamFamily::default();
+        let m = fam.nearest(120);
+        let p = AlignParams::default();
+        let sa = Sequence::new(0, a);
+        let sb = Sequence::new(1, b);
+        let dp = align_score(&sa, &sb, m, &p).score;
+        let oracle = brute_force_best(&sa.residues, &sb.residues, m, &p);
+        prop_assert!((dp - oracle).abs() < 1e-3, "dp {dp} vs oracle {oracle}");
+    }
+
+    #[test]
+    fn traceback_score_equals_rolling_score(a in residues(24), b in residues(24)) {
+        let fam = PamFamily::default();
+        let m = fam.nearest(120);
+        let p = AlignParams::default();
+        let sa = Sequence::new(0, a);
+        let sb = Sequence::new(1, b);
+        let fast = align_score(&sa, &sb, m, &p).score;
+        let full = align_local(&sa, &sb, m, &p);
+        prop_assert!((fast - full.score).abs() < 1e-3);
+        // Traceback consistency: op counts match the covered ranges.
+        use bioopera_darwin::align::AlignOp;
+        let a_used = full.ops.iter().filter(|o| **o != AlignOp::InsB).count();
+        let b_used = full.ops.iter().filter(|o| **o != AlignOp::InsA).count();
+        prop_assert_eq!(full.a_range.1 - full.a_range.0, a_used);
+        prop_assert_eq!(full.b_range.1 - full.b_range.0, b_used);
+        prop_assert!(full.identities <= full.ops.len());
+    }
+
+    #[test]
+    fn score_symmetric_under_argument_swap(a in residues(20), b in residues(20)) {
+        let fam = PamFamily::default();
+        let m = fam.nearest(120);
+        let p = AlignParams::default();
+        let sa = Sequence::new(0, a);
+        let sb = Sequence::new(1, b);
+        let ab = align_score(&sa, &sb, m, &p).score;
+        let ba = align_score(&sb, &sa, m, &p).score;
+        prop_assert!((ab - ba).abs() < 1e-3, "{ab} vs {ba}");
+    }
+
+    #[test]
+    fn appending_residues_never_lowers_the_score(a in residues(16), b in residues(16), extra in residues(4)) {
+        // Local alignment can always ignore a suffix: score is monotone
+        // under concatenation.
+        let fam = PamFamily::default();
+        let m = fam.nearest(120);
+        let p = AlignParams::default();
+        let sa = Sequence::new(0, a.clone());
+        let sb = Sequence::new(1, b);
+        let base = align_score(&sa, &sb, m, &p).score;
+        let mut longer = a;
+        longer.extend(extra);
+        let sa2 = Sequence::new(0, longer);
+        let grown = align_score(&sa2, &sb, m, &p).score;
+        prop_assert!(grown + 1e-3 >= base, "grown {grown} < base {base}");
+    }
+}

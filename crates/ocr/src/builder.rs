@@ -1,0 +1,316 @@
+//! Fluent construction of process templates.
+//!
+//! The paper's GUI "process creation element ... allows users to create
+//! processes by simply selecting activities from the library management
+//! element, combining them ... and specifying the flow of control and data
+//! among them".  [`ProcessBuilder`] is the programmatic equivalent; the
+//! textual OCR parser produces the same [`ProcessTemplate`]s.
+
+use crate::expr::Expr;
+use crate::model::*;
+use crate::validate::{validate, ValidationError};
+use crate::value::Value;
+
+/// Builder for [`ProcessTemplate`].
+///
+/// ```
+/// use bioopera_ocr::{ProcessBuilder, Expr, TypeTag};
+///
+/// let process = ProcessBuilder::new("Demo")
+///     .whiteboard_field("db_name", TypeTag::Str)
+///     .activity("Fetch", "lib.fetch", |t| t.output("data", TypeTag::List))
+///     .activity("Report", "lib.report", |t| t.input("data", TypeTag::List))
+///     .connect("Fetch", "Report")
+///     .flow_to_task("Fetch", "data", "Report", "data")
+///     .build()
+///     .unwrap();
+/// assert_eq!(process.tasks.len(), 2);
+/// ```
+pub struct ProcessBuilder {
+    template: ProcessTemplate,
+}
+
+/// Builder scope for one task's input/output structures and retry policy.
+pub struct TaskBuilder {
+    task: Task,
+}
+
+impl TaskBuilder {
+    /// Declare an input field.
+    pub fn input(mut self, name: impl Into<String>, ty: TypeTag) -> Self {
+        self.task.inputs.push(FieldDecl::new(name, ty));
+        self
+    }
+
+    /// Declare an input field with a default value.
+    pub fn input_default(mut self, name: impl Into<String>, ty: TypeTag, v: Value) -> Self {
+        self.task.inputs.push(FieldDecl::with_default(name, ty, v));
+        self
+    }
+
+    /// Declare an output field.
+    pub fn output(mut self, name: impl Into<String>, ty: TypeTag) -> Self {
+        self.task.outputs.push(FieldDecl::new(name, ty));
+        self
+    }
+
+    /// Set the automatic retry count.
+    pub fn retries(mut self, n: u32) -> Self {
+        self.task.retries = n;
+        self
+    }
+
+    /// Constrain placement to an OS (activities only; ignored otherwise).
+    pub fn on_os(mut self, os: impl Into<String>) -> Self {
+        if let TaskKind::Activity { binding } = &mut self.task.kind {
+            binding.os = Some(os.into());
+        }
+        self
+    }
+
+    /// Constrain placement to specific hosts (activities only).
+    pub fn on_hosts(mut self, hosts: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        if let TaskKind::Activity { binding } = &mut self.task.kind {
+            binding.hosts = hosts.into_iter().map(Into::into).collect();
+        }
+        self
+    }
+}
+
+impl ProcessBuilder {
+    /// Start a template named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProcessBuilder { template: ProcessTemplate::empty(name) }
+    }
+
+    /// Declare a whiteboard field.
+    pub fn whiteboard_field(mut self, name: impl Into<String>, ty: TypeTag) -> Self {
+        self.template.whiteboard.push(FieldDecl::new(name, ty));
+        self
+    }
+
+    /// Declare a whiteboard field with a default value.
+    pub fn whiteboard_default(mut self, name: impl Into<String>, ty: TypeTag, v: Value) -> Self {
+        self.template.whiteboard.push(FieldDecl::with_default(name, ty, v));
+        self
+    }
+
+    /// Add an activity task bound to `program`; configure it in `f`.
+    pub fn activity(
+        mut self,
+        name: impl Into<String>,
+        program: impl Into<String>,
+        f: impl FnOnce(TaskBuilder) -> TaskBuilder,
+    ) -> Self {
+        let tb = TaskBuilder {
+            task: Task {
+                name: name.into(),
+                kind: TaskKind::Activity { binding: ExternalBinding::program(program) },
+                inputs: Vec::new(),
+                outputs: Vec::new(),
+                retries: 0,
+            },
+        };
+        self.template.tasks.push(f(tb).task);
+        self
+    }
+
+    /// Add a subprocess task referencing `template` (late-bound).
+    pub fn subprocess(
+        mut self,
+        name: impl Into<String>,
+        template: impl Into<String>,
+        f: impl FnOnce(TaskBuilder) -> TaskBuilder,
+    ) -> Self {
+        let tb = TaskBuilder {
+            task: Task {
+                name: name.into(),
+                kind: TaskKind::Subprocess { template: template.into() },
+                inputs: Vec::new(),
+                outputs: Vec::new(),
+                retries: 0,
+            },
+        };
+        self.template.tasks.push(f(tb).task);
+        self
+    }
+
+    /// Add a parallel task fanning out over input list `over`, running
+    /// `body` per element, collecting results in output field `collect`.
+    pub fn parallel(
+        mut self,
+        name: impl Into<String>,
+        over: impl Into<String>,
+        body: ParallelBody,
+        collect: impl Into<String>,
+        f: impl FnOnce(TaskBuilder) -> TaskBuilder,
+    ) -> Self {
+        let over = over.into();
+        let collect = collect.into();
+        let tb = TaskBuilder {
+            task: Task {
+                name: name.into(),
+                kind: TaskKind::Parallel { over: over.clone(), body, collect: collect.clone() },
+                inputs: vec![FieldDecl::new(over, TypeTag::List)],
+                outputs: vec![FieldDecl::new(collect, TypeTag::List)],
+                retries: 0,
+            },
+        };
+        self.template.tasks.push(f(tb).task);
+        self
+    }
+
+    /// Connect `from -> to` unconditionally.
+    pub fn connect(self, from: impl Into<String>, to: impl Into<String>) -> Self {
+        self.connect_when(from, to, Expr::truth())
+    }
+
+    /// Connect `from -> to` with an activation condition.
+    pub fn connect_when(mut self, from: impl Into<String>, to: impl Into<String>, cond: Expr) -> Self {
+        self.template.connectors.push(ControlConnector {
+            from: from.into(),
+            to: to.into(),
+            condition: cond,
+        });
+        self
+    }
+
+    /// Map a task output to another task's input.
+    pub fn flow_to_task(
+        mut self,
+        from_task: impl Into<String>,
+        from_field: impl Into<String>,
+        to_task: impl Into<String>,
+        to_field: impl Into<String>,
+    ) -> Self {
+        self.template.dataflows.push(DataFlow {
+            from: DataRef::TaskField(from_task.into(), from_field.into()),
+            to: DataRef::TaskField(to_task.into(), to_field.into()),
+        });
+        self
+    }
+
+    /// Map a task output to the whiteboard.
+    pub fn flow_to_whiteboard(
+        mut self,
+        from_task: impl Into<String>,
+        from_field: impl Into<String>,
+        wb_field: impl Into<String>,
+    ) -> Self {
+        self.template.dataflows.push(DataFlow {
+            from: DataRef::TaskField(from_task.into(), from_field.into()),
+            to: DataRef::Whiteboard(wb_field.into()),
+        });
+        self
+    }
+
+    /// Map a whiteboard field into a task input.
+    pub fn flow_from_whiteboard(
+        mut self,
+        wb_field: impl Into<String>,
+        to_task: impl Into<String>,
+        to_field: impl Into<String>,
+    ) -> Self {
+        self.template.dataflows.push(DataFlow {
+            from: DataRef::Whiteboard(wb_field.into()),
+            to: DataRef::TaskField(to_task.into(), to_field.into()),
+        });
+        self
+    }
+
+    /// Group tasks into a named block.
+    pub fn block(mut self, name: impl Into<String>, members: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        self.template.blocks.push(Block {
+            name: name.into(),
+            members: members.into_iter().map(Into::into).collect(),
+        });
+        self
+    }
+
+    /// Install a failure handler for `task` (or `"*"`).
+    pub fn on_failure(mut self, task: impl Into<String>, policy: FailurePolicy) -> Self {
+        self.template.on_failure.push(FailureHandler { task: task.into(), policy });
+        self
+    }
+
+    /// Install an event handler.
+    pub fn on_event(mut self, event: impl Into<String>, action: EventAction) -> Self {
+        self.template.on_event.push(EventHandler { event: event.into(), action });
+        self
+    }
+
+    /// Declare a sphere of atomicity.
+    pub fn sphere(
+        mut self,
+        name: impl Into<String>,
+        members: impl IntoIterator<Item = impl Into<String>>,
+        compensations: impl IntoIterator<Item = (impl Into<String>, impl Into<String>)>,
+    ) -> Self {
+        self.template.spheres.push(Sphere {
+            name: name.into(),
+            members: members.into_iter().map(Into::into).collect(),
+            compensations: compensations.into_iter().map(|(t, p)| (t.into(), p.into())).collect(),
+        });
+        self
+    }
+
+    /// Validate and return the template.
+    pub fn build(self) -> Result<ProcessTemplate, ValidationError> {
+        validate(&self.template)?;
+        Ok(self.template)
+    }
+
+    /// Return the template without validation (for tests of the validator).
+    pub fn build_unchecked(self) -> ProcessTemplate {
+        self.template
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_valid_linear_process() {
+        let p = ProcessBuilder::new("Linear")
+            .whiteboard_default("db", TypeTag::Str, Value::from("sp38"))
+            .activity("A", "lib.a", |t| t.output("out", TypeTag::Int).retries(2))
+            .activity("B", "lib.b", |t| t.input("in", TypeTag::Int))
+            .connect("A", "B")
+            .flow_to_task("A", "out", "B", "in")
+            .build()
+            .unwrap();
+        assert_eq!(p.initial_tasks(), vec!["A"]);
+        assert_eq!(p.task("A").unwrap().retries, 2);
+    }
+
+    #[test]
+    fn builder_parallel_task_declares_fields() {
+        let p = ProcessBuilder::new("Par")
+            .activity("Prep", "lib.prep", |t| t.output("parts", TypeTag::List))
+            .parallel("Fan", "parts", ParallelBody::Activity(ExternalBinding::program("lib.work")), "results", |t| t)
+            .connect("Prep", "Fan")
+            .flow_to_task("Prep", "parts", "Fan", "parts")
+            .build()
+            .unwrap();
+        let fan = p.task("Fan").unwrap();
+        assert!(fan.inputs.iter().any(|f| f.name == "parts"));
+        assert!(fan.outputs.iter().any(|f| f.name == "results"));
+    }
+
+    #[test]
+    fn placement_constraints_only_affect_activities() {
+        let p = ProcessBuilder::new("P")
+            .activity("A", "lib.a", |t| t.on_os("linux").on_hosts(["n1", "n2"]))
+            .subprocess("S", "Sub", |t| t.on_os("ignored"))
+            .build_unchecked();
+        match &p.task("A").unwrap().kind {
+            TaskKind::Activity { binding } => {
+                assert_eq!(binding.os.as_deref(), Some("linux"));
+                assert_eq!(binding.hosts, vec!["n1", "n2"]);
+            }
+            _ => panic!(),
+        }
+        assert!(matches!(p.task("S").unwrap().kind, TaskKind::Subprocess { .. }));
+    }
+}

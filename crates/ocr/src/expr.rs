@@ -1,0 +1,638 @@
+//! Activation conditions and guard expressions.
+//!
+//! Every control connector carries an activation condition `C_act` that "is
+//! capable of restricting the execution of its target task based on the
+//! state of data objects" (paper §3.1).  Conditions are small, side-effect
+//! free expressions over the whiteboard and over task output structures,
+//! e.g. `!defined(UserInput.queue_file)` on the connector that routes to
+//! queue generation.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Binary operators, in the concrete syntax of the OCR text format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BinOp {
+    /// Logical conjunction `&&` (short-circuit).
+    And,
+    /// Logical disjunction `||` (short-circuit).
+    Or,
+    /// Equality `==` (structural).
+    Eq,
+    /// Inequality `!=`.
+    Ne,
+    /// `<` on numbers or strings.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `+` on numbers; concatenation on strings and lists.
+    Add,
+    /// `-`.
+    Sub,
+    /// `*`.
+    Mul,
+    /// `/` (integer division when both operands are ints; errors on 0).
+    Div,
+    /// `%` (ints only; errors on 0).
+    Mod,
+}
+
+impl BinOp {
+    fn symbol(self) -> &'static str {
+        match self {
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+        }
+    }
+
+    /// Parser precedence (higher binds tighter).
+    pub(crate) fn precedence(self) -> u8 {
+        match self {
+            BinOp::Or => 1,
+            BinOp::And => 2,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 3,
+            BinOp::Add | BinOp::Sub => 4,
+            BinOp::Mul | BinOp::Div | BinOp::Mod => 5,
+        }
+    }
+}
+
+/// A guard expression AST.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// A literal value.
+    Lit(Value),
+    /// A dotted data reference, e.g. `UserInput.queue_file` or `db_name`
+    /// (a bare name resolves against the whiteboard).
+    Path(Vec<String>),
+    /// Logical negation `!e`.
+    Not(Box<Expr>),
+    /// Arithmetic negation `-e`.
+    Neg(Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Built-in call: `defined(x)`, `len(x)`, `contains(xs, v)`,
+    /// `empty(x)`, `typeof(x)`, `min(a,b)`, `max(a,b)`.
+    Call(String, Vec<Expr>),
+}
+
+impl Expr {
+    /// The constant `true`, the default activation condition.
+    pub fn truth() -> Expr {
+        Expr::Lit(Value::Bool(true))
+    }
+
+    /// Shorthand for a dotted path expression.
+    pub fn path(p: &str) -> Expr {
+        Expr::Path(p.split('.').map(|s| s.to_string()).collect())
+    }
+
+    /// `defined(path)`.
+    pub fn defined(p: &str) -> Expr {
+        Expr::Call("defined".into(), vec![Expr::path(p)])
+    }
+
+    /// `!defined(path)`.
+    pub fn undefined(p: &str) -> Expr {
+        Expr::Not(Box::new(Expr::defined(p)))
+    }
+
+    /// Is this the constant-true guard?
+    pub fn is_trivially_true(&self) -> bool {
+        matches!(self, Expr::Lit(Value::Bool(true)))
+    }
+
+    /// All paths referenced by the expression (for validation).
+    pub fn referenced_paths(&self) -> Vec<Vec<String>> {
+        let mut out = Vec::new();
+        self.collect_paths(&mut out);
+        out
+    }
+
+    fn collect_paths(&self, out: &mut Vec<Vec<String>>) {
+        match self {
+            Expr::Lit(_) => {}
+            Expr::Path(p) => out.push(p.clone()),
+            Expr::Not(e) | Expr::Neg(e) => e.collect_paths(out),
+            Expr::Bin(_, a, b) => {
+                a.collect_paths(out);
+                b.collect_paths(out);
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.collect_paths(out);
+                }
+            }
+        }
+    }
+}
+
+/// Errors raised while evaluating a guard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A path did not resolve to any value.
+    UnknownPath(String),
+    /// An operator was applied to incompatible types.
+    TypeMismatch(String),
+    /// Division or modulo by zero.
+    DivisionByZero,
+    /// Unknown built-in or wrong arity.
+    BadCall(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnknownPath(p) => write!(f, "unknown data reference `{p}`"),
+            EvalError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            EvalError::DivisionByZero => write!(f, "division by zero"),
+            EvalError::BadCall(m) => write!(f, "bad call: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// The environment a guard evaluates against.
+///
+/// `lookup(&["UserInput", "queue_file"])` resolves a dotted path.  Unknown
+/// *leaf fields* of known containers should resolve to [`Value::Null`] so
+/// that `defined(...)` works as the paper uses it; a completely unknown root
+/// should return `None`, which evaluation reports as an error.
+pub trait Env {
+    /// Resolve a dotted path.
+    fn lookup(&self, path: &[String]) -> Option<Value>;
+}
+
+/// An [`Env`] over a single map value; used for tests and for block-local
+/// scopes.
+pub struct MapEnv<'a>(pub &'a Value);
+
+impl Env for MapEnv<'_> {
+    fn lookup(&self, path: &[String]) -> Option<Value> {
+        let segs: Vec<&str> = path.iter().map(|s| s.as_str()).collect();
+        self.0.get_path(&segs).cloned()
+    }
+}
+
+/// Evaluate `expr` in `env`.
+pub fn eval(expr: &Expr, env: &dyn Env) -> Result<Value, EvalError> {
+    match expr {
+        Expr::Lit(v) => Ok(v.clone()),
+        Expr::Path(p) => env
+            .lookup(p)
+            .ok_or_else(|| EvalError::UnknownPath(p.join("."))),
+        Expr::Not(e) => {
+            let v = eval(e, env)?;
+            match v {
+                Value::Bool(b) => Ok(Value::Bool(!b)),
+                Value::Null => Ok(Value::Bool(true)),
+                other => Err(EvalError::TypeMismatch(format!(
+                    "! applied to {}",
+                    other.type_name()
+                ))),
+            }
+        }
+        Expr::Neg(e) => {
+            let v = eval(e, env)?;
+            match v {
+                Value::Int(i) => Ok(Value::Int(-i)),
+                Value::Float(f) => Ok(Value::Float(-f)),
+                other => Err(EvalError::TypeMismatch(format!(
+                    "- applied to {}",
+                    other.type_name()
+                ))),
+            }
+        }
+        Expr::Bin(op, a, b) => eval_bin(*op, a, b, env),
+        Expr::Call(name, args) => eval_call(name, args, env),
+    }
+}
+
+/// Evaluate `expr` and coerce to a boolean (activation-condition semantics:
+/// `Null` counts as `false`, so a connector guarded on missing optional data
+/// simply does not fire).
+pub fn eval_bool(expr: &Expr, env: &dyn Env) -> Result<bool, EvalError> {
+    match eval(expr, env)? {
+        Value::Bool(b) => Ok(b),
+        Value::Null => Ok(false),
+        other => Err(EvalError::TypeMismatch(format!(
+            "activation condition produced {}, expected bool",
+            other.type_name()
+        ))),
+    }
+}
+
+fn eval_bin(op: BinOp, a: &Expr, b: &Expr, env: &dyn Env) -> Result<Value, EvalError> {
+    // Short-circuit logicals first.
+    match op {
+        BinOp::And => {
+            return Ok(Value::Bool(eval_bool(a, env)? && eval_bool(b, env)?));
+        }
+        BinOp::Or => {
+            return Ok(Value::Bool(eval_bool(a, env)? || eval_bool(b, env)?));
+        }
+        _ => {}
+    }
+    let va = eval(a, env)?;
+    let vb = eval(b, env)?;
+    match op {
+        BinOp::Eq => Ok(Value::Bool(values_equal(&va, &vb))),
+        BinOp::Ne => Ok(Value::Bool(!values_equal(&va, &vb))),
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            let ord = compare(&va, &vb)?;
+            Ok(Value::Bool(match op {
+                BinOp::Lt => ord == std::cmp::Ordering::Less,
+                BinOp::Le => ord != std::cmp::Ordering::Greater,
+                BinOp::Gt => ord == std::cmp::Ordering::Greater,
+                BinOp::Ge => ord != std::cmp::Ordering::Less,
+                _ => unreachable!(),
+            }))
+        }
+        BinOp::Add => match (&va, &vb) {
+            (Value::Int(x), Value::Int(y)) => Ok(Value::Int(x.wrapping_add(*y))),
+            (Value::Str(x), Value::Str(y)) => Ok(Value::Str(format!("{x}{y}"))),
+            (Value::List(x), Value::List(y)) => {
+                let mut out = x.clone();
+                out.extend(y.iter().cloned());
+                Ok(Value::List(out))
+            }
+            _ => num_op(&va, &vb, |x, y| x + y, op),
+        },
+        BinOp::Sub => match (&va, &vb) {
+            (Value::Int(x), Value::Int(y)) => Ok(Value::Int(x.wrapping_sub(*y))),
+            _ => num_op(&va, &vb, |x, y| x - y, op),
+        },
+        BinOp::Mul => match (&va, &vb) {
+            (Value::Int(x), Value::Int(y)) => Ok(Value::Int(x.wrapping_mul(*y))),
+            _ => num_op(&va, &vb, |x, y| x * y, op),
+        },
+        BinOp::Div => match (&va, &vb) {
+            (Value::Int(_), Value::Int(0)) => Err(EvalError::DivisionByZero),
+            (Value::Int(x), Value::Int(y)) => Ok(Value::Int(x / y)),
+            _ => {
+                let (x, y) = both_floats(&va, &vb, op)?;
+                if y == 0.0 {
+                    Err(EvalError::DivisionByZero)
+                } else {
+                    Ok(Value::Float(x / y))
+                }
+            }
+        },
+        BinOp::Mod => match (&va, &vb) {
+            (Value::Int(_), Value::Int(0)) => Err(EvalError::DivisionByZero),
+            (Value::Int(x), Value::Int(y)) => Ok(Value::Int(x % y)),
+            _ => Err(EvalError::TypeMismatch(format!(
+                "% needs ints, got {} and {}",
+                va.type_name(),
+                vb.type_name()
+            ))),
+        },
+        BinOp::And | BinOp::Or => unreachable!("handled above"),
+    }
+}
+
+fn both_floats(a: &Value, b: &Value, op: BinOp) -> Result<(f64, f64), EvalError> {
+    match (a.as_float(), b.as_float()) {
+        (Some(x), Some(y)) => Ok((x, y)),
+        _ => Err(EvalError::TypeMismatch(format!(
+            "{} needs numbers, got {} and {}",
+            op.symbol(),
+            a.type_name(),
+            b.type_name()
+        ))),
+    }
+}
+
+fn num_op(a: &Value, b: &Value, f: fn(f64, f64) -> f64, op: BinOp) -> Result<Value, EvalError> {
+    let (x, y) = both_floats(a, b, op)?;
+    Ok(Value::Float(f(x, y)))
+}
+
+/// Structural equality with int/float numeric coercion.
+pub fn values_equal(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Int(x), Value::Float(y)) | (Value::Float(y), Value::Int(x)) => *x as f64 == *y,
+        _ => a == b,
+    }
+}
+
+fn compare(a: &Value, b: &Value) -> Result<std::cmp::Ordering, EvalError> {
+    match (a, b) {
+        (Value::Str(x), Value::Str(y)) => Ok(x.cmp(y)),
+        _ => match (a.as_float(), b.as_float()) {
+            (Some(x), Some(y)) => x.partial_cmp(&y).ok_or_else(|| {
+                EvalError::TypeMismatch("NaN is not comparable".into())
+            }),
+            _ => Err(EvalError::TypeMismatch(format!(
+                "cannot compare {} with {}",
+                a.type_name(),
+                b.type_name()
+            ))),
+        },
+    }
+}
+
+fn eval_call(name: &str, args: &[Expr], env: &dyn Env) -> Result<Value, EvalError> {
+    let arity = |n: usize| -> Result<(), EvalError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(EvalError::BadCall(format!(
+                "{name}() expects {n} argument(s), got {}",
+                args.len()
+            )))
+        }
+    };
+    match name {
+        "defined" => {
+            arity(1)?;
+            // `defined` on an unknown path is *false*, not an error: that is
+            // exactly the optional-queue-file idiom from the paper.
+            match &args[0] {
+                Expr::Path(p) => Ok(Value::Bool(
+                    env.lookup(p).map(|v| v.is_defined()).unwrap_or(false),
+                )),
+                other => Ok(Value::Bool(eval(other, env)?.is_defined())),
+            }
+        }
+        "len" => {
+            arity(1)?;
+            let v = eval(&args[0], env)?;
+            v.len()
+                .map(|n| Value::Int(n as i64))
+                .ok_or_else(|| EvalError::TypeMismatch(format!("len() of {}", v.type_name())))
+        }
+        "empty" => {
+            arity(1)?;
+            let v = eval(&args[0], env)?;
+            v.is_empty()
+                .map(Value::Bool)
+                .ok_or_else(|| EvalError::TypeMismatch(format!("empty() of {}", v.type_name())))
+        }
+        "contains" => {
+            arity(2)?;
+            let hay = eval(&args[0], env)?;
+            let needle = eval(&args[1], env)?;
+            match (&hay, &needle) {
+                (Value::List(xs), _) => Ok(Value::Bool(xs.iter().any(|x| values_equal(x, &needle)))),
+                (Value::Str(s), Value::Str(sub)) => Ok(Value::Bool(s.contains(sub.as_str()))),
+                (Value::Map(m), Value::Str(k)) => Ok(Value::Bool(m.contains_key(k))),
+                _ => Err(EvalError::TypeMismatch(format!(
+                    "contains({}, {})",
+                    hay.type_name(),
+                    needle.type_name()
+                ))),
+            }
+        }
+        "typeof" => {
+            arity(1)?;
+            Ok(Value::Str(eval(&args[0], env)?.type_name().to_string()))
+        }
+        "min" | "max" => {
+            arity(2)?;
+            let a = eval(&args[0], env)?;
+            let b = eval(&args[1], env)?;
+            let ord = compare(&a, &b)?;
+            let take_a = if name == "min" {
+                ord != std::cmp::Ordering::Greater
+            } else {
+                ord != std::cmp::Ordering::Less
+            };
+            Ok(if take_a { a } else { b })
+        }
+        other => Err(EvalError::BadCall(format!("unknown builtin `{other}`"))),
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(f, 0)
+    }
+}
+
+impl Expr {
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, parent: u8) -> fmt::Result {
+        match self {
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Path(p) => write!(f, "{}", p.join(".")),
+            Expr::Not(e) => {
+                write!(f, "!")?;
+                e.fmt_prec(f, 6)
+            }
+            Expr::Neg(e) => {
+                write!(f, "-")?;
+                e.fmt_prec(f, 6)
+            }
+            Expr::Bin(op, a, b) => {
+                let prec = op.precedence();
+                let need = prec < parent;
+                if need {
+                    write!(f, "(")?;
+                }
+                a.fmt_prec(f, prec)?;
+                write!(f, " {} ", op.symbol())?;
+                // Right side uses prec+1: operators are left-associative.
+                b.fmt_prec(f, prec + 1)?;
+                if need {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Expr::Call(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    a.fmt_prec(f, 0)?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn env() -> Value {
+        Value::map_from([
+            (
+                "UserInput",
+                Value::map_from([
+                    ("queue_file", Value::int_list([1, 2, 3])),
+                    ("db_name", Value::from("sp38")),
+                    ("threshold", Value::Float(80.5)),
+                ]),
+            ),
+            ("count", Value::Int(10)),
+            ("flag", Value::Bool(true)),
+            ("missing_field", Value::Null),
+        ])
+    }
+
+    fn ev(e: &Expr) -> Result<Value, EvalError> {
+        let v = env();
+        eval(e, &MapEnv(&v))
+    }
+
+    #[test]
+    fn paths_and_defined() {
+        assert_eq!(ev(&Expr::path("count")).unwrap(), Value::Int(10));
+        assert_eq!(
+            ev(&Expr::path("UserInput.db_name")).unwrap(),
+            Value::from("sp38")
+        );
+        assert_eq!(ev(&Expr::defined("UserInput.queue_file")).unwrap(), Value::Bool(true));
+        // Unknown path: defined() is false, bare lookup is an error.
+        assert_eq!(ev(&Expr::defined("nope.nothing")).unwrap(), Value::Bool(false));
+        assert_eq!(ev(&Expr::defined("missing_field")).unwrap(), Value::Bool(false));
+        assert!(matches!(ev(&Expr::path("nope")), Err(EvalError::UnknownPath(_))));
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let e = Expr::Bin(
+            BinOp::Lt,
+            Box::new(Expr::Bin(BinOp::Add, Box::new(Expr::path("count")), Box::new(Expr::Lit(Value::Int(5))))),
+            Box::new(Expr::Lit(Value::Int(16))),
+        );
+        assert_eq!(ev(&e).unwrap(), Value::Bool(true));
+        // Mixed int/float widens.
+        let e2 = Expr::Bin(
+            BinOp::Gt,
+            Box::new(Expr::path("UserInput.threshold")),
+            Box::new(Expr::Lit(Value::Int(80))),
+        );
+        assert_eq!(ev(&e2).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn division_by_zero_and_type_errors() {
+        let div0 = Expr::Bin(
+            BinOp::Div,
+            Box::new(Expr::Lit(Value::Int(1))),
+            Box::new(Expr::Lit(Value::Int(0))),
+        );
+        assert_eq!(ev(&div0), Err(EvalError::DivisionByZero));
+        let bad = Expr::Bin(
+            BinOp::Add,
+            Box::new(Expr::Lit(Value::Bool(true))),
+            Box::new(Expr::Lit(Value::Int(1))),
+        );
+        assert!(matches!(ev(&bad), Err(EvalError::TypeMismatch(_))));
+    }
+
+    #[test]
+    fn short_circuit() {
+        // RHS would error if evaluated.
+        let e = Expr::Bin(
+            BinOp::Or,
+            Box::new(Expr::Lit(Value::Bool(true))),
+            Box::new(Expr::path("does.not.exist")),
+        );
+        assert_eq!(ev(&e).unwrap(), Value::Bool(true));
+        let e = Expr::Bin(
+            BinOp::And,
+            Box::new(Expr::Lit(Value::Bool(false))),
+            Box::new(Expr::path("does.not.exist")),
+        );
+        assert_eq!(ev(&e).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn builtins() {
+        assert_eq!(
+            ev(&Expr::Call("len".into(), vec![Expr::path("UserInput.queue_file")])).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            ev(&Expr::Call(
+                "contains".into(),
+                vec![Expr::path("UserInput.queue_file"), Expr::Lit(Value::Int(2))]
+            ))
+            .unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            ev(&Expr::Call("typeof".into(), vec![Expr::path("flag")])).unwrap(),
+            Value::from("bool")
+        );
+        assert_eq!(
+            ev(&Expr::Call("min".into(), vec![Expr::Lit(Value::Int(3)), Expr::Lit(Value::Int(7))])).unwrap(),
+            Value::Int(3)
+        );
+        assert!(matches!(
+            ev(&Expr::Call("frobnicate".into(), vec![])),
+            Err(EvalError::BadCall(_))
+        ));
+    }
+
+    #[test]
+    fn null_is_falsy_in_conditions() {
+        let v = env();
+        assert!(!eval_bool(&Expr::path("missing_field"), &MapEnv(&v)).unwrap());
+        assert!(eval_bool(&Expr::Not(Box::new(Expr::path("missing_field"))), &MapEnv(&v)).unwrap());
+        assert!(matches!(
+            eval_bool(&Expr::path("count"), &MapEnv(&v)),
+            Err(EvalError::TypeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn display_parenthesization() {
+        // (1 + 2) * 3 keeps its parens; 1 + 2 * 3 does not gain them.
+        let sum = Expr::Bin(
+            BinOp::Add,
+            Box::new(Expr::Lit(Value::Int(1))),
+            Box::new(Expr::Lit(Value::Int(2))),
+        );
+        let e = Expr::Bin(BinOp::Mul, Box::new(sum.clone()), Box::new(Expr::Lit(Value::Int(3))));
+        assert_eq!(e.to_string(), "(1 + 2) * 3");
+        let e2 = Expr::Bin(
+            BinOp::Add,
+            Box::new(Expr::Lit(Value::Int(1))),
+            Box::new(Expr::Bin(
+                BinOp::Mul,
+                Box::new(Expr::Lit(Value::Int(2))),
+                Box::new(Expr::Lit(Value::Int(3))),
+            )),
+        );
+        assert_eq!(e2.to_string(), "1 + 2 * 3");
+    }
+
+    #[test]
+    fn referenced_paths_collects_all() {
+        let e = Expr::Bin(
+            BinOp::And,
+            Box::new(Expr::defined("A.x")),
+            Box::new(Expr::Bin(
+                BinOp::Gt,
+                Box::new(Expr::path("B.y")),
+                Box::new(Expr::Lit(Value::Int(0))),
+            )),
+        );
+        let paths = e.referenced_paths();
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0], vec!["A".to_string(), "x".to_string()]);
+    }
+}

@@ -1,0 +1,482 @@
+//! The OCR process model.
+//!
+//! "In OCR, a process consists of a set of tasks and a set of data objects.
+//! Tasks can be activities, blocks, or subprocesses" (paper §3.1).  The
+//! graph is annotated with control connectors (arcs with activation
+//! conditions), data-flow connectors, failure handlers, event handlers and
+//! spheres of atomicity.
+
+use crate::expr::Expr;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Static type tags for declared whiteboard fields and task parameters.
+/// `Any` disables checking for that field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TypeTag {
+    /// Boolean.
+    Bool,
+    /// 64-bit integer.
+    Int,
+    /// Double float.
+    Float,
+    /// String.
+    Str,
+    /// List of anything.
+    List,
+    /// String-keyed map.
+    Map,
+    /// Unchecked.
+    Any,
+}
+
+impl TypeTag {
+    /// Concrete-syntax keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            TypeTag::Bool => "BOOL",
+            TypeTag::Int => "INT",
+            TypeTag::Float => "FLOAT",
+            TypeTag::Str => "STR",
+            TypeTag::List => "LIST",
+            TypeTag::Map => "MAP",
+            TypeTag::Any => "ANY",
+        }
+    }
+
+    /// Does `v` inhabit this tag?
+    pub fn admits(self, v: &crate::value::Value) -> bool {
+        use crate::value::Value;
+        matches!(
+            (self, v),
+            (TypeTag::Any, _)
+                | (_, Value::Null)
+                | (TypeTag::Bool, Value::Bool(_))
+                | (TypeTag::Int, Value::Int(_))
+                | (TypeTag::Float, Value::Float(_))
+                | (TypeTag::Float, Value::Int(_))
+                | (TypeTag::Str, Value::Str(_))
+                | (TypeTag::List, Value::List(_))
+                | (TypeTag::Map, Value::Map(_))
+        )
+    }
+}
+
+/// A declared field of the whiteboard or of a task input/output structure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FieldDecl {
+    /// Field name.
+    pub name: String,
+    /// Declared type.
+    pub ty: TypeTag,
+    /// Optional default (used when nothing has been mapped into the field).
+    pub default: Option<crate::value::Value>,
+}
+
+impl FieldDecl {
+    /// A field with no default.
+    pub fn new(name: impl Into<String>, ty: TypeTag) -> Self {
+        FieldDecl { name: name.into(), ty, default: None }
+    }
+
+    /// A field with a default value.
+    pub fn with_default(name: impl Into<String>, ty: TypeTag, v: crate::value::Value) -> Self {
+        FieldDecl { name: name.into(), ty, default: Some(v) }
+    }
+}
+
+/// How an activity binds to the outside world: the program the runtime asks
+/// the node's execution client to launch, plus placement constraints.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ExternalBinding {
+    /// Program identifier resolved against the activity library
+    /// (e.g. `"darwin.align_fixed_pam"`).
+    pub program: String,
+    /// Restrict execution to nodes whose OS matches (empty = any).
+    pub os: Option<String>,
+    /// Restrict execution to named nodes (empty = any).
+    pub hosts: Vec<String>,
+    /// Relative priority; lower runs "nicer" (paper: jobs run in nice mode
+    /// on shared clusters).
+    pub nice: bool,
+}
+
+impl ExternalBinding {
+    /// Binding to `program` with no placement constraints.
+    pub fn program(name: impl Into<String>) -> Self {
+        ExternalBinding { program: name.into(), ..Default::default() }
+    }
+}
+
+/// The body executed for each element of a parallel task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ParallelBody {
+    /// Run one activity per element.
+    Activity(ExternalBinding),
+    /// Instantiate one subprocess per element (late-bound by name).
+    Subprocess(String),
+}
+
+/// What a task *is*.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// A basic execution step: "stand alone programs or systems that can be
+    /// relied upon to complete one of the computational steps".
+    Activity {
+        /// External binding used by the dispatcher.
+        binding: ExternalBinding,
+    },
+    /// A nested process, referenced by template name and instantiated only
+    /// when started (late binding enables dynamic modification of a running
+    /// process).
+    Subprocess {
+        /// Template-space name; resolvable at start time, not definition time.
+        template: String,
+    },
+    /// The paper's *parallel task*: "takes as input a list of data objects
+    /// and produces as output another list"; one body instance per element,
+    /// all running in parallel; the task concludes when all instances have
+    /// concluded.  The input list is produced at runtime, so the degree of
+    /// parallelism is determined at runtime.
+    Parallel {
+        /// Input field (of this task) holding the list to fan out over.
+        over: String,
+        /// Body run per element.
+        body: ParallelBody,
+        /// Output field receiving the list of per-element results.
+        collect: String,
+    },
+}
+
+/// A task node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// Unique name within the process.
+    pub name: String,
+    /// Activity, subprocess or parallel task.
+    pub kind: TaskKind,
+    /// Input structure declaration.
+    pub inputs: Vec<FieldDecl>,
+    /// Output structure declaration.
+    pub outputs: Vec<FieldDecl>,
+    /// Automatic retries before the failure handlers run.
+    pub retries: u32,
+}
+
+/// A control connector `(T_s, T_t, C_act)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControlConnector {
+    /// Source task.
+    pub from: String,
+    /// Target task.
+    pub to: String,
+    /// Activation condition, evaluated when the source completes.
+    pub condition: Expr,
+}
+
+/// A reference to a data location, used by data-flow connectors.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataRef {
+    /// A field of the process's global data area.
+    Whiteboard(String),
+    /// `task.field` in the task's *output* structure (as a source) or
+    /// *input* structure (as a destination).
+    TaskField(String, String),
+}
+
+impl fmt::Display for DataRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataRef::Whiteboard(field) => write!(f, "WHITEBOARD.{field}"),
+            DataRef::TaskField(task, field) => write!(f, "{task}.{field}"),
+        }
+    }
+}
+
+/// A data-flow connector: after the source side is produced, the value is
+/// copied to the destination during the mapping phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataFlow {
+    /// Where the value comes from.
+    pub from: DataRef,
+    /// Where it is mapped to.
+    pub to: DataRef,
+}
+
+/// What to do when a task exhausts its retries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FailurePolicy {
+    /// Run an alternative task instead (the paper's "alternative
+    /// executions"); the failed task is marked compensated-by-alternative.
+    Alternative(String),
+    /// Mark the task as skipped and continue as if its outgoing connectors
+    /// all evaluated with the task "failed" flag set.
+    Ignore,
+    /// Undo the enclosing sphere of atomicity, then fail the process.
+    CompensateSphere(String),
+    /// Abort the whole process instance.
+    Abort,
+    /// Suspend the process and wait for operator intervention.
+    Suspend,
+}
+
+/// `ON FAILURE OF task ...` handler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureHandler {
+    /// Task this handler covers; `"*"` covers any task without a specific
+    /// handler.
+    pub task: String,
+    /// Policy applied after retries are exhausted.
+    pub policy: FailurePolicy,
+}
+
+/// Action taken when an external event is signalled to a process instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventAction {
+    /// Suspend the instance (stop dispatching; running jobs drain).
+    Suspend,
+    /// Resume a suspended instance.
+    Resume,
+    /// Abort the instance.
+    Abort,
+    /// Overwrite a whiteboard field with the evaluation of an expression
+    /// ("change input parameters during each step of the computation").
+    SetData(String, Expr),
+}
+
+/// `ON EVENT "name" ...` handler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventHandler {
+    /// Event name matched against signals sent by monitors/operators.
+    pub event: String,
+    /// Action performed.
+    pub action: EventAction,
+}
+
+/// A sphere of atomicity: a group of tasks that either all take effect or
+/// are compensated together.  Compensation programs run in reverse
+/// completion order of the member tasks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sphere {
+    /// Sphere name.
+    pub name: String,
+    /// Member task names.
+    pub members: Vec<String>,
+    /// `task -> compensation program` (member tasks without an entry need
+    /// no undo action).
+    pub compensations: Vec<(String, String)>,
+}
+
+/// A named group of tasks: "blocks are used for modular process design";
+/// the engine also uses them as suspension/monitoring scopes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// Block name (scope is the containing process).
+    pub name: String,
+    /// Member task names.
+    pub members: Vec<String>,
+}
+
+/// A complete process template, as stored in the template space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessTemplate {
+    /// Template name (unique in the template space).
+    pub name: String,
+    /// Whiteboard (global data area) declaration.
+    pub whiteboard: Vec<FieldDecl>,
+    /// Task nodes.
+    pub tasks: Vec<Task>,
+    /// Named groups.
+    pub blocks: Vec<Block>,
+    /// Control-flow arcs.
+    pub connectors: Vec<ControlConnector>,
+    /// Data-flow arcs.
+    pub dataflows: Vec<DataFlow>,
+    /// Failure handlers.
+    pub on_failure: Vec<FailureHandler>,
+    /// Event handlers.
+    pub on_event: Vec<EventHandler>,
+    /// Spheres of atomicity.
+    pub spheres: Vec<Sphere>,
+}
+
+impl ProcessTemplate {
+    /// An empty template (use [`crate::builder::ProcessBuilder`] normally).
+    pub fn empty(name: impl Into<String>) -> Self {
+        ProcessTemplate {
+            name: name.into(),
+            whiteboard: Vec::new(),
+            tasks: Vec::new(),
+            blocks: Vec::new(),
+            connectors: Vec::new(),
+            dataflows: Vec::new(),
+            on_failure: Vec::new(),
+            on_event: Vec::new(),
+            spheres: Vec::new(),
+        }
+    }
+
+    /// Find a task by name.
+    pub fn task(&self, name: &str) -> Option<&Task> {
+        self.tasks.iter().find(|t| t.name == name)
+    }
+
+    /// Names of tasks with no incoming control connector — the entry set.
+    pub fn initial_tasks(&self) -> Vec<&str> {
+        self.tasks
+            .iter()
+            .filter(|t| !self.connectors.iter().any(|c| c.to == t.name))
+            .map(|t| t.name.as_str())
+            .collect()
+    }
+
+    /// Incoming connectors of `task`.
+    pub fn incoming(&self, task: &str) -> Vec<&ControlConnector> {
+        self.connectors.iter().filter(|c| c.to == task).collect()
+    }
+
+    /// Outgoing connectors of `task`.
+    pub fn outgoing(&self, task: &str) -> Vec<&ControlConnector> {
+        self.connectors.iter().filter(|c| c.from == task).collect()
+    }
+
+    /// Data flows whose source is an output of `task` or, for
+    /// whiteboard-sourced flows feeding `task`, the flows targeting it.
+    pub fn dataflows_from_task(&self, task: &str) -> Vec<&DataFlow> {
+        self.dataflows
+            .iter()
+            .filter(|d| matches!(&d.from, DataRef::TaskField(t, _) if t == task))
+            .collect()
+    }
+
+    /// Data flows into `task`'s input structure.
+    pub fn dataflows_into_task(&self, task: &str) -> Vec<&DataFlow> {
+        self.dataflows
+            .iter()
+            .filter(|d| matches!(&d.to, DataRef::TaskField(t, _) if t == task))
+            .collect()
+    }
+
+    /// The failure handler applicable to `task` (specific beats wildcard).
+    pub fn failure_handler_for(&self, task: &str) -> Option<&FailureHandler> {
+        self.on_failure
+            .iter()
+            .find(|h| h.task == task)
+            .or_else(|| self.on_failure.iter().find(|h| h.task == "*"))
+    }
+
+    /// The sphere containing `task`, if any.
+    pub fn sphere_of(&self, task: &str) -> Option<&Sphere> {
+        self.spheres.iter().find(|s| s.members.iter().any(|m| m == task))
+    }
+
+    /// All subprocess template names referenced (for dependency resolution).
+    pub fn referenced_templates(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        for t in &self.tasks {
+            match &t.kind {
+                TaskKind::Subprocess { template } => out.push(template.as_str()),
+                TaskKind::Parallel { body: ParallelBody::Subprocess(name), .. } => {
+                    out.push(name.as_str())
+                }
+                _ => {}
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn two_task_template() -> ProcessTemplate {
+        let mut t = ProcessTemplate::empty("p");
+        t.whiteboard.push(FieldDecl::with_default("db", TypeTag::Str, Value::from("sp38")));
+        t.tasks.push(Task {
+            name: "a".into(),
+            kind: TaskKind::Activity { binding: ExternalBinding::program("prog.a") },
+            inputs: vec![FieldDecl::new("x", TypeTag::Int)],
+            outputs: vec![FieldDecl::new("y", TypeTag::Int)],
+            retries: 1,
+        });
+        t.tasks.push(Task {
+            name: "b".into(),
+            kind: TaskKind::Activity { binding: ExternalBinding::program("prog.b") },
+            inputs: vec![FieldDecl::new("y", TypeTag::Int)],
+            outputs: vec![],
+            retries: 0,
+        });
+        t.connectors.push(ControlConnector { from: "a".into(), to: "b".into(), condition: Expr::truth() });
+        t.dataflows.push(DataFlow {
+            from: DataRef::TaskField("a".into(), "y".into()),
+            to: DataRef::TaskField("b".into(), "y".into()),
+        });
+        t
+    }
+
+    #[test]
+    fn graph_queries() {
+        let t = two_task_template();
+        assert_eq!(t.initial_tasks(), vec!["a"]);
+        assert_eq!(t.incoming("b").len(), 1);
+        assert_eq!(t.outgoing("a").len(), 1);
+        assert_eq!(t.dataflows_from_task("a").len(), 1);
+        assert_eq!(t.dataflows_into_task("b").len(), 1);
+        assert!(t.task("a").is_some());
+        assert!(t.task("zz").is_none());
+    }
+
+    #[test]
+    fn failure_handler_specific_beats_wildcard() {
+        let mut t = two_task_template();
+        t.on_failure.push(FailureHandler { task: "*".into(), policy: FailurePolicy::Abort });
+        t.on_failure.push(FailureHandler { task: "a".into(), policy: FailurePolicy::Ignore });
+        assert!(matches!(t.failure_handler_for("a").unwrap().policy, FailurePolicy::Ignore));
+        assert!(matches!(t.failure_handler_for("b").unwrap().policy, FailurePolicy::Abort));
+    }
+
+    #[test]
+    fn type_tags_admit() {
+        assert!(TypeTag::Int.admits(&Value::Int(1)));
+        assert!(!TypeTag::Int.admits(&Value::Str("x".into())));
+        assert!(TypeTag::Float.admits(&Value::Int(1)), "ints widen to float");
+        assert!(TypeTag::Any.admits(&Value::List(vec![])));
+        assert!(TypeTag::Str.admits(&Value::Null), "null inhabits every type");
+    }
+
+    #[test]
+    fn referenced_templates_deduped() {
+        let mut t = ProcessTemplate::empty("p");
+        t.tasks.push(Task {
+            name: "s1".into(),
+            kind: TaskKind::Subprocess { template: "Sub".into() },
+            inputs: vec![],
+            outputs: vec![],
+            retries: 0,
+        });
+        t.tasks.push(Task {
+            name: "par".into(),
+            kind: TaskKind::Parallel {
+                over: "items".into(),
+                body: ParallelBody::Subprocess("Sub".into()),
+                collect: "results".into(),
+            },
+            inputs: vec![FieldDecl::new("items", TypeTag::List)],
+            outputs: vec![FieldDecl::new("results", TypeTag::List)],
+            retries: 0,
+        });
+        assert_eq!(t.referenced_templates(), vec!["Sub"]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = two_task_template();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: ProcessTemplate = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,1129 @@
+//! The textual OCR format.
+//!
+//! "OCR acts as a persistent scripting language interpreted by the
+//! navigator" (paper §3.2, Fig. 2 shows the textual representation).  The
+//! concrete syntax:
+//!
+//! ```text
+//! PROCESS AllVsAll {
+//!   WHITEBOARD {
+//!     db_name: STR = "sp38";
+//!     queue_file: LIST;
+//!   }
+//!   ACTIVITY UserInput {
+//!     PROGRAM "ui.collect";
+//!     OUTPUT { db_name: STR; queue_file: LIST; }
+//!     RETRY 2;
+//!   }
+//!   PARALLEL Alignment {
+//!     OVER partition;
+//!     BODY SUBPROCESS "AlignChunk";
+//!     COLLECT results;
+//!   }
+//!   CONNECTOR UserInput -> Alignment WHEN defined(UserInput.queue_file);
+//!   DATAFLOW UserInput.db_name -> WHITEBOARD.db_name;
+//!   ON FAILURE OF Alignment ABORT;
+//!   ON EVENT "operator_pause" SUSPEND;
+//!   SPHERE Merge { MEMBERS M1, M2; COMPENSATE M1 WITH "undo.m1"; }
+//! }
+//! ```
+//!
+//! `//` and `#` start line comments.
+
+use crate::expr::{BinOp, Expr};
+use crate::model::*;
+use crate::value::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parse failure with 1-based line/column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Line of the offending token.
+    pub line: usize,
+    /// Column of the offending token.
+    pub col: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Semi,
+    Colon,
+    Comma,
+    Dot,
+    Arrow,
+    Assign,
+    EqEq,
+    Ne,
+    Le,
+    Ge,
+    Lt,
+    Gt,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Bang,
+    AndAnd,
+    OrOr,
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(i) => write!(f, "`{i}`"),
+            Tok::Float(x) => write!(f, "`{x}`"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::Eof => write!(f, "end of input"),
+            other => {
+                let s = match other {
+                    Tok::LBrace => "{",
+                    Tok::RBrace => "}",
+                    Tok::LParen => "(",
+                    Tok::RParen => ")",
+                    Tok::LBracket => "[",
+                    Tok::RBracket => "]",
+                    Tok::Semi => ";",
+                    Tok::Colon => ":",
+                    Tok::Comma => ",",
+                    Tok::Dot => ".",
+                    Tok::Arrow => "->",
+                    Tok::Assign => "=",
+                    Tok::EqEq => "==",
+                    Tok::Ne => "!=",
+                    Tok::Le => "<=",
+                    Tok::Ge => ">=",
+                    Tok::Lt => "<",
+                    Tok::Gt => ">",
+                    Tok::Plus => "+",
+                    Tok::Minus => "-",
+                    Tok::Star => "*",
+                    Tok::Slash => "/",
+                    Tok::Percent => "%",
+                    Tok::Bang => "!",
+                    Tok::AndAnd => "&&",
+                    Tok::OrOr => "||",
+                    _ => unreachable!(),
+                };
+                write!(f, "`{s}`")
+            }
+        }
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+type Spanned = (Tok, usize, usize);
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { line: self.line, col: self.col, message: message.into() }
+    }
+
+    fn peek_byte(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek_byte()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek_byte() {
+                Some(b' ') | Some(b'\t') | Some(b'\r') | Some(b'\n') => {
+                    self.bump();
+                }
+                Some(b'#') => {
+                    while !matches!(self.peek_byte(), None | Some(b'\n')) {
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'/') => {
+                    while !matches!(self.peek_byte(), None | Some(b'\n')) {
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn lex_all(mut self) -> Result<Vec<Spanned>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia();
+            let (line, col) = (self.line, self.col);
+            let Some(b) = self.peek_byte() else {
+                out.push((Tok::Eof, line, col));
+                return Ok(out);
+            };
+            let tok = match b {
+                b'{' => {
+                    self.bump();
+                    Tok::LBrace
+                }
+                b'}' => {
+                    self.bump();
+                    Tok::RBrace
+                }
+                b'(' => {
+                    self.bump();
+                    Tok::LParen
+                }
+                b')' => {
+                    self.bump();
+                    Tok::RParen
+                }
+                b'[' => {
+                    self.bump();
+                    Tok::LBracket
+                }
+                b']' => {
+                    self.bump();
+                    Tok::RBracket
+                }
+                b';' => {
+                    self.bump();
+                    Tok::Semi
+                }
+                b':' => {
+                    self.bump();
+                    Tok::Colon
+                }
+                b',' => {
+                    self.bump();
+                    Tok::Comma
+                }
+                b'.' => {
+                    self.bump();
+                    Tok::Dot
+                }
+                b'+' => {
+                    self.bump();
+                    Tok::Plus
+                }
+                b'*' => {
+                    self.bump();
+                    Tok::Star
+                }
+                b'/' => {
+                    self.bump();
+                    Tok::Slash
+                }
+                b'%' => {
+                    self.bump();
+                    Tok::Percent
+                }
+                b'-' => {
+                    self.bump();
+                    if self.peek_byte() == Some(b'>') {
+                        self.bump();
+                        Tok::Arrow
+                    } else {
+                        Tok::Minus
+                    }
+                }
+                b'=' => {
+                    self.bump();
+                    if self.peek_byte() == Some(b'=') {
+                        self.bump();
+                        Tok::EqEq
+                    } else {
+                        Tok::Assign
+                    }
+                }
+                b'!' => {
+                    self.bump();
+                    if self.peek_byte() == Some(b'=') {
+                        self.bump();
+                        Tok::Ne
+                    } else {
+                        Tok::Bang
+                    }
+                }
+                b'<' => {
+                    self.bump();
+                    if self.peek_byte() == Some(b'=') {
+                        self.bump();
+                        Tok::Le
+                    } else {
+                        Tok::Lt
+                    }
+                }
+                b'>' => {
+                    self.bump();
+                    if self.peek_byte() == Some(b'=') {
+                        self.bump();
+                        Tok::Ge
+                    } else {
+                        Tok::Gt
+                    }
+                }
+                b'&' => {
+                    self.bump();
+                    if self.peek_byte() == Some(b'&') {
+                        self.bump();
+                        Tok::AndAnd
+                    } else {
+                        return Err(self.err("expected `&&`"));
+                    }
+                }
+                b'|' => {
+                    self.bump();
+                    if self.peek_byte() == Some(b'|') {
+                        self.bump();
+                        Tok::OrOr
+                    } else {
+                        return Err(self.err("expected `||`"));
+                    }
+                }
+                b'"' => self.lex_string()?,
+                b'0'..=b'9' => self.lex_number()?,
+                b'A'..=b'Z' | b'a'..=b'z' | b'_' => self.lex_ident(),
+                other => return Err(self.err(format!("unexpected byte 0x{other:02x}"))),
+            };
+            out.push((tok, line, col));
+        }
+    }
+
+    fn lex_string(&mut self) -> Result<Tok, ParseError> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(Tok::Str(s)),
+                Some(b'\\') => match self.bump() {
+                    Some(b'n') => s.push('\n'),
+                    Some(b't') => s.push('\t'),
+                    Some(b'"') => s.push('"'),
+                    Some(b'\\') => s.push('\\'),
+                    _ => return Err(self.err("bad escape")),
+                },
+                Some(b) => s.push(b as char),
+            }
+        }
+    }
+
+    fn lex_number(&mut self) -> Result<Tok, ParseError> {
+        let start = self.pos;
+        while matches!(self.peek_byte(), Some(b'0'..=b'9')) {
+            self.bump();
+        }
+        let mut is_float = false;
+        if self.peek_byte() == Some(b'.') && matches!(self.src.get(self.pos + 1), Some(b'0'..=b'9')) {
+            is_float = true;
+            self.bump();
+            while matches!(self.peek_byte(), Some(b'0'..=b'9')) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek_byte(), Some(b'e') | Some(b'E')) {
+            is_float = true;
+            self.bump();
+            if matches!(self.peek_byte(), Some(b'+') | Some(b'-')) {
+                self.bump();
+            }
+            while matches!(self.peek_byte(), Some(b'0'..=b'9')) {
+                self.bump();
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        if is_float {
+            text.parse::<f64>().map(Tok::Float).map_err(|_| self.err("bad float literal"))
+        } else {
+            text.parse::<i64>().map(Tok::Int).map_err(|_| self.err("integer literal overflows i64"))
+        }
+    }
+
+    fn lex_ident(&mut self) -> Tok {
+        let start = self.pos;
+        while matches!(self.peek_byte(), Some(b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'_')) {
+            self.bump();
+        }
+        Tok::Ident(std::str::from_utf8(&self.src[start..self.pos]).unwrap().to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].0
+    }
+
+    fn err_here(&self, message: impl Into<String>) -> ParseError {
+        let (_, line, col) = self.toks[self.pos];
+        ParseError { line, col, message: message.into() }
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].0.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: Tok) -> Result<(), ParseError> {
+        if *self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err_here(format!("expected {want}, found {}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => {
+                self.pos -= 1;
+                Err(self.err_here(format!("expected identifier, found {other}")))
+            }
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Tok::Ident(s) if s == kw => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.err_here(format!("expected `{kw}`, found {other}"))),
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Tok::Str(s) => Ok(s),
+            other => {
+                self.pos -= 1;
+                Err(self.err_here(format!("expected string literal, found {other}")))
+            }
+        }
+    }
+
+    // ----- top level -------------------------------------------------------
+
+    fn process(&mut self) -> Result<ProcessTemplate, ParseError> {
+        self.keyword("PROCESS")?;
+        let name = self.ident()?;
+        let mut t = ProcessTemplate::empty(name);
+        self.expect(Tok::LBrace)?;
+        while *self.peek() != Tok::RBrace {
+            match self.peek() {
+                Tok::Ident(kw) => match kw.as_str() {
+                    "WHITEBOARD" => {
+                        self.bump();
+                        self.expect(Tok::LBrace)?;
+                        t.whiteboard.extend(self.field_decls()?);
+                        self.expect(Tok::RBrace)?;
+                    }
+                    "ACTIVITY" => self.activity(&mut t)?,
+                    "SUBPROCESS" => self.subprocess(&mut t)?,
+                    "PARALLEL" => self.parallel(&mut t)?,
+                    "BLOCK" => self.group(&mut t)?,
+                    "CONNECTOR" => self.connector(&mut t)?,
+                    "DATAFLOW" => self.dataflow(&mut t)?,
+                    "ON" => self.handler(&mut t)?,
+                    "SPHERE" => self.sphere(&mut t)?,
+                    other => {
+                        return Err(self.err_here(format!("unexpected section `{other}`")));
+                    }
+                },
+                other => return Err(self.err_here(format!("unexpected {other}"))),
+            }
+        }
+        self.expect(Tok::RBrace)?;
+        Ok(t)
+    }
+
+    fn field_decls(&mut self) -> Result<Vec<FieldDecl>, ParseError> {
+        let mut out = Vec::new();
+        while matches!(self.peek(), Tok::Ident(_)) {
+            let name = self.ident()?;
+            self.expect(Tok::Colon)?;
+            let ty = self.type_tag()?;
+            let default = if *self.peek() == Tok::Assign {
+                self.bump();
+                Some(self.literal()?)
+            } else {
+                None
+            };
+            self.expect(Tok::Semi)?;
+            out.push(FieldDecl { name, ty, default });
+        }
+        Ok(out)
+    }
+
+    fn type_tag(&mut self) -> Result<TypeTag, ParseError> {
+        let name = self.ident()?;
+        match name.as_str() {
+            "BOOL" => Ok(TypeTag::Bool),
+            "INT" => Ok(TypeTag::Int),
+            "FLOAT" => Ok(TypeTag::Float),
+            "STR" => Ok(TypeTag::Str),
+            "LIST" => Ok(TypeTag::List),
+            "MAP" => Ok(TypeTag::Map),
+            "ANY" => Ok(TypeTag::Any),
+            other => Err(self.err_here(format!("unknown type `{other}`"))),
+        }
+    }
+
+    fn task_common(
+        &mut self,
+        inputs: &mut Vec<FieldDecl>,
+        outputs: &mut Vec<FieldDecl>,
+        retries: &mut u32,
+    ) -> Result<bool, ParseError> {
+        if self.peek_keyword("INPUT") {
+            self.bump();
+            self.expect(Tok::LBrace)?;
+            inputs.extend(self.field_decls()?);
+            self.expect(Tok::RBrace)?;
+            Ok(true)
+        } else if self.peek_keyword("OUTPUT") {
+            self.bump();
+            self.expect(Tok::LBrace)?;
+            outputs.extend(self.field_decls()?);
+            self.expect(Tok::RBrace)?;
+            Ok(true)
+        } else if self.peek_keyword("RETRY") {
+            self.bump();
+            match self.bump() {
+                Tok::Int(n) if n >= 0 => *retries = n as u32,
+                _ => {
+                    self.pos -= 1;
+                    return Err(self.err_here("RETRY expects a non-negative integer"));
+                }
+            }
+            self.expect(Tok::Semi)?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    fn activity(&mut self, t: &mut ProcessTemplate) -> Result<(), ParseError> {
+        self.keyword("ACTIVITY")?;
+        let name = self.ident()?;
+        self.expect(Tok::LBrace)?;
+        let mut binding = ExternalBinding::default();
+        let (mut inputs, mut outputs, mut retries) = (Vec::new(), Vec::new(), 0u32);
+        while *self.peek() != Tok::RBrace {
+            if self.task_common(&mut inputs, &mut outputs, &mut retries)? {
+                continue;
+            }
+            if self.peek_keyword("PROGRAM") {
+                self.bump();
+                binding.program = self.string()?;
+                self.expect(Tok::Semi)?;
+            } else if self.peek_keyword("OS") {
+                self.bump();
+                binding.os = Some(self.string()?);
+                self.expect(Tok::Semi)?;
+            } else if self.peek_keyword("HOSTS") {
+                self.bump();
+                binding.hosts.push(self.string()?);
+                while *self.peek() == Tok::Comma {
+                    self.bump();
+                    binding.hosts.push(self.string()?);
+                }
+                self.expect(Tok::Semi)?;
+            } else if self.peek_keyword("NICE") {
+                self.bump();
+                binding.nice = true;
+                self.expect(Tok::Semi)?;
+            } else {
+                return Err(self.err_here(format!("unexpected {} in ACTIVITY body", self.peek())));
+            }
+        }
+        self.expect(Tok::RBrace)?;
+        if binding.program.is_empty() {
+            return Err(self.err_here(format!("activity `{name}` has no PROGRAM")));
+        }
+        t.tasks.push(Task { name, kind: TaskKind::Activity { binding }, inputs, outputs, retries });
+        Ok(())
+    }
+
+    fn subprocess(&mut self, t: &mut ProcessTemplate) -> Result<(), ParseError> {
+        self.keyword("SUBPROCESS")?;
+        let name = self.ident()?;
+        self.expect(Tok::LBrace)?;
+        let mut template = String::new();
+        let (mut inputs, mut outputs, mut retries) = (Vec::new(), Vec::new(), 0u32);
+        while *self.peek() != Tok::RBrace {
+            if self.task_common(&mut inputs, &mut outputs, &mut retries)? {
+                continue;
+            }
+            if self.peek_keyword("TEMPLATE") {
+                self.bump();
+                template = self.string()?;
+                self.expect(Tok::Semi)?;
+            } else {
+                return Err(self.err_here(format!("unexpected {} in SUBPROCESS body", self.peek())));
+            }
+        }
+        self.expect(Tok::RBrace)?;
+        if template.is_empty() {
+            return Err(self.err_here(format!("subprocess `{name}` has no TEMPLATE")));
+        }
+        t.tasks.push(Task { name, kind: TaskKind::Subprocess { template }, inputs, outputs, retries });
+        Ok(())
+    }
+
+    fn parallel(&mut self, t: &mut ProcessTemplate) -> Result<(), ParseError> {
+        self.keyword("PARALLEL")?;
+        let name = self.ident()?;
+        self.expect(Tok::LBrace)?;
+        let (mut inputs, mut outputs, mut retries) = (Vec::new(), Vec::new(), 0u32);
+        let mut over = None;
+        let mut collect = None;
+        let mut body = None;
+        while *self.peek() != Tok::RBrace {
+            if self.task_common(&mut inputs, &mut outputs, &mut retries)? {
+                continue;
+            }
+            if self.peek_keyword("OVER") {
+                self.bump();
+                over = Some(self.ident()?);
+                self.expect(Tok::Semi)?;
+            } else if self.peek_keyword("COLLECT") {
+                self.bump();
+                collect = Some(self.ident()?);
+                self.expect(Tok::Semi)?;
+            } else if self.peek_keyword("BODY") {
+                self.bump();
+                if self.peek_keyword("ACTIVITY") {
+                    self.bump();
+                    body = Some(ParallelBody::Activity(ExternalBinding::program(self.string()?)));
+                } else if self.peek_keyword("SUBPROCESS") {
+                    self.bump();
+                    body = Some(ParallelBody::Subprocess(self.string()?));
+                } else {
+                    return Err(self.err_here("BODY expects ACTIVITY or SUBPROCESS"));
+                }
+                self.expect(Tok::Semi)?;
+            } else {
+                return Err(self.err_here(format!("unexpected {} in PARALLEL body", self.peek())));
+            }
+        }
+        self.expect(Tok::RBrace)?;
+        let over = over.ok_or_else(|| self.err_here(format!("parallel `{name}` has no OVER")))?;
+        let collect =
+            collect.ok_or_else(|| self.err_here(format!("parallel `{name}` has no COLLECT")))?;
+        let body = body.ok_or_else(|| self.err_here(format!("parallel `{name}` has no BODY")))?;
+        // Ensure the over/collect fields are declared (implicitly if needed).
+        if !inputs.iter().any(|f| f.name == over) {
+            inputs.push(FieldDecl::new(over.clone(), TypeTag::List));
+        }
+        if !outputs.iter().any(|f| f.name == collect) {
+            outputs.push(FieldDecl::new(collect.clone(), TypeTag::List));
+        }
+        t.tasks.push(Task {
+            name,
+            kind: TaskKind::Parallel { over, body, collect },
+            inputs,
+            outputs,
+            retries,
+        });
+        Ok(())
+    }
+
+    fn group(&mut self, t: &mut ProcessTemplate) -> Result<(), ParseError> {
+        self.keyword("BLOCK")?;
+        let name = self.ident()?;
+        self.expect(Tok::LBrace)?;
+        self.keyword("MEMBERS")?;
+        let mut members = vec![self.ident()?];
+        while *self.peek() == Tok::Comma {
+            self.bump();
+            members.push(self.ident()?);
+        }
+        self.expect(Tok::Semi)?;
+        self.expect(Tok::RBrace)?;
+        t.blocks.push(Block { name, members });
+        Ok(())
+    }
+
+    fn connector(&mut self, t: &mut ProcessTemplate) -> Result<(), ParseError> {
+        self.keyword("CONNECTOR")?;
+        let from = self.ident()?;
+        self.expect(Tok::Arrow)?;
+        let to = self.ident()?;
+        let condition = if self.peek_keyword("WHEN") {
+            self.bump();
+            self.expr(0)?
+        } else {
+            Expr::truth()
+        };
+        self.expect(Tok::Semi)?;
+        t.connectors.push(ControlConnector { from, to, condition });
+        Ok(())
+    }
+
+    fn dataref(&mut self) -> Result<DataRef, ParseError> {
+        let first = self.ident()?;
+        self.expect(Tok::Dot)?;
+        let field = self.ident()?;
+        if first == "WHITEBOARD" {
+            Ok(DataRef::Whiteboard(field))
+        } else {
+            Ok(DataRef::TaskField(first, field))
+        }
+    }
+
+    fn dataflow(&mut self, t: &mut ProcessTemplate) -> Result<(), ParseError> {
+        self.keyword("DATAFLOW")?;
+        let from = self.dataref()?;
+        self.expect(Tok::Arrow)?;
+        let to = self.dataref()?;
+        self.expect(Tok::Semi)?;
+        t.dataflows.push(DataFlow { from, to });
+        Ok(())
+    }
+
+    fn handler(&mut self, t: &mut ProcessTemplate) -> Result<(), ParseError> {
+        self.keyword("ON")?;
+        if self.peek_keyword("FAILURE") {
+            self.bump();
+            self.keyword("OF")?;
+            let task = if *self.peek() == Tok::Star {
+                self.bump();
+                "*".to_string()
+            } else {
+                self.ident()?
+            };
+            let policy = if self.peek_keyword("ALTERNATIVE") {
+                self.bump();
+                FailurePolicy::Alternative(self.ident()?)
+            } else if self.peek_keyword("IGNORE") {
+                self.bump();
+                FailurePolicy::Ignore
+            } else if self.peek_keyword("COMPENSATE") {
+                self.bump();
+                FailurePolicy::CompensateSphere(self.ident()?)
+            } else if self.peek_keyword("ABORT") {
+                self.bump();
+                FailurePolicy::Abort
+            } else if self.peek_keyword("SUSPEND") {
+                self.bump();
+                FailurePolicy::Suspend
+            } else {
+                return Err(self.err_here("expected failure policy"));
+            };
+            self.expect(Tok::Semi)?;
+            t.on_failure.push(FailureHandler { task, policy });
+            Ok(())
+        } else if self.peek_keyword("EVENT") {
+            self.bump();
+            let event = self.string()?;
+            let action = if self.peek_keyword("SUSPEND") {
+                self.bump();
+                EventAction::Suspend
+            } else if self.peek_keyword("RESUME") {
+                self.bump();
+                EventAction::Resume
+            } else if self.peek_keyword("ABORT") {
+                self.bump();
+                EventAction::Abort
+            } else if self.peek_keyword("SET") {
+                self.bump();
+                let field = self.ident()?;
+                self.expect(Tok::Assign)?;
+                let e = self.expr(0)?;
+                EventAction::SetData(field, e)
+            } else {
+                return Err(self.err_here("expected event action"));
+            };
+            self.expect(Tok::Semi)?;
+            t.on_event.push(EventHandler { event, action });
+            Ok(())
+        } else {
+            Err(self.err_here("expected FAILURE or EVENT after ON"))
+        }
+    }
+
+    fn sphere(&mut self, t: &mut ProcessTemplate) -> Result<(), ParseError> {
+        self.keyword("SPHERE")?;
+        let name = self.ident()?;
+        self.expect(Tok::LBrace)?;
+        self.keyword("MEMBERS")?;
+        let mut members = vec![self.ident()?];
+        while *self.peek() == Tok::Comma {
+            self.bump();
+            members.push(self.ident()?);
+        }
+        self.expect(Tok::Semi)?;
+        let mut compensations = Vec::new();
+        while self.peek_keyword("COMPENSATE") {
+            self.bump();
+            let task = self.ident()?;
+            self.keyword("WITH")?;
+            let prog = self.string()?;
+            self.expect(Tok::Semi)?;
+            compensations.push((task, prog));
+        }
+        self.expect(Tok::RBrace)?;
+        t.spheres.push(Sphere { name, members, compensations });
+        Ok(())
+    }
+
+    // ----- expressions -----------------------------------------------------
+
+    fn literal(&mut self) -> Result<Value, ParseError> {
+        match self.bump() {
+            Tok::Int(i) => Ok(Value::Int(i)),
+            Tok::Float(x) => Ok(Value::Float(x)),
+            Tok::Str(s) => Ok(Value::Str(s)),
+            Tok::Minus => match self.bump() {
+                Tok::Int(i) => Ok(Value::Int(-i)),
+                Tok::Float(x) => Ok(Value::Float(-x)),
+                _ => {
+                    self.pos -= 1;
+                    Err(self.err_here("expected number after `-`"))
+                }
+            },
+            Tok::Ident(s) if s == "true" => Ok(Value::Bool(true)),
+            Tok::Ident(s) if s == "false" => Ok(Value::Bool(false)),
+            Tok::Ident(s) if s == "null" => Ok(Value::Null),
+            Tok::LBracket => {
+                let mut items = Vec::new();
+                if *self.peek() != Tok::RBracket {
+                    items.push(self.literal()?);
+                    while *self.peek() == Tok::Comma {
+                        self.bump();
+                        items.push(self.literal()?);
+                    }
+                }
+                self.expect(Tok::RBracket)?;
+                Ok(Value::List(items))
+            }
+            Tok::LBrace => {
+                let mut map = BTreeMap::new();
+                if *self.peek() != Tok::RBrace {
+                    loop {
+                        let k = self.ident()?;
+                        self.expect(Tok::Colon)?;
+                        map.insert(k, self.literal()?);
+                        if *self.peek() != Tok::Comma {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                self.expect(Tok::RBrace)?;
+                Ok(Value::Map(map))
+            }
+            other => {
+                self.pos -= 1;
+                Err(self.err_here(format!("expected literal, found {other}")))
+            }
+        }
+    }
+
+    fn expr(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::OrOr => BinOp::Or,
+                Tok::AndAnd => BinOp::And,
+                Tok::EqEq => BinOp::Eq,
+                Tok::Ne => BinOp::Ne,
+                Tok::Lt => BinOp::Lt,
+                Tok::Le => BinOp::Le,
+                Tok::Gt => BinOp::Gt,
+                Tok::Ge => BinOp::Ge,
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Mod,
+                _ => break,
+            };
+            let prec = op.precedence();
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.expr(prec + 1)?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Tok::Bang => {
+                self.bump();
+                Ok(Expr::Not(Box::new(self.unary()?)))
+            }
+            Tok::Minus => {
+                self.bump();
+                Ok(Expr::Neg(Box::new(self.unary()?)))
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr(0)?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Int(_) | Tok::Float(_) | Tok::Str(_) | Tok::LBracket | Tok::LBrace => {
+                Ok(Expr::Lit(self.literal()?))
+            }
+            Tok::Ident(name) => {
+                match name.as_str() {
+                    "true" | "false" | "null" => return Ok(Expr::Lit(self.literal()?)),
+                    _ => {}
+                }
+                self.bump();
+                if *self.peek() == Tok::LParen {
+                    // Builtin call.
+                    self.bump();
+                    let mut args = Vec::new();
+                    if *self.peek() != Tok::RParen {
+                        args.push(self.expr(0)?);
+                        while *self.peek() == Tok::Comma {
+                            self.bump();
+                            args.push(self.expr(0)?);
+                        }
+                    }
+                    self.expect(Tok::RParen)?;
+                    Ok(Expr::Call(name, args))
+                } else {
+                    let mut path = vec![name];
+                    while *self.peek() == Tok::Dot {
+                        self.bump();
+                        path.push(self.ident()?);
+                    }
+                    Ok(Expr::Path(path))
+                }
+            }
+            other => Err(self.err_here(format!("expected expression, found {other}"))),
+        }
+    }
+}
+
+/// Parse one `PROCESS` definition from OCR text.
+pub fn parse_process(src: &str) -> Result<ProcessTemplate, ParseError> {
+    let toks = Lexer::new(src).lex_all()?;
+    let mut p = Parser { toks, pos: 0 };
+    let t = p.process()?;
+    if *p.peek() != Tok::Eof {
+        return Err(p.err_here(format!("trailing input: {}", p.peek())));
+    }
+    Ok(t)
+}
+
+/// Parse a file containing several `PROCESS` definitions.
+pub fn parse_library(src: &str) -> Result<Vec<ProcessTemplate>, ParseError> {
+    let toks = Lexer::new(src).lex_all()?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut out = Vec::new();
+    while *p.peek() != Tok::Eof {
+        out.push(p.process()?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+        // The head of the all-vs-all process.
+        PROCESS AllVsAllHead {
+          WHITEBOARD {
+            db_name: STR = "sp38";
+            threshold: FLOAT = 80.5;
+            queue_file: LIST;
+            meta: MAP = { owner: "cbrg", redo: false };
+          }
+          ACTIVITY UserInput {
+            PROGRAM "ui.collect";
+            OUTPUT { db_name: STR; queue_file: LIST; }
+            RETRY 2;
+          }
+          ACTIVITY QueueGeneration {
+            PROGRAM "darwin.queue_gen";
+            INPUT { db_name: STR; }
+            OUTPUT { queue_file: LIST; }
+          }
+          ACTIVITY Preprocessing {
+            PROGRAM "darwin.partition";
+            INPUT { queue_file: LIST; teus: INT = 50; }
+            OUTPUT { partition: LIST; }
+            OS "linux";
+            HOSTS "linneus1", "linneus2";
+            NICE;
+          }
+          PARALLEL Alignment {
+            OVER partition;
+            BODY SUBPROCESS "AlignChunk";
+            COLLECT results;
+          }
+          BLOCK Setup { MEMBERS UserInput, QueueGeneration; }
+          CONNECTOR UserInput -> QueueGeneration WHEN !defined(UserInput.queue_file);
+          CONNECTOR UserInput -> Preprocessing WHEN defined(UserInput.queue_file);
+          CONNECTOR QueueGeneration -> Preprocessing;
+          CONNECTOR Preprocessing -> Alignment WHEN len(Preprocessing.partition) > 0;
+          DATAFLOW UserInput.db_name -> WHITEBOARD.db_name;
+          DATAFLOW UserInput.queue_file -> Preprocessing.queue_file;
+          DATAFLOW QueueGeneration.queue_file -> Preprocessing.queue_file;
+          DATAFLOW Preprocessing.partition -> Alignment.partition;
+          ON FAILURE OF Preprocessing ALTERNATIVE QueueGeneration;
+          ON FAILURE OF * ABORT;
+          ON EVENT "operator_pause" SUSPEND;
+          ON EVENT "retune" SET threshold = 90.0 - 2.5;
+          SPHERE Head { MEMBERS UserInput, QueueGeneration; COMPENSATE QueueGeneration WITH "undo.queue"; }
+        }
+    "#;
+
+    #[test]
+    fn parses_full_sample() {
+        let t = parse_process(SAMPLE).unwrap();
+        assert_eq!(t.name, "AllVsAllHead");
+        assert_eq!(t.tasks.len(), 4);
+        assert_eq!(t.whiteboard.len(), 4);
+        assert_eq!(t.connectors.len(), 4);
+        assert_eq!(t.dataflows.len(), 4);
+        assert_eq!(t.on_failure.len(), 2);
+        assert_eq!(t.on_event.len(), 2);
+        assert_eq!(t.spheres.len(), 1);
+        assert_eq!(t.blocks.len(), 1);
+        // Placement metadata.
+        match &t.task("Preprocessing").unwrap().kind {
+            TaskKind::Activity { binding } => {
+                assert_eq!(binding.os.as_deref(), Some("linux"));
+                assert_eq!(binding.hosts.len(), 2);
+                assert!(binding.nice);
+            }
+            _ => panic!(),
+        }
+        // Defaults.
+        let teus = t.task("Preprocessing").unwrap().inputs.iter().find(|f| f.name == "teus").unwrap();
+        assert_eq!(teus.default, Some(Value::Int(50)));
+        // Condition survived.
+        let c = &t.connectors[0];
+        assert_eq!(c.condition.to_string(), "!defined(UserInput.queue_file)");
+        // The sample also passes validation.
+        crate::validate::validate(&t).unwrap();
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let src = "PROCESS P { ACTIVITY A { PROGRAM \"x\"; } ACTIVITY B { PROGRAM \"y\"; } \
+                   CONNECTOR A -> B WHEN 1 + 2 * 3 == 7 && !false; }";
+        let t = parse_process(src).unwrap();
+        assert_eq!(t.connectors[0].condition.to_string(), "1 + 2 * 3 == 7 && !false");
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = parse_process("PROCESS P {\n  JUNK x;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("JUNK"));
+    }
+
+    #[test]
+    fn unterminated_string() {
+        let err = parse_process("PROCESS P { ACTIVITY A { PROGRAM \"oops; } }").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn missing_program_rejected() {
+        let err = parse_process("PROCESS P { ACTIVITY A { RETRY 1; } }").unwrap_err();
+        assert!(err.message.contains("no PROGRAM"));
+    }
+
+    #[test]
+    fn parallel_requires_over_body_collect() {
+        let err = parse_process("PROCESS P { PARALLEL Q { OVER xs; COLLECT ys; } }").unwrap_err();
+        assert!(err.message.contains("no BODY"));
+    }
+
+    #[test]
+    fn library_parses_multiple_processes() {
+        let src = "PROCESS A { ACTIVITY T { PROGRAM \"p\"; } }\nPROCESS B { ACTIVITY U { PROGRAM \"q\"; } }";
+        let lib = parse_library(src).unwrap();
+        assert_eq!(lib.len(), 2);
+        assert_eq!(lib[1].name, "B");
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let err = parse_process("PROCESS A { ACTIVITY T { PROGRAM \"p\"; } } extra").unwrap_err();
+        assert!(err.message.contains("trailing"));
+    }
+
+    #[test]
+    fn comments_and_negative_defaults() {
+        let src = "# header\nPROCESS P {\n  WHITEBOARD { x: INT = -3; } // inline\n  ACTIVITY A { PROGRAM \"p\"; }\n}";
+        let t = parse_process(src).unwrap();
+        assert_eq!(t.whiteboard[0].default, Some(Value::Int(-3)));
+    }
+}

@@ -1,0 +1,257 @@
+//! Pretty-printer: [`ProcessTemplate`] → OCR text.
+//!
+//! The printer is the inverse of [`crate::parser::parse_process`]; the
+//! round-trip `parse(print(t)) == t` is tested here and property-tested in
+//! the crate's test suite.  It is used when templates are exported from the
+//! template space for inspection or editing.
+
+use crate::expr::Expr;
+use crate::model::*;
+use crate::value::Value;
+use std::fmt::Write;
+
+fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::Float(x) => {
+            if x.fract() == 0.0 && x.is_finite() {
+                let _ = write!(out, "{x:.1}");
+            } else {
+                let _ = write!(out, "{x}");
+            }
+        }
+        Value::Str(s) => {
+            let _ = write!(out, "{s:?}");
+        }
+        Value::List(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Value::Map(m) => {
+            out.push_str("{ ");
+            for (i, (k, v)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{k}: ");
+                write_value(out, v);
+            }
+            out.push_str(" }");
+        }
+    }
+}
+
+fn write_fields(out: &mut String, indent: &str, fields: &[FieldDecl]) {
+    for f in fields {
+        let _ = write!(out, "{indent}{}: {}", f.name, f.ty.keyword());
+        if let Some(d) = &f.default {
+            out.push_str(" = ");
+            write_value(out, d);
+        }
+        out.push_str(";\n");
+    }
+}
+
+fn write_task_common(out: &mut String, task: &Task) {
+    if !task.inputs.is_empty() {
+        out.push_str("    INPUT {\n");
+        write_fields(out, "      ", &task.inputs);
+        out.push_str("    }\n");
+    }
+    if !task.outputs.is_empty() {
+        out.push_str("    OUTPUT {\n");
+        write_fields(out, "      ", &task.outputs);
+        out.push_str("    }\n");
+    }
+    if task.retries > 0 {
+        let _ = writeln!(out, "    RETRY {};", task.retries);
+    }
+}
+
+/// Render a template as OCR text.
+pub fn to_ocr_text(t: &ProcessTemplate) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "PROCESS {} {{", t.name);
+    if !t.whiteboard.is_empty() {
+        out.push_str("  WHITEBOARD {\n");
+        write_fields(&mut out, "    ", &t.whiteboard);
+        out.push_str("  }\n");
+    }
+    for task in &t.tasks {
+        match &task.kind {
+            TaskKind::Activity { binding } => {
+                let _ = writeln!(out, "  ACTIVITY {} {{", task.name);
+                let _ = writeln!(out, "    PROGRAM {:?};", binding.program);
+                if let Some(os) = &binding.os {
+                    let _ = writeln!(out, "    OS {os:?};");
+                }
+                if !binding.hosts.is_empty() {
+                    let hosts: Vec<String> = binding.hosts.iter().map(|h| format!("{h:?}")).collect();
+                    let _ = writeln!(out, "    HOSTS {};", hosts.join(", "));
+                }
+                if binding.nice {
+                    out.push_str("    NICE;\n");
+                }
+                write_task_common(&mut out, task);
+                out.push_str("  }\n");
+            }
+            TaskKind::Subprocess { template } => {
+                let _ = writeln!(out, "  SUBPROCESS {} {{", task.name);
+                let _ = writeln!(out, "    TEMPLATE {template:?};");
+                write_task_common(&mut out, task);
+                out.push_str("  }\n");
+            }
+            TaskKind::Parallel { over, body, collect } => {
+                let _ = writeln!(out, "  PARALLEL {} {{", task.name);
+                let _ = writeln!(out, "    OVER {over};");
+                match body {
+                    ParallelBody::Activity(b) => {
+                        let _ = writeln!(out, "    BODY ACTIVITY {:?};", b.program);
+                    }
+                    ParallelBody::Subprocess(name) => {
+                        let _ = writeln!(out, "    BODY SUBPROCESS {name:?};");
+                    }
+                }
+                let _ = writeln!(out, "    COLLECT {collect};");
+                // Print the full field lists (the parser only *appends* the
+                // over/collect declarations when absent, so declared order
+                // survives the round-trip).
+                write_task_common(&mut out, task);
+                out.push_str("  }\n");
+            }
+        }
+    }
+    for b in &t.blocks {
+        let _ = writeln!(out, "  BLOCK {} {{ MEMBERS {}; }}", b.name, b.members.join(", "));
+    }
+    for c in &t.connectors {
+        if c.condition.is_trivially_true() {
+            let _ = writeln!(out, "  CONNECTOR {} -> {};", c.from, c.to);
+        } else {
+            let _ = writeln!(out, "  CONNECTOR {} -> {} WHEN {};", c.from, c.to, c.condition);
+        }
+    }
+    for d in &t.dataflows {
+        let _ = writeln!(out, "  DATAFLOW {} -> {};", d.from, d.to);
+    }
+    for h in &t.on_failure {
+        let policy = match &h.policy {
+            FailurePolicy::Alternative(alt) => format!("ALTERNATIVE {alt}"),
+            FailurePolicy::Ignore => "IGNORE".to_string(),
+            FailurePolicy::CompensateSphere(s) => format!("COMPENSATE {s}"),
+            FailurePolicy::Abort => "ABORT".to_string(),
+            FailurePolicy::Suspend => "SUSPEND".to_string(),
+        };
+        let _ = writeln!(out, "  ON FAILURE OF {} {policy};", h.task);
+    }
+    for h in &t.on_event {
+        let action = match &h.action {
+            EventAction::Suspend => "SUSPEND".to_string(),
+            EventAction::Resume => "RESUME".to_string(),
+            EventAction::Abort => "ABORT".to_string(),
+            EventAction::SetData(field, e) => format!("SET {field} = {e}"),
+        };
+        let _ = writeln!(out, "  ON EVENT {:?} {action};", h.event);
+    }
+    for s in &t.spheres {
+        let _ = writeln!(out, "  SPHERE {} {{", s.name);
+        let _ = writeln!(out, "    MEMBERS {};", s.members.join(", "));
+        for (task, prog) in &s.compensations {
+            let _ = writeln!(out, "    COMPENSATE {task} WITH {prog:?};");
+        }
+        out.push_str("  }\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render a guard expression (re-exported convenience; `Expr` also
+/// implements `Display`).
+pub fn expr_to_text(e: &Expr) -> String {
+    e.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProcessBuilder;
+    use crate::parser::parse_process;
+
+    fn roundtrip(t: &ProcessTemplate) {
+        let text = to_ocr_text(t);
+        let back = parse_process(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        assert_eq!(&back, t, "round-trip mismatch.\n--- printed ---\n{text}");
+    }
+
+    #[test]
+    fn roundtrip_linear() {
+        let t = ProcessBuilder::new("Linear")
+            .whiteboard_default("db", TypeTag::Str, Value::from("sp38"))
+            .activity("A", "lib.a", |b| b.output("x", TypeTag::Int).retries(3))
+            .activity("B", "lib.b", |b| b.input("x", TypeTag::Int))
+            .connect("A", "B")
+            .flow_to_task("A", "x", "B", "x")
+            .build()
+            .unwrap();
+        roundtrip(&t);
+    }
+
+    #[test]
+    fn roundtrip_everything() {
+        let t = ProcessBuilder::new("Full")
+            .whiteboard_default("meta", TypeTag::Map, Value::map_from([("k", Value::int_list([1, 2]))]))
+            .whiteboard_field("flag", TypeTag::Bool)
+            .activity("A", "lib.a", |b| {
+                b.output("parts", TypeTag::List).on_os("linux").on_hosts(["h1"]).retries(1)
+            })
+            .subprocess("S", "SubTemplate", |b| b.input("q", TypeTag::Any))
+            .parallel(
+                "Fan",
+                "parts",
+                ParallelBody::Subprocess("Chunk".into()),
+                "results",
+                |b| b,
+            )
+            .block("G", ["A", "S"])
+            .connect_when("A", "S", Expr::defined("A.parts"))
+            .connect_when("A", "Fan", crate::expr::Expr::Bin(
+                crate::expr::BinOp::Gt,
+                Box::new(Expr::Call("len".into(), vec![Expr::path("A.parts")])),
+                Box::new(Expr::Lit(Value::Int(0))),
+            ))
+            .connect("S", "Fan")
+            .flow_to_task("A", "parts", "Fan", "parts")
+            .on_failure("A", FailurePolicy::Alternative("S".into()))
+            .on_failure("*", FailurePolicy::Abort)
+            .on_event("pause", EventAction::Suspend)
+            .on_event("retune", EventAction::SetData("flag".into(), Expr::Lit(Value::Bool(true))))
+            .sphere("Sp", ["A"], [("A", "undo.a")])
+            .build()
+            .unwrap();
+        roundtrip(&t);
+    }
+
+    #[test]
+    fn printed_text_is_humane() {
+        let t = ProcessBuilder::new("P")
+            .activity("A", "lib.a", |b| b)
+            .build()
+            .unwrap();
+        let text = to_ocr_text(&t);
+        assert!(text.contains("PROCESS P {"));
+        assert!(text.contains("ACTIVITY A {"));
+        assert!(text.contains("PROGRAM \"lib.a\";"));
+    }
+}

@@ -1,0 +1,495 @@
+//! Static validation of process templates.
+//!
+//! Run before a template is admitted to the template space; catches the
+//! classes of error that would otherwise surface days into a month-long
+//! computation.
+
+use crate::model::*;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+
+/// A validation failure, with enough context to fix the template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// Two tasks (or blocks/spheres) share a name.
+    DuplicateName(String),
+    /// A connector/dataflow/handler references a task that does not exist.
+    UnknownTask { referenced_in: String, task: String },
+    /// A dataflow references a field not declared on the task/whiteboard.
+    UnknownField { reference: String },
+    /// The control graph has a cycle (processes are DAGs; iteration is
+    /// expressed with parallel tasks or subprocess re-instantiation).
+    Cycle(Vec<String>),
+    /// A task is unreachable from the initial set.
+    Unreachable(String),
+    /// The same dataflow appears twice.  (Two *different* sources writing
+    /// one task input are allowed: the all-vs-all head maps `queue_file`
+    /// into Preprocessing from either UserInput or QueueGeneration on
+    /// mutually exclusive branches, and the navigator only applies flows
+    /// whose source actually ran.)
+    ConflictingWrites { destination: String },
+    /// Type tags of a dataflow's endpoints cannot match.
+    TypeConflict { flow: String, from: &'static str, to: &'static str },
+    /// A parallel task's `over`/`collect` fields are not declared.
+    BadParallel { task: String, detail: String },
+    /// The process has no tasks.
+    EmptyProcess,
+    /// A sphere compensation names a non-member task.
+    BadSphere { sphere: String, detail: String },
+    /// A failure handler's alternative task does not exist.
+    BadHandler { task: String, detail: String },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::DuplicateName(n) => write!(f, "duplicate name `{n}`"),
+            ValidationError::UnknownTask { referenced_in, task } => {
+                write!(f, "{referenced_in} references unknown task `{task}`")
+            }
+            ValidationError::UnknownField { reference } => {
+                write!(f, "data reference `{reference}` does not exist")
+            }
+            ValidationError::Cycle(path) => write!(f, "control cycle: {}", path.join(" -> ")),
+            ValidationError::Unreachable(t) => write!(f, "task `{t}` is unreachable"),
+            ValidationError::ConflictingWrites { destination } => {
+                write!(f, "multiple dataflows write `{destination}`")
+            }
+            ValidationError::TypeConflict { flow, from, to } => {
+                write!(f, "dataflow {flow} maps {from} into {to}")
+            }
+            ValidationError::BadParallel { task, detail } => {
+                write!(f, "parallel task `{task}`: {detail}")
+            }
+            ValidationError::EmptyProcess => write!(f, "process has no tasks"),
+            ValidationError::BadSphere { sphere, detail } => write!(f, "sphere `{sphere}`: {detail}"),
+            ValidationError::BadHandler { task, detail } => {
+                write!(f, "failure handler for `{task}`: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Validate a template; `Ok(())` means the navigator can execute it.
+pub fn validate(t: &ProcessTemplate) -> Result<(), ValidationError> {
+    if t.tasks.is_empty() {
+        return Err(ValidationError::EmptyProcess);
+    }
+    check_unique_names(t)?;
+    check_references(t)?;
+    check_dataflows(t)?;
+    check_parallel_tasks(t)?;
+    check_dag_and_reachability(t)?;
+    check_spheres_and_handlers(t)?;
+    Ok(())
+}
+
+fn check_unique_names(t: &ProcessTemplate) -> Result<(), ValidationError> {
+    let mut seen = HashSet::new();
+    for task in &t.tasks {
+        if !seen.insert(task.name.as_str()) {
+            return Err(ValidationError::DuplicateName(task.name.clone()));
+        }
+    }
+    let mut wb = HashSet::new();
+    for fieldd in &t.whiteboard {
+        if !wb.insert(fieldd.name.as_str()) {
+            return Err(ValidationError::DuplicateName(format!("WHITEBOARD.{}", fieldd.name)));
+        }
+    }
+    let mut groups = HashSet::new();
+    for b in &t.blocks {
+        if !groups.insert(b.name.as_str()) {
+            return Err(ValidationError::DuplicateName(format!("BLOCK {}", b.name)));
+        }
+    }
+    for s in &t.spheres {
+        if !groups.insert(s.name.as_str()) {
+            return Err(ValidationError::DuplicateName(format!("SPHERE {}", s.name)));
+        }
+    }
+    Ok(())
+}
+
+fn task_names(t: &ProcessTemplate) -> HashSet<&str> {
+    t.tasks.iter().map(|x| x.name.as_str()).collect()
+}
+
+fn check_references(t: &ProcessTemplate) -> Result<(), ValidationError> {
+    let names = task_names(t);
+    let unknown = |ctx: String, task: &str| ValidationError::UnknownTask {
+        referenced_in: ctx,
+        task: task.to_string(),
+    };
+    for c in &t.connectors {
+        if !names.contains(c.from.as_str()) {
+            return Err(unknown(format!("connector {} -> {}", c.from, c.to), &c.from));
+        }
+        if !names.contains(c.to.as_str()) {
+            return Err(unknown(format!("connector {} -> {}", c.from, c.to), &c.to));
+        }
+    }
+    for b in &t.blocks {
+        for m in &b.members {
+            if !names.contains(m.as_str()) {
+                return Err(unknown(format!("block {}", b.name), m));
+            }
+        }
+    }
+    for s in &t.spheres {
+        for m in &s.members {
+            if !names.contains(m.as_str()) {
+                return Err(unknown(format!("sphere {}", s.name), m));
+            }
+        }
+    }
+    for h in &t.on_failure {
+        if h.task != "*" && !names.contains(h.task.as_str()) {
+            return Err(unknown("failure handler".to_string(), &h.task));
+        }
+    }
+    Ok(())
+}
+
+fn field_type<'a>(fields: &'a [FieldDecl], name: &str) -> Option<&'a FieldDecl> {
+    fields.iter().find(|f| f.name == name)
+}
+
+fn resolve_ref<'a>(
+    t: &'a ProcessTemplate,
+    r: &DataRef,
+    as_source: bool,
+) -> Result<TypeTag, ValidationError> {
+    match r {
+        DataRef::Whiteboard(field) => field_type(&t.whiteboard, field)
+            .map(|f| f.ty)
+            .ok_or_else(|| ValidationError::UnknownField { reference: format!("WHITEBOARD.{field}") }),
+        DataRef::TaskField(task, field) => {
+            let task_decl = t
+                .task(task)
+                .ok_or_else(|| ValidationError::UnknownTask {
+                    referenced_in: "dataflow".into(),
+                    task: task.clone(),
+                })?;
+            let fields = if as_source { &task_decl.outputs } else { &task_decl.inputs };
+            field_type(fields, field).map(|f| f.ty).ok_or_else(|| ValidationError::UnknownField {
+                reference: format!(
+                    "{task}.{field} ({} structure)",
+                    if as_source { "output" } else { "input" }
+                ),
+            })
+        }
+    }
+}
+
+fn tags_compatible(from: TypeTag, to: TypeTag) -> bool {
+    from == to
+        || from == TypeTag::Any
+        || to == TypeTag::Any
+        || (from == TypeTag::Int && to == TypeTag::Float)
+}
+
+fn check_dataflows(t: &ProcessTemplate) -> Result<(), ValidationError> {
+    let mut seen: HashSet<String> = HashSet::new();
+    for d in &t.dataflows {
+        let from_ty = resolve_ref(t, &d.from, true)?;
+        let to_ty = resolve_ref(t, &d.to, false)?;
+        if !tags_compatible(from_ty, to_ty) {
+            return Err(ValidationError::TypeConflict {
+                flow: format!("{} -> {}", d.from, d.to),
+                from: from_ty.keyword(),
+                to: to_ty.keyword(),
+            });
+        }
+        let signature = format!("{} -> {}", d.from, d.to);
+        if !seen.insert(signature) {
+            return Err(ValidationError::ConflictingWrites { destination: d.to.to_string() });
+        }
+    }
+    Ok(())
+}
+
+fn check_parallel_tasks(t: &ProcessTemplate) -> Result<(), ValidationError> {
+    for task in &t.tasks {
+        if let TaskKind::Parallel { over, collect, body } = &task.kind {
+            if field_type(&task.inputs, over).is_none() {
+                return Err(ValidationError::BadParallel {
+                    task: task.name.clone(),
+                    detail: format!("OVER field `{over}` is not a declared input"),
+                });
+            }
+            if field_type(&task.outputs, collect).is_none() {
+                return Err(ValidationError::BadParallel {
+                    task: task.name.clone(),
+                    detail: format!("COLLECT field `{collect}` is not a declared output"),
+                });
+            }
+            if let ParallelBody::Activity(b) = body {
+                if b.program.is_empty() {
+                    return Err(ValidationError::BadParallel {
+                        task: task.name.clone(),
+                        detail: "body activity has no program".into(),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_dag_and_reachability(t: &ProcessTemplate) -> Result<(), ValidationError> {
+    // Kahn's algorithm for cycle detection.
+    let names: Vec<&str> = t.tasks.iter().map(|x| x.name.as_str()).collect();
+    let idx: HashMap<&str, usize> = names.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+    let mut indegree = vec![0usize; names.len()];
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); names.len()];
+    for c in &t.connectors {
+        let (f, to) = (idx[c.from.as_str()], idx[c.to.as_str()]);
+        adj[f].push(to);
+        indegree[to] += 1;
+    }
+    let mut queue: VecDeque<usize> =
+        indegree.iter().enumerate().filter(|(_, d)| **d == 0).map(|(i, _)| i).collect();
+    let mut visited = 0usize;
+    let mut reach = vec![false; names.len()];
+    for &i in &queue {
+        reach[i] = true;
+    }
+    let mut indeg = indegree.clone();
+    while let Some(u) = queue.pop_front() {
+        visited += 1;
+        for &v in &adj[u] {
+            reach[v] = true;
+            indeg[v] -= 1;
+            if indeg[v] == 0 {
+                queue.push_back(v);
+            }
+        }
+    }
+    if visited != names.len() {
+        // Extract one cycle for the error message via DFS.
+        let cycle: Vec<String> = names
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| indeg[*i] > 0)
+            .map(|(_, n)| n.to_string())
+            .collect();
+        return Err(ValidationError::Cycle(cycle));
+    }
+    if let Some(i) = reach.iter().position(|r| !r) {
+        return Err(ValidationError::Unreachable(names[i].to_string()));
+    }
+    Ok(())
+}
+
+fn check_spheres_and_handlers(t: &ProcessTemplate) -> Result<(), ValidationError> {
+    for s in &t.spheres {
+        let members: HashSet<&str> = s.members.iter().map(|m| m.as_str()).collect();
+        for (task, _prog) in &s.compensations {
+            if !members.contains(task.as_str()) {
+                return Err(ValidationError::BadSphere {
+                    sphere: s.name.clone(),
+                    detail: format!("compensation for `{task}` which is not a member"),
+                });
+            }
+        }
+    }
+    let names = task_names(t);
+    for h in &t.on_failure {
+        match &h.policy {
+            FailurePolicy::Alternative(alt) => {
+                if !names.contains(alt.as_str()) {
+                    return Err(ValidationError::BadHandler {
+                        task: h.task.clone(),
+                        detail: format!("alternative task `{alt}` does not exist"),
+                    });
+                }
+            }
+            FailurePolicy::CompensateSphere(sp) => {
+                if !t.spheres.iter().any(|s| &s.name == sp) {
+                    return Err(ValidationError::BadHandler {
+                        task: h.task.clone(),
+                        detail: format!("sphere `{sp}` does not exist"),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProcessBuilder;
+    use crate::expr::Expr;
+
+    fn linear() -> ProcessBuilder {
+        ProcessBuilder::new("P")
+            .activity("A", "lib.a", |t| t.output("x", TypeTag::Int))
+            .activity("B", "lib.b", |t| t.input("x", TypeTag::Int))
+            .connect("A", "B")
+    }
+
+    #[test]
+    fn valid_process_passes() {
+        linear().flow_to_task("A", "x", "B", "x").build().unwrap();
+    }
+
+    #[test]
+    fn empty_process_rejected() {
+        assert_eq!(ProcessBuilder::new("P").build().unwrap_err(), ValidationError::EmptyProcess);
+    }
+
+    #[test]
+    fn duplicate_task_rejected() {
+        let err = ProcessBuilder::new("P")
+            .activity("A", "x", |t| t)
+            .activity("A", "y", |t| t)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ValidationError::DuplicateName("A".into()));
+    }
+
+    #[test]
+    fn unknown_connector_endpoint_rejected() {
+        let err = ProcessBuilder::new("P")
+            .activity("A", "x", |t| t)
+            .connect("A", "Ghost")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ValidationError::UnknownTask { .. }));
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let err = ProcessBuilder::new("P")
+            .activity("A", "x", |t| t)
+            .activity("B", "y", |t| t)
+            .connect("A", "B")
+            .connect("B", "A")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ValidationError::Cycle(_)));
+    }
+
+    #[test]
+    fn unreachable_task_detected_via_cycle_or_reach() {
+        // C -> D cycle off to the side: both unreachable and cyclic;
+        // cycle reported first.
+        let err = ProcessBuilder::new("P")
+            .activity("A", "a", |t| t)
+            .activity("C", "c", |t| t)
+            .activity("D", "d", |t| t)
+            .connect("C", "D")
+            .connect("D", "C")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ValidationError::Cycle(_)));
+    }
+
+    #[test]
+    fn dataflow_unknown_field_rejected() {
+        let err = linear().flow_to_task("A", "nope", "B", "x").build().unwrap_err();
+        assert!(matches!(err, ValidationError::UnknownField { .. }));
+    }
+
+    #[test]
+    fn dataflow_type_conflict_rejected() {
+        let err = ProcessBuilder::new("P")
+            .activity("A", "a", |t| t.output("x", TypeTag::Str))
+            .activity("B", "b", |t| t.input("x", TypeTag::Int))
+            .connect("A", "B")
+            .flow_to_task("A", "x", "B", "x")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ValidationError::TypeConflict { .. }));
+    }
+
+    #[test]
+    fn int_widens_to_float_in_dataflow() {
+        ProcessBuilder::new("P")
+            .activity("A", "a", |t| t.output("x", TypeTag::Int))
+            .activity("B", "b", |t| t.input("x", TypeTag::Float))
+            .connect("A", "B")
+            .flow_to_task("A", "x", "B", "x")
+            .build()
+            .unwrap();
+    }
+
+    #[test]
+    fn duplicate_dataflow_rejected_but_exclusive_sources_allowed() {
+        // Same flow twice: rejected.
+        let err = linear()
+            .flow_to_task("A", "x", "B", "x")
+            .flow_to_task("A", "x", "B", "x")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ValidationError::ConflictingWrites { .. }));
+        // Two different sources into one input (exclusive branches): fine.
+        ProcessBuilder::new("P")
+            .activity("A", "a", |t| t.output("x", TypeTag::Int))
+            .activity("A2", "a2", |t| t.output("x", TypeTag::Int))
+            .activity("B", "b", |t| t.input("x", TypeTag::Int))
+            .connect("A", "B")
+            .connect("A2", "B")
+            .flow_to_task("A", "x", "B", "x")
+            .flow_to_task("A2", "x", "B", "x")
+            .build()
+            .unwrap();
+    }
+
+    #[test]
+    fn whiteboard_may_be_written_twice() {
+        ProcessBuilder::new("P")
+            .whiteboard_field("acc", TypeTag::Int)
+            .activity("A", "a", |t| t.output("x", TypeTag::Int))
+            .activity("B", "b", |t| t.output("x", TypeTag::Int))
+            .connect("A", "B")
+            .flow_to_whiteboard("A", "x", "acc")
+            .flow_to_whiteboard("B", "x", "acc")
+            .build()
+            .unwrap();
+    }
+
+    #[test]
+    fn bad_sphere_compensation_rejected() {
+        let err = linear()
+            .sphere("S", ["A"], [("B", "undo.b")])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ValidationError::BadSphere { .. }));
+    }
+
+    #[test]
+    fn bad_alternative_handler_rejected() {
+        let err = linear()
+            .on_failure("A", FailurePolicy::Alternative("Ghost".into()))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ValidationError::BadHandler { .. }));
+    }
+
+    #[test]
+    fn conditional_branching_process_validates() {
+        // The shape of the all-vs-all head: optional queue file.
+        ProcessBuilder::new("Head")
+            .activity("UserInput", "ui", |t| {
+                t.output("queue_file", TypeTag::List).output("db_name", TypeTag::Str)
+            })
+            .activity("QueueGen", "qg", |t| {
+                t.input("db_name", TypeTag::Str).output("queue_file", TypeTag::List)
+            })
+            .activity("Prep", "prep", |t| t.input("queue_file", TypeTag::List))
+            .connect_when("UserInput", "QueueGen", Expr::undefined("UserInput.queue_file"))
+            .connect_when("UserInput", "Prep", Expr::defined("UserInput.queue_file"))
+            .connect("QueueGen", "Prep")
+            .flow_to_task("UserInput", "db_name", "QueueGen", "db_name")
+            .flow_to_task("QueueGen", "queue_file", "Prep", "queue_file")
+            .build()
+            .unwrap();
+    }
+}

@@ -1,0 +1,280 @@
+//! The dynamic value model.
+//!
+//! Whiteboard fields and task input/output structures hold [`Value`]s.  The
+//! model is deliberately JSON-shaped so that instance state serializes
+//! directly into the persistent spaces, keeping the paper's promise that
+//! "the fact that the process state is persistently stored in a database
+//! also offers significant advantages for monitoring and querying purposes".
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A dynamic value flowing through a process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "t", content = "v")]
+pub enum Value {
+    /// Absent / undefined.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// Double-precision float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Ordered list.
+    List(Vec<Value>),
+    /// String-keyed map with stable iteration order.
+    Map(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The type name used in error messages and by `typeof()` in guards.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "str",
+            Value::List(_) => "list",
+            Value::Map(_) => "map",
+        }
+    }
+
+    /// True unless the value is `Null`.
+    pub fn is_defined(&self) -> bool {
+        !matches!(self, Value::Null)
+    }
+
+    /// Truthiness used by activation conditions: `Null` and `false` are
+    /// falsy; everything else (including `0`) requires an explicit
+    /// comparison, and asking for the truth of a non-boolean is an error at
+    /// the expression layer.  This helper is only for the boolean cases.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Integer view (no coercion).
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Numeric view: ints widen to floats.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// List view.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Map view.
+    pub fn as_map(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Length of a list, map, or string; `None` for scalars.
+    pub fn len(&self) -> Option<usize> {
+        match self {
+            Value::List(v) => Some(v.len()),
+            Value::Map(m) => Some(m.len()),
+            Value::Str(s) => Some(s.chars().count()),
+            _ => None,
+        }
+    }
+
+    /// Whether a container value is empty (scalars return `None`).
+    pub fn is_empty(&self) -> Option<bool> {
+        self.len().map(|n| n == 0)
+    }
+
+    /// Follow a dotted field path through nested maps.
+    pub fn get_path(&self, path: &[&str]) -> Option<&Value> {
+        let mut cur = self;
+        for seg in path {
+            cur = cur.as_map()?.get(*seg)?;
+        }
+        Some(cur)
+    }
+
+    /// Build a map value from pairs.
+    pub fn map_from<I, K>(pairs: I) -> Value
+    where
+        I: IntoIterator<Item = (K, Value)>,
+        K: Into<String>,
+    {
+        Value::Map(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Build a list of ints, convenient for queue files.
+    pub fn int_list(items: impl IntoIterator<Item = i64>) -> Value {
+        Value::List(items.into_iter().map(Value::Int).collect())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => {
+                if x.fract() == 0.0 && x.is_finite() {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Map(m) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k}: {v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i as i64)
+    }
+}
+impl From<usize> for Value {
+    fn from(i: usize) -> Self {
+        Value::Int(i as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::List(v.into_iter().map(Into::into).collect())
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(o: Option<T>) -> Self {
+        match o {
+            Some(v) => v.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_names_and_views() {
+        assert_eq!(Value::Null.type_name(), "null");
+        assert!(!Value::Null.is_defined());
+        assert_eq!(Value::Int(3).as_float(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_int(), None);
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::from(vec![1i64, 2]).len(), Some(2));
+        assert_eq!(Value::Int(1).len(), None);
+    }
+
+    #[test]
+    fn path_access() {
+        let v = Value::map_from([
+            ("task", Value::map_from([("state", Value::from("running"))])),
+        ]);
+        assert_eq!(v.get_path(&["task", "state"]), Some(&Value::from("running")));
+        assert_eq!(v.get_path(&["task", "missing"]), None);
+        assert_eq!(v.get_path(&[]), Some(&v));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "null");
+        assert_eq!(Value::from(3i64).to_string(), "3");
+        assert_eq!(Value::Float(2.0).to_string(), "2.0");
+        assert_eq!(Value::from("hi").to_string(), "\"hi\"");
+        assert_eq!(Value::int_list([1, 2]).to_string(), "[1, 2]");
+        assert_eq!(
+            Value::map_from([("a", Value::Bool(true))]).to_string(),
+            "{a: true}"
+        );
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let v = Value::map_from([
+            ("xs", Value::int_list([1, 2, 3])),
+            ("name", Value::from("sp38")),
+            ("ratio", Value::Float(0.25)),
+            ("none", Value::Null),
+        ]);
+        let json = serde_json::to_string(&v).unwrap();
+        let back: Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, v);
+    }
+}

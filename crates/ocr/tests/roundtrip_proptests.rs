@@ -1,0 +1,151 @@
+//! Property test: printing any valid template and re-parsing it yields the
+//! identical template, and guard expressions round-trip through their
+//! `Display` form.
+
+use bioopera_ocr::expr::{BinOp, Expr};
+use bioopera_ocr::model::*;
+use bioopera_ocr::parser::parse_process;
+use bioopera_ocr::printer::to_ocr_text;
+use bioopera_ocr::value::Value;
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9_]{0,8}".prop_filter("not a literal keyword", |s| {
+        !matches!(s.as_str(), "true" | "false" | "null")
+    })
+}
+
+fn literal_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-1000i64..1000).prop_map(Value::Int),
+        (-100i64..100).prop_map(|i| Value::Float(i as f64 / 4.0)),
+        "[a-z ]{0,12}".prop_map(Value::Str),
+    ];
+    leaf.prop_recursive(2, 8, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..3).prop_map(Value::List),
+            prop::collection::btree_map(ident(), inner, 0..3).prop_map(Value::Map),
+        ]
+    })
+}
+
+fn type_tag() -> impl Strategy<Value = TypeTag> {
+    prop::sample::select(vec![
+        TypeTag::Bool,
+        TypeTag::Int,
+        TypeTag::Float,
+        TypeTag::Str,
+        TypeTag::List,
+        TypeTag::Map,
+        TypeTag::Any,
+    ])
+}
+
+fn guard_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        Just(Expr::Lit(Value::Bool(true))),
+        Just(Expr::Lit(Value::Bool(false))),
+        (0i64..100).prop_map(|i| Expr::Lit(Value::Int(i))),
+        (ident(), ident()).prop_map(|(a, b)| Expr::Path(vec![a, b])),
+        ident().prop_map(|a| Expr::Path(vec![a])),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Bin(
+                BinOp::And,
+                Box::new(a),
+                Box::new(b)
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Bin(
+                BinOp::Eq,
+                Box::new(a),
+                Box::new(b)
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Bin(
+                BinOp::Add,
+                Box::new(a),
+                Box::new(b)
+            )),
+            inner.prop_map(|e| Expr::Call("defined".into(), vec![e])),
+        ]
+    })
+}
+
+/// A small random-but-valid template: distinct task names, connectors only
+/// from earlier to later tasks (guaranteeing a DAG with task 0 as entry).
+fn template() -> impl Strategy<Value = ProcessTemplate> {
+    let task_count = 2usize..6;
+    (ident(), task_count, guard_expr(), literal_value(), type_tag()).prop_flat_map(
+        |(name, n, guard, lit, tag)| {
+            let fields = prop::collection::vec((ident(), type_tag()), 0..3);
+            (Just(name), Just(n), Just(guard), Just(lit), Just(tag), fields).prop_map(
+                |(name, n, guard, lit, tag, fields)| {
+                    let mut t = ProcessTemplate::empty(format!("P{name}"));
+                    let mut wb_seen = std::collections::HashSet::new();
+                    for (fname, fty) in fields {
+                        if wb_seen.insert(fname.clone()) {
+                            t.whiteboard.push(FieldDecl::new(fname, fty));
+                        }
+                    }
+                    t.whiteboard.push(FieldDecl::with_default("seed", tag, lit));
+                    for i in 0..n {
+                        t.tasks.push(Task {
+                            name: format!("T{i}"),
+                            kind: TaskKind::Activity {
+                                binding: ExternalBinding::program(format!("lib.p{i}")),
+                            },
+                            inputs: vec![FieldDecl::new("x", TypeTag::Any)],
+                            outputs: vec![FieldDecl::new("y", TypeTag::Any)],
+                            retries: (i % 3) as u32,
+                        });
+                    }
+                    // Chain + one guarded skip edge.
+                    for i in 1..n {
+                        t.connectors.push(ControlConnector {
+                            from: format!("T{}", i - 1),
+                            to: format!("T{i}"),
+                            condition: Expr::truth(),
+                        });
+                    }
+                    if n >= 3 {
+                        t.connectors.push(ControlConnector {
+                            from: "T0".into(),
+                            to: format!("T{}", n - 1),
+                            condition: guard,
+                        });
+                        t.dataflows.push(DataFlow {
+                            from: DataRef::TaskField("T0".into(), "y".into()),
+                            to: DataRef::TaskField(format!("T{}", n - 1), "x".into()),
+                        });
+                    }
+                    t
+                },
+            )
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn print_parse_roundtrip(t in template()) {
+        let text = to_ocr_text(&t);
+        let back = parse_process(&text)
+            .unwrap_or_else(|e| panic!("failed to reparse printed OCR: {e}\n{text}"));
+        prop_assert_eq!(back, t, "printed form:\n{}", text);
+    }
+
+    #[test]
+    fn expr_display_roundtrip(e in guard_expr()) {
+        // Wrap into a connector to reuse the process parser.
+        let src = format!(
+            "PROCESS P {{ ACTIVITY A {{ PROGRAM \"x\"; }} ACTIVITY B {{ PROGRAM \"y\"; }} CONNECTOR A -> B WHEN {e}; }}"
+        );
+        let t = parse_process(&src).unwrap_or_else(|err| panic!("{err}\n{src}"));
+        prop_assert_eq!(&t.connectors[0].condition, &e, "src: {}", src);
+    }
+}

@@ -1,0 +1,65 @@
+//! CRC-32 (IEEE 802.3 polynomial) used to frame WAL records.
+//!
+//! Implemented locally so the store has no external checksum dependency.
+//! Table-driven, one byte at a time — WAL frames are small and this is far
+//! from any hot path (the navigator batches its writes).
+
+/// Polynomial 0xEDB88320 (reflected IEEE).
+const POLY: u32 = 0xEDB8_8320;
+
+/// 256-entry lookup table, computed at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut j = 0;
+        while j < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            j += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// Compute the CRC-32 checksum of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let mut data = b"the navigator persists every transition".to_vec();
+        let original = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                data[byte] ^= 1 << bit;
+                assert_ne!(crc32(&data), original, "flip at {byte}:{bit} undetected");
+                data[byte] ^= 1 << bit;
+            }
+        }
+    }
+
+    #[test]
+    fn differs_for_prefix() {
+        let data = b"abcdef";
+        assert_ne!(crc32(&data[..5]), crc32(data));
+    }
+}

@@ -1,0 +1,280 @@
+//! Disk abstraction for the store.
+//!
+//! Two backends are provided:
+//!
+//! * [`FileDisk`] — a directory on the real filesystem, with `fsync` on the
+//!   paths that matter for durability.
+//! * [`MemDisk`] — an in-memory filesystem with **fault injection**: a
+//!   [`FaultPlan`] makes the disk "crash" after a configured number of bytes
+//!   have been appended, optionally leaving a *torn* (partial) final write
+//!   behind.  This is how the test suite and the recovery experiments create
+//!   genuine crash states instead of pretending.
+
+use crate::error::{StoreError, StoreResult};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Abstract flat-namespace disk: named files supporting atomic whole-file
+/// writes (snapshots, manifests) and append-only writes (the WAL).
+pub trait Disk: Send + Sync {
+    /// Read the full contents of `name`, or `None` if it does not exist.
+    fn read(&self, name: &str) -> StoreResult<Option<Vec<u8>>>;
+    /// Atomically replace the contents of `name` (write-temp + rename).
+    fn write_atomic(&self, name: &str, data: &[u8]) -> StoreResult<()>;
+    /// Append `data` to `name`, creating it if missing, and make it durable.
+    fn append(&self, name: &str, data: &[u8]) -> StoreResult<()>;
+    /// List file names, sorted.
+    fn list(&self) -> StoreResult<Vec<String>>;
+    /// Delete `name` if it exists.
+    fn delete(&self, name: &str) -> StoreResult<()>;
+}
+
+// ---------------------------------------------------------------------------
+// FileDisk
+// ---------------------------------------------------------------------------
+
+/// Filesystem-backed disk rooted at a directory.
+pub struct FileDisk {
+    root: PathBuf,
+}
+
+impl FileDisk {
+    /// Open (creating if necessary) a disk rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> StoreResult<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(FileDisk { root })
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+}
+
+impl Disk for FileDisk {
+    fn read(&self, name: &str) -> StoreResult<Option<Vec<u8>>> {
+        match std::fs::read(self.path(name)) {
+            Ok(data) => Ok(Some(data)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn write_atomic(&self, name: &str, data: &[u8]) -> StoreResult<()> {
+        let tmp = self.path(&format!("{name}.tmp"));
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(data)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, self.path(name))?;
+        Ok(())
+    }
+
+    fn append(&self, name: &str, data: &[u8]) -> StoreResult<()> {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.path(name))?;
+        f.write_all(data)?;
+        f.sync_data()?;
+        Ok(())
+    }
+
+    fn list(&self) -> StoreResult<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                names.push(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn delete(&self, name: &str) -> StoreResult<()> {
+        match std::fs::remove_file(self.path(name)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MemDisk with fault injection
+// ---------------------------------------------------------------------------
+
+/// Plan describing when the in-memory disk should simulate a crash.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Crash once this many further bytes have been appended.
+    pub crash_after_bytes: u64,
+    /// If true, the append during which the budget runs out leaves a torn
+    /// (partial) suffix of the attempted write behind; otherwise the final
+    /// append is dropped entirely.
+    pub tear_final_write: bool,
+}
+
+#[derive(Default)]
+struct MemDiskState {
+    files: BTreeMap<String, Vec<u8>>,
+    appended: u64,
+    plan: Option<FaultPlan>,
+}
+
+/// In-memory disk.  Cloning shares the underlying storage, which lets a test
+/// "re-open" the disk after a crash exactly as recovery would re-open a real
+/// device.
+#[derive(Clone, Default)]
+pub struct MemDisk {
+    state: Arc<Mutex<MemDiskState>>,
+    crashed: Arc<AtomicBool>,
+}
+
+impl MemDisk {
+    /// A fresh, empty, fault-free disk.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install (or replace) the fault plan. Byte accounting restarts at zero.
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        let mut st = self.state.lock();
+        st.appended = 0;
+        st.plan = plan;
+        self.crashed.store(false, Ordering::SeqCst);
+    }
+
+    /// Has the simulated crash fired?
+    pub fn has_crashed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst)
+    }
+
+    /// Clear the crashed flag, as if the machine rebooted. The (possibly
+    /// torn) file contents survive, mirroring non-volatile storage.
+    pub fn reboot(&self) {
+        self.crashed.store(false, Ordering::SeqCst);
+        self.state.lock().plan = None;
+    }
+
+    /// Total bytes appended since the last fault-plan installation.
+    pub fn bytes_appended(&self) -> u64 {
+        self.state.lock().appended
+    }
+
+    fn check_alive(&self) -> StoreResult<()> {
+        if self.has_crashed() {
+            Err(StoreError::SimulatedCrash)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl Disk for MemDisk {
+    fn read(&self, name: &str) -> StoreResult<Option<Vec<u8>>> {
+        self.check_alive()?;
+        Ok(self.state.lock().files.get(name).cloned())
+    }
+
+    fn write_atomic(&self, name: &str, data: &[u8]) -> StoreResult<()> {
+        self.check_alive()?;
+        // Atomic replace never tears: either the old or the new version
+        // survives. We model the successful case; crash-before counts as the
+        // whole write being lost, which the caller sees as the old version.
+        self.state.lock().files.insert(name.to_string(), data.to_vec());
+        Ok(())
+    }
+
+    fn append(&self, name: &str, data: &[u8]) -> StoreResult<()> {
+        self.check_alive()?;
+        let mut st = self.state.lock();
+        if let Some(plan) = st.plan.clone() {
+            let budget = plan.crash_after_bytes.saturating_sub(st.appended);
+            if (data.len() as u64) > budget {
+                // The crash fires during this append.
+                let kept = if plan.tear_final_write { budget as usize } else { 0 };
+                let file = st.files.entry(name.to_string()).or_default();
+                file.extend_from_slice(&data[..kept]);
+                st.appended += kept as u64;
+                drop(st);
+                self.crashed.store(true, Ordering::SeqCst);
+                return Err(StoreError::SimulatedCrash);
+            }
+        }
+        st.appended += data.len() as u64;
+        st.files.entry(name.to_string()).or_default().extend_from_slice(data);
+        Ok(())
+    }
+
+    fn list(&self) -> StoreResult<Vec<String>> {
+        self.check_alive()?;
+        Ok(self.state.lock().files.keys().cloned().collect())
+    }
+
+    fn delete(&self, name: &str) -> StoreResult<()> {
+        self.check_alive()?;
+        self.state.lock().files.remove(name);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_disk_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("bioopera-store-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let disk = FileDisk::open(&dir).unwrap();
+        assert_eq!(disk.read("a").unwrap(), None);
+        disk.write_atomic("a", b"hello").unwrap();
+        assert_eq!(disk.read("a").unwrap().unwrap(), b"hello");
+        disk.append("a", b" world").unwrap();
+        assert_eq!(disk.read("a").unwrap().unwrap(), b"hello world");
+        assert_eq!(disk.list().unwrap(), vec!["a".to_string()]);
+        disk.delete("a").unwrap();
+        assert_eq!(disk.read("a").unwrap(), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mem_disk_shares_state_across_clones() {
+        let disk = MemDisk::new();
+        disk.append("wal", b"abc").unwrap();
+        let reopened = disk.clone();
+        assert_eq!(reopened.read("wal").unwrap().unwrap(), b"abc");
+    }
+
+    #[test]
+    fn fault_plan_tears_final_write() {
+        let disk = MemDisk::new();
+        disk.set_fault_plan(Some(FaultPlan { crash_after_bytes: 5, tear_final_write: true }));
+        disk.append("wal", b"abc").unwrap();
+        let err = disk.append("wal", b"defgh").unwrap_err();
+        assert!(matches!(err, StoreError::SimulatedCrash));
+        assert!(disk.has_crashed());
+        // Everything fails until reboot.
+        assert!(disk.read("wal").is_err());
+        disk.reboot();
+        // 5-byte budget: "abc" (3) + 2 bytes of the torn write survive.
+        assert_eq!(disk.read("wal").unwrap().unwrap(), b"abcde");
+    }
+
+    #[test]
+    fn fault_plan_drop_final_write() {
+        let disk = MemDisk::new();
+        disk.set_fault_plan(Some(FaultPlan { crash_after_bytes: 4, tear_final_write: false }));
+        disk.append("wal", b"abcd").unwrap();
+        assert!(disk.append("wal", b"e").is_err());
+        disk.reboot();
+        assert_eq!(disk.read("wal").unwrap().unwrap(), b"abcd");
+    }
+}

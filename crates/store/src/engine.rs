@@ -1,0 +1,488 @@
+//! The storage engine proper: record spaces, atomic batches, snapshots.
+//!
+//! A [`Store`] keeps the full record set in memory (a `BTreeMap` per space)
+//! and makes every mutation durable through the WAL before applying it.
+//! [`Store::compact`] rolls the log into a snapshot so that recovery time and
+//! disk usage stay bounded over month-long runs.
+
+use crate::disk::Disk;
+use crate::error::{StoreError, StoreResult};
+use crate::wal::{self, WalOp};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The four persistent spaces of the BioOpera data layer (paper §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Space {
+    /// Process templates as defined by users.
+    Template,
+    /// Processes currently executing (the navigator's durable state).
+    Instance,
+    /// Hardware/software configuration of the computing infrastructure.
+    Configuration,
+    /// Historical information about executed processes, load samples, events.
+    History,
+}
+
+impl Space {
+    /// All spaces, in stable order.
+    pub const ALL: [Space; 4] = [Space::Template, Space::Instance, Space::Configuration, Space::History];
+
+    pub(crate) fn as_u8(self) -> u8 {
+        match self {
+            Space::Template => 0,
+            Space::Instance => 1,
+            Space::Configuration => 2,
+            Space::History => 3,
+        }
+    }
+
+    /// Inverse of the WAL encoding of a space tag; rejects unknown tags.
+    pub fn from_u8(v: u8) -> StoreResult<Space> {
+        match v {
+            0 => Ok(Space::Template),
+            1 => Ok(Space::Instance),
+            2 => Ok(Space::Configuration),
+            3 => Ok(Space::History),
+            other => Err(StoreError::Corruption(format!("unknown space {other}"))),
+        }
+    }
+
+    /// Human-readable name, used in debug dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            Space::Template => "template",
+            Space::Instance => "instance",
+            Space::Configuration => "configuration",
+            Space::History => "history",
+        }
+    }
+}
+
+/// An atomic batch of mutations.  All operations in a batch become visible
+/// together or not at all, across crashes.
+#[derive(Debug, Default, Clone)]
+pub struct Batch {
+    ops: Vec<WalOp>,
+}
+
+impl Batch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queue an insert/replace.
+    pub fn put(&mut self, space: Space, key: impl Into<String>, value: impl Into<Bytes>) -> &mut Self {
+        self.ops.push(WalOp::Put { space: space.as_u8(), key: key.into(), value: value.into() });
+        self
+    }
+
+    /// Queue a delete.
+    pub fn delete(&mut self, space: Space, key: impl Into<String>) -> &mut Self {
+        self.ops.push(WalOp::Delete { space: space.as_u8(), key: key.into() });
+        self
+    }
+
+    /// Number of queued operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when no operations are queued.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// Counters describing the store's physical state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Current snapshot/WAL epoch.
+    pub epoch: u64,
+    /// Bytes appended to the live WAL since the last compaction.
+    pub wal_bytes: u64,
+    /// Batches applied since open (including replayed ones).
+    pub batches_applied: u64,
+    /// Total records across all spaces.
+    pub records: usize,
+    /// Whether the last open discarded a torn tail.
+    pub recovered_torn_tail: bool,
+}
+
+struct Inner<D: Disk> {
+    disk: D,
+    mem: BTreeMap<(u8, String), Bytes>,
+    epoch: u64,
+    wal_bytes: u64,
+    batches_applied: u64,
+    recovered_torn_tail: bool,
+    poisoned: bool,
+}
+
+/// The storage engine.  Cheap to clone (shared handle); all methods are
+/// thread-safe.
+pub struct Store<D: Disk> {
+    inner: Arc<Mutex<Inner<D>>>,
+}
+
+impl<D: Disk> Clone for Store<D> {
+    fn clone(&self) -> Self {
+        Store { inner: Arc::clone(&self.inner) }
+    }
+}
+
+fn wal_name(epoch: u64) -> String {
+    format!("wal-{epoch:06}")
+}
+
+fn snapshot_name(epoch: u64) -> String {
+    format!("snapshot-{epoch:06}")
+}
+
+const MANIFEST: &str = "MANIFEST";
+
+impl<D: Disk> Store<D> {
+    /// Open a store on `disk`, running crash recovery: load the newest
+    /// committed snapshot, then replay the live WAL, discarding any torn
+    /// tail left by a crash.
+    pub fn open(disk: D) -> StoreResult<Self> {
+        let epoch = match disk.read(MANIFEST)? {
+            Some(bytes) => {
+                let text = String::from_utf8(bytes)
+                    .map_err(|_| StoreError::Corruption("manifest not utf-8".into()))?;
+                text.trim()
+                    .parse::<u64>()
+                    .map_err(|_| StoreError::Corruption("manifest not a number".into()))?
+            }
+            None => 0,
+        };
+
+        let mut mem: BTreeMap<(u8, String), Bytes> = BTreeMap::new();
+        let mut batches_applied = 0u64;
+
+        // Snapshots are written atomically, so a torn snapshot is corruption.
+        if let Some(snap) = disk.read(&snapshot_name(epoch))? {
+            let replay = wal::replay(&snap)?;
+            if replay.torn_tail {
+                return Err(StoreError::Corruption("snapshot has torn frames".into()));
+            }
+            for batch in replay.batches {
+                batches_applied += 1;
+                apply_ops(&mut mem, batch);
+            }
+        }
+
+        let (wal_bytes, recovered_torn_tail) = match disk.read(&wal_name(epoch))? {
+            Some(log) => {
+                let replay = wal::replay(&log)?;
+                for batch in replay.batches {
+                    batches_applied += 1;
+                    apply_ops(&mut mem, batch);
+                }
+                (replay.valid_len as u64, replay.torn_tail)
+            }
+            None => (0, false),
+        };
+
+        Ok(Store {
+            inner: Arc::new(Mutex::new(Inner {
+                disk,
+                mem,
+                epoch,
+                wal_bytes,
+                batches_applied,
+                recovered_torn_tail,
+                poisoned: false,
+            })),
+        })
+    }
+
+    /// Apply a batch atomically: durable in the WAL first, then visible.
+    pub fn apply(&self, batch: Batch) -> StoreResult<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let mut inner = self.inner.lock();
+        if inner.poisoned {
+            return Err(StoreError::Poisoned);
+        }
+        let frame = wal::encode_frame(&batch.ops);
+        let name = wal_name(inner.epoch);
+        if let Err(e) = inner.disk.append(&name, &frame) {
+            inner.poisoned = true;
+            return Err(e);
+        }
+        inner.wal_bytes += frame.len() as u64;
+        inner.batches_applied += 1;
+        apply_ops(&mut inner.mem, batch.ops);
+        Ok(())
+    }
+
+    /// Convenience single-record put.
+    pub fn put(&self, space: Space, key: impl Into<String>, value: impl Into<Bytes>) -> StoreResult<()> {
+        let mut b = Batch::new();
+        b.put(space, key, value);
+        self.apply(b)
+    }
+
+    /// Convenience single-record delete.
+    pub fn delete(&self, space: Space, key: impl Into<String>) -> StoreResult<()> {
+        let mut b = Batch::new();
+        b.delete(space, key);
+        self.apply(b)
+    }
+
+    /// Fetch a record.
+    pub fn get(&self, space: Space, key: &str) -> StoreResult<Option<Bytes>> {
+        let inner = self.inner.lock();
+        if inner.poisoned {
+            return Err(StoreError::Poisoned);
+        }
+        Ok(inner.mem.get(&(space.as_u8(), key.to_string())).cloned())
+    }
+
+    /// All `(key, value)` pairs in `space` whose key starts with `prefix`,
+    /// in key order.
+    pub fn scan_prefix(&self, space: Space, prefix: &str) -> StoreResult<Vec<(String, Bytes)>> {
+        let inner = self.inner.lock();
+        if inner.poisoned {
+            return Err(StoreError::Poisoned);
+        }
+        let lo = (space.as_u8(), prefix.to_string());
+        Ok(inner
+            .mem
+            .range(lo..)
+            .take_while(|((s, k), _)| *s == space.as_u8() && k.starts_with(prefix))
+            .map(|((_, k), v)| (k.clone(), v.clone()))
+            .collect())
+    }
+
+    /// Number of records in `space`.
+    pub fn len(&self, space: Space) -> StoreResult<usize> {
+        Ok(self.scan_prefix(space, "")?.len())
+    }
+
+    /// True when `space` holds no records.
+    pub fn is_empty(&self, space: Space) -> StoreResult<bool> {
+        Ok(self.len(space)? == 0)
+    }
+
+    /// Roll the WAL into a snapshot: write `snapshot-{e+1}` atomically, bump
+    /// the manifest (the commit point), start an empty `wal-{e+1}`, then
+    /// garbage-collect the previous epoch's files.  A crash at any point
+    /// leaves either the old epoch or the new epoch fully recoverable.
+    pub fn compact(&self) -> StoreResult<()> {
+        let mut inner = self.inner.lock();
+        if inner.poisoned {
+            return Err(StoreError::Poisoned);
+        }
+        let next = inner.epoch + 1;
+        let ops: Vec<WalOp> = inner
+            .mem
+            .iter()
+            .map(|((s, k), v)| WalOp::Put { space: *s, key: k.clone(), value: v.clone() })
+            .collect();
+        // One frame per 1024 records keeps individual frames reasonable.
+        let mut snap = Vec::new();
+        for chunk in ops.chunks(1024) {
+            snap.extend_from_slice(&wal::encode_frame(chunk));
+        }
+        if ops.is_empty() {
+            // Still write an (empty) snapshot so recovery has a file to find.
+            snap.extend_from_slice(&wal::encode_frame(&[]));
+        }
+        inner.disk.write_atomic(&snapshot_name(next), &snap)?;
+        inner.disk.write_atomic(MANIFEST, next.to_string().as_bytes())?;
+        let old_wal = wal_name(inner.epoch);
+        let old_snap = snapshot_name(inner.epoch);
+        inner.disk.delete(&old_wal)?;
+        inner.disk.delete(&old_snap)?;
+        inner.epoch = next;
+        inner.wal_bytes = 0;
+        Ok(())
+    }
+
+    /// Physical statistics.
+    pub fn stats(&self) -> StoreStats {
+        let inner = self.inner.lock();
+        StoreStats {
+            epoch: inner.epoch,
+            wal_bytes: inner.wal_bytes,
+            batches_applied: inner.batches_applied,
+            records: inner.mem.len(),
+            recovered_torn_tail: inner.recovered_torn_tail,
+        }
+    }
+
+    /// True once a disk failure has poisoned this handle; all further calls
+    /// fail until the store is re-opened (recovery).
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.lock().poisoned
+    }
+
+    /// Mark the handle as failed. Used by the runtime to model a BioOpera
+    /// server crash: the in-memory half dies, the disk survives.
+    pub fn poison(&self) {
+        self.inner.lock().poisoned = true;
+    }
+}
+
+fn apply_ops(mem: &mut BTreeMap<(u8, String), Bytes>, ops: Vec<WalOp>) {
+    for op in ops {
+        match op {
+            WalOp::Put { space, key, value } => {
+                mem.insert((space, key), value);
+            }
+            WalOp::Delete { space, key } => {
+                mem.remove(&(space, key));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::{FaultPlan, MemDisk};
+
+    fn open_mem() -> (MemDisk, Store<MemDisk>) {
+        let disk = MemDisk::new();
+        let store = Store::open(disk.clone()).unwrap();
+        (disk, store)
+    }
+
+    #[test]
+    fn put_get_delete_roundtrip() {
+        let (_d, store) = open_mem();
+        store.put(Space::Instance, "p1", &b"alpha"[..]).unwrap();
+        assert_eq!(store.get(Space::Instance, "p1").unwrap().unwrap(), &b"alpha"[..]);
+        // Spaces are disjoint namespaces.
+        assert_eq!(store.get(Space::Template, "p1").unwrap(), None);
+        store.delete(Space::Instance, "p1").unwrap();
+        assert_eq!(store.get(Space::Instance, "p1").unwrap(), None);
+    }
+
+    #[test]
+    fn scan_prefix_is_ordered_and_scoped() {
+        let (_d, store) = open_mem();
+        for k in ["inst/2/b", "inst/1/a", "inst/1/b", "inst/10/c", "other"] {
+            store.put(Space::Instance, k, Bytes::from(k.to_string())).unwrap();
+        }
+        let hits = store.scan_prefix(Space::Instance, "inst/1").unwrap();
+        let keys: Vec<_> = hits.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["inst/1/a", "inst/1/b", "inst/10/c"]);
+    }
+
+    #[test]
+    fn reopen_replays_wal() {
+        let (disk, store) = open_mem();
+        store.put(Space::Template, "t", &b"T"[..]).unwrap();
+        store.put(Space::History, "h", &b"H"[..]).unwrap();
+        drop(store);
+        let store2 = Store::open(disk).unwrap();
+        assert_eq!(store2.get(Space::Template, "t").unwrap().unwrap(), &b"T"[..]);
+        assert_eq!(store2.get(Space::History, "h").unwrap().unwrap(), &b"H"[..]);
+        assert_eq!(store2.stats().batches_applied, 2);
+    }
+
+    #[test]
+    fn batch_is_atomic_across_crash() {
+        let (disk, store) = open_mem();
+        store.put(Space::Instance, "committed", &b"yes"[..]).unwrap();
+        // Crash 10 bytes into the next append, leaving a torn frame.
+        // (set_fault_plan restarts the byte accounting at zero.)
+        disk.set_fault_plan(Some(FaultPlan { crash_after_bytes: 10, tear_final_write: true }));
+        let mut batch = Batch::new();
+        batch.put(Space::Instance, "a", &b"1"[..]).put(Space::Instance, "b", &b"2"[..]);
+        assert!(matches!(store.apply(batch), Err(StoreError::SimulatedCrash)));
+        assert!(store.is_poisoned());
+        assert!(matches!(store.get(Space::Instance, "a"), Err(StoreError::Poisoned)));
+
+        disk.reboot();
+        let recovered = Store::open(disk).unwrap();
+        assert!(recovered.stats().recovered_torn_tail);
+        // Neither half of the batch is visible; the earlier record is.
+        assert_eq!(recovered.get(Space::Instance, "a").unwrap(), None);
+        assert_eq!(recovered.get(Space::Instance, "b").unwrap(), None);
+        assert_eq!(recovered.get(Space::Instance, "committed").unwrap().unwrap(), &b"yes"[..]);
+    }
+
+    #[test]
+    fn compact_then_recover() {
+        let (disk, store) = open_mem();
+        for i in 0..100 {
+            store.put(Space::History, format!("ev/{i:04}"), Bytes::from(vec![i as u8])).unwrap();
+        }
+        store.delete(Space::History, "ev/0000").unwrap();
+        let pre = store.stats();
+        assert!(pre.wal_bytes > 0);
+        store.compact().unwrap();
+        let post = store.stats();
+        assert_eq!(post.epoch, pre.epoch + 1);
+        assert_eq!(post.wal_bytes, 0);
+        assert_eq!(post.records, 99);
+
+        // Post-compaction writes land in the new WAL.
+        store.put(Space::History, "ev/9999", &b"new"[..]).unwrap();
+        drop(store);
+        let recovered = Store::open(disk).unwrap();
+        assert_eq!(recovered.len(Space::History).unwrap(), 100);
+        assert_eq!(recovered.get(Space::History, "ev/0000").unwrap(), None);
+        assert_eq!(recovered.get(Space::History, "ev/9999").unwrap().unwrap(), &b"new"[..]);
+    }
+
+    #[test]
+    fn compact_empty_store() {
+        let (disk, store) = open_mem();
+        store.compact().unwrap();
+        drop(store);
+        let recovered = Store::open(disk).unwrap();
+        assert_eq!(recovered.stats().records, 0);
+    }
+
+    #[test]
+    fn poison_models_server_crash() {
+        let (disk, store) = open_mem();
+        store.put(Space::Instance, "k", &b"v"[..]).unwrap();
+        store.poison();
+        assert!(matches!(store.put(Space::Instance, "k2", &b"v"[..]), Err(StoreError::Poisoned)));
+        let recovered = Store::open(disk).unwrap();
+        assert_eq!(recovered.get(Space::Instance, "k").unwrap().unwrap(), &b"v"[..]);
+        assert_eq!(recovered.get(Space::Instance, "k2").unwrap(), None);
+    }
+
+    #[test]
+    fn overwrite_takes_latest_value_across_recovery() {
+        let (disk, store) = open_mem();
+        store.put(Space::Configuration, "node", &b"v1"[..]).unwrap();
+        store.put(Space::Configuration, "node", &b"v2"[..]).unwrap();
+        store.compact().unwrap();
+        store.put(Space::Configuration, "node", &b"v3"[..]).unwrap();
+        drop(store);
+        let recovered = Store::open(disk).unwrap();
+        assert_eq!(recovered.get(Space::Configuration, "node").unwrap().unwrap(), &b"v3"[..]);
+    }
+
+    #[test]
+    fn file_disk_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("bioopera-engine-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let disk = crate::disk::FileDisk::open(&dir).unwrap();
+            let store = Store::open(disk).unwrap();
+            store.put(Space::Template, "t", &b"body"[..]).unwrap();
+            store.compact().unwrap();
+            store.put(Space::Template, "u", &b"more"[..]).unwrap();
+        }
+        {
+            let disk = crate::disk::FileDisk::open(&dir).unwrap();
+            let store = Store::open(disk).unwrap();
+            assert_eq!(store.get(Space::Template, "t").unwrap().unwrap(), &b"body"[..]);
+            assert_eq!(store.get(Space::Template, "u").unwrap().unwrap(), &b"more"[..]);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

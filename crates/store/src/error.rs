@@ -1,0 +1,58 @@
+//! Error types for the storage engine.
+
+use std::fmt;
+
+/// Result alias used throughout the store.
+pub type StoreResult<T> = Result<T, StoreError>;
+
+/// Errors raised by the storage engine.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying I/O failure from the disk backend.
+    Io(std::io::Error),
+    /// The disk backend simulated a crash (fault injection).
+    ///
+    /// Any bytes written before the crash point may or may not be durable;
+    /// the store instance must be discarded and re-opened to recover.
+    SimulatedCrash,
+    /// A WAL frame failed its CRC or length check somewhere *before* the
+    /// tail of the log, i.e. genuine corruption rather than a torn write.
+    Corruption(String),
+    /// A record could not be (de)serialized.
+    Codec(String),
+    /// The store was used after a crash without re-opening.
+    Poisoned,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::SimulatedCrash => write!(f, "simulated disk crash"),
+            StoreError::Corruption(m) => write!(f, "log corruption: {m}"),
+            StoreError::Codec(m) => write!(f, "codec error: {m}"),
+            StoreError::Poisoned => write!(f, "store used after crash without recovery"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for StoreError {
+    fn from(e: serde_json::Error) -> Self {
+        StoreError::Codec(e.to_string())
+    }
+}

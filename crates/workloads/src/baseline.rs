@@ -1,0 +1,442 @@
+//! The manual "script driver" baseline.
+//!
+//! "In most existing virtual laboratories, storing, manipulating, and
+//! keeping track of the computation is done manually through ad-hoc pieces
+//! of code ... collections of operating system scripts (mainly Perl
+//! scripts) as the glue" (§1).  This module reproduces that status quo on
+//! the *same* simulated cluster and failure traces so the dependability
+//! ablation can quantify what BioOpera buys:
+//!
+//! * no persistent execution state: if the driver host dies, every chunk
+//!   result since the last *manual* checkpoint is lost and re-run;
+//! * no failure detection: killed or silently lost jobs are only noticed
+//!   when the operator looks (every `operator_check` of virtual time), and
+//!   every such rescue counts as a **manual intervention**;
+//! * results that arrive while the shared disk is full are simply lost.
+
+use bioopera_cluster::trace::{Trace, TraceEventKind};
+use bioopera_cluster::{Cluster, JobId, JobOutcome, NetworkState, SimKernel, SimTime};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Baseline tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct BaselineConfig {
+    /// How often the operator eyeballs the run and rescues failed jobs.
+    pub operator_check: SimTime,
+    /// How often the operator manually coalesces/saves finished results
+    /// (the only "checkpoint" the baseline has).
+    pub checkpoint_every: SimTime,
+    /// Wall-clock pause a manual intervention costs (human reaction).
+    pub intervention_delay: SimTime,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        BaselineConfig {
+            operator_check: SimTime::from_hours(12),
+            checkpoint_every: SimTime::from_days(1),
+            intervention_delay: SimTime::from_hours(2),
+        }
+    }
+}
+
+/// What the baseline run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineOutcome {
+    /// Total wall time until every chunk was done *and* saved.
+    pub wall: SimTime,
+    /// CPU actually consumed, including wasted re-runs.
+    pub cpu_consumed: SimTime,
+    /// CPU of work that was thrown away (lost results, re-runs).
+    pub cpu_lost: SimTime,
+    /// Times a human had to step in.
+    pub manual_interventions: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ChunkState {
+    Pending,
+    Running,
+    /// Finished but not yet saved by a manual checkpoint.
+    DoneUnsaved,
+    /// Finished and checkpointed; survives driver crashes.
+    Saved,
+    /// Killed/lost; waiting for the operator to notice.
+    LostUnnoticed,
+}
+
+#[derive(Debug, Clone)]
+enum Ev {
+    JobDone { node: String, generation: u64 },
+    Trace(usize),
+    OperatorCheck,
+    Checkpoint,
+}
+
+/// The baseline driver.
+pub struct ScriptDriver {
+    cfg: BaselineConfig,
+}
+
+impl ScriptDriver {
+    /// A driver with `cfg`.
+    pub fn new(cfg: BaselineConfig) -> Self {
+        ScriptDriver { cfg }
+    }
+
+    /// Run `chunk_works` (reference-CPU ms each) on `cluster` under
+    /// `trace`.
+    pub fn run(&self, mut cluster: Cluster, trace: &Trace, chunk_works: &[f64]) -> BaselineOutcome {
+        let cfg = self.cfg;
+        let mut kernel: SimKernel<Ev> = SimKernel::new();
+        let events = trace.sorted_events();
+        for (i, ev) in events.iter().enumerate() {
+            kernel.schedule_at(ev.at, Ev::Trace(i));
+        }
+        kernel.schedule_after(cfg.operator_check, Ev::OperatorCheck);
+        kernel.schedule_after(cfg.checkpoint_every, Ev::Checkpoint);
+
+        let n = chunk_works.len();
+        let mut state = vec![ChunkState::Pending; n];
+        let mut queue: VecDeque<usize> = (0..n).collect();
+        let mut job_chunk: BTreeMap<JobId, (usize, String)> = BTreeMap::new();
+        let mut next_job: JobId = 1;
+        let mut driver_up = true;
+        let mut disk_full = false;
+        let mut suspended = false;
+        let mut interventions = 0u32;
+        let mut cpu_consumed_ms = 0.0f64;
+        let mut cpu_lost_ms = 0.0f64;
+        let mut resume_at: Option<SimTime> = None;
+
+        let resync = |cluster: &Cluster, kernel: &mut SimKernel<Ev>| {
+            for node in cluster.nodes() {
+                if let Some((at, _)) = node.next_completion(kernel.now()) {
+                    kernel.schedule_at(
+                        at,
+                        Ev::JobDone {
+                            node: node.spec.name.clone(),
+                            generation: node.generation,
+                        },
+                    );
+                }
+            }
+        };
+
+        loop {
+            // Script-style dispatch: fill every free slot.
+            if driver_up && !suspended && cluster.network() == NetworkState::Up {
+                let paused = resume_at.map(|t| kernel.now() < t).unwrap_or(false);
+                if !paused {
+                    let mut dispatched = false;
+                    let names: Vec<String> =
+                        cluster.nodes().iter().map(|nd| nd.spec.name.clone()).collect();
+                    'outer: for name in names {
+                        loop {
+                            let node = cluster.node(&name).unwrap();
+                            if !node.is_up() || node.job_count() as u32 >= node.cpus_online() {
+                                break;
+                            }
+                            let Some(chunk) = queue.pop_front() else {
+                                break 'outer;
+                            };
+                            state[chunk] = ChunkState::Running;
+                            let job = next_job;
+                            next_job += 1;
+                            cluster
+                                .node_mut(&name)
+                                .unwrap()
+                                .start_job(kernel.now(), job, chunk_works[chunk]);
+                            job_chunk.insert(job, (chunk, name.clone()));
+                            dispatched = true;
+                        }
+                    }
+                    if dispatched {
+                        resync(&cluster, &mut kernel);
+                    }
+                }
+            }
+
+            // Done?
+            if state.iter().all(|s| *s == ChunkState::Saved) {
+                let useful: f64 = chunk_works.iter().sum();
+                return BaselineOutcome {
+                    wall: kernel.now(),
+                    cpu_consumed: SimTime::from_millis(cpu_consumed_ms.round() as u64),
+                    cpu_lost: SimTime::from_millis(
+                        (cpu_consumed_ms - useful).max(cpu_lost_ms.min(cpu_consumed_ms)).round()
+                            as u64,
+                    ),
+                    manual_interventions: interventions,
+                };
+            }
+
+            let Some((at, ev)) = kernel.pop() else {
+                // Nothing pending: the operator notices the stall.
+                interventions += 1;
+                let retry: Vec<usize> = state
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| {
+                        matches!(s, ChunkState::LostUnnoticed | ChunkState::Pending)
+                    })
+                    .map(|(i, _)| i)
+                    .collect();
+                if retry.is_empty() && state.iter().any(|s| *s == ChunkState::DoneUnsaved) {
+                    // Final manual save.
+                    for s in state.iter_mut() {
+                        if *s == ChunkState::DoneUnsaved {
+                            *s = ChunkState::Saved;
+                        }
+                    }
+                    continue;
+                }
+                if retry.is_empty() {
+                    // Deadlock safety valve (should not happen).
+                    panic!("baseline stalled with states {state:?}");
+                }
+                for c in retry {
+                    if state[c] == ChunkState::LostUnnoticed {
+                        state[c] = ChunkState::Pending;
+                        queue.push_back(c);
+                    }
+                }
+                continue;
+            };
+
+            match ev {
+                Ev::JobDone { node, generation } => {
+                    let Some(nd) = cluster.node_mut(&node) else {
+                        continue;
+                    };
+                    if nd.generation != generation || !nd.is_up() {
+                        continue;
+                    }
+                    let finished = nd.take_finished(at);
+                    for (job, outcome) in finished {
+                        let Some((chunk, _)) = job_chunk.remove(&job) else {
+                            continue;
+                        };
+                        let cpu = match outcome {
+                            JobOutcome::Completed { cpu_ms } => cpu_ms,
+                            JobOutcome::Killed => 0.0,
+                        };
+                        cpu_consumed_ms += cpu;
+                        if disk_full || cluster.network() == NetworkState::Down || !driver_up {
+                            // The script's output went nowhere.
+                            cpu_lost_ms += cpu;
+                            state[chunk] = ChunkState::LostUnnoticed;
+                        } else {
+                            state[chunk] = ChunkState::DoneUnsaved;
+                        }
+                    }
+                    resync(&cluster, &mut kernel);
+                }
+                Ev::OperatorCheck => {
+                    let lost: Vec<usize> = state
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, s)| **s == ChunkState::LostUnnoticed)
+                        .map(|(i, _)| i)
+                        .collect();
+                    if !lost.is_empty() && driver_up {
+                        interventions += 1;
+                        resume_at = Some(at + cfg.intervention_delay);
+                        for c in lost {
+                            state[c] = ChunkState::Pending;
+                            queue.push_back(c);
+                        }
+                    }
+                    if !state.iter().all(|s| *s == ChunkState::Saved) {
+                        kernel.schedule_after(cfg.operator_check, Ev::OperatorCheck);
+                    }
+                }
+                Ev::Checkpoint => {
+                    if driver_up {
+                        for s in state.iter_mut() {
+                            if *s == ChunkState::DoneUnsaved {
+                                *s = ChunkState::Saved;
+                            }
+                        }
+                    }
+                    if !state.iter().all(|s| *s == ChunkState::Saved) {
+                        kernel.schedule_after(cfg.checkpoint_every, Ev::Checkpoint);
+                    }
+                }
+                Ev::Trace(i) => match &events[i].kind {
+                    TraceEventKind::NodeDown(name) => {
+                        if let Some(nd) = cluster.node_mut(name) {
+                            for job in nd.crash(at) {
+                                if let Some((chunk, _)) = job_chunk.remove(&job) {
+                                    state[chunk] = ChunkState::LostUnnoticed;
+                                }
+                            }
+                        }
+                    }
+                    TraceEventKind::NodeUp(name) => {
+                        if let Some(nd) = cluster.node_mut(name) {
+                            nd.recover(at);
+                        }
+                    }
+                    TraceEventKind::AllNodesDown => {
+                        for nd in cluster.nodes_mut() {
+                            for job in nd.crash(at) {
+                                if let Some((chunk, _)) = job_chunk.remove(&job) {
+                                    state[chunk] = ChunkState::LostUnnoticed;
+                                }
+                            }
+                        }
+                    }
+                    TraceEventKind::AllNodesUp => {
+                        for nd in cluster.nodes_mut() {
+                            nd.recover(at);
+                        }
+                    }
+                    TraceEventKind::NetworkDown => cluster.set_network(NetworkState::Down),
+                    TraceEventKind::NetworkUp => cluster.set_network(NetworkState::Up),
+                    TraceEventKind::ExternalLoadAll { fraction } => {
+                        for nd in cluster.nodes_mut() {
+                            let cpus = nd.cpus_online() as f64;
+                            nd.set_external_load(at, fraction * cpus);
+                        }
+                        resync(&cluster, &mut kernel);
+                    }
+                    TraceEventKind::ExternalLoad { node, cpus } => {
+                        if let Some(nd) = cluster.node_mut(node) {
+                            nd.set_external_load(at, *cpus);
+                        }
+                        resync(&cluster, &mut kernel);
+                    }
+                    TraceEventKind::UpgradeAllTo { cpus } => {
+                        for nd in cluster.nodes_mut() {
+                            nd.set_cpus(at, *cpus);
+                        }
+                        resync(&cluster, &mut kernel);
+                    }
+                    TraceEventKind::ServerCrash => {
+                        driver_up = false;
+                        // The driver's bookkeeping dies with it: unsaved
+                        // results are gone.
+                        for (i, s) in state.iter_mut().enumerate() {
+                            if *s == ChunkState::DoneUnsaved {
+                                cpu_lost_ms += chunk_works[i];
+                                *s = ChunkState::LostUnnoticed;
+                            }
+                        }
+                        // Running jobs are orphaned.
+                        let names: Vec<String> =
+                            cluster.nodes().iter().map(|nd| nd.spec.name.clone()).collect();
+                        for name in names {
+                            let nd = cluster.node_mut(&name).unwrap();
+                            let ids = nd.job_ids();
+                            for job in ids {
+                                nd.abort_job(at, job);
+                                if let Some((chunk, _)) = job_chunk.remove(&job) {
+                                    state[chunk] = ChunkState::LostUnnoticed;
+                                }
+                            }
+                        }
+                    }
+                    TraceEventKind::ServerRecover => {
+                        driver_up = true;
+                        // Restarting the script by hand is an intervention.
+                        interventions += 1;
+                        resume_at = Some(at + cfg.intervention_delay);
+                    }
+                    TraceEventKind::OperatorSuspend => {
+                        suspended = true;
+                        interventions += 1;
+                    }
+                    TraceEventKind::OperatorResume => suspended = false,
+                    TraceEventKind::DiskFull => disk_full = true,
+                    TraceEventKind::DiskFreed => {
+                        disk_full = false;
+                        interventions += 1; // someone had to clean the disk
+                    }
+                    TraceEventKind::TaskNonReport { count } => {
+                        // Silently lose up to `count` running chunks.
+                        let mut left = *count;
+                        let victims: Vec<JobId> =
+                            job_chunk.keys().copied().take(*count as usize).collect();
+                        for job in victims {
+                            if left == 0 {
+                                break;
+                            }
+                            if let Some((chunk, node)) = job_chunk.remove(&job) {
+                                if let Some(nd) = cluster.node_mut(&node) {
+                                    nd.abort_job(at, job);
+                                }
+                                state[chunk] = ChunkState::LostUnnoticed;
+                                left -= 1;
+                            }
+                        }
+                        resync(&cluster, &mut kernel);
+                    }
+                },
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bioopera_cluster::NodeSpec;
+
+    fn cluster() -> Cluster {
+        Cluster::new(
+            "b",
+            (0..4).map(|i| NodeSpec::new(format!("n{i}"), 1, 500, "linux")).collect(),
+        )
+    }
+
+    fn works(n: usize) -> Vec<f64> {
+        (0..n).map(|i| 3_600_000.0 + (i as f64) * 60_000.0).collect() // ~1 h each
+    }
+
+    #[test]
+    fn fault_free_run_completes_with_no_interventions_beyond_final_save() {
+        let out = ScriptDriver::new(BaselineConfig::default()).run(
+            cluster(),
+            &Trace::empty(),
+            &works(8),
+        );
+        assert!(out.manual_interventions <= 1, "got {}", out.manual_interventions);
+        assert_eq!(out.cpu_lost, SimTime::ZERO);
+        assert!(out.wall >= SimTime::from_hours(2));
+    }
+
+    #[test]
+    fn node_crash_costs_an_intervention_and_lost_cpu() {
+        let mut trace = Trace::empty();
+        trace.push(SimTime::from_mins(30), TraceEventKind::NodeDown("n0".into()));
+        trace.push(SimTime::from_hours(20), TraceEventKind::NodeUp("n0".into()));
+        let out =
+            ScriptDriver::new(BaselineConfig::default()).run(cluster(), &trace, &works(8));
+        assert!(out.manual_interventions >= 1);
+        // The killed job's partial CPU is wasted.
+        assert!(out.cpu_consumed > SimTime::from_hours(8));
+    }
+
+    #[test]
+    fn driver_crash_loses_unsaved_results() {
+        let mut trace = Trace::empty();
+        // Crash after some chunks finished but before the daily checkpoint.
+        trace.push(SimTime::from_hours(5), TraceEventKind::ServerCrash);
+        trace.push(SimTime::from_hours(8), TraceEventKind::ServerRecover);
+        let out =
+            ScriptDriver::new(BaselineConfig::default()).run(cluster(), &trace, &works(8));
+        assert!(out.cpu_lost > SimTime::ZERO, "unsaved results must be re-run");
+        assert!(out.manual_interventions >= 1);
+    }
+
+    #[test]
+    fn baseline_is_deterministic() {
+        let mut trace = Trace::empty();
+        trace.push(SimTime::from_hours(2), TraceEventKind::AllNodesDown);
+        trace.push(SimTime::from_hours(4), TraceEventKind::AllNodesUp);
+        let a = ScriptDriver::new(BaselineConfig::default()).run(cluster(), &trace, &works(6));
+        let b = ScriptDriver::new(BaselineConfig::default()).run(cluster(), &trace, &works(6));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,380 @@
+//! Supporting algorithms for the tower of information (paper Fig. 1).
+//!
+//! Each storey of the tower gets a real (if compact) implementation:
+//!
+//! * DNA → genes: ORF scanning over the three forward reading frames,
+//! * genes → proteins: codon translation (standard genetic code),
+//! * proteins → distances: pairwise alignment + PAM-distance refinement
+//!   (from `bioopera-darwin`),
+//! * distances → phylogeny: **neighbor joining** (Saitou & Nei),
+//! * proteins → secondary structure: **Chou–Fasman** propensity
+//!   classification.
+
+use bioopera_darwin::alphabet::AminoAcid;
+use bioopera_darwin::Sequence;
+
+/// DNA nucleotides as indices 0..4 = A, C, G, T.
+pub const DNA_LETTERS: [char; 4] = ['A', 'C', 'G', 'T'];
+
+/// The standard genetic code: codon (base-4 index) → one-letter amino
+/// acid, or `None` for a stop codon.
+pub fn translate_codon(c0: u8, c1: u8, c2: u8) -> Option<char> {
+    // Index: A=0 C=1 G=2 T=3; table ordered c0*16 + c1*4 + c2.
+    const TABLE: &[u8; 64] = b"KNKNTTTTRSRSIIMIQHQHPPPPRRRRLLLLEDEDAAAAGGGGVVVV*Y*YSSSS*CWCLFLF";
+    let idx = (c0 as usize) * 16 + (c1 as usize) * 4 + (c2 as usize);
+    match TABLE[idx] {
+        b'*' => None,
+        aa => Some(aa as char),
+    }
+}
+
+/// Parse a DNA string to indices; `None` on non-ACGT characters.
+pub fn parse_dna(s: &str) -> Option<Vec<u8>> {
+    s.chars()
+        .map(|c| match c.to_ascii_uppercase() {
+            'A' => Some(0),
+            'C' => Some(1),
+            'G' => Some(2),
+            'T' => Some(3),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Render DNA indices as a string.
+pub fn dna_to_string(dna: &[u8]) -> String {
+    dna.iter().map(|&b| DNA_LETTERS[b as usize]).collect()
+}
+
+/// An open reading frame found by [`find_orfs`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Orf {
+    /// Start offset of the ATG, 0-based.
+    pub start: usize,
+    /// Offset one past the stop codon.
+    pub end: usize,
+    /// Reading frame (0, 1, 2).
+    pub frame: usize,
+    /// Translated protein (one-letter codes, no stop).
+    pub protein: String,
+}
+
+/// Scan the three forward reading frames for ORFs of at least
+/// `min_codons` coding codons (ATG .. stop).
+pub fn find_orfs(dna: &[u8], min_codons: usize) -> Vec<Orf> {
+    let mut orfs = Vec::new();
+    for frame in 0..3usize {
+        let mut i = frame;
+        while i + 2 < dna.len() {
+            // Look for ATG.
+            if dna[i] == 0 && dna[i + 1] == 3 && dna[i + 2] == 2 {
+                // Translate until stop.
+                let mut protein = String::new();
+                let mut j = i;
+                let mut closed = false;
+                while j + 2 < dna.len() {
+                    match translate_codon(dna[j], dna[j + 1], dna[j + 2]) {
+                        Some(aa) => protein.push(aa),
+                        None => {
+                            closed = true;
+                            break;
+                        }
+                    }
+                    j += 3;
+                }
+                if closed && protein.len() >= min_codons {
+                    orfs.push(Orf { start: i, end: j + 3, frame, protein });
+                    i = j + 3;
+                    continue;
+                }
+            }
+            i += 3;
+        }
+    }
+    orfs.sort_by_key(|o| o.start);
+    orfs
+}
+
+/// Back-translate a protein into DNA (first codon per residue), wrapped
+/// with ATG and a stop codon — used by the tower example to synthesize
+/// "raw DNA" whose genes are known.
+pub fn back_translate(protein: &str) -> Vec<u8> {
+    let mut dna = vec![0, 3, 2]; // ATG
+    for c in protein.chars() {
+        let codon = first_codon_for(c).unwrap_or([2, 1, 0]); // GCA (Ala) fallback
+        dna.extend_from_slice(&codon);
+    }
+    dna.extend_from_slice(&[3, 0, 0]); // TAA stop
+    dna
+}
+
+fn first_codon_for(aa: char) -> Option<[u8; 3]> {
+    let target = aa.to_ascii_uppercase();
+    for c0 in 0..4 {
+        for c1 in 0..4 {
+            for c2 in 0..4 {
+                if translate_codon(c0, c1, c2) == Some(target) {
+                    return Some([c0, c1, c2]);
+                }
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Neighbor joining
+// ---------------------------------------------------------------------------
+
+/// A rooted view of the unrooted NJ tree, in Newick notation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhyloTree {
+    /// Newick string with branch lengths, e.g. `((A:1.0,B:1.5):0.5,C:2.0);`
+    pub newick: String,
+    /// Number of leaves.
+    pub leaves: usize,
+}
+
+/// Neighbor joining over a symmetric distance matrix.
+///
+/// Returns the tree in Newick form; `labels` names the leaves.
+/// Panics if the matrix is not square or has fewer than 2 taxa.
+pub fn neighbor_joining(dist: &[Vec<f64>], labels: &[String]) -> PhyloTree {
+    let n = dist.len();
+    assert!(n >= 2, "need at least two taxa");
+    assert!(dist.iter().all(|row| row.len() == n), "matrix must be square");
+    let leaves = n;
+    // Working copies; nodes are Newick fragments.
+    let mut d: Vec<Vec<f64>> = dist.to_vec();
+    let mut nodes: Vec<String> = labels.iter().cloned().collect();
+    let mut active: Vec<usize> = (0..n).collect();
+
+    while active.len() > 2 {
+        let m = active.len();
+        // Row sums over active set.
+        let r: Vec<f64> = active
+            .iter()
+            .map(|&i| active.iter().map(|&j| d[i][j]).sum::<f64>())
+            .collect();
+        // Q matrix minimization.
+        let (mut best, mut bq) = ((0usize, 1usize), f64::INFINITY);
+        for a in 0..m {
+            for b in a + 1..m {
+                let (i, j) = (active[a], active[b]);
+                let q = (m as f64 - 2.0) * d[i][j] - r[a] - r[b];
+                if q < bq {
+                    bq = q;
+                    best = (a, b);
+                }
+            }
+        }
+        let (a, b) = best;
+        let (i, j) = (active[a], active[b]);
+        let m_f = active.len() as f64;
+        let li = 0.5 * d[i][j] + (r[a] - r[b]) / (2.0 * (m_f - 2.0));
+        let lj = d[i][j] - li;
+        let li = li.max(0.0);
+        let lj = lj.max(0.0);
+        // New node u.
+        let u_label = format!("({}:{:.4},{}:{:.4})", nodes[i], li, nodes[j], lj);
+        let u = d.len();
+        // Distances from u to every other active node.
+        let mut new_row = vec![0.0; d.len() + 1];
+        for &k in &active {
+            if k != i && k != j {
+                new_row[k] = 0.5 * (d[i][k] + d[j][k] - d[i][j]);
+            }
+        }
+        for row in d.iter_mut() {
+            row.push(0.0);
+        }
+        d.push(new_row.clone());
+        for (k, row) in d.iter_mut().enumerate() {
+            row[u] = new_row[k];
+        }
+        nodes.push(u_label);
+        // Replace i, j by u in the active set.
+        active.retain(|&k| k != i && k != j);
+        active.push(u);
+    }
+    let (i, j) = (active[0], active[1]);
+    let newick = format!("({}:{:.4},{}:{:.4});", nodes[i], d[i][j] / 2.0, nodes[j], d[i][j] / 2.0);
+    PhyloTree { newick, leaves }
+}
+
+// ---------------------------------------------------------------------------
+// Chou–Fasman secondary-structure prediction
+// ---------------------------------------------------------------------------
+
+/// Chou–Fasman helix propensities (P_alpha), indexed like the Darwin
+/// alphabet (`ARNDCQEGHILKMFPSTWYV`).
+pub const P_ALPHA: [f64; 20] = [
+    1.42, 0.98, 0.67, 1.01, 0.70, 1.11, 1.51, 0.57, 1.00, 1.08, 1.21, 1.16, 1.45, 1.13, 0.57,
+    0.77, 0.83, 1.08, 0.69, 1.06,
+];
+
+/// Chou–Fasman sheet propensities (P_beta).
+pub const P_BETA: [f64; 20] = [
+    0.83, 0.93, 0.89, 0.54, 1.19, 1.10, 0.37, 0.75, 0.87, 1.60, 1.30, 0.74, 1.05, 1.38, 0.55,
+    0.75, 1.19, 1.37, 1.47, 1.70,
+];
+
+/// Predict per-residue secondary structure: `H` (helix), `E` (strand) or
+/// `C` (coil), using windowed mean propensities (window 6 for helix, 5 for
+/// strand, thresholds per the classic method).
+pub fn chou_fasman(seq: &Sequence) -> String {
+    let n = seq.residues.len();
+    let mut out = vec!['C'; n];
+    let window_mean = |table: &[f64; 20], center: usize, w: usize| -> f64 {
+        let lo = center.saturating_sub(w / 2);
+        let hi = (center + w.div_ceil(2)).min(n);
+        if lo >= hi {
+            return 0.0;
+        }
+        let s: f64 = seq.residues[lo..hi].iter().map(|&r| table[r as usize]).sum();
+        s / (hi - lo) as f64
+    };
+    for i in 0..n {
+        let pa = window_mean(&P_ALPHA, i, 6);
+        let pb = window_mean(&P_BETA, i, 5);
+        if pa > 1.03 && pa >= pb {
+            out[i] = 'H';
+        } else if pb > 1.05 {
+            out[i] = 'E';
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Fraction of residues predicted helical/strand — the summary statistic
+/// the tower's final storey reports.
+pub fn structure_summary(prediction: &str) -> (f64, f64, f64) {
+    let n = prediction.len().max(1) as f64;
+    let h = prediction.chars().filter(|&c| c == 'H').count() as f64 / n;
+    let e = prediction.chars().filter(|&c| c == 'E').count() as f64 / n;
+    (h, e, 1.0 - h - e)
+}
+
+/// Helper: translate a protein string into a Darwin [`Sequence`].
+pub fn protein_to_sequence(entry: u32, protein: &str) -> Option<Sequence> {
+    Sequence::from_str(entry, protein)
+}
+
+/// Helper kept close to the alphabet: one-letter validity check.
+pub fn is_valid_protein(s: &str) -> bool {
+    s.chars().all(|c| AminoAcid::from_char(c).is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn genetic_code_basics() {
+        // ATG = Met, TAA/TAG/TGA = stop, TGG = Trp.
+        assert_eq!(translate_codon(0, 3, 2), Some('M'));
+        assert_eq!(translate_codon(3, 0, 0), None);
+        assert_eq!(translate_codon(3, 0, 2), None);
+        assert_eq!(translate_codon(3, 2, 0), None);
+        assert_eq!(translate_codon(3, 2, 2), Some('W'));
+        // AAA = Lys, GGG = Gly, TTT = Phe.
+        assert_eq!(translate_codon(0, 0, 0), Some('K'));
+        assert_eq!(translate_codon(2, 2, 2), Some('G'));
+        assert_eq!(translate_codon(3, 3, 3), Some('F'));
+    }
+
+    #[test]
+    fn all_codons_translate_to_valid_symbols() {
+        let mut stops = 0;
+        for c0 in 0..4 {
+            for c1 in 0..4 {
+                for c2 in 0..4 {
+                    match translate_codon(c0, c1, c2) {
+                        None => stops += 1,
+                        Some(aa) => assert!(is_valid_protein(&aa.to_string()), "bad {aa}"),
+                    }
+                }
+            }
+        }
+        assert_eq!(stops, 3, "the standard code has exactly 3 stop codons");
+    }
+
+    #[test]
+    fn back_translate_then_find_orf_roundtrips() {
+        let protein = "MKVLAWGCHDERNDKLMNPQRST";
+        let dna = back_translate(protein);
+        let orfs = find_orfs(&dna, 5);
+        assert_eq!(orfs.len(), 1);
+        // The ORF's translation starts with M and contains the original.
+        assert!(orfs[0].protein.starts_with('M'));
+        assert!(orfs[0].protein.contains(protein));
+    }
+
+    #[test]
+    fn orfs_found_in_noise_flanked_genes() {
+        let gene1 = back_translate("MKVLAWGCHDE");
+        let gene2 = back_translate("MSTVNQRLKWY");
+        let mut dna = parse_dna("CCGTCCGT").unwrap();
+        dna.extend(&gene1);
+        dna.extend(parse_dna("CCGTCC").unwrap());
+        dna.extend(&gene2);
+        dna.extend(parse_dna("GGGG").unwrap());
+        let orfs = find_orfs(&dna, 8);
+        assert!(orfs.len() >= 2, "found {} ORFs", orfs.len());
+    }
+
+    #[test]
+    fn dna_roundtrip() {
+        let s = "ACGTACGT";
+        assert_eq!(dna_to_string(&parse_dna(s).unwrap()), s);
+        assert!(parse_dna("ACGX").is_none());
+    }
+
+    #[test]
+    fn nj_recovers_simple_topology() {
+        // Additive tree: ((A,B),(C,D)) with known branch lengths.
+        //   A-1-x-1-B, x-2-y, C-1-y-1-D
+        let labels: Vec<String> = ["A", "B", "C", "D"].iter().map(|s| s.to_string()).collect();
+        let d = vec![
+            vec![0.0, 2.0, 4.0, 4.0],
+            vec![2.0, 0.0, 4.0, 4.0],
+            vec![4.0, 4.0, 0.0, 2.0],
+            vec![4.0, 4.0, 2.0, 0.0],
+        ];
+        let tree = neighbor_joining(&d, &labels);
+        assert_eq!(tree.leaves, 4);
+        // A joins B and C joins D (in either order).
+        let ab = tree.newick.contains("(A:1.0000,B:1.0000)")
+            || tree.newick.contains("(B:1.0000,A:1.0000)");
+        let cd = tree.newick.contains("(C:1.0000,D:1.0000)")
+            || tree.newick.contains("(D:1.0000,C:1.0000)");
+        assert!(ab && cd, "unexpected topology: {}", tree.newick);
+        assert!(tree.newick.ends_with(';'));
+    }
+
+    #[test]
+    fn nj_two_taxa() {
+        let labels: Vec<String> = ["X", "Y"].iter().map(|s| s.to_string()).collect();
+        let d = vec![vec![0.0, 3.0], vec![3.0, 0.0]];
+        let tree = neighbor_joining(&d, &labels);
+        assert!(tree.newick.contains("X:1.5"), "{}", tree.newick);
+    }
+
+    #[test]
+    fn chou_fasman_separates_helix_and_sheet_formers() {
+        // Poly-Glu/Ala/Leu: strong helix formers.
+        let helical = Sequence::from_str(0, "EEEEAAAALLLLEEEEAAAA").unwrap();
+        let pred_h = chou_fasman(&helical);
+        let h_frac = pred_h.chars().filter(|&c| c == 'H').count() as f64 / pred_h.len() as f64;
+        assert!(h_frac > 0.8, "helix fraction {h_frac} in {pred_h}");
+        // Poly-Val/Ile/Tyr: strong sheet formers.
+        let sheet = Sequence::from_str(0, "VVVVIIIIYYYYVVVVIIII").unwrap();
+        let pred_e = chou_fasman(&sheet);
+        let e_frac = pred_e.chars().filter(|&c| c == 'E').count() as f64 / pred_e.len() as f64;
+        assert!(e_frac > 0.8, "sheet fraction {e_frac} in {pred_e}");
+        // Poly-Gly/Pro: coil.
+        let coil = Sequence::from_str(0, "GGGGPPPPGGGGPPPP").unwrap();
+        let pred_c = chou_fasman(&coil);
+        assert!(pred_c.chars().all(|c| c == 'C'), "{pred_c}");
+    }
+}
