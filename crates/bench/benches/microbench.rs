@@ -30,9 +30,7 @@ fn bench_alignment(c: &mut Criterion) {
 
 fn bench_pam_family(c: &mut Criterion) {
     use bioopera_darwin::pam::PamFamily;
-    c.bench_function("pam_family_build_12_ladder", |b| {
-        b.iter(|| PamFamily::default())
-    });
+    c.bench_function("pam_family_build_12_ladder", |b| b.iter(PamFamily::default));
 }
 
 fn bench_wal(c: &mut Criterion) {
@@ -44,7 +42,11 @@ fn bench_wal(c: &mut Criterion) {
         b.iter(|| {
             let mut batch = Batch::new();
             for k in 0..8 {
-                batch.put(Space::Instance, format!("inst/{i}/task/{k}"), vec![0u8; 128]);
+                batch.put(
+                    Space::Instance,
+                    format!("inst/{i}/task/{k}"),
+                    vec![0u8; 128],
+                );
             }
             i += 1;
             store.apply(batch).unwrap();
@@ -104,21 +106,32 @@ fn bench_engine_run(c: &mut Criterion) {
         .unwrap();
     let mut lib = ActivityLibrary::new();
     lib.register("gen", |_| {
-        Ok(ProgramOutput::from_fields([("items", Value::int_list(0..32))], 100.0))
+        Ok(ProgramOutput::from_fields(
+            [("items", Value::int_list(0..32))],
+            100.0,
+        ))
     });
-    lib.register("work", |_| Ok(ProgramOutput::from_fields([("ok", Value::Bool(true))], 60_000.0)));
+    lib.register("work", |_| {
+        Ok(ProgramOutput::from_fields(
+            [("ok", Value::Bool(true))],
+            60_000.0,
+        ))
+    });
     let cluster = || {
         Cluster::new(
             "b",
-            (0..4).map(|i| NodeSpec::new(format!("n{i}"), 2, 500, "linux")).collect(),
+            (0..4)
+                .map(|i| NodeSpec::new(format!("n{i}"), 2, 500, "linux"))
+                .collect(),
         )
     };
     c.bench_function("engine_fanout_32_tasks_end_to_end", |b| {
         b.iter(|| {
-            let mut cfg = RuntimeConfig::default();
-            cfg.heartbeat = SimTime::from_mins(10);
-            let mut rt =
-                Runtime::new(MemDisk::new(), cluster(), lib.clone(), cfg).unwrap();
+            let cfg = RuntimeConfig {
+                heartbeat: SimTime::from_mins(10),
+                ..Default::default()
+            };
+            let mut rt = Runtime::new(MemDisk::new(), cluster(), lib.clone(), cfg).unwrap();
             rt.register_template(&template).unwrap();
             let id = rt.submit("Bench", BTreeMap::new()).unwrap();
             rt.run_to_completion().unwrap();
@@ -133,7 +146,11 @@ fn bench_scheduler(c: &mut Criterion) {
     let nodes: Vec<NodeView> = (0..64)
         .map(|i| NodeView {
             name: format!("n{i:02}"),
-            os: if i % 3 == 0 { "solaris".into() } else { "linux".into() },
+            os: if i % 3 == 0 {
+                "solaris".into()
+            } else {
+                "linux".into()
+            },
             speed: 0.7 + (i % 5) as f64 * 0.1,
             cpus_online: 2,
             running_jobs: (i % 3) as u32,

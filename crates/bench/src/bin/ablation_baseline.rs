@@ -23,12 +23,20 @@ fn main() {
         n,
         370,
         38,
-        AllVsAllConfig { teus, ..Default::default() },
+        AllVsAllConfig {
+            teus,
+            ..Default::default()
+        },
     );
     let trace = Trace::shared_run();
 
     eprintln!("running BioOpera...");
-    let out = run_allvsall(&setup, Cluster::shared_pool(), &trace, SimTime::from_hours(2));
+    let out = run_allvsall(
+        &setup,
+        Cluster::shared_pool(),
+        &trace,
+        SimTime::from_hours(2),
+    );
     let rt = &out.runtime;
     let stats = rt.stats(out.instance).expect("stats");
     // Manual interventions under BioOpera: the trace's operator suspends /
@@ -52,7 +60,10 @@ fn main() {
     let fixed = lib.get("darwin.align_fixed").unwrap();
     let refine = lib.get("darwin.refine").unwrap();
     let mut inputs = std::collections::BTreeMap::new();
-    inputs.insert("queue_file".to_string(), bioopera_ocr::Value::int_list(0..n as i64));
+    inputs.insert(
+        "queue_file".to_string(),
+        bioopera_ocr::Value::int_list(0..n as i64),
+    );
     inputs.insert("teus".to_string(), bioopera_ocr::Value::Int(teus));
     let chunks = partition(&inputs).unwrap().outputs["partition"].clone();
     let works: Vec<f64> = chunks
@@ -73,9 +84,18 @@ fn main() {
 
     let mut t = String::new();
     let _ = writeln!(t, "Dependability: BioOpera vs manual script driver");
-    let _ = writeln!(t, "(same {teus} TEUs over {n} entries, same shared cluster + failure trace)\n");
+    let _ = writeln!(
+        t,
+        "(same {teus} TEUs over {n} entries, same shared cluster + failure trace)\n"
+    );
     let _ = writeln!(t, "{:<26} {:>18} {:>18}", "", "BioOpera", "manual scripts");
-    let _ = writeln!(t, "{:<26} {:>18} {:>18}", "WALL", fmt_days(stats.wall), fmt_days(baseline.wall));
+    let _ = writeln!(
+        t,
+        "{:<26} {:>18} {:>18}",
+        "WALL",
+        fmt_days(stats.wall),
+        fmt_days(baseline.wall)
+    );
     let _ = writeln!(
         t,
         "{:<26} {:>18} {:>18}",
@@ -93,16 +113,12 @@ fn main() {
     let _ = writeln!(
         t,
         "{:<26} {:>18} {:>18}",
-        "manual interventions",
-        bioopera_interventions,
-        baseline.manual_interventions
+        "manual interventions", bioopera_interventions, baseline.manual_interventions
     );
     let _ = writeln!(
         t,
         "{:<26} {:>18} {:>18}",
-        "failures masked",
-        masked,
-        "n/a (human-detected)"
+        "failures masked", masked, "n/a (human-detected)"
     );
     println!("{t}");
     write_results("ablation_baseline.txt", &t);

@@ -16,7 +16,9 @@ use std::fmt::Write;
 fn cluster() -> Cluster {
     Cluster::new(
         "ck",
-        (0..6).map(|i| NodeSpec::new(format!("n{i}"), 1, 500, "linux")).collect(),
+        (0..6)
+            .map(|i| NodeSpec::new(format!("n{i}"), 1, 500, "linux"))
+            .collect(),
     )
 }
 
@@ -45,10 +47,15 @@ fn main() {
             8_000,
             370,
             38,
-            AllVsAllConfig { teus, ..Default::default() },
+            AllVsAllConfig {
+                teus,
+                ..Default::default()
+            },
         );
-        let mut cfg = RuntimeConfig::default();
-        cfg.heartbeat = SimTime::from_hours(2);
+        let cfg = RuntimeConfig {
+            heartbeat: SimTime::from_hours(2),
+            ..Default::default()
+        };
         let mut rt = Runtime::new(MemDisk::new(), cluster(), setup.library.clone(), cfg).unwrap();
         rt.register_template(&setup.chunk_template).unwrap();
         rt.register_template(&setup.template).unwrap();

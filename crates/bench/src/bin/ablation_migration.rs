@@ -19,7 +19,9 @@ use std::fmt::Write;
 fn cluster() -> Cluster {
     Cluster::new(
         "mig",
-        (0..8).map(|i| NodeSpec::new(format!("n{i}"), 1, 500, "linux")).collect(),
+        (0..8)
+            .map(|i| NodeSpec::new(format!("n{i}"), 1, 500, "linux"))
+            .collect(),
     )
 }
 
@@ -29,11 +31,17 @@ fn trace(busy: usize) -> Trace {
     for i in 0..busy {
         t.push(
             SimTime::from_hours(1),
-            TraceEventKind::ExternalLoad { node: format!("n{i}"), cpus: 1.0 },
+            TraceEventKind::ExternalLoad {
+                node: format!("n{i}"),
+                cpus: 1.0,
+            },
         );
         t.push(
             SimTime::from_days(6),
-            TraceEventKind::ExternalLoad { node: format!("n{i}"), cpus: 0.0 },
+            TraceEventKind::ExternalLoad {
+                node: format!("n{i}"),
+                cpus: 0.0,
+            },
         );
     }
     t
@@ -44,11 +52,16 @@ fn run(busy: usize, migration: Option<MigrationConfig>) -> String {
         4_000,
         370,
         38,
-        AllVsAllConfig { teus: 16, ..Default::default() },
+        AllVsAllConfig {
+            teus: 16,
+            ..Default::default()
+        },
     );
-    let mut cfg = RuntimeConfig::default();
-    cfg.heartbeat = SimTime::from_mins(30);
-    cfg.migration = migration;
+    let cfg = RuntimeConfig {
+        heartbeat: SimTime::from_mins(30),
+        migration,
+        ..Default::default()
+    };
     let mut rt = Runtime::new(MemDisk::new(), cluster(), setup.library.clone(), cfg).unwrap();
     rt.register_template(&setup.chunk_template).unwrap();
     rt.register_template(&setup.template).unwrap();
@@ -60,7 +73,9 @@ fn run(busy: usize, migration: Option<MigrationConfig>) -> String {
 
 fn main() {
     println!("Kill-and-restart migration ablation (§5.4 discussion)\n");
-    let mig = Some(MigrationConfig { patience: SimTime::from_hours(1) });
+    let mig = Some(MigrationConfig {
+        patience: SimTime::from_hours(1),
+    });
     let mut t = String::new();
     let _ = writeln!(
         t,
@@ -69,10 +84,18 @@ fn main() {
     );
     let half_stay = run(4, None);
     let half_move = run(4, mig);
-    let _ = writeln!(t, "{:<34} {:>16} {:>16}", "camps on half the nodes", half_stay, half_move);
+    let _ = writeln!(
+        t,
+        "{:<34} {:>16} {:>16}",
+        "camps on half the nodes", half_stay, half_move
+    );
     let full_stay = run(8, None);
     let full_move = run(8, mig);
-    let _ = writeln!(t, "{:<34} {:>16} {:>16}", "fills every node", full_stay, full_move);
+    let _ = writeln!(
+        t,
+        "{:<34} {:>16} {:>16}",
+        "fills every node", full_stay, full_move
+    );
     println!("{t}");
     println!(
         "expected shape: migration wins when free capacity exists elsewhere;\n\

@@ -6,7 +6,9 @@
 
 use bioopera_bench::{fmt_days, write_results};
 use bioopera_cluster::{Cluster, SimTime, Trace};
-use bioopera_core::{AvoidSaturated, FastestFit, LeastLoaded, RoundRobin, Runtime, RuntimeConfig, SchedulingPolicy};
+use bioopera_core::{
+    AvoidSaturated, FastestFit, LeastLoaded, RoundRobin, Runtime, RuntimeConfig, SchedulingPolicy,
+};
 use bioopera_store::MemDisk;
 use bioopera_workloads::allvsall::{AllVsAllConfig, AllVsAllSetup};
 use std::fmt::Write;
@@ -42,14 +44,24 @@ fn run_with(policy: Box<dyn SchedulingPolicy>) -> (String, String, &'static str)
         20_000,
         370,
         38,
-        AllVsAllConfig { teus: 12, ..Default::default() },
+        AllVsAllConfig {
+            teus: 12,
+            ..Default::default()
+        },
     );
-    let mut cfg = RuntimeConfig::default();
-    cfg.heartbeat = SimTime::from_hours(2);
     let name = policy.name();
-    cfg.policy = policy;
-    let mut rt =
-        Runtime::new(MemDisk::new(), Cluster::shared_pool(), setup.library.clone(), cfg).unwrap();
+    let cfg = RuntimeConfig {
+        heartbeat: SimTime::from_hours(2),
+        policy,
+        ..Default::default()
+    };
+    let mut rt = Runtime::new(
+        MemDisk::new(),
+        Cluster::shared_pool(),
+        setup.library.clone(),
+        cfg,
+    )
+    .unwrap();
     rt.register_template(&setup.chunk_template).unwrap();
     rt.register_template(&setup.template).unwrap();
     rt.install_trace(&skewed_trace());

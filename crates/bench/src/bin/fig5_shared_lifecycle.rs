@@ -16,10 +16,18 @@ fn main() {
         75_458,
         370,
         38,
-        AllVsAllConfig { teus: 500, ..Default::default() },
+        AllVsAllConfig {
+            teus: 500,
+            ..Default::default()
+        },
     );
     eprintln!("running the shared-cluster all-vs-all (this simulates ~5 weeks)...");
-    let out = run_allvsall(&setup, Cluster::shared_pool(), &Trace::shared_run(), SimTime::from_hours(2));
+    let out = run_allvsall(
+        &setup,
+        Cluster::shared_pool(),
+        &Trace::shared_run(),
+        SimTime::from_hours(2),
+    );
     let rt = &out.runtime;
     let stats = rt.stats(out.instance).expect("stats");
 
@@ -34,18 +42,34 @@ fn main() {
         println!("{line}");
         let _ = writeln!(log, "{line}");
     }
-    let masked = rt.awareness().of_kind(rt.store(), "task.systemfail").unwrap_or_default().len();
-    let failures = rt.awareness().of_kind(rt.store(), "node.crash").unwrap_or_default().len();
+    let masked = rt
+        .awareness()
+        .of_kind(rt.store(), "task.systemfail")
+        .unwrap_or_default()
+        .len();
+    let failures = rt
+        .awareness()
+        .of_kind(rt.store(), "node.crash")
+        .unwrap_or_default()
+        .len();
     let restarts = rt.auto_restarts();
     println!();
     println!("WALL(P) = {}   CPU(P) = {}", stats.wall, stats.cpu);
     println!("masked system failures (auto re-queued TEUs): {masked}");
-    println!("node crashes observed: {failures}; operator restarts for non-reporting TEUs: {restarts}");
+    println!(
+        "node crashes observed: {failures}; operator restarts for non-reporting TEUs: {restarts}"
+    );
 
     // CSV for external plotting.
     let mut csv = String::from("day,availability,utilization\n");
     for s in rt.series() {
-        let _ = writeln!(csv, "{:.3},{},{:.2}", s.at.as_days_f64(), s.availability, s.utilization);
+        let _ = writeln!(
+            csv,
+            "{:.3},{},{:.2}",
+            s.at.as_days_f64(),
+            s.availability,
+            s.utilization
+        );
     }
     write_results("fig5_series.csv", &csv);
     write_results(

@@ -15,10 +15,18 @@ fn main() {
         75_458,
         370,
         38,
-        AllVsAllConfig { teus: 500, ..Default::default() },
+        AllVsAllConfig {
+            teus: 500,
+            ..Default::default()
+        },
     );
     eprintln!("running the non-shared all-vs-all (ik-linux)...");
-    let out = run_allvsall(&setup, Cluster::ik_linux(), &Trace::nonshared_run(), SimTime::from_hours(2));
+    let out = run_allvsall(
+        &setup,
+        Cluster::ik_linux(),
+        &Trace::nonshared_run(),
+        SimTime::from_hours(2),
+    );
     let rt = &out.runtime;
     let stats = rt.stats(out.instance).expect("stats");
 
@@ -60,7 +68,13 @@ fn main() {
 
     let mut csv = String::from("day,availability,utilization\n");
     for s in rt.series() {
-        let _ = writeln!(csv, "{:.3},{},{:.2}", s.at.as_days_f64(), s.availability, s.utilization);
+        let _ = writeln!(
+            csv,
+            "{:.3},{},{:.2}",
+            s.at.as_days_f64(),
+            s.availability,
+            s.utilization
+        );
     }
     write_results("fig6_series.csv", &csv);
     write_results(

@@ -1,0 +1,284 @@
+//! **Alignment kernel microbench** — throughput of the query-profile
+//! kernel vs the seed (naive) implementation on a seeded dataset.
+//!
+//! Measures, for each variant:
+//!
+//! * cells/sec — DP cells computed per second (the unit of the cost model),
+//! * pairs/sec — pairwise alignments per second,
+//! * allocations — heap allocations per pass, via a counting wrapper
+//!   around the system allocator.
+//!
+//! Each variant is timed per pass and the **minimum** over
+//! `KERNEL_BENCH_REPEATS` passes is reported (interference from the host
+//! only ever slows a pass down, so the minimum is the least-noisy
+//! estimate of kernel throughput).
+//!
+//! Writes `BENCH_kernel.json`, seeding the repo's perf trajectory; the
+//! acceptance bar for the profile kernel is ≥ 2× the naive cells/sec.
+
+use bioopera_bench::write_results;
+use bioopera_darwin::align::{
+    align_score_many, align_score_naive, align_score_with, AlignParams, AlignScratch, ScoreOnly,
+};
+use bioopera_darwin::dataset::DatasetConfig;
+use bioopera_darwin::pam::FIXED_PAM;
+use bioopera_darwin::{PamFamily, SequenceDb};
+use serde::Serialize;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// System allocator wrapped with an allocation counter.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[derive(Serialize)]
+struct VariantResult {
+    name: String,
+    pairs: u64,
+    cells: u64,
+    seconds: f64,
+    cells_per_sec: f64,
+    pairs_per_sec: f64,
+    allocations: u64,
+    checksum: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    workload: String,
+    db_size: usize,
+    mean_len: f64,
+    repeats: u32,
+    variants: Vec<VariantResult>,
+    speedup_cells_per_sec: f64,
+    bit_identical: bool,
+}
+
+/// Per-variant timing accumulator: best per-pass seconds plus the allocs
+/// of one pass.  The minimum over passes is the robust estimator here:
+/// the box runs inside a VM whose host-side interference inflates
+/// individual passes but never deflates them, and the variants are
+/// interleaved pass-by-pass in `main` so a noise burst cannot land
+/// entirely on one variant.
+struct Timing {
+    best_secs: f64,
+    allocs: u64,
+    result: (f64, u64),
+}
+
+impl Timing {
+    fn new() -> Self {
+        Timing {
+            best_secs: f64::INFINITY,
+            allocs: 0,
+            result: (0.0, 0),
+        }
+    }
+
+    fn pass(&mut self, work: &mut impl FnMut() -> (f64, u64)) {
+        let alloc0 = allocations();
+        let start = Instant::now();
+        self.result = std::hint::black_box(work());
+        self.best_secs = self.best_secs.min(start.elapsed().as_secs_f64());
+        self.allocs = allocations() - alloc0;
+    }
+}
+
+fn main() {
+    let pam = PamFamily::default();
+    let cfg = DatasetConfig {
+        size: 60,
+        mean_len: 180,
+        ..DatasetConfig::small(60, 42)
+    };
+    let db = SequenceDb::generate(&cfg, &pam);
+    let matrix = pam.nearest(FIXED_PAM);
+    let params = AlignParams::default();
+    let n = db.len() as u32;
+    let repeats: u32 = std::env::var("KERNEL_BENCH_REPEATS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let pairs_per_pass: u64 = (n as u64) * (n as u64 - 1) / 2;
+
+    // The reference: one naive all-vs-all pass (upper triangle).
+    let naive_pass = || {
+        let mut checksum = 0.0f64;
+        let mut cells = 0u64;
+        for e in 0..n {
+            let a = db.get(e);
+            for f in (e + 1)..n {
+                let r = align_score_naive(a, db.get(f), matrix, &params);
+                checksum += r.score as f64;
+                cells += r.cells;
+            }
+        }
+        (checksum, cells)
+    };
+
+    // The profile kernel, batched: one profile build per query, one
+    // scratch for the whole pass.
+    let mut scratch = AlignScratch::new();
+    let mut scores: Vec<ScoreOnly> = Vec::new();
+    let mut batched_pass = || {
+        let mut checksum = 0.0f64;
+        let mut cells = 0u64;
+        for e in 0..n {
+            if e + 1 >= n {
+                break;
+            }
+            align_score_many(
+                db.get(e),
+                ((e + 1)..n).map(|f| db.get(f)),
+                matrix,
+                &params,
+                None,
+                &mut scratch,
+                &mut scores,
+            );
+            for r in &scores {
+                checksum += r.score as f64;
+                cells += r.cells;
+            }
+        }
+        (checksum, cells)
+    };
+
+    // The profile kernel, pairwise entry point (profile rebuilt per pair,
+    // scratch still reused): isolates the profile-build overhead.
+    let mut scratch2 = AlignScratch::new();
+    let mut pairwise_pass = || {
+        let mut checksum = 0.0f64;
+        let mut cells = 0u64;
+        for e in 0..n {
+            let a = db.get(e);
+            for f in (e + 1)..n {
+                let r = align_score_with(a, db.get(f), matrix, &params, &mut scratch2);
+                checksum += r.score as f64;
+                cells += r.cells;
+            }
+        }
+        (checksum, cells)
+    };
+
+    eprintln!(
+        "kernel_bench: db={} seqs, mean_len={:.0}, {repeats} passes",
+        db.len(),
+        db.mean_len()
+    );
+
+    // One untimed warm-up each (grow lazy buffers), then interleave the
+    // variants pass-by-pass so background interference hits all three
+    // with equal odds; keep each variant's best pass.
+    let mut naive_pass = naive_pass;
+    naive_pass();
+    batched_pass();
+    pairwise_pass();
+    let mut naive_t = Timing::new();
+    let mut batch_t = Timing::new();
+    let mut pair_t = Timing::new();
+    for _ in 0..repeats {
+        naive_t.pass(&mut naive_pass);
+        batch_t.pass(&mut batched_pass);
+        pair_t.pass(&mut pairwise_pass);
+    }
+    let ((naive_sum, naive_cells), naive_secs, naive_allocs) =
+        (naive_t.result, naive_t.best_secs, naive_t.allocs);
+    let ((batch_sum, batch_cells), batch_secs, batch_allocs) =
+        (batch_t.result, batch_t.best_secs, batch_t.allocs);
+    let ((pair_sum, pair_cells), pair_secs, pair_allocs) =
+        (pair_t.result, pair_t.best_secs, pair_t.allocs);
+
+    let bit_identical = naive_sum == batch_sum
+        && naive_sum == pair_sum
+        && naive_cells == batch_cells
+        && naive_cells == pair_cells;
+    assert!(
+        bit_identical,
+        "profile kernel diverged from naive: {naive_sum} vs {batch_sum} / {pair_sum}"
+    );
+
+    let variant = |name: &str, sum: f64, cells: u64, secs: f64, allocs: u64| VariantResult {
+        name: name.to_string(),
+        pairs: pairs_per_pass,
+        cells,
+        seconds: secs,
+        cells_per_sec: cells as f64 / secs,
+        pairs_per_sec: pairs_per_pass as f64 / secs,
+        allocations: allocs,
+        checksum: sum,
+    };
+    let variants = vec![
+        variant(
+            "naive_align_score",
+            naive_sum,
+            naive_cells,
+            naive_secs,
+            naive_allocs,
+        ),
+        variant(
+            "profile_batched",
+            batch_sum,
+            batch_cells,
+            batch_secs,
+            batch_allocs,
+        ),
+        variant(
+            "profile_pairwise",
+            pair_sum,
+            pair_cells,
+            pair_secs,
+            pair_allocs,
+        ),
+    ];
+    let speedup = variants[1].cells_per_sec / variants[0].cells_per_sec;
+    let report = BenchReport {
+        workload: format!("all-vs-all upper triangle, seed {}", cfg.seed),
+        db_size: db.len(),
+        mean_len: db.mean_len(),
+        repeats,
+        variants,
+        speedup_cells_per_sec: speedup,
+        bit_identical,
+    };
+
+    for v in &report.variants {
+        eprintln!(
+            "  {:<20} {:>10.1} Mcells/s  {:>8.1} pairs/s  {:>8} allocs",
+            v.name,
+            v.cells_per_sec / 1e6,
+            v.pairs_per_sec,
+            v.allocations
+        );
+    }
+    eprintln!("  speedup (batched vs naive): {speedup:.2}x");
+
+    let json = serde_json::to_string(&report).expect("serialize report");
+    write_results("BENCH_kernel.json", &json);
+    println!("{json}");
+}

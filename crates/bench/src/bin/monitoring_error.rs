@@ -14,8 +14,9 @@ use std::fmt::Write;
 
 fn main() {
     // One long curve per "node"; average metrics over several nodes.
-    let curves: Vec<Vec<f64>> =
-        (0..8).map(|i| load_curve(2000 + i, 100_000, &LoadModel::default())).collect();
+    let curves: Vec<Vec<f64>> = (0..8)
+        .map(|i| load_curve(2000 + i, 100_000, &LoadModel::default()))
+        .collect();
 
     println!("Adaptive load monitoring: discard fraction vs server-view error");
     println!("(sweep over the two cut-off levels of §3.4)\n");

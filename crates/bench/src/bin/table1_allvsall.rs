@@ -22,7 +22,10 @@ fn run(shared: bool) -> (String, String, String, u32) {
         SP38_N,
         370,
         38,
-        AllVsAllConfig { teus: 500, ..Default::default() },
+        AllVsAllConfig {
+            teus: 500,
+            ..Default::default()
+        },
     );
     let (cluster, trace) = if shared {
         (Cluster::shared_pool(), Trace::shared_run())
@@ -47,7 +50,11 @@ fn main() {
     let (cpu_n, wall_n, cpua_n, max_n) = run(false);
 
     let mut t = String::new();
-    let _ = writeln!(t, "{:<16} {:>20} {:>20}", "", "Shared cluster", "Non-shared cluster");
+    let _ = writeln!(
+        t,
+        "{:<16} {:>20} {:>20}",
+        "", "Shared cluster", "Non-shared cluster"
+    );
     let _ = writeln!(t, "{:<16} {:>20} {:>20}", "Max # of CPUs", max_s, max_n);
     let _ = writeln!(t, "{:<16} {:>20} {:>20}", "CPU(P)", cpu_s, cpu_n);
     let _ = writeln!(t, "{:<16} {:>20} {:>20}", "WALL(P)", wall_s, wall_n);

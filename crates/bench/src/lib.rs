@@ -28,16 +28,22 @@ pub fn run_allvsall(
     trace: &Trace,
     heartbeat: SimTime,
 ) -> RunOutcome {
-    let mut cfg = RuntimeConfig::default();
-    cfg.heartbeat = heartbeat;
+    let cfg = RuntimeConfig {
+        heartbeat,
+        ..Default::default()
+    };
     let mut rt = Runtime::new(MemDisk::new(), cluster, setup.library.clone(), cfg)
         .expect("runtime construction");
-    rt.register_template(&setup.chunk_template).expect("chunk template");
+    rt.register_template(&setup.chunk_template)
+        .expect("chunk template");
     rt.register_template(&setup.template).expect("top template");
     rt.install_trace(trace);
     let instance = rt.submit("AllVsAll", setup.initial()).expect("submit");
     rt.run_to_completion().expect("run to completion");
-    RunOutcome { runtime: rt, instance }
+    RunOutcome {
+        runtime: rt,
+        instance,
+    }
 }
 
 /// Render the Figures 5/6 style chart: availability (`#`) as the envelope,
@@ -79,12 +85,12 @@ pub fn ascii_lifecycle(series: &[SeriesSample], width: usize, height: usize) -> 
         };
         let a_rows = ((avail / y_max) * (height as f64 - 1.0)).round() as usize;
         let u_rows = ((util / y_max) * (height as f64 - 1.0)).round() as usize;
-        for row in 0..height {
+        for (row, grid_row) in grid.iter_mut().enumerate() {
             let y = height - 1 - row; // row 0 at top
             if y <= u_rows {
-                grid[row][col] = '*';
+                grid_row[col] = '*';
             } else if y <= a_rows {
-                grid[row][col] = '#';
+                grid_row[col] = '#';
             }
         }
     }
@@ -191,7 +197,11 @@ mod tests {
 
     #[test]
     fn ascii_fig4_renders_both_series() {
-        let rows = vec![(1usize, 2500.0, 2500.0), (25, 2600.0, 700.0), (500, 5200.0, 1500.0)];
+        let rows = vec![
+            (1usize, 2500.0, 2500.0),
+            (25, 2600.0, 700.0),
+            (500, 5200.0, 1500.0),
+        ];
         let chart = ascii_fig4(&rows, 60, 12);
         assert!(chart.contains('C'));
         assert!(chart.contains('W'));

@@ -184,8 +184,12 @@ mod tests {
     #[test]
     fn utilization_sums_over_nodes() {
         let mut c = Cluster::ik_sun();
-        c.node_mut("ik-sun1").unwrap().start_job(SimTime::ZERO, 1, 1000.0);
-        c.node_mut("ik-sun2").unwrap().start_job(SimTime::ZERO, 2, 1000.0);
+        c.node_mut("ik-sun1")
+            .unwrap()
+            .start_job(SimTime::ZERO, 1, 1000.0);
+        c.node_mut("ik-sun2")
+            .unwrap()
+            .start_job(SimTime::ZERO, 2, 1000.0);
         assert!((c.utilization() - 2.0).abs() < 1e-9);
     }
 

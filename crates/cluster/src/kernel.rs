@@ -52,7 +52,12 @@ impl<E> Default for SimKernel<E> {
 impl<E> SimKernel<E> {
     /// A kernel at time zero with an empty queue.
     pub fn new() -> Self {
-        SimKernel { queue: BinaryHeap::new(), now: SimTime::ZERO, next_seq: 0, processed: 0 }
+        SimKernel {
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            processed: 0,
+        }
     }
 
     /// Current virtual time.
@@ -73,7 +78,11 @@ impl<E> SimKernel<E> {
     /// Schedule `event` at absolute time `at`.  Scheduling in the past is a
     /// driver bug and panics (it would silently reorder causality).
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
-        assert!(at >= self.now, "scheduled event in the past: {at} < {}", self.now);
+        assert!(
+            at >= self.now,
+            "scheduled event in the past: {at} < {}",
+            self.now
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
         self.queue.push(Reverse(Entry { at, seq, event }));

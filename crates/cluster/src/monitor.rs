@@ -160,7 +160,11 @@ pub fn evaluate(truth: &[f64], cfg: MonitorConfig) -> MonitorReport {
     MonitorReport {
         samples_taken: taken,
         reports_sent: sent,
-        discard_fraction: if taken == 0 { 0.0 } else { 1.0 - sent as f64 / taken as f64 },
+        discard_fraction: if taken == 0 {
+            0.0
+        } else {
+            1.0 - sent as f64 / taken as f64
+        },
         traffic_reduction: 1.0 - sent as f64 / n,
         mean_abs_error_pct: abs_err_sum / n * 100.0,
         max_error_pct: max_err * 100.0,
@@ -190,10 +194,17 @@ mod tests {
         let mut truth = vec![0.2; 200];
         truth.extend(vec![0.9; 200]);
         let report = evaluate(&truth, cfg);
-        assert!(report.reports_sent >= 2, "step change must reach the server");
+        assert!(
+            report.reports_sent >= 2,
+            "step change must reach the server"
+        );
         // The error is bounded by the detection delay (≤ max_interval ticks
         // at 0.7 amplitude) amortized over 400 ticks.
-        assert!(report.mean_abs_error_pct < 7.0, "err {}", report.mean_abs_error_pct);
+        assert!(
+            report.mean_abs_error_pct < 7.0,
+            "err {}",
+            report.mean_abs_error_pct
+        );
     }
 
     #[test]

@@ -32,7 +32,12 @@ pub struct NodeSpec {
 impl NodeSpec {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, cpus: u32, mhz: u32, os: impl Into<String>) -> Self {
-        NodeSpec { name: name.into(), cpus, mhz, os: os.into() }
+        NodeSpec {
+            name: name.into(),
+            cpus,
+            mhz,
+            os: os.into(),
+        }
     }
 
     /// Speed factor relative to the 500 MHz reference.
@@ -185,7 +190,11 @@ impl Node {
         assert!(self.up, "dispatched to a down node");
         assert!(work_ref_cpu_ms >= 0.0);
         self.advance(now);
-        self.jobs.push(RunningJob { id, remaining: work_ref_cpu_ms, consumed_cpu_ms: 0.0 });
+        self.jobs.push(RunningJob {
+            id,
+            remaining: work_ref_cpu_ms,
+            consumed_cpu_ms: 0.0,
+        });
         self.generation += 1;
     }
 
@@ -213,7 +222,12 @@ impl Node {
         self.jobs.retain(|j| {
             // One simulated millisecond of slack absorbs ceil() rounding.
             if j.remaining <= self.spec.speed() {
-                done.push((j.id, JobOutcome::Completed { cpu_ms: j.consumed_cpu_ms }));
+                done.push((
+                    j.id,
+                    JobOutcome::Completed {
+                        cpu_ms: j.consumed_cpu_ms,
+                    },
+                ));
                 false
             } else {
                 true

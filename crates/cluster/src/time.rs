@@ -10,7 +10,9 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// A point in virtual time (milliseconds since simulation start).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(pub u64);
 
 impl SimTime {
@@ -139,7 +141,10 @@ mod tests {
     fn display_formats() {
         assert_eq!(SimTime::from_secs(5).to_string(), "5s");
         assert_eq!(SimTime::from_secs(65).to_string(), "1m 05s");
-        assert_eq!(SimTime::from_secs(3_600 + 120 + 3).to_string(), "1h 02m 03s");
+        assert_eq!(
+            SimTime::from_secs(3_600 + 120 + 3).to_string(),
+            "1h 02m 03s"
+        );
         assert_eq!(
             (SimTime::from_days(31) + SimTime::from_hours(6) + SimTime::from_mins(1)).to_string(),
             "31d 06h 01m"

@@ -93,13 +93,26 @@ impl Trace {
 
     /// Add an unlabeled event.
     pub fn push(&mut self, at: SimTime, kind: TraceEventKind) -> &mut Self {
-        self.events.push(TraceEvent { at, kind, label: None });
+        self.events.push(TraceEvent {
+            at,
+            kind,
+            label: None,
+        });
         self
     }
 
     /// Add a labeled event (shows up in the experiment's event log).
-    pub fn push_labeled(&mut self, at: SimTime, kind: TraceEventKind, label: impl Into<String>) -> &mut Self {
-        self.events.push(TraceEvent { at, kind, label: Some(label.into()) });
+    pub fn push_labeled(
+        &mut self,
+        at: SimTime,
+        kind: TraceEventKind,
+        label: impl Into<String>,
+    ) -> &mut Self {
+        self.events.push(TraceEvent {
+            at,
+            kind,
+            label: Some(label.into()),
+        });
         self
     }
 
@@ -129,24 +142,47 @@ impl Trace {
         let mut t = Trace::empty();
         // Background: the cluster is shared, so a moderate external load is
         // present from the start and fluctuates.
-        t.push(SimTime::ZERO, TraceEventKind::ExternalLoadAll { fraction: 0.25 });
+        t.push(
+            SimTime::ZERO,
+            TraceEventKind::ExternalLoadAll { fraction: 0.25 },
+        );
         // (1) Another user requests exclusive access; process suspended,
         // resumed once the cluster is freed.
-        t.push_labeled(d(15), TraceEventKind::OperatorSuspend, "1: other user needs cluster (manual suspend)");
+        t.push_labeled(
+            d(15),
+            TraceEventKind::OperatorSuspend,
+            "1: other user needs cluster (manual suspend)",
+        );
         t.push(d(15), TraceEventKind::ExternalLoadAll { fraction: 0.95 });
         t.push(d(30), TraceEventKind::ExternalLoadAll { fraction: 0.25 });
-        t.push_labeled(d(30), TraceEventKind::OperatorResume, "1b: cluster freed (resume)");
+        t.push_labeled(
+            d(30),
+            TraceEventKind::OperatorResume,
+            "1b: cluster freed (resume)",
+        );
         // (2) The sole BioOpera server crash (communication protocol bug).
-        t.push_labeled(d(50), TraceEventKind::ServerCrash, "2: BioOpera server crash");
+        t.push_labeled(
+            d(50),
+            TraceEventKind::ServerCrash,
+            "2: BioOpera server crash",
+        );
         t.push(d(51), TraceEventKind::ServerRecover);
         // (3) First massive hardware failure.
         t.push_labeled(d(75), TraceEventKind::AllNodesDown, "3: cluster failure");
         t.push(d(80), TraceEventKind::AllNodesUp);
         // (5) Cluster heavily used by other jobs for almost a week.
-        t.push_labeled(d(100), TraceEventKind::ExternalLoadAll { fraction: 0.85 }, "5: cluster busy with other jobs");
+        t.push_labeled(
+            d(100),
+            TraceEventKind::ExternalLoadAll { fraction: 0.85 },
+            "5: cluster busy with other jobs",
+        );
         t.push(d(160), TraceEventKind::ExternalLoadAll { fraction: 0.25 });
         // (4) Some nodes unavailable for a while.
-        t.push_labeled(d(175), TraceEventKind::NodeDown("linneus3".into()), "4: some nodes unavailable");
+        t.push_labeled(
+            d(175),
+            TraceEventKind::NodeDown("linneus3".into()),
+            "4: some nodes unavailable",
+        );
         t.push(d(175), TraceEventKind::NodeDown("linneus4".into()));
         t.push(d(175), TraceEventKind::NodeDown("linneus5".into()));
         t.push(d(175), TraceEventKind::NodeDown("linneus6".into()));
@@ -158,23 +194,39 @@ impl Trace {
         // and resumed (7).
         t.push_labeled(d(205), TraceEventKind::DiskFull, "6: disk space shortage");
         t.push(d(220), TraceEventKind::OperatorSuspend);
-        t.push_labeled(d(222), TraceEventKind::DiskFreed, "7: storage fixed (resume)");
+        t.push_labeled(
+            d(222),
+            TraceEventKind::DiskFreed,
+            "7: storage fixed (resume)",
+        );
         t.push(d(222), TraceEventKind::OperatorResume);
         // (7 in figure) Second massive hardware failure.
-        t.push_labeled(d(240), TraceEventKind::AllNodesDown, "7: cluster failure (second)");
+        t.push_labeled(
+            d(240),
+            TraceEventKind::AllNodesDown,
+            "7: cluster failure (second)",
+        );
         t.push(d(244), TraceEventKind::AllNodesUp);
         // (8) Server host maintenance: planned shutdown, smooth restart.
         t.push_labeled(d(260), TraceEventKind::ServerCrash, "8: server maintenance");
         t.push(d(265), TraceEventKind::ServerRecover);
         // (9) Many higher-priority jobs; file-system instability raises the
         // activity failure rate slightly (modeled by a node flap).
-        t.push_labeled(d(280), TraceEventKind::ExternalLoadAll { fraction: 0.8 }, "9: higher-priority jobs");
+        t.push_labeled(
+            d(280),
+            TraceEventKind::ExternalLoadAll { fraction: 0.8 },
+            "9: higher-priority jobs",
+        );
         t.push(d(300), TraceEventKind::NodeDown("linneus7".into()));
         t.push(d(302), TraceEventKind::NodeUp("linneus7".into()));
         t.push(d(330), TraceEventKind::ExternalLoadAll { fraction: 0.2 });
         // (10) Two TEUs fail to report results; the operator restarts the
         // process and BioOpera immediately re-schedules them.
-        t.push_labeled(d(350), TraceEventKind::TaskNonReport { count: 2 }, "10: TEUs fail to report results");
+        t.push_labeled(
+            d(350),
+            TraceEventKind::TaskNonReport { count: 2 },
+            "10: TEUs fail to report results",
+        );
         t
     }
 
@@ -188,16 +240,28 @@ impl Trace {
             "planned network outage #1 (suspend)",
         );
         t.push(SimTime::from_days(10), TraceEventKind::OperatorSuspend);
-        t.push(SimTime::from_days(10) + SimTime::from_hours(12), TraceEventKind::NetworkUp);
-        t.push(SimTime::from_days(10) + SimTime::from_hours(12), TraceEventKind::OperatorResume);
+        t.push(
+            SimTime::from_days(10) + SimTime::from_hours(12),
+            TraceEventKind::NetworkUp,
+        );
+        t.push(
+            SimTime::from_days(10) + SimTime::from_hours(12),
+            TraceEventKind::OperatorResume,
+        );
         t.push_labeled(
             SimTime::from_days(18),
             TraceEventKind::NetworkDown,
             "planned network outage #2 (suspend)",
         );
         t.push(SimTime::from_days(18), TraceEventKind::OperatorSuspend);
-        t.push(SimTime::from_days(18) + SimTime::from_hours(8), TraceEventKind::NetworkUp);
-        t.push(SimTime::from_days(18) + SimTime::from_hours(8), TraceEventKind::OperatorResume);
+        t.push(
+            SimTime::from_days(18) + SimTime::from_hours(8),
+            TraceEventKind::NetworkUp,
+        );
+        t.push(
+            SimTime::from_days(18) + SimTime::from_hours(8),
+            TraceEventKind::OperatorResume,
+        );
         t.push_labeled(
             SimTime::from_days(25),
             TraceEventKind::UpgradeAllTo { cpus: 2 },

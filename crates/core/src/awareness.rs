@@ -48,15 +48,27 @@ impl Awareness {
         kind: impl Into<String>,
         detail: impl Into<String>,
     ) -> Result<(), bioopera_store::StoreError> {
-        let ev = HistoryEvent { at, kind: kind.into(), detail: detail.into() };
+        let ev = HistoryEvent {
+            at,
+            kind: kind.into(),
+            detail: detail.into(),
+        };
         let key = format!("{:010}", self.next_seq);
         self.next_seq += 1;
         self.events.put(store, &key, &ev)
     }
 
     /// All events in order.
-    pub fn all<D: Disk>(&self, store: &Store<D>) -> Result<Vec<HistoryEvent>, bioopera_store::StoreError> {
-        Ok(self.events.scan(store)?.into_iter().map(|(_, e)| e).collect())
+    pub fn all<D: Disk>(
+        &self,
+        store: &Store<D>,
+    ) -> Result<Vec<HistoryEvent>, bioopera_store::StoreError> {
+        Ok(self
+            .events
+            .scan(store)?
+            .into_iter()
+            .map(|(_, e)| e)
+            .collect())
     }
 
     /// Events of a given kind.
@@ -65,7 +77,11 @@ impl Awareness {
         store: &Store<D>,
         kind: &str,
     ) -> Result<Vec<HistoryEvent>, bioopera_store::StoreError> {
-        Ok(self.all(store)?.into_iter().filter(|e| e.kind == kind).collect())
+        Ok(self
+            .all(store)?
+            .into_iter()
+            .filter(|e| e.kind == kind)
+            .collect())
     }
 
     /// Count by kind — the monitoring dashboards' summary query.
@@ -91,16 +107,20 @@ mod tests {
         let disk = MemDisk::new();
         let store = Store::open(disk.clone()).unwrap();
         let mut aw = Awareness::open(&store).unwrap();
-        aw.record(&store, SimTime::from_secs(1), "task.start", "A on n1").unwrap();
-        aw.record(&store, SimTime::from_secs(2), "task.end", "A").unwrap();
-        aw.record(&store, SimTime::from_secs(3), "node.crash", "n1").unwrap();
+        aw.record(&store, SimTime::from_secs(1), "task.start", "A on n1")
+            .unwrap();
+        aw.record(&store, SimTime::from_secs(2), "task.end", "A")
+            .unwrap();
+        aw.record(&store, SimTime::from_secs(3), "node.crash", "n1")
+            .unwrap();
         drop(aw);
         drop(store);
 
         let store = Store::open(disk).unwrap();
         let mut aw = Awareness::open(&store).unwrap();
         // Continues the sequence instead of overwriting.
-        aw.record(&store, SimTime::from_secs(4), "node.recover", "n1").unwrap();
+        aw.record(&store, SimTime::from_secs(4), "node.recover", "n1")
+            .unwrap();
         let all = aw.all(&store).unwrap();
         assert_eq!(all.len(), 4);
         assert_eq!(all[0].kind, "task.start");

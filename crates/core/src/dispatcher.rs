@@ -38,9 +38,15 @@ impl NodeView {
 
 /// A scheduling policy picks among *eligible* candidates (already filtered
 /// for health, capacity and placement constraints).
+///
+/// `eligible` holds indices into `nodes`; the policy returns one of those
+/// indices (into `nodes`, not into `eligible`), or `None` to defer.
+/// Carrying original indices lets [`schedule`] resolve the winner in O(1)
+/// and lets wrappers filter without materializing a new candidate slice.
 pub trait SchedulingPolicy: Send {
-    /// Index into `candidates` of the chosen node, or `None` to defer.
-    fn choose(&mut self, candidates: &[&NodeView]) -> Option<usize>;
+    /// Index into `nodes` of the chosen node (drawn from `eligible`), or
+    /// `None` to defer.
+    fn choose(&mut self, nodes: &[NodeView], eligible: &[usize]) -> Option<usize>;
     /// Policy name for experiment tables.
     fn name(&self) -> &'static str;
 }
@@ -51,13 +57,17 @@ pub trait SchedulingPolicy: Send {
 pub struct LeastLoaded;
 
 impl SchedulingPolicy for LeastLoaded {
-    fn choose(&mut self, candidates: &[&NodeView]) -> Option<usize> {
-        (0..candidates.len()).min_by(|&a, &b| {
-            let (na, nb) = (candidates[a], candidates[b]);
+    fn choose(&mut self, nodes: &[NodeView], eligible: &[usize]) -> Option<usize> {
+        eligible.iter().copied().min_by(|&a, &b| {
+            let (na, nb) = (&nodes[a], &nodes[b]);
             na.load
                 .partial_cmp(&nb.load)
                 .unwrap_or(std::cmp::Ordering::Equal)
-                .then(nb.speed.partial_cmp(&na.speed).unwrap_or(std::cmp::Ordering::Equal))
+                .then(
+                    nb.speed
+                        .partial_cmp(&na.speed)
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
                 .then(na.name.cmp(&nb.name))
         })
     }
@@ -72,13 +82,17 @@ impl SchedulingPolicy for LeastLoaded {
 pub struct FastestFit;
 
 impl SchedulingPolicy for FastestFit {
-    fn choose(&mut self, candidates: &[&NodeView]) -> Option<usize> {
-        (0..candidates.len()).min_by(|&a, &b| {
-            let (na, nb) = (candidates[a], candidates[b]);
+    fn choose(&mut self, nodes: &[NodeView], eligible: &[usize]) -> Option<usize> {
+        eligible.iter().copied().min_by(|&a, &b| {
+            let (na, nb) = (&nodes[a], &nodes[b]);
             nb.speed
                 .partial_cmp(&na.speed)
                 .unwrap_or(std::cmp::Ordering::Equal)
-                .then(na.load.partial_cmp(&nb.load).unwrap_or(std::cmp::Ordering::Equal))
+                .then(
+                    na.load
+                        .partial_cmp(&nb.load)
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
                 .then(na.name.cmp(&nb.name))
         })
     }
@@ -96,11 +110,11 @@ pub struct RoundRobin {
 }
 
 impl SchedulingPolicy for RoundRobin {
-    fn choose(&mut self, candidates: &[&NodeView]) -> Option<usize> {
-        if candidates.is_empty() {
+    fn choose(&mut self, _nodes: &[NodeView], eligible: &[usize]) -> Option<usize> {
+        if eligible.is_empty() {
             return None;
         }
-        let i = self.counter % candidates.len();
+        let i = eligible[self.counter % eligible.len()];
         self.counter += 1;
         Some(i)
     }
@@ -120,24 +134,34 @@ pub struct AvoidSaturated<P> {
     pub inner: P,
     /// Maximum acceptable load fraction.
     pub threshold: f64,
+    /// Reusable filter buffer: avoids allocating on every `choose`.
+    keep: Vec<usize>,
 }
 
 impl<P: SchedulingPolicy> AvoidSaturated<P> {
     /// Wrap `inner` with a load ceiling.
     pub fn new(inner: P, threshold: f64) -> Self {
-        AvoidSaturated { inner, threshold }
+        AvoidSaturated {
+            inner,
+            threshold,
+            keep: Vec::new(),
+        }
     }
 }
 
 impl<P: SchedulingPolicy> SchedulingPolicy for AvoidSaturated<P> {
-    fn choose(&mut self, candidates: &[&NodeView]) -> Option<usize> {
-        let keep: Vec<usize> =
-            (0..candidates.len()).filter(|&i| candidates[i].load < self.threshold).collect();
-        if keep.is_empty() {
+    fn choose(&mut self, nodes: &[NodeView], eligible: &[usize]) -> Option<usize> {
+        self.keep.clear();
+        self.keep.extend(
+            eligible
+                .iter()
+                .copied()
+                .filter(|&i| nodes[i].load < self.threshold),
+        );
+        if self.keep.is_empty() {
             return None; // defer: waiting beats starving
         }
-        let filtered: Vec<&NodeView> = keep.iter().map(|&i| candidates[i]).collect();
-        self.inner.choose(&filtered).map(|j| keep[j])
+        self.inner.choose(nodes, &self.keep)
     }
 
     fn name(&self) -> &'static str {
@@ -152,23 +176,19 @@ pub fn schedule<'a>(
     nodes: &'a [NodeView],
     binding: &ExternalBinding,
 ) -> Option<&'a str> {
-    let eligible: Vec<&NodeView> = nodes
-        .iter()
-        .filter(|n| n.up && n.free_slots() > 0)
-        .filter(|n| binding.os.as_deref().map(|os| os == n.os).unwrap_or(true))
-        .filter(|n| binding.hosts.is_empty() || binding.hosts.iter().any(|h| *h == n.name))
+    let eligible: Vec<usize> = (0..nodes.len())
+        .filter(|&i| {
+            let n = &nodes[i];
+            n.up && n.free_slots() > 0
+                && binding.os.as_deref().map(|os| os == n.os).unwrap_or(true)
+                && (binding.hosts.is_empty() || binding.hosts.contains(&n.name))
+        })
         .collect();
     if eligible.is_empty() {
         return None;
     }
-    let idx = policy.choose(&eligible)?;
-    Some(
-        nodes
-            .iter()
-            .position(|n| std::ptr::eq(n, eligible[idx]))
-            .map(|i| nodes[i].name.as_str())
-            .expect("eligible node comes from nodes"),
-    )
+    let idx = policy.choose(nodes, &eligible)?;
+    Some(nodes[idx].name.as_str())
 }
 
 #[cfg(test)]
@@ -259,8 +279,15 @@ mod tests {
             node("alsobusy", "linux", 1.0, 2, 0, 0.97),
         ];
         let mut p = AvoidSaturated::new(LeastLoaded, 0.95);
-        assert_eq!(schedule(&mut p, &nodes, &any()), None, "defer on saturation");
-        let nodes2 = vec![node("busy", "linux", 1.0, 2, 0, 0.99), node("free", "linux", 0.7, 1, 0, 0.1)];
+        assert_eq!(
+            schedule(&mut p, &nodes, &any()),
+            None,
+            "defer on saturation"
+        );
+        let nodes2 = vec![
+            node("busy", "linux", 1.0, 2, 0, 0.99),
+            node("free", "linux", 0.7, 1, 0, 0.1),
+        ];
         assert_eq!(schedule(&mut p, &nodes2, &any()), Some("free"));
     }
 

@@ -38,5 +38,5 @@ pub use error::{EngineError, EngineResult};
 pub use library::{ActivityLibrary, Program, ProgramOutput};
 pub use lineage::{Lineage, RecomputePlan};
 pub use planner::{OutageImpact, Planner};
-pub use runtime::{Runtime, RuntimeConfig, RunStats, SeriesSample};
+pub use runtime::{RunStats, Runtime, RuntimeConfig, SeriesSample};
 pub use state::{InstanceHeader, InstanceId, InstanceStatus, TaskRecord, TaskState};

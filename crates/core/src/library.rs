@@ -26,7 +26,10 @@ pub struct ProgramOutput {
 impl ProgramOutput {
     /// An output set with zero cost (control-only activities).
     pub fn instant(outputs: BTreeMap<String, Value>) -> Self {
-        ProgramOutput { outputs, cost_ref_ms: 0.0 }
+        ProgramOutput {
+            outputs,
+            cost_ref_ms: 0.0,
+        }
     }
 
     /// Convenience builder from field pairs.
@@ -35,7 +38,10 @@ impl ProgramOutput {
         cost_ref_ms: f64,
     ) -> Self {
         ProgramOutput {
-            outputs: fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+            outputs: fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
             cost_ref_ms,
         }
     }
@@ -74,7 +80,10 @@ impl ActivityLibrary {
         cost_ref_ms: f64,
     ) -> &mut Self {
         self.register(name, move |_| {
-            Ok(ProgramOutput { outputs: outputs.clone(), cost_ref_ms })
+            Ok(ProgramOutput {
+                outputs: outputs.clone(),
+                cost_ref_ms,
+            })
         })
     }
 
@@ -91,7 +100,9 @@ impl ActivityLibrary {
 
 impl std::fmt::Debug for ActivityLibrary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ActivityLibrary").field("programs", &self.names()).finish()
+        f.debug_struct("ActivityLibrary")
+            .field("programs", &self.names())
+            .finish()
     }
 }
 
@@ -133,7 +144,10 @@ mod tests {
     fn determinism_of_registered_programs() {
         let mut lib = ActivityLibrary::new();
         lib.register("echo", |inputs| {
-            Ok(ProgramOutput { outputs: inputs.clone(), cost_ref_ms: 1.0 })
+            Ok(ProgramOutput {
+                outputs: inputs.clone(),
+                cost_ref_ms: 1.0,
+            })
         });
         let p = lib.get("echo").unwrap();
         let mut inputs = BTreeMap::new();

@@ -42,8 +42,14 @@ impl Lineage {
         let mut producers: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
         let mut add = |from: &str, to: &str| {
             if from != to {
-                dependents.entry(from.to_string()).or_default().insert(to.to_string());
-                producers.entry(to.to_string()).or_default().insert(from.to_string());
+                dependents
+                    .entry(from.to_string())
+                    .or_default()
+                    .insert(to.to_string());
+                producers
+                    .entry(to.to_string())
+                    .or_default()
+                    .insert(from.to_string());
             }
         };
         // Whiteboard writers per field.
@@ -52,7 +58,10 @@ impl Lineage {
             if let (DataRef::TaskField(task, _), DataRef::Whiteboard(field)) =
                 (&flow.from, &flow.to)
             {
-                wb_writers.entry(field.as_str()).or_default().push(task.as_str());
+                wb_writers
+                    .entry(field.as_str())
+                    .or_default()
+                    .push(task.as_str());
             }
         }
         for flow in &template.dataflows {
@@ -79,7 +88,10 @@ impl Lineage {
                 }
             }
         }
-        Lineage { dependents, producers }
+        Lineage {
+            dependents,
+            producers,
+        }
     }
 
     /// Tasks that directly consume `task`'s outputs.
@@ -105,8 +117,7 @@ impl Lineage {
         changed: impl IntoIterator<Item = &'a str>,
     ) -> BTreeSet<String> {
         let mut out: BTreeSet<String> = BTreeSet::new();
-        let mut queue: VecDeque<String> =
-            changed.into_iter().map(|s| s.to_string()).collect();
+        let mut queue: VecDeque<String> = changed.into_iter().map(|s| s.to_string()).collect();
         while let Some(task) = queue.pop_front() {
             if !out.insert(task.clone()) {
                 continue;
@@ -183,7 +194,11 @@ impl RecomputePlan {
                 recompute.insert(path.clone());
             }
         }
-        Ok(RecomputePlan { source, recompute, reuse })
+        Ok(RecomputePlan {
+            source,
+            recompute,
+            reuse,
+        })
     }
 }
 
@@ -200,10 +215,12 @@ mod tests {
             .whiteboard_field("proteins", TypeTag::List)
             .activity("Gene", "g", |t| t.output("genes", TypeTag::List))
             .activity("Translate", "t", |t| {
-                t.input("genes", TypeTag::List).output("proteins", TypeTag::List)
+                t.input("genes", TypeTag::List)
+                    .output("proteins", TypeTag::List)
             })
             .activity("Align", "a", |t| {
-                t.input("proteins", TypeTag::List).output("dists", TypeTag::List)
+                t.input("proteins", TypeTag::List)
+                    .output("dists", TypeTag::List)
             })
             .activity("Tree", "n", |t| t.input("dists", TypeTag::List))
             .activity("Structure", "s", |t| t.input("proteins", TypeTag::List))

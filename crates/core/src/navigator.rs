@@ -26,14 +26,10 @@
 //!   reverse completion order.
 
 use crate::error::{EngineError, EngineResult};
-use crate::state::{
-    parallel_child_path, InstanceHeader, InstanceStatus, TaskRecord, TaskState,
-};
+use crate::state::{parallel_child_path, InstanceHeader, InstanceStatus, TaskRecord, TaskState};
 use bioopera_cluster::SimTime;
 use bioopera_ocr::expr::{self, Env};
-use bioopera_ocr::model::{
-    DataRef, FailurePolicy, ParallelBody, ProcessTemplate, TaskKind,
-};
+use bioopera_ocr::model::{DataRef, FailurePolicy, ParallelBody, ProcessTemplate, TaskKind};
 use bioopera_ocr::value::Value;
 use std::collections::BTreeMap;
 
@@ -138,10 +134,14 @@ pub fn init_instance(
     // Unknown initial fields are still placed on the whiteboard (the paper
     // lets operators add data at start time).
     for (k, v) in initial {
-        view.header.whiteboard.entry(k.clone()).or_insert_with(|| v.clone());
+        view.header
+            .whiteboard
+            .entry(k.clone())
+            .or_insert_with(|| v.clone());
     }
     for task in &view.template.tasks {
-        view.tasks.insert(task.name.clone(), TaskRecord::new(task.name.clone()));
+        view.tasks
+            .insert(task.name.clone(), TaskRecord::new(task.name.clone()));
     }
     let mut out = NavOutcome::default();
     for name in view.template.initial_tasks() {
@@ -171,7 +171,11 @@ pub fn bind_inputs_parts(
     tasks: &BTreeMap<String, TaskRecord>,
     task_name: &str,
 ) -> BTreeMap<String, Value> {
-    let view = PartsView { template, header, tasks };
+    let view = PartsView {
+        template,
+        header,
+        tasks,
+    };
     view.bind(task_name)
 }
 
@@ -316,7 +320,10 @@ fn propagate(view: &mut InstanceView<'_>) -> EngineResult<NavOutcome> {
                     break;
                 }
                 if src_state == TaskState::Ended {
-                    let env = GuardEnv { header: view.header, tasks: view.tasks };
+                    let env = GuardEnv {
+                        header: view.header,
+                        tasks: view.tasks,
+                    };
                     let fired = expr::eval_bool(&conn.condition, &env).map_err(|e| {
                         EngineError::Guard(format!("{} -> {}", conn.from, conn.to), e)
                     })?;
@@ -356,7 +363,9 @@ pub fn expand_parallel(
         .task(task_name)
         .ok_or_else(|| EngineError::Internal(format!("no template task {task_name}")))?;
     let TaskKind::Parallel { over, .. } = &decl.kind else {
-        return Err(EngineError::Internal(format!("{task_name} is not a parallel task")));
+        return Err(EngineError::Internal(format!(
+            "{task_name} is not a parallel task"
+        )));
     };
     let bound = bind_inputs(view, task_name);
     let items: Vec<Value> = match bound.get(over.as_str()) {
@@ -405,7 +414,9 @@ pub fn expand_parallel(
 fn collect_field(template: &ProcessTemplate, task: &str) -> EngineResult<String> {
     match &template.task(task).map(|t| &t.kind) {
         Some(TaskKind::Parallel { collect, .. }) => Ok(collect.clone()),
-        _ => Err(EngineError::Internal(format!("{task} lost its parallel kind"))),
+        _ => Err(EngineError::Internal(format!(
+            "{task} lost its parallel kind"
+        ))),
     }
 }
 
@@ -433,7 +444,12 @@ fn check_parallel_parent(
         .iter()
         .filter(|(p, _)| p.starts_with(&prefix))
         .map(|(_, r)| {
-            (r.parallel_index().unwrap_or(0), r.state, r.outputs.clone(), r.cpu_ms)
+            (
+                r.parallel_index().unwrap_or(0),
+                r.state,
+                r.outputs.clone(),
+                r.cpu_ms,
+            )
         })
         .collect();
     if children.iter().any(|(_, s, _, _)| !s.is_terminal()) {
@@ -443,7 +459,12 @@ fn check_parallel_parent(
     let collected: Vec<Value> = children
         .iter()
         .map(|(_, _, outputs, _)| {
-            Value::Map(outputs.iter().map(|(k, v)| (k.clone(), v.clone())).collect())
+            Value::Map(
+                outputs
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect(),
+            )
         })
         .collect();
     let child_cpu: f64 = children.iter().map(|(_, _, _, c)| c).sum();
@@ -476,7 +497,10 @@ pub fn on_task_failed(
             // Masked: back to the activity queue, no retry consumed.
             rec.state = TaskState::Ready;
             rec.node = None;
-            return Ok(NavOutcome { newly_ready: vec![path.to_string()], ..Default::default() });
+            return Ok(NavOutcome {
+                newly_ready: vec![path.to_string()],
+                ..Default::default()
+            });
         }
         rec.attempts += 1;
         rec.state = TaskState::Failed;
@@ -487,11 +511,18 @@ pub fn on_task_failed(
     // Retry budget comes from the template declaration (children inherit
     // their parallel parent's).
     let decl_name = parent_name.as_deref().unwrap_or(path);
-    let declared_retries = view.template.task(decl_name).map(|t| t.retries).unwrap_or(retries);
+    let declared_retries = view
+        .template
+        .task(decl_name)
+        .map(|t| t.retries)
+        .unwrap_or(retries);
     if attempts <= declared_retries {
         let rec = view.tasks.get_mut(path).expect("record exists");
         rec.state = TaskState::Ready;
-        return Ok(NavOutcome { newly_ready: vec![path.to_string()], ..Default::default() });
+        return Ok(NavOutcome {
+            newly_ready: vec![path.to_string()],
+            ..Default::default()
+        });
     }
     // Retries exhausted: apply the failure policy.
     let policy = view
@@ -544,11 +575,8 @@ pub fn on_task_failed(
             ended.sort();
             ended.reverse();
             for (_, member) in ended {
-                view.tasks.get_mut(&member).expect("member exists").state =
-                    TaskState::Compensated;
-                if let Some((_, prog)) =
-                    sphere.compensations.iter().find(|(t, _)| *t == member)
-                {
+                view.tasks.get_mut(&member).expect("member exists").state = TaskState::Compensated;
+                if let Some((_, prog)) = sphere.compensations.iter().find(|(t, _)| *t == member) {
                     out.compensations.push((member.clone(), prog.clone()));
                 }
             }
@@ -590,15 +618,19 @@ fn check_completion(view: &mut InstanceView<'_>, now: SimTime) -> NavOutcome {
     if view.header.status != InstanceStatus::Running {
         return NavOutcome::default();
     }
-    let all_done = view
-        .template
-        .tasks
-        .iter()
-        .all(|t| view.tasks.get(&t.name).map(|r| r.state.is_terminal()).unwrap_or(false));
+    let all_done = view.template.tasks.iter().all(|t| {
+        view.tasks
+            .get(&t.name)
+            .map(|r| r.state.is_terminal())
+            .unwrap_or(false)
+    });
     if all_done {
         view.header.status = InstanceStatus::Completed;
         view.header.ended_at = Some(now);
-        NavOutcome { completed: true, ..Default::default() }
+        NavOutcome {
+            completed: true,
+            ..Default::default()
+        }
     } else {
         NavOutcome::default()
     }
@@ -610,7 +642,10 @@ pub fn eval_in_instance(
     view: &InstanceView<'_>,
     e: &bioopera_ocr::expr::Expr,
 ) -> EngineResult<Value> {
-    let env = GuardEnv { header: view.header, tasks: view.tasks };
+    let env = GuardEnv {
+        header: view.header,
+        tasks: view.tasks,
+    };
     expr::eval(e, &env).map_err(|err| EngineError::Guard("event handler".into(), err))
 }
 
@@ -637,7 +672,9 @@ mod tests {
         ProcessBuilder::new("Linear")
             .whiteboard_default("db", TypeTag::Str, Value::from("sp38"))
             .activity("A", "p.a", |t| t.output("x", TypeTag::Int))
-            .activity("B", "p.b", |t| t.input("x", TypeTag::Int).output("y", TypeTag::Int))
+            .activity("B", "p.b", |t| {
+                t.input("x", TypeTag::Int).output("y", TypeTag::Int)
+            })
             .activity("C", "p.c", |t| t.input("y", TypeTag::Int))
             .connect("A", "B")
             .connect("B", "C")
@@ -648,27 +685,49 @@ mod tests {
     }
 
     fn outputs(pairs: &[(&str, Value)]) -> BTreeMap<String, Value> {
-        pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
     }
 
     #[test]
     fn linear_flow_runs_in_order() {
         let t = linear_template();
         let (mut header, mut tasks) = fresh(&t);
-        let mut view = InstanceView { template: &t, header: &mut header, tasks: &mut tasks };
+        let mut view = InstanceView {
+            template: &t,
+            header: &mut header,
+            tasks: &mut tasks,
+        };
         let out = init_instance(&mut view, &BTreeMap::new()).unwrap();
         assert_eq!(out.newly_ready, vec!["A"]);
         assert_eq!(view.header.whiteboard["db"], Value::from("sp38"));
 
-        let out = on_task_ended(&mut view, "A", outputs(&[("x", Value::Int(7))]), SimTime::from_secs(1), 5.0).unwrap();
+        let out = on_task_ended(
+            &mut view,
+            "A",
+            outputs(&[("x", Value::Int(7))]),
+            SimTime::from_secs(1),
+            5.0,
+        )
+        .unwrap();
         assert_eq!(out.newly_ready, vec!["B"]);
         assert!(!out.completed);
         // Mapping phase moved x into B's input buffer.
         assert_eq!(bind_inputs(&view, "B")["x"], Value::Int(7));
 
-        let out = on_task_ended(&mut view, "B", outputs(&[("y", Value::Int(14))]), SimTime::from_secs(2), 5.0).unwrap();
+        let out = on_task_ended(
+            &mut view,
+            "B",
+            outputs(&[("y", Value::Int(14))]),
+            SimTime::from_secs(2),
+            5.0,
+        )
+        .unwrap();
         assert_eq!(out.newly_ready, vec!["C"]);
-        let out = on_task_ended(&mut view, "C", BTreeMap::new(), SimTime::from_secs(3), 5.0).unwrap();
+        let out =
+            on_task_ended(&mut view, "C", BTreeMap::new(), SimTime::from_secs(3), 5.0).unwrap();
         assert!(out.completed);
         assert_eq!(view.header.status, InstanceStatus::Completed);
         assert_eq!(view.header.ended_at, Some(SimTime::from_secs(3)));
@@ -693,7 +752,11 @@ mod tests {
     fn conditional_branch_with_queue_file_skips_queue_gen() {
         let t = branching_template();
         let (mut header, mut tasks) = fresh(&t);
-        let mut view = InstanceView { template: &t, header: &mut header, tasks: &mut tasks };
+        let mut view = InstanceView {
+            template: &t,
+            header: &mut header,
+            tasks: &mut tasks,
+        };
         init_instance(&mut view, &BTreeMap::new()).unwrap();
         let out = on_task_ended(
             &mut view,
@@ -705,14 +768,21 @@ mod tests {
         .unwrap();
         assert_eq!(out.newly_skipped, vec!["QG"]);
         assert_eq!(out.newly_ready, vec!["Prep"]);
-        assert_eq!(bind_inputs(&view, "Prep")["queue"], Value::int_list([1, 2, 3]));
+        assert_eq!(
+            bind_inputs(&view, "Prep")["queue"],
+            Value::int_list([1, 2, 3])
+        );
     }
 
     #[test]
     fn conditional_branch_without_queue_file_runs_queue_gen() {
         let t = branching_template();
         let (mut header, mut tasks) = fresh(&t);
-        let mut view = InstanceView { template: &t, header: &mut header, tasks: &mut tasks };
+        let mut view = InstanceView {
+            template: &t,
+            header: &mut header,
+            tasks: &mut tasks,
+        };
         init_instance(&mut view, &BTreeMap::new()).unwrap();
         // UI produced no queue.
         let out = on_task_ended(&mut view, "UI", BTreeMap::new(), SimTime::ZERO, 0.0).unwrap();
@@ -753,7 +823,11 @@ mod tests {
     fn parallel_expansion_and_collection() {
         let t = parallel_template();
         let (mut header, mut tasks) = fresh(&t);
-        let mut view = InstanceView { template: &t, header: &mut header, tasks: &mut tasks };
+        let mut view = InstanceView {
+            template: &t,
+            header: &mut header,
+            tasks: &mut tasks,
+        };
         init_instance(&mut view, &BTreeMap::new()).unwrap();
         on_task_ended(
             &mut view,
@@ -787,7 +861,10 @@ mod tests {
                 assert!(out.newly_ready.contains(&"Merge".to_string()));
             }
         }
-        let results = view.tasks["Fan"].outputs["results"].as_list().unwrap().to_vec();
+        let results = view.tasks["Fan"].outputs["results"]
+            .as_list()
+            .unwrap()
+            .to_vec();
         assert_eq!(results.len(), 3);
         assert_eq!(results[0].get_path(&["r"]), Some(&Value::Int(100)));
         assert_eq!(results[2].get_path(&["r"]), Some(&Value::Int(300)));
@@ -799,10 +876,20 @@ mod tests {
     fn empty_parallel_list_completes_immediately() {
         let t = parallel_template();
         let (mut header, mut tasks) = fresh(&t);
-        let mut view = InstanceView { template: &t, header: &mut header, tasks: &mut tasks };
+        let mut view = InstanceView {
+            template: &t,
+            header: &mut header,
+            tasks: &mut tasks,
+        };
         init_instance(&mut view, &BTreeMap::new()).unwrap();
-        on_task_ended(&mut view, "Prep", outputs(&[("parts", Value::List(vec![]))]), SimTime::ZERO, 0.0)
-            .unwrap();
+        on_task_ended(
+            &mut view,
+            "Prep",
+            outputs(&[("parts", Value::List(vec![]))]),
+            SimTime::ZERO,
+            0.0,
+        )
+        .unwrap();
         let (children, out) = expand_parallel(&mut view, "Fan", SimTime::ZERO).unwrap();
         assert!(children.is_empty());
         assert!(out.newly_ready.contains(&"Merge".to_string()));
@@ -813,15 +900,26 @@ mod tests {
     fn system_failure_requeues_without_consuming_retries() {
         let t = parallel_template();
         let (mut header, mut tasks) = fresh(&t);
-        let mut view = InstanceView { template: &t, header: &mut header, tasks: &mut tasks };
+        let mut view = InstanceView {
+            template: &t,
+            header: &mut header,
+            tasks: &mut tasks,
+        };
         init_instance(&mut view, &BTreeMap::new()).unwrap();
-        on_task_ended(&mut view, "Prep", outputs(&[("parts", Value::int_list([1]))]), SimTime::ZERO, 0.0)
-            .unwrap();
+        on_task_ended(
+            &mut view,
+            "Prep",
+            outputs(&[("parts", Value::int_list([1]))]),
+            SimTime::ZERO,
+            0.0,
+        )
+        .unwrap();
         expand_parallel(&mut view, "Fan", SimTime::ZERO).unwrap();
         // Five node crashes in a row: still Ready every time, no attempts.
         for _ in 0..5 {
             view.tasks.get_mut("Fan[0]").unwrap().state = TaskState::Dispatched;
-            let out = on_task_failed(&mut view, "Fan[0]", FailureKind::System, SimTime::ZERO).unwrap();
+            let out =
+                on_task_failed(&mut view, "Fan[0]", FailureKind::System, SimTime::ZERO).unwrap();
             assert_eq!(out.newly_ready, vec!["Fan[0]"]);
         }
         assert_eq!(view.tasks["Fan[0]"].attempts, 0);
@@ -831,10 +929,20 @@ mod tests {
     fn program_failure_respects_retry_budget_then_default_aborts() {
         let t = parallel_template(); // Fan has retries(1); no handler => Abort
         let (mut header, mut tasks) = fresh(&t);
-        let mut view = InstanceView { template: &t, header: &mut header, tasks: &mut tasks };
+        let mut view = InstanceView {
+            template: &t,
+            header: &mut header,
+            tasks: &mut tasks,
+        };
         init_instance(&mut view, &BTreeMap::new()).unwrap();
-        on_task_ended(&mut view, "Prep", outputs(&[("parts", Value::int_list([1]))]), SimTime::ZERO, 0.0)
-            .unwrap();
+        on_task_ended(
+            &mut view,
+            "Prep",
+            outputs(&[("parts", Value::int_list([1]))]),
+            SimTime::ZERO,
+            0.0,
+        )
+        .unwrap();
         expand_parallel(&mut view, "Fan", SimTime::ZERO).unwrap();
         // First program failure: one retry available.
         let out = on_task_failed(&mut view, "Fan[0]", FailureKind::Program, SimTime::ZERO).unwrap();
@@ -855,7 +963,11 @@ mod tests {
             .build()
             .unwrap();
         let (mut header, mut tasks) = fresh(&t);
-        let mut view = InstanceView { template: &t, header: &mut header, tasks: &mut tasks };
+        let mut view = InstanceView {
+            template: &t,
+            header: &mut header,
+            tasks: &mut tasks,
+        };
         init_instance(&mut view, &BTreeMap::new()).unwrap();
         let out = on_task_failed(&mut view, "A", FailureKind::Program, SimTime::ZERO).unwrap();
         // A skipped; B's only incoming connector resolves false => B skipped
@@ -877,7 +989,11 @@ mod tests {
             .build()
             .unwrap();
         let (mut header, mut tasks) = fresh(&t);
-        let mut view = InstanceView { template: &t, header: &mut header, tasks: &mut tasks };
+        let mut view = InstanceView {
+            template: &t,
+            header: &mut header,
+            tasks: &mut tasks,
+        };
         init_instance(&mut view, &BTreeMap::new()).unwrap();
         // Both A and Alt are initial (no incoming): Alt already Ready; make
         // a variant where Alt is downstream-only by marking it skipped first.
@@ -895,21 +1011,33 @@ mod tests {
             .activity("S3", "p.s3", |t| t)
             .connect("S1", "S2")
             .connect("S2", "S3")
-            .sphere("Atomic", ["S1", "S2", "S3"], [("S1", "undo.s1"), ("S2", "undo.s2")])
+            .sphere(
+                "Atomic",
+                ["S1", "S2", "S3"],
+                [("S1", "undo.s1"), ("S2", "undo.s2")],
+            )
             .on_failure("S3", FailurePolicy::CompensateSphere("Atomic".into()))
             .build()
             .unwrap();
         let (mut header, mut tasks) = fresh(&t);
-        let mut view = InstanceView { template: &t, header: &mut header, tasks: &mut tasks };
+        let mut view = InstanceView {
+            template: &t,
+            header: &mut header,
+            tasks: &mut tasks,
+        };
         init_instance(&mut view, &BTreeMap::new()).unwrap();
         on_task_ended(&mut view, "S1", BTreeMap::new(), SimTime::from_secs(1), 0.0).unwrap();
         on_task_ended(&mut view, "S2", BTreeMap::new(), SimTime::from_secs(2), 0.0).unwrap();
-        let out = on_task_failed(&mut view, "S3", FailureKind::Program, SimTime::from_secs(3)).unwrap();
+        let out =
+            on_task_failed(&mut view, "S3", FailureKind::Program, SimTime::from_secs(3)).unwrap();
         assert!(out.aborted);
         // Reverse completion order: S2's undo before S1's.
         assert_eq!(
             out.compensations,
-            vec![("S2".to_string(), "undo.s2".to_string()), ("S1".to_string(), "undo.s1".to_string())]
+            vec![
+                ("S2".to_string(), "undo.s2".to_string()),
+                ("S1".to_string(), "undo.s1".to_string())
+            ]
         );
         assert_eq!(view.tasks["S1"].state, TaskState::Compensated);
         assert_eq!(view.tasks["S2"].state, TaskState::Compensated);
@@ -923,7 +1051,11 @@ mod tests {
             .build()
             .unwrap();
         let (mut header, mut tasks) = fresh(&t);
-        let mut view = InstanceView { template: &t, header: &mut header, tasks: &mut tasks };
+        let mut view = InstanceView {
+            template: &t,
+            header: &mut header,
+            tasks: &mut tasks,
+        };
         init_instance(&mut view, &BTreeMap::new()).unwrap();
         let out = on_task_failed(&mut view, "A", FailureKind::Program, SimTime::ZERO).unwrap();
         assert!(out.suspended);
@@ -938,9 +1070,20 @@ mod tests {
     fn guard_env_sees_whiteboard_and_outputs() {
         let t = linear_template();
         let (mut header, mut tasks) = fresh(&t);
-        let mut view = InstanceView { template: &t, header: &mut header, tasks: &mut tasks };
+        let mut view = InstanceView {
+            template: &t,
+            header: &mut header,
+            tasks: &mut tasks,
+        };
         init_instance(&mut view, &BTreeMap::new()).unwrap();
-        on_task_ended(&mut view, "A", outputs(&[("x", Value::Int(5))]), SimTime::ZERO, 0.0).unwrap();
+        on_task_ended(
+            &mut view,
+            "A",
+            outputs(&[("x", Value::Int(5))]),
+            SimTime::ZERO,
+            0.0,
+        )
+        .unwrap();
         let v = eval_in_instance(&view, &Expr::path("A.x")).unwrap();
         assert_eq!(v, Value::Int(5));
         let v = eval_in_instance(&view, &Expr::path("db")).unwrap();
@@ -953,7 +1096,11 @@ mod tests {
     fn initial_whiteboard_values_override_defaults() {
         let t = linear_template();
         let (mut header, mut tasks) = fresh(&t);
-        let mut view = InstanceView { template: &t, header: &mut header, tasks: &mut tasks };
+        let mut view = InstanceView {
+            template: &t,
+            header: &mut header,
+            tasks: &mut tasks,
+        };
         let mut init = BTreeMap::new();
         init.insert("db".to_string(), Value::from("sp39"));
         init.insert("extra".to_string(), Value::Int(1));

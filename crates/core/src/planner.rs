@@ -66,7 +66,11 @@ impl OutageImpact {
             self.cpus_lost,
             self.offline.join(", ")
         );
-        let _ = writeln!(out, "  {} in-flight job(s) would be killed:", self.affected_jobs.len());
+        let _ = writeln!(
+            out,
+            "  {} in-flight job(s) would be killed:",
+            self.affected_jobs.len()
+        );
         for j in &self.affected_jobs {
             let _ = writeln!(
                 out,
@@ -74,7 +78,11 @@ impl OutageImpact {
                 j.instance,
                 j.task,
                 j.node,
-                if j.reschedulable { "re-schedulable" } else { "NOT re-schedulable" }
+                if j.reschedulable {
+                    "re-schedulable"
+                } else {
+                    "NOT re-schedulable"
+                }
             );
         }
         for i in &self.instances {
@@ -84,7 +92,11 @@ impl OutageImpact {
                 i.instance,
                 i.template,
                 i.progress * 100.0,
-                if i.would_stall { " — WOULD STALL" } else { "" }
+                if i.would_stall {
+                    " — WOULD STALL"
+                } else {
+                    ""
+                }
             );
         }
         out
@@ -117,7 +129,7 @@ impl Planner {
         let feasible = |os: Option<&str>, hosts: &[String]| -> bool {
             survivors.iter().any(|n| {
                 os.map(|o| o == n.spec.os).unwrap_or(true)
-                    && (hosts.is_empty() || hosts.iter().any(|h| *h == n.spec.name))
+                    && (hosts.is_empty() || hosts.contains(&n.spec.name))
             })
         };
 
@@ -140,7 +152,12 @@ impl Planner {
                     }
                 })
                 .unwrap_or(false);
-            affected_jobs.push(AffectedJob { instance, task, node, reschedulable });
+            affected_jobs.push(AffectedJob {
+                instance,
+                task,
+                node,
+                reschedulable,
+            });
         }
 
         let mut instances = Vec::new();
@@ -169,7 +186,11 @@ impl Planner {
             instances.push(InstanceImpact {
                 instance: id,
                 template,
-                progress: if total == 0 { 0.0 } else { done as f64 / total as f64 },
+                progress: if total == 0 {
+                    0.0
+                } else {
+                    done as f64 / total as f64
+                },
                 would_stall: stall,
             });
         }
@@ -198,15 +219,19 @@ fn task_binding<D: Disk + Clone>(
         .map(|(id, _, t)| (id, t))?;
     let template_bytes = rt
         .store()
-        .get(bioopera_store::Space::Template, &crate::state::keys::template(&template_name))
+        .get(
+            bioopera_store::Space::Template,
+            &crate::state::keys::template(&template_name),
+        )
         .ok()??;
     let template: bioopera_ocr::ProcessTemplate = serde_json::from_slice(&template_bytes).ok()?;
     let decl_name = rec.parallel_parent().unwrap_or(path);
     match &template.task(decl_name)?.kind {
         TaskKind::Activity { binding } => Some((binding.os.clone(), binding.hosts.clone())),
-        TaskKind::Parallel { body: bioopera_ocr::ParallelBody::Activity(b), .. } => {
-            Some((b.os.clone(), b.hosts.clone()))
-        }
+        TaskKind::Parallel {
+            body: bioopera_ocr::ParallelBody::Activity(b),
+            ..
+        } => Some((b.os.clone(), b.hosts.clone())),
         _ => None,
     }
 }

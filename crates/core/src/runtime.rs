@@ -29,9 +29,7 @@ use crate::dispatcher::{self, NodeView, SchedulingPolicy};
 use crate::error::{EngineError, EngineResult};
 use crate::library::{ActivityLibrary, ProgramOutput};
 use crate::navigator::{self, FailureKind, InstanceView, NavOutcome};
-use crate::state::{
-    keys, InstanceHeader, InstanceId, InstanceStatus, TaskRecord, TaskState,
-};
+use crate::state::{keys, InstanceHeader, InstanceId, InstanceStatus, TaskRecord, TaskState};
 use bioopera_cluster::trace::{Trace, TraceEvent, TraceEventKind};
 use bioopera_cluster::{Cluster, JobId, JobOutcome, NetworkState, SimKernel, SimTime};
 use bioopera_ocr::model::{ParallelBody, ProcessTemplate, TaskKind};
@@ -293,11 +291,18 @@ impl<D: Disk + Clone> Runtime<D> {
         };
         let mut tasks = BTreeMap::new();
         let outcome = {
-            let mut view =
-                InstanceView { template: &template, header: &mut header, tasks: &mut tasks };
+            let mut view = InstanceView {
+                template: &template,
+                header: &mut header,
+                tasks: &mut tasks,
+            };
             navigator::init_instance(&mut view, &initial)?
         };
-        let mem = InstanceMem { template, header, tasks };
+        let mem = InstanceMem {
+            template,
+            header,
+            tasks,
+        };
         self.instances.insert(id, mem);
         self.persist_full_instance(id)?;
         self.awareness.record(
@@ -450,12 +455,18 @@ impl<D: Disk + Clone> Runtime<D> {
     /// Aggregate statistics of one instance (plus all its subprocess
     /// children).
     pub fn stats(&self, id: InstanceId) -> EngineResult<RunStats> {
-        let mem = self.instances.get(&id).ok_or(EngineError::UnknownInstance(id))?;
+        let mem = self
+            .instances
+            .get(&id)
+            .ok_or(EngineError::UnknownInstance(id))?;
         let mut cpu_ms = 0.0f64;
         let mut activities = 0u64;
         let mut stack = vec![id];
         while let Some(cur) = stack.pop() {
-            let m = self.instances.get(&cur).ok_or(EngineError::UnknownInstance(cur))?;
+            let m = self
+                .instances
+                .get(&cur)
+                .ok_or(EngineError::UnknownInstance(cur))?;
             for rec in m.tasks.values() {
                 let is_container = match rec.parallel_parent() {
                     // Children of a parallel-subprocess body proxy a child
@@ -510,7 +521,10 @@ impl<D: Disk + Clone> Runtime<D> {
 
     /// Operator suspend of one instance: drain running jobs, start nothing.
     pub fn suspend(&mut self, id: InstanceId) -> EngineResult<()> {
-        let mem = self.instances.get_mut(&id).ok_or(EngineError::UnknownInstance(id))?;
+        let mem = self
+            .instances
+            .get_mut(&id)
+            .ok_or(EngineError::UnknownInstance(id))?;
         if mem.header.status == InstanceStatus::Running {
             mem.header.status = InstanceStatus::Suspended;
             self.persist_header(id)?;
@@ -522,7 +536,10 @@ impl<D: Disk + Clone> Runtime<D> {
     /// Operator resume.
     pub fn resume(&mut self, id: InstanceId) -> EngineResult<()> {
         let outcome = {
-            let mem = self.instances.get_mut(&id).ok_or(EngineError::UnknownInstance(id))?;
+            let mem = self
+                .instances
+                .get_mut(&id)
+                .ok_or(EngineError::UnknownInstance(id))?;
             let mut view = InstanceView {
                 template: &mem.template,
                 header: &mut mem.header,
@@ -585,9 +602,7 @@ impl<D: Disk + Clone> Runtime<D> {
             let restartable: Vec<String> = mem
                 .tasks
                 .iter()
-                .filter(|(path, rec)| {
-                    rec.state == TaskState::Dispatched && !mem.is_container(path)
-                })
+                .filter(|(path, rec)| rec.state == TaskState::Dispatched && !mem.is_container(path))
                 .map(|(path, _)| path.clone())
                 .collect();
             let mem = self.instances.get_mut(&id).expect("exists");
@@ -601,7 +616,9 @@ impl<D: Disk + Clone> Runtime<D> {
         self.persist_after_nav(id, &outcome, &[])?;
         self.apply_outcome(id, outcome)?;
         self.resync_all_nodes();
-        self.log(format!("instance {id} restarted; in-flight TEUs re-scheduled"));
+        self.log(format!(
+            "instance {id} restarted; in-flight TEUs re-scheduled"
+        ));
         Ok(())
     }
 
@@ -614,18 +631,17 @@ impl<D: Disk + Clone> Runtime<D> {
     /// The source instance must be terminal.  Returns the new instance id.
     pub fn recompute(&mut self, source: InstanceId, changed: &[&str]) -> EngineResult<InstanceId> {
         let (template_name, reuse_records, whiteboard) = {
-            let mem = self.instances.get(&source).ok_or(EngineError::UnknownInstance(source))?;
+            let mem = self
+                .instances
+                .get(&source)
+                .ok_or(EngineError::UnknownInstance(source))?;
             if !mem.header.status.is_terminal() {
                 return Err(EngineError::BadStatus(format!(
                     "instance {source} is still running; recompute needs a terminal source"
                 )));
             }
-            let plan = crate::lineage::RecomputePlan::build(
-                &mem.template,
-                &mem.tasks,
-                source,
-                changed,
-            )?;
+            let plan =
+                crate::lineage::RecomputePlan::build(&mem.template, &mem.tasks, source, changed)?;
             let mut reuse: Vec<TaskRecord> = plan
                 .reuse
                 .iter()
@@ -634,7 +650,11 @@ impl<D: Disk + Clone> Runtime<D> {
             // Replay mapping phases in original completion order so
             // whiteboard overwrites resolve the same way they did.
             reuse.sort_by_key(|r| r.ended_at.unwrap_or(SimTime::ZERO));
-            (mem.header.template.clone(), reuse, mem.header.whiteboard.clone())
+            (
+                mem.header.template.clone(),
+                reuse,
+                mem.header.whiteboard.clone(),
+            )
         };
         let id = self.instantiate(&template_name, whiteboard, None)?;
         let outcome = {
@@ -677,7 +697,10 @@ impl<D: Disk + Clone> Runtime<D> {
     /// Signal a named event to an instance (runs its `ON EVENT` handlers).
     pub fn signal_event(&mut self, id: InstanceId, event: &str) -> EngineResult<()> {
         let actions: Vec<bioopera_ocr::model::EventAction> = {
-            let mem = self.instances.get(&id).ok_or(EngineError::UnknownInstance(id))?;
+            let mem = self
+                .instances
+                .get(&id)
+                .ok_or(EngineError::UnknownInstance(id))?;
             mem.template
                 .on_event
                 .iter()
@@ -708,7 +731,12 @@ impl<D: Disk + Clone> Runtime<D> {
                 }
             }
         }
-        self.awareness.record(&self.store, self.kernel.now(), "event.signal", format!("{id}: {event}"))?;
+        self.awareness.record(
+            &self.store,
+            self.kernel.now(),
+            "event.signal",
+            format!("{id}: {event}"),
+        )?;
         Ok(())
     }
 
@@ -754,7 +782,11 @@ impl<D: Disk + Clone> Runtime<D> {
             Ok(out) => out.cost_ref_ms.max(1.0),
             Err(_) => self.cfg.failed_run_cost_ms.max(1.0),
         };
-        let node_up = self.cluster.node(node_name).map(|n| n.is_up()).unwrap_or(false);
+        let node_up = self
+            .cluster
+            .node(node_name)
+            .map(|n| n.is_up())
+            .unwrap_or(false);
         if !node_up {
             // Node died while the job was in transit: system failure.
             let flight = self.in_flight.remove(&job).expect("checked above");
@@ -810,13 +842,15 @@ impl<D: Disk + Clone> Runtime<D> {
         };
         if flight.silent {
             // Paper event 10: the TEU finished but never reported.
-            self.awareness.record(&self.store, at, "task.nonreport", flight.path.clone())?;
+            self.awareness
+                .record(&self.store, at, "task.nonreport", flight.path.clone())?;
             return Ok(());
         }
         if self.disk_full {
             // Results cannot be persisted: the activity is treated as
             // failed by the environment and will be re-run.
-            self.awareness.record(&self.store, at, "task.diskfull", flight.path.clone())?;
+            self.awareness
+                .record(&self.store, at, "task.diskfull", flight.path.clone())?;
             self.system_failure(flight.instance, &flight.path, "disk full")?;
             return Ok(());
         }
@@ -833,8 +867,17 @@ impl<D: Disk + Clone> Runtime<D> {
                     };
                     navigator::on_task_ended(&mut view, &flight.path, out.outputs, at, cpu_ms)?
                 };
-                self.awareness.record(&self.store, at, "task.end", format!("{} on {}", flight.path, node_name))?;
-                self.persist_after_nav(flight.instance, &outcome, &[flight.path.clone()])?;
+                self.awareness.record(
+                    &self.store,
+                    at,
+                    "task.end",
+                    format!("{} on {}", flight.path, node_name),
+                )?;
+                self.persist_after_nav(
+                    flight.instance,
+                    &outcome,
+                    std::slice::from_ref(&flight.path),
+                )?;
                 self.apply_outcome(flight.instance, outcome)?;
             }
             Err(msg) => {
@@ -855,7 +898,11 @@ impl<D: Disk + Clone> Runtime<D> {
                     "task.fail",
                     format!("{}: {msg}", flight.path),
                 )?;
-                self.persist_after_nav(flight.instance, &outcome, &[flight.path.clone()])?;
+                self.persist_after_nav(
+                    flight.instance,
+                    &outcome,
+                    std::slice::from_ref(&flight.path),
+                )?;
                 self.apply_outcome(flight.instance, outcome)?;
             }
         }
@@ -874,7 +921,8 @@ impl<D: Disk + Clone> Runtime<D> {
                     None => Vec::new(),
                 };
                 if self.server_up {
-                    self.awareness.record(&self.store, at, "node.crash", name.clone())?;
+                    self.awareness
+                        .record(&self.store, at, "node.crash", name.clone())?;
                 }
                 self.fail_jobs(&killed, "node crash")?;
             }
@@ -883,7 +931,8 @@ impl<D: Disk + Clone> Runtime<D> {
                     n.recover(at);
                 }
                 if self.server_up {
-                    self.awareness.record(&self.store, at, "node.recover", name)?;
+                    self.awareness
+                        .record(&self.store, at, "node.recover", name)?;
                 }
             }
             TraceEventKind::AllNodesDown => {
@@ -892,7 +941,8 @@ impl<D: Disk + Clone> Runtime<D> {
                     killed.extend(n.crash(at));
                 }
                 if self.server_up {
-                    self.awareness.record(&self.store, at, "cluster.failure", "all nodes down")?;
+                    self.awareness
+                        .record(&self.store, at, "cluster.failure", "all nodes down")?;
                 }
                 self.fail_jobs(&killed, "cluster failure")?;
             }
@@ -901,7 +951,8 @@ impl<D: Disk + Clone> Runtime<D> {
                     n.recover(at);
                 }
                 if self.server_up {
-                    self.awareness.record(&self.store, at, "cluster.recover", "all nodes up")?;
+                    self.awareness
+                        .record(&self.store, at, "cluster.recover", "all nodes up")?;
                 }
             }
             TraceEventKind::NetworkDown => {
@@ -933,7 +984,12 @@ impl<D: Disk + Clone> Runtime<D> {
                     n.set_cpus(at, cpus);
                 }
                 if self.server_up {
-                    self.awareness.record(&self.store, at, "cluster.upgrade", format!("{cpus} CPUs/node"))?;
+                    self.awareness.record(
+                        &self.store,
+                        at,
+                        "cluster.upgrade",
+                        format!("{cpus} CPUs/node"),
+                    )?;
                 }
                 self.resync_all_nodes();
             }
@@ -942,13 +998,15 @@ impl<D: Disk + Clone> Runtime<D> {
             TraceEventKind::OperatorSuspend => {
                 self.operator_suspended = true;
                 if self.server_up {
-                    self.awareness.record(&self.store, at, "operator.suspend", "")?;
+                    self.awareness
+                        .record(&self.store, at, "operator.suspend", "")?;
                 }
             }
             TraceEventKind::OperatorResume => {
                 self.operator_suspended = false;
                 if self.server_up {
-                    self.awareness.record(&self.store, at, "operator.resume", "")?;
+                    self.awareness
+                        .record(&self.store, at, "operator.resume", "")?;
                 }
                 let ids: Vec<InstanceId> = self.instances.keys().copied().collect();
                 for id in ids {
@@ -1004,9 +1062,9 @@ impl<D: Disk + Clone> Runtime<D> {
                 .iter()
                 .filter(|(_, m)| {
                     m.header.status == InstanceStatus::Running
-                        && m.tasks.values().any(|r| {
-                            r.state == TaskState::Dispatched && !m.is_container(&r.path)
-                        })
+                        && m.tasks
+                            .values()
+                            .any(|r| r.state == TaskState::Dispatched && !m.is_container(&r.path))
                 })
                 .map(|(id, _)| *id)
                 .collect();
@@ -1044,7 +1102,8 @@ impl<D: Disk + Clone> Runtime<D> {
                     if let Some(n) = self.cluster.node_mut(&f.node) {
                         n.abort_job(at, job);
                     }
-                    self.awareness.record(&self.store, at, "task.migrate", f.path.clone())?;
+                    self.awareness
+                        .record(&self.store, at, "task.migrate", f.path.clone())?;
                     self.system_failure(f.instance, &f.path, "migrated off starved node")?;
                     self.resync_node(&f.node);
                 }
@@ -1065,7 +1124,8 @@ impl<D: Disk + Clone> Runtime<D> {
                 || !self.in_flight.is_empty()
                 || !self.ready_queue.is_empty());
         if work_remains && !self.heartbeat_scheduled {
-            self.kernel.schedule_after(self.cfg.heartbeat, EngineEvent::Heartbeat);
+            self.kernel
+                .schedule_after(self.cfg.heartbeat, EngineEvent::Heartbeat);
             self.heartbeat_scheduled = true;
         }
     }
@@ -1099,7 +1159,8 @@ impl<D: Disk + Clone> Runtime<D> {
         self.store.poison();
         self.resync_all_nodes();
         if let Some(delay) = self.cfg.backup_failover {
-            self.kernel.schedule_after(delay, EngineEvent::BackupFailover);
+            self.kernel
+                .schedule_after(delay, EngineEvent::BackupFailover);
         }
         self.log("server crash: volatile state lost; jobs stopped".into());
         Ok(())
@@ -1113,7 +1174,8 @@ impl<D: Disk + Clone> Runtime<D> {
         self.awareness = Awareness::open(&self.store)?;
         self.server_up = true;
         self.rebuild_from_store()?;
-        self.awareness.record(&self.store, self.kernel.now(), "server.recover", "")?;
+        self.awareness
+            .record(&self.store, self.kernel.now(), "server.recover", "")?;
         self.log("server recovered: instances rebuilt from the instance space".into());
         self.ensure_heartbeat();
         Ok(())
@@ -1135,7 +1197,11 @@ impl<D: Disk + Clone> Runtime<D> {
                 let template = self.load_template(&header.template)?;
                 self.instances.insert(
                     header.id,
-                    InstanceMem { template, header, tasks: BTreeMap::new() },
+                    InstanceMem {
+                        template,
+                        header,
+                        tasks: BTreeMap::new(),
+                    },
                 );
             }
         }
@@ -1197,7 +1263,12 @@ impl<D: Disk + Clone> Runtime<D> {
                 let parent = self.instances.get(&pid)?;
                 let rec = parent.tasks.get(&ptask)?;
                 (rec.state == TaskState::Dispatched).then(|| {
-                    (pid, ptask, *cid, cm.header.status == InstanceStatus::Completed)
+                    (
+                        pid,
+                        ptask,
+                        *cid,
+                        cm.header.status == InstanceStatus::Completed,
+                    )
                 })
             })
             .collect();
@@ -1213,7 +1284,9 @@ impl<D: Disk + Clone> Runtime<D> {
 
     /// Try to dispatch everything in the ready queue.
     fn pump(&mut self) -> EngineResult<()> {
-        if !self.server_up || self.operator_suspended || self.cluster.network() == NetworkState::Down
+        if !self.server_up
+            || self.operator_suspended
+            || self.cluster.network() == NetworkState::Down
         {
             return Ok(());
         }
@@ -1366,8 +1439,13 @@ impl<D: Disk + Clone> Runtime<D> {
                 starved_beats: 0,
             },
         );
-        self.kernel
-            .schedule_after(self.cfg.dispatch_latency, EngineEvent::JobStart { node: node_name, job });
+        self.kernel.schedule_after(
+            self.cfg.dispatch_latency,
+            EngineEvent::JobStart {
+                node: node_name,
+                job,
+            },
+        );
         Ok(true)
     }
 
@@ -1431,11 +1509,18 @@ impl<D: Disk + Clone> Runtime<D> {
             )?;
         }
         if outcome.completed || outcome.aborted {
-            let parent = self.instances.get(&id).and_then(|m| m.header.parent.clone());
+            let parent = self
+                .instances
+                .get(&id)
+                .and_then(|m| m.header.parent.clone());
             self.awareness.record(
                 &self.store,
                 self.kernel.now(),
-                if outcome.completed { "instance.complete" } else { "instance.abort" },
+                if outcome.completed {
+                    "instance.complete"
+                } else {
+                    "instance.abort"
+                },
                 format!("{id}"),
             )?;
             if let Some((pid, ptask)) = parent {
@@ -1498,9 +1583,7 @@ impl<D: Disk + Clone> Runtime<D> {
                 } else {
                     declared
                         .into_iter()
-                        .filter_map(|f| {
-                            child.header.whiteboard.get(&f).map(|v| (f, v.clone()))
-                        })
+                        .filter_map(|f| child.header.whiteboard.get(&f).map(|v| (f, v.clone())))
                         .collect()
                 };
                 let child_cpu: f64 = child
@@ -1513,8 +1596,7 @@ impl<D: Disk + Clone> Runtime<D> {
                         let is_container = !r.is_parallel_child()
                             && matches!(
                                 child.template.task(&r.path).map(|t| &t.kind),
-                                Some(TaskKind::Parallel { .. })
-                                    | Some(TaskKind::Subprocess { .. })
+                                Some(TaskKind::Parallel { .. }) | Some(TaskKind::Subprocess { .. })
                             );
                         if is_container {
                             0.0
@@ -1596,7 +1678,9 @@ impl<D: Disk + Clone> Runtime<D> {
     }
 
     fn all_terminal(&self) -> bool {
-        self.instances.values().all(|m| m.header.status.is_terminal())
+        self.instances
+            .values()
+            .all(|m| m.header.status.is_terminal())
             || self.instances.is_empty()
     }
 
@@ -1630,9 +1714,9 @@ impl<D: Disk + Clone> Runtime<D> {
                 .iter()
                 .filter(|(_, m)| {
                     m.header.status == InstanceStatus::Running
-                        && m.tasks.values().any(|r| {
-                            r.state == TaskState::Dispatched && !m.is_container(&r.path)
-                        })
+                        && m.tasks
+                            .values()
+                            .any(|r| r.state == TaskState::Dispatched && !m.is_container(&r.path))
                 })
                 .map(|(id, _)| *id)
                 .collect();
@@ -1662,7 +1746,10 @@ impl<D: Disk + Clone> Runtime<D> {
     /// Persist the header and every task record of an instance in one
     /// atomic batch (used at instantiation).
     fn persist_full_instance(&mut self, id: InstanceId) -> EngineResult<()> {
-        let mem = self.instances.get(&id).ok_or(EngineError::UnknownInstance(id))?;
+        let mem = self
+            .instances
+            .get(&id)
+            .ok_or(EngineError::UnknownInstance(id))?;
         let mut batch = Batch::new();
         batch.put(
             Space::Instance,
@@ -1681,7 +1768,10 @@ impl<D: Disk + Clone> Runtime<D> {
     }
 
     fn persist_header(&mut self, id: InstanceId) -> EngineResult<()> {
-        let mem = self.instances.get(&id).ok_or(EngineError::UnknownInstance(id))?;
+        let mem = self
+            .instances
+            .get(&id)
+            .ok_or(EngineError::UnknownInstance(id))?;
         self.store.put(
             Space::Instance,
             keys::header(id),
@@ -1731,9 +1821,11 @@ impl<D: Disk + Clone> Runtime<D> {
         }
         // Mapping-phase targets and parallel parents of anything touched.
         for p in paths.clone() {
-            if let Some(parent) = mem.tasks.get(&p).and_then(|r| {
-                r.parallel_parent().map(str::to_string)
-            }) {
+            if let Some(parent) = mem
+                .tasks
+                .get(&p)
+                .and_then(|r| r.parallel_parent().map(str::to_string))
+            {
                 paths.insert(parent.clone());
                 // The parent's mapping targets too (it may have concluded).
                 for flow in mem.template.dataflows_from_task(&parent) {
@@ -1778,14 +1870,21 @@ impl<D: Disk + Clone> Runtime<D> {
         if let Some((at, _)) = node.next_completion(self.kernel.now()) {
             self.kernel.schedule_at(
                 at,
-                EngineEvent::JobDone { node: name.to_string(), generation: node.generation },
+                EngineEvent::JobDone {
+                    node: name.to_string(),
+                    generation: node.generation,
+                },
             );
         }
     }
 
     fn resync_all_nodes(&mut self) {
-        let names: Vec<String> =
-            self.cluster.nodes().iter().map(|n| n.spec.name.clone()).collect();
+        let names: Vec<String> = self
+            .cluster
+            .nodes()
+            .iter()
+            .map(|n| n.spec.name.clone())
+            .collect();
         for n in names {
             self.resync_node(&n);
         }

@@ -80,7 +80,10 @@ pub enum TaskState {
 impl TaskState {
     /// Terminal for the purpose of instance completion.
     pub fn is_terminal(self) -> bool {
-        matches!(self, TaskState::Ended | TaskState::Skipped | TaskState::Compensated)
+        matches!(
+            self,
+            TaskState::Ended | TaskState::Skipped | TaskState::Compensated
+        )
     }
 
     /// Does this state represent resolved control flow (connector sources

@@ -5,9 +5,7 @@
 
 use bioopera_cluster::{Cluster, NodeSpec, SimTime};
 use bioopera_core::state::InstanceStatus;
-use bioopera_core::{
-    ActivityLibrary, EngineError, ProgramOutput, Runtime, RuntimeConfig,
-};
+use bioopera_core::{ActivityLibrary, EngineError, ProgramOutput, Runtime, RuntimeConfig};
 use bioopera_ocr::model::TypeTag;
 use bioopera_ocr::value::Value;
 use bioopera_ocr::{Expr, ProcessBuilder};
@@ -19,14 +17,21 @@ fn cluster() -> Cluster {
 }
 
 fn runtime_with(lib: ActivityLibrary) -> Runtime<MemDisk> {
-    let mut cfg = RuntimeConfig::default();
-    cfg.heartbeat = SimTime::from_secs(30);
+    let cfg = RuntimeConfig {
+        heartbeat: SimTime::from_secs(30),
+        ..Default::default()
+    };
     Runtime::new(MemDisk::new(), cluster(), lib, cfg).unwrap()
 }
 
 fn noop_lib() -> ActivityLibrary {
     let mut lib = ActivityLibrary::new();
-    lib.register("noop", |_| Ok(ProgramOutput::from_fields([("ok", Value::Bool(true))], 1_000.0)));
+    lib.register("noop", |_| {
+        Ok(ProgramOutput::from_fields(
+            [("ok", Value::Bool(true))],
+            1_000.0,
+        ))
+    });
     lib
 }
 
@@ -52,9 +57,18 @@ fn unknown_template_and_instance_errors() {
         Err(EngineError::UnknownTemplate(name)) => assert_eq!(name, "Ghost"),
         other => panic!("expected unknown template, got {other:?}"),
     }
-    assert!(matches!(rt.stats(99), Err(EngineError::UnknownInstance(99))));
-    assert!(matches!(rt.suspend(99), Err(EngineError::UnknownInstance(99))));
-    assert!(matches!(rt.signal_event(99, "x"), Err(EngineError::UnknownInstance(99))));
+    assert!(matches!(
+        rt.stats(99),
+        Err(EngineError::UnknownInstance(99))
+    ));
+    assert!(matches!(
+        rt.suspend(99),
+        Err(EngineError::UnknownInstance(99))
+    ));
+    assert!(matches!(
+        rt.signal_event(99, "x"),
+        Err(EngineError::UnknownInstance(99))
+    ));
 }
 
 #[test]
@@ -105,10 +119,16 @@ fn guard_type_error_surfaces_with_context() {
 fn operator_abort_kills_running_jobs() {
     let mut lib = ActivityLibrary::new();
     lib.register("slow", |_| {
-        Ok(ProgramOutput::from_fields([("ok", Value::Bool(true))], 3_600_000.0))
+        Ok(ProgramOutput::from_fields(
+            [("ok", Value::Bool(true))],
+            3_600_000.0,
+        ))
     });
     let mut rt = runtime_with(lib);
-    let t = ProcessBuilder::new("Slow").activity("A", "slow", |t| t).build().unwrap();
+    let t = ProcessBuilder::new("Slow")
+        .activity("A", "slow", |t| t)
+        .build()
+        .unwrap();
     rt.register_template(&t).unwrap();
     let id = rt.submit("Slow", BTreeMap::new()).unwrap();
     // Step until the job is on a node, then abort.
@@ -151,7 +171,11 @@ fn suspend_prevents_dispatch_until_resume() {
         }
     }
     assert!(rt.in_flight_jobs().is_empty());
-    assert!(rt.task_records(id).unwrap().values().all(|r| r.node.is_none()));
+    assert!(rt
+        .task_records(id)
+        .unwrap()
+        .values()
+        .all(|r| r.node.is_none()));
     rt.resume(id).unwrap();
     rt.run_to_completion().unwrap();
     assert_eq!(rt.instance_status(id), Some(InstanceStatus::Completed));
@@ -162,25 +186,36 @@ fn changing_input_parameters_mid_run_via_event() {
     // §3.4: "change input parameters during each step of the computation".
     let mut lib = ActivityLibrary::new();
     lib.register("gate", |inputs| {
-        let th = inputs.get("threshold").and_then(|v| v.as_float()).unwrap_or(0.0);
-        Ok(ProgramOutput::from_fields([("used", Value::Float(th))], 1_000.0))
+        let th = inputs
+            .get("threshold")
+            .and_then(|v| v.as_float())
+            .unwrap_or(0.0);
+        Ok(ProgramOutput::from_fields(
+            [("used", Value::Float(th))],
+            1_000.0,
+        ))
     });
     let mut rt = runtime_with(lib);
     let t = ProcessBuilder::new("P")
         .whiteboard_default("threshold", TypeTag::Float, Value::Float(80.0))
         .activity("First", "gate", |t| {
-            t.input("threshold", TypeTag::Float).output("used", TypeTag::Float)
+            t.input("threshold", TypeTag::Float)
+                .output("used", TypeTag::Float)
         })
         .activity("Second", "gate", |t| {
-            t.input("threshold", TypeTag::Float).output("used", TypeTag::Float)
+            t.input("threshold", TypeTag::Float)
+                .output("used", TypeTag::Float)
         })
         .connect("First", "Second")
         .flow_from_whiteboard("threshold", "First", "threshold")
         .flow_from_whiteboard("threshold", "Second", "threshold")
-        .on_event("retune", bioopera_ocr::model::EventAction::SetData(
-            "threshold".into(),
-            Expr::Lit(Value::Float(95.0)),
-        ))
+        .on_event(
+            "retune",
+            bioopera_ocr::model::EventAction::SetData(
+                "threshold".into(),
+                Expr::Lit(Value::Float(95.0)),
+            ),
+        )
         .build()
         .unwrap();
     rt.register_template(&t).unwrap();
@@ -194,5 +229,9 @@ fn changing_input_parameters_mid_run_via_event() {
     let first = rt.task_record(id, "First").unwrap().outputs["used"].clone();
     let second = rt.task_record(id, "Second").unwrap().outputs["used"].clone();
     assert_eq!(first, Value::Float(80.0));
-    assert_eq!(second, Value::Float(95.0), "the retuned parameter must reach later steps");
+    assert_eq!(
+        second,
+        Value::Float(95.0),
+        "the retuned parameter must reach later steps"
+    );
 }

@@ -16,7 +16,9 @@ use std::sync::Arc;
 fn cluster() -> Cluster {
     Cluster::new(
         "lt",
-        (0..3).map(|i| NodeSpec::new(format!("n{i}"), 2, 500, "linux")).collect(),
+        (0..3)
+            .map(|i| NodeSpec::new(format!("n{i}"), 2, 500, "linux"))
+            .collect(),
     )
 }
 
@@ -26,7 +28,10 @@ fn pipeline_library(gen_runs: Arc<AtomicU64>, refine_runs: Arc<AtomicU64>) -> Ac
     let mut lib = ActivityLibrary::new();
     lib.register("pipe.gen", move |_| {
         gen_runs.fetch_add(1, Ordering::SeqCst);
-        Ok(ProgramOutput::from_fields([("data", Value::int_list(1..=10))], 60_000.0))
+        Ok(ProgramOutput::from_fields(
+            [("data", Value::int_list(1..=10))],
+            60_000.0,
+        ))
     });
     lib.register("pipe.refine", move |inputs| {
         refine_runs.fetch_add(1, Ordering::SeqCst);
@@ -36,12 +41,18 @@ fn pipeline_library(gen_runs: Arc<AtomicU64>, refine_runs: Arc<AtomicU64>) -> Ac
             .iter()
             .filter_map(|v| v.as_int().map(|i| Value::Int(i * factor)))
             .collect();
-        Ok(ProgramOutput::from_fields([("refined", Value::List(refined))], 30_000.0))
+        Ok(ProgramOutput::from_fields(
+            [("refined", Value::List(refined))],
+            30_000.0,
+        ))
     });
     lib.register("pipe.report", |inputs| {
         let refined = inputs["refined"].as_list().ok_or("no refined")?;
         let sum: i64 = refined.iter().filter_map(|v| v.as_int()).sum();
-        Ok(ProgramOutput::from_fields([("sum", Value::Int(sum))], 5_000.0))
+        Ok(ProgramOutput::from_fields(
+            [("sum", Value::Int(sum))],
+            5_000.0,
+        ))
     });
     lib
 }
@@ -57,7 +68,8 @@ fn pipeline_template() -> bioopera_ocr::ProcessTemplate {
                 .output("refined", TypeTag::List)
         })
         .activity("Report", "pipe.report", |t| {
-            t.input("refined", TypeTag::List).output("sum", TypeTag::Int)
+            t.input("refined", TypeTag::List)
+                .output("sum", TypeTag::Int)
         })
         .connect("Gen", "Refine")
         .connect("Refine", "Report")
@@ -74,8 +86,10 @@ fn recompute_reuses_upstream_outputs() {
     let gen_runs = Arc::new(AtomicU64::new(0));
     let refine_runs = Arc::new(AtomicU64::new(0));
     let lib = pipeline_library(Arc::clone(&gen_runs), Arc::clone(&refine_runs));
-    let mut cfg = RuntimeConfig::default();
-    cfg.heartbeat = SimTime::from_secs(30);
+    let cfg = RuntimeConfig {
+        heartbeat: SimTime::from_secs(30),
+        ..Default::default()
+    };
     let mut rt = Runtime::new(MemDisk::new(), cluster(), lib, cfg).unwrap();
     rt.register_template(&pipeline_template()).unwrap();
 
@@ -101,21 +115,32 @@ fn recompute_reuses_upstream_outputs() {
 
     // Recompute with changed *input data* (whiteboard factor) — submit a
     // new recomputation after editing the source whiteboard via an event.
-    let history = rt.awareness().of_kind(rt.store(), "instance.recompute").unwrap();
+    let history = rt
+        .awareness()
+        .of_kind(rt.store(), "instance.recompute")
+        .unwrap();
     assert_eq!(history.len(), 1);
 }
 
 #[test]
 fn recompute_rejects_running_source_and_unknown_tasks() {
     let lib = pipeline_library(Arc::new(AtomicU64::new(0)), Arc::new(AtomicU64::new(0)));
-    let mut cfg = RuntimeConfig::default();
-    cfg.heartbeat = SimTime::from_secs(30);
+    let cfg = RuntimeConfig {
+        heartbeat: SimTime::from_secs(30),
+        ..Default::default()
+    };
     let mut rt = Runtime::new(MemDisk::new(), cluster(), lib, cfg).unwrap();
     rt.register_template(&pipeline_template()).unwrap();
     let id = rt.submit("Pipeline", BTreeMap::new()).unwrap();
-    assert!(rt.recompute(id, &["Refine"]).is_err(), "running source rejected");
+    assert!(
+        rt.recompute(id, &["Refine"]).is_err(),
+        "running source rejected"
+    );
     rt.run_to_completion().unwrap();
-    assert!(rt.recompute(id, &["Ghost"]).is_err(), "unknown task rejected");
+    assert!(
+        rt.recompute(id, &["Ghost"]).is_err(),
+        "unknown task rejected"
+    );
 }
 
 #[test]
@@ -125,9 +150,11 @@ fn backup_failover_shortens_downtime() {
         let gen = Arc::new(AtomicU64::new(0));
         let refine = Arc::new(AtomicU64::new(0));
         let lib = pipeline_library(gen, refine);
-        let mut cfg = RuntimeConfig::default();
-        cfg.heartbeat = SimTime::from_secs(30);
-        cfg.backup_failover = backup;
+        let cfg = RuntimeConfig {
+            heartbeat: SimTime::from_secs(30),
+            backup_failover: backup,
+            ..Default::default()
+        };
         let mut rt = Runtime::new(MemDisk::new(), cluster(), lib, cfg).unwrap();
         rt.register_template(&pipeline_template()).unwrap();
         let mut trace = Trace::empty();
@@ -138,7 +165,10 @@ fn backup_failover_shortens_downtime() {
         let id = rt.submit("Pipeline", BTreeMap::new()).unwrap();
         rt.run_to_completion().unwrap();
         assert_eq!(rt.instance_status(id), Some(InstanceStatus::Completed));
-        (rt.stats(id).unwrap().wall, rt.event_log().iter().any(|(_, m)| m.contains("backup")))
+        (
+            rt.stats(id).unwrap().wall,
+            rt.event_log().iter().any(|(_, m)| m.contains("backup")),
+        )
     };
     let (without, saw_backup_no) = run(None);
     let (with, saw_backup_yes) = run(Some(SimTime::from_secs(10)));
@@ -162,8 +192,10 @@ fn torn_wal_after_disk_crash_recovers_cleanly() {
     let refine = Arc::new(AtomicU64::new(0));
     let lib = pipeline_library(Arc::clone(&gen), Arc::clone(&refine));
     {
-        let mut cfg = RuntimeConfig::default();
-        cfg.heartbeat = SimTime::from_secs(30);
+        let cfg = RuntimeConfig {
+            heartbeat: SimTime::from_secs(30),
+            ..Default::default()
+        };
         let mut rt = Runtime::new(disk.clone(), cluster(), lib.clone(), cfg).unwrap();
         rt.register_template(&pipeline_template()).unwrap();
         let _id = rt.submit("Pipeline", BTreeMap::new()).unwrap();
@@ -185,8 +217,10 @@ fn torn_wal_after_disk_crash_recovers_cleanly() {
     }
     // Reboot the device; recover on fresh hardware.
     disk.reboot();
-    let mut cfg = RuntimeConfig::default();
-    cfg.heartbeat = SimTime::from_secs(30);
+    let cfg = RuntimeConfig {
+        heartbeat: SimTime::from_secs(30),
+        ..Default::default()
+    };
     let mut rt = Runtime::new(disk, cluster(), lib, cfg).unwrap();
     let instances = rt.instances();
     assert_eq!(instances.len(), 1);

@@ -36,8 +36,9 @@ struct RandomDag {
 
 fn dag_strategy() -> impl Strategy<Value = RandomDag> {
     (2usize..8).prop_flat_map(|n| {
-        let all_pairs: Vec<(usize, usize)> =
-            (0..n).flat_map(|i| (i + 1..n).map(move |j| (i, j))).collect();
+        let all_pairs: Vec<(usize, usize)> = (0..n)
+            .flat_map(|i| (i + 1..n).map(move |j| (i, j)))
+            .collect();
         let guards = prop::collection::vec(
             prop::sample::select(vec![Guard::True, Guard::FlagTrue, Guard::FlagFalse]),
             all_pairs.len(),
@@ -57,7 +58,7 @@ fn dag_strategy() -> impl Strategy<Value = RandomDag> {
 }
 
 fn flag_of(task: usize) -> bool {
-    task % 2 == 0
+    task.is_multiple_of(2)
 }
 
 fn build_template(dag: &RandomDag) -> ProcessTemplate {
@@ -109,7 +110,11 @@ fn reference_states(dag: &RandomDag) -> Vec<TaskState> {
             };
             any |= fired;
         }
-        states[to] = if any { TaskState::Ended } else { TaskState::Skipped };
+        states[to] = if any {
+            TaskState::Ended
+        } else {
+            TaskState::Skipped
+        };
     }
     states
 }
@@ -125,10 +130,14 @@ fn run_engine(template: &ProcessTemplate, n: usize) -> (InstanceStatus, Vec<Task
     });
     let cluster = Cluster::new(
         "np",
-        (0..2).map(|i| NodeSpec::new(format!("n{i}"), 2, 500, "linux")).collect(),
+        (0..2)
+            .map(|i| NodeSpec::new(format!("n{i}"), 2, 500, "linux"))
+            .collect(),
     );
-    let mut cfg = RuntimeConfig::default();
-    cfg.heartbeat = SimTime::from_secs(30);
+    let cfg = RuntimeConfig {
+        heartbeat: SimTime::from_secs(30),
+        ..Default::default()
+    };
     let mut rt = Runtime::new(MemDisk::new(), cluster, lib, cfg).unwrap();
     rt.register_template(template).unwrap();
     let id = rt.submit("Rand", BTreeMap::new()).unwrap();

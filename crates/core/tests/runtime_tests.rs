@@ -54,8 +54,14 @@ fn library() -> ActivityLibrary {
             .get("item")
             .and_then(|v| v.as_int())
             .ok_or_else(|| "work.unit needs an item".to_string())?;
-        let cost = inputs.get("cost_ms").and_then(|v| v.as_float()).unwrap_or(60_000.0);
-        Ok(ProgramOutput::from_fields([("value", Value::Int(item * item))], cost))
+        let cost = inputs
+            .get("cost_ms")
+            .and_then(|v| v.as_float())
+            .unwrap_or(60_000.0);
+        Ok(ProgramOutput::from_fields(
+            [("value", Value::Int(item * item))],
+            cost,
+        ))
     });
     lib.register("merge.sum", |inputs| {
         let results = inputs
@@ -66,10 +72,18 @@ fn library() -> ActivityLibrary {
             .iter()
             .filter_map(|r| r.get_path(&["value"]).and_then(|v| v.as_int()))
             .sum();
-        Ok(ProgramOutput::from_fields([("total", Value::Int(total))], 2_000.0))
+        Ok(ProgramOutput::from_fields(
+            [("total", Value::Int(total))],
+            2_000.0,
+        ))
     });
     lib.register("fail.always", |_| Err("deliberate failure".to_string()));
-    lib.register("noop", |_| Ok(ProgramOutput::from_fields([("ok", Value::Bool(true))], 500.0)));
+    lib.register("noop", |_| {
+        Ok(ProgramOutput::from_fields(
+            [("ok", Value::Bool(true))],
+            500.0,
+        ))
+    });
     lib.register("undo.noop", |_| Ok(ProgramOutput::instant(BTreeMap::new())));
     lib
 }
@@ -80,7 +94,8 @@ fn fanout_template(count: i64, retries: u32) -> ProcessTemplate {
         .whiteboard_default("count", TypeTag::Int, Value::Int(count))
         .whiteboard_field("total", TypeTag::Int)
         .activity("Gen", "gen.list", |t| {
-            t.input("count", TypeTag::Int).output("items", TypeTag::List)
+            t.input("count", TypeTag::Int)
+                .output("items", TypeTag::List)
         })
         .parallel(
             "Fan",
@@ -90,7 +105,8 @@ fn fanout_template(count: i64, retries: u32) -> ProcessTemplate {
             |t| t.retries(retries),
         )
         .activity("Merge", "merge.sum", |t| {
-            t.input("results", TypeTag::List).output("total", TypeTag::Int)
+            t.input("results", TypeTag::List)
+                .output("total", TypeTag::Int)
         })
         .connect("Gen", "Fan")
         .connect("Fan", "Merge")
@@ -103,10 +119,12 @@ fn fanout_template(count: i64, retries: u32) -> ProcessTemplate {
 }
 
 fn runtime(cluster: Cluster) -> Runtime<MemDisk> {
-    let mut cfg = RuntimeConfig::default();
     // Tests run minute-scale workloads; sample the series often enough to
     // observe them (experiments use the 2-hour default).
-    cfg.heartbeat = SimTime::from_secs(20);
+    let cfg = RuntimeConfig {
+        heartbeat: SimTime::from_secs(20),
+        ..Default::default()
+    };
     Runtime::new(MemDisk::new(), cluster, library(), cfg).unwrap()
 }
 
@@ -122,13 +140,16 @@ fn fanout_completes_with_correct_result() {
     let id = rt.submit("Fanout", BTreeMap::new()).unwrap();
     rt.run_to_completion().unwrap();
     assert_eq!(rt.instance_status(id), Some(InstanceStatus::Completed));
-    assert_eq!(rt.whiteboard(id).unwrap()["total"], Value::Int(expected_total(6)));
+    assert_eq!(
+        rt.whiteboard(id).unwrap()["total"],
+        Value::Int(expected_total(6))
+    );
     // Virtual time passed: 6 × 60 s of work on 5 CPUs plus overheads.
     assert!(rt.now() >= SimTime::from_secs(60));
     let stats = rt.stats(id).unwrap();
     assert_eq!(stats.activities, 8); // Gen + 6 children + Merge
-    // Total work is ~363 reference-CPU-seconds; occupancy is lower when
-    // the 2x-speed node (n3) takes jobs, but at least half runs at 1x.
+                                     // Total work is ~363 reference-CPU-seconds; occupancy is lower when
+                                     // the 2x-speed node (n3) takes jobs, but at least half runs at 1x.
     assert!(stats.cpu >= SimTime::from_secs(180), "cpu {}", stats.cpu);
     assert!(stats.cpu <= SimTime::from_secs(370), "cpu {}", stats.cpu);
     assert!(stats.max_cpus_used >= 1);
@@ -144,10 +165,15 @@ fn parallelism_reduces_wall_time() {
         rt.run_to_completion().unwrap();
         rt.stats(id).unwrap()
     };
-    let single = run(Cluster::new("one", vec![NodeSpec::new("solo", 1, 500, "linux")]));
+    let single = run(Cluster::new(
+        "one",
+        vec![NodeSpec::new("solo", 1, 500, "linux")],
+    ));
     let multi = run(Cluster::new(
         "six",
-        (0..6).map(|i| NodeSpec::new(format!("n{i}"), 1, 500, "linux")).collect(),
+        (0..6)
+            .map(|i| NodeSpec::new(format!("n{i}"), 1, 500, "linux"))
+            .collect(),
     ));
     assert!(
         multi.wall.as_millis() * 3 < single.wall.as_millis(),
@@ -166,17 +192,26 @@ fn node_crash_is_masked_and_work_completes() {
     rt.register_template(&fanout_template(8, 0)).unwrap();
     let mut trace = Trace::empty();
     // Kill n1 30 s in (children are mid-flight), revive it later.
-    trace.push(SimTime::from_secs(30), TraceEventKind::NodeDown("n1".into()));
+    trace.push(
+        SimTime::from_secs(30),
+        TraceEventKind::NodeDown("n1".into()),
+    );
     trace.push(SimTime::from_secs(200), TraceEventKind::NodeUp("n1".into()));
     rt.install_trace(&trace);
     let id = rt.submit("Fanout", BTreeMap::new()).unwrap();
     rt.run_to_completion().unwrap();
     assert_eq!(rt.instance_status(id), Some(InstanceStatus::Completed));
-    assert_eq!(rt.whiteboard(id).unwrap()["total"], Value::Int(expected_total(8)));
+    assert_eq!(
+        rt.whiteboard(id).unwrap()["total"],
+        Value::Int(expected_total(8))
+    );
     // The awareness model recorded the masked failures.
     let crashes = rt.awareness().of_kind(rt.store(), "node.crash").unwrap();
     assert_eq!(crashes.len(), 1);
-    let masked = rt.awareness().of_kind(rt.store(), "task.systemfail").unwrap();
+    let masked = rt
+        .awareness()
+        .of_kind(rt.store(), "task.systemfail")
+        .unwrap();
     assert!(!masked.is_empty(), "jobs on n1 must have been re-queued");
 }
 
@@ -191,7 +226,10 @@ fn whole_cluster_failure_recovers() {
     let id = rt.submit("Fanout", BTreeMap::new()).unwrap();
     rt.run_to_completion().unwrap();
     assert_eq!(rt.instance_status(id), Some(InstanceStatus::Completed));
-    assert_eq!(rt.whiteboard(id).unwrap()["total"], Value::Int(expected_total(6)));
+    assert_eq!(
+        rt.whiteboard(id).unwrap()["total"],
+        Value::Int(expected_total(6))
+    );
     // The computation paused during the outage.
     assert!(rt.now() >= SimTime::from_secs(500));
 }
@@ -209,7 +247,10 @@ fn server_crash_resumes_without_losing_completed_work() {
     let id = rt.submit("Fanout", BTreeMap::new()).unwrap();
     rt.run_to_completion().unwrap();
     assert_eq!(rt.instance_status(id), Some(InstanceStatus::Completed));
-    assert_eq!(rt.whiteboard(id).unwrap()["total"], Value::Int(expected_total(6)));
+    assert_eq!(
+        rt.whiteboard(id).unwrap()["total"],
+        Value::Int(expected_total(6))
+    );
     // Gen ran exactly once: completed work survived the server crash.
     let ends = rt.awareness().of_kind(rt.store(), "task.end").unwrap();
     let gen_ends = ends.iter().filter(|e| e.detail.starts_with("Gen ")).count();
@@ -228,12 +269,18 @@ fn network_outage_buffers_results_at_pecs() {
     let id = rt.submit("Fanout", BTreeMap::new()).unwrap();
     rt.run_to_completion().unwrap();
     assert_eq!(rt.instance_status(id), Some(InstanceStatus::Completed));
-    assert_eq!(rt.whiteboard(id).unwrap()["total"], Value::Int(expected_total(5)));
+    assert_eq!(
+        rt.whiteboard(id).unwrap()["total"],
+        Value::Int(expected_total(5))
+    );
     // Jobs finished during the outage were *not* re-executed: every child
     // ended exactly once.
     let ends = rt.awareness().of_kind(rt.store(), "task.end").unwrap();
     for i in 0..5 {
-        let n = ends.iter().filter(|e| e.detail.starts_with(&format!("Fan[{i}] "))).count();
+        let n = ends
+            .iter()
+            .filter(|e| e.detail.starts_with(&format!("Fan[{i}] ")))
+            .count();
         assert_eq!(n, 1, "child {i} should complete exactly once");
     }
 }
@@ -249,9 +296,15 @@ fn disk_full_forces_reruns_until_freed() {
     let id = rt.submit("Fanout", BTreeMap::new()).unwrap();
     rt.run_to_completion().unwrap();
     assert_eq!(rt.instance_status(id), Some(InstanceStatus::Completed));
-    assert_eq!(rt.whiteboard(id).unwrap()["total"], Value::Int(expected_total(4)));
+    assert_eq!(
+        rt.whiteboard(id).unwrap()["total"],
+        Value::Int(expected_total(4))
+    );
     let diskfails = rt.awareness().of_kind(rt.store(), "task.diskfull").unwrap();
-    assert!(!diskfails.is_empty(), "some completions must have hit the full disk");
+    assert!(
+        !diskfails.is_empty(),
+        "some completions must have hit the full disk"
+    );
 }
 
 #[test]
@@ -300,7 +353,10 @@ fn ignore_policy_lets_process_complete_despite_failure() {
     rt.run_to_completion().unwrap();
     assert_eq!(rt.instance_status(id), Some(InstanceStatus::Completed));
     // Good was dead-path-eliminated (its one connector came from a skip).
-    assert_eq!(rt.task_record(id, "Good").unwrap().state, TaskState::Skipped);
+    assert_eq!(
+        rt.task_record(id, "Good").unwrap().state,
+        TaskState::Skipped
+    );
 }
 
 #[test]
@@ -318,8 +374,14 @@ fn sphere_compensation_runs_on_abort() {
     let id = rt.submit("Atomic", BTreeMap::new()).unwrap();
     rt.run_to_completion().unwrap();
     assert_eq!(rt.instance_status(id), Some(InstanceStatus::Aborted));
-    assert_eq!(rt.task_record(id, "S1").unwrap().state, TaskState::Compensated);
-    let comps = rt.awareness().of_kind(rt.store(), "task.compensate").unwrap();
+    assert_eq!(
+        rt.task_record(id, "S1").unwrap().state,
+        TaskState::Compensated
+    );
+    let comps = rt
+        .awareness()
+        .of_kind(rt.store(), "task.compensate")
+        .unwrap();
     assert_eq!(comps.len(), 1);
     assert!(comps[0].detail.contains("undo.noop"));
 }
@@ -377,11 +439,19 @@ fn parallel_subprocess_bodies_run_one_instance_per_element() {
     let t = ProcessBuilder::new("FanSub")
         .whiteboard_field("total", TypeTag::Int)
         .activity("Gen", "gen.list", |t| {
-            t.input_default("count", TypeTag::Int, Value::Int(4)).output("items", TypeTag::List)
+            t.input_default("count", TypeTag::Int, Value::Int(4))
+                .output("items", TypeTag::List)
         })
-        .parallel("Fan", "items", ParallelBody::Subprocess("Chunk".into()), "results", |t| t)
+        .parallel(
+            "Fan",
+            "items",
+            ParallelBody::Subprocess("Chunk".into()),
+            "results",
+            |t| t,
+        )
         .activity("Merge", "merge.sum", |t| {
-            t.input("results", TypeTag::List).output("total", TypeTag::Int)
+            t.input("results", TypeTag::List)
+                .output("total", TypeTag::Int)
         })
         .connect("Gen", "Fan")
         .connect("Fan", "Merge")
@@ -396,7 +466,10 @@ fn parallel_subprocess_bodies_run_one_instance_per_element() {
     let id = rt.submit("FanSub", BTreeMap::new()).unwrap();
     rt.run_to_completion().unwrap();
     assert_eq!(rt.instance_status(id), Some(InstanceStatus::Completed));
-    assert_eq!(rt.whiteboard(id).unwrap()["total"], Value::Int(expected_total(4)));
+    assert_eq!(
+        rt.whiteboard(id).unwrap()["total"],
+        Value::Int(expected_total(4))
+    );
     // 4 child instances + the parent.
     assert_eq!(rt.instances().len(), 5);
 }
@@ -406,7 +479,10 @@ fn event_handlers_set_data_and_suspend() {
     let t = ProcessBuilder::new("Evented")
         .whiteboard_default("threshold", TypeTag::Float, Value::Float(80.0))
         .activity("A", "noop", |t| t)
-        .on_event("retune", EventAction::SetData("threshold".into(), Expr::Lit(Value::Float(95.0))))
+        .on_event(
+            "retune",
+            EventAction::SetData("threshold".into(), Expr::Lit(Value::Float(95.0))),
+        )
         .on_event("pause", EventAction::Suspend)
         .on_event("go", EventAction::Resume)
         .build()
@@ -434,7 +510,10 @@ fn placement_constraints_honored() {
     rt.register_template(&t).unwrap();
     let id = rt.submit("Placed", BTreeMap::new()).unwrap();
     rt.run_to_completion().unwrap();
-    assert_eq!(rt.task_record(id, "OnSun").unwrap().node.as_deref(), Some("n3"));
+    assert_eq!(
+        rt.task_record(id, "OnSun").unwrap().node.as_deref(),
+        Some("n3")
+    );
 }
 
 #[test]
@@ -466,7 +545,10 @@ fn what_if_planner_reports_affected_jobs() {
     assert!(text.contains("what-if"));
     rt.run_to_completion().unwrap();
     let impact = Planner::what_if_offline(&rt, &["n1"]);
-    assert!(impact.instances.is_empty(), "terminal instances are not affected");
+    assert!(
+        impact.instances.is_empty(),
+        "terminal instances are not affected"
+    );
 }
 
 #[test]
@@ -478,7 +560,10 @@ fn migration_rescues_starved_jobs() {
     let cluster = || {
         Cluster::new(
             "mig",
-            vec![NodeSpec::new("hot", 1, 1000, "linux"), NodeSpec::new("cold", 1, 400, "linux")],
+            vec![
+                NodeSpec::new("hot", 1, 1000, "linux"),
+                NodeSpec::new("cold", 1, 400, "linux"),
+            ],
         )
     };
     let template = ProcessBuilder::new("OneJob")
@@ -493,23 +578,31 @@ fn migration_rescues_starved_jobs() {
     // External users grab the hot node just as the job starts, for 2 days.
     trace.push(
         SimTime::from_secs(3),
-        TraceEventKind::ExternalLoad { node: "hot".into(), cpus: 1.0 },
+        TraceEventKind::ExternalLoad {
+            node: "hot".into(),
+            cpus: 1.0,
+        },
     );
     trace.push(
         SimTime::from_days(2),
-        TraceEventKind::ExternalLoad { node: "hot".into(), cpus: 0.0 },
+        TraceEventKind::ExternalLoad {
+            node: "hot".into(),
+            cpus: 0.0,
+        },
     );
 
     let run = |migration| {
-        let mut cfg = RuntimeConfig::default();
         // Least-loaded: the first dispatch goes to the (idle, faster) hot
         // node; after migration the starved node reports load 1.0 so the
         // job lands on the cold node.  (Fastest-fit would re-pick the hot
         // node forever — the paper's §5.4 caveat, covered by the
         // scheduling ablation bench.)
-        cfg.policy = Box::new(bioopera_core::LeastLoaded);
-        cfg.migration = migration;
-        cfg.heartbeat = SimTime::from_mins(30);
+        let cfg = RuntimeConfig {
+            policy: Box::new(bioopera_core::LeastLoaded),
+            migration,
+            heartbeat: SimTime::from_mins(30),
+            ..Default::default()
+        };
         let mut rt = Runtime::new(MemDisk::new(), cluster(), library(), cfg).unwrap();
         rt.register_template(&template).unwrap();
         let id = rt.submit("OneJob", BTreeMap::new()).unwrap();
@@ -558,5 +651,8 @@ fn store_survives_and_instance_is_queryable_after_manual_crash() {
     assert_eq!(rt.instance_status(id), Some(InstanceStatus::Running));
     rt.run_to_completion().unwrap();
     assert_eq!(rt.instance_status(id), Some(InstanceStatus::Completed));
-    assert_eq!(rt.whiteboard(id).unwrap()["total"], Value::Int(expected_total(4)));
+    assert_eq!(
+        rt.whiteboard(id).unwrap()["total"],
+        Value::Int(expected_total(4))
+    );
 }

@@ -2,13 +2,38 @@
 //!
 //! "This software offers a dynamic programming local alignment algorithm
 //! which uses the GCB scoring matrices and an affine gap penalty" (§4).
-//! Two entry points:
+//! Entry points:
 //!
-//! * [`align_score`] — score-only, rolling arrays, O(min) memory; the hot
-//!   path for the all-vs-all's fixed-PAM pass and PAM refinement,
+//! * [`align_score`] — score-only, the hot path for the all-vs-all's
+//!   fixed-PAM pass and PAM refinement.  Internally this runs the
+//!   **query-profile kernel**: the score matrix is first flattened into a
+//!   per-query profile (one contiguous 20-row table of
+//!   `score(query[i], r)` per residue `r`), so the DP inner loop reads one
+//!   cache-resident row per subject residue instead of double-indexing the
+//!   20×20 matrix, and H/E/F travel in registers over a single rolling
+//!   row pair.
+//! * [`align_score_with`] / [`align_score_many`] — the same kernel with a
+//!   caller-provided [`AlignScratch`], eliminating every per-pair heap
+//!   allocation; `align_score_many` amortizes one profile build over a
+//!   whole batch of subjects (one query vs the rest of the database).
+//! * [`align_score_naive`] — the original three-`Vec`-per-call rolling
+//!   implementation, kept as the reference oracle: the profile kernel is
+//!   **bit-identical** to it (same `score`, same `cells`), which the
+//!   darwin proptests verify across the whole PAM ladder.
 //! * [`align_local`] — full traceback, used where the actual alignment is
 //!   needed (the tower-of-information example, tests).
+//!
+//! Why bit-identity holds: the profile kernel iterates subject-outer /
+//! query-inner, i.e. it computes the transposed DP matrix.  The score
+//! matrix is bitwise symmetric (its builder averages the two odds in a
+//! commutative f64 sum), the gap parameters are shared by both gap
+//! directions, so transposition only swaps the roles of E and F inside
+//! `diag.max(E).max(F).max(0)` — and `f32::max` over the values arising
+//! here (no NaNs, no negative zeros) is exactly commutative.  The best
+//! score is a max over all cells, which is order-independent, and
+//! `cells = |a|·|b|` is symmetric.
 
+use crate::alphabet::ALPHABET_SIZE;
 use crate::pam::ScoreMatrix;
 use crate::sequence::Sequence;
 
@@ -19,13 +44,22 @@ pub struct AlignParams {
     pub gap_open: f32,
     /// Cost of each further gapped position.
     pub gap_extend: f32,
+    /// Allow [`align_score_many`] to skip pairs whose safe score upper
+    /// bound falls below the caller's threshold.  Off by default because a
+    /// skipped pair reports zero `cells`, which changes the cost-model
+    /// accounting (never the match set).
+    pub prune: bool,
 }
 
 impl Default for AlignParams {
     fn default() -> Self {
         // Tuned for the 10·log10-odds PAM family: diagonal entries run
         // ~4–18, so opening costs about two identities.
-        AlignParams { gap_open: 22.0, gap_extend: 1.5 }
+        AlignParams {
+            gap_open: 22.0,
+            gap_extend: 1.5,
+            prune: false,
+        }
     }
 }
 
@@ -38,11 +72,356 @@ pub struct ScoreOnly {
     pub cells: u64,
 }
 
-/// Score-only Smith–Waterman/Gotoh with rolling arrays.
+/// Reusable alignment workspace: the query profile plus the rolling DP
+/// rows.  One scratch per worker thread removes every per-pair heap
+/// allocation from the all-vs-all hot loop; buffers only ever grow.
+#[derive(Debug, Clone, Default)]
+pub struct AlignScratch {
+    /// Rolling H row over query positions (`len + 1` entries, `h[0] = 0`).
+    h: Vec<f32>,
+    /// Rolling E row (gap in the subject direction).
+    e: Vec<f32>,
+    /// Query profile: row `r` at `profile[r*len .. (r+1)*len]` holds
+    /// `score(query[i], r)` for each query position `i`.
+    profile: Vec<f32>,
+    /// Query length currently loaded into the profile.
+    len: usize,
+    /// Safe upper bound on any alignment score using all query positions
+    /// (sum over positions of the per-position best score, f64 with an
+    /// upward margin); used by the optional prune.
+    bound_sum: f32,
+    /// Largest per-position best score (bounds short subjects).
+    bound_peak: f32,
+}
+
+impl AlignScratch {
+    /// An empty workspace.
+    pub fn new() -> Self {
+        AlignScratch::default()
+    }
+
+    /// Load `query` under matrix `m`: build the contiguous profile rows
+    /// and size the rolling DP rows.
+    pub fn set_query(&mut self, query: &Sequence, m: &ScoreMatrix) {
+        let len = query.residues.len();
+        self.len = len;
+        self.h.resize(len + 1, 0.0);
+        self.e.resize(len + 1, 0.0);
+        self.profile.clear();
+        self.profile.reserve(ALPHABET_SIZE * len);
+        for r in 0..ALPHABET_SIZE {
+            self.profile
+                .extend(query.residues.iter().map(|&q| m.score(q as usize, r)));
+        }
+        // Prune bound: the best local alignment cannot beat the sum of the
+        // per-position best substitution scores (gaps only subtract).  The
+        // DP accumulates in f32 and can round upward, so pad the f64 sum
+        // with a margin far above any accumulated rounding error.
+        let mut sum = 0.0f64;
+        let mut peak = 0.0f64;
+        for i in 0..len {
+            let mut best = f32::NEG_INFINITY;
+            for r in 0..ALPHABET_SIZE {
+                best = best.max(self.profile[r * len + i]);
+            }
+            let best = best.max(0.0) as f64;
+            sum += best;
+            peak = peak.max(best);
+        }
+        self.bound_sum = (sum * (1.0 + 1e-5) + 1e-2) as f32;
+        self.bound_peak = (peak * (1.0 + 1e-5) + 1e-2) as f32;
+    }
+
+    /// Safe upper bound on the score of the loaded query against any
+    /// subject of `subject_len` residues.
+    pub fn score_upper_bound(&self, subject_len: usize) -> f32 {
+        if subject_len >= self.len {
+            self.bound_sum
+        } else {
+            self.bound_peak * subject_len as f32
+        }
+    }
+
+    /// Run the profile kernel against one subject.  The profile must have
+    /// been loaded with [`AlignScratch::set_query`].
+    ///
+    /// Subject rows are processed four at a time along an anti-diagonal
+    /// wavefront: the serial per-row F chain (`max`/`sub` latency) is the
+    /// kernel's bottleneck, and four staggered rows give the out-of-order
+    /// core four independent chains to overlap.  Every cell still runs
+    /// the exact scalar recurrence with the same operands in the same
+    /// order — only the instruction schedule changes — so the result is
+    /// bit-identical to [`align_score_naive`].
+    fn align_loaded(&mut self, subject: &[u8], p: &AlignParams) -> ScoreOnly {
+        let nq = self.len;
+        let nb = subject.len();
+        if nq == 0 || nb == 0 {
+            return ScoreOnly {
+                score: 0.0,
+                cells: 0,
+            };
+        }
+        self.h.fill(0.0);
+        self.e.fill(f32::NEG_INFINITY);
+        let (open, ext) = (p.gap_open, p.gap_extend);
+        let mut best = 0.0f32;
+        let profile = &self.profile;
+        let h = &mut self.h[..nq + 1];
+        let e = &mut self.e[..nq + 1];
+
+        /// One DP cell: update the row's F chain and H, return the new E.
+        /// `prev` is left holding the row's H at the previous column (the
+        /// diagonal input for the row below).
+        #[inline(always)]
+        #[allow(clippy::too_many_arguments)]
+        fn dp_cell(
+            v_diag: f32,
+            v_above: f32,
+            e_above: f32,
+            sc: f32,
+            open: f32,
+            ext: f32,
+            f: &mut f32,
+            left: &mut f32,
+            prev: &mut f32,
+            best: &mut f32,
+        ) -> f32 {
+            let e_new = (v_above - open).max(e_above - ext);
+            *f = (*left - open).max(*f - ext);
+            let v = (v_diag + sc).max(e_new).max(*f).max(0.0);
+            *prev = *left;
+            *left = v;
+            if v > *best {
+                *best = v;
+            }
+            e_new
+        }
+
+        let mut j = 0usize;
+        while j + 4 <= nb {
+            let r0 = &profile[subject[j] as usize * nq..][..nq];
+            let r1 = &profile[subject[j + 1] as usize * nq..][..nq];
+            let r2 = &profile[subject[j + 2] as usize * nq..][..nq];
+            let r3 = &profile[subject[j + 3] as usize * nq..][..nq];
+            // Per-row registers: F chain, H at the current and previous
+            // column, E at the current column (forwarded to the row
+            // below, which trails one column behind).
+            let mut f = [f32::NEG_INFINITY; 4];
+            let mut left = [0.0f32; 4];
+            let mut prev = [0.0f32; 4];
+            let mut elast = [f32::NEG_INFINITY; 4];
+            // Step t processes column t-r of row r.  Bottom row first:
+            // each row reads its upstairs neighbour's previous-step
+            // state, so rows must update in bottom-up order.  `STEADY`
+            // is a const generic so the pipeline-fill and drain guards
+            // fold away in the hot middle loop, and `inline(always)`
+            // keeps the whole wavefront state in registers (as a plain
+            // closure this failed to inline and spilled every step).
+            #[inline(always)]
+            #[allow(clippy::too_many_arguments)]
+            fn step<const STEADY: bool>(
+                t: usize,
+                nq: usize,
+                rows: [&[f32]; 4],
+                h: &mut [f32],
+                e: &mut [f32],
+                f: &mut [f32; 4],
+                left: &mut [f32; 4],
+                prev: &mut [f32; 4],
+                elast: &mut [f32; 4],
+                open: f32,
+                ext: f32,
+                best: &mut f32,
+            ) {
+                if STEADY || (t >= 4 && t - 3 <= nq) {
+                    let c = t - 3;
+                    let e_new = dp_cell(
+                        prev[2],
+                        left[2],
+                        elast[2],
+                        rows[3][c - 1],
+                        open,
+                        ext,
+                        &mut f[3],
+                        &mut left[3],
+                        &mut prev[3],
+                        best,
+                    );
+                    elast[3] = e_new;
+                    // Row 3 is the block's last: persist for the next block.
+                    h[c] = left[3];
+                    e[c] = e_new;
+                }
+                if STEADY || (t >= 3 && t - 2 <= nq) {
+                    let c = t - 2;
+                    elast[2] = dp_cell(
+                        prev[1],
+                        left[1],
+                        elast[1],
+                        rows[2][c - 1],
+                        open,
+                        ext,
+                        &mut f[2],
+                        &mut left[2],
+                        &mut prev[2],
+                        best,
+                    );
+                }
+                if STEADY || (t >= 2 && t - 1 <= nq) {
+                    let c = t - 1;
+                    elast[1] = dp_cell(
+                        prev[0],
+                        left[0],
+                        elast[0],
+                        rows[1][c - 1],
+                        open,
+                        ext,
+                        &mut f[1],
+                        &mut left[1],
+                        &mut prev[1],
+                        best,
+                    );
+                }
+                if STEADY || t <= nq {
+                    let c = t;
+                    elast[0] = dp_cell(
+                        h[c - 1],
+                        h[c],
+                        e[c],
+                        rows[0][c - 1],
+                        open,
+                        ext,
+                        &mut f[0],
+                        &mut left[0],
+                        &mut prev[0],
+                        best,
+                    );
+                }
+            }
+            let rows = [r0, r1, r2, r3];
+            // Pipeline fill (t = 1..4), guard-free steady state
+            // (t = 4..=nq), pipeline drain (t = nq+1..nq+4); the three
+            // ranges tile 1..nq+4 exactly for every nq.
+            for t in 1..(nq + 4).min(4) {
+                step::<false>(
+                    t, nq, rows, h, e, &mut f, &mut left, &mut prev, &mut elast, open, ext,
+                    &mut best,
+                );
+            }
+            for t in 4..nq + 1 {
+                step::<true>(
+                    t, nq, rows, h, e, &mut f, &mut left, &mut prev, &mut elast, open, ext,
+                    &mut best,
+                );
+            }
+            for t in nq.max(3) + 1..nq + 4 {
+                step::<false>(
+                    t, nq, rows, h, e, &mut f, &mut left, &mut prev, &mut elast, open, ext,
+                    &mut best,
+                );
+            }
+            j += 4;
+        }
+        // Remainder rows (< 4): plain scalar sweep.
+        for &rb in &subject[j..] {
+            let row = &profile[rb as usize * nq..][..nq];
+            let mut h_diag = 0.0f32;
+            let mut h_left = 0.0f32;
+            let mut f = f32::NEG_INFINITY;
+            for ((h_i, e_i), &sc) in h[1..].iter_mut().zip(e[1..].iter_mut()).zip(row) {
+                let e_new = (*h_i - open).max(*e_i - ext);
+                f = (h_left - open).max(f - ext);
+                let v = (h_diag + sc).max(e_new).max(f).max(0.0);
+                h_diag = *h_i;
+                *h_i = v;
+                *e_i = e_new;
+                h_left = v;
+                if v > best {
+                    best = v;
+                }
+            }
+        }
+        ScoreOnly {
+            score: best,
+            cells: (nq as u64) * (nb as u64),
+        }
+    }
+}
+
+/// Score-only Smith–Waterman/Gotoh via the query-profile kernel, reusing
+/// the caller's scratch: zero heap allocation once the scratch has grown
+/// to the query size.
+pub fn align_score_with(
+    a: &Sequence,
+    b: &Sequence,
+    m: &ScoreMatrix,
+    p: &AlignParams,
+    scratch: &mut AlignScratch,
+) -> ScoreOnly {
+    scratch.set_query(a, m);
+    scratch.align_loaded(&b.residues, p)
+}
+
+/// One query against a batch of subjects: the profile is built once and
+/// the scratch is reused across the whole batch.  Results are pushed onto
+/// `out` (cleared first) in subject order.
+///
+/// When `p.prune` is set and `min_score` is `Some`, subjects whose safe
+/// score upper bound falls below the threshold are skipped and reported
+/// as `score: 0.0, cells: 0` — the match set is unchanged (a skipped pair
+/// can never reach the threshold) but skipped pairs contribute no cells
+/// to the cost accounting.
+pub fn align_score_many<'s, I>(
+    a: &Sequence,
+    subjects: I,
+    m: &ScoreMatrix,
+    p: &AlignParams,
+    min_score: Option<f32>,
+    scratch: &mut AlignScratch,
+    out: &mut Vec<ScoreOnly>,
+) where
+    I: IntoIterator<Item = &'s Sequence>,
+{
+    scratch.set_query(a, m);
+    out.clear();
+    let cutoff = if p.prune { min_score } else { None };
+    for b in subjects {
+        if let Some(threshold) = cutoff {
+            if scratch.score_upper_bound(b.residues.len()) < threshold {
+                out.push(ScoreOnly {
+                    score: 0.0,
+                    cells: 0,
+                });
+                continue;
+            }
+        }
+        out.push(scratch.align_loaded(&b.residues, p));
+    }
+}
+
+/// Score-only Smith–Waterman/Gotoh (compatibility entry point): the
+/// profile kernel with a private scratch.  Callers in a loop should hold
+/// an [`AlignScratch`] and use [`align_score_with`] / [`align_score_many`].
 pub fn align_score(a: &Sequence, b: &Sequence, m: &ScoreMatrix, p: &AlignParams) -> ScoreOnly {
+    let mut scratch = AlignScratch::new();
+    align_score_with(a, b, m, p, &mut scratch)
+}
+
+/// The original score-only implementation: rolling arrays allocated per
+/// call, matrix double-indexed in the inner loop.  Kept as the reference
+/// oracle for the profile kernel — the two must agree bit-for-bit.
+pub fn align_score_naive(
+    a: &Sequence,
+    b: &Sequence,
+    m: &ScoreMatrix,
+    p: &AlignParams,
+) -> ScoreOnly {
     let (na, nb) = (a.residues.len(), b.residues.len());
     if na == 0 || nb == 0 {
-        return ScoreOnly { score: 0.0, cells: 0 };
+        return ScoreOnly {
+            score: 0.0,
+            cells: 0,
+        };
     }
     // Roll over b (columns); one row of H and E each.
     let mut h_prev = vec![0.0f32; nb + 1];
@@ -66,7 +445,10 @@ pub fn align_score(a: &Sequence, b: &Sequence, m: &ScoreMatrix, p: &AlignParams)
         }
         std::mem::swap(&mut h_prev, &mut h_cur);
     }
-    ScoreOnly { score: best, cells: (na as u64) * (nb as u64) }
+    ScoreOnly {
+        score: best,
+        cells: (na as u64) * (nb as u64),
+    }
 }
 
 /// One aligned column.
@@ -249,7 +631,11 @@ mod tests {
         let m = fam.nearest(FIXED_PAM);
         let s = seq("MKVLAWGCH");
         let out = align_score(&s, &s, m, &AlignParams::default());
-        let expected: f32 = s.residues.iter().map(|&r| m.score(r as usize, r as usize)).sum();
+        let expected: f32 = s
+            .residues
+            .iter()
+            .map(|&r| m.score(r as usize, r as usize))
+            .sum();
         assert!((out.score - expected).abs() < 1e-3);
     }
 

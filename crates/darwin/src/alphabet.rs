@@ -16,8 +16,8 @@ pub struct AminoAcid(pub u8);
 
 /// Canonical one-letter codes, index order used throughout the crate.
 pub const LETTERS: [char; ALPHABET_SIZE] = [
-    'A', 'R', 'N', 'D', 'C', 'Q', 'E', 'G', 'H', 'I', 'L', 'K', 'M', 'F', 'P', 'S', 'T', 'W',
-    'Y', 'V',
+    'A', 'R', 'N', 'D', 'C', 'Q', 'E', 'G', 'H', 'I', 'L', 'K', 'M', 'F', 'P', 'S', 'T', 'W', 'Y',
+    'V',
 ];
 
 /// Background frequencies (Robinson & Robinson 1991), normalized.
@@ -28,14 +28,14 @@ pub const FREQUENCIES: [f64; ALPHABET_SIZE] = [
 
 /// Kyte–Doolittle hydropathy.
 pub const HYDROPATHY: [f64; ALPHABET_SIZE] = [
-    1.8, -4.5, -3.5, -3.5, 2.5, -3.5, -3.5, -0.4, -3.2, 4.5, 3.8, -3.9, 1.9, 2.8, -1.6, -0.8,
-    -0.7, -0.9, -1.3, 4.2,
+    1.8, -4.5, -3.5, -3.5, 2.5, -3.5, -3.5, -0.4, -3.2, 4.5, 3.8, -3.9, 1.9, 2.8, -1.6, -0.8, -0.7,
+    -0.9, -1.3, 4.2,
 ];
 
 /// Side-chain volume (Å³).
 pub const VOLUME: [f64; ALPHABET_SIZE] = [
-    88.6, 173.4, 114.1, 111.1, 108.5, 143.8, 138.4, 60.1, 153.2, 166.7, 166.7, 168.6, 162.9,
-    189.9, 112.7, 89.0, 116.1, 227.8, 193.6, 140.0,
+    88.6, 173.4, 114.1, 111.1, 108.5, 143.8, 138.4, 60.1, 153.2, 166.7, 166.7, 168.6, 162.9, 189.9,
+    112.7, 89.0, 116.1, 227.8, 193.6, 140.0,
 ];
 
 /// Net side-chain charge at pH 7.
@@ -46,15 +46,18 @@ pub const CHARGE: [f64; ALPHABET_SIZE] = [
 
 /// Polar side chain (1) or not (0).
 pub const POLAR: [f64; ALPHABET_SIZE] = [
-    0.0, 1.0, 1.0, 1.0, 0.0, 1.0, 1.0, 0.0, 1.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0, 1.0, 0.0,
-    1.0, 0.0,
+    0.0, 1.0, 1.0, 1.0, 0.0, 1.0, 1.0, 0.0, 1.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0,
+    0.0,
 ];
 
 impl AminoAcid {
     /// From a one-letter code (case-insensitive).
     pub fn from_char(c: char) -> Option<AminoAcid> {
         let upper = c.to_ascii_uppercase();
-        LETTERS.iter().position(|&l| l == upper).map(|i| AminoAcid(i as u8))
+        LETTERS
+            .iter()
+            .position(|&l| l == upper)
+            .map(|i| AminoAcid(i as u8))
     }
 
     /// One-letter code.

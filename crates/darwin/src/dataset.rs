@@ -131,7 +131,10 @@ impl SequenceDb {
                 family_of.push(fam_id);
             }
         }
-        SequenceDb { sequences, family_of }
+        SequenceDb {
+            sequences,
+            family_of,
+        }
     }
 
     /// Total residues (for cost estimation).
@@ -261,8 +264,7 @@ mod tests {
         let mut cross_scores = Vec::new();
         for a in 0..db.len() as u32 {
             for b in (a + 1)..db.len().min(a as usize + 15) as u32 {
-                let score =
-                    align_score(db.get(a), db.get(b), m, &p).score as f64;
+                let score = align_score(db.get(a), db.get(b), m, &p).score as f64;
                 let norm = score / db.get(a).len().min(db.get(b).len()) as f64;
                 if db.same_family(a, b) {
                     fam_scores.push(norm);

@@ -36,11 +36,14 @@ pub mod pam;
 pub mod refine;
 pub mod sequence;
 
-pub use align::{align_local, AlignParams, Alignment};
+pub use align::{
+    align_local, align_score, align_score_many, align_score_naive, align_score_with, AlignParams,
+    AlignScratch, Alignment, ScoreOnly,
+};
 pub use alphabet::{AminoAcid, ALPHABET_SIZE};
 pub use cost::CostModel;
 pub use dataset::{DatasetConfig, SequenceDb};
 pub use matches::{Match, MatchSet};
 pub use pam::{PamFamily, ScoreMatrix};
-pub use refine::refine_pam_distance;
+pub use refine::{refine_pam_distance, refine_pam_distance_with, Refined};
 pub use sequence::Sequence;

@@ -24,8 +24,18 @@ pub struct Match {
 impl Match {
     /// A match from the fixed-PAM pass, not yet refined.
     pub fn unrefined(query: u32, subject: u32, score: f32) -> Match {
-        let (query, subject) = if query <= subject { (query, subject) } else { (subject, query) };
-        Match { query, subject, score, refined_score: score, pam_distance: 0 }
+        let (query, subject) = if query <= subject {
+            (query, subject)
+        } else {
+            (subject, query)
+        };
+        Match {
+            query,
+            subject,
+            score,
+            refined_score: score,
+            pam_distance: 0,
+        }
     }
 }
 
@@ -61,7 +71,7 @@ impl MatchSet {
     /// Task *Merge by Entry #*: sort by `(query, subject)` — the master
     /// file order.  Deterministic regardless of TEU completion order.
     pub fn sort_by_entry(&mut self) {
-        self.matches.sort_by(|a, b| (a.query, a.subject).cmp(&(b.query, b.subject)));
+        self.matches.sort_by_key(|a| (a.query, a.subject));
     }
 
     /// Task *Merge by PAM distance*: bucket matches by refined PAM
@@ -85,7 +95,7 @@ impl MatchSet {
     /// failure-ridden run produced byte-identical results to a clean run.
     pub fn digest(&self) -> u64 {
         let mut sorted = self.matches.clone();
-        sorted.sort_by(|a, b| (a.query, a.subject).cmp(&(b.query, b.subject)));
+        sorted.sort_by_key(|a| (a.query, a.subject));
         // FNV-1a over the canonical serialization.
         let mut hash = 0xcbf2_9ce4_8422_2325u64;
         let mut feed = |bytes: &[u8]| {
@@ -110,7 +120,13 @@ mod tests {
     use super::*;
 
     fn m(q: u32, s: u32, pam: u32) -> Match {
-        Match { query: q, subject: s, score: 100.0, refined_score: 110.0, pam_distance: pam }
+        Match {
+            query: q,
+            subject: s,
+            score: 100.0,
+            refined_score: 110.0,
+            pam_distance: pam,
+        }
     }
 
     #[test]
@@ -121,8 +137,12 @@ mod tests {
 
     #[test]
     fn sort_by_entry_is_canonical() {
-        let mut s1 = MatchSet { matches: vec![m(2, 5, 50), m(0, 1, 20), m(2, 3, 90)] };
-        let mut s2 = MatchSet { matches: vec![m(2, 3, 90), m(2, 5, 50), m(0, 1, 20)] };
+        let mut s1 = MatchSet {
+            matches: vec![m(2, 5, 50), m(0, 1, 20), m(2, 3, 90)],
+        };
+        let mut s2 = MatchSet {
+            matches: vec![m(2, 3, 90), m(2, 5, 50), m(0, 1, 20)],
+        };
         s1.sort_by_entry();
         s2.sort_by_entry();
         assert_eq!(s1, s2);
@@ -131,7 +151,9 @@ mod tests {
 
     #[test]
     fn pam_buckets_ascend() {
-        let s = MatchSet { matches: vec![m(0, 1, 90), m(1, 2, 20), m(3, 4, 90), m(5, 6, 20)] };
+        let s = MatchSet {
+            matches: vec![m(0, 1, 90), m(1, 2, 20), m(3, 4, 90), m(5, 6, 20)],
+        };
         let buckets = s.by_pam_distance();
         assert_eq!(buckets.len(), 2);
         assert_eq!(buckets[0].0, 20);
@@ -141,10 +163,16 @@ mod tests {
 
     #[test]
     fn digest_is_order_insensitive_but_content_sensitive() {
-        let s1 = MatchSet { matches: vec![m(0, 1, 20), m(2, 3, 90)] };
-        let s2 = MatchSet { matches: vec![m(2, 3, 90), m(0, 1, 20)] };
+        let s1 = MatchSet {
+            matches: vec![m(0, 1, 20), m(2, 3, 90)],
+        };
+        let s2 = MatchSet {
+            matches: vec![m(2, 3, 90), m(0, 1, 20)],
+        };
         assert_eq!(s1.digest(), s2.digest());
-        let s3 = MatchSet { matches: vec![m(0, 1, 21), m(2, 3, 90)] };
+        let s3 = MatchSet {
+            matches: vec![m(0, 1, 21), m(2, 3, 90)],
+        };
         assert_ne!(s1.digest(), s3.digest());
     }
 }

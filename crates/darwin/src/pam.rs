@@ -36,16 +36,18 @@ impl ScoreMatrix {
 
     /// Maximum diagonal entry (used to bound per-residue similarity).
     pub fn max_self_score(&self) -> f32 {
-        (0..ALPHABET_SIZE).map(|i| self.scores[i][i]).fold(f32::MIN, f32::max)
+        (0..ALPHABET_SIZE)
+            .map(|i| self.scores[i][i])
+            .fold(f32::MIN, f32::max)
     }
 
     /// Expected score between two random residues; negative for any sane
     /// matrix (required for local alignment to stay local).
     pub fn expected_score(&self) -> f64 {
         let mut e = 0.0;
-        for i in 0..ALPHABET_SIZE {
-            for j in 0..ALPHABET_SIZE {
-                e += FREQUENCIES[i] * FREQUENCIES[j] * self.scores[i][j] as f64;
+        for (i, &fi) in FREQUENCIES.iter().enumerate() {
+            for (j, &fj) in FREQUENCIES.iter().enumerate() {
+                e += fi * fj * self.scores[i][j] as f64;
             }
         }
         e
@@ -85,10 +87,10 @@ fn identity() -> Matrix {
 fn build_pam1() -> Matrix {
     const TEMPERATURE: f64 = 0.45;
     let mut raw = [[0.0; ALPHABET_SIZE]; ALPHABET_SIZE];
-    for i in 0..ALPHABET_SIZE {
-        for j in 0..ALPHABET_SIZE {
+    for (i, row) in raw.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
             if i != j {
-                raw[i][j] = FREQUENCIES[j] * (-property_distance(i, j) / TEMPERATURE).exp();
+                *cell = FREQUENCIES[j] * (-property_distance(i, j) / TEMPERATURE).exp();
             }
         }
     }
@@ -151,7 +153,10 @@ impl PamFamily {
     /// Build the family with score matrices cached at `ladder` distances.
     pub fn new(ladder: &[u32]) -> Self {
         let m1 = build_pam1();
-        let mut fam = PamFamily { m1, ladder: Vec::new() };
+        let mut fam = PamFamily {
+            m1,
+            ladder: Vec::new(),
+        };
         fam.ladder = ladder.iter().map(|&k| fam.build_scores(k)).collect();
         fam
     }

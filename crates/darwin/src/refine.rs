@@ -7,7 +7,7 @@
 //! under every matrix of the family's ladder and return the argmax — a
 //! discrete maximum-likelihood estimate of evolutionary distance.
 
-use crate::align::{align_score, AlignParams};
+use crate::align::{AlignParams, AlignScratch};
 use crate::pam::PamFamily;
 use crate::sequence::Sequence;
 
@@ -23,24 +23,47 @@ pub struct Refined {
 }
 
 /// Scan the ladder for the distance maximizing alignment score.
+///
+/// Convenience wrapper over [`refine_pam_distance_with`] with a private
+/// scratch; callers refining many matches should hold one
+/// [`AlignScratch`] and use the `_with` form to avoid per-pair
+/// allocation.
 pub fn refine_pam_distance(
     a: &Sequence,
     b: &Sequence,
     family: &PamFamily,
     params: &AlignParams,
 ) -> Refined {
+    let mut scratch = AlignScratch::new();
+    refine_pam_distance_with(a, b, family, params, &mut scratch)
+}
+
+/// Ladder scan reusing the caller's alignment scratch: one profile build
+/// plus one DP per ladder matrix, zero heap allocation once the scratch
+/// has grown.
+pub fn refine_pam_distance_with(
+    a: &Sequence,
+    b: &Sequence,
+    family: &PamFamily,
+    params: &AlignParams,
+    scratch: &mut AlignScratch,
+) -> Refined {
     let mut best_pam = family.ladder()[0].pam;
     let mut best_score = f32::NEG_INFINITY;
     let mut cells = 0u64;
     for m in family.ladder() {
-        let r = align_score(a, b, m, params);
+        let r = crate::align::align_score_with(a, b, m, params, scratch);
         cells += r.cells;
         if r.score > best_score {
             best_score = r.score;
             best_pam = m.pam;
         }
     }
-    Refined { pam_distance: best_pam, score: best_score, cells }
+    Refined {
+        pam_distance: best_pam,
+        score: best_score,
+        cells,
+    }
 }
 
 #[cfg(test)]

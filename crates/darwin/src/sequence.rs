@@ -23,8 +23,10 @@ impl Sequence {
 
     /// Parse from one-letter codes; unknown letters are rejected.
     pub fn from_str(entry: u32, s: &str) -> Option<Self> {
-        let residues: Option<Vec<u8>> =
-            s.chars().map(|c| AminoAcid::from_char(c).map(|a| a.0)).collect();
+        let residues: Option<Vec<u8>> = s
+            .chars()
+            .map(|c| AminoAcid::from_char(c).map(|a| a.0))
+            .collect();
         residues.map(|r| Sequence { entry, residues: r })
     }
 

@@ -10,12 +10,7 @@ use proptest::prelude::*;
 /// Enumerate all local alignments by recursion over (i, j) cursors with an
 /// explicit "in gap" state, returning the best score.  Exponential — only
 /// usable for sequences of length ≤ 7.
-fn brute_force_best(
-    a: &[u8],
-    b: &[u8],
-    m: &bioopera_darwin::ScoreMatrix,
-    p: &AlignParams,
-) -> f32 {
+fn brute_force_best(a: &[u8], b: &[u8], m: &bioopera_darwin::ScoreMatrix, p: &AlignParams) -> f32 {
     #[derive(Clone, Copy, PartialEq)]
     enum GapState {
         None,
@@ -39,11 +34,19 @@ fn brute_force_best(
             best = best.max(sub);
         }
         if j < b.len() {
-            let cost = if state == GapState::InA { p.gap_extend } else { p.gap_open };
+            let cost = if state == GapState::InA {
+                p.gap_extend
+            } else {
+                p.gap_open
+            };
             best = best.max(-cost + go(a, b, i, j + 1, GapState::InA, m, p));
         }
         if i < a.len() {
-            let cost = if state == GapState::InB { p.gap_extend } else { p.gap_open };
+            let cost = if state == GapState::InB {
+                p.gap_extend
+            } else {
+                p.gap_open
+            };
             best = best.max(-cost + go(a, b, i + 1, j, GapState::InB, m, p));
         }
         best

@@ -80,7 +80,9 @@ impl TaskBuilder {
 impl ProcessBuilder {
     /// Start a template named `name`.
     pub fn new(name: impl Into<String>) -> Self {
-        ProcessBuilder { template: ProcessTemplate::empty(name) }
+        ProcessBuilder {
+            template: ProcessTemplate::empty(name),
+        }
     }
 
     /// Declare a whiteboard field.
@@ -91,7 +93,9 @@ impl ProcessBuilder {
 
     /// Declare a whiteboard field with a default value.
     pub fn whiteboard_default(mut self, name: impl Into<String>, ty: TypeTag, v: Value) -> Self {
-        self.template.whiteboard.push(FieldDecl::with_default(name, ty, v));
+        self.template
+            .whiteboard
+            .push(FieldDecl::with_default(name, ty, v));
         self
     }
 
@@ -105,7 +109,9 @@ impl ProcessBuilder {
         let tb = TaskBuilder {
             task: Task {
                 name: name.into(),
-                kind: TaskKind::Activity { binding: ExternalBinding::program(program) },
+                kind: TaskKind::Activity {
+                    binding: ExternalBinding::program(program),
+                },
                 inputs: Vec::new(),
                 outputs: Vec::new(),
                 retries: 0,
@@ -125,7 +131,9 @@ impl ProcessBuilder {
         let tb = TaskBuilder {
             task: Task {
                 name: name.into(),
-                kind: TaskKind::Subprocess { template: template.into() },
+                kind: TaskKind::Subprocess {
+                    template: template.into(),
+                },
                 inputs: Vec::new(),
                 outputs: Vec::new(),
                 retries: 0,
@@ -150,7 +158,11 @@ impl ProcessBuilder {
         let tb = TaskBuilder {
             task: Task {
                 name: name.into(),
-                kind: TaskKind::Parallel { over: over.clone(), body, collect: collect.clone() },
+                kind: TaskKind::Parallel {
+                    over: over.clone(),
+                    body,
+                    collect: collect.clone(),
+                },
                 inputs: vec![FieldDecl::new(over, TypeTag::List)],
                 outputs: vec![FieldDecl::new(collect, TypeTag::List)],
                 retries: 0,
@@ -166,7 +178,12 @@ impl ProcessBuilder {
     }
 
     /// Connect `from -> to` with an activation condition.
-    pub fn connect_when(mut self, from: impl Into<String>, to: impl Into<String>, cond: Expr) -> Self {
+    pub fn connect_when(
+        mut self,
+        from: impl Into<String>,
+        to: impl Into<String>,
+        cond: Expr,
+    ) -> Self {
         self.template.connectors.push(ControlConnector {
             from: from.into(),
             to: to.into(),
@@ -219,7 +236,11 @@ impl ProcessBuilder {
     }
 
     /// Group tasks into a named block.
-    pub fn block(mut self, name: impl Into<String>, members: impl IntoIterator<Item = impl Into<String>>) -> Self {
+    pub fn block(
+        mut self,
+        name: impl Into<String>,
+        members: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Self {
         self.template.blocks.push(Block {
             name: name.into(),
             members: members.into_iter().map(Into::into).collect(),
@@ -229,13 +250,19 @@ impl ProcessBuilder {
 
     /// Install a failure handler for `task` (or `"*"`).
     pub fn on_failure(mut self, task: impl Into<String>, policy: FailurePolicy) -> Self {
-        self.template.on_failure.push(FailureHandler { task: task.into(), policy });
+        self.template.on_failure.push(FailureHandler {
+            task: task.into(),
+            policy,
+        });
         self
     }
 
     /// Install an event handler.
     pub fn on_event(mut self, event: impl Into<String>, action: EventAction) -> Self {
-        self.template.on_event.push(EventHandler { event: event.into(), action });
+        self.template.on_event.push(EventHandler {
+            event: event.into(),
+            action,
+        });
         self
     }
 
@@ -249,7 +276,10 @@ impl ProcessBuilder {
         self.template.spheres.push(Sphere {
             name: name.into(),
             members: members.into_iter().map(Into::into).collect(),
-            compensations: compensations.into_iter().map(|(t, p)| (t.into(), p.into())).collect(),
+            compensations: compensations
+                .into_iter()
+                .map(|(t, p)| (t.into(), p.into()))
+                .collect(),
         });
         self
     }
@@ -288,7 +318,13 @@ mod tests {
     fn builder_parallel_task_declares_fields() {
         let p = ProcessBuilder::new("Par")
             .activity("Prep", "lib.prep", |t| t.output("parts", TypeTag::List))
-            .parallel("Fan", "parts", ParallelBody::Activity(ExternalBinding::program("lib.work")), "results", |t| t)
+            .parallel(
+                "Fan",
+                "parts",
+                ParallelBody::Activity(ExternalBinding::program("lib.work")),
+                "results",
+                |t| t,
+            )
             .connect("Prep", "Fan")
             .flow_to_task("Prep", "parts", "Fan", "parts")
             .build()
@@ -311,6 +347,9 @@ mod tests {
             }
             _ => panic!(),
         }
-        assert!(matches!(p.task("S").unwrap().kind, TaskKind::Subprocess { .. }));
+        assert!(matches!(
+            p.task("S").unwrap().kind,
+            TaskKind::Subprocess { .. }
+        ));
     }
 }

@@ -337,9 +337,9 @@ fn compare(a: &Value, b: &Value) -> Result<std::cmp::Ordering, EvalError> {
     match (a, b) {
         (Value::Str(x), Value::Str(y)) => Ok(x.cmp(y)),
         _ => match (a.as_float(), b.as_float()) {
-            (Some(x), Some(y)) => x.partial_cmp(&y).ok_or_else(|| {
-                EvalError::TypeMismatch("NaN is not comparable".into())
-            }),
+            (Some(x), Some(y)) => x
+                .partial_cmp(&y)
+                .ok_or_else(|| EvalError::TypeMismatch("NaN is not comparable".into())),
             _ => Err(EvalError::TypeMismatch(format!(
                 "cannot compare {} with {}",
                 a.type_name(),
@@ -391,7 +391,9 @@ fn eval_call(name: &str, args: &[Expr], env: &dyn Env) -> Result<Value, EvalErro
             let hay = eval(&args[0], env)?;
             let needle = eval(&args[1], env)?;
             match (&hay, &needle) {
-                (Value::List(xs), _) => Ok(Value::Bool(xs.iter().any(|x| values_equal(x, &needle)))),
+                (Value::List(xs), _) => {
+                    Ok(Value::Bool(xs.iter().any(|x| values_equal(x, &needle))))
+                }
                 (Value::Str(s), Value::Str(sub)) => Ok(Value::Bool(s.contains(sub.as_str()))),
                 (Value::Map(m), Value::Str(k)) => Ok(Value::Bool(m.contains_key(k))),
                 _ => Err(EvalError::TypeMismatch(format!(
@@ -502,18 +504,34 @@ mod tests {
             ev(&Expr::path("UserInput.db_name")).unwrap(),
             Value::from("sp38")
         );
-        assert_eq!(ev(&Expr::defined("UserInput.queue_file")).unwrap(), Value::Bool(true));
+        assert_eq!(
+            ev(&Expr::defined("UserInput.queue_file")).unwrap(),
+            Value::Bool(true)
+        );
         // Unknown path: defined() is false, bare lookup is an error.
-        assert_eq!(ev(&Expr::defined("nope.nothing")).unwrap(), Value::Bool(false));
-        assert_eq!(ev(&Expr::defined("missing_field")).unwrap(), Value::Bool(false));
-        assert!(matches!(ev(&Expr::path("nope")), Err(EvalError::UnknownPath(_))));
+        assert_eq!(
+            ev(&Expr::defined("nope.nothing")).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            ev(&Expr::defined("missing_field")).unwrap(),
+            Value::Bool(false)
+        );
+        assert!(matches!(
+            ev(&Expr::path("nope")),
+            Err(EvalError::UnknownPath(_))
+        ));
     }
 
     #[test]
     fn arithmetic_and_comparison() {
         let e = Expr::Bin(
             BinOp::Lt,
-            Box::new(Expr::Bin(BinOp::Add, Box::new(Expr::path("count")), Box::new(Expr::Lit(Value::Int(5))))),
+            Box::new(Expr::Bin(
+                BinOp::Add,
+                Box::new(Expr::path("count")),
+                Box::new(Expr::Lit(Value::Int(5))),
+            )),
             Box::new(Expr::Lit(Value::Int(16))),
         );
         assert_eq!(ev(&e).unwrap(), Value::Bool(true));
@@ -562,7 +580,11 @@ mod tests {
     #[test]
     fn builtins() {
         assert_eq!(
-            ev(&Expr::Call("len".into(), vec![Expr::path("UserInput.queue_file")])).unwrap(),
+            ev(&Expr::Call(
+                "len".into(),
+                vec![Expr::path("UserInput.queue_file")]
+            ))
+            .unwrap(),
             Value::Int(3)
         );
         assert_eq!(
@@ -578,7 +600,11 @@ mod tests {
             Value::from("bool")
         );
         assert_eq!(
-            ev(&Expr::Call("min".into(), vec![Expr::Lit(Value::Int(3)), Expr::Lit(Value::Int(7))])).unwrap(),
+            ev(&Expr::Call(
+                "min".into(),
+                vec![Expr::Lit(Value::Int(3)), Expr::Lit(Value::Int(7))]
+            ))
+            .unwrap(),
             Value::Int(3)
         );
         assert!(matches!(
@@ -591,7 +617,11 @@ mod tests {
     fn null_is_falsy_in_conditions() {
         let v = env();
         assert!(!eval_bool(&Expr::path("missing_field"), &MapEnv(&v)).unwrap());
-        assert!(eval_bool(&Expr::Not(Box::new(Expr::path("missing_field"))), &MapEnv(&v)).unwrap());
+        assert!(eval_bool(
+            &Expr::Not(Box::new(Expr::path("missing_field"))),
+            &MapEnv(&v)
+        )
+        .unwrap());
         assert!(matches!(
             eval_bool(&Expr::path("count"), &MapEnv(&v)),
             Err(EvalError::TypeMismatch(_))
@@ -606,7 +636,11 @@ mod tests {
             Box::new(Expr::Lit(Value::Int(1))),
             Box::new(Expr::Lit(Value::Int(2))),
         );
-        let e = Expr::Bin(BinOp::Mul, Box::new(sum.clone()), Box::new(Expr::Lit(Value::Int(3))));
+        let e = Expr::Bin(
+            BinOp::Mul,
+            Box::new(sum.clone()),
+            Box::new(Expr::Lit(Value::Int(3))),
+        );
         assert_eq!(e.to_string(), "(1 + 2) * 3");
         let e2 = Expr::Bin(
             BinOp::Add,

@@ -76,12 +76,20 @@ pub struct FieldDecl {
 impl FieldDecl {
     /// A field with no default.
     pub fn new(name: impl Into<String>, ty: TypeTag) -> Self {
-        FieldDecl { name: name.into(), ty, default: None }
+        FieldDecl {
+            name: name.into(),
+            ty,
+            default: None,
+        }
     }
 
     /// A field with a default value.
     pub fn with_default(name: impl Into<String>, ty: TypeTag, v: crate::value::Value) -> Self {
-        FieldDecl { name: name.into(), ty, default: Some(v) }
+        FieldDecl {
+            name: name.into(),
+            ty,
+            default: Some(v),
+        }
     }
 }
 
@@ -104,7 +112,10 @@ pub struct ExternalBinding {
 impl ExternalBinding {
     /// Binding to `program` with no placement constraints.
     pub fn program(name: impl Into<String>) -> Self {
-        ExternalBinding { program: name.into(), ..Default::default() }
+        ExternalBinding {
+            program: name.into(),
+            ..Default::default()
+        }
     }
 }
 
@@ -367,7 +378,9 @@ impl ProcessTemplate {
 
     /// The sphere containing `task`, if any.
     pub fn sphere_of(&self, task: &str) -> Option<&Sphere> {
-        self.spheres.iter().find(|s| s.members.iter().any(|m| m == task))
+        self.spheres
+            .iter()
+            .find(|s| s.members.iter().any(|m| m == task))
     }
 
     /// All subprocess template names referenced (for dependency resolution).
@@ -376,9 +389,10 @@ impl ProcessTemplate {
         for t in &self.tasks {
             match &t.kind {
                 TaskKind::Subprocess { template } => out.push(template.as_str()),
-                TaskKind::Parallel { body: ParallelBody::Subprocess(name), .. } => {
-                    out.push(name.as_str())
-                }
+                TaskKind::Parallel {
+                    body: ParallelBody::Subprocess(name),
+                    ..
+                } => out.push(name.as_str()),
                 _ => {}
             }
         }
@@ -395,22 +409,34 @@ mod tests {
 
     fn two_task_template() -> ProcessTemplate {
         let mut t = ProcessTemplate::empty("p");
-        t.whiteboard.push(FieldDecl::with_default("db", TypeTag::Str, Value::from("sp38")));
+        t.whiteboard.push(FieldDecl::with_default(
+            "db",
+            TypeTag::Str,
+            Value::from("sp38"),
+        ));
         t.tasks.push(Task {
             name: "a".into(),
-            kind: TaskKind::Activity { binding: ExternalBinding::program("prog.a") },
+            kind: TaskKind::Activity {
+                binding: ExternalBinding::program("prog.a"),
+            },
             inputs: vec![FieldDecl::new("x", TypeTag::Int)],
             outputs: vec![FieldDecl::new("y", TypeTag::Int)],
             retries: 1,
         });
         t.tasks.push(Task {
             name: "b".into(),
-            kind: TaskKind::Activity { binding: ExternalBinding::program("prog.b") },
+            kind: TaskKind::Activity {
+                binding: ExternalBinding::program("prog.b"),
+            },
             inputs: vec![FieldDecl::new("y", TypeTag::Int)],
             outputs: vec![],
             retries: 0,
         });
-        t.connectors.push(ControlConnector { from: "a".into(), to: "b".into(), condition: Expr::truth() });
+        t.connectors.push(ControlConnector {
+            from: "a".into(),
+            to: "b".into(),
+            condition: Expr::truth(),
+        });
         t.dataflows.push(DataFlow {
             from: DataRef::TaskField("a".into(), "y".into()),
             to: DataRef::TaskField("b".into(), "y".into()),
@@ -433,10 +459,22 @@ mod tests {
     #[test]
     fn failure_handler_specific_beats_wildcard() {
         let mut t = two_task_template();
-        t.on_failure.push(FailureHandler { task: "*".into(), policy: FailurePolicy::Abort });
-        t.on_failure.push(FailureHandler { task: "a".into(), policy: FailurePolicy::Ignore });
-        assert!(matches!(t.failure_handler_for("a").unwrap().policy, FailurePolicy::Ignore));
-        assert!(matches!(t.failure_handler_for("b").unwrap().policy, FailurePolicy::Abort));
+        t.on_failure.push(FailureHandler {
+            task: "*".into(),
+            policy: FailurePolicy::Abort,
+        });
+        t.on_failure.push(FailureHandler {
+            task: "a".into(),
+            policy: FailurePolicy::Ignore,
+        });
+        assert!(matches!(
+            t.failure_handler_for("a").unwrap().policy,
+            FailurePolicy::Ignore
+        ));
+        assert!(matches!(
+            t.failure_handler_for("b").unwrap().policy,
+            FailurePolicy::Abort
+        ));
     }
 
     #[test]
@@ -445,7 +483,10 @@ mod tests {
         assert!(!TypeTag::Int.admits(&Value::Str("x".into())));
         assert!(TypeTag::Float.admits(&Value::Int(1)), "ints widen to float");
         assert!(TypeTag::Any.admits(&Value::List(vec![])));
-        assert!(TypeTag::Str.admits(&Value::Null), "null inhabits every type");
+        assert!(
+            TypeTag::Str.admits(&Value::Null),
+            "null inhabits every type"
+        );
     }
 
     #[test]
@@ -453,7 +494,9 @@ mod tests {
         let mut t = ProcessTemplate::empty("p");
         t.tasks.push(Task {
             name: "s1".into(),
-            kind: TaskKind::Subprocess { template: "Sub".into() },
+            kind: TaskKind::Subprocess {
+                template: "Sub".into(),
+            },
             inputs: vec![],
             outputs: vec![],
             retries: 0,

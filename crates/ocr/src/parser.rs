@@ -49,7 +49,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -149,11 +153,20 @@ type Spanned = (Tok, usize, usize);
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { line: self.line, col: self.col, message: message.into() }
+        ParseError {
+            line: self.line,
+            col: self.col,
+            message: message.into(),
+        }
     }
 
     fn peek_byte(&self) -> Option<u8> {
@@ -356,7 +369,8 @@ impl<'a> Lexer<'a> {
             self.bump();
         }
         let mut is_float = false;
-        if self.peek_byte() == Some(b'.') && matches!(self.src.get(self.pos + 1), Some(b'0'..=b'9')) {
+        if self.peek_byte() == Some(b'.') && matches!(self.src.get(self.pos + 1), Some(b'0'..=b'9'))
+        {
             is_float = true;
             self.bump();
             while matches!(self.peek_byte(), Some(b'0'..=b'9')) {
@@ -375,18 +389,29 @@ impl<'a> Lexer<'a> {
         }
         let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
         if is_float {
-            text.parse::<f64>().map(Tok::Float).map_err(|_| self.err("bad float literal"))
+            text.parse::<f64>()
+                .map(Tok::Float)
+                .map_err(|_| self.err("bad float literal"))
         } else {
-            text.parse::<i64>().map(Tok::Int).map_err(|_| self.err("integer literal overflows i64"))
+            text.parse::<i64>()
+                .map(Tok::Int)
+                .map_err(|_| self.err("integer literal overflows i64"))
         }
     }
 
     fn lex_ident(&mut self) -> Tok {
         let start = self.pos;
-        while matches!(self.peek_byte(), Some(b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'_')) {
+        while matches!(
+            self.peek_byte(),
+            Some(b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'_')
+        ) {
             self.bump();
         }
-        Tok::Ident(std::str::from_utf8(&self.src[start..self.pos]).unwrap().to_string())
+        Tok::Ident(
+            std::str::from_utf8(&self.src[start..self.pos])
+                .unwrap()
+                .to_string(),
+        )
     }
 }
 
@@ -406,7 +431,11 @@ impl Parser {
 
     fn err_here(&self, message: impl Into<String>) -> ParseError {
         let (_, line, col) = self.toks[self.pos];
-        ParseError { line, col, message: message.into() }
+        ParseError {
+            line,
+            col,
+            message: message.into(),
+        }
     }
 
     fn bump(&mut self) -> Tok {
@@ -599,7 +628,13 @@ impl Parser {
         if binding.program.is_empty() {
             return Err(self.err_here(format!("activity `{name}` has no PROGRAM")));
         }
-        t.tasks.push(Task { name, kind: TaskKind::Activity { binding }, inputs, outputs, retries });
+        t.tasks.push(Task {
+            name,
+            kind: TaskKind::Activity { binding },
+            inputs,
+            outputs,
+            retries,
+        });
         Ok(())
     }
 
@@ -625,7 +660,13 @@ impl Parser {
         if template.is_empty() {
             return Err(self.err_here(format!("subprocess `{name}` has no TEMPLATE")));
         }
-        t.tasks.push(Task { name, kind: TaskKind::Subprocess { template }, inputs, outputs, retries });
+        t.tasks.push(Task {
+            name,
+            kind: TaskKind::Subprocess { template },
+            inputs,
+            outputs,
+            retries,
+        });
         Ok(())
     }
 
@@ -653,7 +694,9 @@ impl Parser {
                 self.bump();
                 if self.peek_keyword("ACTIVITY") {
                     self.bump();
-                    body = Some(ParallelBody::Activity(ExternalBinding::program(self.string()?)));
+                    body = Some(ParallelBody::Activity(ExternalBinding::program(
+                        self.string()?,
+                    )));
                 } else if self.peek_keyword("SUBPROCESS") {
                     self.bump();
                     body = Some(ParallelBody::Subprocess(self.string()?));
@@ -679,7 +722,11 @@ impl Parser {
         }
         t.tasks.push(Task {
             name,
-            kind: TaskKind::Parallel { over, body, collect },
+            kind: TaskKind::Parallel {
+                over,
+                body,
+                collect,
+            },
             inputs,
             outputs,
             retries,
@@ -715,7 +762,11 @@ impl Parser {
             Expr::truth()
         };
         self.expect(Tok::Semi)?;
-        t.connectors.push(ControlConnector { from, to, condition });
+        t.connectors.push(ControlConnector {
+            from,
+            to,
+            condition,
+        });
         Ok(())
     }
 
@@ -822,7 +873,11 @@ impl Parser {
             compensations.push((task, prog));
         }
         self.expect(Tok::RBrace)?;
-        t.spheres.push(Sphere { name, members, compensations });
+        t.spheres.push(Sphere {
+            name,
+            members,
+            compensations,
+        });
         Ok(())
     }
 
@@ -1064,7 +1119,13 @@ mod tests {
             _ => panic!(),
         }
         // Defaults.
-        let teus = t.task("Preprocessing").unwrap().inputs.iter().find(|f| f.name == "teus").unwrap();
+        let teus = t
+            .task("Preprocessing")
+            .unwrap()
+            .inputs
+            .iter()
+            .find(|f| f.name == "teus")
+            .unwrap();
         assert_eq!(teus.default, Some(Value::Int(50)));
         // Condition survived.
         let c = &t.connectors[0];
@@ -1078,7 +1139,10 @@ mod tests {
         let src = "PROCESS P { ACTIVITY A { PROGRAM \"x\"; } ACTIVITY B { PROGRAM \"y\"; } \
                    CONNECTOR A -> B WHEN 1 + 2 * 3 == 7 && !false; }";
         let t = parse_process(src).unwrap();
-        assert_eq!(t.connectors[0].condition.to_string(), "1 + 2 * 3 == 7 && !false");
+        assert_eq!(
+            t.connectors[0].condition.to_string(),
+            "1 + 2 * 3 == 7 && !false"
+        );
     }
 
     #[test]

@@ -98,7 +98,8 @@ pub fn to_ocr_text(t: &ProcessTemplate) -> String {
                     let _ = writeln!(out, "    OS {os:?};");
                 }
                 if !binding.hosts.is_empty() {
-                    let hosts: Vec<String> = binding.hosts.iter().map(|h| format!("{h:?}")).collect();
+                    let hosts: Vec<String> =
+                        binding.hosts.iter().map(|h| format!("{h:?}")).collect();
                     let _ = writeln!(out, "    HOSTS {};", hosts.join(", "));
                 }
                 if binding.nice {
@@ -113,7 +114,11 @@ pub fn to_ocr_text(t: &ProcessTemplate) -> String {
                 write_task_common(&mut out, task);
                 out.push_str("  }\n");
             }
-            TaskKind::Parallel { over, body, collect } => {
+            TaskKind::Parallel {
+                over,
+                body,
+                collect,
+            } => {
                 let _ = writeln!(out, "  PARALLEL {} {{", task.name);
                 let _ = writeln!(out, "    OVER {over};");
                 match body {
@@ -134,13 +139,22 @@ pub fn to_ocr_text(t: &ProcessTemplate) -> String {
         }
     }
     for b in &t.blocks {
-        let _ = writeln!(out, "  BLOCK {} {{ MEMBERS {}; }}", b.name, b.members.join(", "));
+        let _ = writeln!(
+            out,
+            "  BLOCK {} {{ MEMBERS {}; }}",
+            b.name,
+            b.members.join(", ")
+        );
     }
     for c in &t.connectors {
         if c.condition.is_trivially_true() {
             let _ = writeln!(out, "  CONNECTOR {} -> {};", c.from, c.to);
         } else {
-            let _ = writeln!(out, "  CONNECTOR {} -> {} WHEN {};", c.from, c.to, c.condition);
+            let _ = writeln!(
+                out,
+                "  CONNECTOR {} -> {} WHEN {};",
+                c.from, c.to, c.condition
+            );
         }
     }
     for d in &t.dataflows {
@@ -211,10 +225,17 @@ mod tests {
     #[test]
     fn roundtrip_everything() {
         let t = ProcessBuilder::new("Full")
-            .whiteboard_default("meta", TypeTag::Map, Value::map_from([("k", Value::int_list([1, 2]))]))
+            .whiteboard_default(
+                "meta",
+                TypeTag::Map,
+                Value::map_from([("k", Value::int_list([1, 2]))]),
+            )
             .whiteboard_field("flag", TypeTag::Bool)
             .activity("A", "lib.a", |b| {
-                b.output("parts", TypeTag::List).on_os("linux").on_hosts(["h1"]).retries(1)
+                b.output("parts", TypeTag::List)
+                    .on_os("linux")
+                    .on_hosts(["h1"])
+                    .retries(1)
             })
             .subprocess("S", "SubTemplate", |b| b.input("q", TypeTag::Any))
             .parallel(
@@ -226,17 +247,24 @@ mod tests {
             )
             .block("G", ["A", "S"])
             .connect_when("A", "S", Expr::defined("A.parts"))
-            .connect_when("A", "Fan", crate::expr::Expr::Bin(
-                crate::expr::BinOp::Gt,
-                Box::new(Expr::Call("len".into(), vec![Expr::path("A.parts")])),
-                Box::new(Expr::Lit(Value::Int(0))),
-            ))
+            .connect_when(
+                "A",
+                "Fan",
+                crate::expr::Expr::Bin(
+                    crate::expr::BinOp::Gt,
+                    Box::new(Expr::Call("len".into(), vec![Expr::path("A.parts")])),
+                    Box::new(Expr::Lit(Value::Int(0))),
+                ),
+            )
             .connect("S", "Fan")
             .flow_to_task("A", "parts", "Fan", "parts")
             .on_failure("A", FailurePolicy::Alternative("S".into()))
             .on_failure("*", FailurePolicy::Abort)
             .on_event("pause", EventAction::Suspend)
-            .on_event("retune", EventAction::SetData("flag".into(), Expr::Lit(Value::Bool(true))))
+            .on_event(
+                "retune",
+                EventAction::SetData("flag".into(), Expr::Lit(Value::Bool(true))),
+            )
             .sphere("Sp", ["A"], [("A", "undo.a")])
             .build()
             .unwrap();

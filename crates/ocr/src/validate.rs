@@ -29,7 +29,11 @@ pub enum ValidationError {
     /// whose source actually ran.)
     ConflictingWrites { destination: String },
     /// Type tags of a dataflow's endpoints cannot match.
-    TypeConflict { flow: String, from: &'static str, to: &'static str },
+    TypeConflict {
+        flow: String,
+        from: &'static str,
+        to: &'static str,
+    },
     /// A parallel task's `over`/`collect` fields are not declared.
     BadParallel { task: String, detail: String },
     /// The process has no tasks.
@@ -44,7 +48,10 @@ impl fmt::Display for ValidationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ValidationError::DuplicateName(n) => write!(f, "duplicate name `{n}`"),
-            ValidationError::UnknownTask { referenced_in, task } => {
+            ValidationError::UnknownTask {
+                referenced_in,
+                task,
+            } => {
                 write!(f, "{referenced_in} references unknown task `{task}`")
             }
             ValidationError::UnknownField { reference } => {
@@ -62,7 +69,9 @@ impl fmt::Display for ValidationError {
                 write!(f, "parallel task `{task}`: {detail}")
             }
             ValidationError::EmptyProcess => write!(f, "process has no tasks"),
-            ValidationError::BadSphere { sphere, detail } => write!(f, "sphere `{sphere}`: {detail}"),
+            ValidationError::BadSphere { sphere, detail } => {
+                write!(f, "sphere `{sphere}`: {detail}")
+            }
             ValidationError::BadHandler { task, detail } => {
                 write!(f, "failure handler for `{task}`: {detail}")
             }
@@ -96,7 +105,10 @@ fn check_unique_names(t: &ProcessTemplate) -> Result<(), ValidationError> {
     let mut wb = HashSet::new();
     for fieldd in &t.whiteboard {
         if !wb.insert(fieldd.name.as_str()) {
-            return Err(ValidationError::DuplicateName(format!("WHITEBOARD.{}", fieldd.name)));
+            return Err(ValidationError::DuplicateName(format!(
+                "WHITEBOARD.{}",
+                fieldd.name
+            )));
         }
     }
     let mut groups = HashSet::new();
@@ -125,7 +137,10 @@ fn check_references(t: &ProcessTemplate) -> Result<(), ValidationError> {
     };
     for c in &t.connectors {
         if !names.contains(c.from.as_str()) {
-            return Err(unknown(format!("connector {} -> {}", c.from, c.to), &c.from));
+            return Err(unknown(
+                format!("connector {} -> {}", c.from, c.to),
+                &c.from,
+            ));
         }
         if !names.contains(c.to.as_str()) {
             return Err(unknown(format!("connector {} -> {}", c.from, c.to), &c.to));
@@ -157,29 +172,37 @@ fn field_type<'a>(fields: &'a [FieldDecl], name: &str) -> Option<&'a FieldDecl> 
     fields.iter().find(|f| f.name == name)
 }
 
-fn resolve_ref<'a>(
-    t: &'a ProcessTemplate,
+fn resolve_ref(
+    t: &ProcessTemplate,
     r: &DataRef,
     as_source: bool,
 ) -> Result<TypeTag, ValidationError> {
     match r {
-        DataRef::Whiteboard(field) => field_type(&t.whiteboard, field)
-            .map(|f| f.ty)
-            .ok_or_else(|| ValidationError::UnknownField { reference: format!("WHITEBOARD.{field}") }),
+        DataRef::Whiteboard(field) => {
+            field_type(&t.whiteboard, field)
+                .map(|f| f.ty)
+                .ok_or_else(|| ValidationError::UnknownField {
+                    reference: format!("WHITEBOARD.{field}"),
+                })
+        }
         DataRef::TaskField(task, field) => {
-            let task_decl = t
-                .task(task)
-                .ok_or_else(|| ValidationError::UnknownTask {
-                    referenced_in: "dataflow".into(),
-                    task: task.clone(),
-                })?;
-            let fields = if as_source { &task_decl.outputs } else { &task_decl.inputs };
-            field_type(fields, field).map(|f| f.ty).ok_or_else(|| ValidationError::UnknownField {
-                reference: format!(
-                    "{task}.{field} ({} structure)",
-                    if as_source { "output" } else { "input" }
-                ),
-            })
+            let task_decl = t.task(task).ok_or_else(|| ValidationError::UnknownTask {
+                referenced_in: "dataflow".into(),
+                task: task.clone(),
+            })?;
+            let fields = if as_source {
+                &task_decl.outputs
+            } else {
+                &task_decl.inputs
+            };
+            field_type(fields, field)
+                .map(|f| f.ty)
+                .ok_or_else(|| ValidationError::UnknownField {
+                    reference: format!(
+                        "{task}.{field} ({} structure)",
+                        if as_source { "output" } else { "input" }
+                    ),
+                })
         }
     }
 }
@@ -205,7 +228,9 @@ fn check_dataflows(t: &ProcessTemplate) -> Result<(), ValidationError> {
         }
         let signature = format!("{} -> {}", d.from, d.to);
         if !seen.insert(signature) {
-            return Err(ValidationError::ConflictingWrites { destination: d.to.to_string() });
+            return Err(ValidationError::ConflictingWrites {
+                destination: d.to.to_string(),
+            });
         }
     }
     Ok(())
@@ -213,7 +238,12 @@ fn check_dataflows(t: &ProcessTemplate) -> Result<(), ValidationError> {
 
 fn check_parallel_tasks(t: &ProcessTemplate) -> Result<(), ValidationError> {
     for task in &t.tasks {
-        if let TaskKind::Parallel { over, collect, body } = &task.kind {
+        if let TaskKind::Parallel {
+            over,
+            collect,
+            body,
+        } = &task.kind
+        {
             if field_type(&task.inputs, over).is_none() {
                 return Err(ValidationError::BadParallel {
                     task: task.name.clone(),
@@ -250,8 +280,12 @@ fn check_dag_and_reachability(t: &ProcessTemplate) -> Result<(), ValidationError
         adj[f].push(to);
         indegree[to] += 1;
     }
-    let mut queue: VecDeque<usize> =
-        indegree.iter().enumerate().filter(|(_, d)| **d == 0).map(|(i, _)| i).collect();
+    let mut queue: VecDeque<usize> = indegree
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| **d == 0)
+        .map(|(i, _)| i)
+        .collect();
     let mut visited = 0usize;
     let mut reach = vec![false; names.len()];
     for &i in &queue {
@@ -299,21 +333,17 @@ fn check_spheres_and_handlers(t: &ProcessTemplate) -> Result<(), ValidationError
     let names = task_names(t);
     for h in &t.on_failure {
         match &h.policy {
-            FailurePolicy::Alternative(alt) => {
-                if !names.contains(alt.as_str()) {
-                    return Err(ValidationError::BadHandler {
-                        task: h.task.clone(),
-                        detail: format!("alternative task `{alt}` does not exist"),
-                    });
-                }
+            FailurePolicy::Alternative(alt) if !names.contains(alt.as_str()) => {
+                return Err(ValidationError::BadHandler {
+                    task: h.task.clone(),
+                    detail: format!("alternative task `{alt}` does not exist"),
+                });
             }
-            FailurePolicy::CompensateSphere(sp) => {
-                if !t.spheres.iter().any(|s| &s.name == sp) {
-                    return Err(ValidationError::BadHandler {
-                        task: h.task.clone(),
-                        detail: format!("sphere `{sp}` does not exist"),
-                    });
-                }
+            FailurePolicy::CompensateSphere(sp) if !t.spheres.iter().any(|s| &s.name == sp) => {
+                return Err(ValidationError::BadHandler {
+                    task: h.task.clone(),
+                    detail: format!("sphere `{sp}` does not exist"),
+                });
             }
             _ => {}
         }
@@ -341,7 +371,10 @@ mod tests {
 
     #[test]
     fn empty_process_rejected() {
-        assert_eq!(ProcessBuilder::new("P").build().unwrap_err(), ValidationError::EmptyProcess);
+        assert_eq!(
+            ProcessBuilder::new("P").build().unwrap_err(),
+            ValidationError::EmptyProcess
+        );
     }
 
     #[test]
@@ -393,7 +426,10 @@ mod tests {
 
     #[test]
     fn dataflow_unknown_field_rejected() {
-        let err = linear().flow_to_task("A", "nope", "B", "x").build().unwrap_err();
+        let err = linear()
+            .flow_to_task("A", "nope", "B", "x")
+            .build()
+            .unwrap_err();
         assert!(matches!(err, ValidationError::UnknownField { .. }));
     }
 
@@ -478,13 +514,19 @@ mod tests {
         // The shape of the all-vs-all head: optional queue file.
         ProcessBuilder::new("Head")
             .activity("UserInput", "ui", |t| {
-                t.output("queue_file", TypeTag::List).output("db_name", TypeTag::Str)
+                t.output("queue_file", TypeTag::List)
+                    .output("db_name", TypeTag::Str)
             })
             .activity("QueueGen", "qg", |t| {
-                t.input("db_name", TypeTag::Str).output("queue_file", TypeTag::List)
+                t.input("db_name", TypeTag::Str)
+                    .output("queue_file", TypeTag::List)
             })
             .activity("Prep", "prep", |t| t.input("queue_file", TypeTag::List))
-            .connect_when("UserInput", "QueueGen", Expr::undefined("UserInput.queue_file"))
+            .connect_when(
+                "UserInput",
+                "QueueGen",
+                Expr::undefined("UserInput.queue_file"),
+            )
             .connect_when("UserInput", "Prep", Expr::defined("UserInput.queue_file"))
             .connect("QueueGen", "Prep")
             .flow_to_task("UserInput", "db_name", "QueueGen", "db_name")

@@ -244,10 +244,11 @@ mod tests {
 
     #[test]
     fn path_access() {
-        let v = Value::map_from([
-            ("task", Value::map_from([("state", Value::from("running"))])),
-        ]);
-        assert_eq!(v.get_path(&["task", "state"]), Some(&Value::from("running")));
+        let v = Value::map_from([("task", Value::map_from([("state", Value::from("running"))]))]);
+        assert_eq!(
+            v.get_path(&["task", "state"]),
+            Some(&Value::from("running"))
+        );
         assert_eq!(v.get_path(&["task", "missing"]), None);
         assert_eq!(v.get_path(&[]), Some(&v));
     }

@@ -78,11 +78,24 @@ fn guard_expr() -> impl Strategy<Value = Expr> {
 /// from earlier to later tasks (guaranteeing a DAG with task 0 as entry).
 fn template() -> impl Strategy<Value = ProcessTemplate> {
     let task_count = 2usize..6;
-    (ident(), task_count, guard_expr(), literal_value(), type_tag()).prop_flat_map(
-        |(name, n, guard, lit, tag)| {
+    (
+        ident(),
+        task_count,
+        guard_expr(),
+        literal_value(),
+        type_tag(),
+    )
+        .prop_flat_map(|(name, n, guard, lit, tag)| {
             let fields = prop::collection::vec((ident(), type_tag()), 0..3);
-            (Just(name), Just(n), Just(guard), Just(lit), Just(tag), fields).prop_map(
-                |(name, n, guard, lit, tag, fields)| {
+            (
+                Just(name),
+                Just(n),
+                Just(guard),
+                Just(lit),
+                Just(tag),
+                fields,
+            )
+                .prop_map(|(name, n, guard, lit, tag, fields)| {
                     let mut t = ProcessTemplate::empty(format!("P{name}"));
                     let mut wb_seen = std::collections::HashSet::new();
                     for (fname, fty) in fields {
@@ -122,10 +135,8 @@ fn template() -> impl Strategy<Value = ProcessTemplate> {
                         });
                     }
                     t
-                },
-            )
-        },
-    )
+                })
+        })
 }
 
 proptest! {

@@ -188,7 +188,10 @@ impl Disk for MemDisk {
         // Atomic replace never tears: either the old or the new version
         // survives. We model the successful case; crash-before counts as the
         // whole write being lost, which the caller sees as the old version.
-        self.state.lock().files.insert(name.to_string(), data.to_vec());
+        self.state
+            .lock()
+            .files
+            .insert(name.to_string(), data.to_vec());
         Ok(())
     }
 
@@ -199,7 +202,11 @@ impl Disk for MemDisk {
             let budget = plan.crash_after_bytes.saturating_sub(st.appended);
             if (data.len() as u64) > budget {
                 // The crash fires during this append.
-                let kept = if plan.tear_final_write { budget as usize } else { 0 };
+                let kept = if plan.tear_final_write {
+                    budget as usize
+                } else {
+                    0
+                };
                 let file = st.files.entry(name.to_string()).or_default();
                 file.extend_from_slice(&data[..kept]);
                 st.appended += kept as u64;
@@ -209,7 +216,10 @@ impl Disk for MemDisk {
             }
         }
         st.appended += data.len() as u64;
-        st.files.entry(name.to_string()).or_default().extend_from_slice(data);
+        st.files
+            .entry(name.to_string())
+            .or_default()
+            .extend_from_slice(data);
         Ok(())
     }
 
@@ -256,7 +266,10 @@ mod tests {
     #[test]
     fn fault_plan_tears_final_write() {
         let disk = MemDisk::new();
-        disk.set_fault_plan(Some(FaultPlan { crash_after_bytes: 5, tear_final_write: true }));
+        disk.set_fault_plan(Some(FaultPlan {
+            crash_after_bytes: 5,
+            tear_final_write: true,
+        }));
         disk.append("wal", b"abc").unwrap();
         let err = disk.append("wal", b"defgh").unwrap_err();
         assert!(matches!(err, StoreError::SimulatedCrash));
@@ -271,7 +284,10 @@ mod tests {
     #[test]
     fn fault_plan_drop_final_write() {
         let disk = MemDisk::new();
-        disk.set_fault_plan(Some(FaultPlan { crash_after_bytes: 4, tear_final_write: false }));
+        disk.set_fault_plan(Some(FaultPlan {
+            crash_after_bytes: 4,
+            tear_final_write: false,
+        }));
         disk.append("wal", b"abcd").unwrap();
         assert!(disk.append("wal", b"e").is_err());
         disk.reboot();

@@ -28,7 +28,12 @@ pub enum Space {
 
 impl Space {
     /// All spaces, in stable order.
-    pub const ALL: [Space; 4] = [Space::Template, Space::Instance, Space::Configuration, Space::History];
+    pub const ALL: [Space; 4] = [
+        Space::Template,
+        Space::Instance,
+        Space::Configuration,
+        Space::History,
+    ];
 
     pub(crate) fn as_u8(self) -> u8 {
         match self {
@@ -75,14 +80,26 @@ impl Batch {
     }
 
     /// Queue an insert/replace.
-    pub fn put(&mut self, space: Space, key: impl Into<String>, value: impl Into<Bytes>) -> &mut Self {
-        self.ops.push(WalOp::Put { space: space.as_u8(), key: key.into(), value: value.into() });
+    pub fn put(
+        &mut self,
+        space: Space,
+        key: impl Into<String>,
+        value: impl Into<Bytes>,
+    ) -> &mut Self {
+        self.ops.push(WalOp::Put {
+            space: space.as_u8(),
+            key: key.into(),
+            value: value.into(),
+        });
         self
     }
 
     /// Queue a delete.
     pub fn delete(&mut self, space: Space, key: impl Into<String>) -> &mut Self {
-        self.ops.push(WalOp::Delete { space: space.as_u8(), key: key.into() });
+        self.ops.push(WalOp::Delete {
+            space: space.as_u8(),
+            key: key.into(),
+        });
         self
     }
 
@@ -130,7 +147,9 @@ pub struct Store<D: Disk> {
 
 impl<D: Disk> Clone for Store<D> {
     fn clone(&self) -> Self {
-        Store { inner: Arc::clone(&self.inner) }
+        Store {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -222,7 +241,12 @@ impl<D: Disk> Store<D> {
     }
 
     /// Convenience single-record put.
-    pub fn put(&self, space: Space, key: impl Into<String>, value: impl Into<Bytes>) -> StoreResult<()> {
+    pub fn put(
+        &self,
+        space: Space,
+        key: impl Into<String>,
+        value: impl Into<Bytes>,
+    ) -> StoreResult<()> {
         let mut b = Batch::new();
         b.put(space, key, value);
         self.apply(b)
@@ -283,7 +307,11 @@ impl<D: Disk> Store<D> {
         let ops: Vec<WalOp> = inner
             .mem
             .iter()
-            .map(|((s, k), v)| WalOp::Put { space: *s, key: k.clone(), value: v.clone() })
+            .map(|((s, k), v)| WalOp::Put {
+                space: *s,
+                key: k.clone(),
+                value: v.clone(),
+            })
             .collect();
         // One frame per 1024 records keeps individual frames reasonable.
         let mut snap = Vec::new();
@@ -295,7 +323,9 @@ impl<D: Disk> Store<D> {
             snap.extend_from_slice(&wal::encode_frame(&[]));
         }
         inner.disk.write_atomic(&snapshot_name(next), &snap)?;
-        inner.disk.write_atomic(MANIFEST, next.to_string().as_bytes())?;
+        inner
+            .disk
+            .write_atomic(MANIFEST, next.to_string().as_bytes())?;
         let old_wal = wal_name(inner.epoch);
         let old_snap = snapshot_name(inner.epoch);
         inner.disk.delete(&old_wal)?;
@@ -358,7 +388,10 @@ mod tests {
     fn put_get_delete_roundtrip() {
         let (_d, store) = open_mem();
         store.put(Space::Instance, "p1", &b"alpha"[..]).unwrap();
-        assert_eq!(store.get(Space::Instance, "p1").unwrap().unwrap(), &b"alpha"[..]);
+        assert_eq!(
+            store.get(Space::Instance, "p1").unwrap().unwrap(),
+            &b"alpha"[..]
+        );
         // Spaces are disjoint namespaces.
         assert_eq!(store.get(Space::Template, "p1").unwrap(), None);
         store.delete(Space::Instance, "p1").unwrap();
@@ -369,7 +402,9 @@ mod tests {
     fn scan_prefix_is_ordered_and_scoped() {
         let (_d, store) = open_mem();
         for k in ["inst/2/b", "inst/1/a", "inst/1/b", "inst/10/c", "other"] {
-            store.put(Space::Instance, k, Bytes::from(k.to_string())).unwrap();
+            store
+                .put(Space::Instance, k, Bytes::from(k.to_string()))
+                .unwrap();
         }
         let hits = store.scan_prefix(Space::Instance, "inst/1").unwrap();
         let keys: Vec<_> = hits.iter().map(|(k, _)| k.as_str()).collect();
@@ -383,7 +418,10 @@ mod tests {
         store.put(Space::History, "h", &b"H"[..]).unwrap();
         drop(store);
         let store2 = Store::open(disk).unwrap();
-        assert_eq!(store2.get(Space::Template, "t").unwrap().unwrap(), &b"T"[..]);
+        assert_eq!(
+            store2.get(Space::Template, "t").unwrap().unwrap(),
+            &b"T"[..]
+        );
         assert_eq!(store2.get(Space::History, "h").unwrap().unwrap(), &b"H"[..]);
         assert_eq!(store2.stats().batches_applied, 2);
     }
@@ -391,15 +429,28 @@ mod tests {
     #[test]
     fn batch_is_atomic_across_crash() {
         let (disk, store) = open_mem();
-        store.put(Space::Instance, "committed", &b"yes"[..]).unwrap();
+        store
+            .put(Space::Instance, "committed", &b"yes"[..])
+            .unwrap();
         // Crash 10 bytes into the next append, leaving a torn frame.
         // (set_fault_plan restarts the byte accounting at zero.)
-        disk.set_fault_plan(Some(FaultPlan { crash_after_bytes: 10, tear_final_write: true }));
+        disk.set_fault_plan(Some(FaultPlan {
+            crash_after_bytes: 10,
+            tear_final_write: true,
+        }));
         let mut batch = Batch::new();
-        batch.put(Space::Instance, "a", &b"1"[..]).put(Space::Instance, "b", &b"2"[..]);
-        assert!(matches!(store.apply(batch), Err(StoreError::SimulatedCrash)));
+        batch
+            .put(Space::Instance, "a", &b"1"[..])
+            .put(Space::Instance, "b", &b"2"[..]);
+        assert!(matches!(
+            store.apply(batch),
+            Err(StoreError::SimulatedCrash)
+        ));
         assert!(store.is_poisoned());
-        assert!(matches!(store.get(Space::Instance, "a"), Err(StoreError::Poisoned)));
+        assert!(matches!(
+            store.get(Space::Instance, "a"),
+            Err(StoreError::Poisoned)
+        ));
 
         disk.reboot();
         let recovered = Store::open(disk).unwrap();
@@ -407,14 +458,26 @@ mod tests {
         // Neither half of the batch is visible; the earlier record is.
         assert_eq!(recovered.get(Space::Instance, "a").unwrap(), None);
         assert_eq!(recovered.get(Space::Instance, "b").unwrap(), None);
-        assert_eq!(recovered.get(Space::Instance, "committed").unwrap().unwrap(), &b"yes"[..]);
+        assert_eq!(
+            recovered
+                .get(Space::Instance, "committed")
+                .unwrap()
+                .unwrap(),
+            &b"yes"[..]
+        );
     }
 
     #[test]
     fn compact_then_recover() {
         let (disk, store) = open_mem();
         for i in 0..100 {
-            store.put(Space::History, format!("ev/{i:04}"), Bytes::from(vec![i as u8])).unwrap();
+            store
+                .put(
+                    Space::History,
+                    format!("ev/{i:04}"),
+                    Bytes::from(vec![i as u8]),
+                )
+                .unwrap();
         }
         store.delete(Space::History, "ev/0000").unwrap();
         let pre = store.stats();
@@ -431,7 +494,10 @@ mod tests {
         let recovered = Store::open(disk).unwrap();
         assert_eq!(recovered.len(Space::History).unwrap(), 100);
         assert_eq!(recovered.get(Space::History, "ev/0000").unwrap(), None);
-        assert_eq!(recovered.get(Space::History, "ev/9999").unwrap().unwrap(), &b"new"[..]);
+        assert_eq!(
+            recovered.get(Space::History, "ev/9999").unwrap().unwrap(),
+            &b"new"[..]
+        );
     }
 
     #[test]
@@ -448,9 +514,15 @@ mod tests {
         let (disk, store) = open_mem();
         store.put(Space::Instance, "k", &b"v"[..]).unwrap();
         store.poison();
-        assert!(matches!(store.put(Space::Instance, "k2", &b"v"[..]), Err(StoreError::Poisoned)));
+        assert!(matches!(
+            store.put(Space::Instance, "k2", &b"v"[..]),
+            Err(StoreError::Poisoned)
+        ));
         let recovered = Store::open(disk).unwrap();
-        assert_eq!(recovered.get(Space::Instance, "k").unwrap().unwrap(), &b"v"[..]);
+        assert_eq!(
+            recovered.get(Space::Instance, "k").unwrap().unwrap(),
+            &b"v"[..]
+        );
         assert_eq!(recovered.get(Space::Instance, "k2").unwrap(), None);
     }
 
@@ -463,7 +535,13 @@ mod tests {
         store.put(Space::Configuration, "node", &b"v3"[..]).unwrap();
         drop(store);
         let recovered = Store::open(disk).unwrap();
-        assert_eq!(recovered.get(Space::Configuration, "node").unwrap().unwrap(), &b"v3"[..]);
+        assert_eq!(
+            recovered
+                .get(Space::Configuration, "node")
+                .unwrap()
+                .unwrap(),
+            &b"v3"[..]
+        );
     }
 
     #[test]
@@ -480,8 +558,14 @@ mod tests {
         {
             let disk = crate::disk::FileDisk::open(&dir).unwrap();
             let store = Store::open(disk).unwrap();
-            assert_eq!(store.get(Space::Template, "t").unwrap().unwrap(), &b"body"[..]);
-            assert_eq!(store.get(Space::Template, "u").unwrap().unwrap(), &b"more"[..]);
+            assert_eq!(
+                store.get(Space::Template, "t").unwrap().unwrap(),
+                &b"body"[..]
+            );
+            assert_eq!(
+                store.get(Space::Template, "u").unwrap().unwrap(),
+                &b"more"[..]
+            );
         }
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -22,7 +22,11 @@ pub struct TypedSpace<T> {
 impl<T: Serialize + DeserializeOwned> TypedSpace<T> {
     /// Create a typed view with a key prefix (e.g. `"task/"`) inside `space`.
     pub fn new(space: Space, prefix: impl Into<String>) -> Self {
-        TypedSpace { space, prefix: prefix.into(), _marker: PhantomData }
+        TypedSpace {
+            space,
+            prefix: prefix.into(),
+            _marker: PhantomData,
+        }
     }
 
     fn full_key(&self, key: &str) -> String {
@@ -35,7 +39,12 @@ impl<T: Serialize + DeserializeOwned> TypedSpace<T> {
     }
 
     /// Queue a put into an existing batch (for multi-record atomicity).
-    pub fn put_in<'b>(&self, batch: &'b mut Batch, key: &str, value: &T) -> StoreResult<&'b mut Batch> {
+    pub fn put_in<'b>(
+        &self,
+        batch: &'b mut Batch,
+        key: &str,
+        value: &T,
+    ) -> StoreResult<&'b mut Batch> {
         Ok(batch.put(self.space, self.full_key(key), serde_json::to_vec(value)?))
     }
 
@@ -86,8 +95,16 @@ mod tests {
     fn typed_roundtrip_and_scan() {
         let store = Store::open(MemDisk::new()).unwrap();
         let nodes: TypedSpace<NodeRecord> = TypedSpace::new(Space::Configuration, "node/");
-        let a = NodeRecord { host: "linneus1".into(), cpus: 2, mhz: 500 };
-        let b = NodeRecord { host: "ik-sun3".into(), cpus: 1, mhz: 360 };
+        let a = NodeRecord {
+            host: "linneus1".into(),
+            cpus: 2,
+            mhz: 500,
+        };
+        let b = NodeRecord {
+            host: "ik-sun3".into(),
+            cpus: 1,
+            mhz: 360,
+        };
         nodes.put(&store, "linneus1", &a).unwrap();
         nodes.put(&store, "ik-sun3", &b).unwrap();
         assert_eq!(nodes.get(&store, "linneus1").unwrap().unwrap(), a);
@@ -104,10 +121,26 @@ mod tests {
         let nodes: TypedSpace<NodeRecord> = TypedSpace::new(Space::Configuration, "node/");
         let mut batch = Batch::new();
         nodes
-            .put_in(&mut batch, "n1", &NodeRecord { host: "n1".into(), cpus: 1, mhz: 300 })
+            .put_in(
+                &mut batch,
+                "n1",
+                &NodeRecord {
+                    host: "n1".into(),
+                    cpus: 1,
+                    mhz: 300,
+                },
+            )
             .unwrap();
         nodes
-            .put_in(&mut batch, "n2", &NodeRecord { host: "n2".into(), cpus: 2, mhz: 600 })
+            .put_in(
+                &mut batch,
+                "n2",
+                &NodeRecord {
+                    host: "n2".into(),
+                    cpus: 2,
+                    mhz: 600,
+                },
+            )
             .unwrap();
         store.apply(batch).unwrap();
         assert_eq!(nodes.scan(&store).unwrap().len(), 2);

@@ -34,7 +34,11 @@ pub const MAX_PAYLOAD: u32 = 64 * 1024 * 1024;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WalOp {
     /// Insert or replace `key` in `space` with `value`.
-    Put { space: u8, key: String, value: Bytes },
+    Put {
+        space: u8,
+        key: String,
+        value: Bytes,
+    },
     /// Remove `key` from `space`.
     Delete { space: u8, key: String },
 }
@@ -90,8 +94,8 @@ fn decode_payload(mut payload: &[u8]) -> StoreResult<Vec<WalOp>> {
         if payload.remaining() < klen {
             return Err(corrupt("truncated key"));
         }
-        let key = String::from_utf8(payload[..klen].to_vec())
-            .map_err(|_| corrupt("key is not utf-8"))?;
+        let key =
+            String::from_utf8(payload[..klen].to_vec()).map_err(|_| corrupt("key is not utf-8"))?;
         payload.advance(klen);
         match tag {
             0 => {
@@ -163,11 +167,19 @@ pub fn replay(log: &[u8]) -> StoreResult<Replay> {
             }
             None => {
                 // Invalid frame: torn tail if this is the last region.
-                return Ok(Replay { batches, valid_len: off, torn_tail: true });
+                return Ok(Replay {
+                    batches,
+                    valid_len: off,
+                    torn_tail: true,
+                });
             }
         }
     }
-    Ok(Replay { batches, valid_len: off, torn_tail: false })
+    Ok(Replay {
+        batches,
+        valid_len: off,
+        torn_tail: false,
+    })
 }
 
 #[cfg(test)]
@@ -176,9 +188,20 @@ mod tests {
 
     fn sample_ops() -> Vec<WalOp> {
         vec![
-            WalOp::Put { space: 1, key: "inst/1/task/a".into(), value: Bytes::from_static(b"{\"state\":\"running\"}") },
-            WalOp::Delete { space: 3, key: "old".into() },
-            WalOp::Put { space: 0, key: "tmpl/allvsall".into(), value: Bytes::from_static(b"...") },
+            WalOp::Put {
+                space: 1,
+                key: "inst/1/task/a".into(),
+                value: Bytes::from_static(b"{\"state\":\"running\"}"),
+            },
+            WalOp::Delete {
+                space: 3,
+                key: "old".into(),
+            },
+            WalOp::Put {
+                space: 0,
+                key: "tmpl/allvsall".into(),
+                value: Bytes::from_static(b"..."),
+            },
         ]
     }
 
@@ -196,7 +219,11 @@ mod tests {
     fn roundtrip_many_frames() {
         let mut log = Vec::new();
         for i in 0..50 {
-            let ops = vec![WalOp::Put { space: (i % 4) as u8, key: format!("k{i}"), value: Bytes::from(vec![i as u8; i]) }];
+            let ops = vec![WalOp::Put {
+                space: (i % 4) as u8,
+                key: format!("k{i}"),
+                value: Bytes::from(vec![i as u8; i]),
+            }];
             log.extend_from_slice(&encode_frame(&ops));
         }
         let replay = replay(&log).unwrap();
@@ -215,7 +242,10 @@ mod tests {
     fn torn_tail_is_discarded_at_every_cut_point() {
         let mut log = encode_frame(&sample_ops());
         let first_len = log.len();
-        log.extend_from_slice(&encode_frame(&[WalOp::Delete { space: 2, key: "x".into() }]));
+        log.extend_from_slice(&encode_frame(&[WalOp::Delete {
+            space: 2,
+            key: "x".into(),
+        }]));
         for cut in first_len + 1..log.len() {
             let replay = replay(&log[..cut]).unwrap();
             assert_eq!(replay.batches.len(), 1, "cut at {cut}");

@@ -15,8 +15,15 @@ use std::collections::BTreeMap;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Put { space: u8, key: String, value: Vec<u8> },
-    Delete { space: u8, key: String },
+    Put {
+        space: u8,
+        key: String,
+        value: Vec<u8>,
+    },
+    Delete {
+        space: u8,
+        key: String,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
@@ -24,7 +31,11 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         .prop_map(|s| s.to_string());
     let space = 0u8..4;
     prop_oneof![
-        (space.clone(), key.clone(), prop::collection::vec(any::<u8>(), 0..32))
+        (
+            space.clone(),
+            key.clone(),
+            prop::collection::vec(any::<u8>(), 0..32)
+        )
             .prop_map(|(space, key, value)| Op::Put { space, key, value }),
         (space, key).prop_map(|(space, key)| Op::Delete { space, key }),
     ]

@@ -32,9 +32,9 @@
 //! of Figure 4.
 
 use bioopera_core::{ActivityLibrary, ProgramOutput};
-use bioopera_darwin::align::{align_score, AlignParams};
+use bioopera_darwin::align::{align_score_many, AlignParams, AlignScratch, ScoreOnly};
 use bioopera_darwin::pam::{PamFamily, FIXED_PAM};
-use bioopera_darwin::refine::refine_pam_distance;
+use bioopera_darwin::refine::refine_pam_distance_with;
 use bioopera_darwin::{CostModel, Match, MatchSet, SequenceDb};
 use bioopera_ocr::model::{ParallelBody, TypeTag};
 use bioopera_ocr::value::Value;
@@ -149,7 +149,13 @@ impl AllVsAllSetup {
         let template = top_template();
         let chunk_template = chunk_template();
         let library = build_library(&mode, &config);
-        AllVsAllSetup { template, chunk_template, library, mode, config }
+        AllVsAllSetup {
+            template,
+            chunk_template,
+            library,
+            mode,
+            config,
+        }
     }
 
     /// The initial whiteboard for `submit`.
@@ -181,7 +187,9 @@ pub fn top_template() -> ProcessTemplate {
                 .output("output_files", TypeTag::List)
         })
         .activity("QueueGeneration", "darwin.queue_gen", |t| {
-            t.input("db_name", TypeTag::Str).output("queue_file", TypeTag::List).retries(2)
+            t.input("db_name", TypeTag::Str)
+                .output("queue_file", TypeTag::List)
+                .retries(2)
         })
         .activity("Preprocessing", "darwin.partition", |t| {
             t.input("queue_file", TypeTag::List)
@@ -203,11 +211,21 @@ pub fn top_template() -> ProcessTemplate {
                 .retries(2)
         })
         .activity("MergeByPam", "darwin.merge_pam", |t| {
-            t.input("results", TypeTag::List).output("pam_buckets", TypeTag::List).retries(2)
+            t.input("results", TypeTag::List)
+                .output("pam_buckets", TypeTag::List)
+                .retries(2)
         })
         .block("Head", ["UserInput", "QueueGeneration", "Preprocessing"])
-        .connect_when("UserInput", "QueueGeneration", Expr::undefined("UserInput.queue_file"))
-        .connect_when("UserInput", "Preprocessing", Expr::defined("UserInput.queue_file"))
+        .connect_when(
+            "UserInput",
+            "QueueGeneration",
+            Expr::undefined("UserInput.queue_file"),
+        )
+        .connect_when(
+            "UserInput",
+            "Preprocessing",
+            Expr::defined("UserInput.queue_file"),
+        )
         .connect("QueueGeneration", "Preprocessing")
         .connect("Preprocessing", "Alignment")
         .connect("Alignment", "MergeByEntry")
@@ -217,7 +235,12 @@ pub fn top_template() -> ProcessTemplate {
         .flow_to_whiteboard("UserInput", "db_name", "db_name")
         .flow_to_task("UserInput", "db_name", "QueueGeneration", "db_name")
         .flow_to_task("UserInput", "queue_file", "Preprocessing", "queue_file")
-        .flow_to_task("QueueGeneration", "queue_file", "Preprocessing", "queue_file")
+        .flow_to_task(
+            "QueueGeneration",
+            "queue_file",
+            "Preprocessing",
+            "queue_file",
+        )
         .flow_from_whiteboard("teus", "Preprocessing", "teus")
         .flow_to_task("Preprocessing", "partition", "Alignment", "partition")
         .flow_to_task("Alignment", "results", "MergeByEntry", "results")
@@ -253,7 +276,12 @@ pub fn chunk_template() -> ProcessTemplate {
         .connect("FixedPamAlignment", "PamRefinement")
         .flow_from_whiteboard("item", "FixedPamAlignment", "item")
         .flow_to_task("FixedPamAlignment", "matches", "PamRefinement", "matches")
-        .flow_to_task("FixedPamAlignment", "synthetic_count", "PamRefinement", "synthetic_count")
+        .flow_to_task(
+            "FixedPamAlignment",
+            "synthetic_count",
+            "PamRefinement",
+            "synthetic_count",
+        )
         .flow_to_whiteboard("PamRefinement", "refined", "refined")
         .flow_to_whiteboard("PamRefinement", "match_count", "match_count")
         .build()
@@ -270,7 +298,11 @@ fn chunk_value(id: usize, entries: &[i64]) -> Value {
 fn chunk_entries(item: &Value) -> Result<Vec<u32>, String> {
     item.get_path(&["entries"])
         .and_then(|v| v.as_list())
-        .map(|l| l.iter().filter_map(|x| x.as_int().map(|i| i as u32)).collect())
+        .map(|l| {
+            l.iter()
+                .filter_map(|x| x.as_int().map(|i| i as u32))
+                .collect()
+        })
         .ok_or_else(|| "chunk item has no entries".to_string())
 }
 
@@ -283,7 +315,10 @@ pub fn build_library(mode: &AllVsAllMode, config: &AllVsAllConfig) -> ActivityLi
 
     // ---- User Input: echo the dataset and the optional queue file.
     lib.register("ui.collect", move |inputs| {
-        let db = inputs.get("db_name").cloned().unwrap_or(Value::from("sp38"));
+        let db = inputs
+            .get("db_name")
+            .cloned()
+            .unwrap_or(Value::from("sp38"));
         let queue = inputs.get("user_queue").cloned().unwrap_or(Value::Null);
         let mut out = BTreeMap::new();
         out.insert("db_name".to_string(), db);
@@ -292,7 +327,10 @@ pub fn build_library(mode: &AllVsAllMode, config: &AllVsAllConfig) -> ActivityLi
             "output_files".to_string(),
             Value::from(vec!["master_file", "pam_sorted_alignment_file"]),
         );
-        Ok(ProgramOutput { outputs: out, cost_ref_ms: 100.0 })
+        Ok(ProgramOutput {
+            outputs: out,
+            cost_ref_ms: 100.0,
+        })
     });
 
     // ---- Queue Generation: the complete entry list [0, N).
@@ -310,7 +348,11 @@ pub fn build_library(mode: &AllVsAllMode, config: &AllVsAllConfig) -> ActivityLi
             .and_then(|v| v.as_list())
             .map(|l| l.iter().filter_map(|x| x.as_int()).collect())
             .ok_or_else(|| "partition needs a queue_file".to_string())?;
-        let teus = inputs.get("teus").and_then(|v| v.as_int()).unwrap_or(25).max(1) as usize;
+        let teus = inputs
+            .get("teus")
+            .and_then(|v| v.as_int())
+            .unwrap_or(25)
+            .max(1) as usize;
         let teus = teus.min(queue.len().max(1));
         let base = queue.len() / teus;
         let extra = queue.len() % teus;
@@ -334,10 +376,11 @@ pub fn build_library(mode: &AllVsAllMode, config: &AllVsAllConfig) -> ActivityLi
             let pam_fixed = Arc::clone(pam);
             lib.register("darwin.align_fixed", move |inputs| {
                 let entries = chunk_entries(
-                    inputs.get("item").ok_or_else(|| "missing item".to_string())?,
+                    inputs
+                        .get("item")
+                        .ok_or_else(|| "missing item".to_string())?,
                 )?;
-                let (matches, cells) =
-                    fixed_pass(&db_fixed, &pam_fixed, &entries, threshold);
+                let (matches, cells) = fixed_pass(&db_fixed, &pam_fixed, &entries, threshold);
                 let out_matches: Vec<Value> = matches
                     .iter()
                     .map(|m| {
@@ -363,15 +406,25 @@ pub fn build_library(mode: &AllVsAllMode, config: &AllVsAllConfig) -> ActivityLi
                 let mut refined = Vec::with_capacity(matches.len());
                 let mut cells = 0u64;
                 let params = AlignParams::default();
+                let mut scratch = AlignScratch::new();
                 for m in matches {
                     let q = m.get_path(&["q"]).and_then(|v| v.as_int()).unwrap_or(0) as u32;
                     let s = m.get_path(&["s"]).and_then(|v| v.as_int()).unwrap_or(0) as u32;
-                    let r = refine_pam_distance(db_ref.get(q), db_ref.get(s), &pam_ref, &params);
+                    let r = refine_pam_distance_with(
+                        db_ref.get(q),
+                        db_ref.get(s),
+                        &pam_ref,
+                        &params,
+                        &mut scratch,
+                    );
                     cells += r.cells;
                     refined.push(Value::map_from([
                         ("q", Value::Int(q as i64)),
                         ("s", Value::Int(s as i64)),
-                        ("score", m.get_path(&["score"]).cloned().unwrap_or(Value::Null)),
+                        (
+                            "score",
+                            m.get_path(&["score"]).cloned().unwrap_or(Value::Null),
+                        ),
                         ("rscore", Value::Float(r.score as f64)),
                         ("pam", Value::Int(r.pam_distance as i64)),
                     ]));
@@ -386,14 +439,21 @@ pub fn build_library(mode: &AllVsAllMode, config: &AllVsAllConfig) -> ActivityLi
                 ))
             });
         }
-        AllVsAllMode::Synthetic { n, lengths, suffix, match_rate } => {
+        AllVsAllMode::Synthetic {
+            n,
+            lengths,
+            suffix,
+            match_rate,
+        } => {
             let n = *n;
             let match_rate = *match_rate;
             let lengths_fixed = Arc::clone(lengths);
             let suffix_fixed = Arc::clone(suffix);
             lib.register("darwin.align_fixed", move |inputs| {
                 let entries = chunk_entries(
-                    inputs.get("item").ok_or_else(|| "missing item".to_string())?,
+                    inputs
+                        .get("item")
+                        .ok_or_else(|| "missing item".to_string())?,
                 )?;
                 let mut cells = 0.0f64;
                 let mut pairs = 0.0f64;
@@ -446,10 +506,14 @@ pub fn build_library(mode: &AllVsAllMode, config: &AllVsAllConfig) -> ActivityLi
                 for m in list {
                     let q = m.get_path(&["q"]).and_then(|v| v.as_int()).unwrap_or(0) as u32;
                     let s = m.get_path(&["s"]).and_then(|v| v.as_int()).unwrap_or(0) as u32;
-                    let score =
-                        m.get_path(&["score"]).and_then(|v| v.as_float()).unwrap_or(0.0) as f32;
-                    let rscore =
-                        m.get_path(&["rscore"]).and_then(|v| v.as_float()).unwrap_or(0.0) as f32;
+                    let score = m
+                        .get_path(&["score"])
+                        .and_then(|v| v.as_float())
+                        .unwrap_or(0.0) as f32;
+                    let rscore = m
+                        .get_path(&["rscore"])
+                        .and_then(|v| v.as_float())
+                        .unwrap_or(0.0) as f32;
                     let pam = m.get_path(&["pam"]).and_then(|v| v.as_int()).unwrap_or(0) as u32;
                     set.matches.push(Match {
                         query: q,
@@ -460,7 +524,10 @@ pub fn build_library(mode: &AllVsAllMode, config: &AllVsAllConfig) -> ActivityLi
                     });
                 }
             }
-            synthetic_total += r.get_path(&["match_count"]).and_then(|v| v.as_int()).unwrap_or(0);
+            synthetic_total += r
+                .get_path(&["match_count"])
+                .and_then(|v| v.as_int())
+                .unwrap_or(0);
         }
         set.sort_by_entry();
         let (count, digest) = if set.is_empty() {
@@ -469,7 +536,10 @@ pub fn build_library(mode: &AllVsAllMode, config: &AllVsAllConfig) -> ActivityLi
             (set.len() as i64, format!("{:016x}", set.digest()))
         };
         Ok(ProgramOutput::from_fields(
-            [("match_count", Value::Int(count)), ("digest", Value::from(digest))],
+            [
+                ("match_count", Value::Int(count)),
+                ("digest", Value::from(digest)),
+            ],
             2_000.0 + count as f64 * 0.005,
         ))
     });
@@ -495,7 +565,10 @@ pub fn build_library(mode: &AllVsAllMode, config: &AllVsAllConfig) -> ActivityLi
                 Value::map_from([("pam", Value::Int(pam)), ("count", Value::Int(count))])
             })
             .collect();
-        Ok(ProgramOutput::from_fields([("pam_buckets", Value::List(out))], 2_000.0))
+        Ok(ProgramOutput::from_fields(
+            [("pam_buckets", Value::List(out))],
+            2_000.0,
+        ))
     });
 
     lib
@@ -510,39 +583,88 @@ fn fixed_pass(
     entries: &[u32],
     threshold: f32,
 ) -> (Vec<Match>, u64) {
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
+    fixed_pass_with_workers(db, pam, entries, threshold, workers)
+}
+
+/// [`fixed_pass`] with an explicit worker count, exposed so tests can
+/// assert the result is worker-count-invariant.
+///
+/// Entries are handed out one at a time through an atomic counter
+/// (work-stealing), so a worker that draws a short entry immediately
+/// grabs the next one instead of idling behind a pre-assigned chunk —
+/// entry `e` aligns against all `f > e`, so contiguous chunking leaves
+/// the last worker with far fewer cells than the first.  Each worker
+/// holds one [`AlignScratch`]: per entry, one query profile build
+/// amortized over the whole `f > e` batch, zero per-pair allocation.
+/// Results are keyed by queue position and merged in order, so the
+/// returned matches are byte-identical regardless of worker count or
+/// scheduling interleaving.
+pub fn fixed_pass_with_workers(
+    db: &SequenceDb,
+    pam: &PamFamily,
+    entries: &[u32],
+    threshold: f32,
+    workers: usize,
+) -> (Vec<Match>, u64) {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
     let params = AlignParams::default();
     let matrix = pam.nearest(FIXED_PAM);
     let n = db.len() as u32;
-    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
-    let chunk_size = entries.len().div_ceil(workers).max(1);
-    let pieces: Vec<&[u32]> = entries.chunks(chunk_size).collect();
-    let results: Vec<(Vec<Match>, u64)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = pieces
-            .into_iter()
-            .map(|piece| {
+    let workers = workers.clamp(1, entries.len().max(1));
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<(usize, Vec<Match>, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
                 scope.spawn(move || {
-                    let mut matches = Vec::new();
-                    let mut cells = 0u64;
-                    for &e in piece {
-                        let a = db.get(e);
-                        for f in (e + 1)..n {
-                            let b = db.get(f);
-                            let r = align_score(a, b, matrix, &params);
-                            cells += r.cells;
-                            if r.score >= threshold {
-                                matches.push(Match::unrefined(e, f, r.score));
+                    let mut scratch = AlignScratch::new();
+                    let mut scores: Vec<ScoreOnly> = Vec::new();
+                    let mut done: Vec<(usize, Vec<Match>, u64)> = Vec::new();
+                    loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= entries.len() {
+                            break;
+                        }
+                        let e = entries[k];
+                        let mut matches = Vec::new();
+                        let mut cells = 0u64;
+                        if e + 1 < n {
+                            align_score_many(
+                                db.get(e),
+                                ((e + 1)..n).map(|f| db.get(f)),
+                                matrix,
+                                &params,
+                                Some(threshold),
+                                &mut scratch,
+                                &mut scores,
+                            );
+                            for (off, r) in scores.iter().enumerate() {
+                                cells += r.cells;
+                                if r.score >= threshold {
+                                    matches.push(Match::unrefined(e, e + 1 + off as u32, r.score));
+                                }
                             }
                         }
+                        done.push((k, matches, cells));
                     }
-                    (matches, cells)
+                    done
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("alignment worker panicked")).collect()
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("alignment worker panicked"))
+            .collect()
     });
+    // Deterministic output: restore queue order before flattening.
+    results.sort_unstable_by_key(|(k, _, _)| *k);
     let mut matches = Vec::new();
     let mut cells = 0u64;
-    for (m, c) in results {
+    for (_, m, c) in results {
         matches.extend(m);
         cells += c;
     }
@@ -560,7 +682,12 @@ mod tests {
     fn tiny_db() -> (Arc<SequenceDb>, Arc<PamFamily>) {
         let pam = Arc::new(PamFamily::default());
         let db = Arc::new(SequenceDb::generate(
-            &DatasetConfig { size: 30, seed: 5, mean_len: 80, ..DatasetConfig::small(30, 5) },
+            &DatasetConfig {
+                size: 30,
+                seed: 5,
+                mean_len: 80,
+                ..DatasetConfig::small(30, 5)
+            },
             &pam,
         ));
         (db, pam)
@@ -569,13 +696,17 @@ mod tests {
     fn cluster() -> Cluster {
         Cluster::new(
             "t",
-            (0..4).map(|i| NodeSpec::new(format!("n{i}"), 1, 500, "linux")).collect(),
+            (0..4)
+                .map(|i| NodeSpec::new(format!("n{i}"), 1, 500, "linux"))
+                .collect(),
         )
     }
 
     fn run_setup(setup: &AllVsAllSetup) -> (Runtime<MemDisk>, u64) {
-        let mut cfg = RuntimeConfig::default();
-        cfg.heartbeat = SimTime::from_mins(10);
+        let cfg = RuntimeConfig {
+            heartbeat: SimTime::from_mins(10),
+            ..Default::default()
+        };
         let mut rt = Runtime::new(MemDisk::new(), cluster(), setup.library.clone(), cfg).unwrap();
         rt.register_template(&setup.chunk_template).unwrap();
         rt.register_template(&setup.template).unwrap();
@@ -601,7 +732,10 @@ mod tests {
         let setup = AllVsAllSetup::real(
             Arc::clone(&db),
             Arc::clone(&pam),
-            AllVsAllConfig { teus: 4, ..Default::default() },
+            AllVsAllConfig {
+                teus: 4,
+                ..Default::default()
+            },
         );
         let (rt, id) = run_setup(&setup);
         assert_eq!(
@@ -657,7 +791,10 @@ mod tests {
             let setup = AllVsAllSetup::real(
                 Arc::clone(&db),
                 Arc::clone(&pam),
-                AllVsAllConfig { teus, ..Default::default() },
+                AllVsAllConfig {
+                    teus,
+                    ..Default::default()
+                },
             );
             let (rt, id) = run_setup(&setup);
             rt.whiteboard(id).unwrap()["digest"].clone()
@@ -675,7 +812,10 @@ mod tests {
             75_458,
             370,
             38,
-            AllVsAllConfig { teus: 50, ..Default::default() },
+            AllVsAllConfig {
+                teus: 50,
+                ..Default::default()
+            },
         );
         let (rt, id) = run_setup(&setup);
         assert_eq!(
@@ -701,7 +841,10 @@ mod tests {
             10_000,
             370,
             7,
-            AllVsAllConfig { teus: 10, ..Default::default() },
+            AllVsAllConfig {
+                teus: 10,
+                ..Default::default()
+            },
         );
         // Call the partition + align_fixed programs directly.
         let lib = &setup.library;

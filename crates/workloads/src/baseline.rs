@@ -129,8 +129,11 @@ impl ScriptDriver {
                 let paused = resume_at.map(|t| kernel.now() < t).unwrap_or(false);
                 if !paused {
                     let mut dispatched = false;
-                    let names: Vec<String> =
-                        cluster.nodes().iter().map(|nd| nd.spec.name.clone()).collect();
+                    let names: Vec<String> = cluster
+                        .nodes()
+                        .iter()
+                        .map(|nd| nd.spec.name.clone())
+                        .collect();
                     'outer: for name in names {
                         loop {
                             let node = cluster.node(&name).unwrap();
@@ -143,10 +146,11 @@ impl ScriptDriver {
                             state[chunk] = ChunkState::Running;
                             let job = next_job;
                             next_job += 1;
-                            cluster
-                                .node_mut(&name)
-                                .unwrap()
-                                .start_job(kernel.now(), job, chunk_works[chunk]);
+                            cluster.node_mut(&name).unwrap().start_job(
+                                kernel.now(),
+                                job,
+                                chunk_works[chunk],
+                            );
                             job_chunk.insert(job, (chunk, name.clone()));
                             dispatched = true;
                         }
@@ -164,8 +168,9 @@ impl ScriptDriver {
                     wall: kernel.now(),
                     cpu_consumed: SimTime::from_millis(cpu_consumed_ms.round() as u64),
                     cpu_lost: SimTime::from_millis(
-                        (cpu_consumed_ms - useful).max(cpu_lost_ms.min(cpu_consumed_ms)).round()
-                            as u64,
+                        (cpu_consumed_ms - useful)
+                            .max(cpu_lost_ms.min(cpu_consumed_ms))
+                            .round() as u64,
                     ),
                     manual_interventions: interventions,
                 };
@@ -177,12 +182,10 @@ impl ScriptDriver {
                 let retry: Vec<usize> = state
                     .iter()
                     .enumerate()
-                    .filter(|(_, s)| {
-                        matches!(s, ChunkState::LostUnnoticed | ChunkState::Pending)
-                    })
+                    .filter(|(_, s)| matches!(s, ChunkState::LostUnnoticed | ChunkState::Pending))
                     .map(|(i, _)| i)
                     .collect();
-                if retry.is_empty() && state.iter().any(|s| *s == ChunkState::DoneUnsaved) {
+                if retry.is_empty() && state.contains(&ChunkState::DoneUnsaved) {
                     // Final manual save.
                     for s in state.iter_mut() {
                         if *s == ChunkState::DoneUnsaved {
@@ -324,8 +327,11 @@ impl ScriptDriver {
                             }
                         }
                         // Running jobs are orphaned.
-                        let names: Vec<String> =
-                            cluster.nodes().iter().map(|nd| nd.spec.name.clone()).collect();
+                        let names: Vec<String> = cluster
+                            .nodes()
+                            .iter()
+                            .map(|nd| nd.spec.name.clone())
+                            .collect();
                         for name in names {
                             let nd = cluster.node_mut(&name).unwrap();
                             let ids = nd.job_ids();
@@ -386,22 +392,27 @@ mod tests {
     fn cluster() -> Cluster {
         Cluster::new(
             "b",
-            (0..4).map(|i| NodeSpec::new(format!("n{i}"), 1, 500, "linux")).collect(),
+            (0..4)
+                .map(|i| NodeSpec::new(format!("n{i}"), 1, 500, "linux"))
+                .collect(),
         )
     }
 
     fn works(n: usize) -> Vec<f64> {
-        (0..n).map(|i| 3_600_000.0 + (i as f64) * 60_000.0).collect() // ~1 h each
+        (0..n)
+            .map(|i| 3_600_000.0 + (i as f64) * 60_000.0)
+            .collect() // ~1 h each
     }
 
     #[test]
     fn fault_free_run_completes_with_no_interventions_beyond_final_save() {
-        let out = ScriptDriver::new(BaselineConfig::default()).run(
-            cluster(),
-            &Trace::empty(),
-            &works(8),
+        let out =
+            ScriptDriver::new(BaselineConfig::default()).run(cluster(), &Trace::empty(), &works(8));
+        assert!(
+            out.manual_interventions <= 1,
+            "got {}",
+            out.manual_interventions
         );
-        assert!(out.manual_interventions <= 1, "got {}", out.manual_interventions);
         assert_eq!(out.cpu_lost, SimTime::ZERO);
         assert!(out.wall >= SimTime::from_hours(2));
     }
@@ -409,10 +420,12 @@ mod tests {
     #[test]
     fn node_crash_costs_an_intervention_and_lost_cpu() {
         let mut trace = Trace::empty();
-        trace.push(SimTime::from_mins(30), TraceEventKind::NodeDown("n0".into()));
+        trace.push(
+            SimTime::from_mins(30),
+            TraceEventKind::NodeDown("n0".into()),
+        );
         trace.push(SimTime::from_hours(20), TraceEventKind::NodeUp("n0".into()));
-        let out =
-            ScriptDriver::new(BaselineConfig::default()).run(cluster(), &trace, &works(8));
+        let out = ScriptDriver::new(BaselineConfig::default()).run(cluster(), &trace, &works(8));
         assert!(out.manual_interventions >= 1);
         // The killed job's partial CPU is wasted.
         assert!(out.cpu_consumed > SimTime::from_hours(8));
@@ -424,9 +437,11 @@ mod tests {
         // Crash after some chunks finished but before the daily checkpoint.
         trace.push(SimTime::from_hours(5), TraceEventKind::ServerCrash);
         trace.push(SimTime::from_hours(8), TraceEventKind::ServerRecover);
-        let out =
-            ScriptDriver::new(BaselineConfig::default()).run(cluster(), &trace, &works(8));
-        assert!(out.cpu_lost > SimTime::ZERO, "unsaved results must be re-run");
+        let out = ScriptDriver::new(BaselineConfig::default()).run(cluster(), &trace, &works(8));
+        assert!(
+            out.cpu_lost > SimTime::ZERO,
+            "unsaved results must be re-run"
+        );
         assert!(out.manual_interventions >= 1);
     }
 

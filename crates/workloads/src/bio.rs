@@ -83,7 +83,12 @@ pub fn find_orfs(dna: &[u8], min_codons: usize) -> Vec<Orf> {
                     j += 3;
                 }
                 if closed && protein.len() >= min_codons {
-                    orfs.push(Orf { start: i, end: j + 3, frame, protein });
+                    orfs.push(Orf {
+                        start: i,
+                        end: j + 3,
+                        frame,
+                        protein,
+                    });
                     i = j + 3;
                     continue;
                 }
@@ -142,11 +147,14 @@ pub struct PhyloTree {
 pub fn neighbor_joining(dist: &[Vec<f64>], labels: &[String]) -> PhyloTree {
     let n = dist.len();
     assert!(n >= 2, "need at least two taxa");
-    assert!(dist.iter().all(|row| row.len() == n), "matrix must be square");
+    assert!(
+        dist.iter().all(|row| row.len() == n),
+        "matrix must be square"
+    );
     let leaves = n;
     // Working copies; nodes are Newick fragments.
     let mut d: Vec<Vec<f64>> = dist.to_vec();
-    let mut nodes: Vec<String> = labels.iter().cloned().collect();
+    let mut nodes: Vec<String> = labels.to_vec();
     let mut active: Vec<usize> = (0..n).collect();
 
     while active.len() > 2 {
@@ -198,7 +206,13 @@ pub fn neighbor_joining(dist: &[Vec<f64>], labels: &[String]) -> PhyloTree {
         active.push(u);
     }
     let (i, j) = (active[0], active[1]);
-    let newick = format!("({}:{:.4},{}:{:.4});", nodes[i], d[i][j] / 2.0, nodes[j], d[i][j] / 2.0);
+    let newick = format!(
+        "({}:{:.4},{}:{:.4});",
+        nodes[i],
+        d[i][j] / 2.0,
+        nodes[j],
+        d[i][j] / 2.0
+    );
     PhyloTree { newick, leaves }
 }
 
@@ -209,14 +223,14 @@ pub fn neighbor_joining(dist: &[Vec<f64>], labels: &[String]) -> PhyloTree {
 /// Chou–Fasman helix propensities (P_alpha), indexed like the Darwin
 /// alphabet (`ARNDCQEGHILKMFPSTWYV`).
 pub const P_ALPHA: [f64; 20] = [
-    1.42, 0.98, 0.67, 1.01, 0.70, 1.11, 1.51, 0.57, 1.00, 1.08, 1.21, 1.16, 1.45, 1.13, 0.57,
-    0.77, 0.83, 1.08, 0.69, 1.06,
+    1.42, 0.98, 0.67, 1.01, 0.70, 1.11, 1.51, 0.57, 1.00, 1.08, 1.21, 1.16, 1.45, 1.13, 0.57, 0.77,
+    0.83, 1.08, 0.69, 1.06,
 ];
 
 /// Chou–Fasman sheet propensities (P_beta).
 pub const P_BETA: [f64; 20] = [
-    0.83, 0.93, 0.89, 0.54, 1.19, 1.10, 0.37, 0.75, 0.87, 1.60, 1.30, 0.74, 1.05, 1.38, 0.55,
-    0.75, 1.19, 1.37, 1.47, 1.70,
+    0.83, 0.93, 0.89, 0.54, 1.19, 1.10, 0.37, 0.75, 0.87, 1.60, 1.30, 0.74, 1.05, 1.38, 0.55, 0.75,
+    1.19, 1.37, 1.47, 1.70,
 ];
 
 /// Predict per-residue secondary structure: `H` (helix), `E` (strand) or
@@ -231,16 +245,19 @@ pub fn chou_fasman(seq: &Sequence) -> String {
         if lo >= hi {
             return 0.0;
         }
-        let s: f64 = seq.residues[lo..hi].iter().map(|&r| table[r as usize]).sum();
+        let s: f64 = seq.residues[lo..hi]
+            .iter()
+            .map(|&r| table[r as usize])
+            .sum();
         s / (hi - lo) as f64
     };
-    for i in 0..n {
+    for (i, slot) in out.iter_mut().enumerate() {
         let pa = window_mean(&P_ALPHA, i, 6);
         let pb = window_mean(&P_BETA, i, 5);
         if pa > 1.03 && pa >= pb {
-            out[i] = 'H';
+            *slot = 'H';
         } else if pb > 1.05 {
-            out[i] = 'E';
+            *slot = 'E';
         }
     }
     out.into_iter().collect()

@@ -21,5 +21,5 @@ pub mod baseline;
 pub mod bio;
 pub mod tower;
 
-pub use allvsall::{AllVsAllConfig, AllVsAllMode, AllVsAllSetup};
+pub use allvsall::{fixed_pass_with_workers, AllVsAllConfig, AllVsAllMode, AllVsAllSetup};
 pub use baseline::{BaselineOutcome, ScriptDriver};

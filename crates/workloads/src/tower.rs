@@ -48,7 +48,9 @@ pub fn tower_template() -> ProcessTemplate {
             |t| t.input("proteins", TypeTag::List).retries(2),
         )
         .activity("PhylogeneticTree", "tower.nj", |t| {
-            t.input("rows", TypeTag::List).output("tree", TypeTag::Str).retries(1)
+            t.input("rows", TypeTag::List)
+                .output("tree", TypeTag::Str)
+                .retries(1)
         })
         .activity("MultipleAlignment", "tower.msa", |t| {
             t.input("proteins", TypeTag::List)
@@ -88,8 +90,18 @@ pub fn tower_template() -> ProcessTemplate {
         .flow_to_task("PairwiseAlignments", "rows", "PhylogeneticTree", "rows")
         .flow_to_task("PhylogeneticTree", "tree", "FunctionSummary", "tree")
         .flow_to_whiteboard("PhylogeneticTree", "tree", "tree")
-        .flow_to_task("MultipleAlignment", "ancestor", "FunctionSummary", "ancestor")
-        .flow_to_task("StructurePrediction", "structures", "FunctionSummary", "structures")
+        .flow_to_task(
+            "MultipleAlignment",
+            "ancestor",
+            "FunctionSummary",
+            "ancestor",
+        )
+        .flow_to_task(
+            "StructurePrediction",
+            "structures",
+            "FunctionSummary",
+            "structures",
+        )
         .flow_to_whiteboard("FunctionSummary", "report", "report")
         .build()
         .expect("tower template is valid")
@@ -99,7 +111,11 @@ fn proteins_from(inputs: &BTreeMap<String, Value>) -> Result<Vec<String>, String
     inputs
         .get("proteins")
         .and_then(|v| v.as_list())
-        .map(|l| l.iter().filter_map(|p| p.as_str().map(str::to_string)).collect())
+        .map(|l| {
+            l.iter()
+                .filter_map(|p| p.as_str().map(str::to_string))
+                .collect()
+        })
         .ok_or_else(|| "missing proteins".to_string())
 }
 
@@ -113,7 +129,10 @@ pub fn tower_library(pam: Arc<PamFamily>, cost: CostModel) -> ActivityLibrary {
             .and_then(|v| v.as_str())
             .ok_or_else(|| "genefind needs dna".to_string())?;
         let dna = bio::parse_dna(dna_str).ok_or_else(|| "dna has non-ACGT letters".to_string())?;
-        let min = inputs.get("min_codons").and_then(|v| v.as_int()).unwrap_or(20) as usize;
+        let min = inputs
+            .get("min_codons")
+            .and_then(|v| v.as_int())
+            .unwrap_or(20) as usize;
         let orfs = bio::find_orfs(&dna, min);
         let genes: Vec<Value> = orfs
             .iter()
@@ -136,7 +155,9 @@ pub fn tower_library(pam: Arc<PamFamily>, cost: CostModel) -> ActivityLibrary {
         let mut proteins = Vec::new();
         let mut targets = Vec::new();
         for (i, g) in genes.iter().enumerate() {
-            let dna_str = g.as_str().ok_or_else(|| "gene is not a string".to_string())?;
+            let dna_str = g
+                .as_str()
+                .ok_or_else(|| "gene is not a string".to_string())?;
             let dna = bio::parse_dna(dna_str).ok_or_else(|| "bad gene".to_string())?;
             let mut protein = String::new();
             let mut j = 0usize;
@@ -151,7 +172,10 @@ pub fn tower_library(pam: Arc<PamFamily>, cost: CostModel) -> ActivityLibrary {
             targets.push(Value::map_from([("index", Value::Int(i as i64))]));
         }
         Ok(ProgramOutput::from_fields(
-            [("proteins", Value::List(proteins)), ("targets", Value::List(targets))],
+            [
+                ("proteins", Value::List(proteins)),
+                ("targets", Value::List(targets)),
+            ],
             200.0,
         ))
     });
@@ -163,7 +187,8 @@ pub fn tower_library(pam: Arc<PamFamily>, cost: CostModel) -> ActivityLibrary {
             .get("item")
             .and_then(|v| v.get_path(&["index"]))
             .and_then(|v| v.as_int())
-            .ok_or_else(|| "align_one needs an item index".to_string())? as usize;
+            .ok_or_else(|| "align_one needs an item index".to_string())?
+            as usize;
         let me = Sequence::from_str(index as u32, &proteins[index])
             .ok_or_else(|| "invalid protein".to_string())?;
         let params = AlignParams::default();
@@ -174,13 +199,17 @@ pub fn tower_library(pam: Arc<PamFamily>, cost: CostModel) -> ActivityLibrary {
                 row.push(Value::Float(0.0));
                 continue;
             }
-            let other = Sequence::from_str(j as u32, p).ok_or_else(|| "invalid protein".to_string())?;
+            let other =
+                Sequence::from_str(j as u32, p).ok_or_else(|| "invalid protein".to_string())?;
             let refined = refine_pam_distance(&me, &other, &pam_align, &params);
             cells += refined.cells;
             row.push(Value::Float(refined.pam_distance as f64));
         }
         Ok(ProgramOutput::from_fields(
-            [("index", Value::Int(index as i64)), ("row", Value::List(row))],
+            [
+                ("index", Value::Int(index as i64)),
+                ("row", Value::List(row)),
+            ],
             cost.cells_ms(cells) + cost.darwin_init_ms / 5.0,
         ))
     });
@@ -275,7 +304,10 @@ pub fn tower_library(pam: Arc<PamFamily>, cost: CostModel) -> ActivityLibrary {
             .collect();
         Ok(ProgramOutput::from_fields(
             [
-                ("msa", Value::List(aligned_rows.into_iter().map(Value::from).collect())),
+                (
+                    "msa",
+                    Value::List(aligned_rows.into_iter().map(Value::from).collect()),
+                ),
                 ("ancestor", Value::from(ancestor.replace('-', ""))),
             ],
             cost.cells_ms(cells) + 200.0,
@@ -288,7 +320,8 @@ pub fn tower_library(pam: Arc<PamFamily>, cost: CostModel) -> ActivityLibrary {
             .get("item")
             .and_then(|v| v.get_path(&["index"]))
             .and_then(|v| v.as_int())
-            .ok_or_else(|| "choufasman needs an item index".to_string())? as usize;
+            .ok_or_else(|| "choufasman needs an item index".to_string())?
+            as usize;
         let s = Sequence::from_str(index as u32, &proteins[index])
             .ok_or_else(|| "invalid protein".to_string())?;
         let prediction = bio::chou_fasman(&s);
@@ -306,8 +339,16 @@ pub fn tower_library(pam: Arc<PamFamily>, cost: CostModel) -> ActivityLibrary {
     });
 
     lib.register("tower.summary", move |inputs| {
-        let tree = inputs.get("tree").and_then(|v| v.as_str()).unwrap_or("").to_string();
-        let ancestor = inputs.get("ancestor").and_then(|v| v.as_str()).unwrap_or("").to_string();
+        let tree = inputs
+            .get("tree")
+            .and_then(|v| v.as_str())
+            .unwrap_or("")
+            .to_string();
+        let ancestor = inputs
+            .get("ancestor")
+            .and_then(|v| v.as_str())
+            .unwrap_or("")
+            .to_string();
         let structures = inputs
             .get("structures")
             .and_then(|v| v.as_list())
@@ -315,8 +356,14 @@ pub fn tower_library(pam: Arc<PamFamily>, cost: CostModel) -> ActivityLibrary {
         let mut helix_sum = 0.0;
         let mut sheet_sum = 0.0;
         for s in structures {
-            helix_sum += s.get_path(&["helix"]).and_then(|v| v.as_float()).unwrap_or(0.0);
-            sheet_sum += s.get_path(&["sheet"]).and_then(|v| v.as_float()).unwrap_or(0.0);
+            helix_sum += s
+                .get_path(&["helix"])
+                .and_then(|v| v.as_float())
+                .unwrap_or(0.0);
+            sheet_sum += s
+                .get_path(&["sheet"])
+                .and_then(|v| v.as_float())
+                .unwrap_or(0.0);
         }
         let n = structures.len().max(1) as f64;
         let (helix, sheet) = (helix_sum / n, sheet_sum / n);
@@ -354,7 +401,7 @@ pub fn make_input_dna(families: usize, members_per_family: usize, seed: u64) -> 
         use rand::Rng;
         for _ in 0..n {
             // Junk avoiding long ORFs: sprinkle stop-ish content (TA-rich).
-            out.push([3, 0, 3, 2][rng.gen_range(0..4)]);
+            out.push([3, 0, 3, 2][rng.gen_range(0..4usize)]);
         }
     };
     for f in 0..families {
@@ -382,11 +429,15 @@ mod tests {
     fn tower_runs_end_to_end() {
         let pam = Arc::new(PamFamily::default());
         let lib = tower_library(Arc::clone(&pam), CostModel::default());
-        let mut cfg = RuntimeConfig::default();
-        cfg.heartbeat = SimTime::from_mins(5);
+        let cfg = RuntimeConfig {
+            heartbeat: SimTime::from_mins(5),
+            ..Default::default()
+        };
         let cluster = Cluster::new(
             "t",
-            (0..3).map(|i| NodeSpec::new(format!("n{i}"), 2, 500, "linux")).collect(),
+            (0..3)
+                .map(|i| NodeSpec::new(format!("n{i}"), 2, 500, "linux"))
+                .collect(),
         );
         let mut rt = Runtime::new(MemDisk::new(), cluster, lib, cfg).unwrap();
         rt.register_template(&tower_template()).unwrap();
@@ -394,7 +445,10 @@ mod tests {
         init.insert("dna".to_string(), Value::from(make_input_dna(2, 3, 42)));
         let id = rt.submit("TowerOfInformation", init).unwrap();
         rt.run_to_completion().unwrap();
-        assert_eq!(rt.instance_status(id), Some(bioopera_core::InstanceStatus::Completed));
+        assert_eq!(
+            rt.instance_status(id),
+            Some(bioopera_core::InstanceStatus::Completed)
+        );
         let wb = rt.whiteboard(id).unwrap();
         let tree = wb["tree"].as_str().unwrap();
         assert!(tree.ends_with(';'), "tree: {tree}");
@@ -403,7 +457,10 @@ mod tests {
         // At least the 6 planted genes; ORF scanning may over-call a few
         // frame-shifted ORFs inside real genes, as real scanners do.
         assert!(report["n_structures"].as_int().unwrap() >= 6);
-        assert!(report["function"].as_str().unwrap().contains("alpha") || report["function"].as_str().unwrap().contains("beta"));
+        assert!(
+            report["function"].as_str().unwrap().contains("alpha")
+                || report["function"].as_str().unwrap().contains("beta")
+        );
     }
 
     #[test]

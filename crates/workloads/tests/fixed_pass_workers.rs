@@ -1,0 +1,86 @@
+//! The work-stealing fixed pass must be worker-count-invariant: same
+//! matches (order, scores, digest) and same cell count no matter how many
+//! threads pull from the atomic queue or how their draws interleave.
+
+use bioopera_darwin::dataset::DatasetConfig;
+use bioopera_darwin::{Match, MatchSet, PamFamily, SequenceDb};
+use bioopera_workloads::fixed_pass_with_workers;
+
+fn digest_of(matches: &[Match]) -> u64 {
+    let mut set = MatchSet::new();
+    set.matches.extend(matches.iter().copied());
+    set.sort_by_entry();
+    set.digest()
+}
+
+#[test]
+fn fixed_pass_matches_are_identical_across_worker_counts() {
+    let pam = PamFamily::default();
+    let db = SequenceDb::generate(
+        &DatasetConfig {
+            size: 24,
+            seed: 9,
+            mean_len: 60,
+            ..DatasetConfig::small(24, 9)
+        },
+        &pam,
+    );
+    let entries: Vec<u32> = (0..db.len() as u32).collect();
+    let threshold = 80.0;
+
+    let (base_matches, base_cells) = fixed_pass_with_workers(&db, &pam, &entries, threshold, 1);
+    assert!(!base_matches.is_empty(), "workload should produce matches");
+    let base_digest = digest_of(&base_matches);
+
+    for workers in [2usize, 3, 5, 13, 64] {
+        let (matches, cells) = fixed_pass_with_workers(&db, &pam, &entries, threshold, workers);
+        assert_eq!(cells, base_cells, "cells differ at {workers} workers");
+        assert_eq!(
+            matches.len(),
+            base_matches.len(),
+            "count differs at {workers} workers"
+        );
+        // Byte-level identity, not just digest: same order, same scores.
+        for (a, b) in base_matches.iter().zip(&matches) {
+            assert_eq!(a.query, b.query);
+            assert_eq!(a.subject, b.subject);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+        assert_eq!(digest_of(&matches), base_digest);
+    }
+}
+
+#[test]
+fn fixed_pass_handles_partial_and_empty_queues() {
+    let pam = PamFamily::default();
+    let db = SequenceDb::generate(
+        &DatasetConfig {
+            size: 12,
+            seed: 3,
+            mean_len: 50,
+            ..DatasetConfig::small(12, 3)
+        },
+        &pam,
+    );
+    // Empty queue: nothing to do at any worker count.
+    let (m, c) = fixed_pass_with_workers(&db, &pam, &[], 80.0, 4);
+    assert!(m.is_empty());
+    assert_eq!(c, 0);
+    // A partial, non-contiguous queue is still worker-count-invariant.
+    let entries = vec![7u32, 0, 11, 3];
+    let (m1, c1) = fixed_pass_with_workers(&db, &pam, &entries, 40.0, 1);
+    let (m4, c4) = fixed_pass_with_workers(&db, &pam, &entries, 40.0, 4);
+    assert_eq!(c1, c4);
+    assert_eq!(m1.len(), m4.len());
+    for (a, b) in m1.iter().zip(&m4) {
+        assert_eq!(
+            (a.query, a.subject, a.score.to_bits()),
+            (b.query, b.subject, b.score.to_bits())
+        );
+    }
+    // The last entry aligns against nothing ahead of it only when it is
+    // the database's final entry; entry 11 here contributes zero pairs.
+    let (m_last, c_last) = fixed_pass_with_workers(&db, &pam, &[11], 40.0, 2);
+    assert!(m_last.is_empty());
+    assert_eq!(c_last, 0);
+}

@@ -20,13 +20,17 @@ use std::sync::Arc;
 fn cluster() -> Cluster {
     Cluster::new(
         "mini-linneus",
-        (0..5).map(|i| NodeSpec::new(format!("n{i}"), 2, 500, "linux")).collect(),
+        (0..5)
+            .map(|i| NodeSpec::new(format!("n{i}"), 2, 500, "linux"))
+            .collect(),
     )
 }
 
 fn run(setup: &AllVsAllSetup, trace: &Trace, label: &str) -> (String, i64, String) {
-    let mut cfg = RuntimeConfig::default();
-    cfg.heartbeat = SimTime::from_mins(10);
+    let cfg = RuntimeConfig {
+        heartbeat: SimTime::from_mins(10),
+        ..Default::default()
+    };
     let mut rt = Runtime::new(MemDisk::new(), cluster(), setup.library.clone(), cfg).unwrap();
     rt.register_template(&setup.chunk_template).unwrap();
     rt.register_template(&setup.template).unwrap();
@@ -62,7 +66,10 @@ fn main() {
     let setup = AllVsAllSetup::real(
         Arc::clone(&db),
         Arc::clone(&pam),
-        AllVsAllConfig { teus: 8, ..Default::default() },
+        AllVsAllConfig {
+            teus: 8,
+            ..Default::default()
+        },
     );
 
     // Run 1: calm cluster.

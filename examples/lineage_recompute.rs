@@ -27,7 +27,12 @@ fn main() {
     // 1. The lineage graph is derivable from the persistent template alone.
     let lineage = Lineage::derive(&template);
     println!("--- lineage queries (from the template's recorded dependencies) ---");
-    for task in ["GeneFinding", "Translation", "PairwiseAlignments", "MultipleAlignment"] {
+    for task in [
+        "GeneFinding",
+        "Translation",
+        "PairwiseAlignments",
+        "MultipleAlignment",
+    ] {
         let closure = lineage.invalidation_closure([task]);
         println!(
             "if `{task}` changes, recompute: {}",
@@ -49,25 +54,44 @@ fn main() {
     let lib = tower_library(Arc::clone(&pam), CostModel::default());
     let cluster = Cluster::new(
         "lab",
-        (0..4).map(|i| NodeSpec::new(format!("n{i}"), 2, 500, "linux")).collect(),
+        (0..4)
+            .map(|i| NodeSpec::new(format!("n{i}"), 2, 500, "linux"))
+            .collect(),
     );
-    let mut cfg = RuntimeConfig::default();
-    cfg.heartbeat = SimTime::from_mins(5);
+    let cfg = RuntimeConfig {
+        heartbeat: SimTime::from_mins(5),
+        ..Default::default()
+    };
     let mut rt = Runtime::new(MemDisk::new(), cluster, lib, cfg).unwrap();
     rt.register_template(&template).unwrap();
     let mut init = BTreeMap::new();
     init.insert("dna".to_string(), Value::from(make_input_dna(2, 3, 7)));
     let id1 = rt.submit("TowerOfInformation", init).unwrap();
     rt.run_to_completion().unwrap();
-    let ends_before = rt.awareness().of_kind(rt.store(), "task.end").unwrap().len();
-    println!("\n--- first run complete: {} task executions ---", ends_before);
+    let ends_before = rt
+        .awareness()
+        .of_kind(rt.store(), "task.end")
+        .unwrap()
+        .len();
+    println!(
+        "\n--- first run complete: {} task executions ---",
+        ends_before
+    );
 
     // 3. "The alignment algorithm changed": selectively recompute.
     let id2 = rt.recompute(id1, &["PairwiseAlignments"]).unwrap();
     rt.run_to_completion().unwrap();
-    let ends_after = rt.awareness().of_kind(rt.store(), "task.end").unwrap().len();
+    let ends_after = rt
+        .awareness()
+        .of_kind(rt.store(), "task.end")
+        .unwrap()
+        .len();
     println!("--- recompute complete: instance {id2} ---");
-    println!("additional task executions: {} (first run: {})", ends_after - ends_before, ends_before);
+    println!(
+        "additional task executions: {} (first run: {})",
+        ends_after - ends_before,
+        ends_before
+    );
     println!("gene finding / translation / MSA / structure storeys were REUSED;");
     println!("only the alignments and the tree re-ran.");
     let t1 = rt.whiteboard(id1).unwrap()["tree"].clone();

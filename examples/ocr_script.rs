@@ -54,7 +54,10 @@ PROCESS CleanAndAnalyze {
 fn library() -> ActivityLibrary {
     let mut lib = ActivityLibrary::new();
     lib.register("pipeline.inspect", |inputs| {
-        let noise = inputs.get("noise_level").and_then(|v| v.as_float()).unwrap_or(0.0);
+        let noise = inputs
+            .get("noise_level")
+            .and_then(|v| v.as_float())
+            .unwrap_or(0.0);
         Ok(ProgramOutput::from_fields(
             [
                 ("noisy", Value::Bool(noise > 0.3)),
@@ -65,9 +68,15 @@ fn library() -> ActivityLibrary {
     });
     lib.register("pipeline.scrub", |inputs| {
         let sample = inputs["sample"].as_list().ok_or("no sample")?;
-        let cleaned: Vec<Value> =
-            sample.iter().filter(|v| v.as_int().map(|i| i % 2 == 0).unwrap_or(false)).cloned().collect();
-        Ok(ProgramOutput::from_fields([("sample", Value::List(cleaned))], 5_000.0))
+        let cleaned: Vec<Value> = sample
+            .iter()
+            .filter(|v| v.as_int().map(|i| i % 2 == 0).unwrap_or(false))
+            .cloned()
+            .collect();
+        Ok(ProgramOutput::from_fields(
+            [("sample", Value::List(cleaned))],
+            5_000.0,
+        ))
     });
     lib.register("pipeline.analyze", |inputs| {
         let n = inputs["sample"].as_list().map(|l| l.len()).unwrap_or(0);
@@ -82,10 +91,11 @@ fn library() -> ActivityLibrary {
 fn run(noise: f64) -> (String, Vec<(String, String)>) {
     let template = ocr::parse_process(SCRIPT).expect("OCR parses");
     ocr::validate(&template).expect("OCR validates");
-    let cluster =
-        Cluster::new("lab", vec![NodeSpec::new("n1", 2, 500, "linux")]);
-    let mut cfg = RuntimeConfig::default();
-    cfg.heartbeat = SimTime::from_secs(30);
+    let cluster = Cluster::new("lab", vec![NodeSpec::new("n1", 2, 500, "linux")]);
+    let cfg = RuntimeConfig {
+        heartbeat: SimTime::from_secs(30),
+        ..Default::default()
+    };
     let mut rt = Runtime::new(MemDisk::new(), cluster, library(), cfg).unwrap();
     rt.register_template(&template).unwrap();
     let mut init = BTreeMap::new();

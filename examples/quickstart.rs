@@ -18,7 +18,8 @@ fn main() {
         .whiteboard_default("shards", TypeTag::Int, Value::Int(6))
         .whiteboard_field("summary", TypeTag::Map)
         .activity("Fetch", "demo.fetch", |t| {
-            t.input("shards", TypeTag::Int).output("parts", TypeTag::List)
+            t.input("shards", TypeTag::Int)
+                .output("parts", TypeTag::List)
         })
         .parallel(
             "Analyze",
@@ -28,7 +29,8 @@ fn main() {
             |t| t.retries(2),
         )
         .activity("Summarize", "demo.summarize", |t| {
-            t.input("results", TypeTag::List).output("summary", TypeTag::Map)
+            t.input("results", TypeTag::List)
+                .output("summary", TypeTag::Map)
         })
         .connect("Fetch", "Analyze")
         .connect("Analyze", "Summarize")
@@ -87,8 +89,10 @@ fn main() {
             NodeSpec::new("node-c", 1, 1000, "solaris"),
         ],
     );
-    let mut cfg = RuntimeConfig::default();
-    cfg.heartbeat = SimTime::from_secs(20);
+    let cfg = RuntimeConfig {
+        heartbeat: SimTime::from_secs(20),
+        ..Default::default()
+    };
     let mut rt = Runtime::new(MemDisk::new(), cluster, lib, cfg).expect("runtime");
     rt.register_template(&template).expect("register");
 

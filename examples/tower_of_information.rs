@@ -27,10 +27,14 @@ fn main() {
     let lib = tower_library(Arc::clone(&pam), CostModel::default());
     let cluster = Cluster::new(
         "lab",
-        (0..4).map(|i| NodeSpec::new(format!("n{i}"), 2, 500, "linux")).collect(),
+        (0..4)
+            .map(|i| NodeSpec::new(format!("n{i}"), 2, 500, "linux"))
+            .collect(),
     );
-    let mut cfg = RuntimeConfig::default();
-    cfg.heartbeat = SimTime::from_mins(5);
+    let cfg = RuntimeConfig {
+        heartbeat: SimTime::from_mins(5),
+        ..Default::default()
+    };
     let mut rt = Runtime::new(MemDisk::new(), cluster, lib, cfg).unwrap();
     rt.register_template(&tower_template()).unwrap();
 
@@ -39,7 +43,11 @@ fn main() {
     let id = rt.submit("TowerOfInformation", init).unwrap();
     rt.run_to_completion().unwrap();
 
-    println!("status: {:?}   virtual wall: {}", rt.instance_status(id).unwrap(), rt.now());
+    println!(
+        "status: {:?}   virtual wall: {}",
+        rt.instance_status(id).unwrap(),
+        rt.now()
+    );
     let wb = rt.whiteboard(id).unwrap();
 
     println!("\n--- storey 4: phylogenetic tree (neighbor joining, Newick) ---");
@@ -62,9 +70,15 @@ fn main() {
         .to_vec();
     for s in structures.iter().take(4) {
         let idx = s.get_path(&["index"]).unwrap();
-        let pred = s.get_path(&["prediction"]).and_then(|v| v.as_str()).unwrap_or("");
+        let pred = s
+            .get_path(&["prediction"])
+            .and_then(|v| v.as_str())
+            .unwrap_or("");
         let short: String = pred.chars().take(60).collect();
-        println!("  gene {idx}: {short}{}", if pred.len() > 60 { "..." } else { "" });
+        println!(
+            "  gene {idx}: {short}{}",
+            if pred.len() > 60 { "..." } else { "" }
+        );
     }
     println!("\n(the whole tower ran as one dependable BioOpera process — every");
     println!(" intermediate dataset is in the instance space, ready for reuse");

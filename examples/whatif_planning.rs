@@ -40,13 +40,28 @@ fn main() {
         .unwrap();
     let mut lib = ActivityLibrary::new();
     lib.register("gen", |_| {
-        Ok(ProgramOutput::from_fields([("items", Value::int_list(0..6))], 1_000.0))
+        Ok(ProgramOutput::from_fields(
+            [("items", Value::int_list(0..6))],
+            1_000.0,
+        ))
     });
-    lib.register("work", |_| Ok(ProgramOutput::from_fields([("ok", Value::Bool(true))], 3_600_000.0)));
-    lib.register("work.sun", |_| Ok(ProgramOutput::from_fields([("ok", Value::Bool(true))], 3_600_000.0)));
+    lib.register("work", |_| {
+        Ok(ProgramOutput::from_fields(
+            [("ok", Value::Bool(true))],
+            3_600_000.0,
+        ))
+    });
+    lib.register("work.sun", |_| {
+        Ok(ProgramOutput::from_fields(
+            [("ok", Value::Bool(true))],
+            3_600_000.0,
+        ))
+    });
 
-    let mut cfg = RuntimeConfig::default();
-    cfg.heartbeat = SimTime::from_mins(5);
+    let cfg = RuntimeConfig {
+        heartbeat: SimTime::from_mins(5),
+        ..Default::default()
+    };
     let mut rt = Runtime::new(MemDisk::new(), cluster, lib, cfg).unwrap();
     rt.register_template(&template).unwrap();
     let _id = rt.submit("Pinned", BTreeMap::new()).unwrap();
@@ -72,9 +87,15 @@ fn main() {
 
     // What if the whole cluster goes?
     println!("=== what-if: take everything off-line ===");
-    print!("{}", Planner::what_if_offline(&rt, &["pc1", "pc2", "sun1"]).report());
+    print!(
+        "{}",
+        Planner::what_if_offline(&rt, &["pc1", "pc2", "sun1"]).report()
+    );
 
     // Finish the run regardless.
     rt.run_to_completion().unwrap();
-    println!("\nrun completed at {} despite our hypotheticals (they were only queries)", rt.now());
+    println!(
+        "\nrun completed at {} despite our hypotheticals (they were only queries)",
+        rt.now()
+    );
 }

@@ -33,7 +33,9 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("demo") => cmd_demo(&args[1..]),
         _ => {
-            eprintln!("usage: bioopera validate|fmt|run|demo ... (see --help in the source header)");
+            eprintln!(
+                "usage: bioopera validate|fmt|run|demo ... (see --help in the source header)"
+            );
             return ExitCode::from(2);
         }
     };
@@ -81,12 +83,16 @@ fn cmd_fmt(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn echo_program(cost_ms: f64) -> impl Fn(&BTreeMap<String, Value>) -> Result<ProgramOutput, String> + Send + Sync
-{
+fn echo_program(
+    cost_ms: f64,
+) -> impl Fn(&BTreeMap<String, Value>) -> Result<ProgramOutput, String> + Send + Sync {
     move |inputs: &BTreeMap<String, Value>| {
         let mut outputs = inputs.clone();
         outputs.insert("done".to_string(), Value::Bool(true));
-        Ok(ProgramOutput { outputs, cost_ref_ms: cost_ms })
+        Ok(ProgramOutput {
+            outputs,
+            cost_ref_ms: cost_ms,
+        })
     }
 }
 
@@ -96,9 +102,10 @@ fn program_names(t: &ocr::ProcessTemplate) -> Vec<String> {
     for task in &t.tasks {
         match &task.kind {
             TaskKind::Activity { binding } => names.push(binding.program.clone()),
-            TaskKind::Parallel { body: ParallelBody::Activity(b), .. } => {
-                names.push(b.program.clone())
-            }
+            TaskKind::Parallel {
+                body: ParallelBody::Activity(b),
+                ..
+            } => names.push(b.program.clone()),
             _ => {}
         }
     }
@@ -129,7 +136,9 @@ fn make_cluster(name: &str) -> Result<Cluster, String> {
     Ok(match name {
         "small" => Cluster::new(
             "small",
-            (0..4).map(|i| NodeSpec::new(format!("n{i}"), 2, 500, "linux")).collect(),
+            (0..4)
+                .map(|i| NodeSpec::new(format!("n{i}"), 2, 500, "linux"))
+                .collect(),
         ),
         "linneus" => Cluster::linneus(),
         "ik-sun" => Cluster::ik_sun(),
@@ -169,8 +178,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         }
     }
     let templates = load_library_file(path)?;
-    let entry_name =
-        entry.unwrap_or_else(|| templates.last().expect("non-empty").name.clone());
+    let entry_name = entry.unwrap_or_else(|| templates.last().expect("non-empty").name.clone());
 
     // Register every program name the file references as a sleep/echo
     // body (the runtime errors on unknown programs, so we pre-register).
@@ -185,12 +193,15 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         }
     }
 
-    let mut cfg = RuntimeConfig::default();
-    cfg.heartbeat = SimTime::from_mins(10);
+    let cfg = RuntimeConfig {
+        heartbeat: SimTime::from_mins(10),
+        ..Default::default()
+    };
     let mut rt = Runtime::new(MemDisk::new(), make_cluster(&cluster_name)?, lib, cfg)
         .map_err(|e| e.to_string())?;
     for t in &templates {
-        rt.register_template(t).map_err(|e| format!("{}: {e}", t.name))?;
+        rt.register_template(t)
+            .map_err(|e| format!("{}: {e}", t.name))?;
     }
     match trace_name.as_str() {
         "none" => {}
@@ -201,7 +212,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let id = rt.submit(&entry_name, initial).map_err(|e| e.to_string())?;
     rt.run_to_completion().map_err(|e| e.to_string())?;
 
-    println!("instance {id} ({entry_name}): {:?}", rt.instance_status(id).unwrap());
+    println!(
+        "instance {id} ({entry_name}): {:?}",
+        rt.instance_status(id).unwrap()
+    );
     println!("virtual wall time: {}", rt.now());
     let stats = rt.stats(id).map_err(|e| e.to_string())?;
     println!("CPU(P) = {}   activities = {}", stats.cpu, stats.activities);
@@ -214,7 +228,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         println!(
             "  {p:<24} {:?}{}",
             r.state,
-            r.node.as_deref().map(|n| format!(" on {n}")).unwrap_or_default()
+            r.node
+                .as_deref()
+                .map(|n| format!(" on {n}"))
+                .unwrap_or_default()
         );
     }
     if !rt.event_log().is_empty() {
@@ -234,10 +251,15 @@ fn cmd_demo(args: &[String]) -> Result<(), String> {
                 5_000,
                 370,
                 38,
-                AllVsAllConfig { teus: 25, ..Default::default() },
+                AllVsAllConfig {
+                    teus: 25,
+                    ..Default::default()
+                },
             );
-            let mut cfg = RuntimeConfig::default();
-            cfg.heartbeat = SimTime::from_hours(1);
+            let cfg = RuntimeConfig {
+                heartbeat: SimTime::from_hours(1),
+                ..Default::default()
+            };
             let mut rt = Runtime::new(
                 MemDisk::new(),
                 make_cluster("small")?,
@@ -245,9 +267,13 @@ fn cmd_demo(args: &[String]) -> Result<(), String> {
                 cfg,
             )
             .map_err(|e| e.to_string())?;
-            rt.register_template(&setup.chunk_template).map_err(|e| e.to_string())?;
-            rt.register_template(&setup.template).map_err(|e| e.to_string())?;
-            let id = rt.submit("AllVsAll", setup.initial()).map_err(|e| e.to_string())?;
+            rt.register_template(&setup.chunk_template)
+                .map_err(|e| e.to_string())?;
+            rt.register_template(&setup.template)
+                .map_err(|e| e.to_string())?;
+            let id = rt
+                .submit("AllVsAll", setup.initial())
+                .map_err(|e| e.to_string())?;
             rt.run_to_completion().map_err(|e| e.to_string())?;
             let stats = rt.stats(id).map_err(|e| e.to_string())?;
             println!(
@@ -265,16 +291,25 @@ fn cmd_demo(args: &[String]) -> Result<(), String> {
             use std::sync::Arc;
             let pam = Arc::new(PamFamily::default());
             let lib = tower_library(Arc::clone(&pam), CostModel::default());
-            let mut cfg = RuntimeConfig::default();
-            cfg.heartbeat = SimTime::from_mins(10);
+            let cfg = RuntimeConfig {
+                heartbeat: SimTime::from_mins(10),
+                ..Default::default()
+            };
             let mut rt = Runtime::new(MemDisk::new(), make_cluster("small")?, lib, cfg)
                 .map_err(|e| e.to_string())?;
-            rt.register_template(&tower_template()).map_err(|e| e.to_string())?;
+            rt.register_template(&tower_template())
+                .map_err(|e| e.to_string())?;
             let mut init = BTreeMap::new();
             init.insert("dna".to_string(), Value::from(make_input_dna(2, 3, 1)));
-            let id = rt.submit("TowerOfInformation", init).map_err(|e| e.to_string())?;
+            let id = rt
+                .submit("TowerOfInformation", init)
+                .map_err(|e| e.to_string())?;
             rt.run_to_completion().map_err(|e| e.to_string())?;
-            println!("tower: {:?} in {}", rt.instance_status(id).unwrap(), rt.now());
+            println!(
+                "tower: {:?} in {}",
+                rt.instance_status(id).unwrap(),
+                rt.now()
+            );
             println!("tree: {}", rt.whiteboard(id).unwrap()["tree"]);
             Ok(())
         }

@@ -17,21 +17,34 @@ use std::sync::Arc;
 fn small_cluster() -> Cluster {
     Cluster::new(
         "it",
-        (0..4).map(|i| NodeSpec::new(format!("n{i}"), 2, 500, "linux")).collect(),
+        (0..4)
+            .map(|i| NodeSpec::new(format!("n{i}"), 2, 500, "linux"))
+            .collect(),
     )
 }
 
 fn real_setup(entries: usize, teus: i64, seed: u64) -> AllVsAllSetup {
     let pam = Arc::new(PamFamily::default());
-    let db = Arc::new(SequenceDb::generate(&DatasetConfig::small(entries, seed), &pam));
-    AllVsAllSetup::real(db, pam, AllVsAllConfig { teus, ..Default::default() })
+    let db = Arc::new(SequenceDb::generate(
+        &DatasetConfig::small(entries, seed),
+        &pam,
+    ));
+    AllVsAllSetup::real(
+        db,
+        pam,
+        AllVsAllConfig {
+            teus,
+            ..Default::default()
+        },
+    )
 }
 
 fn run_allvsall(setup: &AllVsAllSetup, trace: &Trace) -> (Runtime<MemDisk>, u64) {
-    let mut cfg = RuntimeConfig::default();
-    cfg.heartbeat = SimTime::from_mins(5);
-    let mut rt =
-        Runtime::new(MemDisk::new(), small_cluster(), setup.library.clone(), cfg).unwrap();
+    let cfg = RuntimeConfig {
+        heartbeat: SimTime::from_mins(5),
+        ..Default::default()
+    };
+    let mut rt = Runtime::new(MemDisk::new(), small_cluster(), setup.library.clone(), cfg).unwrap();
     rt.register_template(&setup.chunk_template).unwrap();
     rt.register_template(&setup.template).unwrap();
     rt.install_trace(trace);
@@ -49,10 +62,11 @@ fn allvsall_templates_survive_ocr_text_and_still_run() {
     let chunk_text = ocr::to_ocr_text(&setup.chunk_template);
     let top = ocr::parse_process(&top_text).unwrap();
     let chunk = ocr::parse_process(&chunk_text).unwrap();
-    let mut cfg = RuntimeConfig::default();
-    cfg.heartbeat = SimTime::from_mins(5);
-    let mut rt =
-        Runtime::new(MemDisk::new(), small_cluster(), setup.library.clone(), cfg).unwrap();
+    let cfg = RuntimeConfig {
+        heartbeat: SimTime::from_mins(5),
+        ..Default::default()
+    };
+    let mut rt = Runtime::new(MemDisk::new(), small_cluster(), setup.library.clone(), cfg).unwrap();
     rt.register_template(&chunk).unwrap();
     rt.register_template(&top).unwrap();
     let id = rt.submit("AllVsAll", setup.initial()).unwrap();
@@ -77,9 +91,18 @@ fn allvsall_results_unchanged_by_failure_trace() {
     chaos.push(SimTime::from_secs(22), TraceEventKind::ServerCrash);
     chaos.push(SimTime::from_secs(26), TraceEventKind::ServerRecover);
     let (rt_chaos, id_chaos) = run_allvsall(&setup, &chaos);
-    assert_eq!(rt_chaos.instance_status(id_chaos), Some(InstanceStatus::Completed));
-    assert_eq!(rt_chaos.whiteboard(id_chaos).unwrap()["digest"], clean_digest);
-    assert_eq!(rt_chaos.whiteboard(id_chaos).unwrap()["match_count"], clean_count);
+    assert_eq!(
+        rt_chaos.instance_status(id_chaos),
+        Some(InstanceStatus::Completed)
+    );
+    assert_eq!(
+        rt_chaos.whiteboard(id_chaos).unwrap()["digest"],
+        clean_digest
+    );
+    assert_eq!(
+        rt_chaos.whiteboard(id_chaos).unwrap()["match_count"],
+        clean_count
+    );
 }
 
 #[test]
@@ -90,7 +113,10 @@ fn allvsall_matches_are_mostly_real_homologies() {
     let setup = AllVsAllSetup::real(
         Arc::clone(&db),
         pam,
-        AllVsAllConfig { teus: 4, ..Default::default() },
+        AllVsAllConfig {
+            teus: 4,
+            ..Default::default()
+        },
     );
     let (rt, id) = run_allvsall(&setup, &Trace::empty());
     // Pull the refined matches out of the Alignment results.
@@ -98,7 +124,11 @@ fn allvsall_matches_are_mostly_real_homologies() {
     let mut true_pos = 0usize;
     let mut false_pos = 0usize;
     for chunk in results.as_list().unwrap() {
-        for m in chunk.get_path(&["refined"]).and_then(|v| v.as_list()).unwrap_or(&[]) {
+        for m in chunk
+            .get_path(&["refined"])
+            .and_then(|v| v.as_list())
+            .unwrap_or(&[])
+        {
             let q = m.get_path(&["q"]).unwrap().as_int().unwrap() as u32;
             let s = m.get_path(&["s"]).unwrap().as_int().unwrap() as u32;
             if db.same_family(q, s) {
@@ -135,9 +165,14 @@ fn monitoring_claim_holds() {
 fn engine_beats_script_baseline_on_interventions() {
     // Same chunks, same cluster, same failures: the script driver needs
     // humans; the engine does not.
-    let works: Vec<f64> = (0..12).map(|i| 3_600_000.0 + i as f64 * 120_000.0).collect();
+    let works: Vec<f64> = (0..12)
+        .map(|i| 3_600_000.0 + i as f64 * 120_000.0)
+        .collect();
     let mut trace = Trace::empty();
-    trace.push(SimTime::from_mins(30), TraceEventKind::NodeDown("n1".into()));
+    trace.push(
+        SimTime::from_mins(30),
+        TraceEventKind::NodeDown("n1".into()),
+    );
     trace.push(SimTime::from_hours(18), TraceEventKind::NodeUp("n1".into()));
     trace.push(SimTime::from_hours(2), TraceEventKind::ServerCrash);
     trace.push(SimTime::from_hours(3), TraceEventKind::ServerRecover);
@@ -160,8 +195,10 @@ fn store_contents_reflect_finished_instances_across_restart() {
     let disk = MemDisk::new();
     let setup = real_setup(20, 2, 3);
     {
-        let mut cfg = RuntimeConfig::default();
-        cfg.heartbeat = SimTime::from_mins(5);
+        let cfg = RuntimeConfig {
+            heartbeat: SimTime::from_mins(5),
+            ..Default::default()
+        };
         let mut rt =
             Runtime::new(disk.clone(), small_cluster(), setup.library.clone(), cfg).unwrap();
         rt.register_template(&setup.chunk_template).unwrap();
@@ -174,7 +211,9 @@ fn store_contents_reflect_finished_instances_across_restart() {
     let cfg = RuntimeConfig::default();
     let rt2 = Runtime::new(disk, small_cluster(), setup.library.clone(), cfg).unwrap();
     let instances = rt2.instances();
-    assert!(instances.iter().any(|(_, s, t)| *s == InstanceStatus::Completed && t == "AllVsAll"));
+    assert!(instances
+        .iter()
+        .any(|(_, s, t)| *s == InstanceStatus::Completed && t == "AllVsAll"));
     let history = rt2.awareness().all(rt2.store()).unwrap();
     assert!(history.iter().any(|e| e.kind == "instance.complete"));
     // And a fresh submission gets a fresh id.

@@ -19,7 +19,9 @@ use std::sync::OnceLock;
 fn cluster() -> Cluster {
     Cluster::new(
         "pt",
-        (0..3).map(|i| NodeSpec::new(format!("n{i}"), 2, 500, "linux")).collect(),
+        (0..3)
+            .map(|i| NodeSpec::new(format!("n{i}"), 2, 500, "linux"))
+            .collect(),
     )
 }
 
@@ -30,14 +32,23 @@ fn setup() -> &'static AllVsAllSetup {
     SETUP.get_or_init(|| {
         let pam = Arc::new(PamFamily::default());
         let db = Arc::new(SequenceDb::generate(&DatasetConfig::small(24, 77), &pam));
-        AllVsAllSetup::real(db, pam, AllVsAllConfig { teus: 5, ..Default::default() })
+        AllVsAllSetup::real(
+            db,
+            pam,
+            AllVsAllConfig {
+                teus: 5,
+                ..Default::default()
+            },
+        )
     })
 }
 
 fn run(trace: &Trace) -> (InstanceStatus, Value, Value) {
     let s = setup();
-    let mut cfg = RuntimeConfig::default();
-    cfg.heartbeat = SimTime::from_secs(20);
+    let cfg = RuntimeConfig {
+        heartbeat: SimTime::from_secs(20),
+        ..Default::default()
+    };
     let mut rt = Runtime::new(MemDisk::new(), cluster(), s.library.clone(), cfg).unwrap();
     rt.register_template(&s.chunk_template).unwrap();
     rt.register_template(&s.template).unwrap();
@@ -91,21 +102,30 @@ fn to_trace(faults: &[Fault]) -> Trace {
         match f {
             Fault::Node { node, at_s, down_s } => {
                 let name = format!("n{node}");
-                t.push(SimTime::from_secs(*at_s as u64), TraceEventKind::NodeDown(name.clone()));
+                t.push(
+                    SimTime::from_secs(*at_s as u64),
+                    TraceEventKind::NodeDown(name.clone()),
+                );
                 t.push(
                     SimTime::from_secs((*at_s + *down_s) as u64),
                     TraceEventKind::NodeUp(name),
                 );
             }
             Fault::Network { at_s, down_s } => {
-                t.push(SimTime::from_secs(*at_s as u64), TraceEventKind::NetworkDown);
+                t.push(
+                    SimTime::from_secs(*at_s as u64),
+                    TraceEventKind::NetworkDown,
+                );
                 t.push(
                     SimTime::from_secs((*at_s + *down_s) as u64),
                     TraceEventKind::NetworkUp,
                 );
             }
             Fault::Server { at_s, down_s } => {
-                t.push(SimTime::from_secs(*at_s as u64), TraceEventKind::ServerCrash);
+                t.push(
+                    SimTime::from_secs(*at_s as u64),
+                    TraceEventKind::ServerCrash,
+                );
                 t.push(
                     SimTime::from_secs((*at_s + *down_s) as u64),
                     TraceEventKind::ServerRecover,
@@ -113,7 +133,10 @@ fn to_trace(faults: &[Fault]) -> Trace {
             }
             Fault::Suspend { at_s, for_s } => {
                 if suspended_depth == 0 {
-                    t.push(SimTime::from_secs(*at_s as u64), TraceEventKind::OperatorSuspend);
+                    t.push(
+                        SimTime::from_secs(*at_s as u64),
+                        TraceEventKind::OperatorSuspend,
+                    );
                     t.push(
                         SimTime::from_secs((*at_s + *for_s) as u64),
                         TraceEventKind::OperatorResume,

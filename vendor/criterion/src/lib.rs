@@ -1,0 +1,232 @@
+//! Offline stand-in for `criterion`: a small wall-clock benchmarking
+//! harness exposing the API surface the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with throughput annotations, `Bencher::iter` and
+//! `Bencher::iter_batched`).
+//!
+//! Each benchmark is calibrated to a target measurement time, then the
+//! median of several samples is reported as ns/iter (plus derived
+//! throughput).  No statistical analysis, plots or HTML reports.
+
+use std::time::{Duration, Instant};
+
+/// How batched setup cost is amortized (accepted, not differentiated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Setup re-run on every iteration.
+    PerIteration,
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// The per-benchmark timing driver passed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` over inputs built (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Harness entry point; holds the measurement configuration.
+pub struct Criterion {
+    measurement_time: Duration,
+    samples: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(500),
+            samples: 5,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_bench(self, id, None, f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with units per iteration.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(self.criterion, &full, self.throughput, f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    c: &Criterion,
+    id: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    // Calibrate: start at one iteration, grow until a sample takes a
+    // meaningful slice of the budget.
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    let per_sample = c.measurement_time / c.samples;
+    loop {
+        f(&mut bencher);
+        if bencher.elapsed >= per_sample / 4 || bencher.iters >= 1 << 30 {
+            break;
+        }
+        let est = bencher.elapsed.as_nanos().max(1) as u64;
+        let target = per_sample.as_nanos() as u64;
+        let scale = (target / est).clamp(2, 1 << 10);
+        bencher.iters = bencher.iters.saturating_mul(scale);
+    }
+    // Measure: median of the samples.
+    let mut per_iter: Vec<f64> = (0..c.samples)
+        .map(|_| {
+            f(&mut bencher);
+            bencher.elapsed.as_nanos() as f64 / bencher.iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    let rate = |units: u64| {
+        let per_sec = units as f64 * 1.0e9 / median;
+        if per_sec >= 1.0e9 {
+            format!("{:.3} G", per_sec / 1.0e9)
+        } else if per_sec >= 1.0e6 {
+            format!("{:.3} M", per_sec / 1.0e6)
+        } else {
+            format!("{:.1} ", per_sec)
+        }
+    };
+    let extra = match throughput {
+        Some(Throughput::Elements(n)) => format!("  ({}elem/s)", rate(n)),
+        Some(Throughput::Bytes(n)) => format!("  ({}B/s)", rate(n)),
+        None => String::new(),
+    };
+    println!("bench {id:<44} {median:>14.1} ns/iter{extra}");
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(10),
+            samples: 3,
+        };
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn groups_and_batched_iteration() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(10),
+            samples: 3,
+        };
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(4));
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8, 2, 3, 4],
+                |v| v.iter().sum::<u8>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,780 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace uses as a
+//! **generate-only** property harness: strategies are sampling functions,
+//! cases are driven by a deterministic per-test RNG (seeded from the test
+//! name, so CI failures reproduce locally), and failures report the inputs
+//! of the failing case.  There is **no shrinking** — a failing case prints
+//! the raw inputs that triggered it.
+//!
+//! Covered surface: `proptest!` with optional `#![proptest_config(...)]`,
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`/`prop_assume!`,
+//! `prop_oneof!` (plain and weighted), `Just`, `any::<T>()`, integer and
+//! float range strategies, regex-literal string strategies (char classes
+//! with `{m,n}` quantifiers), tuple strategies, `prop::collection::{vec,
+//! btree_map}`, `prop::sample::{select, Index}`, `prop::bool::weighted`,
+//! and the `Strategy` combinators `prop_map`, `prop_flat_map`,
+//! `prop_filter`, `prop_recursive`, `boxed`.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+use rand::{Rng, SeedableRng};
+
+/// The RNG handed to strategies.
+pub type TestRng = rand::rngs::StdRng;
+
+// ---------------------------------------------------------------------------
+// Core strategy machinery
+// ---------------------------------------------------------------------------
+
+/// A value generator.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Type-erase into a cloneable boxed strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(move |rng| self.generate(rng)))
+    }
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> BoxedStrategy<O>
+    where
+        Self: Sized + 'static,
+        O: Debug,
+        F: Fn(Self::Value) -> O + 'static,
+    {
+        BoxedStrategy(Arc::new(move |rng| f(self.generate(rng))))
+    }
+
+    /// Build a second strategy from each generated value.
+    fn prop_flat_map<S, F>(self, f: F) -> BoxedStrategy<S::Value>
+    where
+        Self: Sized + 'static,
+        S: Strategy + 'static,
+        F: Fn(Self::Value) -> S + 'static,
+    {
+        BoxedStrategy(Arc::new(move |rng| f(self.generate(rng)).generate(rng)))
+    }
+
+    /// Discard generated values failing `pred` (regenerates; panics if the
+    /// predicate looks unsatisfiable).
+    fn prop_filter<F>(self, whence: impl Into<String>, pred: F) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        F: Fn(&Self::Value) -> bool + 'static,
+    {
+        let whence = whence.into();
+        BoxedStrategy(Arc::new(move |rng| {
+            for _ in 0..10_000 {
+                let v = self.generate(rng);
+                if pred(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter({whence}): predicate never satisfied after 10000 draws");
+        }))
+    }
+
+    /// Recursive strategies: `self` is the leaf; `branch` builds one level
+    /// from the strategy for the level below.  Depth is bounded eagerly.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        branch: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let leaf = self.boxed();
+        let mut level = leaf.clone();
+        for _ in 0..depth {
+            level = union(vec![(1, leaf.clone()), (2, branch(level).boxed())]);
+        }
+        level
+    }
+}
+
+/// A cloneable, type-erased strategy.
+pub struct BoxedStrategy<T>(Arc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+
+    fn boxed(self) -> BoxedStrategy<T>
+    where
+        Self: Sized + 'static,
+    {
+        self
+    }
+}
+
+/// Weighted union of strategies (used by `prop_oneof!`).
+#[doc(hidden)]
+pub fn union<T: Debug + 'static>(arms: Vec<(u32, BoxedStrategy<T>)>) -> BoxedStrategy<T> {
+    assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+    let total: u32 = arms.iter().map(|(w, _)| *w).sum();
+    assert!(total > 0, "prop_oneof! weights sum to zero");
+    BoxedStrategy(Arc::new(move |rng| {
+        let mut pick = rng.gen_range(0..total);
+        for (w, s) in &arms {
+            if pick < *w {
+                return s.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!()
+    }))
+}
+
+/// A strategy producing one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized + Debug {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `A`.
+pub fn any<A: Arbitrary + 'static>() -> BoxedStrategy<A> {
+    BoxedStrategy(Arc::new(|rng| A::arbitrary(rng)))
+}
+
+macro_rules! arbitrary_via_gen {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+
+arbitrary_via_gen!(bool, u8, u16, u32, u64, usize, i32, i64);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite, sign-balanced; exotic values are not needed here.
+        rng.gen_range(-1.0e6..1.0e6)
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen_range(-1.0e6f32..1.0e6)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Range / literal strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+/// String strategies from a small regex subset: literal characters,
+/// `[...]` character classes (with `a-z` ranges), and `{n}` / `{m,n}` /
+/// `?` / `*` / `+` quantifiers.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        regex_gen(self, rng)
+    }
+}
+
+fn regex_gen(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // One atom: a char class or a literal character.
+        let class: Vec<char> = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed `[` in strategy regex {pattern:?}"))
+                    + i;
+                let body = &chars[i + 1..close];
+                i = close + 1;
+                expand_class(body, pattern)
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling `\\` in strategy regex {pattern:?}"));
+                i += 1;
+                vec![c]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unclosed `{{` in strategy regex {pattern:?}"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse::<usize>().unwrap_or(0),
+                        hi.trim().parse::<usize>().unwrap_or(8),
+                    ),
+                    None => {
+                        let n = body.trim().parse::<usize>().unwrap_or(1);
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        let count = rng.gen_range(min..=max);
+        for _ in 0..count {
+            out.push(class[rng.gen_range(0..class.len())]);
+        }
+    }
+    out
+}
+
+fn expand_class(body: &[char], pattern: &str) -> Vec<char> {
+    let mut set = Vec::new();
+    let mut j = 0;
+    while j < body.len() {
+        if j + 2 < body.len() && body[j + 1] == '-' {
+            let (lo, hi) = (body[j] as u32, body[j + 2] as u32);
+            assert!(lo <= hi, "bad range in strategy regex {pattern:?}");
+            for c in lo..=hi {
+                set.push(char::from_u32(c).unwrap());
+            }
+            j += 3;
+        } else {
+            set.push(body[j]);
+            j += 1;
+        }
+    }
+    assert!(
+        !set.is_empty(),
+        "empty char class in strategy regex {pattern:?}"
+    );
+    set
+}
+
+// ---------------------------------------------------------------------------
+// Tuple strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+// ---------------------------------------------------------------------------
+// prop:: namespace
+// ---------------------------------------------------------------------------
+
+/// Namespaced strategy constructors, mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::*;
+
+        /// Accepted size arguments for collection strategies.
+        #[derive(Debug, Clone)]
+        pub struct SizeRange {
+            min: usize,
+            max: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange { min: n, max: n }
+            }
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty collection size range");
+                SizeRange {
+                    min: r.start,
+                    max: r.end - 1,
+                }
+            }
+        }
+
+        impl From<RangeInclusive<usize>> for SizeRange {
+            fn from(r: RangeInclusive<usize>) -> Self {
+                SizeRange {
+                    min: *r.start(),
+                    max: *r.end(),
+                }
+            }
+        }
+
+        /// `Vec` strategy with element strategy and size.
+        pub fn vec<S>(element: S, size: impl Into<SizeRange>) -> BoxedStrategy<Vec<S::Value>>
+        where
+            S: Strategy + 'static,
+        {
+            let size = size.into();
+            BoxedStrategy(Arc::new(move |rng| {
+                let n = rng.gen_range(size.min..=size.max);
+                (0..n).map(|_| element.generate(rng)).collect()
+            }))
+        }
+
+        /// `BTreeMap` strategy (duplicate keys collapse, as upstream).
+        pub fn btree_map<K, V>(
+            key: K,
+            value: V,
+            size: impl Into<SizeRange>,
+        ) -> BoxedStrategy<std::collections::BTreeMap<K::Value, V::Value>>
+        where
+            K: Strategy + 'static,
+            V: Strategy + 'static,
+            K::Value: Ord,
+        {
+            let size = size.into();
+            BoxedStrategy(Arc::new(move |rng| {
+                let n = rng.gen_range(size.min..=size.max);
+                (0..n)
+                    .map(|_| (key.generate(rng), value.generate(rng)))
+                    .collect()
+            }))
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use super::super::*;
+
+        /// Uniformly select one of the given values.
+        pub fn select<T: Clone + Debug + 'static>(options: Vec<T>) -> BoxedStrategy<T> {
+            assert!(!options.is_empty(), "prop::sample::select on empty vec");
+            BoxedStrategy(Arc::new(move |rng| {
+                options[rng.gen_range(0..options.len())].clone()
+            }))
+        }
+
+        /// An index usable against any slice length (`any::<Index>()`).
+        #[derive(Debug, Clone, Copy)]
+        pub struct Index(u64);
+
+        impl Index {
+            /// Resolve against a concrete length.
+            pub fn index(&self, len: usize) -> usize {
+                assert!(len > 0, "Index::index on empty collection");
+                (self.0 % len as u64) as usize
+            }
+        }
+
+        impl Arbitrary for Index {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                Index(rng.gen())
+            }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use super::super::*;
+
+        /// `true` with probability `p`.
+        pub fn weighted(p: f64) -> BoxedStrategy<bool> {
+            BoxedStrategy(Arc::new(move |rng| rng.gen_bool(p)))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Cap on `prop_assume!` rejections before the test errors out.
+    pub max_global_rejects: u32,
+    /// Unused (no shrinking); kept for struct-update compatibility.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A default configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property failed.
+    Fail(String),
+    /// The inputs were rejected by `prop_assume!`; draw again.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection with a message.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Debug-format helper used by the `proptest!` macro.
+#[doc(hidden)]
+pub fn __debug_ref<T: Debug>(v: &T) -> String {
+    format!("{v:?}")
+}
+
+/// FNV-1a over the test name: a stable per-test seed, so failures
+/// reproduce across runs and machines.
+fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Drive one property: used by the expansion of `proptest!`.
+pub fn run_proptest<F>(config: ProptestConfig, name: &str, case: F)
+where
+    F: Fn(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::seed_from_u64(seed_for(name));
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    while passed < config.cases {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "proptest `{name}`: too many prop_assume! rejections \
+                         ({rejected}) after {passed} passing cases"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest `{name}` failed after {passed} passing cases:\n{msg}");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Define property tests.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_proptest($config, stringify!($name), |__rng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), __rng);)*
+                let __inputs: String = [
+                    $(format!(concat!(stringify!($arg), " = {}"),
+                              $crate::__debug_ref(&$arg))),*
+                ].join(", ");
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                __outcome.map_err(|e| match e {
+                    $crate::TestCaseError::Fail(msg) => $crate::TestCaseError::Fail(
+                        format!("{msg}\n  inputs: {}", __inputs)),
+                    other => other,
+                })
+            });
+        }
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+}
+
+/// Assert a condition inside a property.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{}` == `{}`\n  left:  {:?}\n  right: {:?}",
+                stringify!($left), stringify!($right), l, r,
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}\n  left:  {:?}\n  right: {:?}",
+                format!($($fmt)+), l, r,
+            )));
+        }
+    }};
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{}` != `{}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+            )));
+        }
+    }};
+}
+
+/// Reject the current inputs and draw again.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+/// Choose among strategies, optionally weighted (`w => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::union(vec![$(($weight as u32, $crate::Strategy::boxed($strat))),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::union(vec![$((1u32, $crate::Strategy::boxed($strat))),+])
+    };
+}
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_strategies_match_shape() {
+        let mut rng = crate::TestRng::seed_from_u64(1);
+        use rand::SeedableRng;
+        for _ in 0..200 {
+            let s = crate::Strategy::generate(&"[A-Za-z][A-Za-z0-9_]{0,8}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 9, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic());
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn ranges_and_tuples(a in 0usize..10, pair in (0i64..5, 0.0f64..1.0)) {
+            prop_assert!(a < 10);
+            prop_assert!(pair.0 < 5 && pair.1 < 1.0);
+        }
+
+        #[test]
+        fn collections_and_oneof(
+            v in prop::collection::vec(0u8..4, 0..6usize),
+            pick in prop_oneof![1 => Just(1u32), 3 => Just(2u32)],
+            flag in prop::bool::weighted(0.5),
+            idx in any::<prop::sample::Index>(),
+        ) {
+            prop_assert!(v.len() < 6);
+            prop_assert!(pick == 1 || pick == 2);
+            prop_assume!(v.len() < 32);
+            let _ = flag;
+            prop_assert!(idx.index(7) < 7);
+        }
+
+        #[test]
+        fn combinators_compose(
+            s in prop::sample::select(vec!["a", "bb", "ccc"])
+                .prop_map(|s| s.len())
+                .prop_filter("nonzero", |n| *n > 0),
+        ) {
+            prop_assert!((1..=3).contains(&s));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use rand::SeedableRng;
+        let strat = prop::collection::vec(0u32..1000, 5usize);
+        let mut a = crate::TestRng::seed_from_u64(99);
+        let mut b = crate::TestRng::seed_from_u64(99);
+        assert_eq!(
+            crate::Strategy::generate(&strat, &mut a),
+            crate::Strategy::generate(&strat, &mut b)
+        );
+    }
+}

@@ -1,0 +1,376 @@
+//! Offline stand-in for `serde`.
+//!
+//! Instead of the visitor-based `Serializer`/`Deserializer` machinery,
+//! values convert to and from a small self-describing [`Content`] tree;
+//! `serde_json` renders that tree as JSON text.  The derive macros (behind
+//! the `derive` feature, from the sibling `serde_derive` crate) generate
+//! `to_content`/`from_content` implementations for structs and enums.
+//!
+//! The encoding is internally consistent (serialize → deserialize is the
+//! identity on every type in this workspace) but is *not* wire-compatible
+//! with upstream serde — nothing outside this repository reads the bytes.
+
+use std::collections::BTreeMap;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model every value serializes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// Unit / `None` / missing.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer too large for `i64`.
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence (arrays, tuples, tuple structs/variants).
+    Seq(Vec<Content>),
+    /// String-keyed map (structs, maps, enum wrappers).
+    Map(Vec<(String, Content)>),
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Build from any message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialize into the [`Content`] tree.
+pub trait Serialize {
+    /// Convert to content.
+    fn to_content(&self) -> Content;
+}
+
+/// Deserialize from the [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Convert from content.
+    fn from_content(c: &Content) -> Result<Self, DeError>;
+}
+
+/// Serialization-side namespace mirror.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// Deserialization-side namespace mirror.
+pub mod de {
+    pub use crate::Deserialize;
+
+    /// Owned deserialization (all deserialization here is owned).
+    pub trait DeserializeOwned: Deserialize {}
+
+    impl<T: Deserialize> DeserializeOwned for T {}
+}
+
+/// Derive-internal: look up a struct field by name.
+pub fn __field<T: Deserialize>(entries: &[(String, Content)], name: &str) -> Result<T, DeError> {
+    match entries.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_content(v),
+        // Tolerate absent fields that can decode from Null (e.g. Option).
+        None => T::from_content(&Content::Null)
+            .map_err(|_| DeError::custom(format!("missing field `{name}`"))),
+    }
+}
+
+macro_rules! ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::I64(v) => Ok(*v as $t),
+                    Content::U64(v) => Ok(*v as $t),
+                    Content::F64(v) if v.fract() == 0.0 => Ok(*v as $t),
+                    other => Err(DeError::custom(format!(
+                        "expected integer, found {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+ser_de_int!(i8, i16, i32, i64, isize, u8, u16, u32, usize);
+
+impl Serialize for u64 {
+    fn to_content(&self) -> Content {
+        if *self <= i64::MAX as u64 {
+            Content::I64(*self as i64)
+        } else {
+            Content::U64(*self)
+        }
+    }
+}
+
+impl Deserialize for u64 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::I64(v) if *v >= 0 => Ok(*v as u64),
+            Content::U64(v) => Ok(*v),
+            Content::F64(v) if v.fract() == 0.0 && *v >= 0.0 => Ok(*v as u64),
+            other => Err(DeError::custom(format!("expected u64, found {other:?}"))),
+        }
+    }
+}
+
+macro_rules! ser_de_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::F64(*self as f64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::F64(v) => Ok(*v as $t),
+                    Content::I64(v) => Ok(*v as $t),
+                    Content::U64(v) => Ok(*v as $t),
+                    Content::Null => Ok(<$t>::NAN),
+                    other => Err(DeError::custom(format!(
+                        "expected float, found {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+ser_de_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::custom(format!("expected char, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_content(_: &Content) -> Result<Self, DeError> {
+        Ok(())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => Ok(Some(T::from_content(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        T::from_content(c).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            Content::Null => Ok(Vec::new()),
+            other => Err(DeError::custom(format!(
+                "expected sequence, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+                .collect(),
+            Content::Null => Ok(BTreeMap::new()),
+            other => Err(DeError::custom(format!("expected map, found {other:?}"))),
+        }
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$n.to_content()),+])
+            }
+        }
+
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::Seq(items) => Ok(($($t::from_content(
+                        items.get($n).ok_or_else(|| DeError::custom("tuple too short"))?
+                    )?,)+)),
+                    other => Err(DeError::custom(format!(
+                        "expected tuple sequence, found {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+ser_de_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::from_content(&42u32.to_content()).unwrap(), 42);
+        assert_eq!(i64::from_content(&(-7i64).to_content()).unwrap(), -7);
+        assert_eq!(f64::from_content(&1.5f64.to_content()).unwrap(), 1.5);
+        assert!(bool::from_content(&true.to_content()).unwrap());
+        assert_eq!(
+            String::from_content(&"hi".to_string().to_content()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_content(&v.to_content()).unwrap(), v);
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1i64);
+        assert_eq!(
+            BTreeMap::<String, i64>::from_content(&m.to_content()).unwrap(),
+            m
+        );
+        let o: Option<u8> = None;
+        assert_eq!(Option::<u8>::from_content(&o.to_content()).unwrap(), None);
+        assert_eq!(
+            Option::<u8>::from_content(&Some(9u8).to_content()).unwrap(),
+            Some(9)
+        );
+    }
+}

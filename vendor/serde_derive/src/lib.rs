@@ -1,0 +1,421 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `serde::Serialize` / `serde::Deserialize` impls targeting the
+//! stand-in serde's `Content` tree.  The input is parsed directly from the
+//! `proc_macro` token stream (no `syn`/`quote` — those are unavailable
+//! offline) and the impls are emitted as source text.
+//!
+//! Supported shapes (everything this workspace derives):
+//! - structs with named fields, tuple structs, unit structs
+//! - enums with unit, tuple and struct variants
+//!
+//! `#[serde(...)]` attributes are accepted and ignored — the encoding is
+//! internally consistent, not upstream-wire-compatible.  Generic types are
+//! rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field layout of a struct or an enum variant.
+enum Shape {
+    /// No payload (`struct S;` / `Variant`).
+    Unit,
+    /// Parenthesised payload with this many fields.
+    Tuple(usize),
+    /// Braced payload with these field names.
+    Named(Vec<String>),
+}
+
+/// Parsed derive input.
+enum TypeDef {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Shape)>,
+    },
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, ser_impl)
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, de_impl)
+}
+
+fn expand(input: TokenStream, gen: fn(&TypeDef) -> String) -> TokenStream {
+    match parse_input(input) {
+        Ok(def) => gen(&def)
+            .parse()
+            .unwrap_or_else(|e| error(&format!("generated impl failed to parse: {e}"))),
+        Err(msg) => error(&msg),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+type Tokens = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skip `#[...]` attributes and `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(iter: &mut Tokens) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                // The bracketed attribute body.
+                iter.next();
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skip tokens until a comma at angle-bracket depth zero (consumes the
+/// comma).  Groups are atomic in a token stream, so only `<`/`>` puncts
+/// need depth tracking (e.g. `BTreeMap<String, Value>`).
+fn skip_type_until_comma(iter: &mut Tokens) {
+    let mut depth: i32 = 0;
+    for tt in iter.by_ref() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Count the fields of a tuple payload, honouring generics and a possible
+/// trailing comma.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth: i32 = 0;
+    let mut count = 0;
+    let mut in_field = false;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => {
+                    depth += 1;
+                    in_field = true;
+                }
+                '>' => {
+                    depth -= 1;
+                    in_field = true;
+                }
+                ',' if depth == 0 => {
+                    count += 1;
+                    in_field = false;
+                }
+                _ => in_field = true,
+            },
+            _ => in_field = true,
+        }
+    }
+    if in_field {
+        count += 1;
+    }
+    count
+}
+
+/// Collect the field names of a braced (named-field) payload.
+fn named_field_names(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut names = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        match iter.next() {
+            Some(TokenTree::Ident(name)) => {
+                names.push(name.to_string());
+                match iter.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => return Err(format!("expected `:` after field name, found {other:?}")),
+                }
+                skip_type_until_comma(&mut iter);
+            }
+            None => return Ok(names),
+            other => return Err(format!("expected field name, found {other:?}")),
+        }
+    }
+}
+
+/// Parse the variants of an enum body.
+fn enum_variants(stream: TokenStream) -> Result<Vec<(String, Shape)>, String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => return Ok(variants),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        let shape = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                iter.next();
+                Shape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let names = named_field_names(g.stream())?;
+                iter.next();
+                Shape::Named(names)
+            }
+            _ => Shape::Unit,
+        };
+        variants.push((name, shape));
+        // Skip to the separating comma (also skips `= discriminant`).
+        skip_type_until_comma(&mut iter);
+    }
+}
+
+fn parse_input(input: TokenStream) -> Result<TypeDef, String> {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "derive(Serialize/Deserialize) on generic type `{name}` is not supported \
+                 by the offline serde stand-in"
+            ));
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let shape = match iter.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(named_field_names(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                other => return Err(format!("unexpected struct body: {other:?}")),
+            };
+            Ok(TypeDef::Struct { name, shape })
+        }
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(TypeDef::Enum {
+                name,
+                variants: enum_variants(g.stream())?,
+            }),
+            other => Err(format!("unexpected enum body: {other:?}")),
+        },
+        other => Err(format!("expected `struct` or `enum`, found `{other}`")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+const IMPL_ATTRS: &str =
+    "#[automatically_derived]\n#[allow(unused_variables, unreachable_patterns, clippy::all)]\n";
+
+fn ser_impl(def: &TypeDef) -> String {
+    match def {
+        TypeDef::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => "::serde::Content::Null".to_string(),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                        .collect();
+                    format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+                }
+                Shape::Named(fields) => {
+                    let pairs: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "({f:?}.to_string(), ::serde::Serialize::to_content(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Content::Map(vec![{}])", pairs.join(", "))
+                }
+            };
+            format!(
+                "{IMPL_ATTRS}impl ::serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> ::serde::Content {{ {body} }}\n}}"
+            )
+        }
+        TypeDef::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, shape)| match shape {
+                    Shape::Unit => {
+                        format!("{name}::{v} => ::serde::Content::Str({v:?}.to_string()),")
+                    }
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_content({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({binds}) => ::serde::Content::Map(vec![({v:?}.to_string(), \
+                             ::serde::Content::Seq(vec![{items}]))]),",
+                            binds = binds.join(", "),
+                            items = items.join(", ")
+                        )
+                    }
+                    Shape::Named(fields) => {
+                        let pairs: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("({f:?}.to_string(), ::serde::Serialize::to_content({f}))")
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {fields} }} => ::serde::Content::Map(vec![({v:?}.to_string(), \
+                             ::serde::Content::Map(vec![{pairs}]))]),",
+                            fields = fields.join(", "),
+                            pairs = pairs.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "{IMPL_ATTRS}impl ::serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> ::serde::Content {{ match self {{ {arms} }} }}\n}}",
+                arms = arms.join("\n")
+            )
+        }
+    }
+}
+
+fn de_impl(def: &TypeDef) -> String {
+    let body = match def {
+        TypeDef::Struct { name, shape } => match shape {
+            Shape::Unit => format!("let _ = c; Ok({name})"),
+            Shape::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| {
+                        format!(
+                            "::serde::Deserialize::from_content(items.get({i}).ok_or_else(|| \
+                             ::serde::DeError::custom(\"sequence too short for `{name}`\"))?)?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "match c {{\n\
+                     ::serde::Content::Seq(items) => Ok({name}({items})),\n\
+                     other => Err(::serde::DeError::custom(format!(\
+                     \"expected sequence for `{name}`, found {{other:?}}\"))),\n}}",
+                    items = items.join(", ")
+                )
+            }
+            Shape::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::__field(entries, {f:?})?"))
+                    .collect();
+                format!(
+                    "match c {{\n\
+                     ::serde::Content::Map(entries) => Ok({name} {{ {inits} }}),\n\
+                     other => Err(::serde::DeError::custom(format!(\
+                     \"expected map for `{name}`, found {{other:?}}\"))),\n}}",
+                    inits = inits.join(", ")
+                )
+            }
+        },
+        TypeDef::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, s)| matches!(s, Shape::Unit))
+                .map(|(v, _)| format!("{v:?} => Ok({name}::{v}),"))
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(v, shape)| match shape {
+                    Shape::Unit => None,
+                    Shape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::from_content(items.get({i}).ok_or_else(|| \
+                                     ::serde::DeError::custom(\"sequence too short for `{name}::{v}`\"))?)?"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "{v:?} => match payload {{\n\
+                             ::serde::Content::Seq(items) => Ok({name}::{v}({items})),\n\
+                             other => Err(::serde::DeError::custom(format!(\
+                             \"expected sequence payload for `{name}::{v}`, found {{other:?}}\"))),\n}},",
+                            items = items.join(", ")
+                        ))
+                    }
+                    Shape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::__field(fields, {f:?})?"))
+                            .collect();
+                        Some(format!(
+                            "{v:?} => match payload {{\n\
+                             ::serde::Content::Map(fields) => Ok({name}::{v} {{ {inits} }}),\n\
+                             other => Err(::serde::DeError::custom(format!(\
+                             \"expected map payload for `{name}::{v}`, found {{other:?}}\"))),\n}},",
+                            inits = inits.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "match c {{\n\
+                 ::serde::Content::Str(tag) => match tag.as_str() {{\n\
+                 {unit_arms}\n\
+                 other => Err(::serde::DeError::custom(format!(\
+                 \"unknown unit variant `{{other}}` of `{name}`\"))),\n}},\n\
+                 ::serde::Content::Map(entries) if entries.len() == 1 => {{\n\
+                 let (tag, payload) = &entries[0];\n\
+                 match tag.as_str() {{\n\
+                 {payload_arms}\n\
+                 other => Err(::serde::DeError::custom(format!(\
+                 \"unknown variant `{{other}}` of `{name}`\"))),\n}}\n}},\n\
+                 other => Err(::serde::DeError::custom(format!(\
+                 \"expected variant encoding for `{name}`, found {{other:?}}\"))),\n}}",
+                unit_arms = unit_arms.join("\n"),
+                payload_arms = payload_arms.join("\n")
+            )
+        }
+    };
+    let name = match def {
+        TypeDef::Struct { name, .. } | TypeDef::Enum { name, .. } => name,
+    };
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Deserialize for {name} {{\n\
+         fn from_content(c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         {body}\n}}\n}}"
+    )
+}

@@ -1,0 +1,458 @@
+//! Offline stand-in for `serde_json`: renders the stand-in serde's
+//! [`Content`] tree as JSON text and parses JSON text back into it.
+//!
+//! Covers the workspace surface: [`to_string`], [`to_vec`], [`from_str`],
+//! [`from_slice`] and an [`Error`] type implementing `std::error::Error`.
+
+use serde::de::DeserializeOwned;
+use serde::{Content, Serialize};
+
+/// JSON encode/decode error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Serialize a value to a JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&value.to_content(), &mut out);
+    Ok(out)
+}
+
+/// Serialize a value to JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserialize a value from a JSON string.
+pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T, Error> {
+    let content = Parser::new(s).parse_document()?;
+    Ok(T::from_content(&content)?)
+}
+
+/// Deserialize a value from JSON bytes.
+pub fn from_slice<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::new(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_content(c: &Content, out: &mut String) {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(true) => out.push_str("true"),
+        Content::Bool(false) => out.push_str("false"),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => {
+            if v.is_finite() {
+                // `{}` prints the shortest round-trippable representation.
+                out.push_str(&v.to_string());
+            } else {
+                // JSON has no NaN/Infinity; null decodes back to NaN.
+                out.push_str("null");
+            }
+        }
+        Content::Str(s) => write_json_string(s, out),
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_content(item, out);
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json_string(k, out);
+                out.push(':');
+                write_content(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn parse_document(mut self) -> Result<Content, Error> {
+        let value = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(Error::new(format!("trailing data at byte {}", self.pos)));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, Error> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error::new("unexpected end of input"))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        let got = self.peek()?;
+        if got == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}, found `{}`",
+                b as char, self.pos, got as char
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(Error::new(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Content, Error> {
+        match self.peek()? {
+            b'n' => {
+                self.eat_literal("null")?;
+                Ok(Content::Null)
+            }
+            b't' => {
+                self.eat_literal("true")?;
+                Ok(Content::Bool(true))
+            }
+            b'f' => {
+                self.eat_literal("false")?;
+                Ok(Content::Bool(false))
+            }
+            b'"' => Ok(Content::Str(self.parse_string()?)),
+            b'[' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if self.peek()? == b']' {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b']' => {
+                            self.pos += 1;
+                            return Ok(Content::Seq(items));
+                        }
+                        other => {
+                            return Err(Error::new(format!(
+                                "expected `,` or `]` in array, found `{}`",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+            }
+            b'{' => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                if self.peek()? == b'}' {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.expect(b':')?;
+                    let value = self.parse_value()?;
+                    entries.push((key, value));
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b'}' => {
+                            self.pos += 1;
+                            return Ok(Content::Map(entries));
+                        }
+                        other => {
+                            return Err(Error::new(format!(
+                                "expected `,` or `}}` in object, found `{}`",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+            }
+            b'-' | b'0'..=b'9' => self.parse_number(),
+            other => Err(Error::new(format!(
+                "unexpected character `{}` at byte {}",
+                other as char, self.pos
+            ))),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| Error::new("unterminated string"))?;
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'u' => {
+                            let cp = self.parse_hex4()?;
+                            // Surrogate pair handling for completeness.
+                            let ch = if (0xd800..0xdc00).contains(&cp) {
+                                self.eat_literal("\\u")?;
+                                let low = self.parse_hex4()?;
+                                let combined =
+                                    0x10000 + ((cp - 0xd800) << 10) + (low.wrapping_sub(0xdc00));
+                                char::from_u32(combined)
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            out.push(ch.ok_or_else(|| Error::new("invalid \\u escape"))?);
+                        }
+                        other => {
+                            return Err(Error::new(format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 scalar (input was validated as UTF-8).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|e| Error::new(format!("invalid UTF-8: {e}")))?;
+                    let ch = rest.chars().next().unwrap();
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| Error::new("truncated \\u escape"))?;
+        let s = std::str::from_utf8(hex).map_err(|_| Error::new("bad \\u escape"))?;
+        let cp = u32::from_str_radix(s, 16).map_err(|_| Error::new("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(cp)
+    }
+
+    fn parse_number(&mut self) -> Result<Content, Error> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if is_float {
+            text.parse::<f64>()
+                .map(Content::F64)
+                .map_err(|_| Error::new(format!("invalid number `{text}`")))
+        } else if let Ok(i) = text.parse::<i64>() {
+            Ok(Content::I64(i))
+        } else if let Ok(u) = text.parse::<u64>() {
+            Ok(Content::U64(u))
+        } else {
+            text.parse::<f64>()
+                .map(Content::F64)
+                .map_err(|_| Error::new(format!("invalid number `{text}`")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+    use std::collections::BTreeMap;
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Plain {
+        id: u64,
+        name: String,
+        ratio: f64,
+        tags: Vec<String>,
+        opt: Option<i32>,
+    }
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Pair(String, i64);
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    #[serde(tag = "t", content = "v")]
+    enum Shape {
+        Empty,
+        Dot(f64),
+        Line(f64, f64),
+        Rect { w: f64, h: f64 },
+        Nested(Box<Shape>),
+        Labels(BTreeMap<String, String>),
+    }
+
+    fn roundtrip<T: Serialize + serde::de::DeserializeOwned + PartialEq + std::fmt::Debug>(v: &T) {
+        let json = to_string(v).unwrap();
+        let back: T = from_str(&json).unwrap();
+        assert_eq!(&back, v, "through {json}");
+        let bytes = to_vec(v).unwrap();
+        let back2: T = from_slice(&bytes).unwrap();
+        assert_eq!(&back2, v);
+    }
+
+    #[test]
+    fn named_struct_roundtrips() {
+        roundtrip(&Plain {
+            id: 42,
+            name: "hello \"world\"\nline2 \\ tab\t".to_string(),
+            ratio: -0.125,
+            tags: vec!["a".into(), "b".into()],
+            opt: None,
+        });
+        roundtrip(&Plain {
+            id: u64::MAX,
+            name: "ünïcødé ✓".to_string(),
+            ratio: 1e300,
+            tags: vec![],
+            opt: Some(-7),
+        });
+    }
+
+    #[test]
+    fn tuple_struct_roundtrips() {
+        roundtrip(&Pair("x".to_string(), -9));
+    }
+
+    #[test]
+    fn enum_variants_roundtrip() {
+        let mut labels = BTreeMap::new();
+        labels.insert("k".to_string(), "v".to_string());
+        for shape in [
+            Shape::Empty,
+            Shape::Dot(3.5),
+            Shape::Line(1.0, 2.0),
+            Shape::Rect { w: 4.0, h: 5.5 },
+            Shape::Nested(Box::new(Shape::Rect { w: 0.0, h: -1.0 })),
+            Shape::Labels(labels),
+        ] {
+            roundtrip(&shape);
+        }
+    }
+
+    #[test]
+    fn parses_whitespace_and_escapes() {
+        let v: Vec<String> = from_str(" [ \"a\\u0041\" , \"\\u00e9\" ] ").unwrap();
+        assert_eq!(v, vec!["aA".to_string(), "é".to_string()]);
+        let n: i64 = from_str(" -12 ").unwrap();
+        assert_eq!(n, -12);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<i64>("12 x").is_err());
+        assert!(from_str::<Vec<i64>>("[1, 2").is_err());
+        assert!(from_str::<String>("\"unterminated").is_err());
+    }
+}
