@@ -9,6 +9,8 @@
 //! the three events of Figure 6.
 
 use crate::time::SimTime;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// One kind of environment change.
@@ -230,6 +232,55 @@ impl Trace {
         t
     }
 
+    /// A seeded, reproducible fault schedule for crash/recovery harnesses:
+    /// `n_faults` environment faults drawn deterministically from `seed`,
+    /// landing inside `(0, horizon)`, over the named `nodes`.  Every fault
+    /// is paired with its recovery, operator suspends never nest, and the
+    /// trace always ends with a healthy environment, so any workload that
+    /// completes fault-free also completes under the schedule.  The same
+    /// `(seed, nodes, horizon, n_faults)` always yields the same trace —
+    /// a failing torture run reproduces from its printed seed alone.
+    pub fn seeded_faults(seed: u64, nodes: &[String], horizon: SimTime, n_faults: usize) -> Trace {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let horizon_s = (horizon.as_millis() / 1000).max(4);
+        let mut t = Trace::empty();
+        let mut suspend_open = false;
+        for _ in 0..n_faults {
+            let at = rng.gen_range(1..horizon_s);
+            let dur = rng.gen_range(1..=horizon_s / 2);
+            let end = at + dur;
+            match rng.gen_range(0u8..5) {
+                0 if !nodes.is_empty() => {
+                    let node = nodes[rng.gen_range(0..nodes.len())].clone();
+                    t.push(
+                        SimTime::from_secs(at),
+                        TraceEventKind::NodeDown(node.clone()),
+                    );
+                    t.push(SimTime::from_secs(end), TraceEventKind::NodeUp(node));
+                }
+                1 => {
+                    t.push(SimTime::from_secs(at), TraceEventKind::NetworkDown);
+                    t.push(SimTime::from_secs(end), TraceEventKind::NetworkUp);
+                }
+                2 => {
+                    t.push(SimTime::from_secs(at), TraceEventKind::ServerCrash);
+                    t.push(SimTime::from_secs(end), TraceEventKind::ServerRecover);
+                }
+                3 if !suspend_open => {
+                    suspend_open = true;
+                    t.push(SimTime::from_secs(at), TraceEventKind::OperatorSuspend);
+                    t.push(SimTime::from_secs(end), TraceEventKind::OperatorResume);
+                }
+                4 => {
+                    t.push(SimTime::from_secs(at), TraceEventKind::DiskFull);
+                    t.push(SimTime::from_secs(end), TraceEventKind::DiskFreed);
+                }
+                _ => {} // node fault with no nodes / nested suspend: skip
+            }
+        }
+        t
+    }
+
     /// The non-shared run (Figure 6): ik-linux, 31 May – 21 Jul; two
     /// planned network outages and the CPU-doubling OS change at ~day 25.
     pub fn nonshared_run() -> Trace {
@@ -328,6 +379,49 @@ mod tests {
             }
             assert_eq!(depth, 0);
         }
+    }
+
+    #[test]
+    fn seeded_faults_are_reproducible_paired_and_bounded() {
+        let nodes: Vec<String> = (0..3).map(|i| format!("n{i}")).collect();
+        let horizon = SimTime::from_secs(60);
+        let a = Trace::seeded_faults(42, &nodes, horizon, 8);
+        let b = Trace::seeded_faults(42, &nodes, horizon, 8);
+        assert_eq!(a, b, "same seed must yield the identical schedule");
+        let c = Trace::seeded_faults(43, &nodes, horizon, 8);
+        assert_ne!(a, c, "different seeds should diverge");
+
+        // Every fault is paired with a later recovery of the same kind.
+        let ev = a.sorted_events();
+        assert!(!ev.is_empty());
+        let count = |f: &dyn Fn(&TraceEventKind) -> bool| ev.iter().filter(|e| f(&e.kind)).count();
+        assert_eq!(
+            count(&|k| matches!(k, TraceEventKind::NetworkDown)),
+            count(&|k| matches!(k, TraceEventKind::NetworkUp))
+        );
+        assert_eq!(
+            count(&|k| matches!(k, TraceEventKind::ServerCrash)),
+            count(&|k| matches!(k, TraceEventKind::ServerRecover))
+        );
+        assert_eq!(
+            count(&|k| matches!(k, TraceEventKind::NodeDown(_))),
+            count(&|k| matches!(k, TraceEventKind::NodeUp(_)))
+        );
+        assert_eq!(
+            count(&|k| matches!(k, TraceEventKind::DiskFull)),
+            count(&|k| matches!(k, TraceEventKind::DiskFreed))
+        );
+        // Suspends never nest.
+        let mut depth = 0i32;
+        for e in &ev {
+            match e.kind {
+                TraceEventKind::OperatorSuspend => depth += 1,
+                TraceEventKind::OperatorResume => depth -= 1,
+                _ => {}
+            }
+            assert!((0..=1).contains(&depth));
+        }
+        assert_eq!(depth, 0);
     }
 
     #[test]

@@ -358,6 +358,17 @@ impl<D: Disk + Clone> Runtime<D> {
                 if self.try_unstall()? {
                     return Ok(true);
                 }
+                // Every remaining instance is operator-suspended and no
+                // work is in flight: the world is quiescent by request,
+                // not deadlocked.  `resume()` continues the run.
+                if self.in_flight.is_empty()
+                    && self.instances.values().all(|m| {
+                        m.header.status.is_terminal()
+                            || m.header.status == InstanceStatus::Suspended
+                    })
+                {
+                    return Ok(false);
+                }
                 Err(EngineError::Internal(format!(
                     "deadlock at {}: no pending events but instances incomplete \
                      (queue={}, in_flight={}, suspended={})",
@@ -1118,11 +1129,17 @@ impl<D: Disk + Clone> Runtime<D> {
         // (trace, job completions), queued or in-flight work.  When the
         // world is truly quiescent the run loop's unstall logic takes
         // over; an unconditional re-arm would tick forever on a stuck
-        // instance.
+        // instance.  Queue entries whose instance is operator-suspended
+        // are not runnable work — counting them would tick forever on a
+        // suspended instance (pump defers them back every iteration).
+        let runnable_queued = self.ready_queue.iter().any(|(id, _)| {
+            self.instances
+                .get(id)
+                .map(|m| m.header.status == InstanceStatus::Running)
+                .unwrap_or(false)
+        });
         let work_remains = !self.all_terminal()
-            && (self.kernel.pending() > 0
-                || !self.in_flight.is_empty()
-                || !self.ready_queue.is_empty());
+            && (self.kernel.pending() > 0 || !self.in_flight.is_empty() || runnable_queued);
         if work_remains && !self.heartbeat_scheduled {
             self.kernel
                 .schedule_after(self.cfg.heartbeat, EngineEvent::Heartbeat);

@@ -201,10 +201,7 @@ fn torn_wal_after_disk_crash_recovers_cleanly() {
         let _id = rt.submit("Pipeline", BTreeMap::new()).unwrap();
         // Let some events process, then blow up the disk mid-append.
         let written = disk.bytes_appended();
-        disk.set_fault_plan(Some(FaultPlan {
-            crash_after_bytes: written + 700,
-            tear_final_write: true,
-        }));
+        disk.set_fault_plan(Some(FaultPlan::after_bytes(written + 700, true)));
         // Drive until the storage failure surfaces as an engine error.
         let failed = loop {
             match rt.step() {
@@ -228,4 +225,65 @@ fn torn_wal_after_disk_crash_recovers_cleanly() {
     rt.run_to_completion().unwrap();
     assert_eq!(rt.instance_status(id), Some(InstanceStatus::Completed));
     assert_eq!(rt.whiteboard(id).unwrap()["sum"], Value::Int(110));
+}
+
+#[test]
+fn operator_suspend_survives_server_crash_and_resumes_identically() {
+    // Operator suspends a running instance; the server process then dies
+    // (volatile state lost, only the store survives); a fresh server
+    // recovers, the operator resumes.  The run must complete with results
+    // and instance-lifecycle history identical to a suspend/resume run
+    // that never crashed.
+    let run = |crash: bool| {
+        let disk = MemDisk::new();
+        let lib = pipeline_library(Arc::new(AtomicU64::new(0)), Arc::new(AtomicU64::new(0)));
+        let cfg = || RuntimeConfig {
+            heartbeat: SimTime::from_secs(30),
+            ..Default::default()
+        };
+        let mut rt = Runtime::new(disk.clone(), cluster(), lib.clone(), cfg()).unwrap();
+        rt.register_template(&pipeline_template()).unwrap();
+        let id = rt.submit("Pipeline", BTreeMap::new()).unwrap();
+        // Let the first activity get going, then suspend: running work is
+        // drained, nothing new starts.
+        for _ in 0..3 {
+            rt.step().unwrap();
+        }
+        rt.suspend(id).unwrap();
+        while !rt.in_flight_jobs().is_empty() {
+            rt.step().unwrap();
+        }
+        assert_eq!(rt.instance_status(id), Some(InstanceStatus::Suspended));
+        if crash {
+            drop(rt);
+            rt = Runtime::new(disk.clone(), cluster(), lib, cfg()).unwrap();
+            assert_eq!(
+                rt.instance_status(id),
+                Some(InstanceStatus::Suspended),
+                "suspension must survive the server crash"
+            );
+            // A suspended instance must not make progress on its own.
+            rt.run_to_completion().unwrap();
+            assert_eq!(rt.instance_status(id), Some(InstanceStatus::Suspended));
+        }
+        rt.resume(id).unwrap();
+        rt.run_to_completion().unwrap();
+        assert_eq!(rt.instance_status(id), Some(InstanceStatus::Completed));
+        let sum = rt.whiteboard(id).unwrap()["sum"].clone();
+        let events: Vec<(&str, usize)> = ["instance.start", "instance.complete", "instance.abort"]
+            .iter()
+            .map(|k| (*k, rt.awareness().of_kind(rt.store(), k).unwrap().len()))
+            .collect();
+        (sum, events)
+    };
+    let (clean_sum, clean_events) = run(false);
+    let (crashed_sum, crashed_events) = run(true);
+    assert_eq!(clean_sum, Value::Int(110));
+    assert_eq!(crashed_sum, clean_sum);
+    assert_eq!(
+        crashed_events, clean_events,
+        "history events must be identical"
+    );
+    assert_eq!(clean_events[0], ("instance.start", 1));
+    assert_eq!(clean_events[1], ("instance.complete", 1));
 }

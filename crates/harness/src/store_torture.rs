@@ -1,0 +1,461 @@
+//! Store-level crash-point enumeration.
+//!
+//! A scripted batch workload (puts, deletes, compactions across all four
+//! spaces) is first executed crash-free to obtain the oracle state and the
+//! exact number of disk mutations.  Every mutation index is then re-run as
+//! a crash point under each [`CrashEffect`], optionally with a *second*
+//! crash injected during the recovery replay, plus a pass of at-rest
+//! bit-flip corruption of the persisted WAL.
+//!
+//! After every injected fault the invariants are:
+//!
+//! * reopening the store never panics;
+//! * every **acknowledged** batch is fully present after recovery;
+//! * the in-flight batch is all-or-nothing — the recovered state is a
+//!   whole-batch prefix of the script, never a partial batch;
+//! * resuming the script from the recovered prefix converges on a state
+//!   byte-identical to the crash-free oracle, and that state survives one
+//!   further clean reopen;
+//! * a bit flip in the persisted log yields either a whole-batch prefix
+//!   (torn tail) or a typed corruption error — never a panic, never a
+//!   partial batch.
+
+use bioopera_store::{Batch, CrashEffect, Disk, FaultPlan, MemDisk, Space, Store, StoreError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Reference model of the logical store contents: `(space, key) -> value`.
+type Model = BTreeMap<(u8, String), Vec<u8>>;
+
+/// One scripted operation.
+#[derive(Debug, Clone)]
+pub enum ScriptOp {
+    /// Insert/replace a key.
+    Put {
+        /// Space tag (0..=3).
+        space: u8,
+        /// Key.
+        key: String,
+        /// Value bytes.
+        value: Vec<u8>,
+    },
+    /// Remove a key.
+    Delete {
+        /// Space tag (0..=3).
+        space: u8,
+        /// Key.
+        key: String,
+    },
+}
+
+/// One scripted step.
+#[derive(Debug, Clone)]
+pub enum Step {
+    /// Apply one atomic batch; counts as acknowledged only on `Ok`.
+    Apply(Vec<ScriptOp>),
+    /// Snapshot the state and truncate the WAL.
+    Compact,
+}
+
+/// Outcome of the store torture pass.
+pub struct StoreTortureOutcome {
+    /// Disk mutations of the crash-free probe run (= enumerable crash points).
+    pub mutations: u64,
+    /// Single-crash cases executed.
+    pub cases: usize,
+    /// Crash-during-recovery (double-crash) cases executed.
+    pub recovery_cases: usize,
+    /// At-rest bit-flip cases executed.
+    pub bitflip_cases: usize,
+    /// Invariant violations; empty on success.  Every entry embeds the
+    /// `HARNESS_SEED` and crash index needed to reproduce it.
+    pub violations: Vec<String>,
+}
+
+/// Deterministic scripted workload: ~24 batches of 1–4 operations over a
+/// small key universe in all four spaces, with two compactions landing
+/// mid-script so crash points inside `compact()` are part of the
+/// enumeration.
+pub fn scripted_workload(seed: u64) -> Vec<Step> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let keys: Vec<String> = (0..12).map(|i| format!("torture/k{i:02}")).collect();
+    let mut steps = Vec::new();
+    for b in 0..24u64 {
+        let n_ops = rng.gen_range(1..=4usize);
+        let mut ops = Vec::with_capacity(n_ops);
+        for _ in 0..n_ops {
+            let space = rng.gen_range(0..4u64) as u8;
+            let key = keys[rng.gen_range(0..keys.len())].clone();
+            if rng.gen_range(0..10u64) < 8 {
+                let len = rng.gen_range(0..32usize);
+                let value: Vec<u8> = (0..len).map(|_| rng.gen_range(0..=255u64) as u8).collect();
+                ops.push(ScriptOp::Put { space, key, value });
+            } else {
+                ops.push(ScriptOp::Delete { space, key });
+            }
+        }
+        steps.push(Step::Apply(ops));
+        if b == 7 || b == 15 {
+            steps.push(Step::Compact);
+        }
+    }
+    steps
+}
+
+fn to_batch(ops: &[ScriptOp]) -> Batch {
+    let mut b = Batch::new();
+    for op in ops {
+        match op {
+            ScriptOp::Put { space, key, value } => {
+                b.put(
+                    Space::from_u8(*space).expect("script space tag"),
+                    key.clone(),
+                    value.clone(),
+                );
+            }
+            ScriptOp::Delete { space, key } => {
+                b.delete(
+                    Space::from_u8(*space).expect("script space tag"),
+                    key.clone(),
+                );
+            }
+        }
+    }
+    b
+}
+
+/// Logical-state prefixes: `prefixes[j]` is the model state after the first
+/// `j` batches (compactions are state-identities).
+fn prefix_models(steps: &[Step]) -> Vec<Model> {
+    let mut models = vec![Model::new()];
+    let mut cur = Model::new();
+    for step in steps {
+        if let Step::Apply(ops) = step {
+            for op in ops {
+                match op {
+                    ScriptOp::Put { space, key, value } => {
+                        cur.insert((*space, key.clone()), value.clone());
+                    }
+                    ScriptOp::Delete { space, key } => {
+                        cur.remove(&(*space, key.clone()));
+                    }
+                }
+            }
+            models.push(cur.clone());
+        }
+    }
+    models
+}
+
+fn dump(store: &Store<MemDisk>) -> Result<Model, String> {
+    let mut m = Model::new();
+    for space in Space::ALL {
+        for (k, v) in store
+            .scan_prefix(space, "")
+            .map_err(|e| format!("scan failed: {e}"))?
+        {
+            m.insert((space as u8, k), v.to_vec());
+        }
+    }
+    Ok(m)
+}
+
+/// Crash-free probe: runs the script and returns the mutation count.
+fn probe(steps: &[Step]) -> u64 {
+    let disk = MemDisk::new();
+    let store = Store::open(disk.clone()).expect("probe open");
+    for step in steps {
+        match step {
+            Step::Apply(ops) => store.apply(to_batch(ops)).expect("probe apply"),
+            Step::Compact => store.compact().expect("probe compact"),
+        }
+    }
+    disk.mutation_count()
+}
+
+/// One crash case: crash at `crash_index` with `effect`, optionally crash
+/// again at recovery mutation `recovery_crash`, then verify every
+/// durability invariant.  Returns `Err(description)` on the first
+/// violation.
+fn store_case(
+    steps: &[Step],
+    prefixes: &[Model],
+    crash_index: u64,
+    effect: CrashEffect,
+    recovery_crash: Option<u64>,
+) -> Result<(), String> {
+    let disk = MemDisk::new();
+    disk.set_fault_plan(Some(FaultPlan::at_mutation(crash_index, effect)));
+
+    let mut acked = 0usize;
+    let mut crashed = false;
+    match Store::open(disk.clone()) {
+        Ok(store) => {
+            for step in steps {
+                let res = match step {
+                    Step::Apply(ops) => store.apply(to_batch(ops)).map(|()| true),
+                    Step::Compact => store.compact().map(|()| false),
+                };
+                match res {
+                    Ok(true) => acked += 1,
+                    Ok(false) => {}
+                    Err(_) => {
+                        crashed = true;
+                        break;
+                    }
+                }
+            }
+            if crashed {
+                // The surviving handle must be poisoned and refuse all work.
+                if !store.is_poisoned() {
+                    return Err("store handle not poisoned after crash".into());
+                }
+                if !matches!(
+                    store.get(Space::Instance, "torture/k00"),
+                    Err(StoreError::Poisoned)
+                ) {
+                    return Err("poisoned store served a read".into());
+                }
+            }
+        }
+        // Crash during the very first manifest write: nothing acknowledged.
+        Err(_) => crashed = true,
+    }
+    if !crashed {
+        return Err("fault plan never fired — crash index beyond workload mutations".into());
+    }
+
+    disk.reboot();
+
+    // Optionally crash a second time while recovery itself is mutating the
+    // disk (torn-tail truncation, stale-file GC).  Either recovery finishes
+    // before the armed index (then disarm), or it crashes and a second
+    // reboot + reopen must still succeed.
+    if let Some(r) = recovery_crash {
+        disk.set_fault_plan(Some(FaultPlan::at_mutation(r, CrashEffect::Drop)));
+        match Store::open(disk.clone()) {
+            Ok(_) => disk.set_fault_plan(None),
+            Err(_) => disk.reboot(),
+        }
+    }
+
+    let store = Store::open(disk.clone()).map_err(|e| format!("reopen after crash failed: {e}"))?;
+    let got = dump(&store)?;
+
+    // Durability: all acknowledged batches present.  Atomicity: the state
+    // is a whole-batch prefix; only the single in-flight batch may appear
+    // beyond the acknowledged ones (write completed, ack lost).
+    let recovered = if got == prefixes[acked] {
+        acked
+    } else if acked + 1 < prefixes.len() && got == prefixes[acked + 1] {
+        acked + 1
+    } else {
+        return Err(format!(
+            "recovered state is neither the {acked}-batch nor the {}-batch prefix \
+             ({} acknowledged)",
+            acked + 1,
+            acked
+        ));
+    };
+
+    // Resume the script from the first batch the recovered state lacks;
+    // the resumed run must converge byte-identically on the oracle.
+    let mut batch_no = 0usize;
+    for step in steps {
+        match step {
+            Step::Apply(ops) => {
+                batch_no += 1;
+                if batch_no <= recovered {
+                    continue;
+                }
+                store
+                    .apply(to_batch(ops))
+                    .map_err(|e| format!("resume apply of batch {batch_no} failed: {e}"))?;
+            }
+            Step::Compact => store
+                .compact()
+                .map_err(|e| format!("resume compact failed: {e}"))?,
+        }
+    }
+    let oracle = prefixes.last().expect("non-empty prefixes");
+    if dump(&store)? != *oracle {
+        return Err("resumed run diverged from the crash-free oracle".into());
+    }
+
+    // The converged state must survive one further clean reopen.
+    drop(store);
+    let store = Store::open(disk).map_err(|e| format!("final reopen failed: {e}"))?;
+    if dump(&store)? != *oracle {
+        return Err("converged state lost across a clean reopen".into());
+    }
+    Ok(())
+}
+
+/// One at-rest bit-flip case: run a crash-free prefix of the script, flip
+/// one bit of the persisted WAL, and reopen.  The outcome must be a
+/// whole-batch prefix (torn tail) or a typed corruption error.
+fn bitflip_case(
+    steps: &[Step],
+    prefixes: &[Model],
+    prefix_steps: usize,
+    offset_pick: u64,
+    bit: u32,
+) -> Result<(), String> {
+    let disk = MemDisk::new();
+    let store = Store::open(disk.clone()).map_err(|e| format!("open failed: {e}"))?;
+    let mut batches_done = 0usize;
+    for step in steps.iter().take(prefix_steps) {
+        match step {
+            Step::Apply(ops) => {
+                store
+                    .apply(to_batch(ops))
+                    .map_err(|e| format!("workload apply failed: {e}"))?;
+                batches_done += 1;
+            }
+            Step::Compact => store
+                .compact()
+                .map_err(|e| format!("workload compact failed: {e}"))?,
+        }
+    }
+    drop(store);
+
+    // Right after a compaction the new WAL does not exist yet (it is
+    // created lazily by the next append) — nothing to corrupt then.
+    let Some(wal) = disk
+        .list()
+        .map_err(|e| format!("list failed: {e}"))?
+        .into_iter()
+        .find(|n| n.starts_with("wal-"))
+    else {
+        return Ok(());
+    };
+    let len = disk.file_len(&wal).unwrap_or(0);
+    if len == 0 {
+        return Ok(());
+    }
+    let offset = (offset_pick % len as u64) as usize;
+    if !disk.corrupt_byte(&wal, offset, 1u8 << (bit % 8)) {
+        return Err(format!("corrupt_byte refused offset {offset} of {wal}"));
+    }
+
+    match Store::open(disk) {
+        Ok(store) => {
+            let got = dump(&store)?;
+            if !prefixes[..=batches_done].contains(&got) {
+                return Err(format!(
+                    "state after flipping bit {bit} at byte {offset} of {wal} \
+                     is not a whole-batch prefix"
+                ));
+            }
+        }
+        Err(StoreError::Corruption(_)) => {} // typed, acceptable
+        Err(e) => {
+            return Err(format!(
+                "unexpected error kind after flipping bit {bit} at byte {offset} of {wal}: {e}"
+            ))
+        }
+    }
+    Ok(())
+}
+
+/// Run a case through `catch_unwind` so a panicking recovery path becomes
+/// a reported violation (with its reproduction tag) instead of aborting
+/// the whole enumeration.
+fn run_case(violations: &mut Vec<String>, tag: String, case: impl FnOnce() -> Result<(), String>) {
+    match catch_unwind(AssertUnwindSafe(case)) {
+        Ok(Ok(())) => {}
+        Ok(Err(msg)) => violations.push(format!("{tag}: {msg}")),
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "<non-string panic>".into());
+            violations.push(format!("{tag}: PANICKED: {msg}"));
+        }
+    }
+}
+
+/// Full store torture pass.
+///
+/// With `limit == None` every mutation index of the probe run becomes a
+/// crash point; otherwise a seeded sample of `limit` indices (always
+/// including the first and last) is used.
+pub fn run_store_torture(seed: u64, limit: Option<usize>) -> StoreTortureOutcome {
+    let steps = scripted_workload(seed);
+    let prefixes = prefix_models(&steps);
+    let mutations = probe(&steps);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+
+    let crash_indices: Vec<u64> = match limit {
+        None => (0..mutations).collect(),
+        Some(n) => {
+            let mut picked = vec![0, mutations.saturating_sub(1)];
+            while picked.len() < n.min(mutations as usize) {
+                picked.push(rng.gen_range(0..mutations));
+            }
+            picked.sort_unstable();
+            picked.dedup();
+            picked
+        }
+    };
+
+    let mut out = StoreTortureOutcome {
+        mutations,
+        cases: 0,
+        recovery_cases: 0,
+        bitflip_cases: 0,
+        violations: Vec::new(),
+    };
+
+    for &k in &crash_indices {
+        let torn_keep = rng.gen_range(2..48u64);
+        let effects = [
+            CrashEffect::Drop,
+            CrashEffect::Torn { keep: 1 },
+            CrashEffect::Torn { keep: torn_keep },
+            CrashEffect::AfterApply,
+        ];
+        for effect in effects {
+            out.cases += 1;
+            run_case(
+                &mut out.violations,
+                format!("HARNESS_SEED={seed} crash-index={k} effect={effect:?}"),
+                || store_case(&steps, &prefixes, k, effect, None),
+            );
+        }
+        // Second crash during the recovery replay/GC of the torn-write image.
+        for r in 0..3u64 {
+            out.recovery_cases += 1;
+            let effect = CrashEffect::Torn { keep: torn_keep };
+            run_case(
+                &mut out.violations,
+                format!("HARNESS_SEED={seed} crash-index={k} effect={effect:?} recovery-crash={r}"),
+                || store_case(&steps, &prefixes, k, effect, Some(r)),
+            );
+        }
+    }
+
+    let n_flips = match limit {
+        None => 48,
+        Some(n) => n.max(8),
+    };
+    for _ in 0..n_flips {
+        out.bitflip_cases += 1;
+        let prefix_steps = rng.gen_range(1..=steps.len());
+        let offset_pick = rng.gen_range(0..u64::MAX);
+        let bit = rng.gen_range(0..8u64) as u32;
+        run_case(
+            &mut out.violations,
+            format!(
+                "HARNESS_SEED={seed} bit-flip prefix-steps={prefix_steps} \
+                 offset-pick={offset_pick} bit={bit}"
+            ),
+            || bitflip_case(&steps, &prefixes, prefix_steps, offset_pick, bit),
+        );
+    }
+
+    out
+}

@@ -1,0 +1,49 @@
+//! The torture harness as a test suite.  Any failure message embeds the
+//! `HARNESS_SEED`/crash-index pair that reproduces it:
+//! `HARNESS_SEED=<seed> cargo test -p bioopera-harness`.
+
+use bioopera_harness::{run_runtime_torture, run_store_torture, seed_from_env, DEFAULT_SEED};
+
+#[test]
+fn store_full_crash_point_enumeration_holds_all_invariants() {
+    let seed = seed_from_env(DEFAULT_SEED);
+    let out = run_store_torture(seed, None);
+    assert!(out.mutations > 25, "workload too small to be interesting");
+    assert!(
+        out.violations.is_empty(),
+        "{} violations (first: {})",
+        out.violations.len(),
+        out.violations[0]
+    );
+}
+
+#[test]
+fn store_enumeration_holds_under_an_alternate_seed() {
+    // A different seed produces a different script, torn-prefix lengths and
+    // flip offsets; a bounded sample keeps the suite fast.
+    let seed = seed_from_env(DEFAULT_SEED) ^ 0x00DE_C0DE;
+    let out = run_store_torture(seed, Some(10));
+    assert!(
+        out.violations.is_empty(),
+        "{} violations (first: {})",
+        out.violations.len(),
+        out.violations[0]
+    );
+}
+
+#[test]
+fn runtime_sampled_crash_points_recover_byte_identically() {
+    let seed = seed_from_env(DEFAULT_SEED);
+    let out = run_runtime_torture(seed, 6, 2);
+    assert!(
+        out.mutations > 50,
+        "all-vs-all run too small: {} mutations",
+        out.mutations
+    );
+    assert!(
+        out.violations.is_empty(),
+        "{} violations (first: {})",
+        out.violations.len(),
+        out.violations[0]
+    );
+}

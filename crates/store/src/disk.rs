@@ -5,10 +5,14 @@
 //! * [`FileDisk`] — a directory on the real filesystem, with `fsync` on the
 //!   paths that matter for durability.
 //! * [`MemDisk`] — an in-memory filesystem with **fault injection**: a
-//!   [`FaultPlan`] makes the disk "crash" after a configured number of bytes
-//!   have been appended, optionally leaving a *torn* (partial) final write
-//!   behind.  This is how the test suite and the recovery experiments create
-//!   genuine crash states instead of pretending.
+//!   [`FaultPlan`] makes the disk "crash" either after a configured number of
+//!   appended bytes or at an exact disk-mutation index, with a configurable
+//!   [`CrashEffect`] (drop the interrupted write, persist an arbitrary byte
+//!   prefix of it, or complete it and crash immediately after).  Persisted
+//!   bytes can additionally be bit-flipped in place to model media
+//!   corruption.  This is how the test suite, the recovery experiments and
+//!   the crash-point torture harness create genuine crash states instead of
+//!   pretending.
 
 use crate::error::{StoreError, StoreResult};
 use parking_lot::Mutex;
@@ -110,21 +114,78 @@ impl Disk for FileDisk {
 // MemDisk with fault injection
 // ---------------------------------------------------------------------------
 
-/// Plan describing when the in-memory disk should simulate a crash.
+/// When an injected fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTrigger {
+    /// Fire once this many further bytes have been appended.  Only
+    /// `append` consumes the budget; `write_atomic`/`delete` never trigger
+    /// (the legacy "crash after N appended bytes" model).
+    AfterBytes(u64),
+    /// Fire on the N-th disk **mutation** — `append`, `write_atomic` or
+    /// `delete` — counted from fault-plan installation, 0-based.  This is
+    /// what lets a harness enumerate *every* crash point of a workload.
+    AtMutation(u64),
+}
+
+/// What the crash leaves behind of the mutation it interrupts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashEffect {
+    /// The interrupted mutation is lost entirely.
+    Drop,
+    /// A torn write: an `append` persists only a byte prefix of the
+    /// attempted data; a `write_atomic` leaves a torn `<name>.tmp` beside
+    /// the intact old contents (mirroring [`FileDisk`]'s
+    /// write-temp-then-rename); a `delete` is simply lost.  `keep` bounds
+    /// the persisted prefix (clamped to the attempted length, and — under
+    /// [`FaultTrigger::AfterBytes`] — to the remaining byte budget).
+    Torn {
+        /// Upper bound on the persisted prefix length.
+        keep: u64,
+    },
+    /// The mutation completes in full, *then* the crash fires: models
+    /// power loss immediately after a durable write was acknowledged.
+    AfterApply,
+}
+
+/// Plan describing when the in-memory disk should simulate a crash and
+/// what state the interrupted mutation leaves behind.
 #[derive(Debug, Clone)]
 pub struct FaultPlan {
-    /// Crash once this many further bytes have been appended.
-    pub crash_after_bytes: u64,
-    /// If true, the append during which the budget runs out leaves a torn
-    /// (partial) suffix of the attempted write behind; otherwise the final
-    /// append is dropped entirely.
-    pub tear_final_write: bool,
+    /// When the fault fires.
+    pub trigger: FaultTrigger,
+    /// What survives of the interrupted mutation.
+    pub effect: CrashEffect,
+}
+
+impl FaultPlan {
+    /// The legacy byte-budget plan: crash once `crash_after_bytes` further
+    /// bytes have been appended; with `tear_final_write` the interrupted
+    /// append keeps the remaining budget as a torn prefix.
+    pub fn after_bytes(crash_after_bytes: u64, tear_final_write: bool) -> Self {
+        FaultPlan {
+            trigger: FaultTrigger::AfterBytes(crash_after_bytes),
+            effect: if tear_final_write {
+                CrashEffect::Torn { keep: u64::MAX }
+            } else {
+                CrashEffect::Drop
+            },
+        }
+    }
+
+    /// Crash on the `index`-th disk mutation with the given effect.
+    pub fn at_mutation(index: u64, effect: CrashEffect) -> Self {
+        FaultPlan {
+            trigger: FaultTrigger::AtMutation(index),
+            effect,
+        }
+    }
 }
 
 #[derive(Default)]
 struct MemDiskState {
     files: BTreeMap<String, Vec<u8>>,
     appended: u64,
+    mutations: u64,
     plan: Option<FaultPlan>,
 }
 
@@ -143,10 +204,12 @@ impl MemDisk {
         Self::default()
     }
 
-    /// Install (or replace) the fault plan. Byte accounting restarts at zero.
+    /// Install (or replace) the fault plan. Byte and mutation accounting
+    /// restart at zero.
     pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
         let mut st = self.state.lock();
         st.appended = 0;
+        st.mutations = 0;
         st.plan = plan;
         self.crashed.store(false, Ordering::SeqCst);
     }
@@ -168,12 +231,61 @@ impl MemDisk {
         self.state.lock().appended
     }
 
+    /// Disk mutations (`append` + `write_atomic` + `delete`) attempted
+    /// since the last fault-plan installation, including the mutation a
+    /// crash interrupted.  A crash-free probe run of a workload therefore
+    /// yields the exact number of enumerable crash points.
+    pub fn mutation_count(&self) -> u64 {
+        self.state.lock().mutations
+    }
+
+    /// XOR `mask` into byte `offset` of the persisted image of `name`,
+    /// modelling media corruption of at-rest bytes.  Returns `false` when
+    /// the file does not exist or `offset` is out of range.  Works even
+    /// while the disk is "crashed" — corruption does not need a live disk.
+    pub fn corrupt_byte(&self, name: &str, offset: usize, mask: u8) -> bool {
+        let mut st = self.state.lock();
+        match st.files.get_mut(name) {
+            Some(data) if offset < data.len() && mask != 0 => {
+                data[offset] ^= mask;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Length of the persisted image of `name`, bypassing crash state
+    /// (harness introspection; `None` when the file does not exist).
+    pub fn file_len(&self, name: &str) -> Option<usize> {
+        self.state.lock().files.get(name).map(Vec::len)
+    }
+
     fn check_alive(&self) -> StoreResult<()> {
         if self.has_crashed() {
             Err(StoreError::SimulatedCrash)
         } else {
             Ok(())
         }
+    }
+
+    fn crash(&self) -> StoreError {
+        self.crashed.store(true, Ordering::SeqCst);
+        StoreError::SimulatedCrash
+    }
+}
+
+/// Whether the installed plan fires for this mutation, and with which
+/// effect.  Assumes `st.mutations` has already been incremented for the
+/// current mutation (so the 0-based index of the current mutation is
+/// `st.mutations - 1`).
+fn fault_fires(st: &MemDiskState, append_len: Option<u64>) -> Option<CrashEffect> {
+    let plan = st.plan.as_ref()?;
+    match plan.trigger {
+        FaultTrigger::AfterBytes(budget) => {
+            let len = append_len?; // only appends consume the byte budget
+            (len > budget.saturating_sub(st.appended)).then_some(plan.effect)
+        }
+        FaultTrigger::AtMutation(idx) => (st.mutations - 1 == idx).then_some(plan.effect),
     }
 }
 
@@ -185,35 +297,54 @@ impl Disk for MemDisk {
 
     fn write_atomic(&self, name: &str, data: &[u8]) -> StoreResult<()> {
         self.check_alive()?;
-        // Atomic replace never tears: either the old or the new version
-        // survives. We model the successful case; crash-before counts as the
-        // whole write being lost, which the caller sees as the old version.
-        self.state
-            .lock()
-            .files
-            .insert(name.to_string(), data.to_vec());
+        let mut st = self.state.lock();
+        st.mutations += 1;
+        if let Some(effect) = fault_fires(&st, None) {
+            match effect {
+                // Atomic replace never tears the target: the old version
+                // survives a crash before the rename commits.
+                CrashEffect::Drop => {}
+                // ... but the temp file the backend was writing can be
+                // left behind, torn, exactly as FileDisk would.
+                CrashEffect::Torn { keep } => {
+                    let kept = (keep as usize).min(data.len());
+                    st.files
+                        .insert(format!("{name}.tmp"), data[..kept].to_vec());
+                }
+                CrashEffect::AfterApply => {
+                    st.files.insert(name.to_string(), data.to_vec());
+                }
+            }
+            drop(st);
+            return Err(self.crash());
+        }
+        st.files.insert(name.to_string(), data.to_vec());
         Ok(())
     }
 
     fn append(&self, name: &str, data: &[u8]) -> StoreResult<()> {
         self.check_alive()?;
         let mut st = self.state.lock();
-        if let Some(plan) = st.plan.clone() {
-            let budget = plan.crash_after_bytes.saturating_sub(st.appended);
-            if (data.len() as u64) > budget {
-                // The crash fires during this append.
-                let kept = if plan.tear_final_write {
-                    budget as usize
-                } else {
-                    0
-                };
-                let file = st.files.entry(name.to_string()).or_default();
-                file.extend_from_slice(&data[..kept]);
-                st.appended += kept as u64;
-                drop(st);
-                self.crashed.store(true, Ordering::SeqCst);
-                return Err(StoreError::SimulatedCrash);
-            }
+        st.mutations += 1;
+        if let Some(effect) = fault_fires(&st, Some(data.len() as u64)) {
+            let kept = match effect {
+                CrashEffect::Drop => 0,
+                CrashEffect::Torn { keep } => {
+                    let mut kept = (keep as usize).min(data.len());
+                    if let Some(FaultTrigger::AfterBytes(budget)) =
+                        st.plan.as_ref().map(|p| p.trigger)
+                    {
+                        kept = kept.min(budget.saturating_sub(st.appended) as usize);
+                    }
+                    kept
+                }
+                CrashEffect::AfterApply => data.len(),
+            };
+            let file = st.files.entry(name.to_string()).or_default();
+            file.extend_from_slice(&data[..kept]);
+            st.appended += kept as u64;
+            drop(st);
+            return Err(self.crash());
         }
         st.appended += data.len() as u64;
         st.files
@@ -230,7 +361,16 @@ impl Disk for MemDisk {
 
     fn delete(&self, name: &str) -> StoreResult<()> {
         self.check_alive()?;
-        self.state.lock().files.remove(name);
+        let mut st = self.state.lock();
+        st.mutations += 1;
+        if let Some(effect) = fault_fires(&st, None) {
+            if effect == CrashEffect::AfterApply {
+                st.files.remove(name);
+            }
+            drop(st);
+            return Err(self.crash());
+        }
+        st.files.remove(name);
         Ok(())
     }
 }
@@ -266,10 +406,7 @@ mod tests {
     #[test]
     fn fault_plan_tears_final_write() {
         let disk = MemDisk::new();
-        disk.set_fault_plan(Some(FaultPlan {
-            crash_after_bytes: 5,
-            tear_final_write: true,
-        }));
+        disk.set_fault_plan(Some(FaultPlan::after_bytes(5, true)));
         disk.append("wal", b"abc").unwrap();
         let err = disk.append("wal", b"defgh").unwrap_err();
         assert!(matches!(err, StoreError::SimulatedCrash));
@@ -284,13 +421,94 @@ mod tests {
     #[test]
     fn fault_plan_drop_final_write() {
         let disk = MemDisk::new();
-        disk.set_fault_plan(Some(FaultPlan {
-            crash_after_bytes: 4,
-            tear_final_write: false,
-        }));
+        disk.set_fault_plan(Some(FaultPlan::after_bytes(4, false)));
         disk.append("wal", b"abcd").unwrap();
         assert!(disk.append("wal", b"e").is_err());
         disk.reboot();
         assert_eq!(disk.read("wal").unwrap().unwrap(), b"abcd");
+    }
+
+    #[test]
+    fn mutation_trigger_counts_every_mutation_kind() {
+        let disk = MemDisk::new();
+        disk.append("wal", b"a").unwrap();
+        disk.write_atomic("snap", b"s").unwrap();
+        disk.delete("snap").unwrap();
+        assert_eq!(disk.mutation_count(), 3);
+        // Reads do not count.
+        disk.read("wal").unwrap();
+        disk.list().unwrap();
+        assert_eq!(disk.mutation_count(), 3);
+
+        // Crash exactly on mutation index 1 (the write_atomic).
+        disk.set_fault_plan(Some(FaultPlan::at_mutation(1, CrashEffect::Drop)));
+        assert_eq!(disk.mutation_count(), 0);
+        disk.append("wal", b"b").unwrap();
+        assert!(disk.write_atomic("snap", b"new").is_err());
+        assert!(disk.has_crashed());
+        disk.reboot();
+        // The atomic write was dropped whole: no "snap", no tmp.
+        assert_eq!(disk.read("snap").unwrap(), None);
+        assert_eq!(disk.read("snap.tmp").unwrap(), None);
+        assert_eq!(disk.read("wal").unwrap().unwrap(), b"ab");
+    }
+
+    #[test]
+    fn torn_write_atomic_leaves_partial_tmp_file() {
+        let disk = MemDisk::new();
+        disk.write_atomic("snap", b"old").unwrap();
+        disk.set_fault_plan(Some(FaultPlan::at_mutation(
+            0,
+            CrashEffect::Torn { keep: 4 },
+        )));
+        assert!(disk.write_atomic("snap", b"new-contents").is_err());
+        disk.reboot();
+        // Old contents intact, torn temp file left behind.
+        assert_eq!(disk.read("snap").unwrap().unwrap(), b"old");
+        assert_eq!(disk.read("snap.tmp").unwrap().unwrap(), b"new-");
+    }
+
+    #[test]
+    fn after_apply_persists_then_crashes() {
+        let disk = MemDisk::new();
+        disk.set_fault_plan(Some(FaultPlan::at_mutation(0, CrashEffect::AfterApply)));
+        assert!(disk.append("wal", b"abc").is_err());
+        disk.reboot();
+        // The write the caller saw fail is nonetheless fully durable.
+        assert_eq!(disk.read("wal").unwrap().unwrap(), b"abc");
+    }
+
+    #[test]
+    fn after_apply_delete_takes_effect() {
+        let disk = MemDisk::new();
+        disk.write_atomic("f", b"x").unwrap();
+        disk.set_fault_plan(Some(FaultPlan::at_mutation(0, CrashEffect::AfterApply)));
+        assert!(disk.delete("f").is_err());
+        disk.reboot();
+        assert_eq!(disk.read("f").unwrap(), None);
+    }
+
+    #[test]
+    fn torn_append_keeps_bounded_prefix() {
+        let disk = MemDisk::new();
+        disk.set_fault_plan(Some(FaultPlan::at_mutation(
+            0,
+            CrashEffect::Torn { keep: 2 },
+        )));
+        assert!(disk.append("wal", b"abcdef").is_err());
+        disk.reboot();
+        assert_eq!(disk.read("wal").unwrap().unwrap(), b"ab");
+    }
+
+    #[test]
+    fn corrupt_byte_flips_persisted_bits() {
+        let disk = MemDisk::new();
+        disk.append("wal", b"abc").unwrap();
+        assert!(disk.corrupt_byte("wal", 1, 0x01));
+        assert_eq!(disk.read("wal").unwrap().unwrap(), b"acc"); // 'b' ^ 0x01 == 'c'
+        assert!(!disk.corrupt_byte("wal", 99, 0x01));
+        assert!(!disk.corrupt_byte("missing", 0, 0x01));
+        assert_eq!(disk.file_len("wal"), Some(3));
+        assert_eq!(disk.file_len("missing"), None);
     }
 }

@@ -127,6 +127,8 @@ pub struct StoreStats {
     pub records: usize,
     /// Whether the last open discarded a torn tail.
     pub recovered_torn_tail: bool,
+    /// Bytes of torn tail the last open discarded.
+    pub recovered_truncated_bytes: u64,
 }
 
 struct Inner<D: Disk> {
@@ -136,6 +138,7 @@ struct Inner<D: Disk> {
     wal_bytes: u64,
     batches_applied: u64,
     recovered_torn_tail: bool,
+    recovered_truncated_bytes: u64,
     poisoned: bool,
 }
 
@@ -194,17 +197,49 @@ impl<D: Disk> Store<D> {
             }
         }
 
-        let (wal_bytes, recovered_torn_tail) = match disk.read(&wal_name(epoch))? {
-            Some(log) => {
-                let replay = wal::replay(&log)?;
-                for batch in replay.batches {
-                    batches_applied += 1;
-                    apply_ops(&mut mem, batch);
+        let (wal_bytes, recovered_torn_tail, recovered_truncated_bytes) =
+            match disk.read(&wal_name(epoch))? {
+                Some(log) => {
+                    let replay = wal::replay(&log)?;
+                    for batch in replay.batches {
+                        batches_applied += 1;
+                        apply_ops(&mut mem, batch);
+                    }
+                    if replay.torn_tail {
+                        // Repair: drop the torn tail *on disk*, not just in
+                        // memory.  Future appends must continue at the end
+                        // of the valid prefix — appending after the torn
+                        // bytes would make every post-recovery batch appear
+                        // to follow an invalid frame on the next open, and
+                        // be discarded.
+                        disk.write_atomic(&wal_name(epoch), &log[..replay.valid_len])?;
+                    }
+                    (
+                        replay.valid_len as u64,
+                        replay.torn_tail,
+                        replay.truncated_bytes as u64,
+                    )
                 }
-                (replay.valid_len as u64, replay.torn_tail)
+                None => (0, false, 0),
+            };
+
+        // Crash hygiene: a crash can leave partially-written temp files
+        // (torn `write_atomic`) and orphan snapshot/WAL files of adjacent
+        // epochs (crash inside `compact` between the snapshot write, the
+        // manifest commit and the old-epoch GC).  Remove them so they can
+        // never be mistaken for live state.  These deletes are themselves
+        // crash points (recovery-during-recovery) and are idempotent: a
+        // crash here leaves a state this same pass cleans on the next open.
+        let keep_wal = wal_name(epoch);
+        let keep_snap = snapshot_name(epoch);
+        for name in disk.list()? {
+            let stale = name.ends_with(".tmp")
+                || (name.starts_with("wal-") && name != keep_wal)
+                || (name.starts_with("snapshot-") && name != keep_snap);
+            if stale {
+                disk.delete(&name)?;
             }
-            None => (0, false),
-        };
+        }
 
         Ok(Store {
             inner: Arc::new(Mutex::new(Inner {
@@ -214,6 +249,7 @@ impl<D: Disk> Store<D> {
                 wal_bytes,
                 batches_applied,
                 recovered_torn_tail,
+                recovered_truncated_bytes,
                 poisoned: false,
             })),
         })
@@ -221,12 +257,12 @@ impl<D: Disk> Store<D> {
 
     /// Apply a batch atomically: durable in the WAL first, then visible.
     pub fn apply(&self, batch: Batch) -> StoreResult<()> {
-        if batch.is_empty() {
-            return Ok(());
-        }
         let mut inner = self.inner.lock();
         if inner.poisoned {
             return Err(StoreError::Poisoned);
+        }
+        if batch.is_empty() {
+            return Ok(());
         }
         let frame = wal::encode_frame(&batch.ops);
         let name = wal_name(inner.epoch);
@@ -322,14 +358,25 @@ impl<D: Disk> Store<D> {
             // Still write an (empty) snapshot so recovery has a file to find.
             snap.extend_from_slice(&wal::encode_frame(&[]));
         }
-        inner.disk.write_atomic(&snapshot_name(next), &snap)?;
-        inner
-            .disk
-            .write_atomic(MANIFEST, next.to_string().as_bytes())?;
-        let old_wal = wal_name(inner.epoch);
-        let old_snap = snapshot_name(inner.epoch);
-        inner.disk.delete(&old_wal)?;
-        inner.disk.delete(&old_snap)?;
+        // Any disk failure mid-compaction leaves the on-disk epoch state
+        // ambiguous from this handle's point of view: poison it so every
+        // further call fails until a re-open re-establishes the truth
+        // (recovery handles both the committed and the uncommitted case).
+        let io: StoreResult<()> = (|| {
+            inner.disk.write_atomic(&snapshot_name(next), &snap)?;
+            inner
+                .disk
+                .write_atomic(MANIFEST, next.to_string().as_bytes())?;
+            let old_wal = wal_name(inner.epoch);
+            let old_snap = snapshot_name(inner.epoch);
+            inner.disk.delete(&old_wal)?;
+            inner.disk.delete(&old_snap)?;
+            Ok(())
+        })();
+        if let Err(e) = io {
+            inner.poisoned = true;
+            return Err(e);
+        }
         inner.epoch = next;
         inner.wal_bytes = 0;
         Ok(())
@@ -344,6 +391,7 @@ impl<D: Disk> Store<D> {
             batches_applied: inner.batches_applied,
             records: inner.mem.len(),
             recovered_torn_tail: inner.recovered_torn_tail,
+            recovered_truncated_bytes: inner.recovered_truncated_bytes,
         }
     }
 
@@ -434,10 +482,7 @@ mod tests {
             .unwrap();
         // Crash 10 bytes into the next append, leaving a torn frame.
         // (set_fault_plan restarts the byte accounting at zero.)
-        disk.set_fault_plan(Some(FaultPlan {
-            crash_after_bytes: 10,
-            tear_final_write: true,
-        }));
+        disk.set_fault_plan(Some(FaultPlan::after_bytes(10, true)));
         let mut batch = Batch::new();
         batch
             .put(Space::Instance, "a", &b"1"[..])
@@ -542,6 +587,141 @@ mod tests {
                 .unwrap(),
             &b"v3"[..]
         );
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_disk_at_open() {
+        let (disk, store) = open_mem();
+        store
+            .put(Space::Instance, "committed", &b"yes"[..])
+            .unwrap();
+        disk.set_fault_plan(Some(FaultPlan::after_bytes(10, true)));
+        assert!(store.put(Space::Instance, "lost", &b"no"[..]).is_err());
+        disk.reboot();
+
+        let recovered = Store::open(disk.clone()).unwrap();
+        let stats = recovered.stats();
+        assert!(stats.recovered_torn_tail);
+        assert!(stats.recovered_truncated_bytes > 0);
+        // The torn bytes are gone from the device, so post-recovery appends
+        // continue the valid prefix…
+        recovered.put(Space::Instance, "after", &b"ok"[..]).unwrap();
+        drop(recovered);
+        // …and a *second* open replays every post-recovery batch instead of
+        // discarding them as trailing garbage (regression: recovery used to
+        // leave the torn tail on disk and append after it).
+        let again = Store::open(disk).unwrap();
+        assert!(!again.stats().recovered_torn_tail);
+        assert_eq!(
+            again.get(Space::Instance, "after").unwrap().unwrap(),
+            &b"ok"[..]
+        );
+        assert_eq!(
+            again.get(Space::Instance, "committed").unwrap().unwrap(),
+            &b"yes"[..]
+        );
+        assert_eq!(again.get(Space::Instance, "lost").unwrap(), None);
+    }
+
+    #[test]
+    fn crash_at_every_compact_mutation_recovers() {
+        use crate::disk::CrashEffect;
+        // compact() performs 4 mutations: snapshot write, manifest write,
+        // old-WAL delete, old-snapshot delete.  Crash at each, with every
+        // effect, and verify recovery sees exactly the pre-compact records
+        // and leaves no stale files behind.
+        for idx in 0..4u64 {
+            for effect in [
+                CrashEffect::Drop,
+                CrashEffect::Torn { keep: 7 },
+                CrashEffect::AfterApply,
+            ] {
+                let (disk, store) = open_mem();
+                for i in 0..20 {
+                    store
+                        .put(Space::History, format!("ev/{i:02}"), Bytes::from(vec![i]))
+                        .unwrap();
+                }
+                store.delete(Space::History, "ev/00").unwrap();
+                let expected: Vec<(String, Bytes)> = store.scan_prefix(Space::History, "").unwrap();
+
+                disk.set_fault_plan(Some(FaultPlan::at_mutation(idx, effect)));
+                assert!(
+                    store.compact().is_err(),
+                    "mutation {idx} {effect:?} must surface the crash"
+                );
+                assert!(store.is_poisoned(), "mutation {idx} {effect:?}");
+                disk.reboot();
+
+                let recovered = Store::open(disk.clone()).unwrap();
+                assert_eq!(
+                    recovered.scan_prefix(Space::History, "").unwrap(),
+                    expected,
+                    "mutation {idx} {effect:?}: records diverged"
+                );
+                // Open's hygiene pass removed temp files and orphan epochs.
+                let epoch = recovered.stats().epoch;
+                for name in disk.list().unwrap() {
+                    assert!(
+                        name == MANIFEST || name == wal_name(epoch) || name == snapshot_name(epoch),
+                        "mutation {idx} {effect:?}: stale file `{name}` survived recovery"
+                    );
+                }
+                // The recovered store keeps working.
+                recovered
+                    .put(Space::History, "ev/99", &b"post"[..])
+                    .unwrap();
+                recovered.compact().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn poisoned_store_rejects_every_public_op_without_touching_disk() {
+        let (disk, store) = open_mem();
+        store.put(Space::Instance, "k", &b"v"[..]).unwrap();
+        store.poison();
+        let mutations_before = disk.mutation_count();
+
+        let mut batch = Batch::new();
+        batch.put(Space::Instance, "x", &b"1"[..]);
+        assert!(matches!(store.apply(batch), Err(StoreError::Poisoned)));
+        // Even a no-op batch is rejected: the handle is dead.
+        assert!(matches!(
+            store.apply(Batch::new()),
+            Err(StoreError::Poisoned)
+        ));
+        assert!(matches!(
+            store.put(Space::Instance, "x", &b"1"[..]),
+            Err(StoreError::Poisoned)
+        ));
+        assert!(matches!(
+            store.delete(Space::Instance, "k"),
+            Err(StoreError::Poisoned)
+        ));
+        assert!(matches!(
+            store.get(Space::Instance, "k"),
+            Err(StoreError::Poisoned)
+        ));
+        assert!(matches!(
+            store.scan_prefix(Space::Instance, ""),
+            Err(StoreError::Poisoned)
+        ));
+        assert!(matches!(
+            store.len(Space::Instance),
+            Err(StoreError::Poisoned)
+        ));
+        assert!(matches!(
+            store.is_empty(Space::Instance),
+            Err(StoreError::Poisoned)
+        ));
+        assert!(matches!(store.compact(), Err(StoreError::Poisoned)));
+        assert_eq!(
+            disk.mutation_count(),
+            mutations_before,
+            "a poisoned handle must never touch the disk"
+        );
+        assert!(store.is_poisoned());
     }
 
     #[test]

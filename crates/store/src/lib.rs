@@ -30,7 +30,7 @@ pub mod error;
 pub mod typed;
 pub mod wal;
 
-pub use disk::{Disk, FaultPlan, FileDisk, MemDisk};
+pub use disk::{CrashEffect, Disk, FaultPlan, FaultTrigger, FileDisk, MemDisk};
 pub use engine::{Batch, Space, Store, StoreStats};
 pub use error::{StoreError, StoreResult};
 pub use typed::TypedSpace;

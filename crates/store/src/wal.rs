@@ -11,9 +11,11 @@
 //! ```
 //!
 //! Replay stops at the first frame whose header or checksum is invalid *and*
-//! which extends to the end of the log — that is a torn tail left by a crash
-//! and is silently discarded, as in any production WAL.  An invalid frame
-//! followed by more bytes is genuine corruption and is reported as an error.
+//! after which no complete valid frame exists — that is a torn tail left by
+//! a crash and is discarded (its exact byte count is reported), as in any
+//! production WAL.  An invalid frame *followed by a later valid frame* is
+//! genuine mid-log corruption: skipping it would silently drop committed
+//! batches, so replay reports a typed [`StoreError::Corruption`] instead.
 
 use crate::crc::crc32;
 use crate::error::{StoreError, StoreResult};
@@ -127,49 +129,66 @@ pub struct Replay {
     pub batches: Vec<Vec<WalOp>>,
     /// Number of bytes of valid log consumed; any torn tail is past this.
     pub valid_len: usize,
+    /// Bytes discarded past `valid_len` (the torn tail's size; 0 when the
+    /// whole image replayed).
+    pub truncated_bytes: usize,
     /// True when a torn tail was discarded.
     pub torn_tail: bool,
+}
+
+/// Parse one frame at the start of `rest`: `(payload, bytes consumed)`, or
+/// `None` when the header, length or checksum is invalid.
+fn parse_frame(rest: &[u8]) -> Option<(&[u8], usize)> {
+    if rest.len() < HEADER_LEN || rest[..2] != MAGIC {
+        return None;
+    }
+    let len = u32::from_le_bytes([rest[2], rest[3], rest[4], rest[5]]);
+    let crc = u32::from_le_bytes([rest[6], rest[7], rest[8], rest[9]]);
+    if len > MAX_PAYLOAD || rest.len() < HEADER_LEN + len as usize {
+        return None;
+    }
+    let payload = &rest[HEADER_LEN..HEADER_LEN + len as usize];
+    (crc32(payload) == crc).then_some((payload, HEADER_LEN + len as usize))
 }
 
 /// Replay a WAL byte image into its batches.
 ///
 /// A malformed region at the very end of the image is treated as a torn
-/// write and discarded; malformed bytes *followed by* further data indicate
-/// corruption of the middle of the log and produce an error, because
-/// silently skipping committed batches would break atomicity guarantees.
+/// write and discarded, with the number of discarded bytes reported in
+/// [`Replay::truncated_bytes`].  A malformed region *followed by a later
+/// valid frame* indicates corruption of the middle of the log and produces
+/// a typed [`StoreError::Corruption`], because silently skipping committed
+/// batches would break atomicity and durability guarantees.
 pub fn replay(log: &[u8]) -> StoreResult<Replay> {
     let mut batches = Vec::new();
     let mut off = 0usize;
     while off < log.len() {
-        let rest = &log[off..];
-        // A frame needs a complete header.
-        let header_ok = rest.len() >= HEADER_LEN && rest[..2] == MAGIC;
-        let frame = if header_ok {
-            let len = u32::from_le_bytes([rest[2], rest[3], rest[4], rest[5]]);
-            let crc = u32::from_le_bytes([rest[6], rest[7], rest[8], rest[9]]);
-            if len <= MAX_PAYLOAD && rest.len() >= HEADER_LEN + len as usize {
-                let payload = &rest[HEADER_LEN..HEADER_LEN + len as usize];
-                if crc32(payload) == crc {
-                    Some((payload, HEADER_LEN + len as usize))
-                } else {
-                    None
-                }
-            } else {
-                None
-            }
-        } else {
-            None
-        };
-        match frame {
+        match parse_frame(&log[off..]) {
             Some((payload, consumed)) => {
                 batches.push(decode_payload(payload)?);
                 off += consumed;
             }
             None => {
-                // Invalid frame: torn tail if this is the last region.
+                // Invalid frame.  If any complete valid frame exists later
+                // in the image, this is mid-log corruption, not a torn
+                // tail: a crash tears only the *last* write, so committed
+                // frames can never follow the tear.
+                let tail = &log[off..];
+                let mut probe = 1usize;
+                while probe + HEADER_LEN <= tail.len() {
+                    if tail[probe..probe + 2] == MAGIC && parse_frame(&tail[probe..]).is_some() {
+                        return Err(StoreError::Corruption(format!(
+                            "invalid frame at byte {off} followed by a valid frame at byte {}: \
+                             mid-log corruption, refusing to drop committed batches",
+                            off + probe
+                        )));
+                    }
+                    probe += 1;
+                }
                 return Ok(Replay {
                     batches,
                     valid_len: off,
+                    truncated_bytes: log.len() - off,
                     torn_tail: true,
                 });
             }
@@ -178,6 +197,7 @@ pub fn replay(log: &[u8]) -> StoreResult<Replay> {
     Ok(Replay {
         batches,
         valid_len: off,
+        truncated_bytes: 0,
         torn_tail: false,
     })
 }
@@ -251,6 +271,7 @@ mod tests {
             assert_eq!(replay.batches.len(), 1, "cut at {cut}");
             assert!(replay.torn_tail, "cut at {cut}");
             assert_eq!(replay.valid_len, first_len);
+            assert_eq!(replay.truncated_bytes, cut - first_len);
         }
     }
 
@@ -262,23 +283,25 @@ mod tests {
         let replay = replay(&log).unwrap();
         assert_eq!(replay.batches.len(), 0);
         assert!(replay.torn_tail);
+        assert_eq!(replay.truncated_bytes, n);
     }
 
     #[test]
-    fn bitflip_mid_log_is_corruption() {
+    fn bitflip_mid_log_is_typed_corruption() {
         let mut log = encode_frame(&sample_ops());
+        let first_len = log.len();
         log.extend_from_slice(&encode_frame(&sample_ops()));
-        // Flip a payload byte of the first frame.
-        log[HEADER_LEN + 2] ^= 0x01;
-        // The first frame now fails CRC; since bytes follow, replay treats
-        // the rest as unreachable and reports a torn tail at offset 0 —
-        // but the *store* layer detects the mismatch against its expected
-        // batch count. At the framing layer we at least never return bogus
-        // batches:
-        let replay = replay(&log).unwrap();
-        assert_eq!(replay.batches.len(), 0);
-        assert!(replay.torn_tail);
-        assert_eq!(replay.valid_len, 0);
+        // Flip a payload byte of the first frame: it fails CRC, but the
+        // intact second frame proves this is corruption rather than a torn
+        // tail, and replay must refuse to silently drop committed batches.
+        for off in [2, HEADER_LEN + 2, first_len - 1] {
+            let mut bad = log.clone();
+            bad[off] ^= 0x01;
+            assert!(
+                matches!(replay(&bad), Err(StoreError::Corruption(_))),
+                "flip at byte {off} must be typed corruption"
+            );
+        }
     }
 
     #[test]

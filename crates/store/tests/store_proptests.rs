@@ -127,7 +127,7 @@ proptest! {
 
         // Now the crashing run.
         let disk = MemDisk::new();
-        disk.set_fault_plan(Some(FaultPlan { crash_after_bytes: crash_at, tear_final_write: tear }));
+        disk.set_fault_plan(Some(FaultPlan::after_bytes(crash_at, tear)));
         let store = Store::open(disk.clone()).unwrap();
         let mut acknowledged = 0usize;
         for batch in &batches {

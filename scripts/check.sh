@@ -13,4 +13,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> crash-point torture harness (bounded; seed override: HARNESS_SEED=N)"
+# Full store crash-point enumeration + sampled runtime crash points; ~5 s.
+cargo run -q -p bioopera-harness --bin torture -- --runtime-samples 8 --recovery-samples 3
+
 echo "All checks passed."
