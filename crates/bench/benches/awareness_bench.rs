@@ -1,0 +1,117 @@
+//! Awareness micro-benchmark: event record/flush throughput and the
+//! indexed-query vs full-scan latency gap.
+//!
+//! Not a criterion bench on purpose — like `kernel_bench`, it emits a
+//! machine-readable `BENCH_awareness.json` into the results directory so
+//! the numbers land in the repo's perf trajectory.  Run with
+//! `cargo bench --bench awareness_bench`.
+
+use bioopera_bench::write_results;
+use bioopera_cluster::SimTime;
+use bioopera_core::{Awareness, EventKind};
+use bioopera_store::{MemDisk, Store};
+use serde::Serialize;
+use std::time::Instant;
+
+const EVENTS: usize = 50_000;
+const FLUSH_EVERY: usize = 64;
+const QUERY_ROUNDS: usize = 200;
+
+#[derive(Serialize)]
+struct AwarenessBenchReport {
+    events: usize,
+    flush_every: usize,
+    /// Wall seconds to record + batch-flush all events.
+    record_secs: f64,
+    events_per_sec: f64,
+    /// Mean nanoseconds for an indexed count + of_kind query.
+    indexed_query_ns: f64,
+    /// Wall seconds for one full-scan index rebuild (the pre-index path).
+    full_scan_secs: f64,
+    /// Full scan time over mean indexed query time.
+    indexed_speedup: f64,
+}
+
+fn synthetic_event(i: usize) -> EventKind {
+    let instance = (i % 128) as u64;
+    let path = format!("Chunk[{}]", i % 500);
+    let node = format!("n{}", i % 32);
+    match i % 5 {
+        0 => EventKind::TaskStart {
+            instance,
+            path,
+            node,
+            job: i as u64,
+            queue_ms: (i % 2_000) as u64,
+        },
+        1 => EventKind::TaskEnd {
+            instance,
+            path,
+            node,
+            run_ms: (i % 60_000) as u64,
+            cpu_ms: (i % 60_000) as f64,
+        },
+        2 => EventKind::NodeLoad {
+            node,
+            cpus: (i % 16) as f64,
+        },
+        3 => EventKind::InstanceStart {
+            instance,
+            template: "AllVsAllChunk".into(),
+        },
+        _ => EventKind::InstanceComplete { instance },
+    }
+}
+
+fn main() {
+    let store = Store::open(MemDisk::new()).unwrap();
+    let mut aw = Awareness::open(&store).unwrap();
+
+    let start = Instant::now();
+    for i in 0..EVENTS {
+        aw.record(SimTime::from_millis(i as u64 * 500), synthetic_event(i));
+        if (i + 1) % FLUSH_EVERY == 0 {
+            aw.flush(&store).unwrap();
+        }
+    }
+    aw.flush(&store).unwrap();
+    let record_secs = start.elapsed().as_secs_f64();
+
+    // Indexed queries: the monitoring dashboard's summary, answered from
+    // the in-memory index.
+    let start = Instant::now();
+    let mut checksum = 0usize;
+    for _ in 0..QUERY_ROUNDS {
+        checksum += aw.index().count("task.end");
+        checksum += aw.of_kind(&store, "node.load").unwrap().len();
+        checksum += aw.index().for_node("n7").len();
+    }
+    let indexed_query_ns = start.elapsed().as_nanos() as f64 / QUERY_ROUNDS as f64;
+    std::hint::black_box(checksum);
+
+    // The pre-index answer to the same questions: scan and re-aggregate.
+    let start = Instant::now();
+    let rebuilt = aw.rebuild_index(&store).unwrap();
+    let full_scan_secs = start.elapsed().as_secs_f64();
+    assert_eq!(&rebuilt, aw.index(), "index must match full-scan rebuild");
+
+    let report = AwarenessBenchReport {
+        events: EVENTS,
+        flush_every: FLUSH_EVERY,
+        record_secs,
+        events_per_sec: EVENTS as f64 / record_secs,
+        indexed_query_ns,
+        full_scan_secs,
+        indexed_speedup: full_scan_secs * 1e9 / indexed_query_ns.max(1.0),
+    };
+    eprintln!(
+        "  record: {:.0} events/s   indexed query: {:.0} ns   full scan: {:.3} s ({:.0}x)",
+        report.events_per_sec,
+        report.indexed_query_ns,
+        report.full_scan_secs,
+        report.indexed_speedup
+    );
+    let json = serde_json::to_string(&report).expect("serialize report");
+    write_results("BENCH_awareness.json", &json);
+    println!("{json}");
+}

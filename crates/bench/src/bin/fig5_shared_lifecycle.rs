@@ -5,9 +5,13 @@
 //! Prints the availability/utilization series as an ASCII chart (and CSV),
 //! plus the labeled event log with the engine's reaction to each event —
 //! the reproduction of the paper's event-by-event discussion in §5.4.
+//! The chart, CSV and counters all come from the awareness layer's shared
+//! rollup/index API; a machine-readable [`bioopera_core::RunReport`] is
+//! written alongside them.
 
 use bioopera_bench::{ascii_lifecycle, run_allvsall, write_results};
 use bioopera_cluster::{Cluster, SimTime, Trace};
+use bioopera_core::series_csv;
 use bioopera_workloads::allvsall::{AllVsAllConfig, AllVsAllSetup};
 use std::fmt::Write;
 
@@ -42,16 +46,9 @@ fn main() {
         println!("{line}");
         let _ = writeln!(log, "{line}");
     }
-    let masked = rt
-        .awareness()
-        .of_kind(rt.store(), "task.systemfail")
-        .unwrap_or_default()
-        .len();
-    let failures = rt
-        .awareness()
-        .of_kind(rt.store(), "node.crash")
-        .unwrap_or_default()
-        .len();
+    let idx = rt.awareness().index();
+    let masked = idx.count("task.systemfail");
+    let failures = idx.count("node.crash");
     let restarts = rt.auto_restarts();
     println!();
     println!("WALL(P) = {}   CPU(P) = {}", stats.wall, stats.cpu);
@@ -60,23 +57,18 @@ fn main() {
         "node crashes observed: {failures}; operator restarts for non-reporting TEUs: {restarts}"
     );
 
-    // CSV for external plotting.
-    let mut csv = String::from("day,availability,utilization\n");
-    for s in rt.series() {
-        let _ = writeln!(
-            csv,
-            "{:.3},{},{:.2}",
-            s.at.as_days_f64(),
-            s.availability,
-            s.utilization
-        );
-    }
-    write_results("fig5_series.csv", &csv);
+    // CSV for external plotting (same rendering the awareness layer uses).
+    write_results("fig5_series.csv", &series_csv(rt.series()));
     write_results(
         "fig5_shared_lifecycle.txt",
         &format!(
             "{chart}\n{log}\nWALL={} CPU={} masked_failures={masked} node_crashes={failures} auto_restarts={restarts}\n",
             stats.wall, stats.cpu
         ),
+    );
+    let report = rt.run_report(SimTime::from_hours(12));
+    write_results(
+        "fig5_report.json",
+        &serde_json::to_string(&report).expect("serialize run report"),
     );
 }

@@ -4,9 +4,14 @@
 //! change that doubles the processors per node — "once the number of
 //! processors doubled, BioOpera took advantage of the available CPU power
 //! immediately".
+//!
+//! Chart, CSV and the before/after-upgrade comparison all come from the
+//! awareness layer's shared rollup API; a machine-readable
+//! [`bioopera_core::RunReport`] is written alongside them.
 
 use bioopera_bench::{ascii_lifecycle, run_allvsall, write_results};
 use bioopera_cluster::{Cluster, SimTime, Trace};
+use bioopera_core::{mean_utilization_where, series_csv};
 use bioopera_workloads::allvsall::{AllVsAllConfig, AllVsAllSetup};
 use std::fmt::Write;
 
@@ -44,41 +49,25 @@ fn main() {
     println!("WALL(P) = {}   CPU(P) = {}", stats.wall, stats.cpu);
 
     // Verify the headline behaviors of the second run.
-    let before: Vec<f64> = rt
-        .series()
-        .iter()
-        .filter(|s| (5.0..9.5).contains(&s.at.as_days_f64()))
-        .map(|s| s.utilization)
-        .collect();
-    let after: Vec<f64> = rt
-        .series()
-        .iter()
-        .filter(|s| s.at.as_days_f64() > 25.5 && s.utilization > 0.0)
-        .map(|s| s.utilization)
-        .collect();
-    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let before = mean_utilization_where(rt.series(), |s| (5.0..9.5).contains(&s.at.as_days_f64()));
+    let after = mean_utilization_where(rt.series(), |s| {
+        s.at.as_days_f64() > 25.5 && s.utilization > 0.0
+    });
     println!(
-        "mean utilization before upgrade (day 5-9.5): {:.1} CPUs; after upgrade: {:.1} CPUs",
-        mean(&before),
-        mean(&after)
+        "mean utilization before upgrade (day 5-9.5): {before:.1} CPUs; after upgrade: {after:.1} CPUs"
     );
-    if mean(&after) < 1.5 * mean(&before) {
+    if after < 1.5 * before {
         eprintln!("WARNING: expected utilization to roughly double after the upgrade");
     }
 
-    let mut csv = String::from("day,availability,utilization\n");
-    for s in rt.series() {
-        let _ = writeln!(
-            csv,
-            "{:.3},{},{:.2}",
-            s.at.as_days_f64(),
-            s.availability,
-            s.utilization
-        );
-    }
-    write_results("fig6_series.csv", &csv);
+    write_results("fig6_series.csv", &series_csv(rt.series()));
     write_results(
         "fig6_nonshared_lifecycle.txt",
         &format!("{chart}\n{log}\nWALL={} CPU={}\n", stats.wall, stats.cpu),
+    );
+    let report = rt.run_report(SimTime::from_hours(12));
+    write_results(
+        "fig6_report.json",
+        &serde_json::to_string(&report).expect("serialize run report"),
     );
 }

@@ -7,7 +7,7 @@
 //! availability/utilization series, and writing results files.
 
 use bioopera_cluster::{Cluster, SimTime, Trace};
-use bioopera_core::{Runtime, RuntimeConfig, SeriesSample};
+use bioopera_core::{Runtime, RuntimeConfig, SeriesRollup, SeriesSample};
 use bioopera_store::MemDisk;
 use bioopera_workloads::allvsall::AllVsAllSetup;
 use std::path::PathBuf;
@@ -58,33 +58,13 @@ pub fn ascii_lifecycle(series: &[SeriesSample], width: usize, height: usize) -> 
         .map(|s| s.availability as f64)
         .fold(1.0f64, f64::max);
     let mut grid = vec![vec![' '; width]; height];
-    // For each column, aggregate the samples falling into it.
-    for col in 0..width {
-        let lo = t_max * col as f64 / width as f64;
-        let hi = t_max * (col + 1) as f64 / width as f64;
-        let bucket: Vec<&SeriesSample> = series
-            .iter()
-            .filter(|s| {
-                let d = s.at.as_days_f64();
-                d >= lo && d < hi
-            })
-            .collect();
-        let (avail, util) = if bucket.is_empty() {
-            // Carry the nearest previous sample.
-            let prev = series
-                .iter()
-                .rev()
-                .find(|s| s.at.as_days_f64() < hi)
-                .unwrap_or(&series[0]);
-            (prev.availability as f64, prev.utilization)
-        } else {
-            (
-                bucket.iter().map(|s| s.availability as f64).sum::<f64>() / bucket.len() as f64,
-                bucket.iter().map(|s| s.utilization).sum::<f64>() / bucket.len() as f64,
-            )
-        };
-        let a_rows = ((avail / y_max) * (height as f64 - 1.0)).round() as usize;
-        let u_rows = ((util / y_max) * (height as f64 - 1.0)).round() as usize;
+    // One chart column per rollup bin: the shared awareness-layer rollup
+    // performs exactly the aggregation (bucket mean, carry-forward fill)
+    // these charts have always used.
+    let rollup = SeriesRollup::over_days(series, t_max, width);
+    for (col, bin) in rollup.bins().iter().enumerate() {
+        let a_rows = ((bin.availability / y_max) * (height as f64 - 1.0)).round() as usize;
+        let u_rows = ((bin.utilization / y_max) * (height as f64 - 1.0)).round() as usize;
         for (row, grid_row) in grid.iter_mut().enumerate() {
             let y = height - 1 - row; // row 0 at top
             if y <= u_rows {

@@ -57,12 +57,14 @@ pub struct AdaptiveMonitor {
 }
 
 impl AdaptiveMonitor {
-    /// A monitor with the given configuration, sampling immediately.
+    /// A monitor with the given configuration.  The PEC's sampling clock
+    /// starts at monitor creation, so the first sample lands after one
+    /// full minimum interval (immediately when `min_interval` is 1).
     pub fn new(cfg: MonitorConfig) -> Self {
         AdaptiveMonitor {
             cfg,
             interval: cfg.min_interval,
-            ticks_until_sample: 0,
+            ticks_until_sample: cfg.min_interval.saturating_sub(1),
             last_sample: None,
             last_reported: None,
             samples_taken: 0,
@@ -128,11 +130,19 @@ pub struct MonitorReport {
     pub discard_fraction: f64,
     /// Network/sampling saving versus naive per-tick sampling + reporting.
     pub traffic_reduction: f64,
-    /// Mean |server view − true load| per grid tick, in percentage points
-    /// of load (the paper's "average 1 % error per sample").
+    /// Mean |server view − true load| per *observed* grid tick, in
+    /// percentage points of load (the paper's "average 1 % error per
+    /// sample").  Warm-up ticks before the first report reaches the
+    /// server carry no view to compare against and are excluded — folding
+    /// them in would dilute the mean toward zero.
     pub mean_abs_error_pct: f64,
     /// Worst-case error, percentage points.
     pub max_error_pct: f64,
+    /// Ticks before the first report reached the server (no view yet).
+    pub warmup_ticks: u64,
+    /// Ticks over which the error was actually measured
+    /// (`truth.len() - warmup_ticks`).
+    pub observed_ticks: u64,
 }
 
 /// Replay `truth` (one load value per grid tick) through a monitor with
@@ -143,15 +153,20 @@ pub fn evaluate(truth: &[f64], cfg: MonitorConfig) -> MonitorReport {
     let mut have_view = false;
     let mut abs_err_sum = 0.0;
     let mut max_err = 0.0f64;
+    let mut warmup_ticks = 0u64;
+    let mut observed_ticks = 0u64;
     for &load in truth {
         if let Some(reported) = mon.tick(load) {
             server_view = reported;
             have_view = true;
         }
         if have_view {
+            observed_ticks += 1;
             let err = (server_view - load).abs();
             abs_err_sum += err;
             max_err = max_err.max(err);
+        } else {
+            warmup_ticks += 1;
         }
     }
     let n = truth.len().max(1) as f64;
@@ -166,8 +181,13 @@ pub fn evaluate(truth: &[f64], cfg: MonitorConfig) -> MonitorReport {
             1.0 - sent as f64 / taken as f64
         },
         traffic_reduction: 1.0 - sent as f64 / n,
-        mean_abs_error_pct: abs_err_sum / n * 100.0,
+        // Average over the ticks the server could actually be wrong
+        // about, not the full replay: dividing by `truth.len()` silently
+        // shrank the error whenever the first report arrived late.
+        mean_abs_error_pct: abs_err_sum / observed_ticks.max(1) as f64 * 100.0,
         max_error_pct: max_err * 100.0,
+        warmup_ticks,
+        observed_ticks,
     }
 }
 
@@ -239,6 +259,35 @@ mod tests {
             "error too high: {}",
             report.mean_abs_error_pct
         );
+    }
+
+    #[test]
+    fn late_first_report_does_not_dilute_mean_error() {
+        // First sample lands at tick 49 (min_interval 50) and reports 0.9;
+        // the load then drops to 0.5 but report_cutoff 1.0 suppresses all
+        // further reports, so the view stays wrong by 0.4 for 50 of the
+        // 51 observed ticks.  The old code divided by the full 100-tick
+        // replay and reported 20 %; the true per-observed-tick error is
+        // 20.0 / 51.
+        let mut truth = vec![0.9; 50];
+        truth.extend(vec![0.5; 50]);
+        let cfg = MonitorConfig {
+            min_interval: 50,
+            max_interval: 50,
+            stability_cutoff: 0.0,
+            report_cutoff: 1.0,
+        };
+        let report = evaluate(&truth, cfg);
+        assert_eq!(report.warmup_ticks, 49);
+        assert_eq!(report.observed_ticks, 51);
+        let expected = 20.0 / 51.0 * 100.0;
+        assert!(
+            (report.mean_abs_error_pct - expected).abs() < 1e-9,
+            "mean err {} != {}",
+            report.mean_abs_error_pct,
+            expected
+        );
+        assert!((report.max_error_pct - 40.0).abs() < 1e-9);
     }
 
     #[test]

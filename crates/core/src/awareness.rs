@@ -6,94 +6,720 @@
 //! information regarding the state of the computing environment.  All
 //! together, this information allows the creation of an awareness model"
 //! (§3.4).  Records live in the History space and survive everything.
+//!
+//! Events carry a structured [`EventKind`] taxonomy (instance, task, node,
+//! cluster and operator events with typed fields) rather than free-form
+//! strings; records written by earlier versions still deserialize as
+//! [`EventKind::Legacy`].  An in-memory [`AwarenessIndex`] is maintained
+//! incrementally on every [`Awareness::record`] — by-kind / by-instance /
+//! by-node postings, counters, gauges and latency histograms — so
+//! monitoring queries never rescan the store.  Appends are buffered and
+//! flushed as **one store batch per navigator step** ([`Awareness::flush`]),
+//! keeping WAL traffic proportional to steps rather than events while
+//! preserving per-step crash atomicity.
 
+use crate::metrics::Histogram;
 use bioopera_cluster::SimTime;
-use bioopera_store::{Disk, Space, Store, TypedSpace};
-use serde::{Deserialize, Serialize};
+use bioopera_store::{Batch, Disk, Space, Store, StoreError, TypedSpace};
+use serde::{Content, DeError, Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// What happened, with typed fields.  `instance` is the [`InstanceId`],
+/// `path` the task path inside the process template, `node` a cluster node
+/// name; durations are virtual milliseconds.
+///
+/// [`InstanceId`]: crate::state::InstanceId
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A process instance was submitted and started.
+    InstanceStart {
+        /// Instance id.
+        instance: u64,
+        /// Template name it was instantiated from.
+        template: String,
+    },
+    /// An instance reached `Completed`.
+    InstanceComplete {
+        /// Instance id.
+        instance: u64,
+    },
+    /// An instance reached `Aborted`.
+    InstanceAbort {
+        /// Instance id.
+        instance: u64,
+    },
+    /// A lineage-driven partial recomputation was applied.
+    InstanceRecompute {
+        /// The new instance id.
+        instance: u64,
+        /// The terminal source instance whose recorded outputs are reused.
+        source: u64,
+        /// Tasks/fields whose change triggered the recompute.
+        changed: Vec<String>,
+    },
+    /// The operator restarted an instance (e.g. after a non-reporting TEU).
+    InstanceRestart {
+        /// Instance id.
+        instance: u64,
+        /// Dispatched tasks pulled back into the ready queue.
+        requeued: u64,
+    },
+    /// The operator suspended an instance.
+    InstanceSuspend {
+        /// Instance id.
+        instance: u64,
+    },
+    /// The operator resumed an instance.
+    InstanceResume {
+        /// Instance id.
+        instance: u64,
+    },
+    /// A task was dispatched to a node.
+    TaskStart {
+        /// Instance id.
+        instance: u64,
+        /// Task path.
+        path: String,
+        /// Node it was placed on.
+        node: String,
+        /// TEU job id on that node.
+        job: u64,
+        /// Time spent ready-but-unscheduled before dispatch.
+        queue_ms: u64,
+    },
+    /// A task finished and its effects were applied.
+    TaskEnd {
+        /// Instance id.
+        instance: u64,
+        /// Task path.
+        path: String,
+        /// Node it ran on.
+        node: String,
+        /// Dispatch→completion wall time.
+        run_ms: u64,
+        /// Reference-CPU milliseconds charged.
+        cpu_ms: f64,
+    },
+    /// A task failed with a program-level error.
+    TaskFail {
+        /// Instance id.
+        instance: u64,
+        /// Task path.
+        path: String,
+        /// Program error message.
+        error: String,
+    },
+    /// A task failure reclassified as a system failure (node fault, §3.4)
+    /// and scheduled for transparent re-execution.
+    TaskSystemFail {
+        /// Instance id.
+        instance: u64,
+        /// Task path.
+        path: String,
+        /// What the system observed (crash, network partition, ...).
+        reason: String,
+    },
+    /// A TEU stopped reporting; the operator will restart the instance.
+    TaskNonReport {
+        /// Instance id.
+        instance: u64,
+        /// Task path.
+        path: String,
+    },
+    /// A task died to a full disk on its node.
+    TaskDiskFull {
+        /// Instance id.
+        instance: u64,
+        /// Task path.
+        path: String,
+    },
+    /// A dispatched task was pulled off a dead node and requeued.
+    TaskMigrate {
+        /// Instance id.
+        instance: u64,
+        /// Task path.
+        path: String,
+        /// The node it was evacuated from.
+        node: String,
+    },
+    /// A compensation program ran while aborting an instance.
+    TaskCompensate {
+        /// Instance id.
+        instance: u64,
+        /// Task path being compensated.
+        path: String,
+        /// Compensation program name.
+        program: String,
+    },
+    /// A late-bound subprocess was instantiated.
+    SubprocessStart {
+        /// Parent instance id.
+        instance: u64,
+        /// Subprocess task path in the parent.
+        path: String,
+        /// Child instance id.
+        child: u64,
+        /// Child template name.
+        template: String,
+    },
+    /// A finished child instance reported to an already-completed
+    /// subprocess slot (duplicate delivery, ignored).
+    SubprocessDuplicate {
+        /// Parent instance id.
+        instance: u64,
+        /// Subprocess task path in the parent.
+        path: String,
+        /// Child instance id.
+        child: u64,
+    },
+    /// An external event was signalled into an instance.
+    EventSignal {
+        /// Instance id.
+        instance: u64,
+        /// Event name.
+        event: String,
+    },
+    /// A node crashed.
+    NodeCrash {
+        /// Node name.
+        node: String,
+    },
+    /// A node came back.
+    NodeRecover {
+        /// Node name.
+        node: String,
+    },
+    /// A load sample: external (non-BioOpera) CPU pressure on a node.
+    NodeLoad {
+        /// Node name.
+        node: String,
+        /// CPUs' worth of external load.
+        cpus: f64,
+    },
+    /// The whole cluster failed (switch failure, Fig. 5).
+    ClusterFailure,
+    /// The whole cluster recovered.
+    ClusterRecover,
+    /// The cluster was upgraded mid-run (Fig. 6).
+    ClusterUpgrade {
+        /// CPUs added.
+        cpus: u32,
+    },
+    /// The BioOpera server recovered after a crash and rebuilt from the
+    /// store.
+    ServerRecover {
+        /// Dispatched tasks requeued during rebuild.
+        requeued: u64,
+    },
+    /// Operator suspended the whole engine.
+    OperatorSuspend,
+    /// Operator resumed the whole engine.
+    OperatorResume,
+    /// A record written before the typed taxonomy (old string format).
+    Legacy {
+        /// The old free-form kind, e.g. `task.end`.
+        kind: String,
+        /// The old free-form detail string.
+        detail: String,
+    },
+}
+
+impl EventKind {
+    /// The stable dot-separated label (`task.end`, `node.crash`, ...) —
+    /// the same strings the pre-taxonomy records used, so label-based
+    /// queries span old and new history.  [`Legacy`] records answer with
+    /// their stored kind.
+    ///
+    /// [`Legacy`]: EventKind::Legacy
+    pub fn label(&self) -> &str {
+        match self {
+            EventKind::InstanceStart { .. } => "instance.start",
+            EventKind::InstanceComplete { .. } => "instance.complete",
+            EventKind::InstanceAbort { .. } => "instance.abort",
+            EventKind::InstanceRecompute { .. } => "instance.recompute",
+            EventKind::InstanceRestart { .. } => "instance.restart",
+            EventKind::InstanceSuspend { .. } => "instance.suspend",
+            EventKind::InstanceResume { .. } => "instance.resume",
+            EventKind::TaskStart { .. } => "task.start",
+            EventKind::TaskEnd { .. } => "task.end",
+            EventKind::TaskFail { .. } => "task.fail",
+            EventKind::TaskSystemFail { .. } => "task.systemfail",
+            EventKind::TaskNonReport { .. } => "task.nonreport",
+            EventKind::TaskDiskFull { .. } => "task.diskfull",
+            EventKind::TaskMigrate { .. } => "task.migrate",
+            EventKind::TaskCompensate { .. } => "task.compensate",
+            EventKind::SubprocessStart { .. } => "subprocess.start",
+            EventKind::SubprocessDuplicate { .. } => "subprocess.duplicate",
+            EventKind::EventSignal { .. } => "event.signal",
+            EventKind::NodeCrash { .. } => "node.crash",
+            EventKind::NodeRecover { .. } => "node.recover",
+            EventKind::NodeLoad { .. } => "node.load",
+            EventKind::ClusterFailure => "cluster.failure",
+            EventKind::ClusterRecover => "cluster.recover",
+            EventKind::ClusterUpgrade { .. } => "cluster.upgrade",
+            EventKind::ServerRecover { .. } => "server.recover",
+            EventKind::OperatorSuspend => "operator.suspend",
+            EventKind::OperatorResume => "operator.resume",
+            EventKind::Legacy { kind, .. } => kind,
+        }
+    }
+
+    /// The instance this event concerns, if any.
+    pub fn instance(&self) -> Option<u64> {
+        match self {
+            EventKind::InstanceStart { instance, .. }
+            | EventKind::InstanceComplete { instance }
+            | EventKind::InstanceAbort { instance }
+            | EventKind::InstanceRecompute { instance, .. }
+            | EventKind::InstanceRestart { instance, .. }
+            | EventKind::InstanceSuspend { instance }
+            | EventKind::InstanceResume { instance }
+            | EventKind::TaskStart { instance, .. }
+            | EventKind::TaskEnd { instance, .. }
+            | EventKind::TaskFail { instance, .. }
+            | EventKind::TaskSystemFail { instance, .. }
+            | EventKind::TaskNonReport { instance, .. }
+            | EventKind::TaskDiskFull { instance, .. }
+            | EventKind::TaskMigrate { instance, .. }
+            | EventKind::TaskCompensate { instance, .. }
+            | EventKind::SubprocessStart { instance, .. }
+            | EventKind::SubprocessDuplicate { instance, .. }
+            | EventKind::EventSignal { instance, .. } => Some(*instance),
+            _ => None,
+        }
+    }
+
+    /// The task path this event concerns, if any.
+    pub fn task_path(&self) -> Option<&str> {
+        match self {
+            EventKind::TaskStart { path, .. }
+            | EventKind::TaskEnd { path, .. }
+            | EventKind::TaskFail { path, .. }
+            | EventKind::TaskSystemFail { path, .. }
+            | EventKind::TaskNonReport { path, .. }
+            | EventKind::TaskDiskFull { path, .. }
+            | EventKind::TaskMigrate { path, .. }
+            | EventKind::TaskCompensate { path, .. }
+            | EventKind::SubprocessStart { path, .. }
+            | EventKind::SubprocessDuplicate { path, .. } => Some(path),
+            _ => None,
+        }
+    }
+
+    /// The node this event concerns, if any.
+    pub fn node(&self) -> Option<&str> {
+        match self {
+            EventKind::TaskStart { node, .. }
+            | EventKind::TaskEnd { node, .. }
+            | EventKind::TaskMigrate { node, .. }
+            | EventKind::NodeCrash { node }
+            | EventKind::NodeRecover { node }
+            | EventKind::NodeLoad { node, .. } => Some(node),
+            _ => None,
+        }
+    }
+}
+
+/// Label comparison, so `event.kind == "task.end"` reads like the old
+/// string-typed field.
+impl PartialEq<&str> for EventKind {
+    fn eq(&self, other: &&str) -> bool {
+        self.label() == *other
+    }
+}
+
+impl PartialEq<str> for EventKind {
+    fn eq(&self, other: &str) -> bool {
+        self.label() == other
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
 
 /// One history record.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct HistoryEvent {
     /// Virtual time of the event.
     pub at: SimTime,
-    /// Category, e.g. `task.end`, `node.crash`, `server.recover`.
-    pub kind: String,
-    /// Free-form details (instance/task/node names, counts).
-    pub detail: String,
+    /// What happened.
+    pub kind: EventKind,
 }
 
-/// Append-only writer/reader for the History space.
+/// Hand-written so pre-taxonomy records still load: the old format was
+/// `{"at": ..., "kind": "<string>", "detail": "<string>"}` — a top-level
+/// `detail` field marks it (typed records never serialize one), and its
+/// free-form strings become [`EventKind::Legacy`].
+impl Deserialize for HistoryEvent {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let entries = match c {
+            Content::Map(entries) => entries,
+            other => {
+                return Err(DeError::custom(format!(
+                    "expected history event map, found {other:?}"
+                )))
+            }
+        };
+        let at: SimTime = serde::__field(entries, "at")?;
+        let kind_c = entries
+            .iter()
+            .find(|(k, _)| k == "kind")
+            .map(|(_, v)| v)
+            .ok_or_else(|| DeError::custom("history event missing `kind`"))?;
+        let detail = entries.iter().find(|(k, _)| k == "detail").map(|(_, v)| v);
+        let kind = match (kind_c, detail) {
+            (Content::Str(kind), Some(Content::Str(detail))) => EventKind::Legacy {
+                kind: kind.clone(),
+                detail: detail.clone(),
+            },
+            (_, None) => EventKind::from_content(kind_c).or_else(|e| match kind_c {
+                // A bare kind string that is no unit-variant name is still
+                // a legacy record (tolerate a missing detail field).
+                Content::Str(kind) => Ok(EventKind::Legacy {
+                    kind: kind.clone(),
+                    detail: String::new(),
+                }),
+                _ => Err(e),
+            })?,
+            (_, Some(other)) => {
+                return Err(DeError::custom(format!(
+                    "history event `detail` must be a string, found {other:?}"
+                )))
+            }
+        };
+        Ok(HistoryEvent { at, kind })
+    }
+}
+
+/// Awareness-layer errors: store failures, plus history keys that do not
+/// belong to the append sequence (foreign or corrupt keys must surface,
+/// never silently reset the sequence — that would overwrite history).
+#[derive(Debug)]
+pub enum AwarenessError {
+    /// The underlying store failed.
+    Store(StoreError),
+    /// A History-space key under the event prefix is not a sequence number.
+    BadKey {
+        /// The offending key (without the `ev/` prefix).
+        key: String,
+    },
+}
+
+impl fmt::Display for AwarenessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AwarenessError::Store(e) => write!(f, "store: {e}"),
+            AwarenessError::BadKey { key } => {
+                write!(f, "history key `{key}` is not a sequence number")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AwarenessError {}
+
+impl From<StoreError> for AwarenessError {
+    fn from(e: StoreError) -> Self {
+        AwarenessError::Store(e)
+    }
+}
+
+/// In-memory index over the event log, maintained incrementally as events
+/// are recorded (and rebuilt from the store on open/recovery).  Answers
+/// the monitoring queries — counts, postings, latency histograms, gauges —
+/// without rescanning the History space.
+///
+/// Invariant (checked by the equivalence proptests): ingesting the full
+/// event log in sequence order produces the same index as the incremental
+/// path, so every query here equals its full-scan answer.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AwarenessIndex {
+    log: Vec<HistoryEvent>,
+    by_kind: BTreeMap<String, Vec<usize>>,
+    by_instance: BTreeMap<u64, Vec<usize>>,
+    by_node: BTreeMap<String, Vec<usize>>,
+    run_ms: Histogram,
+    queue_ms: Histogram,
+    in_flight: u64,
+    peak_in_flight: u64,
+    nodes_down: BTreeSet<String>,
+    total_cpu_ms: f64,
+}
+
+impl AwarenessIndex {
+    /// Fold one event in (events must arrive in sequence order).
+    pub fn ingest(&mut self, ev: &HistoryEvent) {
+        match &ev.kind {
+            EventKind::TaskStart { queue_ms, .. } => {
+                self.queue_ms.observe(*queue_ms);
+                self.in_flight += 1;
+                self.peak_in_flight = self.peak_in_flight.max(self.in_flight);
+            }
+            EventKind::TaskEnd { run_ms, cpu_ms, .. } => {
+                self.run_ms.observe(*run_ms);
+                self.total_cpu_ms += cpu_ms;
+                self.in_flight = self.in_flight.saturating_sub(1);
+            }
+            // Terminal-or-requeue outcomes: the dispatch slot is gone.
+            // (`task.diskfull` / `task.migrate` are annotations always
+            // followed by a `task.systemfail` for the same slot, so they
+            // must not decrement too.)
+            EventKind::TaskFail { .. }
+            | EventKind::TaskSystemFail { .. }
+            | EventKind::TaskNonReport { .. } => {
+                self.in_flight = self.in_flight.saturating_sub(1);
+            }
+            EventKind::InstanceRestart { requeued, .. } => {
+                self.in_flight = self.in_flight.saturating_sub(*requeued);
+            }
+            EventKind::NodeCrash { node } => {
+                self.nodes_down.insert(node.clone());
+            }
+            EventKind::NodeRecover { node } => {
+                self.nodes_down.remove(node);
+            }
+            // A server crash loses all volatile dispatch state; rebuild
+            // requeues what was dispatched.
+            EventKind::ServerRecover { .. } => self.in_flight = 0,
+            _ => {}
+        }
+        let i = self.log.len();
+        self.by_kind
+            .entry(ev.kind.label().to_string())
+            .or_default()
+            .push(i);
+        if let Some(id) = ev.kind.instance() {
+            self.by_instance.entry(id).or_default().push(i);
+        }
+        if let Some(node) = ev.kind.node() {
+            self.by_node.entry(node.to_string()).or_default().push(i);
+        }
+        self.log.push(ev.clone());
+    }
+
+    /// Events indexed.
+    pub fn len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.log.is_empty()
+    }
+
+    /// The whole log, in sequence order.
+    pub fn events(&self) -> &[HistoryEvent] {
+        &self.log
+    }
+
+    /// How many events carry this kind label.
+    pub fn count(&self, kind: &str) -> usize {
+        self.by_kind.get(kind).map_or(0, Vec::len)
+    }
+
+    /// `(label, count)` for every kind seen, label-sorted.
+    pub fn counts_by_kind(&self) -> Vec<(String, usize)> {
+        self.by_kind
+            .iter()
+            .map(|(k, v)| (k.clone(), v.len()))
+            .collect()
+    }
+
+    /// Events with this kind label, in order.
+    pub fn of_kind(&self, kind: &str) -> Vec<&HistoryEvent> {
+        self.posting(self.by_kind.get(kind))
+    }
+
+    /// Events concerning one instance, in order.
+    pub fn for_instance(&self, instance: u64) -> Vec<&HistoryEvent> {
+        self.posting(self.by_instance.get(&instance))
+    }
+
+    /// Events concerning one node, in order.
+    pub fn for_node(&self, node: &str) -> Vec<&HistoryEvent> {
+        self.posting(self.by_node.get(node))
+    }
+
+    fn posting(&self, ids: Option<&Vec<usize>>) -> Vec<&HistoryEvent> {
+        ids.map_or_else(Vec::new, |v| v.iter().map(|&i| &self.log[i]).collect())
+    }
+
+    /// Dispatch→completion wall-time histogram of ended tasks.
+    pub fn run_ms(&self) -> &Histogram {
+        &self.run_ms
+    }
+
+    /// Ready→dispatch queue-wait histogram of dispatched tasks.
+    pub fn queue_ms(&self) -> &Histogram {
+        &self.queue_ms
+    }
+
+    /// Tasks currently dispatched (gauge).
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight
+    }
+
+    /// Most concurrently dispatched tasks ever observed.
+    pub fn peak_in_flight(&self) -> u64 {
+        self.peak_in_flight
+    }
+
+    /// Nodes currently believed down (crashed, not yet recovered).
+    pub fn nodes_down(&self) -> &BTreeSet<String> {
+        &self.nodes_down
+    }
+
+    /// Reference-CPU milliseconds charged by all ended tasks.
+    pub fn total_cpu_ms(&self) -> f64 {
+        self.total_cpu_ms
+    }
+}
+
+/// Sequence keys are zero-padded to 20 digits so every representable `u64`
+/// sorts lexicographically; pre-widening records used 10 digits, which
+/// collides past 10^10 — `open`/`all` therefore order by *parsed* value,
+/// never by raw key.
+fn event_key(seq: u64) -> String {
+    format!("{seq:020}")
+}
+
+/// Append-only writer/reader for the History space, with buffered appends
+/// and the incremental [`AwarenessIndex`].
 pub struct Awareness {
     events: TypedSpace<HistoryEvent>,
     next_seq: u64,
+    pending: Vec<(u64, HistoryEvent)>,
+    index: AwarenessIndex,
 }
 
 impl Awareness {
-    /// Open over a store, continuing after any existing records.
-    pub fn open<D: Disk>(store: &Store<D>) -> Result<Self, bioopera_store::StoreError> {
+    /// Open over a store, continuing after any existing records and
+    /// rebuilding the index from them.  A key under the event prefix that
+    /// does not parse as a sequence number is an error — resetting the
+    /// sequence to 0 would overwrite history.
+    pub fn open<D: Disk>(store: &Store<D>) -> Result<Self, AwarenessError> {
         let events: TypedSpace<HistoryEvent> = TypedSpace::new(Space::History, "ev/");
-        let existing = events.scan(store)?;
-        let next_seq = existing
-            .last()
-            .and_then(|(k, _)| k.parse::<u64>().ok().map(|n| n + 1))
-            .unwrap_or(0);
-        Ok(Awareness { events, next_seq })
+        let existing = Self::scan_sorted(&events, store)?;
+        let next_seq = existing.last().map(|(seq, _)| seq + 1).unwrap_or(0);
+        let mut index = AwarenessIndex::default();
+        for (_, ev) in &existing {
+            index.ingest(ev);
+        }
+        Ok(Awareness {
+            events,
+            next_seq,
+            pending: Vec::new(),
+            index,
+        })
     }
 
-    /// Record an event.
-    pub fn record<D: Disk>(
-        &mut self,
+    /// Scan the durable log and sort by parsed sequence number (10- and
+    /// 20-digit keys interleave lexicographically, so raw key order lies).
+    fn scan_sorted<D: Disk>(
+        _events: &TypedSpace<HistoryEvent>,
         store: &Store<D>,
-        at: SimTime,
-        kind: impl Into<String>,
-        detail: impl Into<String>,
-    ) -> Result<(), bioopera_store::StoreError> {
-        let ev = HistoryEvent {
-            at,
-            kind: kind.into(),
-            detail: detail.into(),
-        };
-        let key = format!("{:010}", self.next_seq);
+    ) -> Result<Vec<(u64, HistoryEvent)>, AwarenessError> {
+        // Raw scan so a foreign key is reported as `BadKey` even when its
+        // value would not decode as an event either.
+        let mut out = Vec::new();
+        for (key, bytes) in store.scan_prefix(Space::History, "ev/")? {
+            let suffix = &key["ev/".len()..];
+            let seq = suffix.parse::<u64>().map_err(|_| AwarenessError::BadKey {
+                key: suffix.to_string(),
+            })?;
+            let ev: HistoryEvent =
+                serde_json::from_slice(&bytes).map_err(|e| StoreError::Codec(e.to_string()))?;
+            out.push((seq, ev));
+        }
+        out.sort_by_key(|(seq, _)| *seq);
+        Ok(out)
+    }
+
+    /// Record an event: index it immediately, buffer the durable append
+    /// until the next [`flush`](Awareness::flush).
+    pub fn record(&mut self, at: SimTime, kind: EventKind) {
+        let ev = HistoryEvent { at, kind };
+        self.index.ingest(&ev);
+        self.pending.push((self.next_seq, ev));
         self.next_seq += 1;
-        self.events.put(store, &key, &ev)
     }
 
-    /// All events in order.
-    pub fn all<D: Disk>(
-        &self,
-        store: &Store<D>,
-    ) -> Result<Vec<HistoryEvent>, bioopera_store::StoreError> {
-        Ok(self
-            .events
-            .scan(store)?
-            .into_iter()
-            .map(|(_, e)| e)
-            .collect())
+    /// Write all buffered events as one atomic store batch.  Returns the
+    /// number of events flushed.  Called once per navigator step by the
+    /// runtime; tests call it directly.
+    pub fn flush<D: Disk>(&mut self, store: &Store<D>) -> Result<usize, StoreError> {
+        if self.pending.is_empty() {
+            return Ok(0);
+        }
+        let mut batch = Batch::new();
+        for (seq, ev) in &self.pending {
+            self.events.put_in(&mut batch, &event_key(*seq), ev)?;
+        }
+        store.apply(batch)?;
+        let n = self.pending.len();
+        self.pending.clear();
+        Ok(n)
     }
 
-    /// Events of a given kind.
+    /// Drop buffered events without writing them — a server crash loses
+    /// the un-flushed tail of the current step (the index is rebuilt from
+    /// the store on recovery, restoring agreement).
+    pub fn discard_pending(&mut self) {
+        self.pending.clear();
+    }
+
+    /// Buffered events awaiting [`flush`](Awareness::flush).
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The incremental index (includes buffered events).
+    pub fn index(&self) -> &AwarenessIndex {
+        &self.index
+    }
+
+    /// All events in sequence order: the durable log plus the buffered
+    /// tail.
+    pub fn all<D: Disk>(&self, store: &Store<D>) -> Result<Vec<HistoryEvent>, AwarenessError> {
+        let mut seqd = Self::scan_sorted(&self.events, store)?;
+        seqd.extend(self.pending.iter().cloned());
+        seqd.sort_by_key(|(seq, _)| *seq);
+        Ok(seqd.into_iter().map(|(_, ev)| ev).collect())
+    }
+
+    /// Events of a given kind label — answered from the index.
     pub fn of_kind<D: Disk>(
         &self,
-        store: &Store<D>,
+        _store: &Store<D>,
         kind: &str,
-    ) -> Result<Vec<HistoryEvent>, bioopera_store::StoreError> {
-        Ok(self
-            .all(store)?
-            .into_iter()
-            .filter(|e| e.kind == kind)
-            .collect())
+    ) -> Result<Vec<HistoryEvent>, AwarenessError> {
+        Ok(self.index.of_kind(kind).into_iter().cloned().collect())
     }
 
-    /// Count by kind — the monitoring dashboards' summary query.
+    /// Count by kind — the monitoring dashboards' summary query, answered
+    /// from the index.
     pub fn counts_by_kind<D: Disk>(
         &self,
+        _store: &Store<D>,
+    ) -> Result<Vec<(String, usize)>, AwarenessError> {
+        Ok(self.index.counts_by_kind())
+    }
+
+    /// Rebuild an index from a full store scan — the oracle the
+    /// incremental index is checked against in the equivalence proptests.
+    pub fn rebuild_index<D: Disk>(
+        &self,
         store: &Store<D>,
-    ) -> Result<Vec<(String, usize)>, bioopera_store::StoreError> {
-        let mut map = std::collections::BTreeMap::new();
-        for e in self.all(store)? {
-            *map.entry(e.kind).or_insert(0usize) += 1;
+    ) -> Result<AwarenessIndex, AwarenessError> {
+        let mut index = AwarenessIndex::default();
+        for ev in self.all(store)? {
+            index.ingest(&ev);
         }
-        Ok(map.into_iter().collect())
+        Ok(index)
     }
 }
 
@@ -102,25 +728,50 @@ mod tests {
     use super::*;
     use bioopera_store::MemDisk;
 
+    fn task_end(path: &str, node: &str, run_ms: u64) -> EventKind {
+        EventKind::TaskEnd {
+            instance: 7,
+            path: path.into(),
+            node: node.into(),
+            run_ms,
+            cpu_ms: run_ms as f64,
+        }
+    }
+
     #[test]
     fn records_survive_reopen_and_keep_ordering() {
         let disk = MemDisk::new();
         let store = Store::open(disk.clone()).unwrap();
         let mut aw = Awareness::open(&store).unwrap();
-        aw.record(&store, SimTime::from_secs(1), "task.start", "A on n1")
-            .unwrap();
-        aw.record(&store, SimTime::from_secs(2), "task.end", "A")
-            .unwrap();
-        aw.record(&store, SimTime::from_secs(3), "node.crash", "n1")
-            .unwrap();
+        aw.record(
+            SimTime::from_secs(1),
+            EventKind::TaskStart {
+                instance: 1,
+                path: "A".into(),
+                node: "n1".into(),
+                job: 0,
+                queue_ms: 250,
+            },
+        );
+        aw.record(SimTime::from_secs(2), task_end("A", "n1", 1_000));
+        aw.record(
+            SimTime::from_secs(3),
+            EventKind::NodeCrash { node: "n1".into() },
+        );
+        assert_eq!(aw.pending_len(), 3);
+        assert_eq!(aw.flush(&store).unwrap(), 3);
+        assert_eq!(aw.pending_len(), 0);
         drop(aw);
         drop(store);
 
         let store = Store::open(disk).unwrap();
         let mut aw = Awareness::open(&store).unwrap();
         // Continues the sequence instead of overwriting.
-        aw.record(&store, SimTime::from_secs(4), "node.recover", "n1")
-            .unwrap();
+        aw.record(
+            SimTime::from_secs(4),
+            EventKind::NodeRecover { node: "n1".into() },
+        );
+        aw.flush(&store).unwrap();
         let all = aw.all(&store).unwrap();
         assert_eq!(all.len(), 4);
         assert_eq!(all[0].kind, "task.start");
@@ -128,5 +779,128 @@ mod tests {
         assert_eq!(aw.of_kind(&store, "node.crash").unwrap().len(), 1);
         let counts = aw.counts_by_kind(&store).unwrap();
         assert!(counts.contains(&("task.end".to_string(), 1)));
+        // The rebuilt index saw the crash then the recovery.
+        assert!(aw.index().nodes_down().is_empty());
+        assert_eq!(aw.index().run_ms().count(), 1);
+        assert_eq!(aw.index().queue_ms().mean_ms(), 250.0);
+    }
+
+    #[test]
+    fn index_tracks_gauges_and_postings() {
+        let disk = MemDisk::new();
+        let store = Store::open(disk).unwrap();
+        let mut aw = Awareness::open(&store).unwrap();
+        for (i, path) in ["A", "B"].iter().enumerate() {
+            aw.record(
+                SimTime::from_secs(i as u64),
+                EventKind::TaskStart {
+                    instance: 7,
+                    path: path.to_string(),
+                    node: "n1".into(),
+                    job: i as u64,
+                    queue_ms: 0,
+                },
+            );
+        }
+        assert_eq!(aw.index().in_flight(), 2);
+        assert_eq!(aw.index().peak_in_flight(), 2);
+        aw.record(SimTime::from_secs(3), task_end("A", "n1", 500));
+        assert_eq!(aw.index().in_flight(), 1);
+        assert_eq!(aw.index().for_instance(7).len(), 3);
+        assert_eq!(aw.index().for_node("n1").len(), 3);
+        assert_eq!(aw.index().count("task.start"), 2);
+        assert_eq!(aw.index().total_cpu_ms(), 500.0);
+        // Queries see buffered events before any flush.
+        assert_eq!(aw.of_kind(&store, "task.end").unwrap().len(), 1);
+        assert_eq!(aw.all(&store).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn legacy_string_records_reopen_and_query() {
+        let disk = MemDisk::new();
+        let store = Store::open(disk).unwrap();
+        // Bytes exactly as the pre-taxonomy code wrote them: 10-digit
+        // keys, free-form kind/detail strings.
+        store
+            .put(
+                Space::History,
+                "ev/0000000000".to_string(),
+                br#"{"at":[1000],"kind":"task.start","detail":"A on n1"}"#.to_vec(),
+            )
+            .unwrap();
+        store
+            .put(
+                Space::History,
+                "ev/0000000001".to_string(),
+                br#"{"at":[2000],"kind":"task.end","detail":"A"}"#.to_vec(),
+            )
+            .unwrap();
+        let mut aw = Awareness::open(&store).unwrap();
+        assert_eq!(aw.index().len(), 2);
+        assert_eq!(aw.index().count("task.end"), 1);
+        let ends = aw.of_kind(&store, "task.end").unwrap();
+        assert_eq!(
+            ends[0].kind,
+            EventKind::Legacy {
+                kind: "task.end".into(),
+                detail: "A".into()
+            }
+        );
+        // New records continue after the legacy tail, and ordering stays
+        // numeric even though 20-digit keys sort before 10-digit ones.
+        aw.record(SimTime::from_secs(3), task_end("B", "n2", 100));
+        aw.flush(&store).unwrap();
+        let all = aw.all(&store).unwrap();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[2].kind, "task.end");
+        assert_eq!(all[2].kind.task_path(), Some("B"));
+        drop(aw);
+        let aw = Awareness::open(&store).unwrap();
+        assert_eq!(aw.index().len(), 3);
+    }
+
+    #[test]
+    fn foreign_key_is_a_typed_error_not_a_sequence_reset() {
+        let disk = MemDisk::new();
+        let store = Store::open(disk).unwrap();
+        store
+            .put(
+                Space::History,
+                "ev/not-a-number".to_string(),
+                br#"{"at":[0],"kind":"x","detail":""}"#.to_vec(),
+            )
+            .unwrap();
+        match Awareness::open(&store) {
+            Err(AwarenessError::BadKey { key }) => assert_eq!(key, "not-a-number"),
+            Err(other) => panic!("expected BadKey, got {other}"),
+            Ok(_) => panic!("expected BadKey, got a working Awareness"),
+        }
+    }
+
+    #[test]
+    fn typed_event_roundtrips_through_json() {
+        let ev = HistoryEvent {
+            at: SimTime::from_secs(9),
+            kind: EventKind::TaskStart {
+                instance: 3,
+                path: "Gen".into(),
+                node: "n2".into(),
+                job: 11,
+                queue_ms: 42,
+            },
+        };
+        let json = serde_json::to_string(&ev).unwrap();
+        // No `detail` field: that name is reserved as the legacy marker.
+        assert!(!json.contains("\"detail\""));
+        let back: HistoryEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ev);
+        // Unit variants roundtrip too.
+        let ev = HistoryEvent {
+            at: SimTime::ZERO,
+            kind: EventKind::ClusterFailure,
+        };
+        let back: HistoryEvent =
+            serde_json::from_str(&serde_json::to_string(&ev).unwrap()).unwrap();
+        assert_eq!(back, ev);
     }
 }

@@ -10,6 +10,8 @@ pub type EngineResult<T> = Result<T, EngineError>;
 pub enum EngineError {
     /// The persistent store failed (or simulated a crash).
     Store(bioopera_store::StoreError),
+    /// The awareness model found inconsistent history state.
+    Awareness(crate::awareness::AwarenessError),
     /// A template failed validation on submission.
     Validation(bioopera_ocr::ValidationError),
     /// A referenced template does not exist in the template space
@@ -31,6 +33,7 @@ impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EngineError::Store(e) => write!(f, "store: {e}"),
+            EngineError::Awareness(e) => write!(f, "awareness: {e}"),
             EngineError::Validation(e) => write!(f, "template invalid: {e}"),
             EngineError::UnknownTemplate(t) => write!(f, "unknown template `{t}`"),
             EngineError::UnknownInstance(i) => write!(f, "unknown instance {i}"),
@@ -47,6 +50,17 @@ impl std::error::Error for EngineError {}
 impl From<bioopera_store::StoreError> for EngineError {
     fn from(e: bioopera_store::StoreError) -> Self {
         EngineError::Store(e)
+    }
+}
+
+impl From<crate::awareness::AwarenessError> for EngineError {
+    fn from(e: crate::awareness::AwarenessError) -> Self {
+        // Store failures keep their own classification (recovery logic
+        // matches on them, e.g. simulated crashes).
+        match e {
+            crate::awareness::AwarenessError::Store(s) => EngineError::Store(s),
+            other => EngineError::Awareness(other),
+        }
     }
 }
 

@@ -28,15 +28,20 @@ pub mod dispatcher;
 pub mod error;
 pub mod library;
 pub mod lineage;
+pub mod metrics;
 pub mod navigator;
 pub mod planner;
 pub mod runtime;
 pub mod state;
 
+pub use awareness::{Awareness, AwarenessError, AwarenessIndex, EventKind, HistoryEvent};
 pub use dispatcher::{AvoidSaturated, FastestFit, LeastLoaded, RoundRobin, SchedulingPolicy};
 pub use error::{EngineError, EngineResult};
 pub use library::{ActivityLibrary, Program, ProgramOutput};
 pub use lineage::{Lineage, RecomputePlan};
+pub use metrics::{
+    mean_utilization_where, series_csv, Histogram, RollupBin, RunReport, SeriesRollup, SeriesSample,
+};
 pub use planner::{OutageImpact, Planner};
-pub use runtime::{RunStats, Runtime, RuntimeConfig, SeriesSample};
+pub use runtime::{RunStats, Runtime, RuntimeConfig};
 pub use state::{InstanceHeader, InstanceId, InstanceStatus, TaskRecord, TaskState};

@@ -1,0 +1,357 @@
+//! Metrics primitives for the awareness layer: latency histograms,
+//! availability/utilization series samples and their time-binned rollups,
+//! and the per-run [`RunReport`] JSON emitter.
+//!
+//! The paper's awareness model (§3.4) is not only an event log — it is the
+//! substrate for *queries* about the computing environment.  This module
+//! holds the numeric machinery those queries share: a log-scale histogram
+//! for task run/queue latencies, and the binned series rollups that the
+//! Figure 5/6 regenerators consume instead of hand-rolling their own
+//! aggregation.
+
+use bioopera_cluster::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Number of log₂ buckets in a [`Histogram`].  Bucket `i` covers
+/// `[2^(i-1), 2^i)` milliseconds (bucket 0 is `[0, 1)`); 40 buckets reach
+/// past 17 virtual years, beyond any simulated run.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// A fixed-memory log-scale latency histogram over millisecond values.
+///
+/// Mergeable, serializable, and cheap to update on every event — the
+/// awareness index maintains one for task run times and one for activity
+/// queue waits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Per-bucket observation counts (log₂ buckets, see
+    /// [`HISTOGRAM_BUCKETS`]).
+    counts: Vec<u64>,
+    /// Total observations.
+    count: u64,
+    /// Sum of observed values (exact, for the mean).
+    sum_ms: f64,
+    /// Smallest observed value.
+    min_ms: u64,
+    /// Largest observed value.
+    max_ms: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum_ms: 0.0,
+            min_ms: u64::MAX,
+            max_ms: 0,
+        }
+    }
+
+    fn bucket_of(ms: u64) -> usize {
+        if ms == 0 {
+            0
+        } else {
+            (64 - ms.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+        }
+    }
+
+    /// Record one observation of `ms` milliseconds.
+    pub fn observe(&mut self, ms: u64) {
+        self.counts[Self::bucket_of(ms)] += 1;
+        self.count += 1;
+        self.sum_ms += ms as f64;
+        self.min_ms = self.min_ms.min(ms);
+        self.max_ms = self.max_ms.max(ms);
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ms += other.sum_ms;
+        self.min_ms = self.min_ms.min(other.min_ms);
+        self.max_ms = self.max_ms.max(other.max_ms);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean observed value, ms (0 when empty).
+    pub fn mean_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ms / self.count as f64
+        }
+    }
+
+    /// Smallest observation, ms (`None` when empty).
+    pub fn min_ms(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min_ms)
+    }
+
+    /// Largest observation, ms.
+    pub fn max_ms(&self) -> u64 {
+        self.max_ms
+    }
+
+    /// Approximate `q`-quantile (0..=1): the upper bound of the bucket
+    /// containing the `q`-th observation, clamped to the observed max.
+    pub fn quantile_ms(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let upper = if i == 0 { 1 } else { 1u64 << i };
+                return upper.min(self.max_ms.max(1));
+            }
+        }
+        self.max_ms
+    }
+
+    /// Per-bucket counts (for report emission / plotting).
+    pub fn buckets(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+/// One sample of the Figures 5/6 availability/utilization series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeriesSample {
+    /// Sample time.
+    pub at: SimTime,
+    /// Processors available from the server's perspective.
+    pub availability: u32,
+    /// Processors executing BioOpera jobs.
+    pub utilization: f64,
+}
+
+/// One bin of a [`SeriesRollup`]: mean availability/utilization over a
+/// time window, carry-filled from the preceding sample when the window
+/// itself is empty (the chart convention of Figures 5/6).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RollupBin {
+    /// Window start, virtual ms.
+    pub start_ms: u64,
+    /// Window end (exclusive), virtual ms.
+    pub end_ms: u64,
+    /// Samples that fell inside the window (0 when carry-filled).
+    pub samples: u32,
+    /// Mean processors available.
+    pub availability: f64,
+    /// Mean processors computing BioOpera jobs.
+    pub utilization: f64,
+}
+
+/// A binned availability/utilization time series — the shared rollup the
+/// figure regenerators, the [`RunReport`] and the awareness example all
+/// consume.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesRollup {
+    bins: Vec<RollupBin>,
+}
+
+impl SeriesRollup {
+    /// `bins` equal-width windows over `[0, horizon_days]` days.  Empty
+    /// windows carry the nearest preceding sample forward (falling back to
+    /// the first sample), which is exactly the aggregation the ASCII
+    /// lifecycle charts have always used — their columns are these bins.
+    pub fn over_days(samples: &[SeriesSample], horizon_days: f64, bins: usize) -> Self {
+        let mut out = Vec::with_capacity(bins);
+        for col in 0..bins {
+            let lo = horizon_days * col as f64 / bins as f64;
+            let hi = horizon_days * (col + 1) as f64 / bins as f64;
+            let bucket: Vec<&SeriesSample> = samples
+                .iter()
+                .filter(|s| {
+                    let d = s.at.as_days_f64();
+                    d >= lo && d < hi
+                })
+                .collect();
+            let (avail, util, n) = if bucket.is_empty() {
+                match samples
+                    .iter()
+                    .rev()
+                    .find(|s| s.at.as_days_f64() < hi)
+                    .or(samples.first())
+                {
+                    Some(prev) => (prev.availability as f64, prev.utilization, 0),
+                    None => (0.0, 0.0, 0),
+                }
+            } else {
+                (
+                    bucket.iter().map(|s| s.availability as f64).sum::<f64>() / bucket.len() as f64,
+                    bucket.iter().map(|s| s.utilization).sum::<f64>() / bucket.len() as f64,
+                    bucket.len() as u32,
+                )
+            };
+            out.push(RollupBin {
+                start_ms: SimTime::from_secs_f64(lo * 86_400.0).as_millis(),
+                end_ms: SimTime::from_secs_f64(hi * 86_400.0).as_millis(),
+                samples: n,
+                availability: avail,
+                utilization: util,
+            });
+        }
+        SeriesRollup { bins: out }
+    }
+
+    /// Fixed-width bins of `width` virtual time covering all samples.
+    pub fn by_width(samples: &[SeriesSample], width: SimTime) -> Self {
+        let width_ms = width.as_millis().max(1);
+        let horizon_ms = samples.last().map(|s| s.at.as_millis() + 1).unwrap_or(0);
+        let bins = horizon_ms.div_ceil(width_ms) as usize;
+        let horizon_days = (bins as u64 * width_ms) as f64 / 86_400_000.0;
+        Self::over_days(samples, horizon_days, bins.max(1))
+    }
+
+    /// The bins.
+    pub fn bins(&self) -> &[RollupBin] {
+        &self.bins
+    }
+}
+
+/// The Figures 5/6 CSV rendering of a series (`day,availability,utilization`).
+pub fn series_csv(samples: &[SeriesSample]) -> String {
+    let mut csv = String::from("day,availability,utilization\n");
+    for s in samples {
+        let _ = writeln!(
+            csv,
+            "{:.3},{},{:.2}",
+            s.at.as_days_f64(),
+            s.availability,
+            s.utilization
+        );
+    }
+    csv
+}
+
+/// Mean utilization over the samples matching `pred` (0 when none match) —
+/// the before/after-upgrade comparison of the Figure 6 discussion.
+pub fn mean_utilization_where(
+    samples: &[SeriesSample],
+    pred: impl Fn(&SeriesSample) -> bool,
+) -> f64 {
+    let v: Vec<f64> = samples
+        .iter()
+        .filter(|s| pred(s))
+        .map(|s| s.utilization)
+        .collect();
+    v.iter().sum::<f64>() / v.len().max(1) as f64
+}
+
+/// Everything one run tells the operator, as a single JSON document:
+/// per-kind event counters, task latency histograms, the binned
+/// availability/utilization series, and the labeled event log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Virtual time when the report was taken, ms.
+    pub taken_at_ms: u64,
+    /// History events recorded (durable + pending).
+    pub events: u64,
+    /// Event counts by kind label (`task.end`, `node.crash`, ...).
+    pub counters: BTreeMap<String, u64>,
+    /// Wall (dispatch→completion) latency of ended tasks.
+    pub task_run_ms: Histogram,
+    /// Activity-queue wait (ready→dispatch) of dispatched tasks.
+    pub task_queue_ms: Histogram,
+    /// Most concurrently in-flight tasks observed.
+    pub peak_in_flight: u64,
+    /// Reference-CPU milliseconds charged by ended tasks.
+    pub total_cpu_ms: f64,
+    /// Automatic operator restarts for non-reporting TEUs.
+    pub auto_restarts: u32,
+    /// Binned availability/utilization series.
+    pub series: Vec<RollupBin>,
+    /// The labeled event log: `(virtual ms, message)`.
+    pub event_log: Vec<(u64, String)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::new();
+        for ms in [0u64, 1, 1, 3, 8, 100, 100, 100, 5_000] {
+            h.observe(ms);
+        }
+        assert_eq!(h.count(), 9);
+        assert_eq!(h.max_ms(), 5_000);
+        assert_eq!(h.min_ms(), Some(0));
+        assert!((h.mean_ms() - 5313.0 / 9.0).abs() < 1e-9);
+        // The median observation (8 ms) lives in the [8,16) bucket.
+        assert_eq!(h.quantile_ms(0.5), 16);
+        assert_eq!(h.quantile_ms(1.0), 5_000);
+        let mut other = Histogram::new();
+        other.observe(1_000_000);
+        h.merge(&other);
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.max_ms(), 1_000_000);
+    }
+
+    #[test]
+    fn rollup_bins_mean_and_carry() {
+        let samples: Vec<SeriesSample> = (0..4)
+            .map(|i| SeriesSample {
+                at: SimTime::from_hours(i * 6), // all inside day 0
+                availability: 10,
+                utilization: i as f64,
+            })
+            .collect();
+        let r = SeriesRollup::over_days(&samples, 2.0, 2);
+        assert_eq!(r.bins().len(), 2);
+        assert_eq!(r.bins()[0].samples, 4);
+        assert!((r.bins()[0].utilization - 1.5).abs() < 1e-12);
+        // Day 1 has no samples: carried forward from the last day-0 sample.
+        assert_eq!(r.bins()[1].samples, 0);
+        assert!((r.bins()[1].utilization - 3.0).abs() < 1e-12);
+        assert!((r.bins()[1].availability - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_matches_figure_format() {
+        let samples = vec![SeriesSample {
+            at: SimTime::from_hours(36),
+            availability: 7,
+            utilization: 3.25,
+        }];
+        assert_eq!(
+            series_csv(&samples),
+            "day,availability,utilization\n1.500,7,3.25\n"
+        );
+    }
+
+    #[test]
+    fn mean_utilization_filters() {
+        let samples: Vec<SeriesSample> = (0..10)
+            .map(|i| SeriesSample {
+                at: SimTime::from_days(i),
+                availability: 4,
+                utilization: i as f64,
+            })
+            .collect();
+        let m = mean_utilization_where(&samples, |s| s.at.as_days_f64() >= 5.0);
+        assert!((m - 7.0).abs() < 1e-12);
+        assert_eq!(mean_utilization_where(&samples, |_| false), 0.0);
+    }
+}

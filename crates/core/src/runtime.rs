@@ -24,10 +24,11 @@
 //! runtime at arbitrary points and verify the resumed run completes with
 //! identical results.
 
-use crate::awareness::Awareness;
+use crate::awareness::{Awareness, EventKind};
 use crate::dispatcher::{self, NodeView, SchedulingPolicy};
 use crate::error::{EngineError, EngineResult};
 use crate::library::{ActivityLibrary, ProgramOutput};
+use crate::metrics::{RunReport, SeriesRollup};
 use crate::navigator::{self, FailureKind, InstanceView, NavOutcome};
 use crate::state::{keys, InstanceHeader, InstanceId, InstanceStatus, TaskRecord, TaskState};
 use bioopera_cluster::trace::{Trace, TraceEvent, TraceEventKind};
@@ -53,16 +54,7 @@ enum EngineEvent {
     BackupFailover,
 }
 
-/// One sample of the Figures 5/6 series.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
-pub struct SeriesSample {
-    /// Sample time.
-    pub at: SimTime,
-    /// Processors available from the server's perspective.
-    pub availability: u32,
-    /// Processors executing BioOpera jobs.
-    pub utilization: f64,
-}
+pub use crate::metrics::SeriesSample;
 
 /// Aggregate statistics of a finished instance (Table 1 rows).
 #[derive(Debug, Clone, PartialEq)]
@@ -182,6 +174,9 @@ pub struct Runtime<D: Disk + Clone> {
     instances: BTreeMap<InstanceId, InstanceMem>,
     in_flight: BTreeMap<JobId, InFlight>,
     ready_queue: VecDeque<(InstanceId, String)>,
+    /// When each queued task became ready (for dispatch queue-wait
+    /// metrics; volatile like the queue itself).
+    ready_since: BTreeMap<(InstanceId, String), SimTime>,
     next_instance_id: InstanceId,
     next_job_id: JobId,
 
@@ -231,6 +226,7 @@ impl<D: Disk + Clone> Runtime<D> {
             instances: BTreeMap::new(),
             in_flight: BTreeMap::new(),
             ready_queue: VecDeque::new(),
+            ready_since: BTreeMap::new(),
             next_instance_id: 1,
             next_job_id: 1,
             server_up: true,
@@ -268,7 +264,9 @@ impl<D: Disk + Clone> Runtime<D> {
         template_name: &str,
         initial: BTreeMap<String, Value>,
     ) -> EngineResult<InstanceId> {
-        self.instantiate(template_name, initial, None)
+        let id = self.instantiate(template_name, initial, None)?;
+        self.flush_awareness()?;
+        Ok(id)
     }
 
     fn instantiate(
@@ -306,11 +304,12 @@ impl<D: Disk + Clone> Runtime<D> {
         self.instances.insert(id, mem);
         self.persist_full_instance(id)?;
         self.awareness.record(
-            &self.store,
             self.kernel.now(),
-            "instance.start",
-            format!("{id} ({template_name})"),
-        )?;
+            EventKind::InstanceStart {
+                instance: id,
+                template: template_name.to_string(),
+            },
+        );
         self.apply_outcome(id, outcome)?;
         self.ensure_heartbeat();
         Ok(id)
@@ -340,7 +339,16 @@ impl<D: Disk + Clone> Runtime<D> {
 
     /// One scheduler iteration: dispatch, then process the next event.
     /// Returns `Ok(false)` once every instance is terminal.
+    ///
+    /// All awareness events the iteration produced are flushed as one
+    /// atomic store batch at the end of the step.
     pub fn step(&mut self) -> EngineResult<bool> {
+        let more = self.step_inner()?;
+        self.flush_awareness()?;
+        Ok(more)
+    }
+
+    fn step_inner(&mut self) -> EngineResult<bool> {
         if !self.instances.is_empty() && self.all_terminal() {
             return Ok(false);
         }
@@ -441,6 +449,44 @@ impl<D: Disk + Clone> Runtime<D> {
         &self.awareness
     }
 
+    /// Flush buffered awareness events (one batch).  No-op while the
+    /// server is down — the store is poisoned and the pending tail is
+    /// discarded by the crash path.
+    fn flush_awareness(&mut self) -> EngineResult<()> {
+        if self.server_up {
+            self.awareness.flush(&self.store)?;
+        }
+        Ok(())
+    }
+
+    /// Snapshot everything this run tells the operator — per-kind event
+    /// counters, task latency histograms, gauges, the series rolled up
+    /// into `bin`-wide windows, and the labeled event log — as one
+    /// serializable [`RunReport`].
+    pub fn run_report(&self, bin: SimTime) -> RunReport {
+        let idx = self.awareness.index();
+        RunReport {
+            taken_at_ms: self.kernel.now().as_millis(),
+            events: idx.len() as u64,
+            counters: idx
+                .counts_by_kind()
+                .into_iter()
+                .map(|(k, n)| (k, n as u64))
+                .collect(),
+            task_run_ms: idx.run_ms().clone(),
+            task_queue_ms: idx.queue_ms().clone(),
+            peak_in_flight: idx.peak_in_flight(),
+            total_cpu_ms: idx.total_cpu_ms(),
+            auto_restarts: self.auto_restarts,
+            series: SeriesRollup::by_width(&self.series, bin).bins().to_vec(),
+            event_log: self
+                .event_log
+                .iter()
+                .map(|(at, msg)| (at.as_millis(), msg.clone()))
+                .collect(),
+        }
+    }
+
     /// Instances known to the server, with status.
     pub fn instances(&self) -> Vec<(InstanceId, InstanceStatus, String)> {
         self.instances
@@ -539,6 +585,11 @@ impl<D: Disk + Clone> Runtime<D> {
         if mem.header.status == InstanceStatus::Running {
             mem.header.status = InstanceStatus::Suspended;
             self.persist_header(id)?;
+            self.awareness.record(
+                self.kernel.now(),
+                EventKind::InstanceSuspend { instance: id },
+            );
+            self.flush_awareness()?;
             self.log(format!("instance {id} suspended"));
         }
         Ok(())
@@ -560,6 +611,11 @@ impl<D: Disk + Clone> Runtime<D> {
         };
         self.persist_after_nav(id, &outcome, &[])?;
         self.apply_outcome(id, outcome)?;
+        self.awareness.record(
+            self.kernel.now(),
+            EventKind::InstanceResume { instance: id },
+        );
+        self.flush_awareness()?;
         self.log(format!("instance {id} resumed"));
         Ok(())
     }
@@ -585,6 +641,9 @@ impl<D: Disk + Clone> Runtime<D> {
             mem.header.ended_at = Some(now);
         }
         self.persist_header(id)?;
+        self.awareness
+            .record(now, EventKind::InstanceAbort { instance: id });
+        self.flush_awareness()?;
         self.resync_all_nodes();
         self.log(format!("instance {id} aborted by operator"));
         Ok(())
@@ -624,8 +683,16 @@ impl<D: Disk + Clone> Runtime<D> {
                 outcome.newly_ready.push(path);
             }
         }
+        self.awareness.record(
+            now,
+            EventKind::InstanceRestart {
+                instance: id,
+                requeued: outcome.newly_ready.len() as u64,
+            },
+        );
         self.persist_after_nav(id, &outcome, &[])?;
         self.apply_outcome(id, outcome)?;
+        self.flush_awareness()?;
         self.resync_all_nodes();
         self.log(format!(
             "instance {id} restarted; in-flight TEUs re-scheduled"
@@ -692,12 +759,15 @@ impl<D: Disk + Clone> Runtime<D> {
         };
         self.persist_full_instance(id)?;
         self.awareness.record(
-            &self.store,
             self.kernel.now(),
-            "instance.recompute",
-            format!("{id} from {source}, changed: {}", changed.join(",")),
-        )?;
+            EventKind::InstanceRecompute {
+                instance: id,
+                source,
+                changed: changed.iter().map(|c| c.to_string()).collect(),
+            },
+        );
         self.apply_outcome(id, outcome)?;
+        self.flush_awareness()?;
         self.log(format!(
             "instance {id}: selective recomputation of {} (reusing the rest of instance {source})",
             changed.join(", ")
@@ -743,11 +813,13 @@ impl<D: Disk + Clone> Runtime<D> {
             }
         }
         self.awareness.record(
-            &self.store,
             self.kernel.now(),
-            "event.signal",
-            format!("{id}: {event}"),
-        )?;
+            EventKind::EventSignal {
+                instance: id,
+                event: event.to_string(),
+            },
+        );
+        self.flush_awareness()?;
         Ok(())
     }
 
@@ -853,18 +925,37 @@ impl<D: Disk + Clone> Runtime<D> {
         };
         if flight.silent {
             // Paper event 10: the TEU finished but never reported.
-            self.awareness
-                .record(&self.store, at, "task.nonreport", flight.path.clone())?;
+            self.awareness.record(
+                at,
+                EventKind::TaskNonReport {
+                    instance: flight.instance,
+                    path: flight.path.clone(),
+                },
+            );
             return Ok(());
         }
         if self.disk_full {
             // Results cannot be persisted: the activity is treated as
             // failed by the environment and will be re-run.
-            self.awareness
-                .record(&self.store, at, "task.diskfull", flight.path.clone())?;
+            self.awareness.record(
+                at,
+                EventKind::TaskDiskFull {
+                    instance: flight.instance,
+                    path: flight.path.clone(),
+                },
+            );
             self.system_failure(flight.instance, &flight.path, "disk full")?;
             return Ok(());
         }
+        // Dispatch→completion wall time (read before the navigator clears
+        // per-run fields).
+        let run_ms = self
+            .instances
+            .get(&flight.instance)
+            .and_then(|m| m.tasks.get(&flight.path))
+            .and_then(|r| r.started_at)
+            .map(|s| at.saturating_sub(s).as_millis())
+            .unwrap_or(0);
         match flight.result {
             Ok(out) => {
                 let outcome = {
@@ -879,11 +970,15 @@ impl<D: Disk + Clone> Runtime<D> {
                     navigator::on_task_ended(&mut view, &flight.path, out.outputs, at, cpu_ms)?
                 };
                 self.awareness.record(
-                    &self.store,
                     at,
-                    "task.end",
-                    format!("{} on {}", flight.path, node_name),
-                )?;
+                    EventKind::TaskEnd {
+                        instance: flight.instance,
+                        path: flight.path.clone(),
+                        node: node_name.to_string(),
+                        run_ms,
+                        cpu_ms,
+                    },
+                );
                 self.persist_after_nav(
                     flight.instance,
                     &outcome,
@@ -904,11 +999,13 @@ impl<D: Disk + Clone> Runtime<D> {
                     navigator::on_task_failed(&mut view, &flight.path, FailureKind::Program, at)?
                 };
                 self.awareness.record(
-                    &self.store,
                     at,
-                    "task.fail",
-                    format!("{}: {msg}", flight.path),
-                )?;
+                    EventKind::TaskFail {
+                        instance: flight.instance,
+                        path: flight.path.clone(),
+                        error: msg,
+                    },
+                );
                 self.persist_after_nav(
                     flight.instance,
                     &outcome,
@@ -933,7 +1030,7 @@ impl<D: Disk + Clone> Runtime<D> {
                 };
                 if self.server_up {
                     self.awareness
-                        .record(&self.store, at, "node.crash", name.clone())?;
+                        .record(at, EventKind::NodeCrash { node: name.clone() });
                 }
                 self.fail_jobs(&killed, "node crash")?;
             }
@@ -943,7 +1040,7 @@ impl<D: Disk + Clone> Runtime<D> {
                 }
                 if self.server_up {
                     self.awareness
-                        .record(&self.store, at, "node.recover", name)?;
+                        .record(at, EventKind::NodeRecover { node: name });
                 }
             }
             TraceEventKind::AllNodesDown => {
@@ -952,8 +1049,7 @@ impl<D: Disk + Clone> Runtime<D> {
                     killed.extend(n.crash(at));
                 }
                 if self.server_up {
-                    self.awareness
-                        .record(&self.store, at, "cluster.failure", "all nodes down")?;
+                    self.awareness.record(at, EventKind::ClusterFailure);
                 }
                 self.fail_jobs(&killed, "cluster failure")?;
             }
@@ -962,8 +1058,7 @@ impl<D: Disk + Clone> Runtime<D> {
                     n.recover(at);
                 }
                 if self.server_up {
-                    self.awareness
-                        .record(&self.store, at, "cluster.recover", "all nodes up")?;
+                    self.awareness.record(at, EventKind::ClusterRecover);
                 }
             }
             TraceEventKind::NetworkDown => {
@@ -982,11 +1077,33 @@ impl<D: Disk + Clone> Runtime<D> {
                     let cpus = n.cpus_online() as f64;
                     n.set_external_load(at, fraction * cpus);
                 }
+                if self.server_up {
+                    // §3.4: load samples feed the same awareness taxonomy.
+                    let loads: Vec<(String, f64)> = self
+                        .cluster
+                        .nodes()
+                        .iter()
+                        .map(|n| (n.spec.name.clone(), n.external_cpus()))
+                        .collect();
+                    for (node, cpus) in loads {
+                        self.awareness
+                            .record(at, EventKind::NodeLoad { node, cpus });
+                    }
+                }
                 self.resync_all_nodes();
             }
             TraceEventKind::ExternalLoad { node, cpus } => {
                 if let Some(n) = self.cluster.node_mut(&node) {
                     n.set_external_load(at, cpus);
+                }
+                if self.server_up {
+                    self.awareness.record(
+                        at,
+                        EventKind::NodeLoad {
+                            node: node.clone(),
+                            cpus,
+                        },
+                    );
                 }
                 self.resync_node(&node);
             }
@@ -995,12 +1112,8 @@ impl<D: Disk + Clone> Runtime<D> {
                     n.set_cpus(at, cpus);
                 }
                 if self.server_up {
-                    self.awareness.record(
-                        &self.store,
-                        at,
-                        "cluster.upgrade",
-                        format!("{cpus} CPUs/node"),
-                    )?;
+                    self.awareness
+                        .record(at, EventKind::ClusterUpgrade { cpus });
                 }
                 self.resync_all_nodes();
             }
@@ -1009,15 +1122,13 @@ impl<D: Disk + Clone> Runtime<D> {
             TraceEventKind::OperatorSuspend => {
                 self.operator_suspended = true;
                 if self.server_up {
-                    self.awareness
-                        .record(&self.store, at, "operator.suspend", "")?;
+                    self.awareness.record(at, EventKind::OperatorSuspend);
                 }
             }
             TraceEventKind::OperatorResume => {
                 self.operator_suspended = false;
                 if self.server_up {
-                    self.awareness
-                        .record(&self.store, at, "operator.resume", "")?;
+                    self.awareness.record(at, EventKind::OperatorResume);
                 }
                 let ids: Vec<InstanceId> = self.instances.keys().copied().collect();
                 for id in ids {
@@ -1113,8 +1224,14 @@ impl<D: Disk + Clone> Runtime<D> {
                     if let Some(n) = self.cluster.node_mut(&f.node) {
                         n.abort_job(at, job);
                     }
-                    self.awareness
-                        .record(&self.store, at, "task.migrate", f.path.clone())?;
+                    self.awareness.record(
+                        at,
+                        EventKind::TaskMigrate {
+                            instance: f.instance,
+                            path: f.path.clone(),
+                            node: f.node.clone(),
+                        },
+                    );
                     self.system_failure(f.instance, &f.path, "migrated off starved node")?;
                     self.resync_node(&f.node);
                 }
@@ -1168,11 +1285,15 @@ impl<D: Disk + Clone> Runtime<D> {
                 n.abort_job(now, job);
             }
         }
-        // All volatile server memory is gone.
+        // All volatile server memory is gone — including awareness events
+        // recorded this step but not yet flushed (the index is rebuilt
+        // from the store on recovery).
         self.instances.clear();
         self.in_flight.clear();
         self.ready_queue.clear();
+        self.ready_since.clear();
         self.pec_buffer.clear();
+        self.awareness.discard_pending();
         self.store.poison();
         self.resync_all_nodes();
         if let Some(delay) = self.cfg.backup_failover {
@@ -1190,19 +1311,22 @@ impl<D: Disk + Clone> Runtime<D> {
         self.store = Store::open(self.disk.clone())?;
         self.awareness = Awareness::open(&self.store)?;
         self.server_up = true;
-        self.rebuild_from_store()?;
+        let requeued = self.rebuild_from_store()?;
         self.awareness
-            .record(&self.store, self.kernel.now(), "server.recover", "")?;
+            .record(self.kernel.now(), EventKind::ServerRecover { requeued });
+        self.flush_awareness()?;
         self.log("server recovered: instances rebuilt from the instance space".into());
         self.ensure_heartbeat();
         Ok(())
     }
 
     /// Rebuild all volatile state from the persistent spaces (cold start
-    /// and post-crash recovery use the same path).
-    fn rebuild_from_store(&mut self) -> EngineResult<()> {
+    /// and post-crash recovery use the same path).  Returns how many
+    /// dispatched/ready tasks were pulled back into the activity queue.
+    fn rebuild_from_store(&mut self) -> EngineResult<u64> {
         self.instances.clear();
         self.ready_queue.clear();
+        self.ready_since.clear();
         self.in_flight.clear();
         let headers = self.store.scan_prefix(Space::Instance, "inst/")?;
         let mut ids: Vec<InstanceId> = Vec::new();
@@ -1256,6 +1380,7 @@ impl<D: Disk + Clone> Runtime<D> {
             }
         }
         requeue.sort();
+        let requeued = requeue.len() as u64;
         for (id, path) in requeue {
             let mem = self.instances.get_mut(&id).expect("exists");
             let rec = mem.tasks.get_mut(&path).expect("exists");
@@ -1264,7 +1389,7 @@ impl<D: Disk + Clone> Runtime<D> {
                 rec.node = None;
             }
             self.persist_task(id, &path)?;
-            self.ready_queue.push_back((id, path));
+            self.enqueue_ready(id, path);
         }
         // Reconcile the rare crash window between "child instance became
         // terminal" and "parent task concluded": deliver those completions
@@ -1292,7 +1417,7 @@ impl<D: Disk + Clone> Runtime<D> {
         for (pid, ptask, cid, success) in pending_children {
             self.on_child_instance_done(pid, &ptask, cid, success)?;
         }
-        Ok(())
+        Ok(requeued)
     }
 
     // ------------------------------------------------------------------
@@ -1342,7 +1467,7 @@ impl<D: Disk + Clone> Runtime<D> {
                         children.iter().cloned().chain([path.clone()]).collect();
                     self.persist_after_nav(id, &outcome, &extra)?;
                     for child in children {
-                        self.ready_queue.push_back((id, child));
+                        self.enqueue_ready(id, child);
                     }
                     self.apply_outcome(id, outcome)?;
                 }
@@ -1439,12 +1564,21 @@ impl<D: Disk + Clone> Runtime<D> {
             rec.inputs = inputs;
         }
         self.persist_task(id, path)?;
+        let queue_ms = self
+            .ready_since
+            .remove(&(id, path.to_string()))
+            .map(|since| now.saturating_sub(since).as_millis())
+            .unwrap_or(0);
         self.awareness.record(
-            &self.store,
             now,
-            "task.start",
-            format!("{path} -> {node_name} (job {job})"),
-        )?;
+            EventKind::TaskStart {
+                instance: id,
+                path: path.to_string(),
+                node: node_name.clone(),
+                job,
+                queue_ms,
+            },
+        );
         self.in_flight.insert(
             job,
             InFlight {
@@ -1494,11 +1628,14 @@ impl<D: Disk + Clone> Runtime<D> {
         // *now*, not when the parent was defined.
         let child = self.instantiate(template_name, initial, Some((id, path.to_string())))?;
         self.awareness.record(
-            &self.store,
             now,
-            "subprocess.start",
-            format!("{path} -> instance {child} ({template_name})"),
-        )?;
+            EventKind::SubprocessStart {
+                instance: id,
+                path: path.to_string(),
+                child,
+                template: template_name.to_string(),
+            },
+        );
         Ok(())
     }
 
@@ -1506,11 +1643,20 @@ impl<D: Disk + Clone> Runtime<D> {
     // Outcome / persistence plumbing
     // ------------------------------------------------------------------
 
+    /// Queue a ready task, remembering when it became ready (first entry
+    /// wins — re-queuing an already-waiting task keeps the original time).
+    fn enqueue_ready(&mut self, id: InstanceId, path: String) {
+        self.ready_since
+            .entry((id, path.clone()))
+            .or_insert(self.kernel.now());
+        self.ready_queue.push_back((id, path));
+    }
+
     /// Act on a navigation outcome: queue ready tasks, run compensations,
     /// propagate completion to parent instances.
     fn apply_outcome(&mut self, id: InstanceId, outcome: NavOutcome) -> EngineResult<()> {
         for path in &outcome.newly_ready {
-            self.ready_queue.push_back((id, path.clone()));
+            self.enqueue_ready(id, path.clone());
         }
         for (task, program) in &outcome.compensations {
             // Compensation programs are control actions; run them
@@ -1519,11 +1665,13 @@ impl<D: Disk + Clone> Runtime<D> {
                 let _ = prog(&BTreeMap::new());
             }
             self.awareness.record(
-                &self.store,
                 self.kernel.now(),
-                "task.compensate",
-                format!("{task} via {program}"),
-            )?;
+                EventKind::TaskCompensate {
+                    instance: id,
+                    path: task.clone(),
+                    program: program.clone(),
+                },
+            );
         }
         if outcome.completed || outcome.aborted {
             let parent = self
@@ -1531,15 +1679,13 @@ impl<D: Disk + Clone> Runtime<D> {
                 .get(&id)
                 .and_then(|m| m.header.parent.clone());
             self.awareness.record(
-                &self.store,
                 self.kernel.now(),
                 if outcome.completed {
-                    "instance.complete"
+                    EventKind::InstanceComplete { instance: id }
                 } else {
-                    "instance.abort"
+                    EventKind::InstanceAbort { instance: id }
                 },
-                format!("{id}"),
-            )?;
+            );
             if let Some((pid, ptask)) = parent {
                 self.on_child_instance_done(pid, &ptask, id, outcome.completed)?;
             }
@@ -1565,11 +1711,13 @@ impl<D: Disk + Clone> Runtime<D> {
             .map(|r| r.state);
         if parent_state != Some(TaskState::Dispatched) {
             self.awareness.record(
-                &self.store,
                 now,
-                "subprocess.duplicate",
-                format!("{parent_task} <- instance {child_id} (ignored)"),
-            )?;
+                EventKind::SubprocessDuplicate {
+                    instance: parent_id,
+                    path: parent_task.to_string(),
+                    child: child_id,
+                },
+            );
             return Ok(());
         }
         if success {
@@ -1668,11 +1816,13 @@ impl<D: Disk + Clone> Runtime<D> {
             navigator::on_task_failed(&mut view, path, FailureKind::System, self.kernel.now())?
         };
         self.awareness.record(
-            &self.store,
             self.kernel.now(),
-            "task.systemfail",
-            format!("{path}: {why}"),
-        )?;
+            EventKind::TaskSystemFail {
+                instance: id,
+                path: path.to_string(),
+                reason: why.to_string(),
+            },
+        );
         self.persist_after_nav(id, &outcome, &[path.to_string()])?;
         self.apply_outcome(id, outcome)?;
         Ok(())

@@ -1,0 +1,269 @@
+//! Property tests for the awareness model (§3.4).
+//!
+//! The incremental [`AwarenessIndex`] maintained by `record()` must agree
+//! exactly with an index rebuilt from a full durable scan, for any event
+//! sequence and any interleaving of flushes.  Alongside the equivalence
+//! property: reopen semantics around foreign keys, corrupt values, and
+//! the 10-digit → 20-digit key-padding crossover.
+
+use bioopera_cluster::SimTime;
+use bioopera_core::{Awareness, AwarenessError, EventKind};
+use bioopera_store::{MemDisk, Space, Store};
+use proptest::prelude::*;
+
+/// One scripted step against the awareness model.
+#[derive(Debug, Clone)]
+enum Op {
+    Record(EventKind),
+    Flush,
+    Reopen,
+}
+
+fn kind_strategy() -> impl Strategy<Value = EventKind> {
+    let instance = 0u64..4;
+    let path = prop::sample::select(vec!["A", "B", "C", "Fan[0]"]);
+    let node = prop::sample::select(vec!["n1", "n2", "n3"]);
+    prop_oneof![
+        (
+            instance.clone(),
+            path.clone(),
+            node.clone(),
+            0u64..8,
+            0u64..2_000
+        )
+            .prop_map(
+                |(instance, path, node, job, queue_ms)| EventKind::TaskStart {
+                    instance,
+                    path: path.into(),
+                    node: node.into(),
+                    job,
+                    queue_ms,
+                }
+            ),
+        (instance.clone(), path.clone(), node.clone(), 0u64..10_000).prop_map(
+            |(instance, path, node, run_ms)| EventKind::TaskEnd {
+                instance,
+                path: path.into(),
+                node: node.into(),
+                run_ms,
+                cpu_ms: run_ms as f64,
+            }
+        ),
+        (instance.clone(), path.clone()).prop_map(|(instance, path)| EventKind::TaskFail {
+            instance,
+            path: path.into(),
+            error: "exit 1".into(),
+        }),
+        (instance.clone(), path.clone()).prop_map(|(instance, path)| {
+            EventKind::TaskSystemFail {
+                instance,
+                path: path.into(),
+                reason: "node crash".into(),
+            }
+        }),
+        (instance.clone(), path).prop_map(|(instance, path)| EventKind::TaskNonReport {
+            instance,
+            path: path.into(),
+        }),
+        (instance.clone(), prop::sample::select(vec!["P", "Q"])).prop_map(
+            |(instance, template)| EventKind::InstanceStart {
+                instance,
+                template: template.into(),
+            }
+        ),
+        instance
+            .clone()
+            .prop_map(|instance| EventKind::InstanceComplete { instance }),
+        instance
+            .clone()
+            .prop_map(|instance| EventKind::InstanceAbort { instance }),
+        (instance, 0u64..4)
+            .prop_map(|(instance, requeued)| EventKind::InstanceRestart { instance, requeued }),
+        node.clone()
+            .prop_map(|node| EventKind::NodeCrash { node: node.into() }),
+        node.clone()
+            .prop_map(|node| EventKind::NodeRecover { node: node.into() }),
+        (node, 0u32..32).prop_map(|(node, cpus)| EventKind::NodeLoad {
+            node: node.into(),
+            cpus: cpus as f64,
+        }),
+        (0u64..6).prop_map(|requeued| EventKind::ServerRecover { requeued }),
+        Just(EventKind::ClusterFailure),
+        Just(EventKind::ClusterRecover),
+        (
+            prop::sample::select(vec!["load", "old"]),
+            prop::sample::select(vec!["x", ""])
+        )
+            .prop_map(|(kind, detail)| EventKind::Legacy {
+                kind: kind.into(),
+                detail: detail.into(),
+            }),
+    ]
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => kind_strategy().prop_map(Op::Record),
+        1 => Just(Op::Flush),
+        1 => Just(Op::Reopen),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For any event sequence with arbitrary flush/reopen interleavings,
+    /// the incrementally maintained index equals one rebuilt from a full
+    /// scan (durable log + pending buffer), and a final reopen after a
+    /// flush reproduces the same index from disk alone.
+    #[test]
+    fn incremental_index_matches_full_scan(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let disk = MemDisk::new();
+        let store = Store::open(disk).unwrap();
+        let mut aw = Awareness::open(&store).unwrap();
+        let mut clock = 0u64;
+        for op in &ops {
+            match op {
+                Op::Record(kind) => {
+                    clock += 1_000;
+                    aw.record(SimTime::from_millis(clock), kind.clone());
+                }
+                Op::Flush => {
+                    aw.flush(&store).unwrap();
+                }
+                Op::Reopen => {
+                    // Unflushed records are lost on reopen (that is the
+                    // crash-atomicity contract); the index must follow.
+                    aw = Awareness::open(&store).unwrap();
+                }
+            }
+            let rebuilt = aw.rebuild_index(&store).unwrap();
+            prop_assert_eq!(aw.index(), &rebuilt);
+        }
+        aw.flush(&store).unwrap();
+        let reopened = Awareness::open(&store).unwrap();
+        prop_assert_eq!(reopened.index(), aw.index());
+        prop_assert_eq!(reopened.index().len(), aw.index().len());
+    }
+
+    /// Sequences that cross the old 10-digit padding width keep numeric
+    /// ordering and never reset: seed the log with legacy-width keys near
+    /// the 10^10 boundary, then append — new 20-digit keys sort *before*
+    /// the legacy ones lexicographically, and the model must not care.
+    #[test]
+    fn padding_width_crossing_keeps_order_and_sequence(extra in 1usize..12) {
+        let disk = MemDisk::new();
+        let store = Store::open(disk).unwrap();
+        // Two legacy records at the top of the 10-digit key range, written
+        // byte-for-byte as the pre-taxonomy code would have.
+        for (i, seq) in [9_999_999_998u64, 9_999_999_999].iter().enumerate() {
+            let body = format!(
+                r#"{{"at":[{}],"kind":"task.end","detail":"legacy {}"}}"#,
+                (i as u64 + 1) * 1_000,
+                i
+            );
+            store
+                .put(Space::History, format!("ev/{seq:010}"), body.into_bytes())
+                .unwrap();
+        }
+        let mut aw = Awareness::open(&store).unwrap();
+        prop_assert_eq!(aw.index().len(), 2);
+        for k in 0..extra {
+            aw.record(
+                SimTime::from_secs(10 + k as u64),
+                EventKind::NodeLoad { node: "n1".into(), cpus: k as f64 },
+            );
+        }
+        aw.flush(&store).unwrap();
+        let all = aw.all(&store).unwrap();
+        prop_assert_eq!(all.len(), 2 + extra);
+        // Numeric order == timestamp order, despite mixed key widths.
+        for w in all.windows(2) {
+            prop_assert!(w[0].at <= w[1].at);
+        }
+        // Reopen continues after 10^10 - 1 + extra, not from 0.
+        let mut aw = Awareness::open(&store).unwrap();
+        prop_assert_eq!(aw.index().len(), 2 + extra);
+        aw.record(SimTime::from_secs(100), EventKind::ClusterRecover);
+        aw.flush(&store).unwrap();
+        let all = aw.all(&store).unwrap();
+        prop_assert_eq!(all.len(), 3 + extra);
+        prop_assert_eq!(all.last().unwrap().at, SimTime::from_secs(100));
+    }
+}
+
+#[test]
+fn foreign_key_reports_bad_key_even_with_undecodable_value() {
+    let disk = MemDisk::new();
+    let store = Store::open(disk).unwrap();
+    store
+        .put(
+            Space::History,
+            "ev/snapshot-2001".to_string(),
+            b"not an event at all".to_vec(),
+        )
+        .unwrap();
+    match Awareness::open(&store) {
+        Err(AwarenessError::BadKey { key }) => assert_eq!(key, "snapshot-2001"),
+        Err(other) => panic!("expected BadKey, got {other}"),
+        Ok(_) => panic!("expected BadKey, got a working Awareness"),
+    }
+}
+
+#[test]
+fn corrupt_value_under_valid_key_is_a_codec_error() {
+    let disk = MemDisk::new();
+    let store = Store::open(disk).unwrap();
+    store
+        .put(
+            Space::History,
+            "ev/0000000000".to_string(),
+            b"{\"at\":".to_vec(),
+        )
+        .unwrap();
+    match Awareness::open(&store) {
+        Err(AwarenessError::Store(e)) => {
+            assert!(e.to_string().contains("codec"), "unexpected error: {e}")
+        }
+        Err(other) => panic!("expected a codec error, got {other}"),
+        Ok(_) => panic!("expected a codec error, got a working Awareness"),
+    }
+}
+
+#[test]
+fn legacy_store_reopens_and_answers_queries() {
+    let disk = MemDisk::new();
+    let store = Store::open(disk).unwrap();
+    let legacy: [(&str, &[u8]); 3] = [
+        (
+            "ev/0000000000",
+            br#"{"at":[0],"kind":"instance.start","detail":"P#1"}"#,
+        ),
+        (
+            "ev/0000000001",
+            br#"{"at":[5000],"kind":"task.start","detail":"A on n1"}"#,
+        ),
+        (
+            "ev/0000000002",
+            br#"{"at":[9000],"kind":"task.end","detail":"A"}"#,
+        ),
+    ];
+    for (key, body) in legacy {
+        store
+            .put(Space::History, key.to_string(), body.to_vec())
+            .unwrap();
+    }
+    let aw = Awareness::open(&store).unwrap();
+    assert_eq!(aw.index().len(), 3);
+    assert_eq!(aw.index().count("task.end"), 1);
+    let starts = aw.of_kind(&store, "instance.start").unwrap();
+    assert_eq!(starts.len(), 1);
+    assert!(matches!(
+        &starts[0].kind,
+        EventKind::Legacy { detail, .. } if detail == "P#1"
+    ));
+    // Legacy events carry no typed fields, so indexed postings skip them —
+    // but the full-scan rebuild agrees with the incremental path.
+    let rebuilt = aw.rebuild_index(&store).unwrap();
+    assert_eq!(&rebuilt, aw.index());
+}

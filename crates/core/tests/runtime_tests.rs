@@ -253,7 +253,10 @@ fn server_crash_resumes_without_losing_completed_work() {
     );
     // Gen ran exactly once: completed work survived the server crash.
     let ends = rt.awareness().of_kind(rt.store(), "task.end").unwrap();
-    let gen_ends = ends.iter().filter(|e| e.detail.starts_with("Gen ")).count();
+    let gen_ends = ends
+        .iter()
+        .filter(|e| e.kind.task_path() == Some("Gen"))
+        .count();
     assert_eq!(gen_ends, 1, "Gen must not be re-executed after recovery");
 }
 
@@ -279,7 +282,7 @@ fn network_outage_buffers_results_at_pecs() {
     for i in 0..5 {
         let n = ends
             .iter()
-            .filter(|e| e.detail.starts_with(&format!("Fan[{i}] ")))
+            .filter(|e| e.kind.task_path() == Some(format!("Fan[{i}]").as_str()))
             .count();
         assert_eq!(n, 1, "child {i} should complete exactly once");
     }
@@ -383,7 +386,10 @@ fn sphere_compensation_runs_on_abort() {
         .of_kind(rt.store(), "task.compensate")
         .unwrap();
     assert_eq!(comps.len(), 1);
-    assert!(comps[0].detail.contains("undo.noop"));
+    assert!(matches!(
+        &comps[0].kind,
+        bioopera_core::EventKind::TaskCompensate { program, .. } if program == "undo.noop"
+    ));
 }
 
 #[test]

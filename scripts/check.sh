@@ -17,4 +17,8 @@ echo "==> crash-point torture harness (bounded; seed override: HARNESS_SEED=N)"
 # Full store crash-point enumeration + sampled runtime crash points; ~5 s.
 cargo run -q -p bioopera-harness --bin torture -- --runtime-samples 8 --recovery-samples 3
 
+echo "==> awareness: index-vs-scan equivalence proptests + example smoke test"
+cargo test -q -p bioopera-core --test awareness_proptests
+cargo run -q --example awareness_queries > /dev/null
+
 echo "All checks passed."
