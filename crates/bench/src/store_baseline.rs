@@ -1,0 +1,289 @@
+//! A faithful replica of the **pre-overhaul** storage engine, kept as the
+//! "before" side of `store_bench` (the same retained-baseline pattern as
+//! `align_score_naive` in the kernel bench).
+//!
+//! It reproduces every cost the overhaul removed, on the identical
+//! on-disk format:
+//!
+//! * one global `Mutex` around the whole engine — concurrent readers
+//!   serialize behind writers and each other,
+//! * `get` allocates a `String` per lookup, `len` is a full cloning scan,
+//! * frame encoding happens inside the critical section with the
+//!   byte-at-a-time CRC-32,
+//! * `replay` copies every key *and* value out of the log image,
+//! * `compact` first clones the entire memtable into an owned op vector,
+//!   then encodes it.
+//!
+//! Only used by benchmarks; never by the system itself.
+
+use bioopera_store::crc::crc32_bytewise;
+use bioopera_store::wal::{WalOp, HEADER_LEN, MAGIC, MAX_PAYLOAD};
+use bioopera_store::{Disk, StoreResult};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Frame encoder exactly as the old engine ran it: fresh payload buffer
+/// per frame, bytewise CRC.
+pub fn encode_frame_bytewise(ops: &[WalOp]) -> Vec<u8> {
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&(ops.len() as u32).to_le_bytes());
+    for op in ops {
+        match op {
+            WalOp::Put { space, key, value } => {
+                payload.push(0);
+                payload.push(*space);
+                payload.extend_from_slice(&(key.len() as u32).to_le_bytes());
+                payload.extend_from_slice(key.as_bytes());
+                payload.extend_from_slice(&(value.len() as u32).to_le_bytes());
+                payload.extend_from_slice(value);
+            }
+            WalOp::Delete { space, key } => {
+                payload.push(1);
+                payload.push(*space);
+                payload.extend_from_slice(&(key.len() as u32).to_le_bytes());
+                payload.extend_from_slice(key.as_bytes());
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32_bytewise(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Replay exactly as the old engine ran it: bytewise CRC verification and
+/// a per-record copy of every key and value (`to_vec` /
+/// `copy_from_slice`).  Valid-image path only — the bench replays logs it
+/// just wrote.
+pub fn replay_copying(log: &[u8]) -> Vec<Vec<WalOp>> {
+    let mut batches = Vec::new();
+    let mut off = 0usize;
+    while off < log.len() {
+        let rest = &log[off..];
+        assert!(
+            rest.len() >= HEADER_LEN && rest[..2] == MAGIC,
+            "invalid frame"
+        );
+        let len = u32::from_le_bytes([rest[2], rest[3], rest[4], rest[5]]);
+        assert!(len <= MAX_PAYLOAD && rest.len() >= HEADER_LEN + len as usize);
+        let crc = u32::from_le_bytes([rest[6], rest[7], rest[8], rest[9]]);
+        let payload = &rest[HEADER_LEN..HEADER_LEN + len as usize];
+        assert_eq!(crc32_bytewise(payload), crc, "crc mismatch");
+        let mut p = payload;
+        let count = u32::from_le_bytes([p[0], p[1], p[2], p[3]]) as usize;
+        p = &p[4..];
+        let mut ops = Vec::with_capacity(count);
+        for _ in 0..count {
+            let tag = p[0];
+            let space = p[1];
+            let klen = u32::from_le_bytes([p[2], p[3], p[4], p[5]]) as usize;
+            let key = String::from_utf8(p[6..6 + klen].to_vec()).expect("utf-8 key");
+            p = &p[6 + klen..];
+            match tag {
+                0 => {
+                    let vlen = u32::from_le_bytes([p[0], p[1], p[2], p[3]]) as usize;
+                    let value = Bytes::copy_from_slice(&p[4..4 + vlen]);
+                    p = &p[4 + vlen..];
+                    ops.push(WalOp::Put { space, key, value });
+                }
+                1 => ops.push(WalOp::Delete { space, key }),
+                t => panic!("unknown tag {t}"),
+            }
+        }
+        batches.push(ops);
+        off += HEADER_LEN + len as usize;
+    }
+    batches
+}
+
+struct Inner<D: Disk> {
+    disk: D,
+    mem: BTreeMap<(u8, String), Bytes>,
+    epoch: u64,
+    wal_bytes: u64,
+}
+
+/// The old engine's shape: everything behind one `Mutex`.
+pub struct BaselineStore<D: Disk> {
+    inner: Arc<Mutex<Inner<D>>>,
+}
+
+impl<D: Disk> Clone for BaselineStore<D> {
+    fn clone(&self) -> Self {
+        BaselineStore {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+fn wal_name(epoch: u64) -> String {
+    format!("wal-{epoch:06}")
+}
+
+fn snapshot_name(epoch: u64) -> String {
+    format!("snapshot-{epoch:06}")
+}
+
+impl<D: Disk> BaselineStore<D> {
+    /// Open fresh over `disk` (the bench never recovers a baseline store;
+    /// replay is measured through [`replay_copying`] directly).
+    pub fn open(disk: D) -> Self {
+        BaselineStore {
+            inner: Arc::new(Mutex::new(Inner {
+                disk,
+                mem: BTreeMap::new(),
+                epoch: 0,
+                wal_bytes: 0,
+            })),
+        }
+    }
+
+    /// Apply a batch: encode *inside* the critical section, as the old
+    /// engine did.
+    pub fn apply(&self, ops: Vec<WalOp>) -> StoreResult<()> {
+        let mut inner = self.inner.lock();
+        if ops.is_empty() {
+            return Ok(());
+        }
+        let frame = encode_frame_bytewise(&ops);
+        let name = wal_name(inner.epoch);
+        inner.disk.append(&name, &frame)?;
+        inner.wal_bytes += frame.len() as u64;
+        for op in ops {
+            match op {
+                WalOp::Put { space, key, value } => {
+                    inner.mem.insert((space, key), value);
+                }
+                WalOp::Delete { space, key } => {
+                    inner.mem.remove(&(space, key));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The old allocating lookup: a `String` built per call just to probe
+    /// the map.
+    pub fn get(&self, space: u8, key: &str) -> Option<Bytes> {
+        let inner = self.inner.lock();
+        inner.mem.get(&(space, key.to_string())).cloned()
+    }
+
+    /// The old prefix scan over the single composite-keyed map.
+    pub fn scan_prefix(&self, space: u8, prefix: &str) -> Vec<(String, Bytes)> {
+        let inner = self.inner.lock();
+        let lo = (space, prefix.to_string());
+        inner
+            .mem
+            .range(lo..)
+            .take_while(|((s, k), _)| *s == space && k.starts_with(prefix))
+            .map(|((_, k), v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// The old `len`: a full cloning scan.
+    pub fn len(&self, space: u8) -> usize {
+        self.scan_prefix(space, "").len()
+    }
+
+    /// The old compaction: clone the whole memtable into owned ops, then
+    /// encode with the bytewise CRC, all under the global lock.
+    pub fn compact(&self) -> StoreResult<()> {
+        let mut inner = self.inner.lock();
+        let next = inner.epoch + 1;
+        let ops: Vec<WalOp> = inner
+            .mem
+            .iter()
+            .map(|((s, k), v)| WalOp::Put {
+                space: *s,
+                key: k.clone(),
+                value: v.clone(),
+            })
+            .collect();
+        let mut snap = Vec::new();
+        for chunk in ops.chunks(1024) {
+            snap.extend_from_slice(&encode_frame_bytewise(chunk));
+        }
+        if ops.is_empty() {
+            snap.extend_from_slice(&encode_frame_bytewise(&[]));
+        }
+        inner.disk.write_atomic(&snapshot_name(next), &snap)?;
+        inner
+            .disk
+            .write_atomic("MANIFEST", next.to_string().as_bytes())?;
+        let old_wal = wal_name(inner.epoch);
+        let old_snap = snapshot_name(inner.epoch);
+        inner.disk.delete(&old_wal)?;
+        inner.disk.delete(&old_snap)?;
+        inner.epoch = next;
+        inner.wal_bytes = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bioopera_store::wal;
+    use bioopera_store::MemDisk;
+
+    fn put(space: u8, key: &str, value: &[u8]) -> WalOp {
+        WalOp::Put {
+            space,
+            key: key.to_string(),
+            value: Bytes::copy_from_slice(value),
+        }
+    }
+
+    #[test]
+    fn baseline_frames_are_bit_identical_to_the_real_engine() {
+        let ops = vec![
+            put(1, "inst/1", b"running"),
+            WalOp::Delete {
+                space: 3,
+                key: "old".into(),
+            },
+        ];
+        assert_eq!(encode_frame_bytewise(&ops), wal::encode_frame(&ops));
+    }
+
+    #[test]
+    fn baseline_replay_agrees_with_the_real_replay() {
+        let mut log = Vec::new();
+        for i in 0..10u8 {
+            log.extend_from_slice(&encode_frame_bytewise(&[put(
+                i % 4,
+                &format!("k{i}"),
+                &[i; 100],
+            )]));
+        }
+        let old = replay_copying(&log);
+        let new = wal::replay(&log).unwrap();
+        assert!(!new.torn_tail);
+        assert_eq!(old, new.batches);
+    }
+
+    #[test]
+    fn baseline_store_roundtrip() {
+        let store = BaselineStore::open(MemDisk::new());
+        store
+            .apply(vec![put(0, "a", b"1"), put(0, "b", b"2")])
+            .unwrap();
+        assert_eq!(store.get(0, "a").unwrap(), &b"1"[..]);
+        assert_eq!(store.len(0), 2);
+        store.compact().unwrap();
+        assert_eq!(store.len(0), 2);
+        store
+            .apply(vec![WalOp::Delete {
+                space: 0,
+                key: "a".into(),
+            }])
+            .unwrap();
+        assert_eq!(store.get(0, "a"), None);
+        assert_eq!(store.len(0), 1);
+    }
+}

@@ -652,17 +652,39 @@ impl Awareness {
     /// number of events flushed.  Called once per navigator step by the
     /// runtime; tests call it directly.
     pub fn flush<D: Disk>(&mut self, store: &Store<D>) -> Result<usize, StoreError> {
+        match self.pending_batch()? {
+            Some(batch) => {
+                store.apply(batch)?;
+                Ok(self.confirm_flushed())
+            }
+            None => Ok(0),
+        }
+    }
+
+    /// Build the durable batch for all buffered events *without* clearing
+    /// them — the group-commit path.  The runtime hands this batch to
+    /// [`Store::apply_many`] together with the navigator's own persistence
+    /// batch (one disk append for both), then calls
+    /// [`confirm_flushed`](Awareness::confirm_flushed) once the commit
+    /// succeeded.  Returns `None` when nothing is buffered.
+    pub fn pending_batch(&self) -> Result<Option<Batch>, StoreError> {
         if self.pending.is_empty() {
-            return Ok(0);
+            return Ok(None);
         }
         let mut batch = Batch::new();
         for (seq, ev) in &self.pending {
             self.events.put_in(&mut batch, &event_key(*seq), ev)?;
         }
-        store.apply(batch)?;
+        Ok(Some(batch))
+    }
+
+    /// Mark the events last returned by
+    /// [`pending_batch`](Awareness::pending_batch) as durably committed.
+    /// Returns how many events were confirmed.
+    pub fn confirm_flushed(&mut self) -> usize {
         let n = self.pending.len();
         self.pending.clear();
-        Ok(n)
+        n
     }
 
     /// Drop buffered events without writing them — a server crash loses

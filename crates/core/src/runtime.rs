@@ -36,7 +36,7 @@ use bioopera_cluster::{Cluster, JobId, JobOutcome, NetworkState, SimKernel, SimT
 use bioopera_ocr::model::{ParallelBody, ProcessTemplate, TaskKind};
 use bioopera_ocr::value::Value;
 use bioopera_ocr::ExternalBinding;
-use bioopera_store::{Batch, Disk, Space, Store};
+use bioopera_store::{Batch, CompactionPolicy, Disk, Space, Store};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Events driving the runtime's kernel.
@@ -206,6 +206,10 @@ impl<D: Disk + Clone> Runtime<D> {
         cfg: RuntimeConfig,
     ) -> EngineResult<Self> {
         let store = Store::open(disk.clone())?;
+        store.set_compaction_policy(Some(CompactionPolicy {
+            wal_bytes_threshold: cfg.compact_wal_bytes,
+            min_wal_batches: 1,
+        }));
         let awareness = Awareness::open(&store)?;
         // Record the hardware configuration (§3.2: configuration space).
         for node in cluster.nodes() {
@@ -1014,7 +1018,6 @@ impl<D: Disk + Clone> Runtime<D> {
                 self.apply_outcome(flight.instance, outcome)?;
             }
         }
-        self.maybe_compact()?;
         Ok(())
     }
 
@@ -1309,6 +1312,10 @@ impl<D: Disk + Clone> Runtime<D> {
             return Ok(());
         }
         self.store = Store::open(self.disk.clone())?;
+        self.store.set_compaction_policy(Some(CompactionPolicy {
+            wal_bytes_threshold: self.cfg.compact_wal_bytes,
+            min_wal_batches: 1,
+        }));
         self.awareness = Awareness::open(&self.store)?;
         self.server_up = true;
         let requeued = self.rebuild_from_store()?;
@@ -1901,14 +1908,25 @@ impl<D: Disk + Clone> Runtime<D> {
         Ok(false)
     }
 
-    fn maybe_compact(&mut self) -> EngineResult<()> {
-        if self.store.stats().wal_bytes > self.cfg.compact_wal_bytes {
-            self.store.compact()?;
+    // ---- persistence helpers ----
+
+    /// Commit a persistence batch, coalescing any awareness events
+    /// buffered so far into the same disk append (group commit).  Each
+    /// batch stays its own atomic WAL frame, but the events become
+    /// durable *with* the navigation state they precede instead of
+    /// waiting for the end-of-step flush — persisted-before-visible is
+    /// preserved, one disk append cheaper per navigation.
+    fn commit_with_awareness(&mut self, batch: Batch) -> EngineResult<()> {
+        if self.server_up {
+            if let Some(events) = self.awareness.pending_batch()? {
+                self.store.apply_many([events, batch])?;
+                self.awareness.confirm_flushed();
+                return Ok(());
+            }
         }
+        self.store.apply(batch)?;
         Ok(())
     }
-
-    // ---- persistence helpers ----
 
     /// Persist the header and every task record of an instance in one
     /// atomic batch (used at instantiation).
@@ -1930,7 +1948,7 @@ impl<D: Disk + Clone> Runtime<D> {
                 serde_json::to_vec(rec).map_err(bioopera_store::StoreError::from)?,
             );
         }
-        self.store.apply(batch)?;
+        self.commit_with_awareness(batch)?;
         Ok(())
     }
 
@@ -2024,7 +2042,7 @@ impl<D: Disk + Clone> Runtime<D> {
                 );
             }
         }
-        self.store.apply(batch)?;
+        self.commit_with_awareness(batch)?;
         Ok(())
     }
 

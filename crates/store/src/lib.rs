@@ -31,6 +31,6 @@ pub mod typed;
 pub mod wal;
 
 pub use disk::{CrashEffect, Disk, FaultPlan, FaultTrigger, FileDisk, MemDisk};
-pub use engine::{Batch, Space, Store, StoreStats};
+pub use engine::{Batch, CompactionPolicy, Space, Store, StoreStats};
 pub use error::{StoreError, StoreResult};
 pub use typed::TypedSpace;

@@ -9,7 +9,7 @@
 //!    batches* — never a partial batch (atomicity), never a missing
 //!    acknowledged batch before the crash point boundary.
 
-use bioopera_store::{Batch, FaultPlan, MemDisk, Space, Store};
+use bioopera_store::{Batch, CompactionPolicy, FaultPlan, MemDisk, Space, Store};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 
@@ -77,6 +77,29 @@ fn to_batch(ops: &[Op]) -> Batch {
     b
 }
 
+/// One step of the interleaving test: single commits, group commits,
+/// explicit compactions and full close/reopen cycles, in any order.
+#[derive(Debug, Clone)]
+enum Action {
+    Apply(Vec<Op>),
+    ApplyMany(Vec<Vec<Op>>),
+    Compact,
+    Reopen,
+}
+
+fn actions_strategy() -> impl Strategy<Value = Vec<Action>> {
+    prop::collection::vec(
+        prop_oneof![
+            4 => prop::collection::vec(op_strategy(), 1..5).prop_map(Action::Apply),
+            2 => prop::collection::vec(prop::collection::vec(op_strategy(), 1..4), 1..4)
+                .prop_map(Action::ApplyMany),
+            1 => Just(Action::Compact),
+            1 => Just(Action::Reopen),
+        ],
+        1..40,
+    )
+}
+
 fn dump(store: &Store<MemDisk>) -> BTreeMap<(u8, String), Vec<u8>> {
     let mut out = BTreeMap::new();
     for (i, space) in Space::ALL.iter().enumerate() {
@@ -103,6 +126,56 @@ proptest! {
                 store.compact().unwrap();
             }
             prop_assert_eq!(dump(&store), model.clone());
+        }
+        drop(store);
+        let reopened = Store::open(disk).unwrap();
+        prop_assert_eq!(dump(&reopened), model);
+    }
+
+    #[test]
+    fn interleaved_commits_compactions_and_reopens_match_the_model(
+        actions in actions_strategy(),
+        policy_on in any::<bool>(),
+    ) {
+        // The concurrent engine's visible state must stay equivalent to
+        // the sequential apply-ops model under any interleaving of single
+        // commits, group commits, compactions and reopens — with and
+        // without the auto-compaction policy injecting extra epoch rolls
+        // at commit boundaries.
+        let policy = policy_on.then_some(CompactionPolicy {
+            wal_bytes_threshold: 512,
+            min_wal_batches: 2,
+        });
+        let disk = MemDisk::new();
+        let mut store = Store::open(disk.clone()).unwrap();
+        store.set_compaction_policy(policy);
+        let mut model = BTreeMap::new();
+        for action in &actions {
+            match action {
+                Action::Apply(ops) => {
+                    store.apply(to_batch(ops)).unwrap();
+                    apply_model(&mut model, ops);
+                }
+                Action::ApplyMany(list) => {
+                    store.apply_many(list.iter().map(|ops| to_batch(ops))).unwrap();
+                    for ops in list {
+                        apply_model(&mut model, ops);
+                    }
+                }
+                Action::Compact => store.compact().unwrap(),
+                Action::Reopen => {
+                    drop(store);
+                    store = Store::open(disk.clone()).unwrap();
+                    store.set_compaction_policy(policy);
+                }
+            }
+            prop_assert_eq!(dump(&store), model.clone());
+            // O(1) len agrees with the model's per-space cardinality.
+            for (i, space) in Space::ALL.iter().enumerate() {
+                let expect = model.keys().filter(|(s, _)| *s == i as u8).count();
+                prop_assert_eq!(store.len(*space).unwrap(), expect);
+                prop_assert_eq!(store.is_empty(*space).unwrap(), expect == 0);
+            }
         }
         drop(store);
         let reopened = Store::open(disk).unwrap();

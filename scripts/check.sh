@@ -21,4 +21,10 @@ echo "==> awareness: index-vs-scan equivalence proptests + example smoke test"
 cargo test -q -p bioopera-core --test awareness_proptests
 cargo run -q --example awareness_queries > /dev/null
 
+echo "==> store bench smoke (small config; fails loudly on a replay regression)"
+# Bounded run (~2 s release): emits results/BENCH_store.json and exits
+# non-zero if WAL replay regresses vs the retained pre-overhaul baseline.
+STORE_BENCH_SMOKE=1 cargo run --release -q -p bioopera-bench --bin store_bench > /dev/null
+test -s results/BENCH_store.json || { echo "BENCH_store.json missing"; exit 1; }
+
 echo "All checks passed."
