@@ -156,6 +156,7 @@ fn bench_scheduler(c: &mut Criterion) {
             running_jobs: (i % 3) as u32,
             load: (i % 10) as f64 / 10.0,
             up: i % 11 != 0,
+            quarantined: false,
         })
         .collect();
     let binding = ExternalBinding::program("p");

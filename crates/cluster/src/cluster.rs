@@ -70,13 +70,18 @@ impl Cluster {
     }
 
     /// Processors available from the server's point of view: online CPUs of
-    /// up nodes, or zero during a network outage (the dark series of
-    /// Figs. 5/6).
+    /// up, reachable nodes, or zero during a network outage (the dark
+    /// series of Figs. 5/6).  A partitioned node's CPUs are invisible to
+    /// the server even though its jobs keep running.
     pub fn availability(&self) -> u32 {
         if self.network == NetworkState::Down {
             return 0;
         }
-        self.nodes.iter().map(|n| n.cpus_online()).sum()
+        self.nodes
+            .iter()
+            .filter(|n| n.is_reachable())
+            .map(|n| n.cpus_online())
+            .sum()
     }
 
     /// Processors currently executing BioOpera jobs (the light series of
@@ -179,6 +184,15 @@ mod tests {
         c.node_mut("ik-sun3").unwrap().crash(SimTime::ZERO);
         assert_eq!(c.availability(), 4);
         assert!(c.node("ik-sun9").is_none());
+    }
+
+    #[test]
+    fn partitioned_node_is_invisible_to_availability() {
+        let mut c = Cluster::ik_sun();
+        c.node_mut("ik-sun2").unwrap().set_reachable(false);
+        assert_eq!(c.availability(), 4, "partitioned CPUs are not available");
+        c.node_mut("ik-sun2").unwrap().set_reachable(true);
+        assert_eq!(c.availability(), 5);
     }
 
     #[test]

@@ -82,6 +82,13 @@ pub struct Node {
     /// (crashes, aborts) — the "lost work" metric of the checkpoint
     /// ablation.
     wasted_cpu_ms: f64,
+    /// Fault injection: the node kills the next `flaky_kills` jobs it is
+    /// handed (crash-looping service, bad local disk — the node *looks*
+    /// up but loses every job).
+    flaky_kills: u32,
+    /// Network reachability from the server: a partitioned node keeps
+    /// executing, but results are buffered at its PEC until it rejoins.
+    reachable: bool,
 }
 
 impl Node {
@@ -97,12 +104,40 @@ impl Node {
             last_advance: SimTime::ZERO,
             generation: 0,
             wasted_cpu_ms: 0.0,
+            flaky_kills: 0,
+            reachable: true,
         }
     }
 
     /// Is the node powered and healthy?
     pub fn is_up(&self) -> bool {
         self.up
+    }
+
+    /// Is the node reachable from the server (no partition)?
+    pub fn is_reachable(&self) -> bool {
+        self.reachable
+    }
+
+    /// Partition the node from (or rejoin it to) the server network.
+    pub fn set_reachable(&mut self, reachable: bool) {
+        self.reachable = reachable;
+    }
+
+    /// Arm the flaky fault: the node kills the next `kills` jobs it is
+    /// handed.
+    pub fn set_flaky(&mut self, kills: u32) {
+        self.flaky_kills = kills;
+    }
+
+    /// Consume one armed flaky kill; `true` means the incoming job dies.
+    pub fn consume_flaky_kill(&mut self) -> bool {
+        if self.flaky_kills > 0 {
+            self.flaky_kills -= 1;
+            true
+        } else {
+            false
+        }
     }
 
     /// Processors currently online (0 when down).
@@ -264,10 +299,13 @@ impl Node {
         self.wasted_cpu_ms
     }
 
-    /// Bring the node back (empty, healthy, same hardware).
+    /// Bring the node back (empty, healthy, same hardware).  Repair clears
+    /// any armed flaky fault; reachability is a network property and is
+    /// untouched.
     pub fn recover(&mut self, now: SimTime) {
         self.advance(now);
         self.up = true;
+        self.flaky_kills = 0;
         self.generation += 1;
     }
 
@@ -426,6 +464,28 @@ mod tests {
             JobOutcome::Completed { cpu_ms } => assert!((cpu_ms - 5_000.0).abs() < 2.0),
             _ => panic!(),
         }
+    }
+
+    #[test]
+    fn flaky_kills_are_consumed_and_cleared_by_repair() {
+        let mut n = node(1, 500);
+        assert!(!n.consume_flaky_kill(), "healthy node kills nothing");
+        n.set_flaky(2);
+        assert!(n.consume_flaky_kill());
+        assert!(n.consume_flaky_kill());
+        assert!(!n.consume_flaky_kill(), "budget exhausted");
+        n.set_flaky(5);
+        n.crash(SimTime::from_secs(1));
+        n.recover(SimTime::from_secs(2));
+        assert!(!n.consume_flaky_kill(), "repair clears the fault");
+        // Reachability is independent of up/down.
+        assert!(n.is_reachable());
+        n.set_reachable(false);
+        assert!(!n.is_reachable());
+        n.recover(SimTime::from_secs(3));
+        assert!(!n.is_reachable(), "recovery does not heal the network");
+        n.set_reachable(true);
+        assert!(n.is_reachable());
     }
 
     #[test]

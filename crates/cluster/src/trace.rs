@@ -68,6 +68,21 @@ pub enum TraceEventKind {
         /// How many currently-running activities are affected.
         count: u32,
     },
+    /// The node stays up but kills the next `kills` jobs it is handed
+    /// (crash-looping service, bad local disk, flaky NIC) — the fault
+    /// class behind the masked-failure requeue livelock.
+    NodeFlaky {
+        /// Affected node.
+        node: String,
+        /// Jobs killed before the fault clears (`u32::MAX` ≈ forever).
+        kills: u32,
+    },
+    /// A network partition isolates one PEC from the server: the node
+    /// keeps executing, results are buffered at the PEC, and the server
+    /// dispatches nothing new there.
+    NodePartition(String),
+    /// The partitioned node rejoins; buffered results are delivered.
+    NodeRejoin(String),
 }
 
 /// A timed, labeled environment event.
@@ -427,6 +442,29 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let t = Trace::shared_run();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn dependability_fault_kinds_roundtrip() {
+        let mut t = Trace::empty();
+        t.push(
+            SimTime::from_secs(1),
+            TraceEventKind::NodeFlaky {
+                node: "n1".into(),
+                kills: u32::MAX,
+            },
+        );
+        t.push(
+            SimTime::from_secs(2),
+            TraceEventKind::NodePartition("n2".into()),
+        );
+        t.push(
+            SimTime::from_secs(9),
+            TraceEventKind::NodeRejoin("n2".into()),
+        );
         let json = serde_json::to_string(&t).unwrap();
         let back: Trace = serde_json::from_str(&json).unwrap();
         assert_eq!(back, t);

@@ -134,6 +134,29 @@ pub enum EventKind {
         /// Task path.
         path: String,
     },
+    /// A masked failure was deferred with an exponential-backoff timer
+    /// (annotation alongside `task.systemfail`; the dispatch slot was
+    /// already released by that event).
+    TaskBackoff {
+        /// Instance id.
+        instance: u64,
+        /// Task path.
+        path: String,
+        /// Masked failures so far (drives the exponent).
+        attempt: u32,
+        /// Virtual milliseconds until the task may be re-dispatched.
+        delay_ms: u64,
+    },
+    /// A task system-failed once too often (distinct-node poison set or
+    /// exhausted retry budget) and was escalated to a program failure.
+    TaskPoisoned {
+        /// Instance id.
+        instance: u64,
+        /// Task path.
+        path: String,
+        /// Why masking stopped.
+        reason: String,
+    },
     /// A dispatched task was pulled off a dead node and requeued.
     TaskMigrate {
         /// Instance id.
@@ -187,6 +210,32 @@ pub enum EventKind {
     },
     /// A node came back.
     NodeRecover {
+        /// Node name.
+        node: String,
+    },
+    /// Consecutive job failures pushed a node into quarantine: the
+    /// scheduler will not place work there until the interval expires.
+    NodeQuarantine {
+        /// Node name.
+        node: String,
+        /// Consecutive failures that triggered the quarantine.
+        failures: u32,
+    },
+    /// A node's quarantine interval expired; it re-enters scheduling on
+    /// probation.
+    NodeProbation {
+        /// Node name.
+        node: String,
+    },
+    /// A node's PEC lost its network link to the server: no dispatches,
+    /// completions buffer at the node until it rejoins.
+    NodePartition {
+        /// Node name.
+        node: String,
+    },
+    /// A partitioned node rejoined; its buffered completions were
+    /// delivered.
+    NodeRejoin {
         /// Node name.
         node: String,
     },
@@ -247,6 +296,8 @@ impl EventKind {
             EventKind::TaskSystemFail { .. } => "task.systemfail",
             EventKind::TaskNonReport { .. } => "task.nonreport",
             EventKind::TaskDiskFull { .. } => "task.diskfull",
+            EventKind::TaskBackoff { .. } => "task.backoff",
+            EventKind::TaskPoisoned { .. } => "task.poisoned",
             EventKind::TaskMigrate { .. } => "task.migrate",
             EventKind::TaskCompensate { .. } => "task.compensate",
             EventKind::SubprocessStart { .. } => "subprocess.start",
@@ -254,6 +305,10 @@ impl EventKind {
             EventKind::EventSignal { .. } => "event.signal",
             EventKind::NodeCrash { .. } => "node.crash",
             EventKind::NodeRecover { .. } => "node.recover",
+            EventKind::NodeQuarantine { .. } => "node.quarantine",
+            EventKind::NodeProbation { .. } => "node.probation",
+            EventKind::NodePartition { .. } => "node.partition",
+            EventKind::NodeRejoin { .. } => "node.rejoin",
             EventKind::NodeLoad { .. } => "node.load",
             EventKind::ClusterFailure => "cluster.failure",
             EventKind::ClusterRecover => "cluster.recover",
@@ -281,6 +336,8 @@ impl EventKind {
             | EventKind::TaskSystemFail { instance, .. }
             | EventKind::TaskNonReport { instance, .. }
             | EventKind::TaskDiskFull { instance, .. }
+            | EventKind::TaskBackoff { instance, .. }
+            | EventKind::TaskPoisoned { instance, .. }
             | EventKind::TaskMigrate { instance, .. }
             | EventKind::TaskCompensate { instance, .. }
             | EventKind::SubprocessStart { instance, .. }
@@ -299,6 +356,8 @@ impl EventKind {
             | EventKind::TaskSystemFail { path, .. }
             | EventKind::TaskNonReport { path, .. }
             | EventKind::TaskDiskFull { path, .. }
+            | EventKind::TaskBackoff { path, .. }
+            | EventKind::TaskPoisoned { path, .. }
             | EventKind::TaskMigrate { path, .. }
             | EventKind::TaskCompensate { path, .. }
             | EventKind::SubprocessStart { path, .. }
@@ -315,6 +374,10 @@ impl EventKind {
             | EventKind::TaskMigrate { node, .. }
             | EventKind::NodeCrash { node }
             | EventKind::NodeRecover { node }
+            | EventKind::NodeQuarantine { node, .. }
+            | EventKind::NodeProbation { node }
+            | EventKind::NodePartition { node }
+            | EventKind::NodeRejoin { node }
             | EventKind::NodeLoad { node, .. } => Some(node),
             _ => None,
         }
@@ -447,6 +510,7 @@ pub struct AwarenessIndex {
     in_flight: u64,
     peak_in_flight: u64,
     nodes_down: BTreeSet<String>,
+    nodes_quarantined: BTreeSet<String>,
     total_cpu_ms: f64,
 }
 
@@ -465,11 +529,13 @@ impl AwarenessIndex {
                 self.in_flight = self.in_flight.saturating_sub(1);
             }
             // Terminal-or-requeue outcomes: the dispatch slot is gone.
-            // (`task.diskfull` / `task.migrate` are annotations always
-            // followed by a `task.systemfail` for the same slot, so they
-            // must not decrement too.)
+            // (`task.diskfull` / `task.migrate` / `task.backoff` are
+            // annotations always paired with a `task.systemfail` or
+            // `task.poisoned` for the same slot, so they must not
+            // decrement too.)
             EventKind::TaskFail { .. }
             | EventKind::TaskSystemFail { .. }
+            | EventKind::TaskPoisoned { .. }
             | EventKind::TaskNonReport { .. } => {
                 self.in_flight = self.in_flight.saturating_sub(1);
             }
@@ -481,6 +547,12 @@ impl AwarenessIndex {
             }
             EventKind::NodeRecover { node } => {
                 self.nodes_down.remove(node);
+            }
+            EventKind::NodeQuarantine { node, .. } => {
+                self.nodes_quarantined.insert(node.clone());
+            }
+            EventKind::NodeProbation { node } => {
+                self.nodes_quarantined.remove(node);
             }
             // A server crash loses all volatile dispatch state; rebuild
             // requeues what was dispatched.
@@ -571,6 +643,11 @@ impl AwarenessIndex {
     /// Nodes currently believed down (crashed, not yet recovered).
     pub fn nodes_down(&self) -> &BTreeSet<String> {
         &self.nodes_down
+    }
+
+    /// Nodes currently quarantined by the dependability policy.
+    pub fn nodes_quarantined(&self) -> &BTreeSet<String> {
+        &self.nodes_quarantined
     }
 
     /// Reference-CPU milliseconds charged by all ended tasks.

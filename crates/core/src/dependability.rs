@@ -1,0 +1,446 @@
+//! Dependability policies: retry budgets, exponential backoff, node
+//! quarantine and poison-task escalation.
+//!
+//! The paper masks system failures by silently re-queueing the affected
+//! task (§3.4).  Taken literally that is unsafe: a node that
+//! deterministically kills every job it is given (crash-looping service,
+//! bad disk, flaky NIC) drives an infinite dispatch→fail→requeue livelock.
+//! This module holds the policy layer that bounds the loop:
+//!
+//! * **retry budgets + backoff** — every masked failure increments a
+//!   per-task counter and defers the re-dispatch by an exponentially
+//!   growing, deterministically jittered delay (a `RetryAt` engine event
+//!   on the virtual clock instead of an instant requeue);
+//! * **node health scoring** — consecutive node-attributable job failures
+//!   push the node into *quarantine* (ineligible for scheduling), decaying
+//!   to *probation* after a configurable virtual interval;
+//! * **poison escalation** — a task that node-fails on `K` distinct nodes
+//!   (or exhausts its budget) stops being masked and is escalated to
+//!   program-failure semantics, so the instance fails visibly instead of
+//!   looping forever.
+//!
+//! All of this state persists through the store (see
+//! [`crate::state::TaskRecord::retry`] and the `health/` keys in the
+//! configuration space) and is reconstructed by the runtime's
+//! `rebuild_from_store`.
+
+use bioopera_cluster::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Why a system failure happened — decides whether the failure indicts
+/// the node that hosted the job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemCause {
+    /// Environment-wide fault (node/cluster crash, server outage, disk
+    /// full, network partition, migration): retried with backoff, but the
+    /// node is not blamed — the whole environment misbehaved.
+    Environment,
+    /// A fault attributable to the hosting node itself (a flaky node
+    /// killing the job): counts toward node health and the poison set.
+    NodeFault,
+}
+
+/// What the policy layer decided to do with a masked failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RetryDecision {
+    /// Mask and re-queue, not before `delay` of virtual time has passed.
+    Requeue {
+        /// Backoff delay (zero = the pre-policy instant requeue).
+        delay: SimTime,
+    },
+    /// Stop masking: escalate to program-failure semantics.
+    Escalate {
+        /// Human-readable escalation reason (goes into the event log).
+        reason: String,
+    },
+}
+
+/// Per-task dependability bookkeeping, embedded in
+/// [`crate::state::TaskRecord`] so it survives server crashes.  The field
+/// is `Option`al there: records written before this policy layer existed
+/// decode as `None` and behave like a fresh state.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RetryState {
+    /// Masked system failures since the last successful run.
+    pub sys_failures: u32,
+    /// Virtual deadline before which the task must not be re-dispatched
+    /// (the pending backoff timer; a `RetryAt` event fires at it).
+    pub retry_at: Option<SimTime>,
+    /// Distinct nodes on which the task suffered node-attributable
+    /// failures (the poison set).
+    pub failed_nodes: Vec<String>,
+}
+
+impl RetryState {
+    /// Note one node-attributable failure on `node`.
+    pub fn note_failed_node(&mut self, node: &str) {
+        if !self.failed_nodes.iter().any(|n| n == node) {
+            self.failed_nodes.push(node.to_string());
+        }
+    }
+}
+
+/// Health classification of one node, as the scheduler sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HealthState {
+    /// No recent evidence against the node.
+    Healthy,
+    /// Recently released from quarantine; eligible again, one more
+    /// failure streak sends it straight back.
+    Probation,
+    /// Ineligible for scheduling until the quarantine interval expires.
+    Quarantined,
+}
+
+/// Persistent health record of one node (configuration space,
+/// `health/{node}` keys).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeHealth {
+    /// Current classification.
+    pub state: HealthState,
+    /// Consecutive node-attributable job failures.
+    pub consecutive_failures: u32,
+    /// When the current quarantine started (set iff `Quarantined`).
+    pub quarantined_at: Option<SimTime>,
+    /// Bumped on every quarantine entry; expiry events carry the epoch
+    /// they were scheduled for, so a stale timer cannot release a newer
+    /// quarantine early.
+    pub epoch: u64,
+}
+
+impl Default for NodeHealth {
+    fn default() -> Self {
+        NodeHealth {
+            state: HealthState::Healthy,
+            consecutive_failures: 0,
+            quarantined_at: None,
+            epoch: 0,
+        }
+    }
+}
+
+impl NodeHealth {
+    /// Record one node-attributable job failure at `now`.  Returns `true`
+    /// when this failure pushed the node into quarantine.
+    pub fn on_job_failed(&mut self, now: SimTime, threshold: u32) -> bool {
+        self.consecutive_failures += 1;
+        if self.state != HealthState::Quarantined && self.consecutive_failures >= threshold.max(1) {
+            self.state = HealthState::Quarantined;
+            self.quarantined_at = Some(now);
+            self.epoch += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Record a successful job completion: the failure streak ends, and a
+    /// probation node is rehabilitated.  A quarantined node stays
+    /// quarantined until its interval expires (the success may be a
+    /// straggler dispatched before the quarantine).
+    pub fn on_job_succeeded(&mut self) {
+        self.consecutive_failures = 0;
+        if self.state == HealthState::Probation {
+            self.state = HealthState::Healthy;
+        }
+    }
+
+    /// The quarantine timer for `epoch` fired.  Returns `true` when the
+    /// node actually left quarantine (stale epochs are ignored).
+    pub fn on_quarantine_expired(&mut self, epoch: u64) -> bool {
+        if self.state == HealthState::Quarantined && self.epoch == epoch {
+            self.state = HealthState::Probation;
+            self.consecutive_failures = 0;
+            self.quarantined_at = None;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Is the node currently ineligible for scheduling?
+    pub fn is_quarantined(&self) -> bool {
+        self.state == HealthState::Quarantined
+    }
+}
+
+/// Tunables of the dependability policy layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DependabilityConfig {
+    /// Master switch.  `false` reproduces the pre-policy engine: instant
+    /// requeue, no budgets, no quarantine (the livelock baseline the
+    /// chaos scenario measures against).
+    pub enabled: bool,
+    /// Node-attributable masked failures a task may accumulate before it
+    /// is escalated to a program failure.
+    pub system_retry_budget: u32,
+    /// First backoff delay.
+    pub backoff_base: SimTime,
+    /// Multiplier applied per additional failure.
+    pub backoff_factor: f64,
+    /// Backoff ceiling.
+    pub backoff_max: SimTime,
+    /// Maximum deterministic jitter added to each delay (milliseconds).
+    pub jitter_ms: u64,
+    /// Seed the jitter is derived from (wire the trace seed here so a
+    /// seeded run reproduces byte-identically).
+    pub jitter_seed: u64,
+    /// Consecutive node-attributable failures before a node is
+    /// quarantined.
+    pub quarantine_threshold: u32,
+    /// How long a quarantine lasts before decaying to probation.
+    pub quarantine_interval: SimTime,
+    /// Distinct failing nodes after which a task is poisoned.
+    pub poison_distinct_nodes: usize,
+}
+
+impl Default for DependabilityConfig {
+    fn default() -> Self {
+        DependabilityConfig {
+            enabled: true,
+            system_retry_budget: 32,
+            backoff_base: SimTime::from_secs(1),
+            backoff_factor: 2.0,
+            backoff_max: SimTime::from_secs(60),
+            jitter_ms: 500,
+            jitter_seed: 0,
+            quarantine_threshold: 3,
+            quarantine_interval: SimTime::from_mins(10),
+            poison_distinct_nodes: 3,
+        }
+    }
+}
+
+impl DependabilityConfig {
+    /// The pre-policy engine: instant requeue forever (the livelock
+    /// baseline).
+    pub fn disabled() -> Self {
+        DependabilityConfig {
+            enabled: false,
+            ..Default::default()
+        }
+    }
+
+    /// The backoff delay for the `sys_failures`-th masked failure of
+    /// `(instance, path)`: `base * factor^(n-1)` capped at `backoff_max`,
+    /// plus a deterministic jitter in `[0, jitter_ms]` derived from the
+    /// seed — identical inputs always yield the identical delay.
+    pub fn backoff_delay(&self, instance: u64, path: &str, sys_failures: u32) -> SimTime {
+        let exp = sys_failures.saturating_sub(1).min(24);
+        let scaled = self.backoff_base.as_millis() as f64 * self.backoff_factor.powi(exp as i32);
+        let capped = scaled.min(self.backoff_max.as_millis() as f64).max(1.0) as u64;
+        let jitter = if self.jitter_ms == 0 {
+            0
+        } else {
+            let mut h = self.jitter_seed ^ instance.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            for b in path.bytes() {
+                h = splitmix64(h ^ b as u64);
+            }
+            splitmix64(h ^ sys_failures as u64) % (self.jitter_ms + 1)
+        };
+        SimTime::from_millis(capped + jitter)
+    }
+
+    /// Decide what to do with a masked failure whose bookkeeping has
+    /// already been folded into `retry`.  Only node-attributable failures
+    /// can escalate: environment faults (cluster crash, disk full) are
+    /// the paper's masked class and stay masked — backoff alone bounds
+    /// their requeue rate, and the environment eventually recovers.
+    pub fn decide(
+        &self,
+        instance: u64,
+        path: &str,
+        retry: &RetryState,
+        cause: SystemCause,
+    ) -> RetryDecision {
+        if !self.enabled {
+            return RetryDecision::Requeue {
+                delay: SimTime::ZERO,
+            };
+        }
+        if cause == SystemCause::NodeFault {
+            if retry.failed_nodes.len() >= self.poison_distinct_nodes.max(1) {
+                return RetryDecision::Escalate {
+                    reason: format!(
+                        "poisoned: system-failed on {} distinct nodes ({})",
+                        retry.failed_nodes.len(),
+                        retry.failed_nodes.join(", ")
+                    ),
+                };
+            }
+            if retry.sys_failures > self.system_retry_budget {
+                return RetryDecision::Escalate {
+                    reason: format!(
+                        "system-retry budget exhausted ({} > {})",
+                        retry.sys_failures, self.system_retry_budget
+                    ),
+                };
+            }
+        }
+        RetryDecision::Requeue {
+            delay: self.backoff_delay(instance, path, retry.sys_failures),
+        }
+    }
+}
+
+/// SplitMix64: the standard 64-bit finalizer, good enough for jitter and
+/// dependency-free (the core crate deliberately has no `rand`).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Key of a node's persistent health record (configuration space).
+pub fn health_key(node: &str) -> String {
+    format!("health/{node}")
+}
+
+/// Prefix of all health records.
+pub const HEALTH_PREFIX: &str = "health/";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let cfg = DependabilityConfig {
+            jitter_ms: 0,
+            ..Default::default()
+        };
+        let d1 = cfg.backoff_delay(1, "T", 1);
+        let d2 = cfg.backoff_delay(1, "T", 2);
+        let d3 = cfg.backoff_delay(1, "T", 3);
+        assert_eq!(d1, SimTime::from_secs(1));
+        assert_eq!(d2, SimTime::from_secs(2));
+        assert_eq!(d3, SimTime::from_secs(4));
+        let far = cfg.backoff_delay(1, "T", 30);
+        assert_eq!(far, cfg.backoff_max, "capped at the ceiling");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let cfg = DependabilityConfig {
+            jitter_ms: 250,
+            jitter_seed: 42,
+            ..Default::default()
+        };
+        let a = cfg.backoff_delay(7, "Align[3]", 2);
+        let b = cfg.backoff_delay(7, "Align[3]", 2);
+        assert_eq!(a, b, "same inputs, same delay");
+        let base = DependabilityConfig {
+            jitter_ms: 0,
+            ..cfg.clone()
+        }
+        .backoff_delay(7, "Align[3]", 2);
+        assert!(a >= base && a <= base + SimTime::from_millis(250));
+        // Different seeds (in general) shift the jitter.
+        let other = DependabilityConfig {
+            jitter_seed: 43,
+            ..cfg.clone()
+        };
+        let any_differs =
+            (0..8).any(|n| cfg.backoff_delay(7, "X", n) != other.backoff_delay(7, "X", n));
+        assert!(any_differs, "seed must influence the jitter");
+    }
+
+    #[test]
+    fn quarantine_state_machine() {
+        let mut h = NodeHealth::default();
+        assert!(!h.on_job_failed(SimTime::from_secs(1), 3));
+        assert!(!h.on_job_failed(SimTime::from_secs(2), 3));
+        assert!(h.on_job_failed(SimTime::from_secs(3), 3), "third strike");
+        assert!(h.is_quarantined());
+        assert_eq!(h.epoch, 1);
+        // Stale epoch does not release it.
+        assert!(!h.on_quarantine_expired(0));
+        assert!(h.is_quarantined());
+        // The matching epoch does.
+        assert!(h.on_quarantine_expired(1));
+        assert_eq!(h.state, HealthState::Probation);
+        assert_eq!(h.consecutive_failures, 0);
+        // A success rehabilitates a probation node.
+        h.on_job_succeeded();
+        assert_eq!(h.state, HealthState::Healthy);
+        // Failures while quarantined keep counting but never re-enter.
+        let mut q = NodeHealth::default();
+        q.on_job_failed(SimTime::ZERO, 1);
+        let epoch = q.epoch;
+        assert!(!q.on_job_failed(SimTime::from_secs(1), 1));
+        assert_eq!(q.epoch, epoch, "no epoch churn while quarantined");
+    }
+
+    #[test]
+    fn decide_escalates_on_poison_and_budget() {
+        let cfg = DependabilityConfig {
+            poison_distinct_nodes: 2,
+            system_retry_budget: 4,
+            jitter_ms: 0,
+            ..Default::default()
+        };
+        let mut retry = RetryState {
+            sys_failures: 1,
+            ..Default::default()
+        };
+        retry.note_failed_node("a");
+        assert!(matches!(
+            cfg.decide(1, "T", &retry, SystemCause::NodeFault),
+            RetryDecision::Requeue { .. }
+        ));
+        retry.note_failed_node("b");
+        retry.note_failed_node("b"); // duplicate is not counted twice
+        assert_eq!(retry.failed_nodes.len(), 2);
+        assert!(matches!(
+            cfg.decide(1, "T", &retry, SystemCause::NodeFault),
+            RetryDecision::Escalate { .. }
+        ));
+        // Budget exhaustion escalates too.
+        let mut r2 = RetryState {
+            sys_failures: 5,
+            ..Default::default()
+        };
+        r2.note_failed_node("a");
+        assert!(matches!(
+            cfg.decide(1, "T", &r2, SystemCause::NodeFault),
+            RetryDecision::Escalate { .. }
+        ));
+        // Environment faults never escalate, whatever the counters say.
+        assert!(matches!(
+            cfg.decide(1, "T", &r2, SystemCause::Environment),
+            RetryDecision::Requeue { .. }
+        ));
+        // Disabled policy reproduces the instant requeue.
+        assert_eq!(
+            DependabilityConfig::disabled().decide(1, "T", &r2, SystemCause::NodeFault),
+            RetryDecision::Requeue {
+                delay: SimTime::ZERO
+            }
+        );
+    }
+
+    #[test]
+    fn retry_state_serde_roundtrip() {
+        let mut r = RetryState {
+            sys_failures: 3,
+            retry_at: Some(SimTime::from_secs(9)),
+            ..Default::default()
+        };
+        r.note_failed_node("n1");
+        r.note_failed_node("n2");
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RetryState = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        let h = NodeHealth {
+            state: HealthState::Quarantined,
+            consecutive_failures: 3,
+            quarantined_at: Some(SimTime::from_secs(5)),
+            epoch: 2,
+        };
+        let json = serde_json::to_string(&h).unwrap();
+        let back: NodeHealth = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, h);
+    }
+}

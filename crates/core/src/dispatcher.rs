@@ -27,9 +27,39 @@ pub struct NodeView {
     pub load: f64,
     /// Is the node reachable and healthy?
     pub up: bool,
+    /// Is the node quarantined by the dependability policy?  Quarantined
+    /// nodes are filtered out of the eligible set in [`schedule`].
+    pub quarantined: bool,
 }
 
 impl NodeView {
+    /// Build a view, rejecting non-finite measurements: a node reporting
+    /// `NaN`/`inf` load or speed has a broken monitor and is treated as
+    /// down rather than being fed to the comparison-based policies.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: String,
+        os: String,
+        speed: f64,
+        cpus_online: u32,
+        running_jobs: u32,
+        load: f64,
+        up: bool,
+        quarantined: bool,
+    ) -> Self {
+        let finite = speed.is_finite() && load.is_finite();
+        NodeView {
+            name,
+            os,
+            speed: if finite { speed } else { 0.0 },
+            cpus_online,
+            running_jobs,
+            load: if finite { load } else { 1.0 },
+            up: up && finite,
+            quarantined,
+        }
+    }
+
     /// Dispatch slots left: one job per online CPU.
     pub fn free_slots(&self) -> u32 {
         self.cpus_online.saturating_sub(self.running_jobs)
@@ -51,6 +81,28 @@ pub trait SchedulingPolicy: Send {
     fn name(&self) -> &'static str;
 }
 
+/// Load measurement sanitized for comparison: a non-finite reading (broken
+/// monitor) compares as the worst possible load, so it can never win a
+/// lowest-load contest.  `total_cmp` then gives a strict weak order.
+fn load_key(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// Speed measurement sanitized for comparison: non-finite readings compare
+/// as the slowest possible node, so they can never win a fastest contest
+/// (raw `total_cmp` would rank NaN *above* every finite speed).
+fn speed_key(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        f64::NEG_INFINITY
+    }
+}
+
 /// Pick the node with the lowest reported load; ties broken by speed then
 /// name (deterministic).
 #[derive(Debug, Default, Clone)]
@@ -60,14 +112,9 @@ impl SchedulingPolicy for LeastLoaded {
     fn choose(&mut self, nodes: &[NodeView], eligible: &[usize]) -> Option<usize> {
         eligible.iter().copied().min_by(|&a, &b| {
             let (na, nb) = (&nodes[a], &nodes[b]);
-            na.load
-                .partial_cmp(&nb.load)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(
-                    nb.speed
-                        .partial_cmp(&na.speed)
-                        .unwrap_or(std::cmp::Ordering::Equal),
-                )
+            load_key(na.load)
+                .total_cmp(&load_key(nb.load))
+                .then(speed_key(nb.speed).total_cmp(&speed_key(na.speed)))
                 .then(na.name.cmp(&nb.name))
         })
     }
@@ -85,14 +132,9 @@ impl SchedulingPolicy for FastestFit {
     fn choose(&mut self, nodes: &[NodeView], eligible: &[usize]) -> Option<usize> {
         eligible.iter().copied().min_by(|&a, &b| {
             let (na, nb) = (&nodes[a], &nodes[b]);
-            nb.speed
-                .partial_cmp(&na.speed)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(
-                    na.load
-                        .partial_cmp(&nb.load)
-                        .unwrap_or(std::cmp::Ordering::Equal),
-                )
+            speed_key(nb.speed)
+                .total_cmp(&speed_key(na.speed))
+                .then(load_key(na.load).total_cmp(&load_key(nb.load)))
                 .then(na.name.cmp(&nb.name))
         })
     }
@@ -104,9 +146,16 @@ impl SchedulingPolicy for FastestFit {
 
 /// Rotate through candidates regardless of load (the naive baseline the
 /// scheduling ablation compares against).
+///
+/// The rotation pointer is the *node index* last chosen, not a running
+/// counter: a `counter % eligible.len()` scheme shifts with the eligible
+/// set's size, so membership churn (nodes crashing, filling up, returning)
+/// skews the pointer and can starve a node indefinitely.  Advancing past
+/// the last-chosen index visits every persistently eligible node.
 #[derive(Debug, Default, Clone)]
 pub struct RoundRobin {
-    counter: usize,
+    /// Index (into `nodes`) of the last node handed work.
+    last: Option<usize>,
 }
 
 impl SchedulingPolicy for RoundRobin {
@@ -114,9 +163,14 @@ impl SchedulingPolicy for RoundRobin {
         if eligible.is_empty() {
             return None;
         }
-        let i = eligible[self.counter % eligible.len()];
-        self.counter += 1;
-        Some(i)
+        // `eligible` is ascending (built by an index-range filter): pick
+        // the first candidate after the last choice, wrapping around.
+        let pick = self
+            .last
+            .and_then(|l| eligible.iter().copied().find(|&i| i > l))
+            .unwrap_or(eligible[0]);
+        self.last = Some(pick);
+        Some(pick)
     }
 
     fn name(&self) -> &'static str {
@@ -179,7 +233,8 @@ pub fn schedule<'a>(
     let eligible: Vec<usize> = (0..nodes.len())
         .filter(|&i| {
             let n = &nodes[i];
-            n.up && n.free_slots() > 0
+            n.up && !n.quarantined
+                && n.free_slots() > 0
                 && binding.os.as_deref().map(|os| os == n.os).unwrap_or(true)
                 && (binding.hosts.is_empty() || binding.hosts.contains(&n.name))
         })
@@ -204,6 +259,7 @@ mod tests {
             running_jobs: jobs,
             load,
             up: true,
+            quarantined: false,
         }
     }
 
@@ -289,6 +345,98 @@ mod tests {
             node("free", "linux", 0.7, 1, 0, 0.1),
         ];
         assert_eq!(schedule(&mut p, &nodes2, &any()), Some("free"));
+    }
+
+    #[test]
+    fn round_robin_survives_membership_churn() {
+        // a=0, b=1, c=2.  The old `counter % eligible.len()` scheme
+        // starved c under this churn pattern: whenever b dropped out the
+        // shrunken modulus re-aimed the pointer at a.
+        let a = || node("a", "linux", 1.0, 1, 0, 0.0);
+        let b = || node("b", "linux", 1.0, 1, 0, 0.0);
+        let c = || node("c", "linux", 1.0, 1, 0, 0.0);
+        let full = || node("b", "linux", 1.0, 1, 1, 0.0); // no free slot
+        let mut p = RoundRobin::default();
+        let mut picks = Vec::new();
+        for round in 0..6 {
+            // b flaps in and out of the eligible set every other round.
+            let nodes = if round % 2 == 0 {
+                vec![a(), b(), c()]
+            } else {
+                vec![a(), full(), c()]
+            };
+            picks.push(schedule(&mut p, &nodes, &any()).unwrap().to_string());
+        }
+        assert!(
+            picks.iter().any(|n| n == "c"),
+            "churn must not starve c: {picks:?}"
+        );
+        // Every eligible node is visited within one full rotation of a
+        // stable set.
+        let stable = vec![a(), b(), c()];
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..3 {
+            seen.insert(schedule(&mut p, &stable, &any()).unwrap().to_string());
+        }
+        assert_eq!(seen.len(), 3, "full rotation visits every node");
+    }
+
+    #[test]
+    fn nan_load_cannot_win_and_is_rejected_at_construction() {
+        // A raw NaN that slips into a view loses deterministically under
+        // total_cmp, independent of input order.
+        let mut broken = node("broken", "linux", 1.0, 2, 0, 0.0);
+        broken.load = f64::NAN;
+        let ok = node("ok", "linux", 1.0, 2, 0, 0.5);
+        let mut p = LeastLoaded;
+        assert_eq!(
+            schedule(&mut p, &[broken.clone(), ok.clone()], &any()),
+            Some("ok")
+        );
+        assert_eq!(schedule(&mut p, &[ok, broken], &any()), Some("ok"));
+        // FastestFit with a NaN speed likewise.
+        let mut slow_nan = node("nanspeed", "linux", 1.0, 2, 0, 0.0);
+        slow_nan.speed = f64::NAN;
+        let fast = node("fast", "linux", 1.2, 2, 0, 0.9);
+        let mut f = FastestFit;
+        assert_eq!(
+            schedule(&mut f, &[slow_nan.clone(), fast.clone()], &any()),
+            Some("fast")
+        );
+        assert_eq!(schedule(&mut f, &[fast, slow_nan], &any()), Some("fast"));
+        // The constructor rejects non-finite measurements outright.
+        let v = NodeView::new("m".into(), "linux".into(), f64::NAN, 2, 0, 0.1, true, false);
+        assert!(!v.up, "non-finite speed marks the node down");
+        assert_eq!(v.speed, 0.0);
+        let v = NodeView::new(
+            "m".into(),
+            "linux".into(),
+            1.0,
+            2,
+            0,
+            f64::INFINITY,
+            true,
+            false,
+        );
+        assert!(!v.up, "non-finite load marks the node down");
+        assert_eq!(v.load, 1.0);
+        let v = NodeView::new("m".into(), "linux".into(), 1.0, 2, 0, 0.25, true, false);
+        assert!(v.up, "finite measurements pass through");
+        assert_eq!(v.load, 0.25);
+    }
+
+    #[test]
+    fn quarantined_nodes_are_ineligible() {
+        let mut q = node("q", "linux", 2.0, 4, 0, 0.0);
+        q.quarantined = true;
+        let h = node("h", "linux", 0.5, 1, 0, 0.9);
+        let mut p = LeastLoaded;
+        assert_eq!(
+            schedule(&mut p, &[q.clone(), h], &any()),
+            Some("h"),
+            "quarantined node loses despite being idle and fast"
+        );
+        assert_eq!(schedule(&mut p, &[q], &any()), None);
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //!   work;
 //! * the **awareness model** ([`awareness`]) persistently records task
 //!   timings, node events and load samples, powering monitoring queries;
+//! * the **dependability policies** ([`dependability`]) bound the masked
+//!   system-failure loop: per-task retry budgets with exponential backoff,
+//!   node quarantine, and poison-task escalation;
 //! * the **planner** ([`planner`]) answers what-if questions ("which
 //!   processes are affected if these nodes go off-line?", §3.5);
 //! * the **runtime** ([`runtime`]) ties the engine to the discrete-event
@@ -24,6 +27,7 @@
 //!   every failure class of the paper's evaluation.
 
 pub mod awareness;
+pub mod dependability;
 pub mod dispatcher;
 pub mod error;
 pub mod library;
@@ -35,6 +39,9 @@ pub mod runtime;
 pub mod state;
 
 pub use awareness::{Awareness, AwarenessError, AwarenessIndex, EventKind, HistoryEvent};
+pub use dependability::{
+    DependabilityConfig, HealthState, NodeHealth, RetryDecision, RetryState, SystemCause,
+};
 pub use dispatcher::{AvoidSaturated, FastestFit, LeastLoaded, RoundRobin, SchedulingPolicy};
 pub use error::{EngineError, EngineResult};
 pub use library::{ActivityLibrary, Program, ProgramOutput};

@@ -25,6 +25,7 @@
 //! identical results.
 
 use crate::awareness::{Awareness, EventKind};
+use crate::dependability::{self, DependabilityConfig, NodeHealth, RetryDecision, SystemCause};
 use crate::dispatcher::{self, NodeView, SchedulingPolicy};
 use crate::error::{EngineError, EngineResult};
 use crate::library::{ActivityLibrary, ProgramOutput};
@@ -52,6 +53,23 @@ enum EngineEvent {
     Heartbeat,
     /// The warm-standby backup server assumes control (§6 future work).
     BackupFailover,
+    /// A task's backoff deadline passed: wake the dispatch pump.  The
+    /// deadline itself lives in the task record (`retry.retry_at`), so a
+    /// stale or duplicate event is harmless — the pump re-checks.
+    RetryAt {
+        /// Owning instance.
+        instance: InstanceId,
+        /// Task path.
+        path: String,
+    },
+    /// A node's quarantine interval elapsed; `epoch` guards against stale
+    /// timers releasing a newer quarantine early.
+    QuarantineExpire {
+        /// Node name.
+        node: String,
+        /// Quarantine epoch this timer was armed for.
+        epoch: u64,
+    },
 }
 
 pub use crate::metrics::SeriesSample;
@@ -102,6 +120,10 @@ pub struct RuntimeConfig {
     pub backup_failover: Option<SimTime>,
     /// Compact the store when the WAL exceeds this many bytes.
     pub compact_wal_bytes: u64,
+    /// Dependability policies: retry budgets, backoff, quarantine, poison
+    /// escalation (`DependabilityConfig::disabled()` reproduces the
+    /// pre-policy instant-requeue engine).
+    pub dependability: DependabilityConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -114,6 +136,7 @@ impl Default for RuntimeConfig {
             migration: None,
             backup_failover: None,
             compact_wal_bytes: 8 * 1024 * 1024,
+            dependability: DependabilityConfig::default(),
         }
     }
 }
@@ -184,10 +207,15 @@ pub struct Runtime<D: Disk + Clone> {
     server_up: bool,
     disk_full: bool,
     operator_suspended: bool,
-    /// Completions that arrived during a network outage, buffered at PECs.
+    /// Completions that arrived during a network outage (global, or a
+    /// per-node partition), buffered at PECs.
     pec_buffer: Vec<(String, JobId, f64)>,
     /// Pending silent-failure injections (paper event 10).
     non_report_budget: u32,
+    /// Node health scores (dependability policy).  Volatile mirror of the
+    /// `health/` records in the configuration space; rebuilt from the
+    /// store after a server crash.
+    node_health: BTreeMap<String, NodeHealth>,
 
     // ---- measurement ----
     series: Vec<SeriesSample>,
@@ -238,6 +266,7 @@ impl<D: Disk + Clone> Runtime<D> {
             operator_suspended: false,
             pec_buffer: Vec::new(),
             non_report_budget: 0,
+            node_health: BTreeMap::new(),
             series: Vec::new(),
             event_log: Vec::new(),
             heartbeat_scheduled: false,
@@ -855,7 +884,40 @@ impl<D: Disk + Clone> Runtime<D> {
                 }
                 Ok(())
             }
+            // Pure wake-up: the next pump() re-checks `retry.retry_at`
+            // against the (now advanced) clock and dispatches.  Firing
+            // while the server is down, or after the deadline moved, is
+            // harmless.
+            EngineEvent::RetryAt { instance, path } => {
+                let _ = (instance, path); // carried for kernel-dump debugging
+                Ok(())
+            }
+            EngineEvent::QuarantineExpire { node, epoch } => {
+                self.on_quarantine_expire(at, &node, epoch)
+            }
         }
+    }
+
+    fn on_quarantine_expire(&mut self, at: SimTime, node: &str, epoch: u64) -> EngineResult<()> {
+        if !self.server_up {
+            // The recovery path re-derives expiry timers from the
+            // persisted health records.
+            return Ok(());
+        }
+        let Some(health) = self.node_health.get_mut(node) else {
+            return Ok(());
+        };
+        if health.on_quarantine_expired(epoch) {
+            self.awareness.record(
+                at,
+                EventKind::NodeProbation {
+                    node: node.to_string(),
+                },
+            );
+            self.persist_node_health(node)?;
+            self.log(format!("node {node} left quarantine (probation)"));
+        }
+        Ok(())
     }
 
     fn on_job_start(&mut self, at: SimTime, node_name: &str, job: JobId) -> EngineResult<()> {
@@ -877,7 +939,32 @@ impl<D: Disk + Clone> Runtime<D> {
         if !node_up {
             // Node died while the job was in transit: system failure.
             let flight = self.in_flight.remove(&job).expect("checked above");
-            self.system_failure(flight.instance, &flight.path, "node down at job start")?;
+            self.system_failure(
+                flight.instance,
+                &flight.path,
+                Some(node_name),
+                SystemCause::Environment,
+                "node down at job start",
+            )?;
+            return Ok(());
+        }
+        // Flaky fault: the node looks up but kills the job on arrival.
+        // This failure *is* the node's fault — it feeds health scoring
+        // and the task's poison set.
+        let flaky = self
+            .cluster
+            .node_mut(node_name)
+            .map(|n| n.consume_flaky_kill())
+            .unwrap_or(false);
+        if flaky {
+            let flight = self.in_flight.remove(&job).expect("checked above");
+            self.system_failure(
+                flight.instance,
+                &flight.path,
+                Some(node_name),
+                SystemCause::NodeFault,
+                "flaky node killed the job",
+            )?;
             return Ok(());
         }
         let node = self.cluster.node_mut(node_name).expect("node exists");
@@ -918,6 +1005,17 @@ impl<D: Disk + Clone> Runtime<D> {
             self.pec_buffer.push((node_name.to_string(), job, cpu_ms));
             return Ok(());
         }
+        // A per-node partition buffers the same way: the PEC holds the
+        // result until its link to the server heals.
+        if self
+            .cluster
+            .node(node_name)
+            .map(|n| !n.is_reachable())
+            .unwrap_or(false)
+        {
+            self.pec_buffer.push((node_name.to_string(), job, cpu_ms));
+            return Ok(());
+        }
         if !self.server_up {
             // Server down: the PEC cannot deliver; with the server's
             // volatile state gone the result is useless — recovery re-runs
@@ -948,8 +1046,23 @@ impl<D: Disk + Clone> Runtime<D> {
                     path: flight.path.clone(),
                 },
             );
-            self.system_failure(flight.instance, &flight.path, "disk full")?;
+            self.system_failure(
+                flight.instance,
+                &flight.path,
+                Some(node_name),
+                SystemCause::Environment,
+                "disk full",
+            )?;
             return Ok(());
+        }
+        // The node delivered a result: whatever the program said, the
+        // node itself worked — end its failure streak, and reset the
+        // task's masked-failure bookkeeping.
+        self.note_node_success(node_name)?;
+        if let Some(mem) = self.instances.get_mut(&flight.instance) {
+            if let Some(rec) = mem.tasks.get_mut(&flight.path) {
+                rec.retry = None;
+            }
         }
         // Dispatch→completion wall time (read before the navigator clears
         // per-run fields).
@@ -1146,6 +1259,36 @@ impl<D: Disk + Clone> Runtime<D> {
             TraceEventKind::DiskFreed => {
                 self.disk_full = false;
             }
+            TraceEventKind::NodeFlaky { node, kills } => {
+                if let Some(n) = self.cluster.node_mut(&node) {
+                    n.set_flaky(kills);
+                }
+            }
+            TraceEventKind::NodePartition(name) => {
+                if let Some(n) = self.cluster.node_mut(&name) {
+                    n.set_reachable(false);
+                }
+                if self.server_up {
+                    self.awareness
+                        .record(at, EventKind::NodePartition { node: name });
+                }
+            }
+            TraceEventKind::NodeRejoin(name) => {
+                if let Some(n) = self.cluster.node_mut(&name) {
+                    n.set_reachable(true);
+                }
+                if self.server_up {
+                    self.awareness
+                        .record(at, EventKind::NodeRejoin { node: name.clone() });
+                }
+                // Deliver what this node's PEC buffered during the
+                // partition (a still-unreachable node's entries are
+                // re-buffered by `deliver_completion`).
+                let buffered = std::mem::take(&mut self.pec_buffer);
+                for (node, job, cpu_ms) in buffered {
+                    self.deliver_completion(at, &node, job, cpu_ms)?;
+                }
+            }
             TraceEventKind::TaskNonReport { count } => {
                 // Mark up to `count` in-flight jobs as silent.
                 let mut remaining = count;
@@ -1235,7 +1378,13 @@ impl<D: Disk + Clone> Runtime<D> {
                             node: f.node.clone(),
                         },
                     );
-                    self.system_failure(f.instance, &f.path, "migrated off starved node")?;
+                    self.system_failure(
+                        f.instance,
+                        &f.path,
+                        Some(&f.node),
+                        SystemCause::Environment,
+                        "migrated off starved node",
+                    )?;
                     self.resync_node(&f.node);
                 }
             }
@@ -1258,8 +1407,18 @@ impl<D: Disk + Clone> Runtime<D> {
                 .map(|m| m.header.status == InstanceStatus::Running)
                 .unwrap_or(false)
         });
+        // In-flight jobs whose node is partitioned cannot deliver; once
+        // their results are PEC-buffered nothing changes until the link
+        // heals, so they alone must not keep the heartbeat alive (the
+        // run loop's unstall logic repairs the partition instead).
+        let deliverable_in_flight = self.in_flight.values().any(|f| {
+            self.cluster
+                .node(&f.node)
+                .map(|n| n.is_reachable())
+                .unwrap_or(true)
+        });
         let work_remains = !self.all_terminal()
-            && (self.kernel.pending() > 0 || !self.in_flight.is_empty() || runnable_queued);
+            && (self.kernel.pending() > 0 || deliverable_in_flight || runnable_queued);
         if work_remains && !self.heartbeat_scheduled {
             self.kernel
                 .schedule_after(self.cfg.heartbeat, EngineEvent::Heartbeat);
@@ -1296,6 +1455,7 @@ impl<D: Disk + Clone> Runtime<D> {
         self.ready_queue.clear();
         self.ready_since.clear();
         self.pec_buffer.clear();
+        self.node_health.clear();
         self.awareness.discard_pending();
         self.store.poison();
         self.resync_all_nodes();
@@ -1335,6 +1495,43 @@ impl<D: Disk + Clone> Runtime<D> {
         self.ready_queue.clear();
         self.ready_since.clear();
         self.in_flight.clear();
+        // Node health records are authoritative in the configuration
+        // space; reload them and re-derive the quarantine-expiry timers
+        // that died with the server's kernel state.
+        self.node_health.clear();
+        for (key, bytes) in self
+            .store
+            .scan_prefix(Space::Configuration, dependability::HEALTH_PREFIX)?
+        {
+            let Some(name) = key.strip_prefix(dependability::HEALTH_PREFIX) else {
+                continue;
+            };
+            let health: NodeHealth = serde_json::from_slice(&bytes)
+                .map_err(|e| EngineError::Internal(format!("corrupt node health {key}: {e}")))?;
+            self.node_health.insert(name.to_string(), health);
+        }
+        let now = self.kernel.now();
+        let interval = self.cfg.dependability.quarantine_interval;
+        let expirations: Vec<(String, SimTime, u64)> = self
+            .node_health
+            .iter()
+            .filter(|(_, h)| h.is_quarantined())
+            .map(|(n, h)| {
+                let started = h.quarantined_at.unwrap_or(now);
+                (n.clone(), started + interval, h.epoch)
+            })
+            .collect();
+        for (name, expire_at, epoch) in expirations {
+            if expire_at > now {
+                self.kernel.schedule_at(
+                    expire_at,
+                    EngineEvent::QuarantineExpire { node: name, epoch },
+                );
+            } else {
+                // The interval elapsed while the server was down.
+                self.on_quarantine_expire(now, &name, epoch)?;
+            }
+        }
         let headers = self.store.scan_prefix(Space::Instance, "inst/")?;
         let mut ids: Vec<InstanceId> = Vec::new();
         for (key, bytes) in &headers {
@@ -1395,6 +1592,21 @@ impl<D: Disk + Clone> Runtime<D> {
                 rec.state = TaskState::Ready;
                 rec.node = None;
             }
+            // Reconstruct the pending backoff timer: the RetryAt event
+            // died with the kernel consumer, but the deadline survived in
+            // the record.  A deadline already in the past needs no event —
+            // the pump dispatches it immediately.
+            if let Some(t) = rec.retry_at() {
+                if t > now {
+                    self.kernel.schedule_at(
+                        t,
+                        EngineEvent::RetryAt {
+                            instance: id,
+                            path: path.clone(),
+                        },
+                    );
+                }
+            }
             self.persist_task(id, &path)?;
             self.enqueue_ready(id, path);
         }
@@ -1439,6 +1651,7 @@ impl<D: Disk + Clone> Runtime<D> {
         {
             return Ok(());
         }
+        let now = self.kernel.now();
         let mut deferred: VecDeque<(InstanceId, String)> = VecDeque::new();
         while let Some((id, path)) = self.ready_queue.pop_front() {
             let Some(mem) = self.instances.get(&id) else {
@@ -1453,6 +1666,11 @@ impl<D: Disk + Clone> Runtime<D> {
             };
             if rec.state != TaskState::Ready {
                 continue; // stale queue entry
+            }
+            // Parked on a backoff deadline: its RetryAt event wakes us.
+            if rec.retry_at().map(|t| t > now).unwrap_or(false) {
+                deferred.push_back((id, path));
+                continue;
             }
             match self.task_flavor(id, &path) {
                 TaskFlavor::Activity(binding) => {
@@ -1533,14 +1751,24 @@ impl<D: Disk + Clone> Runtime<D> {
             .cluster
             .nodes()
             .iter()
-            .map(|n| NodeView {
-                name: n.spec.name.clone(),
-                os: n.spec.os.clone(),
-                speed: n.spec.speed(),
-                cpus_online: n.cpus_online(),
-                running_jobs: committed.get(n.spec.name.as_str()).copied().unwrap_or(0),
-                load: n.load_fraction(),
-                up: n.is_up(),
+            .map(|n| {
+                let quarantined = self
+                    .node_health
+                    .get(&n.spec.name)
+                    .map(|h| h.is_quarantined())
+                    .unwrap_or(false);
+                NodeView::new(
+                    n.spec.name.clone(),
+                    n.spec.os.clone(),
+                    n.spec.speed(),
+                    n.cpus_online(),
+                    committed.get(n.spec.name.as_str()).copied().unwrap_or(0),
+                    n.load_fraction(),
+                    // A partitioned node is indistinguishable from a down
+                    // one for dispatch purposes.
+                    n.is_up() && n.is_reachable(),
+                    quarantined,
+                )
             })
             .collect();
         let Some(node_name) = dispatcher::schedule(self.cfg.policy.as_mut(), &views, binding)
@@ -1569,6 +1797,11 @@ impl<D: Disk + Clone> Runtime<D> {
             rec.node = Some(node_name.clone());
             rec.started_at = Some(now);
             rec.inputs = inputs;
+            // The backoff deadline is spent; budget counters and the
+            // poison set live on until a completion is delivered.
+            if let Some(r) = rec.retry.as_mut() {
+                r.retry_at = None;
+            }
         }
         self.persist_task(id, path)?;
         let queue_ms = self
@@ -1806,40 +2039,210 @@ impl<D: Disk + Clone> Runtime<D> {
         Ok(())
     }
 
-    /// Mask a system failure: re-queue the task.
-    fn system_failure(&mut self, id: InstanceId, path: &str, why: &str) -> EngineResult<()> {
-        let Some(mem) = self.instances.get_mut(&id) else {
-            return Ok(());
+    /// Handle a system failure of `(id, path)` hosted on `node` (if
+    /// known).  The dependability policy decides between the paper's
+    /// masked requeue (now with a backoff deadline) and poison/budget
+    /// escalation to program-failure semantics; node-attributable causes
+    /// additionally feed the node's health score.
+    fn system_failure(
+        &mut self,
+        id: InstanceId,
+        path: &str,
+        node: Option<&str>,
+        cause: SystemCause,
+        why: &str,
+    ) -> EngineResult<()> {
+        let now = self.kernel.now();
+        {
+            let Some(mem) = self.instances.get_mut(&id) else {
+                return Ok(());
+            };
+            if !mem.tasks.contains_key(path) {
+                return Ok(());
+            }
+        }
+        let decision = if self.cfg.dependability.enabled {
+            let mem = self.instances.get_mut(&id).expect("checked above");
+            let rec = mem.tasks.get_mut(path).expect("checked above");
+            let retry = rec.retry_mut();
+            retry.sys_failures += 1;
+            if cause == SystemCause::NodeFault {
+                if let Some(n) = node {
+                    retry.note_failed_node(n);
+                }
+            }
+            let snapshot = retry.clone();
+            self.cfg.dependability.decide(id, path, &snapshot, cause)
+        } else {
+            RetryDecision::Requeue {
+                delay: SimTime::ZERO,
+            }
         };
-        if !mem.tasks.contains_key(path) {
+        match decision {
+            RetryDecision::Requeue { delay } => {
+                let outcome = {
+                    let mem = self.instances.get_mut(&id).expect("checked above");
+                    let mut view = InstanceView {
+                        template: &mem.template,
+                        header: &mut mem.header,
+                        tasks: &mut mem.tasks,
+                    };
+                    navigator::on_task_failed(&mut view, path, FailureKind::System, now)?
+                };
+                self.awareness.record(
+                    now,
+                    EventKind::TaskSystemFail {
+                        instance: id,
+                        path: path.to_string(),
+                        reason: why.to_string(),
+                    },
+                );
+                if delay > SimTime::ZERO {
+                    let retry_at = now + delay;
+                    let attempt = {
+                        let mem = self.instances.get_mut(&id).expect("checked above");
+                        let retry = mem.tasks.get_mut(path).expect("checked above").retry_mut();
+                        retry.retry_at = Some(retry_at);
+                        retry.sys_failures
+                    };
+                    self.kernel.schedule_at(
+                        retry_at,
+                        EngineEvent::RetryAt {
+                            instance: id,
+                            path: path.to_string(),
+                        },
+                    );
+                    self.awareness.record(
+                        now,
+                        EventKind::TaskBackoff {
+                            instance: id,
+                            path: path.to_string(),
+                            attempt,
+                            delay_ms: delay.as_millis(),
+                        },
+                    );
+                }
+                self.persist_after_nav(id, &outcome, &[path.to_string()])?;
+                self.apply_outcome(id, outcome)?;
+            }
+            RetryDecision::Escalate { reason } => {
+                // Stop masking: the failure becomes visible through the
+                // task's ordinary retry/failure-policy machinery.
+                let outcome = {
+                    let mem = self.instances.get_mut(&id).expect("checked above");
+                    if let Some(r) = mem.tasks.get_mut(path).and_then(|rec| rec.retry.as_mut()) {
+                        r.retry_at = None;
+                    }
+                    let mut view = InstanceView {
+                        template: &mem.template,
+                        header: &mut mem.header,
+                        tasks: &mut mem.tasks,
+                    };
+                    navigator::on_task_failed(&mut view, path, FailureKind::Program, now)?
+                };
+                self.awareness.record(
+                    now,
+                    EventKind::TaskPoisoned {
+                        instance: id,
+                        path: path.to_string(),
+                        reason: reason.clone(),
+                    },
+                );
+                self.log(format!("instance {id}: task {path} escalated ({reason})"));
+                self.persist_after_nav(id, &outcome, &[path.to_string()])?;
+                self.apply_outcome(id, outcome)?;
+            }
+        }
+        if self.cfg.dependability.enabled && cause == SystemCause::NodeFault {
+            if let Some(name) = node {
+                self.note_node_failure(name, now)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Charge one node-attributable failure to `name`'s health score,
+    /// quarantining it at the configured threshold.
+    fn note_node_failure(&mut self, name: &str, now: SimTime) -> EngineResult<()> {
+        let threshold = self.cfg.dependability.quarantine_threshold;
+        let interval = self.cfg.dependability.quarantine_interval;
+        let health = self.node_health.entry(name.to_string()).or_default();
+        let quarantined = health.on_job_failed(now, threshold);
+        let (failures, epoch) = (health.consecutive_failures, health.epoch);
+        if quarantined {
+            self.awareness.record(
+                now,
+                EventKind::NodeQuarantine {
+                    node: name.to_string(),
+                    failures,
+                },
+            );
+            self.kernel.schedule_at(
+                now + interval,
+                EngineEvent::QuarantineExpire {
+                    node: name.to_string(),
+                    epoch,
+                },
+            );
+            self.log(format!(
+                "node {name} quarantined after {failures} consecutive failures"
+            ));
+        }
+        self.persist_node_health(name)?;
+        Ok(())
+    }
+
+    /// A node delivered a completed job: end its failure streak.
+    fn note_node_success(&mut self, name: &str) -> EngineResult<()> {
+        if !self.cfg.dependability.enabled {
             return Ok(());
         }
-        let outcome = {
-            let mut view = InstanceView {
-                template: &mem.template,
-                header: &mut mem.header,
-                tasks: &mut mem.tasks,
-            };
-            navigator::on_task_failed(&mut view, path, FailureKind::System, self.kernel.now())?
+        let Some(health) = self.node_health.get_mut(name) else {
+            return Ok(());
         };
-        self.awareness.record(
-            self.kernel.now(),
-            EventKind::TaskSystemFail {
-                instance: id,
-                path: path.to_string(),
-                reason: why.to_string(),
-            },
-        );
-        self.persist_after_nav(id, &outcome, &[path.to_string()])?;
-        self.apply_outcome(id, outcome)?;
+        let before = health.clone();
+        health.on_job_succeeded();
+        if *health != before {
+            self.persist_node_health(name)?;
+        }
         Ok(())
+    }
+
+    /// Write `name`'s health record to the configuration space.
+    fn persist_node_health(&mut self, name: &str) -> EngineResult<()> {
+        if !self.server_up {
+            return Ok(());
+        }
+        let Some(health) = self.node_health.get(name) else {
+            return Ok(());
+        };
+        self.store.put(
+            Space::Configuration,
+            dependability::health_key(name),
+            serde_json::to_vec(health).map_err(bioopera_store::StoreError::from)?,
+        )?;
+        Ok(())
+    }
+
+    /// The dependability health score of a node, if it has one.
+    pub fn node_health(&self, name: &str) -> Option<&NodeHealth> {
+        self.node_health.get(name)
     }
 
     fn fail_jobs(&mut self, killed: &[JobId], why: &str) -> EngineResult<()> {
         for job in killed {
             if let Some(f) = self.in_flight.remove(job) {
                 if self.server_up {
-                    self.system_failure(f.instance, &f.path, why)?;
+                    // A crash kills the whole node, not one job — an
+                    // environment fault, so the node's health streak and
+                    // the tasks' poison sets are not charged.
+                    self.system_failure(
+                        f.instance,
+                        &f.path,
+                        Some(&f.node),
+                        SystemCause::Environment,
+                        why,
+                    )?;
                 }
             }
         }
@@ -1901,6 +2304,53 @@ impl<D: Disk + Clone> Runtime<D> {
                 self.auto_restarts += 1;
                 return Ok(true);
             }
+        }
+        // Tasks parked on backoff deadlines whose RetryAt timer was lost
+        // (it fired while the server was down, say): re-arm the earliest
+        // so time can advance to it.
+        let next_retry = self
+            .ready_queue
+            .iter()
+            .filter_map(|(id, path)| {
+                let rec = self.instances.get(id)?.tasks.get(path)?;
+                if rec.state != TaskState::Ready {
+                    return None;
+                }
+                rec.retry_at()
+                    .filter(|t| *t > self.kernel.now())
+                    .map(|t| (t, *id, path.clone()))
+            })
+            .min();
+        if let Some((t, id, path)) = next_retry {
+            self.kernel
+                .schedule_at(t, EngineEvent::RetryAt { instance: id, path });
+            return Ok(true);
+        }
+        // A partition that the trace never healed: the buffered results
+        // are the only way forward, so the operator repairs the links.
+        let partitioned: Vec<String> = self
+            .cluster
+            .nodes()
+            .iter()
+            .filter(|n| !n.is_reachable())
+            .map(|n| n.spec.name.clone())
+            .collect();
+        if !partitioned.is_empty() {
+            let now = self.kernel.now();
+            for name in partitioned {
+                if let Some(n) = self.cluster.node_mut(&name) {
+                    n.set_reachable(true);
+                }
+                self.awareness
+                    .record(now, EventKind::NodeRejoin { node: name });
+            }
+            let buffered = std::mem::take(&mut self.pec_buffer);
+            for (node, job, cpu_ms) in buffered {
+                self.deliver_completion(now, &node, job, cpu_ms)?;
+            }
+            self.log("operator repaired the partitioned links".into());
+            self.resync_all_nodes();
+            return Ok(true);
         }
         // Ready work that could not be placed (all nodes down at the end of
         // a trace, say) resolves itself only if nodes return; if the queue

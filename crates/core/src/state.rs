@@ -8,6 +8,7 @@
 //! * `inst/{id}/task/{path}`  — [`TaskRecord`] per task (parallel children
 //!   use indexed paths such as `Alignment[3]`)
 
+use crate::dependability::RetryState;
 use bioopera_cluster::SimTime;
 use bioopera_ocr::value::Value;
 use serde::{Deserialize, Serialize};
@@ -119,6 +120,11 @@ pub struct TaskRecord {
     pub started_at: Option<SimTime>,
     /// Virtual end (success only).
     pub ended_at: Option<SimTime>,
+    /// Dependability bookkeeping for masked system failures: budget
+    /// counter, pending backoff deadline, poison set.  `None` until the
+    /// first masked failure — and for records written before the policy
+    /// layer existed, which decode as `None`.
+    pub retry: Option<RetryState>,
 }
 
 impl TaskRecord {
@@ -134,7 +140,18 @@ impl TaskRecord {
             cpu_ms: 0.0,
             started_at: None,
             ended_at: None,
+            retry: None,
         }
+    }
+
+    /// The retry bookkeeping, created on first use.
+    pub fn retry_mut(&mut self) -> &mut RetryState {
+        self.retry.get_or_insert_with(RetryState::default)
+    }
+
+    /// The pending backoff deadline, if one is set.
+    pub fn retry_at(&self) -> Option<SimTime> {
+        self.retry.as_ref().and_then(|r| r.retry_at)
     }
 
     /// Is this a parallel child record (`Name[i]`)?
@@ -241,5 +258,28 @@ mod tests {
         let json = serde_json::to_string(&r).unwrap();
         let back: TaskRecord = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn retry_state_roundtrips_and_old_records_decode() {
+        let mut r = TaskRecord::new("Align[2]");
+        {
+            let retry = r.retry_mut();
+            retry.sys_failures = 2;
+            retry.retry_at = Some(SimTime::from_secs(30));
+            retry.note_failed_node("linneus3");
+        }
+        assert_eq!(r.retry_at(), Some(SimTime::from_secs(30)));
+        let json = serde_json::to_string(&r).unwrap();
+        let back: TaskRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        // A record serialized before the policy layer existed has no
+        // `retry` field at all; it must decode as `None`.
+        let old = r#"{"path":"Prep","state":"Inactive","inputs":{},"outputs":{},
+                      "attempts":0,"node":null,"cpu_ms":0.0,
+                      "started_at":null,"ended_at":null}"#;
+        let legacy: TaskRecord = serde_json::from_str(old).unwrap();
+        assert_eq!(legacy.retry, None);
+        assert_eq!(legacy.retry_at(), None);
     }
 }

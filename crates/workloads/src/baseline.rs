@@ -137,7 +137,10 @@ impl ScriptDriver {
                     'outer: for name in names {
                         loop {
                             let node = cluster.node(&name).unwrap();
-                            if !node.is_up() || node.job_count() as u32 >= node.cpus_online() {
+                            if !node.is_up()
+                                || !node.is_reachable()
+                                || node.job_count() as u32 >= node.cpus_online()
+                            {
                                 break;
                             }
                             let Some(chunk) = queue.pop_front() else {
@@ -358,6 +361,41 @@ impl ScriptDriver {
                     TraceEventKind::DiskFreed => {
                         disk_full = false;
                         interventions += 1; // someone had to clean the disk
+                    }
+                    TraceEventKind::NodeFlaky { node, kills } => {
+                        // The manual script cannot tell a flaky node from a
+                        // slow one; approximate it as a burst of killed jobs
+                        // whose chunks die unnoticed.
+                        if let Some(nd) = cluster.node_mut(node) {
+                            let victims: Vec<JobId> =
+                                nd.job_ids().into_iter().take(*kills as usize).collect();
+                            for job in victims {
+                                nd.abort_job(at, job);
+                                if let Some((chunk, _)) = job_chunk.remove(&job) {
+                                    state[chunk] = ChunkState::LostUnnoticed;
+                                }
+                            }
+                        }
+                        resync(&cluster, &mut kernel);
+                    }
+                    TraceEventKind::NodePartition(name) => {
+                        // No PEC buffering in the manual world: the rsh
+                        // connections die and the running chunks are lost.
+                        if let Some(nd) = cluster.node_mut(name) {
+                            nd.set_reachable(false);
+                            for job in nd.job_ids() {
+                                nd.abort_job(at, job);
+                                if let Some((chunk, _)) = job_chunk.remove(&job) {
+                                    state[chunk] = ChunkState::LostUnnoticed;
+                                }
+                            }
+                        }
+                        resync(&cluster, &mut kernel);
+                    }
+                    TraceEventKind::NodeRejoin(name) => {
+                        if let Some(nd) = cluster.node_mut(name) {
+                            nd.set_reachable(true);
+                        }
                     }
                     TraceEventKind::TaskNonReport { count } => {
                         // Silently lose up to `count` running chunks.

@@ -1,0 +1,65 @@
+//! Seeded flaky-node chaos gate for `scripts/check.sh`.
+//!
+//! Runs the two-node scenario where one node kills every job it is
+//! handed, with the dependability policies on.  The run must complete
+//! within the retry ceiling (budget × tasks) and the killer must end up
+//! quarantined; anything else exits non-zero.  The seed is printed so a
+//! failure is reproducible (`CHAOS_SEED=N` or first CLI argument).
+
+use bioopera_workloads::chaos::{flaky_node_run, ChaosConfig};
+
+fn main() {
+    let seed = std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .or_else(|| std::env::args().nth(1).and_then(|s| s.parse().ok()))
+        .unwrap_or(7);
+    println!("chaos: flaky-node scenario, seed={seed}");
+    if std::env::var("CHAOS_DEMO_LIVELOCK").is_ok() {
+        // Diagnostic mode: show what the pre-fix engine does on the same
+        // trace (bounded by max_steps; it would otherwise never stop).
+        let out = flaky_node_run(&ChaosConfig {
+            seed,
+            policy_enabled: false,
+            ..Default::default()
+        });
+        println!(
+            "chaos (policy OFF): completed={} wall={} steps={} dispatches={} retries={}",
+            out.completed, out.wall, out.steps, out.dispatches, out.system_failures
+        );
+        return;
+    }
+    let out = flaky_node_run(&ChaosConfig {
+        seed,
+        ..Default::default()
+    });
+    println!(
+        "chaos: completed={} wall={} dispatches={} retries={} ceiling={} \
+         backoffs={} quarantines={} poisoned={}",
+        out.completed,
+        out.wall,
+        out.dispatches,
+        out.system_failures,
+        out.retry_ceiling(),
+        out.backoffs,
+        out.quarantines,
+        out.poisoned
+    );
+    if !out.within_budget() {
+        eprintln!(
+            "chaos: FAILED (seed={seed}): retries {} past ceiling {} or incomplete run",
+            out.system_failures,
+            out.retry_ceiling()
+        );
+        std::process::exit(1);
+    }
+    if out.quarantines == 0 {
+        eprintln!("chaos: FAILED (seed={seed}): the flaky node was never quarantined");
+        std::process::exit(1);
+    }
+    println!(
+        "chaos: OK (retries {} <= ceiling {})",
+        out.system_failures,
+        out.retry_ceiling()
+    );
+}

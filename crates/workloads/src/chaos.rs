@@ -1,0 +1,186 @@
+//! Chaos scenario for the dependability policies: a two-node pool where
+//! one node silently kills every job it is handed.
+//!
+//! This is the masked-failure livelock distilled.  The flaky node reports
+//! a perfect load of zero (its jobs die instantly), so the least-loaded
+//! policy keeps picking it; every kill is masked as a system failure and
+//! requeued.  Without retry budgets the engine bounces the same tasks off
+//! the same node forever — virtual time advances by one dispatch latency
+//! per bounce, the dispatch counter grows without bound, and the run never
+//! completes.  With the policies on, backoff spaces the retries out, the
+//! node is quarantined after a few consecutive kills, and the pool's one
+//! healthy node finishes the workload with a bounded number of retries.
+
+use crate::allvsall::{AllVsAllConfig, AllVsAllSetup};
+use bioopera_cluster::{Cluster, NodeSpec, SimTime, Trace, TraceEventKind};
+use bioopera_core::{DependabilityConfig, InstanceStatus, Runtime, RuntimeConfig};
+use bioopera_store::MemDisk;
+use std::collections::BTreeMap;
+
+/// Name of the node that kills every job (chosen to win alphabetical
+/// tie-breaks against the healthy node, so ties never save the run).
+pub const FLAKY_NODE: &str = "ant";
+/// Name of the healthy node.
+pub const HEALTHY_NODE: &str = "bee";
+
+/// Knobs for [`flaky_node_run`].
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Seed for the synthetic workload and the backoff jitter.
+    pub seed: u64,
+    /// Number of TEU chunks in the all-vs-all pass.
+    pub teus: i64,
+    /// Run with the dependability policies on (`false` reproduces the
+    /// pre-fix instant-requeue engine).
+    pub policy_enabled: bool,
+    /// Engine-step ceiling; the run is abandoned past it.  This is the
+    /// safety valve that lets the pre-fix engine demonstrate its livelock
+    /// without hanging the caller.
+    pub max_steps: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 7,
+            teus: 8,
+            policy_enabled: true,
+            max_steps: 120_000,
+        }
+    }
+}
+
+/// What happened, counted from the awareness index.
+#[derive(Debug, Clone)]
+pub struct ChaosOutcome {
+    /// Did the all-vs-all instance complete within the step ceiling?
+    pub completed: bool,
+    /// Virtual wall clock when the run ended (or was abandoned).
+    pub wall: SimTime,
+    /// Engine steps consumed.
+    pub steps: u64,
+    /// Jobs dispatched (`task.start` events).
+    pub dispatches: u64,
+    /// Masked system failures (`task.systemfail` events) — the retries.
+    pub system_failures: u64,
+    /// Backoff timers armed (`task.backoff` events).
+    pub backoffs: u64,
+    /// Quarantine entries (`node.quarantine` events).
+    pub quarantines: u64,
+    /// Tasks escalated to poison (`task.poisoned` events).
+    pub poisoned: u64,
+    /// Tasks that ran to completion (`task.end` events).
+    pub tasks_completed: u64,
+    /// The per-task system-retry budget the run was configured with.
+    pub retry_budget: u32,
+}
+
+impl ChaosOutcome {
+    /// The acceptance ceiling: total masked retries may not exceed the
+    /// per-task budget times the number of tasks.
+    pub fn retry_ceiling(&self) -> u64 {
+        self.retry_budget as u64 * self.tasks_completed.max(1)
+    }
+
+    /// Did the run complete cleanly within the retry ceiling?
+    pub fn within_budget(&self) -> bool {
+        self.completed && self.poisoned == 0 && self.system_failures <= self.retry_ceiling()
+    }
+}
+
+/// Run the flaky-node scenario and report what the awareness layer saw.
+pub fn flaky_node_run(cfg: &ChaosConfig) -> ChaosOutcome {
+    let setup = AllVsAllSetup::synthetic(
+        1_500,
+        150,
+        cfg.seed,
+        AllVsAllConfig {
+            teus: cfg.teus,
+            ..Default::default()
+        },
+    );
+    let cluster = Cluster::new(
+        "chaos",
+        vec![
+            NodeSpec::new(FLAKY_NODE, 2, 500, "linux"),
+            NodeSpec::new(HEALTHY_NODE, 2, 500, "linux"),
+        ],
+    );
+    let mut trace = Trace::empty();
+    trace.push_labeled(
+        SimTime::from_millis(1),
+        TraceEventKind::NodeFlaky {
+            node: FLAKY_NODE.into(),
+            kills: u32::MAX,
+        },
+        "node ant starts killing every job it is handed",
+    );
+    let mut dep = if cfg.policy_enabled {
+        DependabilityConfig::default()
+    } else {
+        DependabilityConfig::disabled()
+    };
+    dep.jitter_seed = cfg.seed;
+    let retry_budget = dep.system_retry_budget;
+    let rt_cfg = RuntimeConfig {
+        heartbeat: SimTime::from_mins(2),
+        dependability: dep,
+        ..Default::default()
+    };
+    let mut rt = Runtime::new(MemDisk::new(), cluster, setup.library.clone(), rt_cfg)
+        .expect("chaos runtime");
+    rt.register_template(&setup.chunk_template)
+        .expect("chunk template");
+    rt.register_template(&setup.template).expect("top template");
+    rt.install_trace(&trace);
+    let id = rt.submit("AllVsAll", setup.initial()).expect("submit");
+
+    let mut steps = 0u64;
+    while steps < cfg.max_steps {
+        match rt.step() {
+            Ok(true) => steps += 1,
+            Ok(false) => break,
+            // A deadlock report from the abandoned pre-fix run is part of
+            // the experiment, not a harness bug.
+            Err(_) => break,
+        }
+    }
+
+    let counts: BTreeMap<String, u64> = rt
+        .awareness()
+        .index()
+        .counts_by_kind()
+        .into_iter()
+        .map(|(k, n)| (k, n as u64))
+        .collect();
+    let get = |k: &str| counts.get(k).copied().unwrap_or(0);
+    ChaosOutcome {
+        completed: rt.instance_status(id) == Some(InstanceStatus::Completed),
+        wall: rt.now(),
+        steps,
+        dispatches: get("task.start"),
+        system_failures: get("task.systemfail"),
+        backoffs: get("task.backoff"),
+        quarantines: get("node.quarantine"),
+        poisoned: get("task.poisoned"),
+        tasks_completed: get("task.end"),
+        retry_budget,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_bounds_retries_and_quarantines_the_flaky_node() {
+        let out = flaky_node_run(&ChaosConfig::default());
+        assert!(out.completed, "policy run must complete: {out:?}");
+        assert!(out.within_budget(), "retries past the ceiling: {out:?}");
+        assert!(
+            out.quarantines >= 1,
+            "flaky node never quarantined: {out:?}"
+        );
+        assert!(out.backoffs >= 1, "no backoff timers armed: {out:?}");
+    }
+}

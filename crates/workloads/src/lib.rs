@@ -15,11 +15,16 @@
 //! * [`baseline`] — the "manual Perl-script" status quo the paper argues
 //!   against: same jobs, same cluster, no persistence, operator-driven
 //!   restarts; used by the dependability ablation.
+//! * [`chaos`] — the flaky-node chaos scenario exercising the
+//!   dependability policies (retry budgets, backoff, quarantine) against
+//!   the masked-failure requeue livelock.
 
 pub mod allvsall;
 pub mod baseline;
 pub mod bio;
+pub mod chaos;
 pub mod tower;
 
 pub use allvsall::{fixed_pass_with_workers, AllVsAllConfig, AllVsAllMode, AllVsAllSetup};
 pub use baseline::{BaselineOutcome, ScriptDriver};
+pub use chaos::{flaky_node_run, ChaosConfig, ChaosOutcome};

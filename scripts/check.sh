@@ -17,6 +17,12 @@ echo "==> crash-point torture harness (bounded; seed override: HARNESS_SEED=N)"
 # Full store crash-point enumeration + sampled runtime crash points; ~5 s.
 cargo run -q -p bioopera-harness --bin torture -- --runtime-samples 8 --recovery-samples 3
 
+echo "==> chaos: seeded flaky-node scenario (bounded; seed override: CHAOS_SEED=N)"
+# One node kills every job; the dependability policies must finish the run
+# within the retry ceiling and quarantine the killer.  Prints the seed and
+# exits non-zero past the ceiling; ~1 s.
+cargo run -q -p bioopera-workloads --bin chaos
+
 echo "==> awareness: index-vs-scan equivalence proptests + example smoke test"
 cargo test -q -p bioopera-core --test awareness_proptests
 cargo run -q --example awareness_queries > /dev/null
