@@ -1,10 +1,12 @@
-//! **Alignment kernel microbench** — throughput of the query-profile
-//! kernel vs the seed (naive) implementation on a seeded dataset.
+//! **Alignment kernel microbench** — throughput of the scalar profile
+//! kernel, the striped SIMD lane and the banded PAM-ladder refinement
+//! against the seed (naive) implementation on a seeded dataset.
 //!
 //! Measures, for each variant:
 //!
 //! * cells/sec — DP cells computed per second (the unit of the cost model),
 //! * pairs/sec — pairwise alignments per second,
+//! * cells_skipped — cells a bounded scan proved irrelevant,
 //! * allocations — heap allocations per pass, via a counting wrapper
 //!   around the system allocator.
 //!
@@ -13,15 +15,25 @@
 //! only ever slows a pass down, so the minimum is the least-noisy
 //! estimate of kernel throughput).
 //!
-//! Writes `BENCH_kernel.json`, seeding the repo's perf trajectory; the
-//! acceptance bar for the profile kernel is ≥ 2× the naive cells/sec.
+//! Bit-identity is asserted, not sampled: every scoring variant must
+//! produce the same checksum and cell count as the naive oracle, and the
+//! banded refinement must agree with the unbanded ladder scan while
+//! accounting every skipped cell.
+//!
+//! Writes `BENCH_kernel.json`.  With `KERNEL_BENCH_SMOKE=1` the bench
+//! runs one pass per variant and additionally enforces a floor on the
+//! SIMD speedup (when the host has a vector unit at all) so CI fails
+//! loudly on a kernel regression.
 
 use bioopera_bench::write_results;
 use bioopera_darwin::align::{
-    align_score_many, align_score_naive, align_score_with, AlignParams, AlignScratch, ScoreOnly,
+    align_score_many, align_score_naive, align_score_with, AlignParams, AlignScratch, Alignment,
+    ScoreOnly,
 };
 use bioopera_darwin::dataset::DatasetConfig;
 use bioopera_darwin::pam::FIXED_PAM;
+use bioopera_darwin::refine::{refine_pam_distance_banded, refine_pam_distance_with};
+use bioopera_darwin::simd::{self, SimdLevel};
 use bioopera_darwin::{PamFamily, SequenceDb};
 use serde::Serialize;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -61,6 +73,7 @@ struct VariantResult {
     name: String,
     pairs: u64,
     cells: u64,
+    cells_skipped: u64,
     seconds: f64,
     cells_per_sec: f64,
     pairs_per_sec: f64,
@@ -74,10 +87,19 @@ struct BenchReport {
     db_size: usize,
     mean_len: f64,
     repeats: u32,
+    simd_level: String,
     variants: Vec<VariantResult>,
+    /// profile_batched vs naive (the seed acceptance metric, kept stable).
     speedup_cells_per_sec: f64,
+    /// simd_batched vs profile_batched (this PR's acceptance metric).
+    speedup_simd_vs_profile: f64,
+    /// banded_refine vs refine_unbanded wall-clock on the matched pairs.
+    speedup_banded_refine: f64,
     bit_identical: bool,
 }
+
+/// One pass result: (checksum, cells computed, cells skipped).
+type PassResult = (f64, u64, u64);
 
 /// Per-variant timing accumulator: best per-pass seconds plus the allocs
 /// of one pass.  The minimum over passes is the robust estimator here:
@@ -88,7 +110,7 @@ struct BenchReport {
 struct Timing {
     best_secs: f64,
     allocs: u64,
-    result: (f64, u64),
+    result: PassResult,
 }
 
 impl Timing {
@@ -96,11 +118,11 @@ impl Timing {
         Timing {
             best_secs: f64::INFINITY,
             allocs: 0,
-            result: (0.0, 0),
+            result: (0.0, 0, 0),
         }
     }
 
-    fn pass(&mut self, work: &mut impl FnMut() -> (f64, u64)) {
+    fn pass(&mut self, work: &mut impl FnMut() -> PassResult) {
         let alloc0 = allocations();
         let start = Instant::now();
         self.result = std::hint::black_box(work());
@@ -110,6 +132,7 @@ impl Timing {
 }
 
 fn main() {
+    let smoke = std::env::var("KERNEL_BENCH_SMOKE").is_ok_and(|v| v == "1");
     let pam = PamFamily::default();
     let cfg = DatasetConfig {
         size: 60,
@@ -123,8 +146,9 @@ fn main() {
     let repeats: u32 = std::env::var("KERNEL_BENCH_REPEATS")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(3);
+        .unwrap_or(if smoke { 1 } else { 3 });
     let pairs_per_pass: u64 = (n as u64) * (n as u64 - 1) / 2;
+    let level = simd::detect();
 
     // The reference: one naive all-vs-all pass (upper triangle).
     let naive_pass = || {
@@ -138,12 +162,13 @@ fn main() {
                 cells += r.cells;
             }
         }
-        (checksum, cells)
+        (checksum, cells, 0u64)
     };
 
-    // The profile kernel, batched: one profile build per query, one
-    // scratch for the whole pass.
-    let mut scratch = AlignScratch::new();
+    // The scalar profile kernel, batched: one profile build per query,
+    // one scratch for the whole pass.  Pinned to `Scalar` so this series
+    // stays comparable with the seed baselines even on SIMD hosts.
+    let mut scratch = AlignScratch::with_level(SimdLevel::Scalar);
     let mut scores: Vec<ScoreOnly> = Vec::new();
     let mut batched_pass = || {
         let mut checksum = 0.0f64;
@@ -166,12 +191,12 @@ fn main() {
                 cells += r.cells;
             }
         }
-        (checksum, cells)
+        (checksum, cells, 0u64)
     };
 
-    // The profile kernel, pairwise entry point (profile rebuilt per pair,
-    // scratch still reused): isolates the profile-build overhead.
-    let mut scratch2 = AlignScratch::new();
+    // The scalar profile kernel, pairwise entry point (profile rebuilt
+    // per pair, scratch still reused): isolates the profile-build cost.
+    let mut scratch2 = AlignScratch::with_level(SimdLevel::Scalar);
     let mut pairwise_pass = || {
         let mut checksum = 0.0f64;
         let mut cells = 0u64;
@@ -183,100 +208,247 @@ fn main() {
                 cells += r.cells;
             }
         }
-        (checksum, cells)
+        (checksum, cells, 0u64)
+    };
+
+    // The striped SIMD lane at the auto-detected level (scalar hosts fall
+    // back to the profile kernel, making this a no-op comparison there).
+    let mut scratch3 = AlignScratch::new();
+    let mut scores3: Vec<ScoreOnly> = Vec::new();
+    let mut simd_pass = || {
+        let mut checksum = 0.0f64;
+        let mut cells = 0u64;
+        for e in 0..n {
+            if e + 1 >= n {
+                break;
+            }
+            align_score_many(
+                db.get(e),
+                ((e + 1)..n).map(|f| db.get(f)),
+                matrix,
+                &params,
+                None,
+                &mut scratch3,
+                &mut scores3,
+            );
+            for r in &scores3 {
+                checksum += r.score as f64;
+                cells += r.cells;
+            }
+        }
+        (checksum, cells, 0u64)
+    };
+
+    // ---- refinement variants run over the *matched* pairs only --------
+    // (that is the shape of the real workload: the fixed-PAM pass gates
+    // which pairs reach the ladder).
+    let threshold = 80.0f32;
+    let mut matched: Vec<(u32, u32)> = Vec::new();
+    {
+        let mut s = AlignScratch::new();
+        let mut out = Vec::new();
+        for e in 0..n {
+            if e + 1 >= n {
+                break;
+            }
+            align_score_many(
+                db.get(e),
+                ((e + 1)..n).map(|f| db.get(f)),
+                matrix,
+                &params,
+                None,
+                &mut s,
+                &mut out,
+            );
+            for (i, r) in out.iter().enumerate() {
+                if r.score >= threshold {
+                    matched.push((e, e + 1 + i as u32));
+                }
+            }
+        }
+    }
+
+    let mut scratch4 = AlignScratch::new();
+    let matched_ref = &matched;
+    let mut refine_plain_pass = || {
+        let mut checksum = 0.0f64;
+        let mut cells = 0u64;
+        for &(e, f) in matched_ref {
+            let r = refine_pam_distance_with(db.get(e), db.get(f), &pam, &params, &mut scratch4);
+            checksum += r.score as f64;
+            cells += r.cells;
+        }
+        (checksum, cells, 0u64)
+    };
+
+    let mut scratch5 = AlignScratch::new();
+    let mut refine_banded_pass = || {
+        let mut checksum = 0.0f64;
+        let mut cells = 0u64;
+        let mut skipped = 0u64;
+        for &(e, f) in matched_ref {
+            let r = refine_pam_distance_banded(db.get(e), db.get(f), &pam, &params, &mut scratch5);
+            checksum += r.score as f64;
+            cells += r.cells;
+            skipped += r.cells_skipped;
+        }
+        (checksum, cells, skipped)
+    };
+
+    // Full traceback over the matched pairs with a reused scratch and
+    // output: must be allocation-free once warm.
+    let mut scratch6 = AlignScratch::new();
+    let mut aln = Alignment::default();
+    let mut traceback_pass = || {
+        let mut checksum = 0.0f64;
+        let mut cells = 0u64;
+        for &(e, f) in matched_ref {
+            let a = db.get(e);
+            let b = db.get(f);
+            bioopera_darwin::align_local_with(a, b, matrix, &params, &mut scratch6, &mut aln);
+            checksum += aln.score as f64;
+            cells += a.residues.len() as u64 * b.residues.len() as u64;
+        }
+        (checksum, cells, 0u64)
     };
 
     eprintln!(
-        "kernel_bench: db={} seqs, mean_len={:.0}, {repeats} passes",
+        "kernel_bench: db={} seqs, mean_len={:.0}, {repeats} passes, simd={}, {} matched pairs",
         db.len(),
-        db.mean_len()
+        db.mean_len(),
+        level.name(),
+        matched.len()
     );
 
     // One untimed warm-up each (grow lazy buffers), then interleave the
-    // variants pass-by-pass so background interference hits all three
+    // variants pass-by-pass so background interference hits all of them
     // with equal odds; keep each variant's best pass.
     let mut naive_pass = naive_pass;
     naive_pass();
     batched_pass();
     pairwise_pass();
+    simd_pass();
+    refine_plain_pass();
+    refine_banded_pass();
+    traceback_pass();
     let mut naive_t = Timing::new();
     let mut batch_t = Timing::new();
     let mut pair_t = Timing::new();
+    let mut simd_t = Timing::new();
+    let mut refp_t = Timing::new();
+    let mut refb_t = Timing::new();
+    let mut tb_t = Timing::new();
     for _ in 0..repeats {
         naive_t.pass(&mut naive_pass);
         batch_t.pass(&mut batched_pass);
         pair_t.pass(&mut pairwise_pass);
+        simd_t.pass(&mut simd_pass);
+        refp_t.pass(&mut refine_plain_pass);
+        refb_t.pass(&mut refine_banded_pass);
+        tb_t.pass(&mut traceback_pass);
     }
-    let ((naive_sum, naive_cells), naive_secs, naive_allocs) =
-        (naive_t.result, naive_t.best_secs, naive_t.allocs);
-    let ((batch_sum, batch_cells), batch_secs, batch_allocs) =
-        (batch_t.result, batch_t.best_secs, batch_t.allocs);
-    let ((pair_sum, pair_cells), pair_secs, pair_allocs) =
-        (pair_t.result, pair_t.best_secs, pair_t.allocs);
 
+    let (naive_sum, naive_cells, _) = naive_t.result;
+    let (batch_sum, batch_cells, _) = batch_t.result;
+    let (pair_sum, pair_cells, _) = pair_t.result;
+    let (simd_sum, simd_cells, _) = simd_t.result;
+    let (refp_sum, refp_cells, _) = refp_t.result;
+    let (refb_sum, refb_cells, refb_skipped) = refb_t.result;
+
+    // Every scoring lane must agree with the oracle bit for bit (f64
+    // accumulation order is identical, so the sums match exactly too).
     let bit_identical = naive_sum == batch_sum
         && naive_sum == pair_sum
+        && naive_sum == simd_sum
         && naive_cells == batch_cells
-        && naive_cells == pair_cells;
+        && naive_cells == pair_cells
+        && naive_cells == simd_cells;
     assert!(
         bit_identical,
-        "profile kernel diverged from naive: {naive_sum} vs {batch_sum} / {pair_sum}"
+        "kernel diverged from naive: {naive_sum} vs batch {batch_sum} / pair {pair_sum} / simd {simd_sum}"
     );
+    // Banded refinement: same scores, every skipped cell accounted.
+    assert!(
+        refp_sum == refb_sum,
+        "banded refine diverged: {refp_sum} vs {refb_sum}"
+    );
+    assert!(
+        refb_cells + refb_skipped == refp_cells,
+        "banded refine lost cells: {refb_cells} + {refb_skipped} != {refp_cells}"
+    );
+    // Warm steady-state passes must not touch the allocator.
+    for (name, t) in [
+        ("profile_batched", &batch_t),
+        ("simd_batched", &simd_t),
+        ("banded_refine", &refb_t),
+        ("local_traceback", &tb_t),
+    ] {
+        assert!(
+            t.allocs == 0,
+            "{name}: {} allocations in a warm pass (scratch reuse broken)",
+            t.allocs
+        );
+    }
 
-    let variant = |name: &str, sum: f64, cells: u64, secs: f64, allocs: u64| VariantResult {
+    let variant = |name: &str, t: &Timing, pairs: u64| VariantResult {
         name: name.to_string(),
-        pairs: pairs_per_pass,
-        cells,
-        seconds: secs,
-        cells_per_sec: cells as f64 / secs,
-        pairs_per_sec: pairs_per_pass as f64 / secs,
-        allocations: allocs,
-        checksum: sum,
+        pairs,
+        cells: t.result.1,
+        cells_skipped: t.result.2,
+        seconds: t.best_secs,
+        cells_per_sec: t.result.1 as f64 / t.best_secs,
+        pairs_per_sec: pairs as f64 / t.best_secs,
+        allocations: t.allocs,
+        checksum: t.result.0,
     };
+    let matched_pairs = matched.len() as u64;
     let variants = vec![
-        variant(
-            "naive_align_score",
-            naive_sum,
-            naive_cells,
-            naive_secs,
-            naive_allocs,
-        ),
-        variant(
-            "profile_batched",
-            batch_sum,
-            batch_cells,
-            batch_secs,
-            batch_allocs,
-        ),
-        variant(
-            "profile_pairwise",
-            pair_sum,
-            pair_cells,
-            pair_secs,
-            pair_allocs,
-        ),
+        variant("naive_align_score", &naive_t, pairs_per_pass),
+        variant("profile_batched", &batch_t, pairs_per_pass),
+        variant("profile_pairwise", &pair_t, pairs_per_pass),
+        variant("simd_batched", &simd_t, pairs_per_pass),
+        variant("refine_unbanded", &refp_t, matched_pairs),
+        variant("banded_refine", &refb_t, matched_pairs),
+        variant("local_traceback", &tb_t, matched_pairs),
     ];
     let speedup = variants[1].cells_per_sec / variants[0].cells_per_sec;
+    let simd_speedup = variants[3].cells_per_sec / variants[1].cells_per_sec;
+    let banded_speedup = variants[4].seconds / variants[5].seconds;
+    if smoke && level > SimdLevel::Scalar {
+        // Loose floor (true margin is ≥3x; CI boxes are noisy): a SIMD
+        // lane slower than the scalar kernel is a regression, full stop.
+        assert!(
+            simd_speedup >= 1.3,
+            "simd_batched speedup {simd_speedup:.2}x below smoke floor (level {})",
+            level.name()
+        );
+    }
     let report = BenchReport {
         workload: format!("all-vs-all upper triangle, seed {}", cfg.seed),
         db_size: db.len(),
         mean_len: db.mean_len(),
         repeats,
+        simd_level: level.name().to_string(),
         variants,
         speedup_cells_per_sec: speedup,
+        speedup_simd_vs_profile: simd_speedup,
+        speedup_banded_refine: banded_speedup,
         bit_identical,
     };
 
     for v in &report.variants {
         eprintln!(
-            "  {:<20} {:>10.1} Mcells/s  {:>8.1} pairs/s  {:>8} allocs",
+            "  {:<20} {:>10.1} Mcells/s  {:>8.1} pairs/s  {:>8} allocs  {:>10} skipped",
             v.name,
             v.cells_per_sec / 1e6,
             v.pairs_per_sec,
-            v.allocations
+            v.allocations,
+            v.cells_skipped
         );
     }
-    eprintln!("  speedup (batched vs naive): {speedup:.2}x");
+    eprintln!("  speedup (batched vs naive):   {speedup:.2}x");
+    eprintln!("  speedup (simd vs batched):    {simd_speedup:.2}x");
+    eprintln!("  speedup (banded vs unbanded): {banded_speedup:.2}x");
 
     let json = serde_json::to_string(&report).expect("serialize report");
     write_results("BENCH_kernel.json", &json);

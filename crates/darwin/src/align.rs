@@ -20,8 +20,17 @@
 //!   implementation, kept as the reference oracle: the profile kernel is
 //!   **bit-identical** to it (same `score`, same `cells`), which the
 //!   darwin proptests verify across the whole PAM ladder.
-//! * [`align_local`] — full traceback, used where the actual alignment is
-//!   needed (the tower-of-information example, tests).
+//! * [`align_score_bounded_with`] — score-to-beat variant powering the
+//!   PAM-ladder refinement's adaptive banding; skipped work is reported
+//!   via [`ScoreOnly::cells_skipped`].
+//! * [`align_local`] / [`align_local_with`] — full traceback, used where
+//!   the actual alignment is needed (the tower-of-information example,
+//!   tests); the `_with` form reuses the scratch's traceback matrices.
+//!
+//! On x86_64 the score-only entry points dispatch to the striped SIMD
+//! kernel in [`crate::simd`] (SSE2/AVX2, runtime-detected, still
+//! bit-identical); the scalar wavefront kernel below is the portable
+//! fallback and the `BIOOPERA_SIMD=scalar` escape hatch.
 //!
 //! Why bit-identity holds: the profile kernel iterates subject-outer /
 //! query-inner, i.e. it computes the transposed DP matrix.  The score
@@ -36,6 +45,7 @@
 use crate::alphabet::ALPHABET_SIZE;
 use crate::pam::ScoreMatrix;
 use crate::sequence::Sequence;
+use crate::simd::{self, SimdLevel};
 
 /// Affine gap parameters: a gap of length `L` costs `open + extend·(L-1)`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -70,12 +80,17 @@ pub struct ScoreOnly {
     pub score: f32,
     /// DP cells computed (the unit of the cost model).
     pub cells: u64,
+    /// DP cells provably irrelevant and skipped (prune or banding).
+    /// `cells + cells_skipped` always equals `|a|·|b|`, so callers can
+    /// enable pruning without silently distorting cells/sec accounting.
+    pub cells_skipped: u64,
 }
 
-/// Reusable alignment workspace: the query profile plus the rolling DP
-/// rows.  One scratch per worker thread removes every per-pair heap
+/// Reusable alignment workspace: the query profile (linear and striped),
+/// the rolling DP rows, the striped DP columns, and the traceback
+/// matrices.  One scratch per worker thread removes every per-pair heap
 /// allocation from the all-vs-all hot loop; buffers only ever grow.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct AlignScratch {
     /// Rolling H row over query positions (`len + 1` entries, `h[0] = 0`).
     h: Vec<f32>,
@@ -92,16 +107,76 @@ pub struct AlignScratch {
     bound_sum: f32,
     /// Largest per-position best score (bounds short subjects).
     bound_peak: f32,
+    /// SIMD lane the striped kernel dispatches to (fixed at construction).
+    level: SimdLevel,
+    /// Stripe segment length (vectors per stripe); 0 when no striped
+    /// profile is loaded (scalar level or empty query).
+    seg: usize,
+    /// Striped query profile: residue `r`'s block at
+    /// `striped[r*seg*lanes ..]`, vector `t` lane `l` holding
+    /// `score(query[l*seg + t], r)` and `-inf` beyond the query (padding
+    /// can never win the max).
+    striped: Vec<f32>,
+    /// Striped H column ping-pong pair for the SIMD lane.
+    sh_a: Vec<f32>,
+    sh_b: Vec<f32>,
+    /// Striped E column for the SIMD lane.
+    se: Vec<f32>,
+    /// Per-subject-residue best profile entry (adaptive-banding bounds).
+    row_best: [f32; ALPHABET_SIZE],
+    /// Per-column suffix score bounds for the banded path.
+    suffix: Vec<f32>,
+    /// Full H/E/F matrices for [`align_local_with`] tracebacks.
+    tb_h: Vec<f32>,
+    tb_e: Vec<f32>,
+    tb_f: Vec<f32>,
+}
+
+impl Default for AlignScratch {
+    fn default() -> Self {
+        AlignScratch::with_level(simd::detect())
+    }
 }
 
 impl AlignScratch {
-    /// An empty workspace.
+    /// An empty workspace at the detected SIMD level.
     pub fn new() -> Self {
         AlignScratch::default()
     }
 
+    /// An empty workspace pinned to `level`, clamped to what the host
+    /// supports.  Exists for tests and benches that compare lanes;
+    /// normal callers use [`AlignScratch::new`].
+    pub fn with_level(level: SimdLevel) -> Self {
+        AlignScratch {
+            h: Vec::new(),
+            e: Vec::new(),
+            profile: Vec::new(),
+            len: 0,
+            bound_sum: 0.0,
+            bound_peak: 0.0,
+            level: level.min(simd::max_supported()),
+            seg: 0,
+            striped: Vec::new(),
+            sh_a: Vec::new(),
+            sh_b: Vec::new(),
+            se: Vec::new(),
+            row_best: [f32::NEG_INFINITY; ALPHABET_SIZE],
+            suffix: Vec::new(),
+            tb_h: Vec::new(),
+            tb_e: Vec::new(),
+            tb_f: Vec::new(),
+        }
+    }
+
+    /// The SIMD lane this scratch dispatches to.
+    pub fn level(&self) -> SimdLevel {
+        self.level
+    }
+
     /// Load `query` under matrix `m`: build the contiguous profile rows
-    /// and size the rolling DP rows.
+    /// (plus the striped layout when a SIMD lane is active), size the
+    /// rolling DP rows, and refresh the prune/banding bounds.
     pub fn set_query(&mut self, query: &Sequence, m: &ScoreMatrix) {
         let len = query.residues.len();
         self.len = len;
@@ -116,13 +191,20 @@ impl AlignScratch {
         // Prune bound: the best local alignment cannot beat the sum of the
         // per-position best substitution scores (gaps only subtract).  The
         // DP accumulates in f32 and can round upward, so pad the f64 sum
-        // with a margin far above any accumulated rounding error.
+        // with a margin far above any accumulated rounding error.  The
+        // same scan collects the per-residue column best (`row_best`),
+        // which the banded path turns into per-subject-column bounds.
+        self.row_best = [f32::NEG_INFINITY; ALPHABET_SIZE];
         let mut sum = 0.0f64;
         let mut peak = 0.0f64;
         for i in 0..len {
             let mut best = f32::NEG_INFINITY;
             for r in 0..ALPHABET_SIZE {
-                best = best.max(self.profile[r * len + i]);
+                let sc = self.profile[r * len + i];
+                best = best.max(sc);
+                if sc > self.row_best[r] {
+                    self.row_best[r] = sc;
+                }
             }
             let best = best.max(0.0) as f64;
             sum += best;
@@ -130,6 +212,29 @@ impl AlignScratch {
         }
         self.bound_sum = (sum * (1.0 + 1e-5) + 1e-2) as f32;
         self.bound_peak = (peak * (1.0 + 1e-5) + 1e-2) as f32;
+        // Striped layout for the SIMD lane: lane `l` of vector `t` owns
+        // query position `l*seg + t`.
+        let lanes = self.level.lanes();
+        if lanes > 1 && len > 0 {
+            let seg = len.div_ceil(lanes);
+            self.seg = seg;
+            let stride = seg * lanes;
+            self.striped.clear();
+            self.striped
+                .resize(ALPHABET_SIZE * stride, f32::NEG_INFINITY);
+            for r in 0..ALPHABET_SIZE {
+                let row = &self.profile[r * len..(r + 1) * len];
+                let dst = &mut self.striped[r * stride..(r + 1) * stride];
+                for (i, &sc) in row.iter().enumerate() {
+                    dst[(i % seg) * lanes + i / seg] = sc;
+                }
+            }
+            self.sh_a.resize(stride, 0.0);
+            self.sh_b.resize(stride, 0.0);
+            self.se.resize(stride, 0.0);
+        } else {
+            self.seg = 0;
+        }
     }
 
     /// Safe upper bound on the score of the loaded query against any
@@ -142,8 +247,109 @@ impl AlignScratch {
         }
     }
 
-    /// Run the profile kernel against one subject.  The profile must have
-    /// been loaded with [`AlignScratch::set_query`].
+    /// Per-column suffix bounds for the banded path: `suffix[j]` safely
+    /// bounds what subject columns `j..` can add to any alignment score
+    /// (sum of per-residue best profile entries; gaps only subtract).
+    /// Computed in f64 with the same upward margin as the prune bound,
+    /// so f32 rounding inside the DP can never make the bound unsafe.
+    fn build_suffix(&mut self, subject: &[u8]) {
+        let nb = subject.len();
+        self.suffix.clear();
+        self.suffix.resize(nb + 1, 0.0);
+        let mut acc = 0.0f64;
+        for j in (0..nb).rev() {
+            acc += f64::from(self.row_best[subject[j] as usize].max(0.0));
+            self.suffix[j] = (acc * (1.0 + 1e-5) + 1e-2) as f32;
+        }
+    }
+
+    /// Run the loaded query against one subject (score only), dispatching
+    /// to the striped SIMD kernel when one is loaded and to the scalar
+    /// wavefront kernel otherwise.  Both are bit-identical to
+    /// [`align_score_naive`].
+    fn align_loaded(&mut self, subject: &[u8], p: &AlignParams) -> ScoreOnly {
+        self.align_loaded_bounded(subject, p, None)
+    }
+
+    /// [`AlignScratch::align_loaded`], optionally **banded**: with
+    /// `beat = Some(s)` the kernel may stop early once no unprocessed
+    /// cell can lift the final score above `s`.  Whenever the true score
+    /// exceeds `s` the result is exactly the unbanded one; otherwise the
+    /// returned score is a partial best that is provably `<= s`, with
+    /// the unvisited cells reported in `cells_skipped`.
+    fn align_loaded_bounded(
+        &mut self,
+        subject: &[u8],
+        p: &AlignParams,
+        beat: Option<f32>,
+    ) -> ScoreOnly {
+        let nq = self.len;
+        let nb = subject.len();
+        if nq == 0 || nb == 0 {
+            return ScoreOnly {
+                score: 0.0,
+                cells: 0,
+                cells_skipped: 0,
+            };
+        }
+        if let Some(beat) = beat {
+            // Whole-matrix skip: the loaded query cannot beat `beat`
+            // against any subject of this length.
+            if self.score_upper_bound(nb) <= beat {
+                return ScoreOnly {
+                    score: 0.0,
+                    cells: 0,
+                    cells_skipped: nq as u64 * nb as u64,
+                };
+            }
+            self.build_suffix(subject);
+        }
+        // The lazy-F sweep propagates the wrapped F chain by pure
+        // gap-extension decay, which covers a corrected cell's re-open
+        // candidate only when `open >= extend >= 0` (true for any sane
+        // affine model); exotic parameters take the scalar kernel.
+        let simd_ok = self.seg > 0 && p.gap_open >= p.gap_extend && p.gap_extend >= 0.0;
+        let (best, cols) = if simd_ok {
+            let stride = self.seg * self.level.lanes();
+            self.sh_a[..stride].fill(0.0);
+            self.sh_b[..stride].fill(0.0);
+            self.se[..stride].fill(f32::NEG_INFINITY);
+            let AlignScratch {
+                level,
+                seg,
+                striped,
+                sh_a,
+                sh_b,
+                se,
+                suffix,
+                ..
+            } = self;
+            let band = beat.map(|b| (&suffix[..], b));
+            simd::run_striped(
+                *level,
+                striped,
+                *seg,
+                sh_a,
+                sh_b,
+                se,
+                subject,
+                p.gap_open,
+                p.gap_extend,
+                band,
+            )
+        } else {
+            self.align_scalar_bounded(subject, p, beat)
+        };
+        ScoreOnly {
+            score: best,
+            cells: nq as u64 * cols as u64,
+            cells_skipped: nq as u64 * (nb - cols) as u64,
+        }
+    }
+
+    /// The scalar profile kernel.  The profile must have been loaded
+    /// with [`AlignScratch::set_query`].  Returns `(best, columns)`,
+    /// where `columns < subject.len()` only on a banded early exit.
     ///
     /// Subject rows are processed four at a time along an anti-diagonal
     /// wavefront: the serial per-row F chain (`max`/`sub` latency) is the
@@ -152,20 +358,20 @@ impl AlignScratch {
     /// the exact scalar recurrence with the same operands in the same
     /// order — only the instruction schedule changes — so the result is
     /// bit-identical to [`align_score_naive`].
-    fn align_loaded(&mut self, subject: &[u8], p: &AlignParams) -> ScoreOnly {
+    fn align_scalar_bounded(
+        &mut self,
+        subject: &[u8],
+        p: &AlignParams,
+        beat: Option<f32>,
+    ) -> (f32, usize) {
         let nq = self.len;
         let nb = subject.len();
-        if nq == 0 || nb == 0 {
-            return ScoreOnly {
-                score: 0.0,
-                cells: 0,
-            };
-        }
         self.h.fill(0.0);
         self.e.fill(f32::NEG_INFINITY);
         let (open, ext) = (p.gap_open, p.gap_extend);
         let mut best = 0.0f32;
         let profile = &self.profile;
+        let suffix = &self.suffix;
         let h = &mut self.h[..nq + 1];
         let e = &mut self.e[..nq + 1];
 
@@ -321,9 +527,17 @@ impl AlignScratch {
                 );
             }
             j += 4;
+            if let Some(beat) = beat {
+                // Rows >= j add at most suffix[j] on top of any H seen so
+                // far; once that cannot reach `beat`, stop.
+                if best + suffix[j] <= beat {
+                    return (best, j);
+                }
+            }
         }
         // Remainder rows (< 4): plain scalar sweep.
-        for &rb in &subject[j..] {
+        while j < nb {
+            let rb = subject[j];
             let row = &profile[rb as usize * nq..][..nq];
             let mut h_diag = 0.0f32;
             let mut h_left = 0.0f32;
@@ -340,11 +554,14 @@ impl AlignScratch {
                     best = v;
                 }
             }
+            j += 1;
+            if let Some(beat) = beat {
+                if best + suffix[j] <= beat {
+                    return (best, j);
+                }
+            }
         }
-        ScoreOnly {
-            score: best,
-            cells: (nq as u64) * (nb as u64),
-        }
+        (best, nb)
     }
 }
 
@@ -391,6 +608,7 @@ pub fn align_score_many<'s, I>(
                 out.push(ScoreOnly {
                     score: 0.0,
                     cells: 0,
+                    cells_skipped: scratch.len as u64 * b.residues.len() as u64,
                 });
                 continue;
             }
@@ -421,6 +639,7 @@ pub fn align_score_naive(
         return ScoreOnly {
             score: 0.0,
             cells: 0,
+            cells_skipped: 0,
         };
     }
     // Roll over b (columns); one row of H and E each.
@@ -448,7 +667,30 @@ pub fn align_score_naive(
     ScoreOnly {
         score: best,
         cells: (na as u64) * (nb as u64),
+        cells_skipped: 0,
     }
+}
+
+/// Score-only alignment with a **score to beat**: identical to
+/// [`align_score_with`] whenever the true score exceeds `beat`, but
+/// allowed to skip provably-losing work — the whole matrix when the
+/// query's [`AlignScratch::score_upper_bound`] cannot reach `beat`, or
+/// a suffix of subject columns once the adaptive band proves no later
+/// cell can lift the final score above `beat`.  In the skipping case the
+/// returned score is a partial best that is provably `<= beat`; skipped
+/// cells are reported in [`ScoreOnly::cells_skipped`] so cost accounting
+/// stays honest.  This is the PAM-ladder refinement's hot path: each
+/// matrix only has to prove it cannot beat the ladder's running best.
+pub fn align_score_bounded_with(
+    a: &Sequence,
+    b: &Sequence,
+    m: &ScoreMatrix,
+    p: &AlignParams,
+    beat: f32,
+    scratch: &mut AlignScratch,
+) -> ScoreOnly {
+    scratch.set_query(a, m);
+    scratch.align_loaded_bounded(&b.residues, p, Some(beat))
 }
 
 /// One aligned column.
@@ -463,7 +705,7 @@ pub enum AlignOp {
 }
 
 /// A full local alignment with traceback.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Alignment {
     /// Best local score.
     pub score: f32,
@@ -501,24 +743,50 @@ impl Alignment {
     }
 }
 
-/// Full Smith–Waterman/Gotoh with traceback.
+/// Full Smith–Waterman/Gotoh with traceback (convenience wrapper over
+/// [`align_local_with`] with a private scratch).  Callers in a loop
+/// should hold an [`AlignScratch`] and a reusable [`Alignment`].
 pub fn align_local(a: &Sequence, b: &Sequence, m: &ScoreMatrix, p: &AlignParams) -> Alignment {
+    let mut scratch = AlignScratch::with_level(SimdLevel::Scalar);
+    let mut out = Alignment::default();
+    align_local_with(a, b, m, p, &mut scratch, &mut out);
+    out
+}
+
+/// Full Smith–Waterman/Gotoh with traceback, reusing the scratch's
+/// H/E/F matrices and the caller's `Alignment` (its `ops` buffer is
+/// recycled): zero heap allocations once both have grown to size.  Only
+/// the traceback buffers of the scratch are touched — any loaded query
+/// profile stays valid.
+pub fn align_local_with(
+    a: &Sequence,
+    b: &Sequence,
+    m: &ScoreMatrix,
+    p: &AlignParams,
+    scratch: &mut AlignScratch,
+    out: &mut Alignment,
+) {
     let (na, nb) = (a.residues.len(), b.residues.len());
-    let empty = Alignment {
-        score: 0.0,
-        a_range: (0, 0),
-        b_range: (0, 0),
-        ops: Vec::new(),
-        identities: 0,
-        cells: (na as u64) * (nb as u64),
-    };
+    out.score = 0.0;
+    out.a_range = (0, 0);
+    out.b_range = (0, 0);
+    out.ops.clear();
+    out.identities = 0;
+    out.cells = (na as u64) * (nb as u64);
     if na == 0 || nb == 0 {
-        return empty;
+        return;
     }
     let w = nb + 1;
-    let mut h = vec![0.0f32; (na + 1) * w];
-    let mut e = vec![f32::NEG_INFINITY; (na + 1) * w];
-    let mut f = vec![f32::NEG_INFINITY; (na + 1) * w];
+    let size = (na + 1) * w;
+    scratch.tb_h.clear();
+    scratch.tb_h.resize(size, 0.0);
+    scratch.tb_e.clear();
+    scratch.tb_e.resize(size, f32::NEG_INFINITY);
+    scratch.tb_f.clear();
+    scratch.tb_f.resize(size, f32::NEG_INFINITY);
+    let h = &mut scratch.tb_h;
+    let e = &mut scratch.tb_e;
+    let f = &mut scratch.tb_f;
     let mut best = 0.0f32;
     let mut best_pos = (0usize, 0usize);
     for i in 1..=na {
@@ -538,12 +806,10 @@ pub fn align_local(a: &Sequence, b: &Sequence, m: &ScoreMatrix, p: &AlignParams)
         }
     }
     if best <= 0.0 {
-        return empty;
+        return;
     }
     // Traceback from best_pos until H hits 0.
     let (mut i, mut j) = best_pos;
-    let mut ops = Vec::new();
-    let mut identities = 0usize;
     #[derive(PartialEq, Clone, Copy)]
     enum State {
         H,
@@ -563,9 +829,9 @@ pub fn align_local(a: &Sequence, b: &Sequence, m: &ScoreMatrix, p: &AlignParams)
                 let rb = b.residues[j - 1] as usize;
                 let diag = h[idx - w - 1] + m.score(ra, rb);
                 if v == diag {
-                    ops.push(AlignOp::Sub);
+                    out.ops.push(AlignOp::Sub);
                     if ra == rb {
-                        identities += 1;
+                        out.identities += 1;
                     }
                     i -= 1;
                     j -= 1;
@@ -575,16 +841,16 @@ pub fn align_local(a: &Sequence, b: &Sequence, m: &ScoreMatrix, p: &AlignParams)
                     state = State::F;
                 } else {
                     // Numerical tie broke differently; prefer diagonal.
-                    ops.push(AlignOp::Sub);
+                    out.ops.push(AlignOp::Sub);
                     if ra == rb {
-                        identities += 1;
+                        out.identities += 1;
                     }
                     i -= 1;
                     j -= 1;
                 }
             }
             State::E => {
-                ops.push(AlignOp::InsB);
+                out.ops.push(AlignOp::InsB);
                 let from_open = h[idx - 1] - p.gap_open;
                 if e[idx] == from_open {
                     state = State::H;
@@ -592,7 +858,7 @@ pub fn align_local(a: &Sequence, b: &Sequence, m: &ScoreMatrix, p: &AlignParams)
                 j -= 1;
             }
             State::F => {
-                ops.push(AlignOp::InsA);
+                out.ops.push(AlignOp::InsA);
                 let from_open = h[idx - w] - p.gap_open;
                 if f[idx] == from_open {
                     state = State::H;
@@ -601,15 +867,10 @@ pub fn align_local(a: &Sequence, b: &Sequence, m: &ScoreMatrix, p: &AlignParams)
             }
         }
     }
-    ops.reverse();
-    Alignment {
-        score: best,
-        a_range: (i, best_pos.0),
-        b_range: (j, best_pos.1),
-        ops,
-        identities,
-        cells: (na as u64) * (nb as u64),
-    }
+    out.ops.reverse();
+    out.score = best;
+    out.a_range = (i, best_pos.0);
+    out.b_range = (j, best_pos.1);
 }
 
 #[cfg(test)]

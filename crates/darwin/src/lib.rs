@@ -15,7 +15,8 @@
 //!   yielding log-odds score matrices for any PAM distance,
 //! * **Smith–Waterman/Gotoh local alignment** with affine gap penalties
 //!   ([`align`]), the algorithm the paper cites (SW81 + GCB92 matrices and
-//!   "an affine gap penalty"),
+//!   "an affine gap penalty"), with a runtime-dispatched striped SIMD
+//!   lane ([`simd`]) that stays bit-identical to the scalar oracle,
 //! * **PAM-distance refinement** ([`refine`]): re-scoring a match across a
 //!   ladder of PAM matrices to find the distance maximizing similarity —
 //!   exactly the all-vs-all's second stage,
@@ -35,15 +36,19 @@ pub mod matches;
 pub mod pam;
 pub mod refine;
 pub mod sequence;
+pub mod simd;
 
 pub use align::{
-    align_local, align_score, align_score_many, align_score_naive, align_score_with, AlignParams,
-    AlignScratch, Alignment, ScoreOnly,
+    align_local, align_local_with, align_score, align_score_bounded_with, align_score_many,
+    align_score_naive, align_score_with, AlignParams, AlignScratch, Alignment, ScoreOnly,
 };
 pub use alphabet::{AminoAcid, ALPHABET_SIZE};
 pub use cost::CostModel;
 pub use dataset::{DatasetConfig, SequenceDb};
 pub use matches::{Match, MatchSet};
 pub use pam::{PamFamily, ScoreMatrix};
-pub use refine::{refine_pam_distance, refine_pam_distance_with, Refined};
+pub use refine::{
+    refine_pam_distance, refine_pam_distance_banded, refine_pam_distance_with, Refined,
+};
 pub use sequence::Sequence;
+pub use simd::SimdLevel;

@@ -7,7 +7,7 @@
 //! under every matrix of the family's ladder and return the argmax — a
 //! discrete maximum-likelihood estimate of evolutionary distance.
 
-use crate::align::{AlignParams, AlignScratch};
+use crate::align::{align_score_bounded_with, AlignParams, AlignScratch};
 use crate::pam::PamFamily;
 use crate::sequence::Sequence;
 
@@ -20,6 +20,9 @@ pub struct Refined {
     pub score: f32,
     /// Total DP cells computed across the ladder scan (cost accounting).
     pub cells: u64,
+    /// DP cells the banded scan proved irrelevant and skipped;
+    /// `cells + cells_skipped == |a|·|b|·ladder_len` always holds.
+    pub cells_skipped: u64,
 }
 
 /// Scan the ladder for the distance maximizing alignment score.
@@ -63,6 +66,46 @@ pub fn refine_pam_distance_with(
         pam_distance: best_pam,
         score: best_score,
         cells,
+        cells_skipped: 0,
+    }
+}
+
+/// Ladder scan with **score-bound adaptive banding**: each matrix after
+/// the first only has to prove it cannot beat the ladder's running best,
+/// so [`align_score_bounded_with`] may skip the whole matrix (when the
+/// query's score upper bound is below the running best) or a suffix of
+/// subject columns (once the per-column bound shows no later cell can
+/// reach it).  The argmax is **identical** to
+/// [`refine_pam_distance_with`] — bit-identical `score` and the same
+/// `pam_distance` — because a matrix is only truncated when its true
+/// score provably cannot exceed the running best, and ties keep the
+/// earlier matrix under the strict `>` in both scans.  Only the
+/// `cells`/`cells_skipped` split differs; their sum is invariant.
+pub fn refine_pam_distance_banded(
+    a: &Sequence,
+    b: &Sequence,
+    family: &PamFamily,
+    params: &AlignParams,
+    scratch: &mut AlignScratch,
+) -> Refined {
+    let mut best_pam = family.ladder()[0].pam;
+    let mut best_score = f32::NEG_INFINITY;
+    let mut cells = 0u64;
+    let mut cells_skipped = 0u64;
+    for m in family.ladder() {
+        let r = align_score_bounded_with(a, b, m, params, best_score, scratch);
+        cells += r.cells;
+        cells_skipped += r.cells_skipped;
+        if r.score > best_score {
+            best_score = r.score;
+            best_pam = m.pam;
+        }
+    }
+    Refined {
+        pam_distance: best_pam,
+        score: best_score,
+        cells,
+        cells_skipped,
     }
 }
 
@@ -141,5 +184,28 @@ mod tests {
         let b = random_seq(&mut rng, 80);
         let refined = refine_pam_distance(&a, &b, &family, &params);
         assert_eq!(refined.cells, 100 * 80 * family.ladder().len() as u64);
+        assert_eq!(refined.cells_skipped, 0);
+    }
+
+    #[test]
+    fn banded_refinement_matches_unbanded_and_accounts_all_cells() {
+        let family = PamFamily::default();
+        let params = AlignParams::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        let ancestor = random_seq(&mut rng, 120);
+        let mut r2 = StdRng::seed_from_u64(77);
+        let a = evolve(&ancestor, 40, &family, &mut r2, 0.02);
+        let b = evolve(&ancestor, 40, &family, &mut r2, 0.02);
+        let mut scratch = AlignScratch::new();
+        let plain = refine_pam_distance_with(&a, &b, &family, &params, &mut scratch);
+        let banded = refine_pam_distance_banded(&a, &b, &family, &params, &mut scratch);
+        assert_eq!(banded.pam_distance, plain.pam_distance);
+        assert_eq!(banded.score.to_bits(), plain.score.to_bits());
+        // The banded scan accounts every cell exactly once.
+        assert_eq!(banded.cells + banded.cells_skipped, plain.cells);
+        assert!(
+            banded.cells_skipped > 0,
+            "a related pair should let the band prune some ladder work"
+        );
     }
 }

@@ -1,0 +1,491 @@
+//! Runtime-dispatched striped SIMD lane for the Smith–Waterman/Gotoh
+//! scoring kernel (Farrar 2007, "Striped Smith–Waterman speeds database
+//! searches six times over other SIMD implementations").
+//!
+//! The query is **striped** across vector lanes: with `lanes` f32 lanes
+//! and `seg = ceil(len/lanes)` vectors per stripe, lane `l` of vector `t`
+//! owns query position `l*seg + t`.  One pass of the outer loop consumes
+//! one subject residue (one DP column); the inner loop walks the `seg`
+//! vectors.  Horizontal-gap scores (E) live in a striped column that
+//! survives across subject residues; the vertical-gap chain (F) runs
+//! inside the column and is broken by the striping, which the **lazy-F**
+//! sweep repairs (see [`x86::kernel`]).
+//!
+//! Bit-identity with the scalar kernels: every cell computes
+//! `max(diag + score, E, F, 0)` from the same operands — `f32` max over
+//! the NaN-free, negative-zero-free values arising here is the exact
+//! mathematical max, so the schedule (striped vs row-major) cannot change
+//! a single bit.  Padded lanes (query positions `>= len`) carry `-inf`
+//! profile entries; their H values stay strictly below the running best
+//! (any padded H derives from a real H minus at least one gap-open), so
+//! the final horizontal max needs no masking.  The darwin proptests pin
+//! all of this against [`crate::align::align_score_naive`].
+//!
+//! Level selection: [`detect`] probes the CPU once (cached) and honours a
+//! `BIOOPERA_SIMD` override (`scalar`/`sse2`/`avx2`/`auto`), clamped to
+//! what the host supports.  SSE2 is part of the x86_64 baseline; AVX2 is
+//! gated on CPUID.  Non-x86_64 hosts always report [`SimdLevel::Scalar`]
+//! and use the portable profile kernel in `align.rs`.
+
+use std::sync::OnceLock;
+
+/// Vector width the alignment kernel dispatches to.
+///
+/// Ordered: `Scalar < Sse2 < Avx2`, so levels can be clamped with `min`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SimdLevel {
+    /// Portable scalar profile kernel (any host).
+    Scalar,
+    /// 4 × f32 lanes (`__m128`); part of the x86_64 baseline.
+    Sse2,
+    /// 8 × f32 lanes (`__m256`); requires runtime AVX2 support.
+    Avx2,
+}
+
+impl SimdLevel {
+    /// f32 lanes per vector at this level.
+    pub fn lanes(self) -> usize {
+        match self {
+            SimdLevel::Scalar => 1,
+            SimdLevel::Sse2 => 4,
+            SimdLevel::Avx2 => 8,
+        }
+    }
+
+    /// Stable lowercase name (matches the `BIOOPERA_SIMD` spellings).
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Sse2 => "sse2",
+            SimdLevel::Avx2 => "avx2",
+        }
+    }
+}
+
+/// Parse a `BIOOPERA_SIMD` value; `None` means "auto" (use the hardware
+/// maximum) — unknown strings fall back to auto rather than erroring.
+pub(crate) fn parse_level(s: &str) -> Option<SimdLevel> {
+    match s.to_ascii_lowercase().as_str() {
+        "scalar" | "off" | "none" | "0" => Some(SimdLevel::Scalar),
+        "sse2" | "sse" => Some(SimdLevel::Sse2),
+        "avx2" | "avx" => Some(SimdLevel::Avx2),
+        _ => None,
+    }
+}
+
+/// The widest level this host can execute (no env override applied).
+pub fn max_supported() -> SimdLevel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            SimdLevel::Avx2
+        } else {
+            SimdLevel::Sse2
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        SimdLevel::Scalar
+    }
+}
+
+/// The level new scratches dispatch to: the hardware maximum, optionally
+/// lowered by `BIOOPERA_SIMD` (`scalar`, `sse2`, `avx2`, `auto`).  Probed
+/// once per process and cached; tests that need a specific level should
+/// pin it via [`crate::align::AlignScratch::with_level`] instead of
+/// mutating the environment.
+pub fn detect() -> SimdLevel {
+    static LEVEL: OnceLock<SimdLevel> = OnceLock::new();
+    *LEVEL.get_or_init(|| {
+        let hw = max_supported();
+        match std::env::var("BIOOPERA_SIMD") {
+            Ok(v) => parse_level(&v).map_or(hw, |req| req.min(hw)),
+            Err(_) => hw,
+        }
+    })
+}
+
+/// Run the striped kernel at `level` (must not be `Scalar`).
+///
+/// Layout contract (checked): `profile` holds `ALPHABET_SIZE` blocks of
+/// `seg*lanes` striped entries; `ha`/`hb` are the zeroed H column
+/// ping-pong pair and `ev` the E column filled with `-inf`, each at least
+/// `seg*lanes` long.  With `band = Some((suffix, beat))`, `suffix[j]`
+/// must safely bound what subject columns `j..` can add (len
+/// `subject.len() + 1`) and the kernel may stop after column `j+1` once
+/// `best + suffix[j+1] <= beat`.  Returns `(best, columns_processed)`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_striped(
+    level: SimdLevel,
+    profile: &[f32],
+    seg: usize,
+    ha: &mut [f32],
+    hb: &mut [f32],
+    ev: &mut [f32],
+    subject: &[u8],
+    open: f32,
+    ext: f32,
+    band: Option<(&[f32], f32)>,
+) -> (f32, usize) {
+    let stride = seg * level.lanes();
+    assert!(seg >= 1, "run_striped needs a loaded striped profile");
+    assert!(profile.len() >= crate::alphabet::ALPHABET_SIZE * stride);
+    assert!(ha.len() >= stride && hb.len() >= stride && ev.len() >= stride);
+    if let Some((suffix, _)) = band {
+        assert!(suffix.len() > subject.len());
+    }
+    #[cfg(target_arch = "x86_64")]
+    // Safety: buffer sizes asserted above; `Avx2` only reaches here via
+    // `detect`/`max_supported`, which gate it on runtime CPUID support.
+    unsafe {
+        match level {
+            SimdLevel::Scalar => unreachable!("run_striped called at scalar level"),
+            SimdLevel::Sse2 => x86::run_sse2(profile, seg, ha, hb, ev, subject, open, ext, band),
+            SimdLevel::Avx2 => x86::run_avx2(profile, seg, ha, hb, ev, subject, open, ext, band),
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (profile, ha, hb, ev, subject, open, ext, band);
+        unreachable!("run_striped: no SIMD backend on this architecture")
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use std::arch::x86_64::*;
+
+    /// Lane-width abstraction over the f32 vector ops the kernel needs.
+    /// Methods are `unsafe`: the caller must guarantee the instruction
+    /// set is available and pointers are valid for `LANES` f32s.  Every
+    /// method is `inline(always)` so the generic kernel folds into the
+    /// `#[target_feature]` wrappers below and the intrinsics compile in
+    /// a context with the right features enabled.
+    trait Ops: Copy {
+        type V: Copy;
+        const LANES: usize;
+        unsafe fn splat(x: f32) -> Self::V;
+        unsafe fn add(a: Self::V, b: Self::V) -> Self::V;
+        unsafe fn sub(a: Self::V, b: Self::V) -> Self::V;
+        unsafe fn max(a: Self::V, b: Self::V) -> Self::V;
+        unsafe fn load(p: *const f32) -> Self::V;
+        unsafe fn store(p: *mut f32, v: Self::V);
+        /// True when any lane of `a` is strictly greater than `b`'s.
+        unsafe fn any_gt(a: Self::V, b: Self::V) -> bool;
+        /// Shift every lane up by one (lane `l` → `l+1`), inserting
+        /// `fill` into lane 0: the stripe-wrap rotation.
+        unsafe fn shift_in(v: Self::V, fill: f32) -> Self::V;
+        /// Horizontal max over all lanes.
+        unsafe fn hmax(v: Self::V) -> f32;
+    }
+
+    #[derive(Clone, Copy)]
+    struct Sse2;
+
+    impl Ops for Sse2 {
+        type V = __m128;
+        const LANES: usize = 4;
+        #[inline(always)]
+        unsafe fn splat(x: f32) -> __m128 {
+            _mm_set1_ps(x)
+        }
+        #[inline(always)]
+        unsafe fn add(a: __m128, b: __m128) -> __m128 {
+            _mm_add_ps(a, b)
+        }
+        #[inline(always)]
+        unsafe fn sub(a: __m128, b: __m128) -> __m128 {
+            _mm_sub_ps(a, b)
+        }
+        #[inline(always)]
+        unsafe fn max(a: __m128, b: __m128) -> __m128 {
+            _mm_max_ps(a, b)
+        }
+        #[inline(always)]
+        unsafe fn load(p: *const f32) -> __m128 {
+            _mm_loadu_ps(p)
+        }
+        #[inline(always)]
+        unsafe fn store(p: *mut f32, v: __m128) {
+            _mm_storeu_ps(p, v)
+        }
+        #[inline(always)]
+        unsafe fn any_gt(a: __m128, b: __m128) -> bool {
+            _mm_movemask_ps(_mm_cmpgt_ps(a, b)) != 0
+        }
+        #[inline(always)]
+        unsafe fn shift_in(v: __m128, fill: f32) -> __m128 {
+            let up = _mm_castsi128_ps(_mm_slli_si128::<4>(_mm_castps_si128(v)));
+            _mm_move_ss(up, _mm_set_ss(fill))
+        }
+        #[inline(always)]
+        unsafe fn hmax(v: __m128) -> f32 {
+            let m = _mm_max_ps(v, _mm_movehl_ps(v, v));
+            let m = _mm_max_ss(m, _mm_shuffle_ps::<1>(m, m));
+            _mm_cvtss_f32(m)
+        }
+    }
+
+    #[derive(Clone, Copy)]
+    struct Avx2;
+
+    impl Ops for Avx2 {
+        type V = __m256;
+        const LANES: usize = 8;
+        #[inline(always)]
+        unsafe fn splat(x: f32) -> __m256 {
+            _mm256_set1_ps(x)
+        }
+        #[inline(always)]
+        unsafe fn add(a: __m256, b: __m256) -> __m256 {
+            _mm256_add_ps(a, b)
+        }
+        #[inline(always)]
+        unsafe fn sub(a: __m256, b: __m256) -> __m256 {
+            _mm256_sub_ps(a, b)
+        }
+        #[inline(always)]
+        unsafe fn max(a: __m256, b: __m256) -> __m256 {
+            _mm256_max_ps(a, b)
+        }
+        #[inline(always)]
+        unsafe fn load(p: *const f32) -> __m256 {
+            _mm256_loadu_ps(p)
+        }
+        #[inline(always)]
+        unsafe fn store(p: *mut f32, v: __m256) {
+            _mm256_storeu_ps(p, v)
+        }
+        #[inline(always)]
+        unsafe fn any_gt(a: __m256, b: __m256) -> bool {
+            _mm256_movemask_ps(_mm256_cmp_ps::<_CMP_GT_OQ>(a, b)) != 0
+        }
+        #[inline(always)]
+        unsafe fn shift_in(v: __m256, fill: f32) -> __m256 {
+            // Rotate lanes up by one (lane 0's new value is junk from
+            // lane 7), then blend the fill into lane 0.
+            let idx = _mm256_setr_epi32(7, 0, 1, 2, 3, 4, 5, 6);
+            let rot = _mm256_permutevar8x32_ps(v, idx);
+            _mm256_blend_ps::<0b0000_0001>(rot, _mm256_set1_ps(fill))
+        }
+        #[inline(always)]
+        unsafe fn hmax(v: __m256) -> f32 {
+            let m = _mm_max_ps(_mm256_castps256_ps128(v), _mm256_extractf128_ps::<1>(v));
+            let m = _mm_max_ps(m, _mm_movehl_ps(m, m));
+            let m = _mm_max_ss(m, _mm_shuffle_ps::<1>(m, m));
+            _mm_cvtss_f32(m)
+        }
+    }
+
+    /// The Farrar striped kernel: one pass over `subject`, H/E/F in
+    /// `LANES`-wide f32 vectors over the striped query profile.
+    ///
+    /// Buffers: `ha`/`hb` ping-pong as the previous/current H column,
+    /// `ev` is the E column (both striped, caller-initialised to 0 and
+    /// `-inf` respectively).  Returns `(best, columns_processed)`;
+    /// `columns_processed < subject.len()` only on a banded early exit.
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    unsafe fn kernel<O: Ops, const BANDED: bool>(
+        profile: &[f32],
+        seg: usize,
+        ha: &mut [f32],
+        hb: &mut [f32],
+        ev: &mut [f32],
+        subject: &[u8],
+        open: f32,
+        ext: f32,
+        suffix: &[f32],
+        beat: f32,
+    ) -> (f32, usize) {
+        let lanes = O::LANES;
+        let stride = seg * lanes;
+        let nb = subject.len();
+        let vopen = O::splat(open);
+        let vext = O::splat(ext);
+        let vzero = O::splat(0.0);
+        let ninf = f32::NEG_INFINITY;
+        let vninf = O::splat(ninf);
+        let mut vbest = vzero;
+        let mut load: *mut f32 = ha.as_mut_ptr();
+        let mut store: *mut f32 = hb.as_mut_ptr();
+        let ep: *mut f32 = ev.as_mut_ptr();
+        let pp: *const f32 = profile.as_ptr();
+        let mut cols = nb;
+        for (j, &rb) in subject.iter().enumerate() {
+            let prow = pp.add(rb as usize * stride);
+            // Diagonal carry: the previous column's last H vector shifted
+            // one lane up; lane 0 takes the zero boundary row.
+            let mut vh = O::shift_in(O::load(store.add((seg - 1) * lanes)), 0.0);
+            std::mem::swap(&mut load, &mut store);
+            let mut vf = vninf;
+            for t in 0..seg {
+                let o = t * lanes;
+                // H = max(diag + score, E, F, 0): same operands and order
+                // as the scalar kernels, so the result is bit-identical.
+                vh = O::add(vh, O::load(prow.add(o)));
+                let ve = O::load(ep.add(o));
+                vh = O::max(vh, ve);
+                vh = O::max(vh, vf);
+                vh = O::max(vh, vzero);
+                vbest = O::max(vbest, vh);
+                O::store(store.add(o), vh);
+                let vho = O::sub(vh, vopen);
+                O::store(ep.add(o), O::max(O::sub(ve, vext), vho));
+                vf = O::max(O::sub(vf, vext), vho);
+                // Next vector's diagonal is the previous column's H here.
+                vh = O::load(load.add(o));
+            }
+            // Lazy-F: the in-column F chain above ignores the stripe wrap
+            // (lane l's rows continue at the top of lane l+1).  Re-sweep
+            // the column folding the wrapped F in until no lane can still
+            // improve (`vF <= H - open` everywhere means every further
+            // contribution is dominated by the main loop's F chain).
+            // Each wrap injects -inf into lane 0 and -inf only decays to
+            // -inf, so `lanes` sweeps provably exhaust every wrap.
+            vf = O::shift_in(vf, ninf);
+            'lazy: for _ in 0..lanes {
+                for t in 0..seg {
+                    let o = t * lanes;
+                    let vht = O::load(store.add(o));
+                    if !O::any_gt(vf, O::sub(vht, vopen)) {
+                        break 'lazy;
+                    }
+                    let vhn = O::max(vht, vf);
+                    O::store(store.add(o), vhn);
+                    // E was computed from the pre-correction H above;
+                    // fold the corrected H's gap-open candidate back in
+                    // so the next column sees the exact Gotoh E.
+                    O::store(ep.add(o), O::max(O::load(ep.add(o)), O::sub(vhn, vopen)));
+                    vf = O::sub(vf, vext);
+                }
+                vf = O::shift_in(vf, ninf);
+            }
+            if BANDED {
+                // Columns > j add at most suffix[j+1] on top of any H
+                // seen so far (lazy-F corrections never exceed the
+                // running best); once that cannot reach `beat`, neither
+                // can the final score — stop and report the partial best.
+                if O::hmax(vbest) + suffix[j + 1] <= beat {
+                    cols = j + 1;
+                    break;
+                }
+            }
+        }
+        (O::hmax(vbest), cols)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(super) unsafe fn run_sse2(
+        profile: &[f32],
+        seg: usize,
+        ha: &mut [f32],
+        hb: &mut [f32],
+        ev: &mut [f32],
+        subject: &[u8],
+        open: f32,
+        ext: f32,
+        band: Option<(&[f32], f32)>,
+    ) -> (f32, usize) {
+        match band {
+            None => kernel::<Sse2, false>(profile, seg, ha, hb, ev, subject, open, ext, &[], 0.0),
+            Some((s, b)) => {
+                kernel::<Sse2, true>(profile, seg, ha, hb, ev, subject, open, ext, s, b)
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn run_avx2(
+        profile: &[f32],
+        seg: usize,
+        ha: &mut [f32],
+        hb: &mut [f32],
+        ev: &mut [f32],
+        subject: &[u8],
+        open: f32,
+        ext: f32,
+        band: Option<(&[f32], f32)>,
+    ) -> (f32, usize) {
+        match band {
+            None => kernel::<Avx2, false>(profile, seg, ha, hb, ev, subject, open, ext, &[], 0.0),
+            Some((s, b)) => {
+                kernel::<Avx2, true>(profile, seg, ha, hb, ev, subject, open, ext, s, b)
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        fn check_ops<O: Ops>() {
+            // Safety: callers below only instantiate levels the host
+            // supports (SSE2 is baseline; AVX2 gated by the caller).
+            unsafe {
+                let mut buf = vec![0.0f32; O::LANES];
+                let mut src: Vec<f32> = (0..O::LANES).map(|i| i as f32 + 1.0).collect();
+                let v = O::load(src.as_ptr());
+                // shift_in moves lane l to lane l+1 and fills lane 0.
+                O::store(buf.as_mut_ptr(), O::shift_in(v, -7.0));
+                assert_eq!(buf[0], -7.0);
+                assert_eq!(&buf[1..], &src[..O::LANES - 1]);
+                // hmax finds the max wherever it hides.
+                for i in 0..O::LANES {
+                    src.fill(1.0);
+                    src[i] = 42.0;
+                    assert_eq!(O::hmax(O::load(src.as_ptr())), 42.0);
+                }
+                // any_gt is strict and per-lane.
+                let a = O::splat(1.0);
+                assert!(!O::any_gt(a, a));
+                src.fill(1.0);
+                src[O::LANES - 1] = 1.5;
+                assert!(O::any_gt(O::load(src.as_ptr()), a));
+            }
+        }
+
+        #[test]
+        fn sse2_ops_behave() {
+            check_ops::<Sse2>();
+        }
+
+        #[test]
+        fn avx2_ops_behave() {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                check_ops::<Avx2>();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_level_spellings() {
+        assert_eq!(parse_level("scalar"), Some(SimdLevel::Scalar));
+        assert_eq!(parse_level("OFF"), Some(SimdLevel::Scalar));
+        assert_eq!(parse_level("sse2"), Some(SimdLevel::Sse2));
+        assert_eq!(parse_level("AVX2"), Some(SimdLevel::Avx2));
+        assert_eq!(parse_level("auto"), None);
+        assert_eq!(parse_level("bogus"), None);
+    }
+
+    #[test]
+    fn levels_order_and_lanes() {
+        assert!(SimdLevel::Scalar < SimdLevel::Sse2 && SimdLevel::Sse2 < SimdLevel::Avx2);
+        assert_eq!(SimdLevel::Scalar.lanes(), 1);
+        assert_eq!(SimdLevel::Sse2.lanes(), 4);
+        assert_eq!(SimdLevel::Avx2.lanes(), 8);
+        // Clamping an over-ask is a plain min.
+        assert_eq!(SimdLevel::Avx2.min(SimdLevel::Scalar), SimdLevel::Scalar);
+    }
+
+    #[test]
+    fn detect_never_exceeds_hardware() {
+        assert!(detect() <= max_supported());
+    }
+}

@@ -1,0 +1,223 @@
+//! Bit-identity oracle for the striped SIMD lane and the banded
+//! refinement, at every SIMD level the host supports.
+//!
+//! The generic proptests in `profile_kernel_bitident.rs` run at the
+//! auto-detected level; this suite pins each level explicitly (via
+//! [`AlignScratch::with_level`]) so the scalar fallback and the SSE2
+//! lane stay exercised even on an AVX2 host, and covers the stripe
+//! geometry edge cases: empty/1-residue queries, lengths around lane
+//! and segment boundaries, and banding on/off.
+
+use bioopera_darwin::align::{
+    align_score_bounded_with, align_score_many, align_score_naive, align_score_with, AlignParams,
+    AlignScratch,
+};
+use bioopera_darwin::pam::PamFamily;
+use bioopera_darwin::refine::{refine_pam_distance_banded, refine_pam_distance_with};
+use bioopera_darwin::simd::{self, SimdLevel};
+use bioopera_darwin::{align_local, align_local_with, Alignment, Sequence};
+use proptest::prelude::*;
+
+/// Every level the host can execute (always includes `Scalar`).
+fn levels() -> Vec<SimdLevel> {
+    let mut v = vec![SimdLevel::Scalar, SimdLevel::Sse2, SimdLevel::Avx2];
+    v.retain(|&l| l <= simd::max_supported());
+    v
+}
+
+fn residues(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..20, 0..=max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_level_is_bit_identical_across_the_ladder(
+        a in residues(48),
+        b in residues(48),
+        ladder_idx in 0usize..12,
+    ) {
+        let fam = PamFamily::default();
+        let m = &fam.ladder()[ladder_idx % fam.ladder().len()];
+        let p = AlignParams::default();
+        let sa = Sequence::new(0, a);
+        let sb = Sequence::new(1, b);
+        let naive = align_score_naive(&sa, &sb, m, &p);
+        for level in levels() {
+            let mut scratch = AlignScratch::with_level(level);
+            let fast = align_score_with(&sa, &sb, m, &p, &mut scratch);
+            prop_assert_eq!(fast.score.to_bits(), naive.score.to_bits(),
+                "level {} score {} vs naive {}", level.name(), fast.score, naive.score);
+            prop_assert_eq!(fast.cells, naive.cells);
+            prop_assert_eq!(fast.cells_skipped, 0);
+        }
+    }
+
+    #[test]
+    fn banded_refine_matches_unbanded_at_every_level(
+        a in residues(40),
+        b in residues(40),
+    ) {
+        let fam = PamFamily::default();
+        let p = AlignParams::default();
+        let sa = Sequence::new(0, a);
+        let sb = Sequence::new(1, b);
+        let ladder_len = fam.ladder().len() as u64;
+        for level in levels() {
+            let mut scratch = AlignScratch::with_level(level);
+            let plain = refine_pam_distance_with(&sa, &sb, &fam, &p, &mut scratch);
+            let banded = refine_pam_distance_banded(&sa, &sb, &fam, &p, &mut scratch);
+            prop_assert_eq!(banded.pam_distance, plain.pam_distance, "level {}", level.name());
+            prop_assert_eq!(banded.score.to_bits(), plain.score.to_bits());
+            // Every ladder cell is accounted exactly once: computed or
+            // provably skipped.
+            let total = sa.residues.len() as u64 * sb.residues.len() as u64 * ladder_len;
+            prop_assert_eq!(banded.cells + banded.cells_skipped, total);
+            prop_assert_eq!(plain.cells, total);
+        }
+    }
+
+    #[test]
+    fn bounded_score_is_exact_when_it_beats_the_bound(
+        a in residues(40),
+        b in residues(40),
+        beat in -10.0f32..200.0,
+    ) {
+        // align_score_bounded_with must return the exact score whenever
+        // the true score exceeds `beat`, and never claim a score above
+        // `beat` otherwise.
+        let fam = PamFamily::default();
+        let m = fam.nearest(120);
+        let p = AlignParams::default();
+        let sa = Sequence::new(0, a);
+        let sb = Sequence::new(1, b);
+        let naive = align_score_naive(&sa, &sb, m, &p);
+        for level in levels() {
+            let mut scratch = AlignScratch::with_level(level);
+            let r = align_score_bounded_with(&sa, &sb, m, &p, beat, &mut scratch);
+            prop_assert_eq!(r.cells + r.cells_skipped, naive.cells);
+            if naive.score > beat {
+                prop_assert_eq!(r.score.to_bits(), naive.score.to_bits(),
+                    "level {} truncated a winning matrix", level.name());
+                prop_assert_eq!(r.cells_skipped, 0,
+                    "a winning matrix must be fully computed");
+            } else {
+                prop_assert!(r.score <= beat,
+                    "level {} partial score {} exceeds beat {}", level.name(), r.score, beat);
+            }
+        }
+    }
+
+    #[test]
+    fn prune_accounting_is_exact_at_every_level(
+        query in residues(32),
+        subjects in prop::collection::vec(residues(32), 0..6),
+        threshold in 0.0f32..120.0,
+    ) {
+        let fam = PamFamily::default();
+        let m = fam.nearest(120);
+        let p = AlignParams { prune: true, ..AlignParams::default() };
+        let q = Sequence::new(0, query);
+        let subs: Vec<Sequence> =
+            subjects.into_iter().enumerate().map(|(i, r)| Sequence::new(1 + i as u32, r)).collect();
+        for level in levels() {
+            let mut scratch = AlignScratch::with_level(level);
+            let mut out = Vec::new();
+            align_score_many(&q, subs.iter(), m, &p, Some(threshold), &mut scratch, &mut out);
+            for (s, r) in subs.iter().zip(&out) {
+                let naive = align_score_naive(&q, s, m, &p);
+                // Computed or skipped, every cell is accounted.
+                prop_assert_eq!(r.cells + r.cells_skipped, naive.cells);
+                if r.cells_skipped > 0 {
+                    prop_assert_eq!(r.cells, 0);
+                    prop_assert!(naive.score < threshold);
+                } else {
+                    prop_assert_eq!(r.score.to_bits(), naive.score.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn traceback_with_reused_scratch_matches_fresh(
+        pairs in prop::collection::vec((residues(32), residues(32)), 1..5),
+    ) {
+        // One scratch + one Alignment across differently-sized pairs:
+        // stale traceback state must never leak.
+        let fam = PamFamily::default();
+        let m = fam.nearest(120);
+        let p = AlignParams::default();
+        let mut scratch = AlignScratch::new();
+        let mut out = Alignment::default();
+        for (i, (a, b)) in pairs.into_iter().enumerate() {
+            let sa = Sequence::new(2 * i as u32, a);
+            let sb = Sequence::new(2 * i as u32 + 1, b);
+            let fresh = align_local(&sa, &sb, m, &p);
+            align_local_with(&sa, &sb, m, &p, &mut scratch, &mut out);
+            prop_assert_eq!(&out, &fresh);
+        }
+    }
+}
+
+/// Stripe-geometry boundary shapes: segment length `seg = ceil(n/lanes)`
+/// degenerates for tiny queries, and the padded-lane logic changes at
+/// every multiple of `lanes` and `seg`.  Cover lengths around 4/8/16/32
+/// at every level, plus empty and single-residue sequences.
+#[test]
+fn stripe_boundary_shapes_are_bit_identical() {
+    let fam = PamFamily::default();
+    let m = fam.nearest(120);
+    let p = AlignParams::default();
+    let mk = |id: u32, n: usize| Sequence::new(id, (0..n).map(|i| (i * 7 % 20) as u8).collect());
+    let sizes = [
+        0usize, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 24, 25, 31, 32, 33, 63, 64, 65,
+    ];
+    for level in levels() {
+        let mut scratch = AlignScratch::with_level(level);
+        for &na in &sizes {
+            for &nb in &sizes {
+                let a = mk(0, na);
+                let b = mk(1, nb);
+                let naive = align_score_naive(&a, &b, m, &p);
+                let fast = align_score_with(&a, &b, m, &p, &mut scratch);
+                assert_eq!(
+                    fast.score.to_bits(),
+                    naive.score.to_bits(),
+                    "level={} na={na} nb={nb}",
+                    level.name()
+                );
+                assert_eq!(
+                    fast.cells,
+                    naive.cells,
+                    "level={} na={na} nb={nb}",
+                    level.name()
+                );
+            }
+        }
+    }
+}
+
+/// The portable fallback must stay reachable on any host: a pinned
+/// scalar scratch reports `Scalar` and still matches the oracle (the
+/// `BIOOPERA_SIMD=scalar` escape hatch runs the whole suite this way
+/// in CI via scripts/check.sh).
+#[test]
+fn forced_scalar_fallback_is_exercised() {
+    let scratch = AlignScratch::with_level(SimdLevel::Scalar);
+    assert_eq!(scratch.level(), SimdLevel::Scalar);
+    // Over-asking is clamped, never trusted blindly.
+    let over = AlignScratch::with_level(SimdLevel::Avx2);
+    assert!(over.level() <= simd::max_supported());
+
+    let fam = PamFamily::default();
+    let m = fam.nearest(120);
+    let p = AlignParams::default();
+    let a = Sequence::new(0, (0..57).map(|i| (i * 3 % 20) as u8).collect());
+    let b = Sequence::new(1, (0..43).map(|i| (i * 11 % 20) as u8).collect());
+    let naive = align_score_naive(&a, &b, m, &p);
+    let mut scalar = AlignScratch::with_level(SimdLevel::Scalar);
+    let r = align_score_with(&a, &b, m, &p, &mut scalar);
+    assert_eq!(r.score.to_bits(), naive.score.to_bits());
+    assert_eq!(r.cells, naive.cells);
+}

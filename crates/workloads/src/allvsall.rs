@@ -34,7 +34,7 @@
 use bioopera_core::{ActivityLibrary, ProgramOutput};
 use bioopera_darwin::align::{align_score_many, AlignParams, AlignScratch, ScoreOnly};
 use bioopera_darwin::pam::{PamFamily, FIXED_PAM};
-use bioopera_darwin::refine::refine_pam_distance_with;
+use bioopera_darwin::refine::refine_pam_distance_banded;
 use bioopera_darwin::{CostModel, Match, MatchSet, SequenceDb};
 use bioopera_ocr::model::{ParallelBody, TypeTag};
 use bioopera_ocr::value::Value;
@@ -380,7 +380,10 @@ pub fn build_library(mode: &AllVsAllMode, config: &AllVsAllConfig) -> ActivityLi
                         .get("item")
                         .ok_or_else(|| "missing item".to_string())?,
                 )?;
-                let (matches, cells) = fixed_pass(&db_fixed, &pam_fixed, &entries, threshold);
+                // Only *computed* cells feed the cost model; provably
+                // skipped work (prune) costs nothing.
+                let (matches, cells, _skipped) =
+                    fixed_pass(&db_fixed, &pam_fixed, &entries, threshold);
                 let out_matches: Vec<Value> = matches
                     .iter()
                     .map(|m| {
@@ -410,7 +413,9 @@ pub fn build_library(mode: &AllVsAllMode, config: &AllVsAllConfig) -> ActivityLi
                 for m in matches {
                     let q = m.get_path(&["q"]).and_then(|v| v.as_int()).unwrap_or(0) as u32;
                     let s = m.get_path(&["s"]).and_then(|v| v.as_int()).unwrap_or(0) as u32;
-                    let r = refine_pam_distance_with(
+                    // Banded scan: identical argmax, but provably-losing
+                    // ladder cells are skipped and (honestly) cost nothing.
+                    let r = refine_pam_distance_banded(
                         db_ref.get(q),
                         db_ref.get(s),
                         &pam_ref,
@@ -582,7 +587,7 @@ fn fixed_pass(
     pam: &PamFamily,
     entries: &[u32],
     threshold: f32,
-) -> (Vec<Match>, u64) {
+) -> (Vec<Match>, u64, u64) {
     let workers = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(4);
@@ -601,14 +606,16 @@ fn fixed_pass(
 /// amortized over the whole `f > e` batch, zero per-pair allocation.
 /// Results are keyed by queue position and merged in order, so the
 /// returned matches are byte-identical regardless of worker count or
-/// scheduling interleaving.
+/// scheduling interleaving.  Returns `(matches, cells, cells_skipped)`:
+/// DP cells computed and DP cells provably skipped (the prune bound),
+/// so cost accounting stays honest when `prune` is enabled.
 pub fn fixed_pass_with_workers(
     db: &SequenceDb,
     pam: &PamFamily,
     entries: &[u32],
     threshold: f32,
     workers: usize,
-) -> (Vec<Match>, u64) {
+) -> (Vec<Match>, u64, u64) {
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     let params = AlignParams::default();
@@ -616,14 +623,14 @@ pub fn fixed_pass_with_workers(
     let n = db.len() as u32;
     let workers = workers.clamp(1, entries.len().max(1));
     let next = AtomicUsize::new(0);
-    let mut results: Vec<(usize, Vec<Match>, u64)> = std::thread::scope(|scope| {
+    let mut results: Vec<(usize, Vec<Match>, u64, u64)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 let next = &next;
                 scope.spawn(move || {
                     let mut scratch = AlignScratch::new();
                     let mut scores: Vec<ScoreOnly> = Vec::new();
-                    let mut done: Vec<(usize, Vec<Match>, u64)> = Vec::new();
+                    let mut done: Vec<(usize, Vec<Match>, u64, u64)> = Vec::new();
                     loop {
                         let k = next.fetch_add(1, Ordering::Relaxed);
                         if k >= entries.len() {
@@ -632,6 +639,7 @@ pub fn fixed_pass_with_workers(
                         let e = entries[k];
                         let mut matches = Vec::new();
                         let mut cells = 0u64;
+                        let mut skipped = 0u64;
                         if e + 1 < n {
                             align_score_many(
                                 db.get(e),
@@ -644,12 +652,13 @@ pub fn fixed_pass_with_workers(
                             );
                             for (off, r) in scores.iter().enumerate() {
                                 cells += r.cells;
+                                skipped += r.cells_skipped;
                                 if r.score >= threshold {
                                     matches.push(Match::unrefined(e, e + 1 + off as u32, r.score));
                                 }
                             }
                         }
-                        done.push((k, matches, cells));
+                        done.push((k, matches, cells, skipped));
                     }
                     done
                 })
@@ -661,14 +670,16 @@ pub fn fixed_pass_with_workers(
             .collect()
     });
     // Deterministic output: restore queue order before flattening.
-    results.sort_unstable_by_key(|(k, _, _)| *k);
+    results.sort_unstable_by_key(|(k, _, _, _)| *k);
     let mut matches = Vec::new();
     let mut cells = 0u64;
-    for (_, m, c) in results {
+    let mut cells_skipped = 0u64;
+    for (_, m, c, s) in results {
         matches.extend(m);
         cells += c;
+        cells_skipped += s;
     }
-    (matches, cells)
+    (matches, cells, cells_skipped)
 }
 
 #[cfg(test)]

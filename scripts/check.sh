@@ -33,4 +33,15 @@ echo "==> store bench smoke (small config; fails loudly on a replay regression)"
 STORE_BENCH_SMOKE=1 cargo run --release -q -p bioopera-bench --bin store_bench > /dev/null
 test -s results/BENCH_store.json || { echo "BENCH_store.json missing"; exit 1; }
 
+echo "==> kernel bench smoke (one pass; fails loudly on a SIMD regression)"
+# Bounded run (~2 s release): asserts the SIMD lane is bit-identical to
+# the naive oracle, the banded refinement accounts every skipped cell,
+# warm passes stay allocation-free, and (on SIMD hosts) the simd_batched
+# variant keeps a cells/sec floor over the scalar profile kernel.
+KERNEL_BENCH_SMOKE=1 cargo run --release -q -p bioopera-bench --bin kernel_bench > /dev/null
+test -s results/BENCH_kernel.json || { echo "BENCH_kernel.json missing"; exit 1; }
+
+echo "==> darwin suite with SIMD force-disabled (portable fallback stays honest)"
+BIOOPERA_SIMD=scalar cargo test -q -p bioopera-darwin
+
 echo "All checks passed."
