@@ -10,7 +10,11 @@
 //! * put throughput (batched commits) and the group-commit variant,
 //! * single-thread and 4-thread concurrent get+scan throughput,
 //! * WAL replay wall time vs record count (the recovery path),
-//! * compaction wall time (snapshot encode + epoch roll).
+//! * compaction wall time (snapshot encode + epoch roll),
+//! * tiered-engine variants: spill throughput under a small memtable
+//!   budget, bloom-gated reads across resident runs, run merge
+//!   compaction, and post-history reopen cost — with the observed
+//!   memory ceiling reported alongside.
 //!
 //! Each metric is timed per pass, variants interleaved, and the minimum
 //! over `STORE_BENCH_REPEATS` passes reported (host interference only
@@ -24,7 +28,7 @@
 use bioopera_bench::store_baseline::{encode_frame_bytewise, replay_copying, BaselineStore};
 use bioopera_bench::write_results;
 use bioopera_store::wal::{self, WalOp};
-use bioopera_store::{Batch, MemDisk, Space, Store};
+use bioopera_store::{Batch, MemDisk, Space, Store, TieredPolicy};
 use bytes::Bytes;
 use serde::Serialize;
 use std::time::Instant;
@@ -39,6 +43,39 @@ struct Metric {
     /// `after / before` for throughputs, `before_time / after_time` for
     /// wall times — always "higher is better for the new engine".
     speedup: f64,
+}
+
+/// Memory-ceiling evidence for the tiered run: the budget the store was
+/// given, the worst memtable estimate ever observed under load, and what
+/// the same record set costs resident when tiering is off.
+#[derive(Serialize)]
+struct TieredSummary {
+    memtable_budget_bytes: u64,
+    peak_memtable_bytes: u64,
+    unbounded_memtable_bytes: u64,
+    runs_after_load: usize,
+    spills: u64,
+    run_merges: u64,
+    /// Bytes one post-compaction reopen actually reads (manifest + run
+    /// footers/meta; never the data blocks).
+    reopen_bytes_read: u64,
+    total_disk_bytes: u64,
+}
+
+/// One history length of the opt-in tiered scaling sweep
+/// (`STORE_BENCH_TIERED_SWEEP=1`): reopen cost and resident memory, tiered
+/// vs untiered, at the same record count.
+#[derive(Serialize)]
+struct SweepRow {
+    records: usize,
+    value_bytes: usize,
+    untiered_reopen_s: f64,
+    tiered_reopen_s: f64,
+    /// Bytes the tiered reopen actually read (manifest + run meta).
+    tiered_reopen_bytes_read: u64,
+    untiered_resident_bytes: u64,
+    tiered_peak_memtable_bytes: u64,
+    tiered_disk_bytes: u64,
 }
 
 #[derive(Serialize)]
@@ -57,6 +94,9 @@ struct BenchReport {
     /// Metrics with speedup >= 2.0 (the acceptance bar asks for two of:
     /// concurrent-read throughput, WAL replay time, compaction time).
     at_least_2x: Vec<String>,
+    tiered: TieredSummary,
+    #[serde(skip_serializing_if = "Vec::is_empty")]
+    tiered_sweep: Vec<SweepRow>,
 }
 
 struct Config {
@@ -139,7 +179,7 @@ fn race(repeats: u32, mut before: impl FnMut(), mut after: impl FnMut()) -> (f64
 /// Populate both engines with the same record set.
 fn populate(cfg: &Config) -> (BaselineStore<MemDisk>, Store<MemDisk>) {
     let old = BaselineStore::open(MemDisk::new());
-    let new = Store::open(MemDisk::new()).unwrap();
+    let new = Store::open_with(MemDisk::new(), None).unwrap();
     for i in 0..cfg.records {
         old.apply(ops_for(i, cfg.value_bytes)).unwrap();
         let mut b = Batch::new();
@@ -185,7 +225,7 @@ fn main() {
                 }
             },
             || {
-                let store = Store::open(MemDisk::new()).unwrap();
+                let store = Store::open_with(MemDisk::new(), None).unwrap();
                 for i in 0..cfg.put_batches {
                     let mut batch = Batch::new();
                     for j in 0..cfg.put_batch_ops {
@@ -212,7 +252,7 @@ fn main() {
         // append (no baseline equivalent existed; before = single-commit
         // path of the old engine).
         let t = Instant::now();
-        let store = Store::open(MemDisk::new()).unwrap();
+        let store = Store::open_with(MemDisk::new(), None).unwrap();
         for i in 0..cfg.put_batches / 8 {
             let group: Vec<Batch> = (0..8)
                 .map(|g| {
@@ -418,6 +458,269 @@ fn main() {
         });
     }
 
+    // ---- tiered engine: spill / bounded-memory read / merge / reopen
+    //
+    // "Before" here is the overhauled engine itself with tiering off
+    // (unbounded memtables), "after" the same engine under a small
+    // memtable budget — the cost of bounded memory, not an overhaul win.
+    let tiered_summary;
+    {
+        let budget: u64 = if cfg.smoke { 64 * 1024 } else { 256 * 1024 };
+        let policy = TieredPolicy {
+            memtable_budget_bytes: budget,
+            run_merge_threshold: 4,
+        };
+        let one_put = |store: &Store<MemDisk>, i: usize| {
+            let mut batch = Batch::new();
+            batch.put(
+                Space::Instance,
+                key(i),
+                Bytes::from(vec![(i % 251) as u8; cfg.value_bytes]),
+            );
+            store.apply(batch).unwrap();
+        };
+
+        // Spill throughput: the identical insert workload with and without
+        // the budget; the tiered run pays for run builds + merges inline.
+        let total_ops = cfg.records as f64;
+        let peak = std::cell::Cell::new(0u64);
+        let (b, a) = race(
+            cfg.repeats,
+            || {
+                let store = Store::open_with(MemDisk::new(), None).unwrap();
+                for i in 0..cfg.records {
+                    one_put(&store, i);
+                }
+            },
+            || {
+                let store = Store::open_with(MemDisk::new(), Some(policy)).unwrap();
+                for i in 0..cfg.records {
+                    one_put(&store, i);
+                    if i % 64 == 0 {
+                        peak.set(peak.get().max(store.stats().memtable_bytes));
+                    }
+                }
+                peak.set(peak.get().max(store.stats().memtable_bytes));
+            },
+        );
+        metrics.push(Metric {
+            name: "tiered_put_spill_throughput".into(),
+            unit: "ops/s".into(),
+            workload: format!(
+                "{} puts x {}B, {}KiB memtable budget vs unbounded",
+                cfg.records,
+                cfg.value_bytes,
+                budget / 1024
+            ),
+            before: total_ops / b,
+            after: total_ops / a,
+            speedup: b / a,
+        });
+
+        // Load both engines once for the read + reopen comparisons.
+        let untiered_disk = MemDisk::new();
+        let untiered = Store::open_with(untiered_disk.clone(), None).unwrap();
+        let tiered_disk = MemDisk::new();
+        let tiered = Store::open_with(tiered_disk.clone(), Some(policy)).unwrap();
+        for i in 0..cfg.records {
+            one_put(&untiered, i);
+            one_put(&tiered, i);
+        }
+        let loaded = tiered.stats();
+        assert!(loaded.spills > 0, "tiered load never spilled");
+        assert!(
+            peak.get() <= budget + 32 * 1024,
+            "memtable ceiling breached: peak {} bytes under a {} byte budget",
+            peak.get(),
+            budget
+        );
+        let unbounded_memtable_bytes = untiered.stats().memtable_bytes;
+
+        // Point reads against memtable + resident runs (bloom-gated).
+        let keys: Vec<String> = (0..cfg.records).map(key).collect();
+        let single_reads = cfg.reads as f64;
+        let (b, a) = race(
+            cfg.repeats,
+            || {
+                for r in 0..cfg.reads {
+                    let i = (r * 7919) % cfg.records;
+                    assert!(untiered.get(Space::Instance, &keys[i]).unwrap().is_some());
+                }
+            },
+            || {
+                for r in 0..cfg.reads {
+                    let i = (r * 7919) % cfg.records;
+                    assert!(tiered.get(Space::Instance, &keys[i]).unwrap().is_some());
+                }
+            },
+        );
+        metrics.push(Metric {
+            name: "tiered_get_throughput".into(),
+            unit: "ops/s".into(),
+            workload: format!(
+                "{} point gets over {} records in memtable + {} runs",
+                cfg.reads, cfg.records, loaded.runs
+            ),
+            before: single_reads / b,
+            after: single_reads / a,
+            speedup: b / a,
+        });
+
+        // Compaction: snapshot rewrite (untiered) vs spill + merge-all of
+        // the resident runs (tiered).  Each pass rebuilds the store from
+        // scratch because both paths leave nothing further to compact.
+        let (mut b_best, mut a_best) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..=cfg.repeats {
+            let store = Store::open_with(MemDisk::new(), None).unwrap();
+            for i in 0..cfg.records {
+                one_put(&store, i);
+            }
+            let t = Instant::now();
+            store.compact().unwrap();
+            b_best = b_best.min(t.elapsed().as_secs_f64());
+
+            let store = Store::open_with(MemDisk::new(), Some(policy)).unwrap();
+            for i in 0..cfg.records {
+                one_put(&store, i);
+            }
+            let t = Instant::now();
+            store.compact().unwrap();
+            a_best = a_best.min(t.elapsed().as_secs_f64());
+        }
+        metrics.push(Metric {
+            name: "tiered_compaction_time".into(),
+            unit: "s (lower is better)".into(),
+            workload: format!(
+                "{} records x {}B: snapshot rewrite vs run merge-all",
+                cfg.records, cfg.value_bytes
+            ),
+            before: b_best,
+            after: a_best,
+            speedup: b_best / a_best,
+        });
+
+        // Reopen after the full history: snapshot replay of every record
+        // (untiered) vs manifest + run meta only (tiered, O(tail)).
+        untiered.compact().unwrap();
+        tiered.compact().unwrap();
+        drop(untiered);
+        drop(tiered);
+        let (mut b_best, mut a_best) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..=cfg.repeats {
+            let t = Instant::now();
+            drop(Store::open_with(untiered_disk.clone(), None).unwrap());
+            b_best = b_best.min(t.elapsed().as_secs_f64());
+            let t = Instant::now();
+            drop(Store::open_with(tiered_disk.clone(), Some(policy)).unwrap());
+            a_best = a_best.min(t.elapsed().as_secs_f64());
+        }
+        metrics.push(Metric {
+            name: "tiered_reopen_time".into(),
+            unit: "s (lower is better)".into(),
+            workload: format!(
+                "reopen after a {}-record history: full snapshot replay vs run meta",
+                cfg.records
+            ),
+            before: b_best,
+            after: a_best,
+            speedup: b_best / a_best,
+        });
+
+        let read_before = tiered_disk.bytes_read();
+        drop(Store::open_with(tiered_disk.clone(), Some(policy)).unwrap());
+        let reopen_bytes_read = tiered_disk.bytes_read() - read_before;
+        let total_disk_bytes = tiered_disk.total_file_bytes();
+        assert!(
+            reopen_bytes_read * 4 < total_disk_bytes,
+            "tiered reopen read {reopen_bytes_read} of {total_disk_bytes} disk bytes — not O(tail)"
+        );
+        tiered_summary = TieredSummary {
+            memtable_budget_bytes: budget,
+            peak_memtable_bytes: peak.get(),
+            unbounded_memtable_bytes,
+            runs_after_load: loaded.runs,
+            spills: loaded.spills,
+            run_merges: loaded.run_merges,
+            reopen_bytes_read,
+            total_disk_bytes,
+        };
+    }
+
+    // ---- opt-in tiered scaling sweep (STORE_BENCH_TIERED_SWEEP=1) ----
+    //
+    // Reopen cost and resident memory vs history length, under the
+    // *default* 4 MiB production budget (not the stress-sized one above).
+    // Feeds the EXPERIMENTS.md tables; too slow for the smoke gate.
+    let mut tiered_sweep: Vec<SweepRow> = Vec::new();
+    let sweep_on =
+        std::env::var("STORE_BENCH_TIERED_SWEEP").is_ok_and(|v| v != "0" && !v.is_empty());
+    if sweep_on {
+        let value_bytes = 100usize;
+        let counts: &[usize] = if cfg.smoke {
+            &[10_000, 100_000]
+        } else {
+            &[10_000, 100_000, 1_000_000]
+        };
+        for &n in counts {
+            let load = |store: &Store<MemDisk>, track_peak: bool| -> u64 {
+                let mut peak = 0u64;
+                for i in 0..n {
+                    let mut b = Batch::new();
+                    b.put(
+                        Space::History,
+                        format!("ev/{i:09}"),
+                        Bytes::from(vec![(i % 251) as u8; value_bytes]),
+                    );
+                    store.apply(b).unwrap();
+                    if track_peak && i % 1024 == 0 {
+                        peak = peak.max(store.stats().memtable_bytes);
+                    }
+                }
+                peak.max(store.stats().memtable_bytes)
+            };
+
+            let policy = TieredPolicy::default();
+            let tiered_disk = MemDisk::new();
+            let store = Store::open_with(tiered_disk.clone(), Some(policy)).unwrap();
+            let tiered_peak = load(&store, true);
+            store.compact().unwrap();
+            drop(store);
+            let read0 = tiered_disk.bytes_read();
+            let t = Instant::now();
+            drop(Store::open_with(tiered_disk.clone(), Some(policy)).unwrap());
+            let tiered_reopen_s = t.elapsed().as_secs_f64();
+            let tiered_reopen_bytes_read = tiered_disk.bytes_read() - read0;
+            let tiered_disk_bytes = tiered_disk.total_file_bytes();
+
+            let untiered_disk = MemDisk::new();
+            let store = Store::open_with(untiered_disk.clone(), None).unwrap();
+            load(&store, false);
+            store.compact().unwrap();
+            let untiered_resident_bytes = store.stats().memtable_bytes;
+            drop(store);
+            let t = Instant::now();
+            drop(Store::open_with(untiered_disk.clone(), None).unwrap());
+            let untiered_reopen_s = t.elapsed().as_secs_f64();
+
+            eprintln!(
+                "  sweep {n:>9} recs: reopen untiered {untiered_reopen_s:>9.5}s vs tiered \
+                 {tiered_reopen_s:>9.5}s ({tiered_reopen_bytes_read} B read of \
+                 {tiered_disk_bytes}); resident untiered {untiered_resident_bytes} B vs \
+                 tiered peak {tiered_peak} B"
+            );
+            tiered_sweep.push(SweepRow {
+                records: n,
+                value_bytes,
+                untiered_reopen_s,
+                tiered_reopen_s,
+                tiered_reopen_bytes_read,
+                untiered_resident_bytes,
+                tiered_peak_memtable_bytes: tiered_peak,
+                tiered_disk_bytes,
+            });
+        }
+    }
+
     let at_least_2x: Vec<String> = metrics
         .iter()
         .filter(|m| m.speedup >= 2.0)
@@ -436,6 +739,8 @@ fn main() {
             .into(),
         metrics,
         at_least_2x,
+        tiered: tiered_summary,
+        tiered_sweep,
     };
 
     for m in &report.metrics {
@@ -444,6 +749,18 @@ fn main() {
             m.name, m.before, m.after, m.speedup, m.workload
         );
     }
+    eprintln!(
+        "  tiered memory ceiling: peak {} B under a {} B budget (unbounded: {} B); \
+         {} spills, {} merges, {} runs resident; reopen read {} of {} disk bytes",
+        report.tiered.peak_memtable_bytes,
+        report.tiered.memtable_budget_bytes,
+        report.tiered.unbounded_memtable_bytes,
+        report.tiered.spills,
+        report.tiered.run_merges,
+        report.tiered.runs_after_load,
+        report.tiered.reopen_bytes_read,
+        report.tiered.total_disk_bytes,
+    );
     let json = serde_json::to_string(&report).expect("serialize report");
     write_results("BENCH_store.json", &json);
     println!("{json}");

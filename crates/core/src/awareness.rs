@@ -512,6 +512,13 @@ pub struct AwarenessIndex {
     nodes_down: BTreeSet<String>,
     nodes_quarantined: BTreeSet<String>,
     total_cpu_ms: f64,
+    /// Events folded into a durable [`RollupRecord`] before this index
+    /// was opened: they are part of every aggregate (counts, histograms,
+    /// gauges) but carry no in-memory log entry or postings.  Zero when
+    /// the index was built from a full scan.
+    base_len: u64,
+    /// Per-kind counts of the summarized prefix.
+    base_counts: BTreeMap<String, u64>,
 }
 
 impl AwarenessIndex {
@@ -573,32 +580,94 @@ impl AwarenessIndex {
         self.log.push(ev.clone());
     }
 
-    /// Events indexed.
+    /// Events indexed — the summarized prefix plus the in-memory tail.
     pub fn len(&self) -> usize {
-        self.log.len()
+        self.base_len as usize + self.log.len()
     }
 
     /// True when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.log.is_empty()
+        self.len() == 0
     }
 
-    /// The whole log, in sequence order.
+    /// Events folded into the rollup this index was seeded from (zero
+    /// for a full-scan index).  Postings queries ([`of_kind`],
+    /// [`for_instance`], [`for_node`], [`events`]) cover only the tail
+    /// beyond this prefix; every aggregate covers the full history.
+    ///
+    /// [`of_kind`]: AwarenessIndex::of_kind
+    /// [`for_instance`]: AwarenessIndex::for_instance
+    /// [`for_node`]: AwarenessIndex::for_node
+    /// [`events`]: AwarenessIndex::events
+    pub fn summarized(&self) -> u64 {
+        self.base_len
+    }
+
+    /// The in-memory tail of the log, in sequence order (the whole log
+    /// when [`summarized`](AwarenessIndex::summarized) is zero).
     pub fn events(&self) -> &[HistoryEvent] {
         &self.log
     }
 
-    /// How many events carry this kind label.
+    /// How many events carry this kind label, across the summarized
+    /// prefix and the tail.
     pub fn count(&self, kind: &str) -> usize {
-        self.by_kind.get(kind).map_or(0, Vec::len)
+        self.base_counts.get(kind).copied().unwrap_or(0) as usize
+            + self.by_kind.get(kind).map_or(0, Vec::len)
     }
 
-    /// `(label, count)` for every kind seen, label-sorted.
+    /// `(label, count)` for every kind seen, label-sorted, across the
+    /// summarized prefix and the tail.
     pub fn counts_by_kind(&self) -> Vec<(String, usize)> {
-        self.by_kind
+        let mut out: BTreeMap<String, usize> = self
+            .base_counts
             .iter()
-            .map(|(k, v)| (k.clone(), v.len()))
-            .collect()
+            .map(|(k, &n)| (k.clone(), n as usize))
+            .collect();
+        for (k, v) in &self.by_kind {
+            *out.entry(k.clone()).or_insert(0) += v.len();
+        }
+        out.into_iter().collect()
+    }
+
+    /// Seed an index from a durable rollup: aggregates restored, log and
+    /// postings empty (the caller ingests the tail on top).
+    fn from_rollup(r: &RollupRecord) -> AwarenessIndex {
+        AwarenessIndex {
+            run_ms: r.run_ms.clone(),
+            queue_ms: r.queue_ms.clone(),
+            in_flight: r.in_flight,
+            peak_in_flight: r.peak_in_flight,
+            nodes_down: r.nodes_down.iter().cloned().collect(),
+            nodes_quarantined: r.nodes_quarantined.iter().cloned().collect(),
+            total_cpu_ms: r.total_cpu_ms,
+            base_len: r.base,
+            base_counts: r.counts.clone(),
+            ..AwarenessIndex::default()
+        }
+    }
+
+    /// Snapshot every aggregate as a rollup covering sequence numbers
+    /// `[0, base)`.  Only valid when the index has ingested exactly the
+    /// events below `base` — which is how [`Awareness::pending_batch`]
+    /// calls it (the rollup rides the same atomic batch as the tail
+    /// events it folds in).
+    fn to_rollup(&self, base: u64) -> RollupRecord {
+        RollupRecord {
+            base,
+            counts: self
+                .counts_by_kind()
+                .into_iter()
+                .map(|(k, n)| (k, n as u64))
+                .collect(),
+            run_ms: self.run_ms.clone(),
+            queue_ms: self.queue_ms.clone(),
+            in_flight: self.in_flight,
+            peak_in_flight: self.peak_in_flight,
+            nodes_down: self.nodes_down.iter().cloned().collect(),
+            nodes_quarantined: self.nodes_quarantined.iter().cloned().collect(),
+            total_cpu_ms: self.total_cpu_ms,
+        }
     }
 
     /// Events with this kind label, in order.
@@ -664,6 +733,43 @@ fn event_key(seq: u64) -> String {
     format!("{seq:020}")
 }
 
+/// History-space key of the durable awareness rollup.  Deliberately
+/// outside the `ev/` prefix so event scans never see it; it sorts after
+/// every event key, so tail scans skip it by prefix.
+const ROLLUP_KEY: &str = "rollup";
+
+/// Default rollup cadence: fold the summary forward once this many new
+/// events have accumulated since the last rollup.
+pub const DEFAULT_ROLLUP_EVERY: u64 = 512;
+
+/// The durable aggregate summary of the event-log prefix `[0, base)`,
+/// written atomically **with** the flush batch whose events it covers —
+/// so it can never describe events the crash discarded.  Seeding an
+/// index from it plus a tail scan (`seq >= base`) reproduces every
+/// aggregate query of a full-history scan, which is what makes
+/// [`Awareness::open_tail`] O(tail) instead of O(history).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct RollupRecord {
+    /// Events with sequence number below this are summarized.
+    base: u64,
+    /// Per-kind-label event counts.
+    counts: BTreeMap<String, u64>,
+    /// Task run-time histogram.
+    run_ms: Histogram,
+    /// Queue-wait histogram.
+    queue_ms: Histogram,
+    /// Tasks dispatched but not yet resolved.
+    in_flight: u64,
+    /// High-water mark of `in_flight`.
+    peak_in_flight: u64,
+    /// Nodes believed down (sets serialize as sorted lists).
+    nodes_down: Vec<String>,
+    /// Nodes under quarantine.
+    nodes_quarantined: Vec<String>,
+    /// Total reference-CPU milliseconds charged.
+    total_cpu_ms: f64,
+}
+
 /// Append-only writer/reader for the History space, with buffered appends
 /// and the incremental [`AwarenessIndex`].
 pub struct Awareness {
@@ -671,13 +777,28 @@ pub struct Awareness {
     next_seq: u64,
     pending: Vec<(u64, HistoryEvent)>,
     index: AwarenessIndex,
+    /// Fold a fresh rollup into the next flush batch once this many
+    /// events have accumulated past `rollup_base`.
+    rollup_every: u64,
+    /// `base` of the newest durable rollup (0 = none).
+    rollup_base: u64,
+    /// `base` of the rollup included in the batch last returned by
+    /// [`pending_batch`](Awareness::pending_batch), committed by
+    /// [`confirm_flushed`](Awareness::confirm_flushed).
+    pending_rollup: Option<u64>,
+    /// Events deserialized by the most recent open — the O(tail) witness
+    /// asserted by tests and reported by benches.
+    open_scanned: u64,
 }
 
 impl Awareness {
     /// Open over a store, continuing after any existing records and
-    /// rebuilding the index from them.  A key under the event prefix that
-    /// does not parse as a sequence number is an error — resetting the
-    /// sequence to 0 would overwrite history.
+    /// rebuilding the index from a **full scan** of them.  A key under
+    /// the event prefix that does not parse as a sequence number is an
+    /// error — resetting the sequence to 0 would overwrite history.
+    ///
+    /// This is the exact, O(history) path; [`Awareness::open_tail`]
+    /// resumes from the durable rollup instead.
     pub fn open<D: Disk>(store: &Store<D>) -> Result<Self, AwarenessError> {
         let events: TypedSpace<HistoryEvent> = TypedSpace::new(Space::History, "ev/");
         let existing = Self::scan_sorted(&events, store)?;
@@ -686,12 +807,99 @@ impl Awareness {
         for (_, ev) in &existing {
             index.ingest(ev);
         }
+        // Even an exact open keeps the rollup cadence anchored so the
+        // next flush does not immediately rewrite an up-to-date summary.
+        let rollup_base = Self::read_rollup(store)?.map_or(0, |r| r.base);
         Ok(Awareness {
             events,
             next_seq,
             pending: Vec::new(),
             index,
+            rollup_every: DEFAULT_ROLLUP_EVERY,
+            rollup_base,
+            pending_rollup: None,
+            open_scanned: existing.len() as u64,
         })
+    }
+
+    /// Open over a store in **O(tail)**: seed the index from the durable
+    /// rollup, then scan and ingest only the events at or past its
+    /// `base`.  Every aggregate query (counts, histograms, gauges)
+    /// equals the full-scan answer; postings queries on the raw index
+    /// cover only the tail, and [`Awareness::of_kind`] transparently
+    /// falls back to a store scan when that matters.  With no rollup on
+    /// disk this is exactly [`Awareness::open`].
+    pub fn open_tail<D: Disk>(store: &Store<D>) -> Result<Self, AwarenessError> {
+        let Some(rollup) = Self::read_rollup(store)? else {
+            return Self::open(store);
+        };
+        let events: TypedSpace<HistoryEvent> = TypedSpace::new(Space::History, "ev/");
+        let base = rollup.base;
+        let mut index = AwarenessIndex::from_rollup(&rollup);
+        let start = format!("ev/{}", event_key(base));
+        let mut tail: Vec<(u64, HistoryEvent)> = Vec::new();
+        for (key, bytes) in store.scan_from(Space::History, &start)? {
+            // Non-event keys (the rollup itself sorts after every event
+            // key) are not ours to validate here.
+            let Some(suffix) = key.strip_prefix("ev/") else {
+                continue;
+            };
+            let seq = suffix.parse::<u64>().map_err(|_| AwarenessError::BadKey {
+                key: suffix.to_string(),
+            })?;
+            // Pre-widening 10-digit keys interleave lexicographically
+            // with 20-digit ones, so the scan can surface already-rolled
+            // -up events; the parsed value is the truth.
+            if seq < base {
+                continue;
+            }
+            let ev: HistoryEvent =
+                serde_json::from_slice(&bytes).map_err(|e| StoreError::Codec(e.to_string()))?;
+            tail.push((seq, ev));
+        }
+        tail.sort_by_key(|(seq, _)| *seq);
+        let next_seq = tail.last().map(|(seq, _)| seq + 1).unwrap_or(base);
+        let scanned = tail.len() as u64;
+        for (_, ev) in &tail {
+            index.ingest(ev);
+        }
+        Ok(Awareness {
+            events,
+            next_seq,
+            pending: Vec::new(),
+            index,
+            rollup_every: DEFAULT_ROLLUP_EVERY,
+            rollup_base: base,
+            pending_rollup: None,
+            open_scanned: scanned,
+        })
+    }
+
+    fn read_rollup<D: Disk>(store: &Store<D>) -> Result<Option<RollupRecord>, AwarenessError> {
+        match store.get(Space::History, ROLLUP_KEY)? {
+            Some(bytes) => Ok(Some(
+                serde_json::from_slice(&bytes).map_err(|e| StoreError::Codec(e.to_string()))?,
+            )),
+            None => Ok(None),
+        }
+    }
+
+    /// `base` of the newest durable rollup (0 when none exists yet).
+    pub fn rollup_base(&self) -> u64 {
+        self.rollup_base
+    }
+
+    /// Events deserialized by the open that produced this handle: the
+    /// whole history for [`Awareness::open`], only the tail for
+    /// [`Awareness::open_tail`].
+    pub fn open_scanned(&self) -> u64 {
+        self.open_scanned
+    }
+
+    /// Override the rollup cadence (tests and benches force tiny values
+    /// to exercise the rollup path constantly).
+    pub fn set_rollup_every(&mut self, every: u64) {
+        self.rollup_every = every.max(1);
     }
 
     /// Scan the durable log and sort by parsed sequence number (10- and
@@ -744,13 +952,25 @@ impl Awareness {
     /// batch (one disk append for both), then calls
     /// [`confirm_flushed`](Awareness::confirm_flushed) once the commit
     /// succeeded.  Returns `None` when nothing is buffered.
-    pub fn pending_batch(&self) -> Result<Option<Batch>, StoreError> {
+    pub fn pending_batch(&mut self) -> Result<Option<Batch>, StoreError> {
         if self.pending.is_empty() {
             return Ok(None);
         }
         let mut batch = Batch::new();
         for (seq, ev) in &self.pending {
             self.events.put_in(&mut batch, &event_key(*seq), ev)?;
+        }
+        // Rollup cadence: once enough events have accumulated past the
+        // last durable summary, fold everything up to (and including)
+        // this batch into a fresh rollup and write it in the SAME atomic
+        // batch.  A crash either keeps both the events and the summary
+        // that covers them, or neither — the rollup can never run ahead
+        // of the log it summarizes.
+        if self.next_seq - self.rollup_base >= self.rollup_every {
+            let rollup = self.index.to_rollup(self.next_seq);
+            let body = serde_json::to_vec(&rollup).map_err(StoreError::from)?;
+            batch.put(Space::History, ROLLUP_KEY, body);
+            self.pending_rollup = Some(self.next_seq);
         }
         Ok(Some(batch))
     }
@@ -759,6 +979,9 @@ impl Awareness {
     /// [`pending_batch`](Awareness::pending_batch) as durably committed.
     /// Returns how many events were confirmed.
     pub fn confirm_flushed(&mut self) -> usize {
+        if let Some(base) = self.pending_rollup.take() {
+            self.rollup_base = base;
+        }
         let n = self.pending.len();
         self.pending.clear();
         n
@@ -768,6 +991,7 @@ impl Awareness {
     /// the un-flushed tail of the current step (the index is rebuilt from
     /// the store on recovery, restoring agreement).
     pub fn discard_pending(&mut self) {
+        self.pending_rollup = None;
         self.pending.clear();
     }
 
@@ -790,13 +1014,22 @@ impl Awareness {
         Ok(seqd.into_iter().map(|(_, ev)| ev).collect())
     }
 
-    /// Events of a given kind label — answered from the index.
+    /// Events of a given kind label — answered from the index when it
+    /// holds the full log, from a store scan when the prefix was rolled
+    /// up (the index then only has the tail's postings).
     pub fn of_kind<D: Disk>(
         &self,
-        _store: &Store<D>,
+        store: &Store<D>,
         kind: &str,
     ) -> Result<Vec<HistoryEvent>, AwarenessError> {
-        Ok(self.index.of_kind(kind).into_iter().cloned().collect())
+        if self.index.summarized() == 0 {
+            return Ok(self.index.of_kind(kind).into_iter().cloned().collect());
+        }
+        Ok(self
+            .all(store)?
+            .into_iter()
+            .filter(|ev| ev.kind.label() == kind)
+            .collect())
     }
 
     /// Count by kind — the monitoring dashboards' summary query, answered
@@ -1001,5 +1234,150 @@ mod tests {
         let back: HistoryEvent =
             serde_json::from_str(&serde_json::to_string(&ev).unwrap()).unwrap();
         assert_eq!(back, ev);
+    }
+
+    #[test]
+    fn rollup_makes_reopen_o_tail_with_identical_aggregates() {
+        let disk = MemDisk::new();
+        let store = Store::open(disk.clone()).unwrap();
+        let mut aw = Awareness::open(&store).unwrap();
+        aw.set_rollup_every(16);
+        for i in 0..100u64 {
+            aw.record(
+                SimTime::from_secs(i),
+                EventKind::TaskStart {
+                    instance: i % 3,
+                    path: "A".into(),
+                    node: "n1".into(),
+                    job: i,
+                    queue_ms: i % 11,
+                },
+            );
+            aw.record(SimTime::from_secs(i), task_end("A", "n1", 5 + i % 7));
+            if i % 9 == 0 {
+                aw.record(
+                    SimTime::from_secs(i),
+                    EventKind::NodeCrash { node: "n2".into() },
+                );
+            }
+            if i % 8 == 7 {
+                aw.flush(&store).unwrap();
+            }
+        }
+        aw.flush(&store).unwrap();
+        assert!(aw.rollup_base() > 0, "cadence never produced a rollup");
+
+        let exact = Awareness::open(&store).unwrap();
+        let tail = Awareness::open_tail(&store).unwrap();
+        // O(tail): the rollup spared most of the history from being
+        // deserialized again.
+        assert_eq!(exact.open_scanned(), exact.index().len() as u64);
+        assert!(
+            tail.open_scanned() < exact.open_scanned() / 2,
+            "tail open scanned {} of {} events",
+            tail.open_scanned(),
+            exact.open_scanned()
+        );
+        assert_eq!(tail.index().summarized(), tail.rollup_base());
+
+        // Every aggregate agrees with the full scan.
+        assert_eq!(tail.index().len(), exact.index().len());
+        assert_eq!(
+            tail.index().counts_by_kind(),
+            exact.index().counts_by_kind()
+        );
+        assert_eq!(
+            tail.index().count("task.end"),
+            exact.index().count("task.end")
+        );
+        assert_eq!(tail.index().run_ms(), exact.index().run_ms());
+        assert_eq!(tail.index().queue_ms(), exact.index().queue_ms());
+        assert_eq!(tail.index().in_flight(), exact.index().in_flight());
+        assert_eq!(
+            tail.index().peak_in_flight(),
+            exact.index().peak_in_flight()
+        );
+        assert_eq!(tail.index().nodes_down(), exact.index().nodes_down());
+        assert_eq!(tail.index().total_cpu_ms(), exact.index().total_cpu_ms());
+
+        // Postings fall back to the store, so full-history queries still
+        // answer exactly.
+        let all_tail = tail.of_kind(&store, "task.end").unwrap();
+        let all_exact = exact.of_kind(&store, "task.end").unwrap();
+        assert_eq!(all_tail, all_exact);
+        assert_eq!(tail.all(&store).unwrap(), exact.all(&store).unwrap());
+
+        // And appending through the tail handle continues the sequence —
+        // no old event is overwritten.
+        let mut tail = tail;
+        tail.record(SimTime::from_secs(999), task_end("Z", "n1", 1));
+        tail.flush(&store).unwrap();
+        let reread = Awareness::open(&store).unwrap();
+        assert_eq!(reread.index().len(), exact.index().len() + 1);
+    }
+
+    #[test]
+    fn rollup_rides_the_flush_batch_atomically() {
+        let disk = MemDisk::new();
+        let store = Store::open(disk.clone()).unwrap();
+        let mut aw = Awareness::open(&store).unwrap();
+        aw.set_rollup_every(4);
+        for i in 0..6u64 {
+            aw.record(SimTime::from_secs(i), task_end("A", "n1", 10));
+        }
+        // The pending batch carries both the events and the rollup; a
+        // discarded batch must leave the durable cadence untouched.
+        assert!(aw.pending_batch().unwrap().is_some());
+        aw.discard_pending();
+        assert_eq!(aw.rollup_base(), 0);
+        assert!(Awareness::read_rollup(&store).unwrap().is_none());
+
+        // A discard models a server crash losing the un-flushed tail:
+        // recovery reopens the handle, re-records, and a real flush
+        // commits rollup and events together.
+        let mut aw = Awareness::open(&store).unwrap();
+        aw.set_rollup_every(4);
+        for i in 0..6u64 {
+            aw.record(SimTime::from_secs(i), task_end("A", "n1", 10));
+        }
+        aw.flush(&store).unwrap();
+        assert_eq!(aw.rollup_base(), 6);
+        let durable = Awareness::read_rollup(&store).unwrap().unwrap();
+        assert_eq!(durable.base, 6);
+        assert_eq!(durable.counts.get("task.end"), Some(&6));
+
+        // The rollup key is invisible to event scans.
+        let reopened = Awareness::open(&store).unwrap();
+        assert_eq!(reopened.index().len(), 6);
+        assert_eq!(reopened.rollup_base(), 6);
+    }
+
+    #[test]
+    fn legacy_narrow_keys_do_not_double_count_after_rollup() {
+        // A store written by the pre-widening engine uses 10-digit keys;
+        // those interleave lexicographically with 20-digit keys, so the
+        // tail scan must filter by parsed sequence number, not raw key.
+        let disk = MemDisk::new();
+        let store = Store::open(disk.clone()).unwrap();
+        for seq in 0..8u64 {
+            let body = format!("{{\"at\":[{seq}],\"kind\":\"old\",\"detail\":\"d{seq}\"}}");
+            store
+                .put(Space::History, format!("ev/{seq:010}"), body.into_bytes())
+                .unwrap();
+        }
+        let mut aw = Awareness::open(&store).unwrap();
+        assert_eq!(aw.index().len(), 8);
+        aw.set_rollup_every(2);
+        for i in 0..4u64 {
+            aw.record(SimTime::from_secs(i), task_end("A", "n1", 10));
+            aw.flush(&store).unwrap();
+        }
+        let tail = Awareness::open_tail(&store).unwrap();
+        let exact = Awareness::open(&store).unwrap();
+        assert_eq!(tail.index().len(), exact.index().len());
+        assert_eq!(
+            tail.index().counts_by_kind(),
+            exact.index().counts_by_kind()
+        );
     }
 }

@@ -238,7 +238,7 @@ impl<D: Disk + Clone> Runtime<D> {
             wal_bytes_threshold: cfg.compact_wal_bytes,
             min_wal_batches: 1,
         }));
-        let awareness = Awareness::open(&store)?;
+        let awareness = Awareness::open_tail(&store)?;
         // Record the hardware configuration (§3.2: configuration space).
         for node in cluster.nodes() {
             store.put(
@@ -1476,7 +1476,7 @@ impl<D: Disk + Clone> Runtime<D> {
             wal_bytes_threshold: self.cfg.compact_wal_bytes,
             min_wal_batches: 1,
         }));
-        self.awareness = Awareness::open(&self.store)?;
+        self.awareness = Awareness::open_tail(&self.store)?;
         self.server_up = true;
         let requeued = self.rebuild_from_store()?;
         self.awareness

@@ -35,7 +35,9 @@ pub mod runtime_torture;
 pub mod store_torture;
 
 pub use runtime_torture::{run_runtime_torture, RuntimeTortureOutcome};
-pub use store_torture::{run_store_torture, StoreTortureOutcome};
+pub use store_torture::{
+    run_store_torture, run_store_torture_tiered, tiny_tiered_policy, StoreTortureOutcome,
+};
 
 /// Default seed when `HARNESS_SEED` is not set.
 pub const DEFAULT_SEED: u64 = 0xB10B_0B5E;
@@ -53,8 +55,12 @@ pub fn seed_from_env(default: u64) -> u64 {
 pub struct TortureReport {
     /// The seed every schedule was derived from.
     pub seed: u64,
-    /// Store-workload enumeration outcome.
+    /// Store-workload enumeration outcome (untiered snapshot + WAL engine).
     pub store: StoreTortureOutcome,
+    /// Store-workload enumeration outcome under a tiny tiered policy, so
+    /// crash points inside memtable spills and run merge compactions are
+    /// part of the enumeration.
+    pub store_tiered: StoreTortureOutcome,
     /// Runtime all-vs-all outcome.
     pub runtime: RuntimeTortureOutcome,
 }
@@ -65,6 +71,7 @@ impl TortureReport {
         self.store
             .violations
             .iter()
+            .chain(self.store_tiered.violations.iter())
             .chain(self.runtime.violations.iter())
             .map(String::as_str)
             .collect()
@@ -72,7 +79,9 @@ impl TortureReport {
 
     /// True when no invariant was violated.
     pub fn is_clean(&self) -> bool {
-        self.store.violations.is_empty() && self.runtime.violations.is_empty()
+        self.store.violations.is_empty()
+            && self.store_tiered.violations.is_empty()
+            && self.runtime.violations.is_empty()
     }
 
     /// Human-readable multi-line summary.
@@ -80,6 +89,7 @@ impl TortureReport {
         format!(
             "torture harness HARNESS_SEED={}\n\
              \x20 store:   {} mutations, {} crash cases, {} recovery double-crash cases, {} bit-flip cases\n\
+             \x20 tiered:  {} mutations, {} crash cases, {} recovery double-crash cases, {} bit-flip cases\n\
              \x20 runtime: {} mutations, {} crash cases, {} recovery double-crash cases\n\
              \x20 violations: {}",
             self.seed,
@@ -87,6 +97,10 @@ impl TortureReport {
             self.store.cases,
             self.store.recovery_cases,
             self.store.bitflip_cases,
+            self.store_tiered.mutations,
+            self.store_tiered.cases,
+            self.store_tiered.recovery_cases,
+            self.store_tiered.bitflip_cases,
             self.runtime.mutations,
             self.runtime.cases,
             self.runtime.recovery_cases,
@@ -111,6 +125,7 @@ pub fn run_full(
     TortureReport {
         seed,
         store: run_store_torture(seed, store_limit),
+        store_tiered: run_store_torture_tiered(seed, store_limit),
         runtime: run_runtime_torture(seed, runtime_samples, recovery_samples),
     }
 }

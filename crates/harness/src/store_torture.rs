@@ -5,7 +5,14 @@
 //! exact number of disk mutations.  Every mutation index is then re-run as
 //! a crash point under each [`CrashEffect`], optionally with a *second*
 //! crash injected during the recovery replay, plus a pass of at-rest
-//! bit-flip corruption of the persisted WAL.
+//! bit-flip corruption of the persisted WAL (and, in tiered mode, of the
+//! sorted-run files).
+//!
+//! The pass runs in two configurations: the untiered snapshot + WAL engine
+//! ([`run_store_torture`]) and the tiered engine under a deliberately tiny
+//! memtable budget ([`run_store_torture_tiered`]), whose probe trace pulls
+//! every spill and run-merge disk write — run-file writes, manifest
+//! commits, stale WAL/snapshot/run deletions — into the enumeration.
 //!
 //! After every injected fault the invariants are:
 //!
@@ -20,7 +27,9 @@
 //!   (torn tail) or a typed corruption error — never a panic, never a
 //!   partial batch.
 
-use bioopera_store::{Batch, CrashEffect, Disk, FaultPlan, MemDisk, Space, Store, StoreError};
+use bioopera_store::{
+    Batch, CrashEffect, Disk, FaultPlan, MemDisk, Space, Store, StoreError, TieredPolicy,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
@@ -28,6 +37,18 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Reference model of the logical store contents: `(space, key) -> value`.
 type Model = BTreeMap<(u8, String), Vec<u8>>;
+
+/// Tiny tiered policy for the tiered torture pass: the memtable budget is
+/// small enough that the scripted workload spills every few batches, and
+/// the merge threshold low enough that run compactions fire repeatedly —
+/// so run-file writes, manifest updates and stale-file deletions all land
+/// inside the crash-point enumeration.
+pub fn tiny_tiered_policy() -> TieredPolicy {
+    TieredPolicy {
+        memtable_budget_bytes: 512,
+        run_merge_threshold: 2,
+    }
+}
 
 /// One scripted operation.
 #[derive(Debug, Clone)]
@@ -163,9 +184,9 @@ fn dump(store: &Store<MemDisk>) -> Result<Model, String> {
 }
 
 /// Crash-free probe: runs the script and returns the mutation count.
-fn probe(steps: &[Step]) -> u64 {
+fn probe(steps: &[Step], tiered: Option<TieredPolicy>) -> u64 {
     let disk = MemDisk::new();
-    let store = Store::open(disk.clone()).expect("probe open");
+    let store = Store::open_with(disk.clone(), tiered).expect("probe open");
     for step in steps {
         match step {
             Step::Apply(ops) => store.apply(to_batch(ops)).expect("probe apply"),
@@ -185,13 +206,14 @@ fn store_case(
     crash_index: u64,
     effect: CrashEffect,
     recovery_crash: Option<u64>,
+    tiered: Option<TieredPolicy>,
 ) -> Result<(), String> {
     let disk = MemDisk::new();
     disk.set_fault_plan(Some(FaultPlan::at_mutation(crash_index, effect)));
 
     let mut acked = 0usize;
     let mut crashed = false;
-    match Store::open(disk.clone()) {
+    match Store::open_with(disk.clone(), tiered) {
         Ok(store) => {
             for step in steps {
                 let res = match step {
@@ -235,13 +257,14 @@ fn store_case(
     // reboot + reopen must still succeed.
     if let Some(r) = recovery_crash {
         disk.set_fault_plan(Some(FaultPlan::at_mutation(r, CrashEffect::Drop)));
-        match Store::open(disk.clone()) {
+        match Store::open_with(disk.clone(), tiered) {
             Ok(_) => disk.set_fault_plan(None),
             Err(_) => disk.reboot(),
         }
     }
 
-    let store = Store::open(disk.clone()).map_err(|e| format!("reopen after crash failed: {e}"))?;
+    let store = Store::open_with(disk.clone(), tiered)
+        .map_err(|e| format!("reopen after crash failed: {e}"))?;
     let got = dump(&store)?;
 
     // Durability: all acknowledged batches present.  Atomicity: the state
@@ -286,7 +309,7 @@ fn store_case(
 
     // The converged state must survive one further clean reopen.
     drop(store);
-    let store = Store::open(disk).map_err(|e| format!("final reopen failed: {e}"))?;
+    let store = Store::open_with(disk, tiered).map_err(|e| format!("final reopen failed: {e}"))?;
     if dump(&store)? != *oracle {
         return Err("converged state lost across a clean reopen".into());
     }
@@ -302,9 +325,10 @@ fn bitflip_case(
     prefix_steps: usize,
     offset_pick: u64,
     bit: u32,
+    tiered: Option<TieredPolicy>,
 ) -> Result<(), String> {
     let disk = MemDisk::new();
-    let store = Store::open(disk.clone()).map_err(|e| format!("open failed: {e}"))?;
+    let store = Store::open_with(disk.clone(), tiered).map_err(|e| format!("open failed: {e}"))?;
     let mut batches_done = 0usize;
     for step in steps.iter().take(prefix_steps) {
         match step {
@@ -321,31 +345,58 @@ fn bitflip_case(
     }
     drop(store);
 
+    // Corruptible files: the live WAL and (in tiered mode) sorted runs.
     // Right after a compaction the new WAL does not exist yet (it is
-    // created lazily by the next append) — nothing to corrupt then.
-    let Some(wal) = disk
+    // created lazily by the next append) — the run files are then the only
+    // persisted payload.
+    let mut candidates: Vec<String> = disk
         .list()
         .map_err(|e| format!("list failed: {e}"))?
         .into_iter()
-        .find(|n| n.starts_with("wal-"))
-    else {
-        return Ok(());
-    };
-    let len = disk.file_len(&wal).unwrap_or(0);
-    if len == 0 {
+        .filter(|n| n.starts_with("wal-") || n.starts_with("run-"))
+        .collect();
+    candidates.sort();
+    candidates.retain(|n| disk.file_len(n).unwrap_or(0) > 0);
+    if candidates.is_empty() {
         return Ok(());
     }
-    let offset = (offset_pick % len as u64) as usize;
-    if !disk.corrupt_byte(&wal, offset, 1u8 << (bit % 8)) {
-        return Err(format!("corrupt_byte refused offset {offset} of {wal}"));
+    let victim = &candidates[(offset_pick % candidates.len() as u64) as usize];
+    let len = disk.file_len(victim).unwrap_or(0);
+    let offset = ((offset_pick / candidates.len() as u64) % len as u64) as usize;
+    if !disk.corrupt_byte(victim, offset, 1u8 << (bit % 8)) {
+        return Err(format!("corrupt_byte refused offset {offset} of {victim}"));
     }
 
-    match Store::open(disk) {
+    match Store::open_with(disk.clone(), tiered) {
         Ok(store) => {
-            let got = dump(&store)?;
-            if !prefixes[..=batches_done].contains(&got) {
+            // A flipped run data block is only read lazily, so the
+            // corruption may surface as a typed error at scan time rather
+            // than at open; both are acceptable, a panic or a silently
+            // wrong state is not.
+            let mut got = Model::new();
+            let mut typed_corruption = false;
+            'spaces: for space in Space::ALL {
+                match store.scan_prefix(space, "") {
+                    Ok(kvs) => {
+                        for (k, v) in kvs {
+                            got.insert((space as u8, k), v.to_vec());
+                        }
+                    }
+                    Err(StoreError::Corruption(_)) => {
+                        typed_corruption = true;
+                        break 'spaces;
+                    }
+                    Err(e) => {
+                        return Err(format!(
+                            "unexpected scan error after flipping bit {bit} at byte {offset} \
+                             of {victim}: {e}"
+                        ))
+                    }
+                }
+            }
+            if !typed_corruption && !prefixes[..=batches_done].contains(&got) {
                 return Err(format!(
-                    "state after flipping bit {bit} at byte {offset} of {wal} \
+                    "state after flipping bit {bit} at byte {offset} of {victim} \
                      is not a whole-batch prefix"
                 ));
             }
@@ -353,7 +404,7 @@ fn bitflip_case(
         Err(StoreError::Corruption(_)) => {} // typed, acceptable
         Err(e) => {
             return Err(format!(
-                "unexpected error kind after flipping bit {bit} at byte {offset} of {wal}: {e}"
+                "unexpected error kind after flipping bit {bit} at byte {offset} of {victim}: {e}"
             ))
         }
     }
@@ -378,15 +429,36 @@ fn run_case(violations: &mut Vec<String>, tag: String, case: impl FnOnce() -> Re
     }
 }
 
-/// Full store torture pass.
+/// Full store torture pass over the untiered (snapshot + WAL) engine.
 ///
 /// With `limit == None` every mutation index of the probe run becomes a
 /// crash point; otherwise a seeded sample of `limit` indices (always
 /// including the first and last) is used.
 pub fn run_store_torture(seed: u64, limit: Option<usize>) -> StoreTortureOutcome {
+    run_store_torture_with(seed, limit, None)
+}
+
+/// Full store torture pass over the **tiered** engine.
+///
+/// Same scripted workload and invariants as [`run_store_torture`], but the
+/// store runs under [`tiny_tiered_policy`], so the crash-free probe's
+/// mutation trace — and therefore the enumerated crash points — includes
+/// every disk write of memtable spills (run write, manifest commit,
+/// stale WAL/snapshot deletion) and of run merge compactions (merged-run
+/// write, manifest rewrite, input-run deletions).  Bit-flip cases corrupt
+/// sorted-run files as well as the WAL.
+pub fn run_store_torture_tiered(seed: u64, limit: Option<usize>) -> StoreTortureOutcome {
+    run_store_torture_with(seed, limit, Some(tiny_tiered_policy()))
+}
+
+fn run_store_torture_with(
+    seed: u64,
+    limit: Option<usize>,
+    tiered: Option<TieredPolicy>,
+) -> StoreTortureOutcome {
     let steps = scripted_workload(seed);
     let prefixes = prefix_models(&steps);
-    let mutations = probe(&steps);
+    let mutations = probe(&steps, tiered);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
 
     let crash_indices: Vec<u64> = match limit {
@@ -422,8 +494,11 @@ pub fn run_store_torture(seed: u64, limit: Option<usize>) -> StoreTortureOutcome
             out.cases += 1;
             run_case(
                 &mut out.violations,
-                format!("HARNESS_SEED={seed} crash-index={k} effect={effect:?}"),
-                || store_case(&steps, &prefixes, k, effect, None),
+                format!(
+                    "HARNESS_SEED={seed} tiered={} crash-index={k} effect={effect:?}",
+                    tiered.is_some()
+                ),
+                || store_case(&steps, &prefixes, k, effect, None, tiered),
             );
         }
         // Second crash during the recovery replay/GC of the torn-write image.
@@ -432,8 +507,12 @@ pub fn run_store_torture(seed: u64, limit: Option<usize>) -> StoreTortureOutcome
             let effect = CrashEffect::Torn { keep: torn_keep };
             run_case(
                 &mut out.violations,
-                format!("HARNESS_SEED={seed} crash-index={k} effect={effect:?} recovery-crash={r}"),
-                || store_case(&steps, &prefixes, k, effect, Some(r)),
+                format!(
+                    "HARNESS_SEED={seed} tiered={} crash-index={k} effect={effect:?} \
+                     recovery-crash={r}",
+                    tiered.is_some()
+                ),
+                || store_case(&steps, &prefixes, k, effect, Some(r), tiered),
             );
         }
     }
@@ -450,10 +529,11 @@ pub fn run_store_torture(seed: u64, limit: Option<usize>) -> StoreTortureOutcome
         run_case(
             &mut out.violations,
             format!(
-                "HARNESS_SEED={seed} bit-flip prefix-steps={prefix_steps} \
-                 offset-pick={offset_pick} bit={bit}"
+                "HARNESS_SEED={seed} tiered={} bit-flip prefix-steps={prefix_steps} \
+                 offset-pick={offset_pick} bit={bit}",
+                tiered.is_some()
             ),
-            || bitflip_case(&steps, &prefixes, prefix_steps, offset_pick, bit),
+            || bitflip_case(&steps, &prefixes, prefix_steps, offset_pick, bit, tiered),
         );
     }
 

@@ -2,13 +2,49 @@
 //! `HARNESS_SEED`/crash-index pair that reproduces it:
 //! `HARNESS_SEED=<seed> cargo test -p bioopera-harness`.
 
-use bioopera_harness::{run_runtime_torture, run_store_torture, seed_from_env, DEFAULT_SEED};
+use bioopera_harness::{
+    run_runtime_torture, run_store_torture, run_store_torture_tiered, seed_from_env, DEFAULT_SEED,
+};
 
 #[test]
 fn store_full_crash_point_enumeration_holds_all_invariants() {
     let seed = seed_from_env(DEFAULT_SEED);
     let out = run_store_torture(seed, None);
     assert!(out.mutations > 25, "workload too small to be interesting");
+    assert!(
+        out.violations.is_empty(),
+        "{} violations (first: {})",
+        out.violations.len(),
+        out.violations[0]
+    );
+}
+
+#[test]
+fn tiered_store_full_crash_point_enumeration_holds_all_invariants() {
+    let seed = seed_from_env(DEFAULT_SEED);
+    let tiered = run_store_torture_tiered(seed, None);
+    let untiered = run_store_torture(seed, None);
+    // The tiny memtable budget must actually pull spill and run-merge disk
+    // writes into the trace: the same script costs strictly more mutations
+    // than under the untiered engine.
+    assert!(
+        tiered.mutations > untiered.mutations + 8,
+        "tiered probe added no spill/merge mutations ({} vs {})",
+        tiered.mutations,
+        untiered.mutations
+    );
+    assert!(
+        tiered.violations.is_empty(),
+        "{} violations (first: {})",
+        tiered.violations.len(),
+        tiered.violations[0]
+    );
+}
+
+#[test]
+fn tiered_store_enumeration_holds_under_an_alternate_seed() {
+    let seed = seed_from_env(DEFAULT_SEED) ^ 0x7E1E_57A7;
+    let out = run_store_torture_tiered(seed, Some(10));
     assert!(
         out.violations.is_empty(),
         "{} violations (first: {})",

@@ -35,6 +35,22 @@ pub trait Disk: Send + Sync {
     fn list(&self) -> StoreResult<Vec<String>>;
     /// Delete `name` if it exists.
     fn delete(&self, name: &str) -> StoreResult<()>;
+    /// Read `len` bytes of `name` starting at `offset` (clamped to the
+    /// file's end), or `None` if the file does not exist.  Backends
+    /// should override the whole-file default with a real ranged read —
+    /// this is what keeps sorted-run block lookups O(block), not
+    /// O(file).
+    fn read_range(&self, name: &str, offset: u64, len: usize) -> StoreResult<Option<Vec<u8>>> {
+        Ok(self.read(name)?.map(|data| {
+            let start = (offset as usize).min(data.len());
+            let end = start.saturating_add(len).min(data.len());
+            data[start..end].to_vec()
+        }))
+    }
+    /// Size of `name` in bytes, or `None` if it does not exist.
+    fn file_size(&self, name: &str) -> StoreResult<Option<u64>> {
+        Ok(self.read(name)?.map(|d| d.len() as u64))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -105,6 +121,30 @@ impl Disk for FileDisk {
         match std::fs::remove_file(self.path(name)) {
             Ok(()) => Ok(()),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn read_range(&self, name: &str, offset: u64, len: usize) -> StoreResult<Option<Vec<u8>>> {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut f = match std::fs::File::open(self.path(name)) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let size = f.metadata()?.len();
+        let start = offset.min(size);
+        let take = (len as u64).min(size - start);
+        f.seek(SeekFrom::Start(start))?;
+        let mut buf = vec![0u8; take as usize];
+        f.read_exact(&mut buf)?;
+        Ok(Some(buf))
+    }
+
+    fn file_size(&self, name: &str) -> StoreResult<Option<u64>> {
+        match std::fs::metadata(self.path(name)) {
+            Ok(m) => Ok(Some(m.len())),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
             Err(e) => Err(e.into()),
         }
     }
@@ -186,6 +226,8 @@ struct MemDiskState {
     files: BTreeMap<String, Vec<u8>>,
     appended: u64,
     mutations: u64,
+    read_ops: u64,
+    read_bytes: u64,
     plan: Option<FaultPlan>,
 }
 
@@ -260,6 +302,30 @@ impl MemDisk {
         self.state.lock().files.get(name).map(Vec::len)
     }
 
+    /// Bytes handed out by `read`/`read_range` since creation.  Together
+    /// with [`MemDisk::read_op_count`] this lets a test prove an open
+    /// path is O(tail): the reopen's read-byte delta must stay far below
+    /// the total on-disk footprint.
+    pub fn bytes_read(&self) -> u64 {
+        self.state.lock().read_bytes
+    }
+
+    /// Read operations (`read` + `read_range` + `file_size`) since
+    /// creation.
+    pub fn read_op_count(&self) -> u64 {
+        self.state.lock().read_ops
+    }
+
+    /// Total bytes currently persisted across all files.
+    pub fn total_file_bytes(&self) -> u64 {
+        self.state
+            .lock()
+            .files
+            .values()
+            .map(|f| f.len() as u64)
+            .sum()
+    }
+
     fn check_alive(&self) -> StoreResult<()> {
         if self.has_crashed() {
             Err(StoreError::SimulatedCrash)
@@ -292,7 +358,11 @@ fn fault_fires(st: &MemDiskState, append_len: Option<u64>) -> Option<CrashEffect
 impl Disk for MemDisk {
     fn read(&self, name: &str) -> StoreResult<Option<Vec<u8>>> {
         self.check_alive()?;
-        Ok(self.state.lock().files.get(name).cloned())
+        let mut st = self.state.lock();
+        let data = st.files.get(name).cloned();
+        st.read_ops += 1;
+        st.read_bytes += data.as_ref().map_or(0, |d| d.len() as u64);
+        Ok(data)
     }
 
     fn write_atomic(&self, name: &str, data: &[u8]) -> StoreResult<()> {
@@ -372,6 +442,29 @@ impl Disk for MemDisk {
         }
         st.files.remove(name);
         Ok(())
+    }
+
+    fn read_range(&self, name: &str, offset: u64, len: usize) -> StoreResult<Option<Vec<u8>>> {
+        self.check_alive()?;
+        let mut st = self.state.lock();
+        st.read_ops += 1;
+        let out = {
+            let Some(data) = st.files.get(name) else {
+                return Ok(None);
+            };
+            let start = (offset as usize).min(data.len());
+            let end = start.saturating_add(len).min(data.len());
+            data[start..end].to_vec()
+        };
+        st.read_bytes += out.len() as u64;
+        Ok(Some(out))
+    }
+
+    fn file_size(&self, name: &str) -> StoreResult<Option<u64>> {
+        self.check_alive()?;
+        let mut st = self.state.lock();
+        st.read_ops += 1;
+        Ok(st.files.get(name).map(|d| d.len() as u64))
     }
 }
 

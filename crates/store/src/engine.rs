@@ -1,36 +1,50 @@
-//! The storage engine proper: record spaces, atomic batches, snapshots.
+//! The storage engine proper: record spaces, atomic batches, snapshots,
+//! and the bounded-memory sorted-run tier.
 //!
-//! A [`Store`] keeps the full record set in memory (a `BTreeMap` per space)
-//! and makes every mutation durable through the WAL before applying it.
-//! [`Store::compact`] rolls the log into a snapshot so that recovery time and
-//! disk usage stay bounded over month-long runs.
+//! A [`Store`] keeps the hot record set in memory (a `BTreeMap` per
+//! space) and makes every mutation durable through the WAL before
+//! applying it.  Without a [`TieredPolicy`] the memtables hold
+//! everything and [`Store::compact`] rolls the log into a snapshot —
+//! the pre-tiering behavior, byte-for-byte.  With a policy installed,
+//! a memtable set that outgrows its budget **spills** to an immutable
+//! sorted-run file ([`crate::runs`]); reads then check memtable → runs
+//! newest-to-oldest (bloom filters skip runs that cannot hold the key),
+//! and once enough runs accumulate a crash-safe merge compaction folds
+//! them into one and drops tombstones.
 //!
 //! # Locking model
 //!
-//! The engine splits its state in two so readers never contend with the
-//! disk:
+//! The engine splits its state in three so readers never contend with
+//! the disk:
 //!
-//! * `wal: Mutex<WalState>` — the disk handle, epoch and WAL counters.
-//!   Only writers (`apply`, `apply_many`, `compact`) take it.
+//! * `wal: Mutex<WalState>` — the disk handle, epoch, WAL counters and
+//!   tier bookkeeping.  Only writers (`apply`, `apply_many`, `compact`,
+//!   spill/merge) take it.
 //! * `mem: RwLock<MemTables>` — the four per-space memtables.  Readers
 //!   (`get`, `scan_prefix`, `len`) take only the read lock; a write lock
 //!   is held just for the in-memory application of an already-durable
 //!   batch.
+//! * `tiers: RwLock<Vec<Run>>` — the opened sorted runs, oldest first.
 //!
-//! Writers acquire `wal` first and keep holding it while they take the
-//! `mem` write lock, so the order in which batches become durable in the
-//! WAL is exactly the order in which they become visible — recovery can
-//! never disagree with what a reader observed.  Frame encoding happens
-//! *before* any lock is taken.
+//! Lock order is always `wal` → `mem` → `tiers`.  Writers acquire `wal`
+//! first and keep holding it while they take the `mem` write lock, so
+//! the order in which batches become durable in the WAL is exactly the
+//! order in which they become visible — recovery can never disagree
+//! with what a reader observed.  Readers hold their `mem` read guard
+//! across the `tiers` lookup, so a spill (which takes both write locks
+//! before clearing the memtable and publishing the new run) is atomic
+//! from a reader's point of view.  Frame encoding happens *before* any
+//! lock is taken.
 
 use crate::disk::Disk;
 use crate::error::{StoreError, StoreResult};
+use crate::runs::{self, parse_run_name, run_name, Run, RunEntry};
 use crate::wal::{self, WalOp, WalOpRef};
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::ops::Bound;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// The four persistent spaces of the BioOpera data layer (paper §3.2).
@@ -149,6 +163,20 @@ pub struct StoreStats {
     pub recovered_torn_tail: bool,
     /// Bytes of torn tail the last open discarded.
     pub recovered_truncated_bytes: u64,
+    /// Sorted runs currently on disk.
+    pub runs: usize,
+    /// Estimated resident bytes in the memtables (keys + values +
+    /// per-entry overhead) — what a [`TieredPolicy`] budget bounds.
+    pub memtable_bytes: u64,
+    /// Memtable spills performed by this handle since open.
+    pub spills: u64,
+    /// Run merge compactions performed by this handle since open.
+    pub run_merges: u64,
+    /// Run lookups answered "definitely absent" by a bloom filter alone
+    /// (no disk read).
+    pub bloom_skips: u64,
+    /// Run lookups that had to read a data block.
+    pub run_probes: u64,
 }
 
 /// When to roll the WAL into a snapshot automatically.  Installed with
@@ -177,9 +205,58 @@ impl Default for CompactionPolicy {
     }
 }
 
-/// Everything a writer needs: the disk plus WAL/epoch accounting.
+/// Bounded-memory tiering: once the memtables' estimated resident size
+/// exceeds `memtable_budget_bytes`, the commit that crossed the budget
+/// spills them to a sorted-run file; once `run_merge_threshold` runs
+/// exist they are merged into one (dropping tombstones).
+///
+/// With no tiered policy installed (the default) the store behaves —
+/// and lays bytes down — exactly as the pre-tiering engine, unless runs
+/// already exist on disk from an earlier tiered session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TieredPolicy {
+    /// Spill once the memtables' estimated bytes exceed this.
+    pub memtable_budget_bytes: u64,
+    /// Merge all runs into one once this many exist.
+    pub run_merge_threshold: usize,
+}
+
+impl Default for TieredPolicy {
+    fn default() -> Self {
+        TieredPolicy {
+            memtable_budget_bytes: 4 * 1024 * 1024,
+            run_merge_threshold: 4,
+        }
+    }
+}
+
+impl TieredPolicy {
+    /// Policy requested through the environment, if any:
+    /// `BIOOPERA_MEMTABLE_BUDGET` (bytes) enables tiering, and
+    /// `BIOOPERA_RUN_MERGE` optionally overrides the merge threshold.
+    /// This is how the test suite forces constant spilling across the
+    /// whole workspace without touching call sites.
+    pub fn from_env() -> Option<TieredPolicy> {
+        let budget = std::env::var("BIOOPERA_MEMTABLE_BUDGET")
+            .ok()?
+            .trim()
+            .parse()
+            .ok()?;
+        let merge = std::env::var("BIOOPERA_RUN_MERGE")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(TieredPolicy::default().run_merge_threshold);
+        Some(TieredPolicy {
+            memtable_budget_bytes: budget,
+            run_merge_threshold: merge.max(2),
+        })
+    }
+}
+
+/// Everything a writer needs: the disk plus WAL/epoch accounting and
+/// tier bookkeeping.
 struct WalState<D: Disk> {
-    disk: D,
+    disk: Arc<D>,
     epoch: u64,
     wal_bytes: u64,
     batches_applied: u64,
@@ -187,6 +264,16 @@ struct WalState<D: Disk> {
     recovered_torn_tail: bool,
     recovered_truncated_bytes: u64,
     policy: Option<CompactionPolicy>,
+    tiered: Option<TieredPolicy>,
+    /// Id of the next run file this handle will write.
+    next_run_id: u64,
+    /// Per-space live-record counts of the *runs-only* view — what the
+    /// MANIFEST persists, so reopen can seed `MemTables::live` without
+    /// scanning run data.  Updated only at spill time (when runs-view
+    /// == full view); merges preserve it.
+    tier_live: [usize; 4],
+    spills: u64,
+    run_merges: u64,
 }
 
 impl<D: Disk> WalState<D> {
@@ -197,38 +284,155 @@ impl<D: Disk> WalState<D> {
     }
 }
 
-/// The four per-space memtables.  Keys are plain `String`s so lookups can
-/// borrow the caller's `&str` (no per-`get` allocation) and `len` is the
-/// map's O(1) length.
-#[derive(Default)]
-struct MemTables {
-    spaces: [BTreeMap<String, Bytes>; 4],
+/// Estimated resident cost of one memtable entry (`None` value = a
+/// tombstone).  The constant overhead stands in for the `BTreeMap` node
+/// and `Bytes` handle.
+const ENTRY_OVERHEAD: u64 = 48;
+
+fn entry_cost(key_len: usize, value_len: usize) -> u64 {
+    key_len as u64 + value_len as u64 + ENTRY_OVERHEAD
 }
 
-impl MemTables {
-    fn apply_ops(&mut self, ops: Vec<WalOp>) {
-        for op in ops {
-            match op {
-                WalOp::Put { space, key, value } => {
-                    // Unknown space tags can only come from a corrupted
-                    // frame that still passed its CRC; drop them rather
-                    // than panic — they were never addressable anyway.
-                    if let Some(map) = self.spaces.get_mut(space as usize) {
-                        map.insert(key, value);
+/// Read-path counters that live outside the WAL lock (readers bump them
+/// without serializing on writers).
+#[derive(Default)]
+struct TierMetrics {
+    bloom_skips: AtomicU64,
+    run_probes: AtomicU64,
+}
+
+/// Look `key` up in the runs, newest to oldest.  `Ok(None)` — in no
+/// run; `Ok(Some(None))` — newest occurrence is a tombstone;
+/// `Ok(Some(Some(v)))` — newest occurrence is live.
+fn runs_lookup<D: Disk>(
+    tiers: &[Run],
+    disk: &D,
+    metrics: &TierMetrics,
+    space: u8,
+    key: &str,
+) -> StoreResult<Option<Option<Bytes>>> {
+    for run in tiers.iter().rev() {
+        if !run.may_contain(space, key) {
+            metrics.bloom_skips.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        metrics.run_probes.fetch_add(1, Ordering::Relaxed);
+        if let Some(hit) = run.get(disk, space, key)? {
+            return Ok(Some(hit));
+        }
+    }
+    Ok(None)
+}
+
+/// The four per-space memtables.  Keys are plain `String`s so lookups
+/// can borrow the caller's `&str` (no per-`get` allocation).  A `None`
+/// value is a **tombstone**: the key exists in an older run but has
+/// been deleted; tombstones only appear while runs exist.  `live`
+/// tracks the per-space count of the merged (memtable ∪ runs) view so
+/// `len` stays O(1) even with tombstones in play.
+#[derive(Default)]
+struct MemTables {
+    spaces: [BTreeMap<String, Option<Bytes>>; 4],
+    live: [usize; 4],
+    /// Estimated resident bytes — what the spill budget is checked
+    /// against.
+    approx_bytes: u64,
+}
+
+/// What the memtable knew about a key before an op, with borrows
+/// dropped so the caller can mutate.
+enum Prior {
+    Live(usize),
+    Tombstone,
+    Absent,
+}
+
+/// Apply a durable batch to the memtables, maintaining the live counts
+/// against the run tier.  Fallible only because resolving whether an
+/// absent key is live in a run may read run blocks (bloom-gated; always
+/// infallible and free when `tiers` is empty).
+fn apply_ops_tiered<D: Disk>(
+    mem: &mut MemTables,
+    tiers: &[Run],
+    disk: &D,
+    metrics: &TierMetrics,
+    ops: Vec<WalOp>,
+) -> StoreResult<()> {
+    for op in ops {
+        match op {
+            WalOp::Put { space, key, value } => {
+                // Unknown space tags can only come from a corrupted
+                // frame that still passed its CRC; drop them rather
+                // than panic — they were never addressable anyway.
+                let si = space as usize;
+                if si >= 4 {
+                    continue;
+                }
+                let prior = match mem.spaces[si].get(&key) {
+                    Some(Some(v)) => Prior::Live(v.len()),
+                    Some(None) => Prior::Tombstone,
+                    None => Prior::Absent,
+                };
+                match prior {
+                    Prior::Live(vlen) => {
+                        mem.approx_bytes -= entry_cost(key.len(), vlen);
+                    }
+                    Prior::Tombstone => {
+                        mem.approx_bytes -= entry_cost(key.len(), 0);
+                        mem.live[si] += 1;
+                    }
+                    Prior::Absent => {
+                        let live_in_runs = !tiers.is_empty()
+                            && runs_lookup(tiers, disk, metrics, space, &key)?
+                                .is_some_and(|v| v.is_some());
+                        if !live_in_runs {
+                            mem.live[si] += 1;
+                        }
                     }
                 }
-                WalOp::Delete { space, key } => {
-                    if let Some(map) = self.spaces.get_mut(space as usize) {
-                        map.remove(&key);
+                mem.approx_bytes += entry_cost(key.len(), value.len());
+                mem.spaces[si].insert(key, Some(value));
+            }
+            WalOp::Delete { space, key } => {
+                let si = space as usize;
+                if si >= 4 {
+                    continue;
+                }
+                let prior = match mem.spaces[si].get(&key) {
+                    Some(Some(v)) => Prior::Live(v.len()),
+                    Some(None) => Prior::Tombstone,
+                    None => Prior::Absent,
+                };
+                match prior {
+                    Prior::Live(vlen) => {
+                        mem.approx_bytes -= entry_cost(key.len(), vlen);
+                        mem.live[si] -= 1;
+                        // A tombstone is only worth keeping if some run
+                        // might still surface the key (bloom check, no
+                        // I/O); otherwise plain removal suffices.
+                        if tiers.iter().any(|r| r.may_contain(space, &key)) {
+                            mem.approx_bytes += entry_cost(key.len(), 0);
+                            mem.spaces[si].insert(key, None);
+                        } else {
+                            mem.spaces[si].remove(&key);
+                        }
+                    }
+                    Prior::Tombstone => {} // already deleted
+                    Prior::Absent => {
+                        let live_in_runs = !tiers.is_empty()
+                            && runs_lookup(tiers, disk, metrics, space, &key)?
+                                .is_some_and(|v| v.is_some());
+                        if live_in_runs {
+                            mem.live[si] -= 1;
+                            mem.approx_bytes += entry_cost(key.len(), 0);
+                            mem.spaces[si].insert(key, None);
+                        }
                     }
                 }
             }
         }
     }
-
-    fn records(&self) -> usize {
-        self.spaces.iter().map(BTreeMap::len).sum()
-    }
+    Ok(())
 }
 
 /// The storage engine.  Cheap to clone (shared handle); all methods are
@@ -236,6 +440,9 @@ impl MemTables {
 pub struct Store<D: Disk> {
     wal: Arc<Mutex<WalState<D>>>,
     mem: Arc<RwLock<MemTables>>,
+    tiers: Arc<RwLock<Vec<Run>>>,
+    disk: Arc<D>,
+    metrics: Arc<TierMetrics>,
     poisoned: Arc<AtomicBool>,
 }
 
@@ -244,6 +451,9 @@ impl<D: Disk> Clone for Store<D> {
         Store {
             wal: Arc::clone(&self.wal),
             mem: Arc::clone(&self.mem),
+            tiers: Arc::clone(&self.tiers),
+            disk: Arc::clone(&self.disk),
+            metrics: Arc::clone(&self.metrics),
             poisoned: Arc::clone(&self.poisoned),
         }
     }
@@ -264,34 +474,154 @@ const MANIFEST: &str = "MANIFEST";
 /// earlier engine versions used the same chunking).
 const SNAPSHOT_CHUNK: usize = 1024;
 
-impl<D: Disk> Store<D> {
-    /// Open a store on `disk`, running crash recovery: load the newest
-    /// committed snapshot, then replay the live WAL, discarding any torn
-    /// tail left by a crash.
-    pub fn open(disk: D) -> StoreResult<Self> {
-        let epoch = match disk.read(MANIFEST)? {
-            Some(bytes) => {
-                let text = String::from_utf8(bytes)
-                    .map_err(|_| StoreError::Corruption("manifest not utf-8".into()))?;
-                text.trim()
-                    .parse::<u64>()
-                    .map_err(|_| StoreError::Corruption("manifest not a number".into()))?
-            }
-            None => 0,
-        };
+/// Parsed MANIFEST contents.
+struct ManifestState {
+    epoch: u64,
+    tier_live: [usize; 4],
+    run_names: Vec<String>,
+}
 
-        let mut mem = MemTables::default();
+/// Serialize the manifest.  With no runs the output is the bare epoch
+/// digits — **byte-identical** to what every pre-tiering engine version
+/// wrote, so a store that never spills produces an unchanged directory.
+/// With runs, extra lines follow: `live t i c h` (per-space live counts
+/// of the runs-only view) and one `run <name>` line per run in
+/// oldest-to-newest order.
+fn format_manifest(epoch: u64, tier_live: &[usize; 4], run_names: &[&str]) -> String {
+    if run_names.is_empty() {
+        return epoch.to_string();
+    }
+    let mut out = format!(
+        "{epoch}\nlive {} {} {} {}\n",
+        tier_live[0], tier_live[1], tier_live[2], tier_live[3]
+    );
+    for name in run_names {
+        out.push_str("run ");
+        out.push_str(name);
+        out.push('\n');
+    }
+    out
+}
+
+fn parse_manifest(bytes: Vec<u8>) -> StoreResult<ManifestState> {
+    let text = String::from_utf8(bytes)
+        .map_err(|_| StoreError::Corruption("manifest not utf-8".into()))?;
+    let mut lines = text.lines();
+    let epoch = lines
+        .next()
+        .unwrap_or("")
+        .trim()
+        .parse::<u64>()
+        .map_err(|_| StoreError::Corruption("manifest not a number".into()))?;
+    let mut tier_live = [0usize; 4];
+    let mut saw_live = false;
+    let mut run_names = Vec::new();
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("live ") {
+            let counts: Vec<usize> = rest
+                .split_whitespace()
+                .map(str::parse)
+                .collect::<Result<_, _>>()
+                .map_err(|_| StoreError::Corruption("manifest live counts malformed".into()))?;
+            if counts.len() != 4 {
+                return Err(StoreError::Corruption(
+                    "manifest live counts malformed".into(),
+                ));
+            }
+            tier_live.copy_from_slice(&counts);
+            saw_live = true;
+        } else if let Some(name) = line.strip_prefix("run ") {
+            if parse_run_name(name).is_none() {
+                return Err(StoreError::Corruption(format!(
+                    "manifest lists malformed run name {name:?}"
+                )));
+            }
+            run_names.push(name.to_string());
+        } else {
+            return Err(StoreError::Corruption(format!(
+                "manifest has unknown line {line:?}"
+            )));
+        }
+    }
+    if !run_names.is_empty() && !saw_live {
+        return Err(StoreError::Corruption(
+            "manifest lists runs but no live counts".into(),
+        ));
+    }
+    Ok(ManifestState {
+        epoch,
+        tier_live,
+        run_names,
+    })
+}
+
+impl<D: Disk> Store<D> {
+    /// Open a store on `disk`, running crash recovery: load the run tier
+    /// and the newest committed snapshot, then replay the live WAL,
+    /// discarding any torn tail left by a crash.
+    ///
+    /// A [`TieredPolicy`] requested through the environment
+    /// (`BIOOPERA_MEMTABLE_BUDGET`) is installed automatically; use
+    /// [`Store::open_with`] to pin the policy explicitly.
+    pub fn open(disk: D) -> StoreResult<Self> {
+        Self::open_with(disk, TieredPolicy::from_env())
+    }
+
+    /// [`Store::open`] with an explicit tiering decision (`None` keeps
+    /// the engine in the pure snapshot mode unless runs already exist on
+    /// disk from an earlier tiered session).
+    pub fn open_with(disk: D, tiered: Option<TieredPolicy>) -> StoreResult<Self> {
+        let disk = Arc::new(disk);
+        let manifest = match disk.read(MANIFEST)? {
+            Some(bytes) => parse_manifest(bytes)?,
+            None => ManifestState {
+                epoch: 0,
+                tier_live: [0; 4],
+                run_names: Vec::new(),
+            },
+        };
+        let epoch = manifest.epoch;
+
+        // Open every run the manifest lists (oldest first).  A listed
+        // run that is missing or unreadable is corruption: the manifest
+        // write was the commit point that promised it.
+        let mut runs_vec: Vec<Run> = Vec::with_capacity(manifest.run_names.len());
+        let mut next_run_id = 0u64;
+        for name in &manifest.run_names {
+            let id = parse_run_name(name).expect("validated by parse_manifest");
+            next_run_id = next_run_id.max(id + 1);
+            runs_vec.push(Run::open(&*disk, name)?);
+        }
+
+        let metrics = Arc::new(TierMetrics::default());
+        // Seed the live counts from the manifest — this is what makes
+        // reopen O(tail): no run data block is read to learn how many
+        // records the tier holds.
+        let mut mem = MemTables {
+            live: manifest.tier_live,
+            ..Default::default()
+        };
         let mut batches_applied = 0u64;
 
-        // Snapshots are written atomically, so a torn snapshot is corruption.
-        if let Some(snap) = disk.read(&snapshot_name(epoch))? {
-            let replay = wal::replay_shared(Bytes::from(snap))?;
-            if replay.torn_tail {
-                return Err(StoreError::Corruption("snapshot has torn frames".into()));
-            }
-            for batch in replay.batches {
-                batches_applied += 1;
-                mem.apply_ops(batch);
+        // Snapshots and runs are mutually exclusive on disk (a spill
+        // commits the manifest and deletes the snapshot in the same
+        // epoch roll), so the snapshot is only consulted when no runs
+        // are listed.  Snapshots are written atomically, so a torn
+        // snapshot is corruption.
+        if runs_vec.is_empty() {
+            if let Some(snap) = disk.read(&snapshot_name(epoch))? {
+                let replay = wal::replay_shared(Bytes::from(snap))?;
+                if replay.torn_tail {
+                    return Err(StoreError::Corruption("snapshot has torn frames".into()));
+                }
+                for batch in replay.batches {
+                    batches_applied += 1;
+                    apply_ops_tiered(&mut mem, &[], &*disk, &metrics, batch)?;
+                }
             }
         }
 
@@ -306,7 +636,7 @@ impl<D: Disk> Store<D> {
                     for batch in replay.batches {
                         batches_applied += 1;
                         batches_in_epoch += 1;
-                        mem.apply_ops(batch);
+                        apply_ops_tiered(&mut mem, &runs_vec, &*disk, &metrics, batch)?;
                     }
                     if replay.torn_tail {
                         // Repair: drop the torn tail *on disk*, not just in
@@ -327,18 +657,22 @@ impl<D: Disk> Store<D> {
             };
 
         // Crash hygiene: a crash can leave partially-written temp files
-        // (torn `write_atomic`) and orphan snapshot/WAL files of adjacent
-        // epochs (crash inside `compact` between the snapshot write, the
-        // manifest commit and the old-epoch GC).  Remove them so they can
-        // never be mistaken for live state.  These deletes are themselves
-        // crash points (recovery-during-recovery) and are idempotent: a
-        // crash here leaves a state this same pass cleans on the next open.
+        // (torn `write_atomic`), orphan snapshot/WAL files of adjacent
+        // epochs (crash inside `compact`/spill between the new-state
+        // write, the manifest commit and the old-epoch GC), and run
+        // files the manifest never adopted (crash between the run write
+        // and the manifest commit) or already dropped (crash inside the
+        // merge GC).  Remove them so they can never be mistaken for live
+        // state.  These deletes are themselves crash points
+        // (recovery-during-recovery) and are idempotent: a crash here
+        // leaves a state this same pass cleans on the next open.
         let keep_wal = wal_name(epoch);
         let keep_snap = snapshot_name(epoch);
         for name in disk.list()? {
             let stale = name.ends_with(".tmp")
                 || (name.starts_with("wal-") && name != keep_wal)
-                || (name.starts_with("snapshot-") && name != keep_snap);
+                || (name.starts_with("snapshot-") && (name != keep_snap || !runs_vec.is_empty()))
+                || (name.starts_with("run-") && !manifest.run_names.iter().any(|r| r == &name));
             if stale {
                 disk.delete(&name)?;
             }
@@ -346,7 +680,7 @@ impl<D: Disk> Store<D> {
 
         Ok(Store {
             wal: Arc::new(Mutex::new(WalState {
-                disk,
+                disk: Arc::clone(&disk),
                 epoch,
                 wal_bytes,
                 batches_applied,
@@ -354,8 +688,16 @@ impl<D: Disk> Store<D> {
                 recovered_torn_tail,
                 recovered_truncated_bytes,
                 policy: None,
+                tiered,
+                next_run_id,
+                tier_live: manifest.tier_live,
+                spills: 0,
+                run_merges: 0,
             })),
             mem: Arc::new(RwLock::new(mem)),
+            tiers: Arc::new(RwLock::new(runs_vec)),
+            disk,
+            metrics,
             poisoned: Arc::new(AtomicBool::new(false)),
         })
     }
@@ -363,6 +705,16 @@ impl<D: Disk> Store<D> {
     /// Install (or clear) the automatic compaction policy.
     pub fn set_compaction_policy(&self, policy: Option<CompactionPolicy>) {
         self.wal.lock().policy = policy;
+    }
+
+    /// Install (or clear) the tiered-storage policy at runtime.
+    pub fn set_tiered_policy(&self, policy: Option<TieredPolicy>) {
+        self.wal.lock().tiered = policy;
+    }
+
+    /// The currently installed tiered-storage policy, if any.
+    pub fn tiered_policy(&self) -> Option<TieredPolicy> {
+        self.wal.lock().tiered
     }
 
     /// Apply a batch atomically: durable in the WAL first, then visible.
@@ -387,11 +739,18 @@ impl<D: Disk> Store<D> {
             wal.batches_applied += 1;
             wal.batches_in_epoch += 1;
             // Still holding the WAL lock: visibility order == durable order.
-            self.mem.write().apply_ops(batch.ops);
-            wal.over_threshold()
+            let mut mem = self.mem.write();
+            let tiers = self.tiers.read();
+            if let Err(e) =
+                apply_ops_tiered(&mut mem, &tiers, &*self.disk, &self.metrics, batch.ops)
+            {
+                self.poisoned.store(true, Ordering::SeqCst);
+                return Err(e);
+            }
+            self.roll_due(&wal, &mem, &tiers)
         };
         if auto {
-            self.compact_if_over_threshold()?;
+            self.maybe_roll()?;
         }
         Ok(())
     }
@@ -432,13 +791,18 @@ impl<D: Disk> Store<D> {
             wal.batches_applied += pending.len() as u64;
             wal.batches_in_epoch += pending.len() as u64;
             let mut mem = self.mem.write();
+            let tiers = self.tiers.read();
             for ops in pending {
-                mem.apply_ops(ops);
+                if let Err(e) = apply_ops_tiered(&mut mem, &tiers, &*self.disk, &self.metrics, ops)
+                {
+                    self.poisoned.store(true, Ordering::SeqCst);
+                    return Err(e);
+                }
             }
-            wal.over_threshold()
+            self.roll_due(&wal, &mem, &tiers)
         };
         if auto {
-            self.compact_if_over_threshold()?;
+            self.maybe_roll()?;
         }
         Ok(())
     }
@@ -462,36 +826,109 @@ impl<D: Disk> Store<D> {
         self.apply(b)
     }
 
-    /// Fetch a record.  Allocation-free on the lookup path (the key is
-    /// borrowed, the value handle is a reference-counted slice).
+    /// Fetch a record.  Memtable first (tombstones shadow the tier), then
+    /// the runs newest-to-oldest, each consulted only when its bloom
+    /// filter admits the key.  The memtable guard is held across the run
+    /// lookup so a concurrent spill cannot move the key out from under
+    /// the reader.
     pub fn get(&self, space: Space, key: &str) -> StoreResult<Option<Bytes>> {
         if self.poisoned.load(Ordering::SeqCst) {
             return Err(StoreError::Poisoned);
         }
-        Ok(self.mem.read().spaces[space.as_u8() as usize]
-            .get(key)
-            .cloned())
+        let mem = self.mem.read();
+        match mem.spaces[space.as_u8() as usize].get(key) {
+            Some(Some(v)) => Ok(Some(v.clone())),
+            Some(None) => Ok(None), // tombstone: deleted after the last spill
+            None => {
+                let tiers = self.tiers.read();
+                if tiers.is_empty() {
+                    return Ok(None);
+                }
+                match runs_lookup(&tiers, &*self.disk, &self.metrics, space.as_u8(), key)? {
+                    Some(Some(v)) => Ok(Some(v)),
+                    _ => Ok(None),
+                }
+            }
+        }
     }
 
     /// All `(key, value)` pairs in `space` whose key starts with `prefix`,
-    /// in key order.
+    /// in key order, merged across the memtable and the run tier: runs
+    /// fold oldest-to-newest into an ordered map (newer entries
+    /// overwrite), the memtable overlays last (tombstones shadow), then
+    /// deletions drop out.
     pub fn scan_prefix(&self, space: Space, prefix: &str) -> StoreResult<Vec<(String, Bytes)>> {
         if self.poisoned.load(Ordering::SeqCst) {
             return Err(StoreError::Poisoned);
         }
-        Ok(self.mem.read().spaces[space.as_u8() as usize]
+        let mem = self.mem.read();
+        let tiers = self.tiers.read();
+        let mem_map = &mem.spaces[space.as_u8() as usize];
+        if tiers.is_empty() {
+            // Fast path: no tier means no tombstones and no merge map.
+            return Ok(mem_map
+                .range::<str, _>((Bound::Included(prefix), Bound::Unbounded))
+                .take_while(|(k, _)| k.starts_with(prefix))
+                .filter_map(|(k, v)| v.as_ref().map(|v| (k.clone(), v.clone())))
+                .collect());
+        }
+        let mut merged: BTreeMap<String, Option<Bytes>> = BTreeMap::new();
+        for run in tiers.iter() {
+            for (k, v) in run.scan_prefix(&*self.disk, space.as_u8(), prefix)? {
+                merged.insert(k, v);
+            }
+        }
+        for (k, v) in mem_map
             .range::<str, _>((Bound::Included(prefix), Bound::Unbounded))
             .take_while(|(k, _)| k.starts_with(prefix))
-            .map(|(k, v)| (k.clone(), v.clone()))
+        {
+            merged.insert(k.clone(), v.clone());
+        }
+        Ok(merged
+            .into_iter()
+            .filter_map(|(k, v)| v.map(|v| (k, v)))
             .collect())
     }
 
-    /// Number of records in `space`.  O(1).
+    /// All `(key, value)` pairs in `space` with `key >= start`, in key
+    /// order, merged across the memtable and the run tier.  This is the
+    /// tail-scan primitive: callers that persist a rollup can resume from
+    /// the first un-rolled-up key without replaying their whole history.
+    pub fn scan_from(&self, space: Space, start: &str) -> StoreResult<Vec<(String, Bytes)>> {
+        if self.poisoned.load(Ordering::SeqCst) {
+            return Err(StoreError::Poisoned);
+        }
+        let mem = self.mem.read();
+        let tiers = self.tiers.read();
+        let mem_map = &mem.spaces[space.as_u8() as usize];
+        if tiers.is_empty() {
+            return Ok(mem_map
+                .range::<str, _>((Bound::Included(start), Bound::Unbounded))
+                .filter_map(|(k, v)| v.as_ref().map(|v| (k.clone(), v.clone())))
+                .collect());
+        }
+        let mut merged: BTreeMap<String, Option<Bytes>> = BTreeMap::new();
+        for run in tiers.iter() {
+            for (k, v) in run.scan_from(&*self.disk, space.as_u8(), start)? {
+                merged.insert(k, v);
+            }
+        }
+        for (k, v) in mem_map.range::<str, _>((Bound::Included(start), Bound::Unbounded)) {
+            merged.insert(k.clone(), v.clone());
+        }
+        Ok(merged
+            .into_iter()
+            .filter_map(|(k, v)| v.map(|v| (k, v)))
+            .collect())
+    }
+
+    /// Number of records in `space`.  O(1): maintained incrementally
+    /// across the memtable ∪ runs view.
     pub fn len(&self, space: Space) -> StoreResult<usize> {
         if self.poisoned.load(Ordering::SeqCst) {
             return Err(StoreError::Poisoned);
         }
-        Ok(self.mem.read().spaces[space.as_u8() as usize].len())
+        Ok(self.mem.read().live[space.as_u8() as usize])
     }
 
     /// True when `space` holds no records.  O(1).
@@ -499,31 +936,236 @@ impl<D: Disk> Store<D> {
         Ok(self.len(space)? == 0)
     }
 
-    /// Roll the WAL into a snapshot: write `snapshot-{e+1}` atomically, bump
-    /// the manifest (the commit point), start an empty `wal-{e+1}`, then
-    /// garbage-collect the previous epoch's files.  A crash at any point
-    /// leaves either the old epoch or the new epoch fully recoverable.
+    /// Roll the WAL forward.  In snapshot mode (no tiered policy, no
+    /// runs on disk): write `snapshot-{e+1}` atomically, bump the
+    /// manifest (the commit point), start an empty `wal-{e+1}`, then
+    /// garbage-collect the previous epoch's files.  In tiered mode:
+    /// spill the memtables to a sorted run, then merge the whole tier
+    /// down to a single run.  A crash at any point leaves either the old
+    /// epoch or the new epoch fully recoverable.
     pub fn compact(&self) -> StoreResult<()> {
         if self.poisoned.load(Ordering::SeqCst) {
             return Err(StoreError::Poisoned);
         }
         let mut wal = self.wal.lock();
-        self.compact_locked(&mut wal)
+        if wal.tiered.is_some() || !self.tiers.read().is_empty() {
+            self.spill_locked(&mut wal)?;
+            if self.tiers.read().len() > 1 {
+                self.merge_runs_locked(&mut wal)?;
+            }
+            Ok(())
+        } else {
+            self.compact_locked(&mut wal)
+        }
     }
 
-    /// Re-check the policy threshold and compact if still over it.  Called
-    /// after a commit observed the threshold crossed *and released its
-    /// locks*; the re-check under the lock means two racing committers
-    /// trigger exactly one compaction (the second sees `wal_bytes == 0`).
-    fn compact_if_over_threshold(&self) -> StoreResult<()> {
+    /// Spill the memtables to a new immutable sorted-run file, rolling
+    /// the WAL epoch.  No-op when there is nothing to persist and the
+    /// WAL is already empty.
+    pub fn spill(&self) -> StoreResult<()> {
         if self.poisoned.load(Ordering::SeqCst) {
             return Err(StoreError::Poisoned);
         }
         let mut wal = self.wal.lock();
-        if !wal.over_threshold() {
+        self.spill_locked(&mut wal)
+    }
+
+    /// Merge every run into one, dropping tombstones.  No-op with fewer
+    /// than two runs.
+    pub fn merge_runs(&self) -> StoreResult<()> {
+        if self.poisoned.load(Ordering::SeqCst) {
+            return Err(StoreError::Poisoned);
+        }
+        let mut wal = self.wal.lock();
+        self.merge_runs_locked(&mut wal)
+    }
+
+    /// Is a roll (spill or snapshot compaction) due?  Called by
+    /// committers while still holding their locks; the actual roll
+    /// happens in [`Store::maybe_roll`] after they release.
+    fn roll_due(&self, wal: &WalState<D>, mem: &MemTables, _tiers: &[Run]) -> bool {
+        wal.tiered
+            .is_some_and(|t| mem.approx_bytes > t.memtable_budget_bytes)
+            || wal.over_threshold()
+    }
+
+    /// Re-check the roll condition and perform it if still due.  Called
+    /// after a commit observed the condition *and released its locks*;
+    /// the re-check under the lock means two racing committers trigger
+    /// exactly one roll (the second sees the fresh epoch).
+    fn maybe_roll(&self) -> StoreResult<()> {
+        if self.poisoned.load(Ordering::SeqCst) {
+            return Err(StoreError::Poisoned);
+        }
+        let mut wal = self.wal.lock();
+        let budget_hit = {
+            let mem = self.mem.read();
+            wal.tiered
+                .is_some_and(|t| mem.approx_bytes > t.memtable_budget_bytes)
+        };
+        if !budget_hit && !wal.over_threshold() {
             return Ok(());
         }
-        self.compact_locked(&mut wal)
+        if wal.tiered.is_some() || !self.tiers.read().is_empty() {
+            self.spill_locked(&mut wal)?;
+            let threshold = wal
+                .tiered
+                .map(|t| t.run_merge_threshold)
+                .unwrap_or_else(|| TieredPolicy::default().run_merge_threshold);
+            if self.tiers.read().len() >= threshold {
+                self.merge_runs_locked(&mut wal)?;
+            }
+            Ok(())
+        } else {
+            self.compact_locked(&mut wal)
+        }
+    }
+
+    /// The spill body; the caller holds the WAL lock, which freezes the
+    /// memtables against writers (readers proceed untouched until the
+    /// final swap).  Sequence: build the run image from a frozen
+    /// memtable view, write it, re-open it (self-check through the same
+    /// decoder recovery will use), commit the manifest at `epoch + 1`
+    /// (THE commit point — before it the new run is invisible garbage,
+    /// after it the old WAL/snapshot are garbage), GC the old epoch,
+    /// then atomically swap memtables for the run under both write
+    /// locks.
+    fn spill_locked(&self, wal: &mut WalState<D>) -> StoreResult<()> {
+        {
+            let mem = self.mem.read();
+            let quiescent = mem.spaces.iter().all(BTreeMap::is_empty)
+                && wal.wal_bytes == 0
+                && wal.batches_in_epoch == 0;
+            if quiescent {
+                return Ok(());
+            }
+        }
+        let next = wal.epoch + 1;
+        let name = run_name(wal.next_run_id);
+        let (data, live_now) = {
+            let mem = self.mem.read();
+            let mut entries = Vec::new();
+            for (space, map) in mem.spaces.iter().enumerate() {
+                for (key, value) in map {
+                    entries.push(RunEntry {
+                        space: space as u8,
+                        key,
+                        value: value.as_deref(),
+                    });
+                }
+            }
+            (runs::build_run(&entries), mem.live)
+        };
+        let io: StoreResult<Run> = (|| {
+            wal.disk.write_atomic(&name, &data)?;
+            let run = Run::open(&*wal.disk, &name)?;
+            let manifest = {
+                let tiers = self.tiers.read();
+                let mut names: Vec<&str> = tiers.iter().map(Run::name).collect();
+                names.push(&name);
+                // After the spill the runs-only view IS the full view
+                // (memtables drain into the run), so the live counts to
+                // persist are the current merged counts.
+                format_manifest(next, &live_now, &names)
+            };
+            wal.disk.write_atomic(MANIFEST, manifest.as_bytes())?;
+            wal.disk.delete(&wal_name(wal.epoch))?;
+            wal.disk.delete(&snapshot_name(wal.epoch))?;
+            Ok(run)
+        })();
+        let run = match io {
+            Ok(run) => run,
+            Err(e) => {
+                // Disk state is ambiguous from this handle's view;
+                // poison so a re-open re-establishes the truth.
+                self.poisoned.store(true, Ordering::SeqCst);
+                return Err(e);
+            }
+        };
+        {
+            // Readers hold `mem` across their tier lookup, so taking
+            // both write locks makes the swap invisible: no reader can
+            // observe the drained memtable without the new run.
+            let mut mem = self.mem.write();
+            let mut tiers = self.tiers.write();
+            for map in &mut mem.spaces {
+                map.clear();
+            }
+            mem.approx_bytes = 0;
+            tiers.push(run);
+        }
+        wal.epoch = next;
+        wal.wal_bytes = 0;
+        wal.batches_in_epoch = 0;
+        wal.next_run_id += 1;
+        wal.tier_live = live_now;
+        wal.spills += 1;
+        Ok(())
+    }
+
+    /// The merge body; the caller holds the WAL lock.  Folds every run
+    /// oldest-to-newest into one sorted image, **dropping tombstones**
+    /// (nothing older than the merged run exists to resurrect), then
+    /// commits by rewriting the manifest — same epoch, same live counts
+    /// (a merge never changes the visible view) — and GCs the inputs.
+    fn merge_runs_locked(&self, wal: &mut WalState<D>) -> StoreResult<()> {
+        let old: Vec<Run> = self.tiers.read().clone();
+        if old.len() <= 1 {
+            return Ok(());
+        }
+        let name = run_name(wal.next_run_id);
+        let io: StoreResult<Run> = (|| {
+            let mut merged: BTreeMap<(u8, String), Option<Bytes>> = BTreeMap::new();
+            for run in &old {
+                for op in run.load_all(&*wal.disk)? {
+                    match op {
+                        WalOp::Put { space, key, value } => {
+                            merged.insert((space, key), Some(value));
+                        }
+                        WalOp::Delete { space, key } => {
+                            merged.insert((space, key), None);
+                        }
+                    }
+                }
+            }
+            merged.retain(|_, v| v.is_some());
+            let entries: Vec<RunEntry<'_>> = merged
+                .iter()
+                .map(|((space, key), value)| RunEntry {
+                    space: *space,
+                    key,
+                    value: value.as_deref(),
+                })
+                .collect();
+            let data = runs::build_run(&entries);
+            wal.disk.write_atomic(&name, &data)?;
+            let run = Run::open(&*wal.disk, &name)?;
+            let manifest = format_manifest(wal.epoch, &wal.tier_live, &[&name]);
+            wal.disk.write_atomic(MANIFEST, manifest.as_bytes())?;
+            Ok(run)
+        })();
+        let run = match io {
+            Ok(run) => run,
+            Err(e) => {
+                self.poisoned.store(true, Ordering::SeqCst);
+                return Err(e);
+            }
+        };
+        // Swap the in-memory view *before* GC'ing the input files: the
+        // write lock waits out every reader still scanning the old runs,
+        // so no reader can touch a deleted file.  (A crash between the
+        // manifest commit above and these deletes only leaves unlisted
+        // run files, which recovery hygiene removes.)
+        *self.tiers.write() = vec![run];
+        wal.next_run_id += 1;
+        wal.run_merges += 1;
+        for r in &old {
+            if let Err(e) = wal.disk.delete(r.name()) {
+                self.poisoned.store(true, Ordering::SeqCst);
+                return Err(e);
+            }
+        }
+        Ok(())
     }
 
     /// The compaction body; the caller holds the WAL lock, which also
@@ -542,6 +1184,11 @@ impl<D: Disk> Store<D> {
             let mut total = 0usize;
             for (space, map) in mem.spaces.iter().enumerate() {
                 for (key, value) in map {
+                    // Tombstones cannot reach this path (they only exist
+                    // while runs do, and runs route to `spill_locked`),
+                    // but skipping them keeps the snapshot well-formed
+                    // regardless.
+                    let Some(value) = value else { continue };
                     refs.push(WalOpRef::Put {
                         space: space as u8,
                         key,
@@ -590,13 +1237,23 @@ impl<D: Disk> Store<D> {
     /// Physical statistics.
     pub fn stats(&self) -> StoreStats {
         let wal = self.wal.lock();
+        let (records, memtable_bytes) = {
+            let mem = self.mem.read();
+            (mem.live.iter().sum(), mem.approx_bytes)
+        };
         StoreStats {
             epoch: wal.epoch,
             wal_bytes: wal.wal_bytes,
             batches_applied: wal.batches_applied,
-            records: self.mem.read().records(),
+            records,
             recovered_torn_tail: wal.recovered_torn_tail,
             recovered_truncated_bytes: wal.recovered_truncated_bytes,
+            runs: self.tiers.read().len(),
+            memtable_bytes,
+            spills: wal.spills,
+            run_merges: wal.run_merges,
+            bloom_skips: self.metrics.bloom_skips.load(Ordering::Relaxed),
+            run_probes: self.metrics.run_probes.load(Ordering::Relaxed),
         }
     }
 
@@ -620,7 +1277,7 @@ mod tests {
 
     fn open_mem() -> (MemDisk, Store<MemDisk>) {
         let disk = MemDisk::new();
-        let store = Store::open(disk.clone()).unwrap();
+        let store = Store::open_with(disk.clone(), None).unwrap();
         (disk, store)
     }
 
@@ -657,7 +1314,7 @@ mod tests {
         store.put(Space::Template, "t", &b"T"[..]).unwrap();
         store.put(Space::History, "h", &b"H"[..]).unwrap();
         drop(store);
-        let store2 = Store::open(disk).unwrap();
+        let store2 = Store::open_with(disk, None).unwrap();
         assert_eq!(
             store2.get(Space::Template, "t").unwrap().unwrap(),
             &b"T"[..]
@@ -690,7 +1347,7 @@ mod tests {
         ));
 
         disk.reboot();
-        let recovered = Store::open(disk).unwrap();
+        let recovered = Store::open_with(disk, None).unwrap();
         assert!(recovered.stats().recovered_torn_tail);
         // Neither half of the batch is visible; the earlier record is.
         assert_eq!(recovered.get(Space::Instance, "a").unwrap(), None);
@@ -728,7 +1385,7 @@ mod tests {
         // Post-compaction writes land in the new WAL.
         store.put(Space::History, "ev/9999", &b"new"[..]).unwrap();
         drop(store);
-        let recovered = Store::open(disk).unwrap();
+        let recovered = Store::open_with(disk, None).unwrap();
         assert_eq!(recovered.len(Space::History).unwrap(), 100);
         assert_eq!(recovered.get(Space::History, "ev/0000").unwrap(), None);
         assert_eq!(
@@ -742,7 +1399,7 @@ mod tests {
         let (disk, store) = open_mem();
         store.compact().unwrap();
         drop(store);
-        let recovered = Store::open(disk).unwrap();
+        let recovered = Store::open_with(disk, None).unwrap();
         assert_eq!(recovered.stats().records, 0);
     }
 
@@ -755,7 +1412,7 @@ mod tests {
             store.put(Space::Instance, "k2", &b"v"[..]),
             Err(StoreError::Poisoned)
         ));
-        let recovered = Store::open(disk).unwrap();
+        let recovered = Store::open_with(disk, None).unwrap();
         assert_eq!(
             recovered.get(Space::Instance, "k").unwrap().unwrap(),
             &b"v"[..]
@@ -771,7 +1428,7 @@ mod tests {
         store.compact().unwrap();
         store.put(Space::Configuration, "node", &b"v3"[..]).unwrap();
         drop(store);
-        let recovered = Store::open(disk).unwrap();
+        let recovered = Store::open_with(disk, None).unwrap();
         assert_eq!(
             recovered
                 .get(Space::Configuration, "node")
@@ -791,7 +1448,7 @@ mod tests {
         assert!(store.put(Space::Instance, "lost", &b"no"[..]).is_err());
         disk.reboot();
 
-        let recovered = Store::open(disk.clone()).unwrap();
+        let recovered = Store::open_with(disk.clone(), None).unwrap();
         let stats = recovered.stats();
         assert!(stats.recovered_torn_tail);
         assert!(stats.recovered_truncated_bytes > 0);
@@ -802,7 +1459,7 @@ mod tests {
         // …and a *second* open replays every post-recovery batch instead of
         // discarding them as trailing garbage (regression: recovery used to
         // leave the torn tail on disk and append after it).
-        let again = Store::open(disk).unwrap();
+        let again = Store::open_with(disk, None).unwrap();
         assert!(!again.stats().recovered_torn_tail);
         assert_eq!(
             again.get(Space::Instance, "after").unwrap().unwrap(),
@@ -845,7 +1502,7 @@ mod tests {
                 assert!(store.is_poisoned(), "mutation {idx} {effect:?}");
                 disk.reboot();
 
-                let recovered = Store::open(disk.clone()).unwrap();
+                let recovered = Store::open_with(disk.clone(), None).unwrap();
                 assert_eq!(
                     recovered.scan_prefix(Space::History, "").unwrap(),
                     expected,
@@ -926,14 +1583,14 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         {
             let disk = crate::disk::FileDisk::open(&dir).unwrap();
-            let store = Store::open(disk).unwrap();
+            let store = Store::open_with(disk, None).unwrap();
             store.put(Space::Template, "t", &b"body"[..]).unwrap();
             store.compact().unwrap();
             store.put(Space::Template, "u", &b"more"[..]).unwrap();
         }
         {
             let disk = crate::disk::FileDisk::open(&dir).unwrap();
-            let store = Store::open(disk).unwrap();
+            let store = Store::open_with(disk, None).unwrap();
             assert_eq!(
                 store.get(Space::Template, "t").unwrap().unwrap(),
                 &b"body"[..]
@@ -966,7 +1623,7 @@ mod tests {
         assert_eq!(store.get(Space::History, "h").unwrap().unwrap(), &b"2"[..]);
         // Reopen replays both frames independently.
         drop(store);
-        let recovered = Store::open(disk).unwrap();
+        let recovered = Store::open_with(disk, None).unwrap();
         assert_eq!(recovered.stats().batches_applied, 2);
         assert_eq!(
             recovered.get(Space::History, "h").unwrap().unwrap(),
@@ -991,7 +1648,7 @@ mod tests {
         assert!(store.is_poisoned());
         disk.reboot();
 
-        let recovered = Store::open(disk).unwrap();
+        let recovered = Store::open_with(disk, None).unwrap();
         assert!(recovered.stats().recovered_torn_tail);
         assert_eq!(
             recovered.get(Space::Instance, "first").unwrap().unwrap(),
@@ -1031,7 +1688,7 @@ mod tests {
         assert_eq!(stats.records, 32);
         // Everything survives recovery regardless of where the epoch rolled.
         drop(store);
-        let recovered = Store::open(disk).unwrap();
+        let recovered = Store::open_with(disk, None).unwrap();
         assert_eq!(recovered.len(Space::History).unwrap(), 32);
     }
 
@@ -1070,7 +1727,7 @@ mod tests {
         store.delete(Space::Instance, "k0").unwrap();
         check(&store);
         drop(store);
-        let recovered = Store::open(disk).unwrap();
+        let recovered = Store::open_with(disk, None).unwrap();
         check(&recovered);
         assert_eq!(recovered.len(Space::Instance).unwrap(), 6);
     }
@@ -1082,41 +1739,8 @@ mod tests {
         // than through the current encoder, exactly as the pre-overhaul
         // engine laid it down: MANIFEST at epoch 2, a snapshot with two
         // records, a WAL with one further batch (an overwrite + a delete).
-        fn frame(ops: &[(u8, u8, &str, &[u8])]) -> Vec<u8> {
-            let mut payload = Vec::new();
-            payload.extend_from_slice(&(ops.len() as u32).to_le_bytes());
-            for (tag, space, key, value) in ops {
-                payload.push(*tag);
-                payload.push(*space);
-                payload.extend_from_slice(&(key.len() as u32).to_le_bytes());
-                payload.extend_from_slice(key.as_bytes());
-                if *tag == 0 {
-                    payload.extend_from_slice(&(value.len() as u32).to_le_bytes());
-                    payload.extend_from_slice(value);
-                }
-            }
-            let mut out = vec![0xB1, 0x0A];
-            out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-            out.extend_from_slice(&crate::crc::crc32(&payload).to_le_bytes());
-            out.extend_from_slice(&payload);
-            out
-        }
-
-        let disk = MemDisk::new();
-        disk.write_atomic(MANIFEST, b"2").unwrap();
-        disk.write_atomic(
-            "snapshot-000002",
-            &frame(&[
-                (0, 0, "tmpl/blast", b"{\"tasks\":3}"),
-                (0, 3, "ev/001", b"started"),
-            ]),
-        )
-        .unwrap();
-        let mut log = frame(&[(0, 3, "ev/001", b"finished"), (0, 1, "inst/7", b"running")]);
-        log.extend_from_slice(&frame(&[(1, 0, "tmpl/blast", b"")]));
-        disk.write_atomic("wal-000002", &log).unwrap();
-
-        let store = Store::open(disk).unwrap();
+        let disk = legacy_image();
+        let store = Store::open_with(disk, None).unwrap();
         let stats = store.stats();
         assert_eq!(stats.epoch, 2);
         assert!(!stats.recovered_torn_tail);
@@ -1133,5 +1757,498 @@ mod tests {
         // And the new engine's own output round-trips on top of it.
         store.put(Space::History, "ev/002", &b"post"[..]).unwrap();
         store.compact().unwrap();
+    }
+
+    /// Frozen WAL frame laid down byte-by-byte, exactly as the
+    /// pre-overhaul engine encoded it.
+    fn legacy_frame(ops: &[(u8, u8, &str, &[u8])]) -> Vec<u8> {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&(ops.len() as u32).to_le_bytes());
+        for (tag, space, key, value) in ops {
+            payload.push(*tag);
+            payload.push(*space);
+            payload.extend_from_slice(&(key.len() as u32).to_le_bytes());
+            payload.extend_from_slice(key.as_bytes());
+            if *tag == 0 {
+                payload.extend_from_slice(&(value.len() as u32).to_le_bytes());
+                payload.extend_from_slice(value);
+            }
+        }
+        let mut out = vec![0xB1, 0x0A];
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crate::crc::crc32(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// A literal pre-overhaul on-disk image: MANIFEST at epoch 2, a
+    /// snapshot with two records, a WAL with one further batch.
+    fn legacy_image() -> MemDisk {
+        let disk = MemDisk::new();
+        disk.write_atomic(MANIFEST, b"2").unwrap();
+        disk.write_atomic(
+            "snapshot-000002",
+            &legacy_frame(&[
+                (0, 0, "tmpl/blast", b"{\"tasks\":3}"),
+                (0, 3, "ev/001", b"started"),
+            ]),
+        )
+        .unwrap();
+        let mut log = legacy_frame(&[(0, 3, "ev/001", b"finished"), (0, 1, "inst/7", b"running")]);
+        log.extend_from_slice(&legacy_frame(&[(1, 0, "tmpl/blast", b"")]));
+        disk.write_atomic("wal-000002", &log).unwrap();
+        disk
+    }
+
+    #[test]
+    fn pre_overhaul_disk_image_upgrades_to_tiered_strictly_additively() {
+        // Opening the frozen image under a tiered policy must not rewrite,
+        // rename or delete a single legacy byte — tiering only ever *adds*
+        // file kinds (run-* plus manifest lines) once a spill happens.
+        let disk = legacy_image();
+        let before: std::collections::BTreeMap<String, Vec<u8>> = disk
+            .list()
+            .unwrap()
+            .into_iter()
+            .map(|n| {
+                let bytes = disk.read(&n).unwrap().unwrap();
+                (n, bytes)
+            })
+            .collect();
+
+        let store = Store::open_with(disk.clone(), Some(tiny_tiered())).unwrap();
+        assert_eq!(
+            store.get(Space::History, "ev/001").unwrap().unwrap(),
+            &b"finished"[..]
+        );
+        let after: std::collections::BTreeMap<String, Vec<u8>> = disk
+            .list()
+            .unwrap()
+            .into_iter()
+            .map(|n| {
+                let bytes = disk.read(&n).unwrap().unwrap();
+                (n, bytes)
+            })
+            .collect();
+        assert_eq!(before, after, "tiered open modified a legacy file");
+
+        // Drive it over the budget: the resulting directory may only hold
+        // the frozen kinds (MANIFEST, wal-<epoch>) plus run files the
+        // manifest lists, and every record — legacy and new — stays
+        // readable, including through an untiered-policy reopen.
+        for i in 0..60u32 {
+            store
+                .put(Space::History, format!("bulk/{i:04}"), vec![i as u8; 64])
+                .unwrap();
+        }
+        assert!(store.stats().spills > 0, "workload never spilled");
+        assert_only_live_files(&disk, "tiered upgrade");
+        assert!(disk.list().unwrap().iter().any(|n| n.starts_with("run-")));
+        drop(store);
+
+        let reopened = Store::open_with(disk, None).unwrap();
+        assert_eq!(
+            reopened.get(Space::History, "ev/001").unwrap().unwrap(),
+            &b"finished"[..]
+        );
+        assert_eq!(
+            reopened.get(Space::Instance, "inst/7").unwrap().unwrap(),
+            &b"running"[..]
+        );
+        assert_eq!(reopened.get(Space::Template, "tmpl/blast").unwrap(), None);
+        assert_eq!(
+            reopened.get(Space::History, "bulk/0059").unwrap().unwrap(),
+            &[59u8; 64][..]
+        );
+        assert_eq!(reopened.len(Space::History).unwrap(), 61);
+    }
+
+    fn tiny_tiered() -> TieredPolicy {
+        TieredPolicy {
+            memtable_budget_bytes: 2048,
+            run_merge_threshold: 3,
+        }
+    }
+
+    /// Every file on `disk` must be the manifest, the live WAL, or a run
+    /// the manifest actually lists.
+    fn assert_only_live_files(disk: &MemDisk, ctx: &str) {
+        let manifest = match disk.read(MANIFEST).unwrap() {
+            Some(bytes) => {
+                parse_manifest(bytes).unwrap_or_else(|_| panic!("{ctx}: manifest unreadable"))
+            }
+            None => ManifestState {
+                epoch: 0,
+                tier_live: [0; 4],
+                run_names: Vec::new(),
+            },
+        };
+        for name in disk.list().unwrap() {
+            let ok = name == MANIFEST
+                || name == wal_name(manifest.epoch)
+                || (manifest.run_names.is_empty() && name == snapshot_name(manifest.epoch))
+                || manifest.run_names.contains(&name);
+            assert!(ok, "{ctx}: stale file `{name}` survived recovery");
+        }
+    }
+
+    #[test]
+    fn tiny_budget_spills_and_reads_merge_across_tiers() {
+        let disk = MemDisk::new();
+        let store = Store::open_with(disk.clone(), Some(tiny_tiered())).unwrap();
+        let mut model: BTreeMap<(u8, String), Vec<u8>> = BTreeMap::new();
+        for i in 0..120u32 {
+            let space = Space::from_u8((i % 4) as u8).unwrap();
+            let key = format!("k/{:03}", i % 40);
+            let value = vec![i as u8; 80];
+            store
+                .put(space, key.clone(), Bytes::from(value.clone()))
+                .unwrap();
+            model.insert((space.as_u8(), key), value);
+            if i % 11 == 5 {
+                let dk = format!("k/{:03}", (i + 3) % 40);
+                store.delete(space, dk.clone()).unwrap();
+                model.remove(&(space.as_u8(), dk));
+            }
+        }
+        let stats = store.stats();
+        assert!(stats.spills > 0, "budget never triggered a spill");
+        assert!(stats.runs >= 1);
+        assert!(
+            stats.memtable_bytes <= tiny_tiered().memtable_budget_bytes + 512,
+            "memtable grew unboundedly: {}",
+            stats.memtable_bytes
+        );
+
+        let check = |store: &Store<MemDisk>| {
+            for space in [
+                Space::Template,
+                Space::Instance,
+                Space::Configuration,
+                Space::History,
+            ] {
+                let expect: Vec<(String, Bytes)> = model
+                    .range((space.as_u8(), String::new())..((space.as_u8() + 1), String::new()))
+                    .map(|((_, k), v)| (k.clone(), Bytes::from(v.clone())))
+                    .collect();
+                assert_eq!(store.scan_prefix(space, "").unwrap(), expect, "{space:?}");
+                assert_eq!(store.len(space).unwrap(), expect.len(), "{space:?}");
+                for (k, v) in &expect {
+                    assert_eq!(
+                        store.get(space, k).unwrap().as_ref(),
+                        Some(v),
+                        "{space:?}/{k}"
+                    );
+                }
+                // scan_from mid-range agrees with the model's tail.
+                let tail: Vec<(String, Bytes)> = expect
+                    .iter()
+                    .filter(|(k, _)| k.as_str() >= "k/020")
+                    .cloned()
+                    .collect();
+                assert_eq!(store.scan_from(space, "k/020").unwrap(), tail);
+            }
+        };
+        check(&store);
+
+        // Point lookups for keys no run can hold must be answered by the
+        // bloom filters without touching run data.
+        let skips_before = store.stats().bloom_skips;
+        for i in 0..50 {
+            assert_eq!(
+                store.get(Space::History, &format!("absent/{i}")).unwrap(),
+                None
+            );
+        }
+        assert!(
+            store.stats().bloom_skips > skips_before,
+            "bloom filters never skipped a run"
+        );
+
+        // The exact same state is visible after recovery.
+        let reopened = Store::open_with(disk.clone(), Some(tiny_tiered())).unwrap();
+        check(&reopened);
+        assert_eq!(reopened.stats().records, store.stats().records);
+        assert_only_live_files(&disk, "after clean reopen");
+    }
+
+    #[test]
+    fn deletes_tombstone_runs_until_merge_drops_them() {
+        let disk = MemDisk::new();
+        let store = Store::open_with(disk.clone(), Some(tiny_tiered())).unwrap();
+        for i in 0..10 {
+            store
+                .put(
+                    Space::Configuration,
+                    format!("c/{i}"),
+                    Bytes::from(vec![1u8; 32]),
+                )
+                .unwrap();
+        }
+        store.spill().unwrap();
+        assert_eq!(store.stats().runs, 1);
+
+        // Deleting a spilled key leaves a tombstone in the memtable …
+        store.delete(Space::Configuration, "c/3").unwrap();
+        assert_eq!(store.get(Space::Configuration, "c/3").unwrap(), None);
+        assert_eq!(store.len(Space::Configuration).unwrap(), 9);
+
+        // … the tombstone rides the next spill into a run …
+        store.spill().unwrap();
+        let runs = store.tiers.read().clone();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[1].tombstones, 1);
+
+        // … and the merge folds it away for good.
+        store.merge_runs().unwrap();
+        let runs = store.tiers.read().clone();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].tombstones, 0);
+        assert_eq!(runs[0].entries, 9);
+        assert_eq!(store.get(Space::Configuration, "c/3").unwrap(), None);
+        assert_eq!(store.len(Space::Configuration).unwrap(), 9);
+
+        // A reopen agrees, and deleting a key no run may contain never
+        // creates a tombstone at all.
+        let reopened = Store::open_with(disk, Some(tiny_tiered())).unwrap();
+        assert_eq!(reopened.len(Space::Configuration).unwrap(), 9);
+        reopened.put(Space::Template, "t/x", &b"v"[..]).unwrap();
+        reopened.delete(Space::Template, "t/x").unwrap();
+        assert!(reopened.mem.read().spaces[Space::Template.as_u8() as usize].is_empty());
+    }
+
+    #[test]
+    fn crash_at_every_spill_mutation_recovers() {
+        use crate::disk::CrashEffect;
+        // spill() performs 4 mutations: run write, manifest write,
+        // old-WAL delete, old-snapshot delete.  Crash at each, with
+        // every effect, and verify recovery sees exactly the pre-spill
+        // records and leaves no stale files behind.
+        for idx in 0..4u64 {
+            for effect in [
+                CrashEffect::Drop,
+                CrashEffect::Torn { keep: 7 },
+                CrashEffect::AfterApply,
+            ] {
+                let disk = MemDisk::new();
+                let store = Store::open_with(disk.clone(), Some(tiny_tiered())).unwrap();
+                for i in 0..20 {
+                    store
+                        .put(Space::History, format!("ev/{i:02}"), Bytes::from(vec![i]))
+                        .unwrap();
+                }
+                store.delete(Space::History, "ev/00").unwrap();
+                let expected: Vec<(String, Bytes)> = store.scan_prefix(Space::History, "").unwrap();
+
+                disk.set_fault_plan(Some(FaultPlan::at_mutation(idx, effect)));
+                assert!(
+                    store.spill().is_err(),
+                    "mutation {idx} {effect:?} must surface the crash"
+                );
+                assert!(store.is_poisoned(), "mutation {idx} {effect:?}");
+                disk.reboot();
+
+                let recovered = Store::open_with(disk.clone(), Some(tiny_tiered())).unwrap();
+                assert_eq!(
+                    recovered.scan_prefix(Space::History, "").unwrap(),
+                    expected,
+                    "mutation {idx} {effect:?}: records diverged"
+                );
+                assert_only_live_files(&disk, &format!("spill mutation {idx} {effect:?}"));
+                // The recovered store keeps working — including the very
+                // operation that crashed.
+                recovered
+                    .put(Space::History, "ev/99", &b"post"[..])
+                    .unwrap();
+                recovered.spill().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn crash_at_every_merge_mutation_recovers() {
+        use crate::disk::CrashEffect;
+        // merge_runs() over two runs performs 4 mutations: merged-run
+        // write, manifest write, and one delete per input run.
+        for idx in 0..4u64 {
+            for effect in [
+                CrashEffect::Drop,
+                CrashEffect::Torn { keep: 7 },
+                CrashEffect::AfterApply,
+            ] {
+                let disk = MemDisk::new();
+                let store = Store::open_with(disk.clone(), Some(tiny_tiered())).unwrap();
+                for i in 0..12 {
+                    store
+                        .put(Space::Instance, format!("a/{i:02}"), Bytes::from(vec![i]))
+                        .unwrap();
+                }
+                store.spill().unwrap();
+                for i in 0..12 {
+                    if i % 3 == 0 {
+                        store.delete(Space::Instance, format!("a/{i:02}")).unwrap();
+                    } else {
+                        store
+                            .put(Space::Instance, format!("b/{i:02}"), Bytes::from(vec![i]))
+                            .unwrap();
+                    }
+                }
+                store.spill().unwrap();
+                assert_eq!(store.stats().runs, 2);
+                let expected: Vec<(String, Bytes)> =
+                    store.scan_prefix(Space::Instance, "").unwrap();
+
+                disk.set_fault_plan(Some(FaultPlan::at_mutation(idx, effect)));
+                assert!(
+                    store.merge_runs().is_err(),
+                    "mutation {idx} {effect:?} must surface the crash"
+                );
+                assert!(store.is_poisoned(), "mutation {idx} {effect:?}");
+                disk.reboot();
+
+                let recovered = Store::open_with(disk.clone(), Some(tiny_tiered())).unwrap();
+                assert_eq!(
+                    recovered.scan_prefix(Space::Instance, "").unwrap(),
+                    expected,
+                    "mutation {idx} {effect:?}: records diverged"
+                );
+                assert_only_live_files(&disk, &format!("merge mutation {idx} {effect:?}"));
+                recovered.merge_runs().unwrap();
+                assert_eq!(
+                    recovered.scan_prefix(Space::Instance, "").unwrap(),
+                    expected,
+                    "mutation {idx} {effect:?}: records diverged after re-merge"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reopen_after_spill_reads_only_the_tail() {
+        let disk = MemDisk::new();
+        let store = Store::open_with(disk.clone(), Some(tiny_tiered())).unwrap();
+        // A long history, fully spilled, plus a short live WAL tail.
+        for i in 0..2000u32 {
+            store
+                .put(
+                    Space::History,
+                    format!("ev/{i:08}"),
+                    Bytes::from(vec![i as u8; 100]),
+                )
+                .unwrap();
+        }
+        store.compact().unwrap(); // everything into one run, empty WAL
+        for i in 2000..2010u32 {
+            store
+                .put(
+                    Space::History,
+                    format!("ev/{i:08}"),
+                    Bytes::from(vec![i as u8; 100]),
+                )
+                .unwrap();
+        }
+        drop(store);
+
+        let total = disk.total_file_bytes();
+        let before = disk.bytes_read();
+        let reopened = Store::open_with(disk.clone(), Some(tiny_tiered())).unwrap();
+        let opened_bytes = disk.bytes_read() - before;
+        assert_eq!(reopened.len(Space::History).unwrap(), 2010);
+        // O(tail): open reads the manifest, the run's footer/meta and the
+        // short WAL — never the run's data blocks.  The data region is
+        // ~230 KiB here; the open must touch only a small fraction.
+        assert!(
+            opened_bytes < total / 4,
+            "open read {opened_bytes} of {total} bytes"
+        );
+        // And the reopened store answers a point get with a single block
+        // read, not a full-file scan.
+        let before = disk.bytes_read();
+        assert!(reopened
+            .get(Space::History, "ev/00000042")
+            .unwrap()
+            .is_some());
+        let get_bytes = disk.bytes_read() - before;
+        assert!(
+            get_bytes < 2 * crate::runs::BLOCK_TARGET_BYTES as u64,
+            "point get read {get_bytes} bytes"
+        );
+    }
+
+    #[test]
+    fn never_spilling_tiered_store_matches_legacy_bytes() {
+        // The same workload through an untiered store and a tiered store
+        // whose budget is never crossed must leave byte-identical
+        // directories: tiering is strictly additive on disk.
+        let run = |tiered: Option<TieredPolicy>| -> MemDisk {
+            let disk = MemDisk::new();
+            let store = Store::open_with(disk.clone(), tiered).unwrap();
+            for i in 0..30 {
+                store
+                    .put(
+                        Space::Instance,
+                        format!("i/{i:02}"),
+                        Bytes::from(vec![i; 64]),
+                    )
+                    .unwrap();
+            }
+            store.delete(Space::Instance, "i/07").unwrap();
+            store
+                .apply_many((0..5).map(|i| {
+                    let mut b = Batch::new();
+                    b.put(Space::History, format!("ev/{i}"), &b"x"[..]);
+                    b
+                }))
+                .unwrap();
+            drop(store);
+            // Reopen mid-workload: recovery must not diverge either.
+            let store = Store::open_with(disk.clone(), tiered).unwrap();
+            store.put(Space::Configuration, "c", &b"v"[..]).unwrap();
+            disk
+        };
+        let legacy = run(None);
+        let tiered = run(Some(TieredPolicy::default())); // 4 MiB budget, never hit
+        let mut legacy_files = legacy.list().unwrap();
+        let mut tiered_files = tiered.list().unwrap();
+        legacy_files.sort();
+        tiered_files.sort();
+        assert_eq!(legacy_files, tiered_files);
+        for name in &legacy_files {
+            assert_eq!(
+                legacy.read(name).unwrap(),
+                tiered.read(name).unwrap(),
+                "file `{name}` diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn compact_in_tiered_mode_spills_and_merges_to_one_run() {
+        let disk = MemDisk::new();
+        let store = Store::open_with(disk.clone(), Some(tiny_tiered())).unwrap();
+        for round in 0..3 {
+            for i in 0..8 {
+                store
+                    .put(
+                        Space::History,
+                        format!("ev/{round}/{i}"),
+                        Bytes::from(vec![i; 40]),
+                    )
+                    .unwrap();
+            }
+            store.spill().unwrap();
+        }
+        assert_eq!(store.stats().runs, 3);
+        store.put(Space::History, "ev/tail", &b"t"[..]).unwrap();
+        store.compact().unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.runs, 1, "compact must fold the tier to one run");
+        assert_eq!(stats.wal_bytes, 0);
+        assert_eq!(store.len(Space::History).unwrap(), 25);
+        // Quiescent compact is a no-op: no new run, no epoch churn.
+        let epoch = store.stats().epoch;
+        store.compact().unwrap();
+        assert_eq!(store.stats().epoch, epoch);
+        assert_eq!(store.stats().runs, 1);
     }
 }

@@ -12,6 +12,11 @@
 //! * a **write-ahead log** ([`wal`]) with CRC-framed, atomically-replayable
 //!   batches and torn-tail tolerance,
 //! * periodic **snapshots** with WAL rotation ([`Store::compact`]),
+//! * a bounded-memory **tiered layer** ([`runs`], [`bloom`]): once a
+//!   [`TieredPolicy`] memtable budget is exceeded the memtables spill to
+//!   immutable sorted-run files with per-run bloom filters and sparse block
+//!   indexes; reads check memtable → runs newest-to-oldest, and a crash-safe
+//!   merge compaction folds runs together and drops tombstones,
 //! * four typed **record spaces** ([`Space`]) mirroring the paper's template /
 //!   instance / configuration / data (history) spaces,
 //! * a pluggable [`disk::Disk`] abstraction with a real filesystem backend and
@@ -23,14 +28,16 @@
 //! "mapping phase" (copying task outputs into the whiteboard plus marking the
 //! task done) atomic across failures.
 
+pub mod bloom;
 pub mod crc;
 pub mod disk;
 pub mod engine;
 pub mod error;
+pub mod runs;
 pub mod typed;
 pub mod wal;
 
 pub use disk::{CrashEffect, Disk, FaultPlan, FaultTrigger, FileDisk, MemDisk};
-pub use engine::{Batch, CompactionPolicy, Space, Store, StoreStats};
+pub use engine::{Batch, CompactionPolicy, Space, Store, StoreStats, TieredPolicy};
 pub use error::{StoreError, StoreResult};
 pub use typed::TypedSpace;

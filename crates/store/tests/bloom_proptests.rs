@@ -1,0 +1,102 @@
+//! Property tests for the per-run bloom filter.
+//!
+//! Two invariants back the read path's right to skip a run:
+//!
+//! 1. **Zero false negatives, by construction**: every `(space, key)` ever
+//!    inserted answers `may_contain == true`, for any key set and any
+//!    capacity — including after an encode/decode round trip, since the
+//!    filter the reader consults is the decoded one.
+//! 2. **Bounded false positives**: at the sized-for capacity the measured
+//!    false-positive rate over a large disjoint probe set stays under the
+//!    stated [`FP_BOUND`], so bloom-gated reads actually skip most runs
+//!    that do not hold the key.
+
+use bioopera_store::bloom::{Bloom, FP_BOUND};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn no_false_negatives_for_any_key_set(
+        raw_keys in prop::collection::vec(("[a-z]{1,12}", 0u8..4), 0..200),
+        oversize in 0usize..3,
+    ) {
+        let keys: std::collections::BTreeSet<(String, u8)> = raw_keys.into_iter().collect();
+        // Capacity below, at, or above the actual key count: an overfull
+        // filter may lie about absent keys, never about present ones.
+        let capacity = match oversize {
+            0 => keys.len() / 2,
+            1 => keys.len(),
+            _ => keys.len() * 2 + 8,
+        };
+        let mut bloom = Bloom::with_capacity(capacity);
+        for (key, space) in &keys {
+            bloom.insert(*space, key);
+        }
+        for (key, space) in &keys {
+            prop_assert!(bloom.may_contain(*space, key), "false negative for {space}/{key}");
+        }
+
+        // The decoded filter — the one run readers actually consult — must
+        // preserve the guarantee bit-for-bit.
+        let mut encoded = Vec::new();
+        bloom.encode_into(&mut encoded);
+        let (decoded, used) = Bloom::decode(&encoded).expect("round trip");
+        prop_assert_eq!(used, encoded.len());
+        for (key, space) in &keys {
+            prop_assert!(decoded.may_contain(*space, key), "false negative after decode");
+        }
+    }
+
+    #[test]
+    fn absent_space_tag_is_not_a_false_negative_vector(
+        raw_keys in prop::collection::vec("[a-z]{1,10}", 1..64),
+    ) {
+        let keys: std::collections::BTreeSet<String> = raw_keys.into_iter().collect();
+        // The same key inserted under one space must still be reported for
+        // that space; the hash must mix the space tag rather than ignore it.
+        let mut bloom = Bloom::with_capacity(keys.len());
+        for key in &keys {
+            bloom.insert(1, key);
+        }
+        for key in &keys {
+            prop_assert!(bloom.may_contain(1, key));
+        }
+        // Not required to miss on other spaces (that is an FP question),
+        // but the filter must distinguish spaces at least sometimes.
+        let misses = keys.iter().filter(|k| !bloom.may_contain(3, k)).count();
+        prop_assert!(misses > 0, "space tag ignored: every cross-space probe hit");
+    }
+}
+
+#[test]
+fn measured_false_positive_rate_is_under_the_stated_bound() {
+    // Deterministic volume test: 4 000 member keys at exactly the sized-for
+    // capacity, probed with 40 000 disjoint keys.  BITS_PER_KEY=10 /
+    // PROBES=7 has a theoretical FP rate just under 1%; FP_BOUND=0.03
+    // leaves margin for hash imperfection without masking a regression.
+    const MEMBERS: usize = 4_000;
+    const PROBES_ABSENT: usize = 40_000;
+    let mut bloom = Bloom::with_capacity(MEMBERS);
+    for i in 0..MEMBERS {
+        bloom.insert((i % 4) as u8, &format!("member/{i:08}"));
+    }
+    for i in 0..MEMBERS {
+        assert!(
+            bloom.may_contain((i % 4) as u8, &format!("member/{i:08}")),
+            "false negative at {i}"
+        );
+    }
+    let false_positives = (0..PROBES_ABSENT)
+        .filter(|i| bloom.may_contain((i % 4) as u8, &format!("absent/{i:08}")))
+        .count();
+    let rate = false_positives as f64 / PROBES_ABSENT as f64;
+    assert!(
+        rate < FP_BOUND,
+        "measured FP rate {rate:.4} exceeds bound {FP_BOUND}"
+    );
+    // And it is not trivially zero — a filter answering false for
+    // everything absent would mean the probe set never exercised it.
+    assert!(bloom.bits() > 0);
+}

@@ -13,6 +13,14 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> store+core suites under a forced-small memtable budget (constant spilling)"
+# BIOOPERA_MEMTABLE_BUDGET routes every Store::open through the tiered
+# engine with a 64 KiB budget, so the suites re-run against real memtable
+# spills, bloom-gated run reads and merge compactions inside the runtime
+# workloads.  (4 KiB would also work but makes the heavy dependability
+# traces quadratic in merge work; ~40 s at 64 KiB.)
+BIOOPERA_MEMTABLE_BUDGET=65536 cargo test -q -p bioopera-store -p bioopera-core
+
 echo "==> crash-point torture harness (bounded; seed override: HARNESS_SEED=N)"
 # Full store crash-point enumeration + sampled runtime crash points; ~5 s.
 cargo run -q -p bioopera-harness --bin torture -- --runtime-samples 8 --recovery-samples 3
