@@ -196,6 +196,18 @@ pub enum EventKind {
         /// Child instance id.
         child: u64,
     },
+    /// An event referenced an instance or task record the engine does not
+    /// know — a stale in-flight completion after recovery, a foreign
+    /// journal record, or a cross-shard race.  Recorded instead of
+    /// panicking; the triggering event is dropped.
+    StaleEvent {
+        /// The instance the event referenced.
+        instance: u64,
+        /// The task path it referenced, if any.
+        path: Option<String>,
+        /// What the engine was doing when the lookup failed.
+        context: String,
+    },
     /// An external event was signalled into an instance.
     EventSignal {
         /// Instance id.
@@ -302,6 +314,7 @@ impl EventKind {
             EventKind::TaskCompensate { .. } => "task.compensate",
             EventKind::SubprocessStart { .. } => "subprocess.start",
             EventKind::SubprocessDuplicate { .. } => "subprocess.duplicate",
+            EventKind::StaleEvent { .. } => "event.stale",
             EventKind::EventSignal { .. } => "event.signal",
             EventKind::NodeCrash { .. } => "node.crash",
             EventKind::NodeRecover { .. } => "node.recover",
@@ -342,6 +355,7 @@ impl EventKind {
             | EventKind::TaskCompensate { instance, .. }
             | EventKind::SubprocessStart { instance, .. }
             | EventKind::SubprocessDuplicate { instance, .. }
+            | EventKind::StaleEvent { instance, .. }
             | EventKind::EventSignal { instance, .. } => Some(*instance),
             _ => None,
         }
@@ -362,6 +376,7 @@ impl EventKind {
             | EventKind::TaskCompensate { path, .. }
             | EventKind::SubprocessStart { path, .. }
             | EventKind::SubprocessDuplicate { path, .. } => Some(path),
+            EventKind::StaleEvent { path, .. } => path.as_deref(),
             _ => None,
         }
     }

@@ -19,6 +19,10 @@ pub enum EngineError {
     UnknownTemplate(String),
     /// A referenced instance does not exist.
     UnknownInstance(u64),
+    /// A referenced task record does not exist in its instance — a stale
+    /// in-flight completion, a foreign journal record, or a template/
+    /// record mismatch.  `(instance, task path)`.
+    UnknownTask(u64, String),
     /// An activity's program is not in the activity library.
     UnknownProgram(String),
     /// A guard failed to evaluate (bad data reference or type error).
@@ -37,6 +41,7 @@ impl fmt::Display for EngineError {
             EngineError::Validation(e) => write!(f, "template invalid: {e}"),
             EngineError::UnknownTemplate(t) => write!(f, "unknown template `{t}`"),
             EngineError::UnknownInstance(i) => write!(f, "unknown instance {i}"),
+            EngineError::UnknownTask(i, p) => write!(f, "unknown task `{p}` of instance {i}"),
             EngineError::UnknownProgram(p) => write!(f, "program `{p}` not in activity library"),
             EngineError::Guard(ctx, e) => write!(f, "guard on {ctx}: {e}"),
             EngineError::BadStatus(m) => write!(f, "{m}"),

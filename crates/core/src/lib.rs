@@ -36,6 +36,7 @@ pub mod metrics;
 pub mod navigator;
 pub mod planner;
 pub mod runtime;
+pub mod shard;
 pub mod state;
 
 pub use awareness::{Awareness, AwarenessError, AwarenessIndex, EventKind, HistoryEvent};
@@ -51,4 +52,5 @@ pub use metrics::{
 };
 pub use planner::{OutageImpact, Planner};
 pub use runtime::{RunStats, Runtime, RuntimeConfig};
+pub use shard::{FaultInjection, ShardConfig, ShardEngine, ShardRunStats};
 pub use state::{InstanceHeader, InstanceId, InstanceStatus, TaskRecord, TaskState};

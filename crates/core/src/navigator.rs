@@ -145,7 +145,10 @@ pub fn init_instance(
     }
     let mut out = NavOutcome::default();
     for name in view.template.initial_tasks() {
-        let rec = view.tasks.get_mut(name).expect("initial task exists");
+        let rec = view
+            .tasks
+            .get_mut(name)
+            .ok_or_else(|| EngineError::UnknownTask(view.header.id, name.to_string()))?;
         rec.state = TaskState::Ready;
         out.newly_ready.push(name.to_string());
     }
@@ -225,19 +228,20 @@ pub fn on_task_ended(
     now: SimTime,
     cpu_ms: f64,
 ) -> EngineResult<NavOutcome> {
-    {
+    let parent = {
         let rec = view
             .tasks
             .get_mut(path)
-            .ok_or_else(|| EngineError::Internal(format!("no record for task {path}")))?;
+            .ok_or_else(|| EngineError::UnknownTask(view.header.id, path.to_string()))?;
         rec.outputs = outputs;
         rec.state = TaskState::Ended;
         rec.ended_at = Some(now);
         rec.cpu_ms += cpu_ms;
-    }
+        rec.parallel_parent().map(str::to_string)
+    };
     let mut out = NavOutcome::default();
 
-    if let Some(parent) = view.tasks[path].parallel_parent().map(str::to_string) {
+    if let Some(parent) = parent {
         // A parallel child finished; the parent concludes when all do.
         out.merge(check_parallel_parent(view, &parent, now)?);
     } else {
@@ -280,7 +284,12 @@ fn run_mapping_phase(view: &mut InstanceView<'_>, task: &str) {
         })
         .collect();
     for (field, to) in flows {
-        let Some(value) = view.tasks[task].outputs.get(&field).cloned() else {
+        let Some(value) = view
+            .tasks
+            .get(task)
+            .and_then(|r| r.outputs.get(&field))
+            .cloned()
+        else {
             continue;
         };
         if !value.is_defined() {
@@ -306,7 +315,9 @@ fn propagate(view: &mut InstanceView<'_>) -> EngineResult<NavOutcome> {
         let mut changed = false;
         let names: Vec<String> = view.template.tasks.iter().map(|t| t.name.clone()).collect();
         for name in names {
-            if view.tasks[&name].state != TaskState::Inactive {
+            // A template task with no record (foreign or truncated journal
+            // state) cannot be activated; skip it rather than panic.
+            if view.tasks.get(&name).map(|r| r.state) != Some(TaskState::Inactive) {
                 continue;
             }
             let incoming = view.template.incoming(&name);
@@ -314,7 +325,12 @@ fn propagate(view: &mut InstanceView<'_>) -> EngineResult<NavOutcome> {
             let mut all_resolved = true;
             let mut any_true = false;
             for conn in &incoming {
-                let src_state = view.tasks[&conn.from].state;
+                // A missing source record counts as unresolved: the task
+                // stays Inactive instead of firing on phantom state.
+                let Some(src_state) = view.tasks.get(&conn.from).map(|r| r.state) else {
+                    all_resolved = false;
+                    break;
+                };
                 if !src_state.is_resolved() {
                     all_resolved = false;
                     break;
@@ -334,7 +350,10 @@ fn propagate(view: &mut InstanceView<'_>) -> EngineResult<NavOutcome> {
             if !all_resolved {
                 continue;
             }
-            let rec = view.tasks.get_mut(&name).expect("record exists");
+            let rec = view
+                .tasks
+                .get_mut(&name)
+                .ok_or_else(|| EngineError::UnknownTask(view.header.id, name.clone()))?;
             if any_true {
                 rec.state = TaskState::Ready;
                 out.newly_ready.push(name.clone());
@@ -379,7 +398,10 @@ pub fn expand_parallel(
         None => Vec::new(),
     };
     {
-        let rec = view.tasks.get_mut(task_name).expect("record exists");
+        let rec = view
+            .tasks
+            .get_mut(task_name)
+            .ok_or_else(|| EngineError::UnknownTask(view.header.id, task_name.to_string()))?;
         rec.inputs = bound.clone();
         rec.state = TaskState::Dispatched;
         rec.started_at = Some(now);
@@ -435,7 +457,7 @@ fn check_parallel_parent(
     parent: &str,
     now: SimTime,
 ) -> EngineResult<NavOutcome> {
-    if view.tasks[parent].state != TaskState::Dispatched {
+    if view.tasks.get(parent).map(|r| r.state) != Some(TaskState::Dispatched) {
         return Ok(NavOutcome::default());
     }
     let prefix = format!("{parent}[");
@@ -492,7 +514,7 @@ pub fn on_task_failed(
         let rec = view
             .tasks
             .get_mut(path)
-            .ok_or_else(|| EngineError::Internal(format!("no record for task {path}")))?;
+            .ok_or_else(|| EngineError::UnknownTask(view.header.id, path.to_string()))?;
         if kind == FailureKind::System {
             // Masked: back to the activity queue, no retry consumed.
             rec.state = TaskState::Ready;
@@ -517,7 +539,10 @@ pub fn on_task_failed(
         .map(|t| t.retries)
         .unwrap_or(retries);
     if attempts <= declared_retries {
-        let rec = view.tasks.get_mut(path).expect("record exists");
+        let rec = view
+            .tasks
+            .get_mut(path)
+            .ok_or_else(|| EngineError::UnknownTask(view.header.id, path.to_string()))?;
         rec.state = TaskState::Ready;
         return Ok(NavOutcome {
             newly_ready: vec![path.to_string()],
@@ -533,7 +558,10 @@ pub fn on_task_failed(
     let mut out = NavOutcome::default();
     match policy {
         FailurePolicy::Ignore => {
-            view.tasks.get_mut(path).expect("record exists").state = TaskState::Skipped;
+            view.tasks
+                .get_mut(path)
+                .ok_or_else(|| EngineError::UnknownTask(view.header.id, path.to_string()))?
+                .state = TaskState::Skipped;
             out.newly_skipped.push(path.to_string());
             if let Some(parent) = parent_name {
                 out.merge(check_parallel_parent(view, &parent, now)?);
@@ -543,7 +571,10 @@ pub fn on_task_failed(
             out.merge(check_completion(view, now));
         }
         FailurePolicy::Alternative(alt) => {
-            view.tasks.get_mut(path).expect("record exists").state = TaskState::Skipped;
+            view.tasks
+                .get_mut(path)
+                .ok_or_else(|| EngineError::UnknownTask(view.header.id, path.to_string()))?
+                .state = TaskState::Skipped;
             out.newly_skipped.push(path.to_string());
             let alt_rec = view
                 .tasks
@@ -575,7 +606,12 @@ pub fn on_task_failed(
             ended.sort();
             ended.reverse();
             for (_, member) in ended {
-                view.tasks.get_mut(&member).expect("member exists").state = TaskState::Compensated;
+                // `ended` was collected from `view.tasks` above, but the
+                // same typed-error discipline applies.
+                view.tasks
+                    .get_mut(&member)
+                    .ok_or_else(|| EngineError::UnknownTask(view.header.id, member.clone()))?
+                    .state = TaskState::Compensated;
                 if let Some((_, prog)) = sphere.compensations.iter().find(|(t, _)| *t == member) {
                     out.compensations.push((member.clone(), prog.clone()));
                 }

@@ -197,9 +197,6 @@ pub struct Runtime<D: Disk + Clone> {
     instances: BTreeMap<InstanceId, InstanceMem>,
     in_flight: BTreeMap<JobId, InFlight>,
     ready_queue: VecDeque<(InstanceId, String)>,
-    /// When each queued task became ready (for dispatch queue-wait
-    /// metrics; volatile like the queue itself).
-    ready_since: BTreeMap<(InstanceId, String), SimTime>,
     next_instance_id: InstanceId,
     next_job_id: JobId,
 
@@ -258,7 +255,6 @@ impl<D: Disk + Clone> Runtime<D> {
             instances: BTreeMap::new(),
             in_flight: BTreeMap::new(),
             ready_queue: VecDeque::new(),
-            ready_since: BTreeMap::new(),
             next_instance_id: 1,
             next_job_id: 1,
             server_up: true,
@@ -412,11 +408,12 @@ impl<D: Disk + Clone> Runtime<D> {
                 }
                 Err(EngineError::Internal(format!(
                     "deadlock at {}: no pending events but instances incomplete \
-                     (queue={}, in_flight={}, suspended={})",
+                     (queue={}, in_flight={}, suspended={}){}",
                     self.kernel.now(),
                     self.ready_queue.len(),
                     self.in_flight.len(),
                     self.operator_suspended,
+                    self.deadlock_detail(),
                 )))
             }
         }
@@ -701,19 +698,26 @@ impl<D: Disk + Clone> Runtime<D> {
             }
         }
         let mut outcome = NavOutcome::default();
-        if let Some(mem) = self.instances.get(&id) {
-            let restartable: Vec<String> = mem
-                .tasks
-                .iter()
-                .filter(|(path, rec)| rec.state == TaskState::Dispatched && !mem.is_container(path))
-                .map(|(path, _)| path.clone())
-                .collect();
-            let mem = self.instances.get_mut(&id).expect("exists");
+        let restartable: Vec<String> = self
+            .instances
+            .get(&id)
+            .map(|mem| {
+                mem.tasks
+                    .iter()
+                    .filter(|(path, rec)| {
+                        rec.state == TaskState::Dispatched && !mem.is_container(path)
+                    })
+                    .map(|(path, _)| path.clone())
+                    .collect()
+            })
+            .unwrap_or_default();
+        if let Some(mem) = self.instances.get_mut(&id) {
             for path in restartable {
-                let rec = mem.tasks.get_mut(&path).expect("exists");
-                rec.state = TaskState::Ready;
-                rec.node = None;
-                outcome.newly_ready.push(path);
+                if let Some(rec) = mem.tasks.get_mut(&path) {
+                    rec.state = TaskState::Ready;
+                    rec.node = None;
+                    outcome.newly_ready.push(path);
+                }
             }
         }
         self.awareness.record(
@@ -769,7 +773,10 @@ impl<D: Disk + Clone> Runtime<D> {
         };
         let id = self.instantiate(&template_name, whiteboard, None)?;
         let outcome = {
-            let mem = self.instances.get_mut(&id).expect("fresh instance exists");
+            let mem = self
+                .instances
+                .get_mut(&id)
+                .ok_or(EngineError::UnknownInstance(id))?;
             let mut view = InstanceView {
                 template: &mem.template,
                 header: &mut mem.header,
@@ -830,7 +837,9 @@ impl<D: Disk + Clone> Runtime<D> {
                 Abort => self.abort(id)?,
                 SetData(field, e) => {
                     let value = {
-                        let mem = self.instances.get_mut(&id).unwrap();
+                        let Some(mem) = self.instances.get_mut(&id) else {
+                            continue;
+                        };
                         let view = InstanceView {
                             template: &mem.template,
                             header: &mut mem.header,
@@ -838,7 +847,9 @@ impl<D: Disk + Clone> Runtime<D> {
                         };
                         navigator::eval_in_instance(&view, &e)?
                     };
-                    let mem = self.instances.get_mut(&id).unwrap();
+                    let Some(mem) = self.instances.get_mut(&id) else {
+                        continue;
+                    };
                     mem.header.whiteboard.insert(field.clone(), value);
                     self.persist_header(id)?;
                     self.log(format!("instance {id}: event {event} set {field}"));
@@ -938,7 +949,9 @@ impl<D: Disk + Clone> Runtime<D> {
             .unwrap_or(false);
         if !node_up {
             // Node died while the job was in transit: system failure.
-            let flight = self.in_flight.remove(&job).expect("checked above");
+            let Some(flight) = self.in_flight.remove(&job) else {
+                return Ok(());
+            };
             self.system_failure(
                 flight.instance,
                 &flight.path,
@@ -957,7 +970,9 @@ impl<D: Disk + Clone> Runtime<D> {
             .map(|n| n.consume_flaky_kill())
             .unwrap_or(false);
         if flaky {
-            let flight = self.in_flight.remove(&job).expect("checked above");
+            let Some(flight) = self.in_flight.remove(&job) else {
+                return Ok(());
+            };
             self.system_failure(
                 flight.instance,
                 &flight.path,
@@ -967,7 +982,9 @@ impl<D: Disk + Clone> Runtime<D> {
             )?;
             return Ok(());
         }
-        let node = self.cluster.node_mut(node_name).expect("node exists");
+        let Some(node) = self.cluster.node_mut(node_name) else {
+            return Ok(());
+        };
         node.start_job(at, job, work);
         self.resync_node(node_name);
         Ok(())
@@ -1075,8 +1092,9 @@ impl<D: Disk + Clone> Runtime<D> {
             .unwrap_or(0);
         match flight.result {
             Ok(out) => {
-                let outcome = {
+                let result = {
                     let Some(mem) = self.instances.get_mut(&flight.instance) else {
+                        self.note_stale(flight.instance, Some(&flight.path), "completion");
                         return Ok(());
                     };
                     let mut view = InstanceView {
@@ -1084,7 +1102,18 @@ impl<D: Disk + Clone> Runtime<D> {
                         header: &mut mem.header,
                         tasks: &mut mem.tasks,
                     };
-                    navigator::on_task_ended(&mut view, &flight.path, out.outputs, at, cpu_ms)?
+                    navigator::on_task_ended(&mut view, &flight.path, out.outputs, at, cpu_ms)
+                };
+                let outcome = match result {
+                    Ok(outcome) => outcome,
+                    // A completion for a record that no longer exists (a
+                    // stale in-flight job racing a restart or recovery)
+                    // is evidence, not poison: record it and drop it.
+                    Err(EngineError::UnknownTask(i, p)) => {
+                        self.note_stale(i, Some(&p), "completion");
+                        return Ok(());
+                    }
+                    Err(e) => return Err(e),
                 };
                 self.awareness.record(
                     at,
@@ -1104,8 +1133,9 @@ impl<D: Disk + Clone> Runtime<D> {
                 self.apply_outcome(flight.instance, outcome)?;
             }
             Err(msg) => {
-                let outcome = {
+                let result = {
                     let Some(mem) = self.instances.get_mut(&flight.instance) else {
+                        self.note_stale(flight.instance, Some(&flight.path), "failure report");
                         return Ok(());
                     };
                     let mut view = InstanceView {
@@ -1113,7 +1143,15 @@ impl<D: Disk + Clone> Runtime<D> {
                         header: &mut mem.header,
                         tasks: &mut mem.tasks,
                     };
-                    navigator::on_task_failed(&mut view, &flight.path, FailureKind::Program, at)?
+                    navigator::on_task_failed(&mut view, &flight.path, FailureKind::Program, at)
+                };
+                let outcome = match result {
+                    Ok(outcome) => outcome,
+                    Err(EngineError::UnknownTask(i, p)) => {
+                        self.note_stale(i, Some(&p), "failure report");
+                        return Ok(());
+                    }
+                    Err(e) => return Err(e),
                 };
                 self.awareness.record(
                     at,
@@ -1453,7 +1491,6 @@ impl<D: Disk + Clone> Runtime<D> {
         self.instances.clear();
         self.in_flight.clear();
         self.ready_queue.clear();
-        self.ready_since.clear();
         self.pec_buffer.clear();
         self.node_health.clear();
         self.awareness.discard_pending();
@@ -1493,7 +1530,6 @@ impl<D: Disk + Clone> Runtime<D> {
     fn rebuild_from_store(&mut self) -> EngineResult<u64> {
         self.instances.clear();
         self.ready_queue.clear();
-        self.ready_since.clear();
         self.in_flight.clear();
         // Node health records are authoritative in the configuration
         // space; reload them and re-derive the quarantine-expiry timers
@@ -1586,11 +1622,26 @@ impl<D: Disk + Clone> Runtime<D> {
         requeue.sort();
         let requeued = requeue.len() as u64;
         for (id, path) in requeue {
-            let mem = self.instances.get_mut(&id).expect("exists");
-            let rec = mem.tasks.get_mut(&path).expect("exists");
+            let Some(rec) = self
+                .instances
+                .get_mut(&id)
+                .and_then(|m| m.tasks.get_mut(&path))
+            else {
+                continue;
+            };
             if rec.state == TaskState::Dispatched {
                 rec.state = TaskState::Ready;
                 rec.node = None;
+                // The job was running when the server died; its wait
+                // starts over at recovery.
+                rec.ready_at = Some(now);
+            } else if rec.ready_at.is_none() {
+                // A task that sat Ready through the outage keeps its
+                // persisted enqueue time, so queue-wait metrics report
+                // the full wait including the outage.  Records written
+                // before `ready_at` existed decode as `None` and get the
+                // recovery time as a lower bound.
+                rec.ready_at = Some(now);
             }
             // Reconstruct the pending backoff timer: the RetryAt event
             // died with the kernel consumer, but the deadline survived in
@@ -1680,7 +1731,10 @@ impl<D: Disk + Clone> Runtime<D> {
                 }
                 TaskFlavor::ParallelParent => {
                     let (children, outcome) = {
-                        let mem = self.instances.get_mut(&id).expect("exists");
+                        let Some(mem) = self.instances.get_mut(&id) else {
+                            self.note_stale(id, Some(&path), "parallel expansion");
+                            continue;
+                        };
                         let mut view = InstanceView {
                             template: &mem.template,
                             header: &mut mem.header,
@@ -1700,9 +1754,11 @@ impl<D: Disk + Clone> Runtime<D> {
                     self.start_subprocess(id, &path, &template_name)?;
                 }
                 TaskFlavor::Unknown => {
-                    return Err(EngineError::Internal(format!(
-                        "task {path} of instance {id} has no flavor"
-                    )));
+                    // The queue entry's record or template declaration is
+                    // gone (foreign journal record, template mismatch):
+                    // drop it as a recorded stale event rather than
+                    // poisoning the whole step.
+                    self.note_stale(id, Some(&path), "dispatch: task has no flavor");
                 }
             }
         }
@@ -1714,7 +1770,9 @@ impl<D: Disk + Clone> Runtime<D> {
         let Some(mem) = self.instances.get(&id) else {
             return TaskFlavor::Unknown;
         };
-        let rec = &mem.tasks[path];
+        let Some(rec) = mem.tasks.get(path) else {
+            return TaskFlavor::Unknown;
+        };
         if let Some(parent) = rec.parallel_parent() {
             return match navigator::parallel_body(&mem.template, parent) {
                 Some(ParallelBody::Activity(b)) => TaskFlavor::Activity(b.clone()),
@@ -1778,21 +1836,29 @@ impl<D: Disk + Clone> Runtime<D> {
         let node_name = node_name.to_string();
         // Bind inputs and run the (deterministic) program now; the node
         // will "execute" for the program's declared cost in virtual time.
-        let inputs = {
-            let mem = self.instances.get(&id).expect("exists");
-            let rec = &mem.tasks[path];
-            if rec.is_parallel_child() {
+        let Some(inputs) = self.instances.get(&id).and_then(|mem| {
+            let rec = mem.tasks.get(path)?;
+            Some(if rec.is_parallel_child() {
                 rec.inputs.clone()
             } else {
                 navigator::bind_inputs_parts(&mem.template, &mem.header, &mem.tasks, path)
-            }
+            })
+        }) else {
+            self.note_stale(id, Some(path), "dispatch");
+            return Ok(true); // handled: the stale queue entry is dropped
         };
         let result = program(&inputs);
         let job = self.next_job_id;
         self.next_job_id += 1;
-        {
-            let mem = self.instances.get_mut(&id).expect("exists");
-            let rec = mem.tasks.get_mut(path).expect("exists");
+        let queue_ms = {
+            let Some(rec) = self
+                .instances
+                .get_mut(&id)
+                .and_then(|m| m.tasks.get_mut(path))
+            else {
+                self.note_stale(id, Some(path), "dispatch");
+                return Ok(true);
+            };
             rec.state = TaskState::Dispatched;
             rec.node = Some(node_name.clone());
             rec.started_at = Some(now);
@@ -1802,13 +1868,14 @@ impl<D: Disk + Clone> Runtime<D> {
             if let Some(r) = rec.retry.as_mut() {
                 r.retry_at = None;
             }
-        }
+            // Queue-wait runs from the *persisted* enqueue time, so a
+            // wait spanning a server outage is reported in full.
+            rec.ready_at
+                .take()
+                .map(|since| now.saturating_sub(since).as_millis())
+                .unwrap_or(0)
+        };
         self.persist_task(id, path)?;
-        let queue_ms = self
-            .ready_since
-            .remove(&(id, path.to_string()))
-            .map(|since| now.saturating_sub(since).as_millis())
-            .unwrap_or(0);
         self.awareness.record(
             now,
             EventKind::TaskStart {
@@ -1847,21 +1914,30 @@ impl<D: Disk + Clone> Runtime<D> {
         template_name: &str,
     ) -> EngineResult<()> {
         let now = self.kernel.now();
-        let initial: BTreeMap<String, Value> = {
-            let mem = self.instances.get(&id).expect("exists");
-            let rec = &mem.tasks[path];
-            if rec.is_parallel_child() {
+        let Some(initial) = self.instances.get(&id).and_then(|mem| {
+            let rec = mem.tasks.get(path)?;
+            Some(if rec.is_parallel_child() {
                 rec.inputs.clone()
             } else {
                 navigator::bind_inputs_parts(&mem.template, &mem.header, &mem.tasks, path)
-            }
+            })
+        }) else {
+            self.note_stale(id, Some(path), "subprocess start");
+            return Ok(());
         };
         {
-            let mem = self.instances.get_mut(&id).expect("exists");
-            let rec = mem.tasks.get_mut(path).expect("exists");
+            let Some(rec) = self
+                .instances
+                .get_mut(&id)
+                .and_then(|m| m.tasks.get_mut(path))
+            else {
+                self.note_stale(id, Some(path), "subprocess start");
+                return Ok(());
+            };
             rec.state = TaskState::Dispatched;
             rec.started_at = Some(now);
             rec.inputs = initial.clone();
+            rec.ready_at = None;
         }
         self.persist_task(id, path)?;
         // Late binding: the template is resolved from the template space
@@ -1883,12 +1959,19 @@ impl<D: Disk + Clone> Runtime<D> {
     // Outcome / persistence plumbing
     // ------------------------------------------------------------------
 
-    /// Queue a ready task, remembering when it became ready (first entry
-    /// wins — re-queuing an already-waiting task keeps the original time).
+    /// Queue a ready task, stamping when it became ready on the record
+    /// itself (first entry wins — re-queuing an already-waiting task
+    /// keeps the original time).  The stamp lives on the persisted
+    /// [`TaskRecord`], so queue-wait metrics survive a server crash.
     fn enqueue_ready(&mut self, id: InstanceId, path: String) {
-        self.ready_since
-            .entry((id, path.clone()))
-            .or_insert(self.kernel.now());
+        let now = self.kernel.now();
+        if let Some(rec) = self
+            .instances
+            .get_mut(&id)
+            .and_then(|m| m.tasks.get_mut(&path))
+        {
+            rec.ready_at.get_or_insert(now);
+        }
         self.ready_queue.push_back((id, path));
     }
 
@@ -1964,8 +2047,13 @@ impl<D: Disk + Clone> Runtime<D> {
             // The child's whiteboard fields matching the parent task's
             // declared outputs become the task outputs.
             let (outputs, child_cpu) = {
-                let child = self.instances.get(&child_id).expect("child exists");
-                let parent = self.instances.get(&parent_id).expect("parent exists");
+                let (Some(child), Some(parent)) = (
+                    self.instances.get(&child_id),
+                    self.instances.get(&parent_id),
+                ) else {
+                    self.note_stale(parent_id, Some(parent_task), "child completion");
+                    return Ok(());
+                };
                 let declared: Vec<String> = parent
                     .tasks
                     .get(parent_task)
@@ -2013,7 +2101,10 @@ impl<D: Disk + Clone> Runtime<D> {
                 (outputs, child_cpu)
             };
             let outcome = {
-                let mem = self.instances.get_mut(&parent_id).expect("parent exists");
+                let Some(mem) = self.instances.get_mut(&parent_id) else {
+                    self.note_stale(parent_id, Some(parent_task), "child completion");
+                    return Ok(());
+                };
                 let mut view = InstanceView {
                     template: &mem.template,
                     header: &mut mem.header,
@@ -2025,7 +2116,10 @@ impl<D: Disk + Clone> Runtime<D> {
             self.apply_outcome(parent_id, outcome)?;
         } else {
             let outcome = {
-                let mem = self.instances.get_mut(&parent_id).expect("parent exists");
+                let Some(mem) = self.instances.get_mut(&parent_id) else {
+                    self.note_stale(parent_id, Some(parent_task), "child failure");
+                    return Ok(());
+                };
                 let mut view = InstanceView {
                     template: &mem.template,
                     header: &mut mem.header,
@@ -2053,17 +2147,26 @@ impl<D: Disk + Clone> Runtime<D> {
         why: &str,
     ) -> EngineResult<()> {
         let now = self.kernel.now();
+        if self
+            .instances
+            .get(&id)
+            .map(|m| !m.tasks.contains_key(path))
+            .unwrap_or(true)
         {
-            let Some(mem) = self.instances.get_mut(&id) else {
-                return Ok(());
-            };
-            if !mem.tasks.contains_key(path) {
-                return Ok(());
-            }
+            // The failure outlived its instance (aborted between the fault
+            // and its delivery): record it and move on.
+            self.note_stale(id, Some(path), why);
+            return Ok(());
         }
         let decision = if self.cfg.dependability.enabled {
-            let mem = self.instances.get_mut(&id).expect("checked above");
-            let rec = mem.tasks.get_mut(path).expect("checked above");
+            let Some(rec) = self
+                .instances
+                .get_mut(&id)
+                .and_then(|m| m.tasks.get_mut(path))
+            else {
+                self.note_stale(id, Some(path), why);
+                return Ok(());
+            };
             let retry = rec.retry_mut();
             retry.sys_failures += 1;
             if cause == SystemCause::NodeFault {
@@ -2081,7 +2184,10 @@ impl<D: Disk + Clone> Runtime<D> {
         match decision {
             RetryDecision::Requeue { delay } => {
                 let outcome = {
-                    let mem = self.instances.get_mut(&id).expect("checked above");
+                    let Some(mem) = self.instances.get_mut(&id) else {
+                        self.note_stale(id, Some(path), why);
+                        return Ok(());
+                    };
                     let mut view = InstanceView {
                         template: &mem.template,
                         header: &mut mem.header,
@@ -2100,8 +2206,15 @@ impl<D: Disk + Clone> Runtime<D> {
                 if delay > SimTime::ZERO {
                     let retry_at = now + delay;
                     let attempt = {
-                        let mem = self.instances.get_mut(&id).expect("checked above");
-                        let retry = mem.tasks.get_mut(path).expect("checked above").retry_mut();
+                        let Some(rec) = self
+                            .instances
+                            .get_mut(&id)
+                            .and_then(|m| m.tasks.get_mut(path))
+                        else {
+                            self.note_stale(id, Some(path), why);
+                            return Ok(());
+                        };
+                        let retry = rec.retry_mut();
                         retry.retry_at = Some(retry_at);
                         retry.sys_failures
                     };
@@ -2129,7 +2242,10 @@ impl<D: Disk + Clone> Runtime<D> {
                 // Stop masking: the failure becomes visible through the
                 // task's ordinary retry/failure-policy machinery.
                 let outcome = {
-                    let mem = self.instances.get_mut(&id).expect("checked above");
+                    let Some(mem) = self.instances.get_mut(&id) else {
+                        self.note_stale(id, Some(path), why);
+                        return Ok(());
+                    };
                     if let Some(r) = mem.tasks.get_mut(path).and_then(|rec| rec.retry.as_mut()) {
                         r.retry_at = None;
                     }
@@ -2252,6 +2368,63 @@ impl<D: Disk + Clone> Runtime<D> {
 
     fn log(&mut self, msg: String) {
         self.event_log.push((self.kernel.now(), msg));
+    }
+
+    /// An event referenced an instance or task record the engine no
+    /// longer (or never) knew — a completion outliving an abort, a
+    /// foreign journal record, a cross-shard race.  The paper's stance
+    /// is that the server must survive its own history: record the
+    /// anomaly in the awareness space and drop the event instead of
+    /// panicking.
+    fn note_stale(&mut self, instance: InstanceId, path: Option<&str>, context: &str) {
+        self.awareness.record(
+            self.kernel.now(),
+            EventKind::StaleEvent {
+                instance,
+                path: path.map(str::to_string),
+                context: context.to_string(),
+            },
+        );
+    }
+
+    /// A bounded breakdown of what is stuck, appended to the deadlock
+    /// diagnostic: the first few non-terminal instances and, for each,
+    /// the first few tasks still in a non-terminal state.  Bounded so a
+    /// 100k-instance stall stays a readable message, not a memory spike.
+    fn deadlock_detail(&self) -> String {
+        use std::fmt::Write as _;
+        const MAX_INSTANCES: usize = 8;
+        const MAX_TASKS: usize = 4;
+        let mut out = String::new();
+        let mut shown = 0usize;
+        let mut stuck = 0usize;
+        for (id, mem) in &self.instances {
+            if mem.header.status.is_terminal() {
+                continue;
+            }
+            stuck += 1;
+            if shown >= MAX_INSTANCES {
+                continue;
+            }
+            shown += 1;
+            let _ = write!(out, "; inst {} [{:?}]", id, mem.header.status);
+            for (i, rec) in mem
+                .tasks
+                .values()
+                .filter(|r| !r.state.is_terminal())
+                .enumerate()
+            {
+                if i >= MAX_TASKS {
+                    out.push_str(" …");
+                    break;
+                }
+                let _ = write!(out, " {}={:?}", rec.path, rec.state);
+            }
+        }
+        if stuck > shown {
+            let _ = write!(out, "; (+{} more instances)", stuck - shown);
+        }
+        out
     }
 
     fn all_terminal(&self) -> bool {
@@ -2381,6 +2554,17 @@ impl<D: Disk + Clone> Runtime<D> {
     /// Persist the header and every task record of an instance in one
     /// atomic batch (used at instantiation).
     fn persist_full_instance(&mut self, id: InstanceId) -> EngineResult<()> {
+        // Stamp enqueue times before the records hit disk, so an initial
+        // task's queue wait is measured from instantiation even across a
+        // crash.
+        let now = self.kernel.now();
+        if let Some(mem) = self.instances.get_mut(&id) {
+            for rec in mem.tasks.values_mut() {
+                if rec.state == TaskState::Ready {
+                    rec.ready_at.get_or_insert(now);
+                }
+            }
+        }
         let mem = self
             .instances
             .get(&id)
@@ -2441,6 +2625,7 @@ impl<D: Disk + Clone> Runtime<D> {
         let Some(mem) = self.instances.get(&id) else {
             return Ok(());
         };
+        let now = self.kernel.now();
         let mut paths: BTreeSet<String> = BTreeSet::new();
         for p in extra_paths {
             paths.insert(p.clone());
@@ -2477,6 +2662,25 @@ impl<D: Disk + Clone> Runtime<D> {
                 }
             }
         }
+        // Normalise the persisted enqueue stamp before serialising:
+        // records entering `Ready` carry the time they queued (first
+        // entry wins), records leaving it drop the stamp.  Doing this
+        // here — before the batch is built — is what makes queue-wait
+        // metrics crash-proof.
+        if let Some(mem) = self.instances.get_mut(&id) {
+            for p in &paths {
+                if let Some(rec) = mem.tasks.get_mut(p) {
+                    if rec.state == TaskState::Ready {
+                        rec.ready_at.get_or_insert(now);
+                    } else {
+                        rec.ready_at = None;
+                    }
+                }
+            }
+        }
+        let Some(mem) = self.instances.get(&id) else {
+            return Ok(());
+        };
         let mut batch = Batch::new();
         batch.put(
             Space::Instance,

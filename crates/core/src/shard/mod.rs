@@ -1,0 +1,1007 @@
+//! The sharded navigator: hash-bucketed instances, parallel shard
+//! steppers, and a deterministic barrier.
+//!
+//! The serial [`crate::runtime::Runtime`] interleaves navigation, dispatch
+//! and dependability decisions over one global state, which caps it at a
+//! single core.  This module re-plans that pipeline as a bulk-synchronous
+//! engine:
+//!
+//! 1. instances hash-bucket ([`router::owner`]) onto N [`Shard`]s, each
+//!    with its own journal prefix in the store ([`bioopera_store::shard_key`]);
+//! 2. every round, N shard steppers run **in parallel threads** over the
+//!    shared [`Store`] — each consumes its sorted inbox, runs the pure
+//!    navigator, and group-commits its dirty instances ([`Store::apply_many`]
+//!    per shard) — safe because shard key ranges are disjoint;
+//! 3. the barrier merges all outboxes by `(source instance, seq)`
+//!    ([`router::merge_outboxes`]), feeds the cross-shard services
+//!    (dispatch + node health, [`services::DispatchService`]), allocates
+//!    subprocess instance ids, routes messages for the next round, and
+//!    commits the round's history events.
+//!
+//! Because the barrier consumes a totally-ordered stream and every shard
+//! step is a pure function of `(its journal, its inbox)`, the recorded
+//! history and final state are bit-identical for any shard count and any
+//! thread interleaving — the property the replay proptests pin down.
+
+pub mod router;
+pub mod services;
+pub mod stepper;
+
+pub use router::{
+    merge_outboxes, owner, splitmix64, Effect, Msg, Payload, ShardEvent, ShardId, SrcKey,
+    StepOutput,
+};
+pub use services::{DispatchService, LogicalNode};
+pub use stepper::{FaultInjection, InstanceSlot, Shard, ShardMeta, StepCtx};
+
+use crate::awareness::EventKind;
+use crate::error::{EngineError, EngineResult};
+use crate::library::ActivityLibrary;
+use crate::state::{keys, InstanceId, InstanceStatus, TaskState};
+use bioopera_cluster::SimTime;
+use bioopera_ocr::model::{ProcessTemplate, TaskKind};
+use bioopera_ocr::value::Value;
+use bioopera_store::{shard_key, Batch, Disk, Space, Store};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Barrier-side events (quarantines, probations, subprocess allocations)
+/// get sequence numbers in a range of their own so they sort after the
+/// shard-side events of the same instance within a round.
+const BARRIER_SEQ_BASE: u64 = 1 << 48;
+
+/// Shard-count override: `BIOOPERA_SHARDS=N` (N >= 1).
+pub fn shards_from_env(default: usize) -> usize {
+    std::env::var("BIOOPERA_SHARDS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|n| *n >= 1)
+        .unwrap_or(default)
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Number of hash buckets (fixed for the lifetime of a journal).
+    pub shards: usize,
+    /// Stepper threads (clamped to `[1, shards]`).
+    pub threads: usize,
+    /// Logical execution nodes.
+    pub nodes: usize,
+    /// Concurrent jobs per node.
+    pub node_capacity: usize,
+    /// Consecutive node faults before quarantine.
+    pub quarantine_threshold: u32,
+    /// Masked system failures tolerated per task before escalation.
+    pub retry_budget: u32,
+    /// Deterministic node-fault injection (torture harness).
+    pub faults: Option<FaultInjection>,
+    /// Round-count ceiling before the engine reports a stuck workload.
+    pub max_rounds: u64,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        let shards = shards_from_env(4);
+        ShardConfig {
+            shards,
+            threads: shards,
+            nodes: 4,
+            node_capacity: 64,
+            quarantine_threshold: 3,
+            retry_budget: 3,
+            faults: None,
+            max_rounds: 100_000,
+        }
+    }
+}
+
+/// What a completed run looked like.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardRunStats {
+    /// Barrier rounds executed.
+    pub rounds: u64,
+    /// Instances resident at the end.
+    pub instances: u64,
+    /// Instances that completed.
+    pub completed: u64,
+    /// Instances that aborted.
+    pub aborted: u64,
+    /// History events recorded over the engine's lifetime.
+    pub events: u64,
+    /// Node grants issued over the engine's lifetime.
+    pub grants: u64,
+}
+
+/// The sharded navigator engine.
+pub struct ShardEngine<D: Disk> {
+    cfg: ShardConfig,
+    store: Store<D>,
+    library: ActivityLibrary,
+    templates: BTreeMap<String, Arc<ProcessTemplate>>,
+    shards: Vec<Shard>,
+    inboxes: Vec<Vec<Msg>>,
+    service: DispatchService,
+    round: u64,
+    next_instance: InstanceId,
+    events_recorded: u64,
+    history_digest: u64,
+    counts: BTreeMap<String, u64>,
+}
+
+impl<D: Disk> ShardEngine<D> {
+    /// A fresh engine over an empty (or at least shard-unused) store.
+    pub fn new(store: Store<D>, library: ActivityLibrary, mut cfg: ShardConfig) -> Self {
+        cfg.shards = cfg.shards.max(1);
+        cfg.threads = cfg.threads.clamp(1, cfg.shards);
+        let shards = (0..cfg.shards).map(Shard::new).collect();
+        let inboxes = vec![Vec::new(); cfg.shards];
+        let service = DispatchService::new(cfg.nodes, cfg.node_capacity, cfg.quarantine_threshold);
+        ShardEngine {
+            store,
+            library,
+            templates: BTreeMap::new(),
+            shards,
+            inboxes,
+            service,
+            round: 0,
+            next_instance: 1,
+            events_recorded: 0,
+            history_digest: FNV_OFFSET,
+            counts: BTreeMap::new(),
+            cfg,
+        }
+    }
+
+    /// Register (and persist) a template.
+    pub fn register_template(&mut self, template: ProcessTemplate) -> EngineResult<()> {
+        let mut b = Batch::new();
+        b.put(
+            Space::Template,
+            keys::template(&template.name),
+            encode(&template)?,
+        );
+        self.store.apply(b).map_err(EngineError::Store)?;
+        self.templates
+            .insert(template.name.clone(), Arc::new(template));
+        Ok(())
+    }
+
+    /// Submit a new root instance; it starts at the next round.  The
+    /// submission is durable immediately: a pending-start record outlives
+    /// a crash until the owning shard commits the instance itself.
+    pub fn submit(
+        &mut self,
+        template: &str,
+        initial: BTreeMap<String, Value>,
+    ) -> EngineResult<InstanceId> {
+        if !self.templates.contains_key(template) {
+            return Err(EngineError::UnknownTemplate(template.to_string()));
+        }
+        let id = self.next_instance;
+        self.next_instance += 1;
+        self.store
+            .put(
+                Space::Instance,
+                pending_key(id),
+                encode(&PendingStart {
+                    template: template.to_string(),
+                    initial: initial.clone(),
+                })?,
+            )
+            .map_err(EngineError::Store)?;
+        self.route(Msg {
+            dest: id,
+            src: (id, 0),
+            payload: Payload::Start {
+                template: template.to_string(),
+                initial,
+                parent: None,
+            },
+        });
+        Ok(id)
+    }
+
+    fn route(&mut self, msg: Msg) {
+        let shard = owner(msg.dest, self.cfg.shards);
+        self.inboxes[shard].push(msg);
+    }
+
+    /// Nothing queued anywhere: no inbox messages, no waiting requests.
+    /// (Granted slots are always consumed and released within one round,
+    /// so a non-empty `in_flight` implies a non-empty inbox.)
+    pub fn quiescent(&self) -> bool {
+        self.inboxes.iter().all(Vec::is_empty) && self.service.queued() == 0
+    }
+
+    /// Run one BSP round: parallel shard steps, then the barrier.
+    /// Returns `false` (without running) once quiescent.
+    pub fn step_round(&mut self) -> EngineResult<bool> {
+        if self.quiescent() {
+            return Ok(false);
+        }
+        let round = self.round;
+        let inboxes = std::mem::replace(&mut self.inboxes, vec![Vec::new(); self.cfg.shards]);
+        let outputs = {
+            let ctx = StepCtx {
+                round,
+                library: &self.library,
+                templates: &self.templates,
+                faults: self.cfg.faults.as_ref(),
+                retry_budget: self.cfg.retry_budget,
+            };
+            let threads = self.cfg.threads.clamp(1, self.cfg.shards);
+            if threads <= 1 {
+                let mut outs = Vec::with_capacity(self.shards.len());
+                for (shard, inbox) in self.shards.iter_mut().zip(inboxes) {
+                    let (out, batches) = shard.step(&ctx, inbox)?;
+                    self.store.apply_many(batches).map_err(EngineError::Store)?;
+                    outs.push(out);
+                }
+                outs
+            } else {
+                let chunk = self.shards.len().div_ceil(threads);
+                let store = &self.store;
+                let ctx = &ctx;
+                let mut inbox_iter = inboxes.into_iter();
+                let chunked: Vec<(&mut [Shard], Vec<Vec<Msg>>)> = self
+                    .shards
+                    .chunks_mut(chunk)
+                    .map(|shards| {
+                        let inboxes: Vec<Vec<Msg>> =
+                            inbox_iter.by_ref().take(shards.len()).collect();
+                        (shards, inboxes)
+                    })
+                    .collect();
+                let results: Vec<EngineResult<Vec<(ShardId, StepOutput)>>> =
+                    std::thread::scope(|s| {
+                        let handles: Vec<_> = chunked
+                            .into_iter()
+                            .map(|(shards, inboxes)| {
+                                s.spawn(move || {
+                                    let mut outs = Vec::with_capacity(shards.len());
+                                    for (shard, inbox) in shards.iter_mut().zip(inboxes) {
+                                        let (out, batches) = shard.step(ctx, inbox)?;
+                                        store.apply_many(batches).map_err(EngineError::Store)?;
+                                        outs.push((shard.id, out));
+                                    }
+                                    Ok(outs)
+                                })
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| match h.join() {
+                                Ok(r) => r,
+                                Err(_) => Err(EngineError::Internal(
+                                    "shard stepper thread panicked".to_string(),
+                                )),
+                            })
+                            .collect()
+                    });
+                let mut tagged = Vec::with_capacity(self.shards.len());
+                for r in results {
+                    tagged.extend(r?);
+                }
+                tagged.sort_by_key(|(id, _)| *id);
+                tagged.into_iter().map(|(_, out)| out).collect()
+            }
+        };
+        self.barrier(round, outputs)?;
+        self.round += 1;
+        Ok(true)
+    }
+
+    /// The deterministic barrier: merge outboxes, drive the cross-shard
+    /// services, allocate subprocess ids, route next-round messages, and
+    /// commit the round's history.
+    fn barrier(&mut self, round: u64, outputs: Vec<StepOutput>) -> EngineResult<()> {
+        let (effects, mut events) = merge_outboxes(outputs);
+        let mut bseq = 0u64;
+        let mut barrier_events: Vec<ShardEvent> = Vec::new();
+        let mut bev = |events: &mut Vec<ShardEvent>, instance: InstanceId, kind: EventKind| {
+            events.push(ShardEvent {
+                round,
+                instance,
+                seq: BARRIER_SEQ_BASE + bseq,
+                kind,
+            });
+            bseq += 1;
+        };
+        for effect in effects {
+            match effect {
+                Effect::Send(msg) => self.route(msg),
+                Effect::Request {
+                    instance,
+                    path,
+                    src,
+                } => self.service.request(instance, path, src),
+                Effect::Release { node, faulted, .. } => {
+                    if let Some(kind) = self.service.release(&node, faulted, round) {
+                        bev(&mut barrier_events, u64::MAX, kind);
+                    }
+                }
+                Effect::Spawn {
+                    parent,
+                    template,
+                    initial,
+                    src,
+                } => {
+                    let child = self.next_instance;
+                    self.next_instance += 1;
+                    bev(
+                        &mut barrier_events,
+                        parent.0,
+                        EventKind::SubprocessStart {
+                            instance: parent.0,
+                            path: parent.1.clone(),
+                            child,
+                            template: template.clone(),
+                        },
+                    );
+                    self.route(Msg {
+                        dest: child,
+                        src,
+                        payload: Payload::Start {
+                            template,
+                            initial,
+                            parent: Some(parent),
+                        },
+                    });
+                }
+            }
+        }
+        let (grants, probations) = self.service.assign(round);
+        for kind in probations {
+            bev(&mut barrier_events, u64::MAX, kind);
+        }
+        for grant in grants {
+            self.route(grant);
+        }
+        events.extend(barrier_events);
+        self.commit_events(round, &events)
+    }
+
+    fn commit_events(&mut self, round: u64, events: &[ShardEvent]) -> EngineResult<()> {
+        if !events.is_empty() {
+            let mut b = Batch::new();
+            for (i, e) in events.iter().enumerate() {
+                b.put(Space::History, event_key(round, i), encode(e)?);
+            }
+            self.store.apply(b).map_err(EngineError::Store)?;
+        }
+        for e in events {
+            self.fold_event(e);
+        }
+        Ok(())
+    }
+
+    fn fold_event(&mut self, e: &ShardEvent) {
+        self.events_recorded += 1;
+        *self.counts.entry(e.kind.label().to_string()).or_default() += 1;
+        let mut h = self.history_digest;
+        h = fnv1a64(h, &e.round.to_le_bytes());
+        h = fnv1a64(h, &e.instance.to_le_bytes());
+        h = fnv1a64(h, &e.seq.to_le_bytes());
+        if let Ok(bytes) = serde_json::to_vec(&e.kind) {
+            h = fnv1a64(h, &bytes);
+        }
+        self.history_digest = h;
+    }
+
+    /// Run rounds to quiescence; error (with a bounded diagnostic) if the
+    /// workload wedges or exceeds the round ceiling.
+    pub fn run_to_completion(&mut self) -> EngineResult<ShardRunStats> {
+        while self.step_round()? {
+            if self.round > self.cfg.max_rounds {
+                return Err(EngineError::Internal(format!(
+                    "no quiescence after {} rounds{}",
+                    self.cfg.max_rounds,
+                    self.stuck_detail()
+                )));
+            }
+        }
+        let stats = self.stats();
+        let stuck = stats.instances - stats.completed - stats.aborted;
+        if stuck > 0 {
+            return Err(EngineError::Internal(format!(
+                "quiescent with {stuck} non-terminal instance(s){}",
+                self.stuck_detail()
+            )));
+        }
+        Ok(stats)
+    }
+
+    /// Bounded per-instance breakdown of non-terminal state, mirroring
+    /// the serial engine's deadlock diagnostic.
+    fn stuck_detail(&self) -> String {
+        const MAX_INSTANCES: usize = 8;
+        const MAX_TASKS: usize = 4;
+        let mut detail = String::new();
+        let mut shown = 0usize;
+        let mut total = 0usize;
+        for shard in &self.shards {
+            for (id, slot) in &shard.slots {
+                if slot.header.status.is_terminal() {
+                    continue;
+                }
+                total += 1;
+                if shown >= MAX_INSTANCES {
+                    continue;
+                }
+                shown += 1;
+                detail.push_str(&format!("; inst {} [{:?}]", id, slot.header.status));
+                for (i, rec) in slot
+                    .tasks
+                    .values()
+                    .filter(|r| !r.state.is_terminal())
+                    .enumerate()
+                {
+                    if i >= MAX_TASKS {
+                        detail.push_str(" …");
+                        break;
+                    }
+                    detail.push_str(&format!(" {}={:?}", rec.path, rec.state));
+                }
+            }
+        }
+        if total > shown {
+            detail.push_str(&format!("; (+{} more instances)", total - shown));
+        }
+        detail
+    }
+
+    /// Torture hook: run one round's shard steps **serially**, commit only
+    /// the first `commit_prefix` shards' journal batches, and stop before
+    /// the barrier — modelling a crash at the shard barrier with a prefix
+    /// of the round's group commits on disk.  The engine is unusable
+    /// afterwards; reopen the store and [`ShardEngine::recover`].
+    pub fn step_round_partial_commit(&mut self, commit_prefix: usize) -> EngineResult<()> {
+        let round = self.round;
+        let inboxes = std::mem::replace(&mut self.inboxes, vec![Vec::new(); self.cfg.shards]);
+        let ctx = StepCtx {
+            round,
+            library: &self.library,
+            templates: &self.templates,
+            faults: self.cfg.faults.as_ref(),
+            retry_budget: self.cfg.retry_budget,
+        };
+        for (i, (shard, inbox)) in self.shards.iter_mut().zip(inboxes).enumerate() {
+            let (_out, batches) = shard.step(&ctx, inbox)?;
+            if i < commit_prefix {
+                self.store.apply_many(batches).map_err(EngineError::Store)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebuild an engine from the store: templates, per-shard journals,
+    /// then re-drive the in-doubt cross-shard work (lost grants, lost
+    /// child-completion messages, lost spawn requests).
+    pub fn recover(
+        store: Store<D>,
+        library: ActivityLibrary,
+        mut cfg: ShardConfig,
+    ) -> EngineResult<Self> {
+        cfg.shards = cfg.shards.max(1);
+        cfg.threads = cfg.threads.clamp(1, cfg.shards);
+        let mut templates = BTreeMap::new();
+        for (_key, bytes) in store
+            .scan_prefix(Space::Template, "tmpl/")
+            .map_err(EngineError::Store)?
+        {
+            let t: ProcessTemplate = decode(&bytes)?;
+            templates.insert(t.name.clone(), Arc::new(t));
+        }
+        let mut shards = Vec::with_capacity(cfg.shards);
+        let mut round = 0u64;
+        let mut next_instance = 1u64;
+        for i in 0..cfg.shards {
+            let (shard, r) = Shard::recover(i, &store, &templates)?;
+            round = round.max(r);
+            if let Some((max, _)) = shard.slots.last_key_value() {
+                next_instance = next_instance.max(max + 1);
+            }
+            shards.push(shard);
+        }
+        let service = DispatchService::new(cfg.nodes, cfg.node_capacity, cfg.quarantine_threshold);
+        let mut engine = ShardEngine {
+            inboxes: vec![Vec::new(); cfg.shards],
+            round: round + 1,
+            next_instance,
+            events_recorded: 0,
+            history_digest: FNV_OFFSET,
+            counts: BTreeMap::new(),
+            store,
+            library,
+            templates,
+            shards,
+            service,
+            cfg,
+        };
+        // Fold the committed history back into the digest/counters so the
+        // lifetime view stays continuous across the crash.
+        let persisted = engine
+            .store
+            .scan_prefix(Space::History, "sev/")
+            .map_err(EngineError::Store)?;
+        for (_key, bytes) in persisted {
+            if let Ok(e) = serde_json::from_slice::<ShardEvent>(&bytes) {
+                engine.fold_event(&e);
+            }
+        }
+        engine.redrive()?;
+        Ok(engine)
+    }
+
+    /// Reconstruct in-doubt cross-shard work from both sides' journals:
+    ///
+    /// * dispatched activities lost their grant → back to `Ready` and
+    ///   re-requested (`ready_at` is preserved, so queue-wait metrics
+    ///   span the outage);
+    /// * a terminal child whose parent task is still `Dispatched` lost
+    ///   its `ChildDone` message → re-sent (the parent's state check
+    ///   dedupes);
+    /// * a `Dispatched` subprocess task with no live child lost its spawn
+    ///   → re-spawned under a fresh id.
+    fn redrive(&mut self) -> EngineResult<()> {
+        let now = SimTime::from_secs(self.round);
+        let round = self.round;
+        // Pass 0: acked submissions whose Start message died in memory
+        // before the owning shard committed the instance.  (Records for
+        // instances that did come up are just stale; drop them.)
+        let pending = self
+            .store
+            .scan_prefix(Space::Instance, "pending/")
+            .map_err(EngineError::Store)?;
+        for (key, bytes) in pending {
+            let Some(id) = key
+                .strip_prefix("pending/")
+                .and_then(|s| s.parse::<InstanceId>().ok())
+            else {
+                continue;
+            };
+            self.next_instance = self.next_instance.max(id + 1);
+            if self.shards[owner(id, self.cfg.shards)]
+                .slots
+                .contains_key(&id)
+            {
+                self.store
+                    .delete(Space::Instance, key)
+                    .map_err(EngineError::Store)?;
+                continue;
+            }
+            let start: PendingStart = decode(&bytes)?;
+            self.route(Msg {
+                dest: id,
+                src: (id, 0),
+                payload: Payload::Start {
+                    template: start.template,
+                    initial: start.initial,
+                    parent: None,
+                },
+            });
+        }
+        // Pass 1 (read-only): child-instance facts.
+        let mut live_children: BTreeSet<(InstanceId, String)> = BTreeSet::new();
+        let mut child_results: Vec<ChildResult> = Vec::new();
+        for shard in &self.shards {
+            for (id, slot) in &shard.slots {
+                if let Some((pid, ppath)) = &slot.header.parent {
+                    live_children.insert((*pid, ppath.clone()));
+                    if slot.header.status.is_terminal() {
+                        child_results.push((
+                            *pid,
+                            ppath.clone(),
+                            *id,
+                            slot.header.status == InstanceStatus::Completed,
+                            slot.header.whiteboard.clone(),
+                            slot.cpu_ms(),
+                        ));
+                    }
+                }
+            }
+        }
+        // Pass 2 (mutating): requeue lost grants, find lost spawns.
+        let mut requests: Vec<(InstanceId, String)> = Vec::new();
+        let mut spawns: Vec<(InstanceId, String, String, BTreeMap<String, Value>)> = Vec::new();
+        let mut requeued = 0u64;
+        let mut batches: Vec<Batch> = Vec::new();
+        for shard in &mut self.shards {
+            for (id, slot) in &mut shard.slots {
+                if slot.header.status != InstanceStatus::Running {
+                    continue;
+                }
+                let tmpl = slot.template.clone();
+                let mut batch = Batch::new();
+                for rec in slot.tasks.values_mut() {
+                    let subprocess_like = match rec.parallel_parent() {
+                        Some(parent) => matches!(
+                            crate::navigator::parallel_body(&tmpl, parent),
+                            Some(bioopera_ocr::model::ParallelBody::Subprocess(_))
+                        ),
+                        None => matches!(
+                            tmpl.task(&rec.path).map(|t| &t.kind),
+                            Some(TaskKind::Subprocess { .. })
+                        ),
+                    };
+                    let parallel_parent_task = rec.parallel_parent().is_none()
+                        && matches!(
+                            tmpl.task(&rec.path).map(|t| &t.kind),
+                            Some(TaskKind::Parallel { .. })
+                        );
+                    match rec.state {
+                        TaskState::Ready => {
+                            rec.ready_at.get_or_insert(now);
+                            requests.push((*id, rec.path.clone()));
+                            batch.put(
+                                Space::Instance,
+                                shard_key(shard.id, &keys::task(*id, &rec.path)),
+                                encode(&*rec)?,
+                            );
+                        }
+                        TaskState::Dispatched if parallel_parent_task => {
+                            // Concluded by its children; nothing in flight.
+                        }
+                        TaskState::Dispatched
+                            if subprocess_like
+                                && !live_children.contains(&(*id, rec.path.clone())) =>
+                        {
+                            let template = match rec.parallel_parent() {
+                                Some(parent) => {
+                                    match crate::navigator::parallel_body(&tmpl, parent) {
+                                        Some(bioopera_ocr::model::ParallelBody::Subprocess(t)) => {
+                                            t.clone()
+                                        }
+                                        _ => continue,
+                                    }
+                                }
+                                None => match tmpl.task(&rec.path).map(|t| &t.kind) {
+                                    Some(TaskKind::Subprocess { template }) => template.clone(),
+                                    _ => continue,
+                                },
+                            };
+                            spawns.push((*id, rec.path.clone(), template, rec.inputs.clone()));
+                        }
+                        TaskState::Dispatched if subprocess_like => {
+                            // The child is alive and will report ChildDone
+                            // itself; leave the parent task in flight.
+                        }
+                        TaskState::Dispatched => {
+                            // An activity grant died with the server.
+                            rec.state = TaskState::Ready;
+                            rec.node = None;
+                            rec.ready_at.get_or_insert(now);
+                            requeued += 1;
+                            requests.push((*id, rec.path.clone()));
+                            batch.put(
+                                Space::Instance,
+                                shard_key(shard.id, &keys::task(*id, &rec.path)),
+                                encode(&*rec)?,
+                            );
+                        }
+                        _ => {}
+                    }
+                }
+                if !batch.is_empty() {
+                    batches.push(batch);
+                }
+            }
+        }
+        self.store.apply_many(batches).map_err(EngineError::Store)?;
+        // Deterministic order for everything the services/inboxes see.
+        requests.sort();
+        child_results.sort_by_key(|a| a.2);
+        spawns.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+        let mut events: Vec<ShardEvent> = Vec::new();
+        let mut bseq = 0u64;
+        for (instance, path) in requests {
+            let src = (instance, BARRIER_SEQ_BASE + bseq);
+            bseq += 1;
+            self.service.request(instance, path, src);
+        }
+        for (pid, ppath, child, success, outputs, cpu_ms) in child_results {
+            self.route(Msg {
+                dest: pid,
+                src: (child, BARRIER_SEQ_BASE + bseq),
+                payload: Payload::ChildDone {
+                    path: ppath,
+                    child,
+                    success,
+                    outputs,
+                    cpu_ms,
+                },
+            });
+            bseq += 1;
+        }
+        for (pid, ppath, template, initial) in spawns {
+            let child = self.next_instance;
+            self.next_instance += 1;
+            events.push(ShardEvent {
+                round,
+                instance: pid,
+                seq: BARRIER_SEQ_BASE + bseq,
+                kind: EventKind::SubprocessStart {
+                    instance: pid,
+                    path: ppath.clone(),
+                    child,
+                    template: template.clone(),
+                },
+            });
+            self.route(Msg {
+                dest: child,
+                src: (pid, BARRIER_SEQ_BASE + bseq),
+                payload: Payload::Start {
+                    template,
+                    initial,
+                    parent: Some((pid, ppath)),
+                },
+            });
+            bseq += 1;
+        }
+        events.push(ShardEvent {
+            round,
+            instance: u64::MAX,
+            seq: BARRIER_SEQ_BASE + bseq,
+            kind: EventKind::ServerRecover { requeued },
+        });
+        self.commit_events(round, &events)?;
+        // The recovery pseudo-round used `round`'s event keys; advance so
+        // the next barrier commits under fresh keys.
+        self.round += 1;
+        Ok(())
+    }
+
+    /// Current run statistics.
+    pub fn stats(&self) -> ShardRunStats {
+        let mut stats = ShardRunStats {
+            rounds: self.round,
+            events: self.events_recorded,
+            grants: self.service.granted(),
+            ..Default::default()
+        };
+        for shard in &self.shards {
+            for slot in shard.slots.values() {
+                stats.instances += 1;
+                match slot.header.status {
+                    InstanceStatus::Completed => stats.completed += 1,
+                    InstanceStatus::Aborted => stats.aborted += 1,
+                    _ => {}
+                }
+            }
+        }
+        stats
+    }
+
+    /// Rolling FNV-1a digest of the committed history stream (order-
+    /// sensitive): bit-identical across shard counts and thread counts.
+    pub fn history_digest(&self) -> u64 {
+        self.history_digest
+    }
+
+    /// Digest of the final instance state, merged across shards in
+    /// instance order (shard-placement independent).
+    pub fn state_digest(&self) -> u64 {
+        let mut slots: Vec<(&InstanceId, &InstanceSlot)> =
+            self.shards.iter().flat_map(|s| s.slots.iter()).collect();
+        slots.sort_by_key(|(id, _)| **id);
+        let mut h = FNV_OFFSET;
+        for (id, slot) in slots {
+            h = fnv1a64(h, &id.to_le_bytes());
+            if let Ok(bytes) = serde_json::to_vec(&slot.header) {
+                h = fnv1a64(h, &bytes);
+            }
+            for rec in slot.tasks.values() {
+                if let Ok(bytes) = serde_json::to_vec(rec) {
+                    h = fnv1a64(h, &bytes);
+                }
+            }
+        }
+        h
+    }
+
+    /// Lifetime event counts by label.
+    pub fn event_counts(&self) -> &BTreeMap<String, u64> {
+        &self.counts
+    }
+
+    /// Current round.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Status of an instance, wherever it lives.
+    pub fn instance_status(&self, id: InstanceId) -> Option<InstanceStatus> {
+        self.shards[owner(id, self.cfg.shards)]
+            .slots
+            .get(&id)
+            .map(|s| s.header.status)
+    }
+
+    /// Final whiteboard of an instance (for output-equality checks).
+    pub fn instance_whiteboard(&self, id: InstanceId) -> Option<&BTreeMap<String, Value>> {
+        self.shards[owner(id, self.cfg.shards)]
+            .slots
+            .get(&id)
+            .map(|s| &s.header.whiteboard)
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &Store<D> {
+        &self.store
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ShardConfig {
+        &self.cfg
+    }
+
+    /// Decode the committed history events (in commit order).
+    pub fn persisted_events(&self) -> EngineResult<Vec<ShardEvent>> {
+        let mut events = Vec::new();
+        for (_key, bytes) in self
+            .store
+            .scan_prefix(Space::History, "sev/")
+            .map_err(EngineError::Store)?
+        {
+            events.push(decode(&bytes)?);
+        }
+        Ok(events)
+    }
+}
+
+fn event_key(round: u64, index: usize) -> String {
+    format!("sev/{round:08}/{index:06}")
+}
+
+/// Recovery fact about a terminal child: `(parent, parent task path,
+/// child id, success, child whiteboard, child cpu_ms)`.
+type ChildResult = (
+    InstanceId,
+    String,
+    InstanceId,
+    bool,
+    BTreeMap<String, Value>,
+    f64,
+);
+
+/// Durable record of an acked-but-not-yet-committed root submission.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+struct PendingStart {
+    template: String,
+    initial: BTreeMap<String, Value>,
+}
+
+/// Key of a pending-start record (outside every shard prefix, so it is
+/// visible to engine recovery regardless of which shard owns the id).
+pub(crate) fn pending_key(id: InstanceId) -> String {
+    format!("pending/{id:012}")
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+fn fnv1a64(mut hash: u64, bytes: &[u8]) -> u64 {
+    for b in bytes {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x1_0000_01b3);
+    }
+    hash
+}
+
+fn encode<T: serde::Serialize>(value: &T) -> EngineResult<Vec<u8>> {
+    serde_json::to_vec(value).map_err(|e| EngineError::Internal(format!("encode: {e}")))
+}
+
+fn decode<T: serde::de::DeserializeOwned>(bytes: &[u8]) -> EngineResult<T> {
+    serde_json::from_slice(bytes).map_err(|e| EngineError::Internal(format!("decode: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::ProgramOutput;
+    use bioopera_ocr::model::TypeTag;
+    use bioopera_ocr::ProcessBuilder;
+    use bioopera_store::MemDisk;
+
+    fn chain_library() -> ActivityLibrary {
+        let mut lib = ActivityLibrary::new();
+        lib.register("p.a", |_inputs| {
+            Ok(ProgramOutput::from_fields([("x", Value::Int(7))], 10.0))
+        });
+        lib.register("p.b", |inputs| {
+            let x = inputs
+                .get("x")
+                .and_then(|v| v.as_int())
+                .ok_or_else(|| "missing x".to_string())?;
+            Ok(ProgramOutput::from_fields([("y", Value::Int(x * 2))], 20.0))
+        });
+        lib
+    }
+
+    fn chain_template() -> ProcessTemplate {
+        ProcessBuilder::new("Chain")
+            .activity("A", "p.a", |t| t.output("x", TypeTag::Int))
+            .activity("B", "p.b", |t| {
+                t.input("x", TypeTag::Int).output("y", TypeTag::Int)
+            })
+            .connect("A", "B")
+            .flow_to_task("A", "x", "B", "x")
+            .build()
+            .unwrap()
+    }
+
+    fn engine(shards: usize, threads: usize) -> ShardEngine<MemDisk> {
+        let store = Store::open(MemDisk::new()).unwrap();
+        let cfg = ShardConfig {
+            shards,
+            threads,
+            ..ShardConfig::default()
+        };
+        let mut eng = ShardEngine::new(store, chain_library(), cfg);
+        eng.register_template(chain_template()).unwrap();
+        eng
+    }
+
+    #[test]
+    fn chain_completes_and_whiteboard_flows() {
+        let mut eng = engine(2, 2);
+        let ids: Vec<InstanceId> = (0..10)
+            .map(|_| eng.submit("Chain", BTreeMap::new()).unwrap())
+            .collect();
+        let stats = eng.run_to_completion().unwrap();
+        assert_eq!(stats.completed, 10);
+        assert_eq!(stats.aborted, 0);
+        for id in ids {
+            assert_eq!(eng.instance_status(id), Some(InstanceStatus::Completed));
+        }
+        assert_eq!(eng.event_counts()["instance.complete"], 10);
+        assert_eq!(eng.event_counts()["task.end"], 20);
+    }
+
+    #[test]
+    fn shard_count_and_thread_count_do_not_change_the_history() {
+        let run = |shards: usize, threads: usize| {
+            let mut eng = engine(shards, threads);
+            for _ in 0..16 {
+                eng.submit("Chain", BTreeMap::new()).unwrap();
+            }
+            eng.run_to_completion().unwrap();
+            (eng.history_digest(), eng.state_digest())
+        };
+        let baseline = run(1, 1);
+        assert_eq!(run(4, 1), baseline);
+        assert_eq!(run(4, 4), baseline);
+        assert_eq!(run(8, 3), baseline);
+    }
+
+    #[test]
+    fn recovery_resumes_after_partial_commit() {
+        let disk = MemDisk::new();
+        let store = Store::open(disk.clone()).unwrap();
+        let cfg = ShardConfig {
+            shards: 4,
+            threads: 1,
+            ..ShardConfig::default()
+        };
+        let mut eng = ShardEngine::new(store, chain_library(), cfg.clone());
+        eng.register_template(chain_template()).unwrap();
+        for _ in 0..12 {
+            eng.submit("Chain", BTreeMap::new()).unwrap();
+        }
+        // A couple of clean rounds, then a crash with only two of four
+        // shard commits on disk.
+        eng.step_round().unwrap();
+        eng.step_round().unwrap();
+        eng.step_round_partial_commit(2).unwrap();
+        drop(eng);
+        let store = Store::open(disk).unwrap();
+        let mut eng = ShardEngine::recover(store, chain_library(), cfg).unwrap();
+        let stats = eng.run_to_completion().unwrap();
+        assert_eq!(
+            stats.completed, 12,
+            "all submitted work completes: {stats:?}"
+        );
+        assert_eq!(stats.aborted, 0);
+    }
+}

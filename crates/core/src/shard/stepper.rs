@@ -1,0 +1,1002 @@
+//! The shard stepper: a pure function of `(shard journal, sorted inbox)`.
+//!
+//! One [`Shard`] owns the instances that hash-bucket onto it and nothing
+//! else.  Each round it consumes its (sorted) inbox, runs the navigator on
+//! the affected instances, and returns
+//!
+//! * a [`StepOutput`] — effects + events tagged with `(instance, seq)`
+//!   source keys for the deterministic barrier merge, and
+//! * one [`Batch`] per dirty instance — its header plus every task record
+//!   the navigator touched, keyed under the shard's journal prefix so the
+//!   per-shard group commits of concurrent steppers never interleave
+//!   logically.
+//!
+//! Nothing in here reads global state: no dispatcher, no node table, no
+//! other shard's instances.  Cross-instance interaction — even between two
+//! instances on the *same* shard — travels through the outbox and waits
+//! for the barrier, which is what makes an N-shard run bit-identical to a
+//! 1-shard run.
+
+use super::router::{splitmix64, Effect, Msg, Payload, ShardEvent, ShardId, StepOutput};
+use crate::awareness::EventKind;
+use crate::error::{EngineError, EngineResult};
+use crate::library::ActivityLibrary;
+use crate::navigator::{self, FailureKind, InstanceView, NavOutcome};
+use crate::state::{keys, InstanceHeader, InstanceId, InstanceStatus, TaskRecord, TaskState};
+use bioopera_cluster::SimTime;
+use bioopera_ocr::model::{DataRef, ParallelBody, ProcessTemplate, TaskKind};
+use bioopera_ocr::value::Value;
+use bioopera_store::{shard_key, Batch, Disk, Space, Store};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
+
+/// Sequence numbers for events about instances the shard does not know
+/// (stale grants, unknown templates) start here so they sort after any
+/// live instance activity without colliding with it.
+const STALE_SEQ_BASE: u64 = 1 << 32;
+
+/// Deterministic node-fault injection for the shard torture harness: a
+/// grant faults when the hash of `(seed, instance, path, attempt)` lands
+/// under the configured rate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultInjection {
+    /// Hash seed (vary per torture iteration).
+    pub seed: u64,
+    /// Faults per million grants.
+    pub rate_ppm: u32,
+}
+
+impl FaultInjection {
+    /// Does this `(instance, path, attempt)` grant fault?
+    pub fn hits(&self, instance: InstanceId, path: &str, attempt: u32) -> bool {
+        let mut h = splitmix64(self.seed ^ splitmix64(instance));
+        for b in path.bytes() {
+            h = splitmix64(h ^ u64::from(b));
+        }
+        h = splitmix64(h ^ u64::from(attempt));
+        (h % 1_000_000) < u64::from(self.rate_ppm)
+    }
+}
+
+/// Per-round shard metadata record (`s{NNNN}/meta`): the last round this
+/// shard committed, used to resume the round clock after a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShardMeta {
+    /// Last committed round.
+    pub round: u64,
+}
+
+/// Read-only per-round context shared by all shard steppers.
+pub struct StepCtx<'a> {
+    /// Current round (the virtual clock: `now = from_secs(round)`).
+    pub round: u64,
+    /// Program bodies.
+    pub library: &'a ActivityLibrary,
+    /// Template space snapshot.
+    pub templates: &'a BTreeMap<String, Arc<ProcessTemplate>>,
+    /// Optional deterministic node-fault injection.
+    pub faults: Option<&'a FaultInjection>,
+    /// Masked system failures tolerated per task before escalation to a
+    /// program failure (mirrors the serial dependability policy).
+    pub retry_budget: u32,
+}
+
+impl StepCtx<'_> {
+    fn now(&self) -> SimTime {
+        SimTime::from_secs(self.round)
+    }
+}
+
+/// One instance resident on a shard.
+#[derive(Debug, Clone)]
+pub struct InstanceSlot {
+    /// The resolved template (shared, immutable).
+    pub template: Arc<ProcessTemplate>,
+    /// Header record.
+    pub header: InstanceHeader,
+    /// Task records by path.
+    pub tasks: BTreeMap<String, TaskRecord>,
+    /// Next event/effect sequence number (in-memory; the total order only
+    /// has to hold within one engine lifetime).
+    pub seq: u64,
+}
+
+impl InstanceSlot {
+    /// Reference-CPU total of the instance (parallel children excluded —
+    /// their sum is already recorded on the parent).
+    pub fn cpu_ms(&self) -> f64 {
+        self.tasks
+            .values()
+            .filter(|r| !r.is_parallel_child())
+            .map(|r| r.cpu_ms)
+            .sum()
+    }
+}
+
+/// Which records of an instance this step touched.
+#[derive(Debug, Default)]
+struct Dirty {
+    all: bool,
+    tasks: BTreeSet<String>,
+}
+
+/// Transient per-step accumulation.
+#[derive(Default)]
+struct StepState {
+    out: StepOutput,
+    dirty: BTreeMap<InstanceId, Dirty>,
+    stale_seq: BTreeMap<InstanceId, u64>,
+    /// Root instances created this step: their commit retires the
+    /// engine-level pending-start record.
+    created_roots: BTreeSet<InstanceId>,
+}
+
+impl StepState {
+    fn mark(&mut self, id: InstanceId, path: &str) {
+        self.dirty
+            .entry(id)
+            .or_default()
+            .tasks
+            .insert(path.to_string());
+    }
+
+    fn mark_header(&mut self, id: InstanceId) {
+        self.dirty.entry(id).or_default();
+    }
+
+    fn mark_all(&mut self, id: InstanceId) {
+        self.dirty.entry(id).or_default().all = true;
+    }
+}
+
+/// What to do with a task that just became ready.
+enum Act {
+    Request,
+    Spawn {
+        template: String,
+        initial: BTreeMap<String, Value>,
+    },
+    Expand,
+    Skip,
+    Stale(&'static str),
+}
+
+/// One hash bucket of the sharded navigator.
+#[derive(Debug)]
+pub struct Shard {
+    /// Shard index (also the journal prefix).
+    pub id: ShardId,
+    /// Resident instances.
+    pub slots: BTreeMap<InstanceId, InstanceSlot>,
+}
+
+impl Shard {
+    /// An empty shard.
+    pub fn new(id: ShardId) -> Self {
+        Shard {
+            id,
+            slots: BTreeMap::new(),
+        }
+    }
+
+    /// Rebuild a shard from its journal prefix.  Returns the shard plus
+    /// the last round its meta record saw.  Records whose template is no
+    /// longer registered are skipped (the engine records the anomaly).
+    pub fn recover<D: Disk>(
+        id: ShardId,
+        store: &Store<D>,
+        templates: &BTreeMap<String, Arc<ProcessTemplate>>,
+    ) -> EngineResult<(Self, u64)> {
+        let mut headers: BTreeMap<InstanceId, InstanceHeader> = BTreeMap::new();
+        let mut tasks: BTreeMap<InstanceId, BTreeMap<String, TaskRecord>> = BTreeMap::new();
+        let mut round = 0u64;
+        for (key, bytes) in store.scan_shard(Space::Instance, id)? {
+            if key == "meta" {
+                if let Ok(meta) = serde_json::from_slice::<ShardMeta>(&bytes) {
+                    round = meta.round;
+                }
+                continue;
+            }
+            let Some(rest) = key.strip_prefix("inst/") else {
+                continue;
+            };
+            let Some((id_str, tail)) = rest.split_once('/') else {
+                continue;
+            };
+            let Ok(iid) = id_str.parse::<InstanceId>() else {
+                continue;
+            };
+            if tail == "header" {
+                if let Ok(h) = serde_json::from_slice::<InstanceHeader>(&bytes) {
+                    headers.insert(iid, h);
+                }
+            } else if tail.starts_with("task/") {
+                if let Ok(r) = serde_json::from_slice::<TaskRecord>(&bytes) {
+                    tasks.entry(iid).or_default().insert(r.path.clone(), r);
+                }
+            }
+        }
+        let mut slots = BTreeMap::new();
+        for (iid, header) in headers {
+            let Some(template) = templates.get(&header.template).cloned() else {
+                continue;
+            };
+            slots.insert(
+                iid,
+                InstanceSlot {
+                    template,
+                    header,
+                    tasks: tasks.remove(&iid).unwrap_or_default(),
+                    seq: 0,
+                },
+            );
+        }
+        Ok((Shard { id, slots }, round))
+    }
+
+    /// Run one round: consume the inbox (sorted by source key), produce
+    /// the outbox and one journal batch per dirty instance (plus the
+    /// shard meta record).  Pure with respect to everything outside this
+    /// shard's slots.
+    pub fn step(
+        &mut self,
+        ctx: &StepCtx<'_>,
+        mut inbox: Vec<Msg>,
+    ) -> EngineResult<(StepOutput, Vec<Batch>)> {
+        inbox.sort_by_key(|a| a.src);
+        let mut st = StepState::default();
+        for msg in inbox {
+            self.handle(ctx, &mut st, msg)?;
+        }
+        let batches = self.build_batches(ctx, &st)?;
+        Ok((st.out, batches))
+    }
+
+    fn handle(&mut self, ctx: &StepCtx<'_>, st: &mut StepState, msg: Msg) -> EngineResult<()> {
+        match msg.payload {
+            Payload::Start {
+                template,
+                initial,
+                parent,
+            } => self.on_start(ctx, st, msg.dest, template, initial, parent),
+            Payload::Grant { path, node } => self.on_grant(ctx, st, msg.dest, path, node),
+            Payload::ChildDone {
+                path,
+                child,
+                success,
+                outputs,
+                cpu_ms,
+            } => self.on_child_done(ctx, st, msg.dest, path, child, success, outputs, cpu_ms),
+        }
+    }
+
+    /// Next sequence number for `instance` (live slots count up from
+    /// their own counter; unknown instances use a transient high range).
+    fn next_seq(&mut self, st: &mut StepState, instance: InstanceId) -> u64 {
+        match self.slots.get_mut(&instance) {
+            Some(slot) => {
+                let s = slot.seq;
+                slot.seq += 1;
+                s
+            }
+            None => {
+                let c = st.stale_seq.entry(instance).or_insert(STALE_SEQ_BASE);
+                let s = *c;
+                *c += 1;
+                s
+            }
+        }
+    }
+
+    fn emit(&mut self, st: &mut StepState, round: u64, instance: InstanceId, kind: EventKind) {
+        let seq = self.next_seq(st, instance);
+        st.out.events.push(ShardEvent {
+            round,
+            instance,
+            seq,
+            kind,
+        });
+    }
+
+    fn stale(
+        &mut self,
+        st: &mut StepState,
+        round: u64,
+        instance: InstanceId,
+        path: Option<&str>,
+        context: &str,
+    ) {
+        self.emit(
+            st,
+            round,
+            instance,
+            EventKind::StaleEvent {
+                instance,
+                path: path.map(str::to_string),
+                context: context.to_string(),
+            },
+        );
+    }
+
+    fn push_release(
+        &mut self,
+        st: &mut StepState,
+        instance: InstanceId,
+        node: &str,
+        faulted: bool,
+    ) {
+        let src = (instance, self.next_seq(st, instance));
+        st.out.effects.push(Effect::Release {
+            node: node.to_string(),
+            faulted,
+            src,
+        });
+    }
+
+    fn on_start(
+        &mut self,
+        ctx: &StepCtx<'_>,
+        st: &mut StepState,
+        id: InstanceId,
+        template: String,
+        initial: BTreeMap<String, Value>,
+        parent: Option<(InstanceId, String)>,
+    ) -> EngineResult<()> {
+        if self.slots.contains_key(&id) {
+            // Duplicate start (recovery re-drive); the instance is live.
+            self.stale(st, ctx.round, id, None, "start: instance already exists");
+            return Ok(());
+        }
+        let Some(tmpl) = ctx.templates.get(&template).cloned() else {
+            self.stale(st, ctx.round, id, None, "start: unknown template");
+            if let Some((pid, ppath)) = parent {
+                // Tell the parent its subprocess never came up.
+                let src = (id, self.next_seq(st, id));
+                st.out.effects.push(Effect::Send(Msg {
+                    dest: pid,
+                    src,
+                    payload: Payload::ChildDone {
+                        path: ppath,
+                        child: id,
+                        success: false,
+                        outputs: BTreeMap::new(),
+                        cpu_ms: 0.0,
+                    },
+                }));
+            }
+            return Ok(());
+        };
+        let now = ctx.now();
+        let mut slot = InstanceSlot {
+            header: InstanceHeader {
+                id,
+                template: template.clone(),
+                status: InstanceStatus::Running,
+                whiteboard: BTreeMap::new(),
+                parent,
+                created_at: now,
+                ended_at: None,
+            },
+            tasks: BTreeMap::new(),
+            seq: 0,
+            template: tmpl,
+        };
+        let outcome = {
+            let mut view = InstanceView {
+                template: slot.template.as_ref(),
+                header: &mut slot.header,
+                tasks: &mut slot.tasks,
+            };
+            navigator::init_instance(&mut view, &initial)?
+        };
+        self.slots.insert(id, slot);
+        st.mark_all(id);
+        if self
+            .slots
+            .get(&id)
+            .map(|s| s.header.parent.is_none())
+            .unwrap_or(false)
+        {
+            st.created_roots.insert(id);
+        }
+        self.emit(
+            st,
+            ctx.round,
+            id,
+            EventKind::InstanceStart {
+                instance: id,
+                template,
+            },
+        );
+        self.apply_outcome(ctx, st, id, outcome)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_grant(
+        &mut self,
+        ctx: &StepCtx<'_>,
+        st: &mut StepState,
+        id: InstanceId,
+        path: String,
+        node: String,
+    ) -> EngineResult<()> {
+        let now = ctx.now();
+        let tmpl;
+        let queue_ms;
+        let mut fault = false;
+        let mut escalate = false;
+        {
+            let Some(slot) = self.slots.get_mut(&id) else {
+                self.stale(st, ctx.round, id, Some(&path), "grant: unknown instance");
+                self.push_release(st, id, &node, false);
+                return Ok(());
+            };
+            tmpl = slot.template.clone();
+            let Some(rec) = slot.tasks.get_mut(&path) else {
+                self.stale(st, ctx.round, id, Some(&path), "grant: unknown task");
+                self.push_release(st, id, &node, false);
+                return Ok(());
+            };
+            if rec.state != TaskState::Ready {
+                // Post-recovery duplicate grant: the slot is simply
+                // returned; the record keeps whatever state drove it.
+                self.stale(st, ctx.round, id, Some(&path), "grant: task not ready");
+                self.push_release(st, id, &node, false);
+                return Ok(());
+            }
+            queue_ms = rec
+                .ready_at
+                .take()
+                .map(|since| now.saturating_sub(since).as_millis())
+                .unwrap_or(0);
+            rec.state = TaskState::Dispatched;
+            rec.node = Some(node.clone());
+            rec.started_at = Some(now);
+            let attempt = rec.attempts + rec.retry.as_ref().map(|r| r.sys_failures).unwrap_or(0);
+            if let Some(f) = ctx.faults {
+                if f.hits(id, &path, attempt) {
+                    fault = true;
+                    let retry = rec.retry_mut();
+                    retry.sys_failures += 1;
+                    retry.note_failed_node(&node);
+                    escalate = retry.sys_failures > ctx.retry_budget;
+                }
+            }
+        }
+        self.mark_nav(st, &tmpl, id, &path);
+        if fault {
+            self.emit(
+                st,
+                ctx.round,
+                id,
+                EventKind::TaskSystemFail {
+                    instance: id,
+                    path: path.clone(),
+                    reason: format!("injected node fault on {node}"),
+                },
+            );
+            self.push_release(st, id, &node, true);
+            let kind = if escalate {
+                self.emit(
+                    st,
+                    ctx.round,
+                    id,
+                    EventKind::TaskPoisoned {
+                        instance: id,
+                        path: path.clone(),
+                        reason: format!("masked-failure budget exhausted ({})", ctx.retry_budget),
+                    },
+                );
+                FailureKind::Program
+            } else {
+                FailureKind::System
+            };
+            let outcome = self.nav_failed(id, &path, kind, now)?;
+            return self.apply_outcome(ctx, st, id, outcome);
+        }
+        // Resolve the program: template activity or parallel-child body.
+        let program = {
+            let rec = self.slots.get(&id).and_then(|s| s.tasks.get(&path));
+            let parent = rec.and_then(|r| r.parallel_parent().map(str::to_string));
+            match parent {
+                Some(p) => match navigator::parallel_body(&tmpl, &p) {
+                    Some(ParallelBody::Activity(b)) => Ok(b.program.clone()),
+                    _ => Err("grant: parallel child has no activity body"),
+                },
+                None => match tmpl.task(&path).map(|t| &t.kind) {
+                    Some(TaskKind::Activity { binding }) => Ok(binding.program.clone()),
+                    _ => Err("grant: task is not an activity"),
+                },
+            }
+        };
+        let name = match program {
+            Ok(name) => name,
+            Err(why) => {
+                self.stale(st, ctx.round, id, Some(&path), why);
+                self.push_release(st, id, &node, false);
+                return Ok(());
+            }
+        };
+        let inputs = match self.slots.get(&id) {
+            Some(slot) => navigator::bind_inputs_parts(&tmpl, &slot.header, &slot.tasks, &path),
+            None => BTreeMap::new(),
+        };
+        let run = match ctx.library.get(&name) {
+            Some(prog) => prog(&inputs),
+            None => Err(format!("program `{name}` not in activity library")),
+        };
+        match run {
+            Ok(out) => {
+                self.emit(
+                    st,
+                    ctx.round,
+                    id,
+                    EventKind::TaskStart {
+                        instance: id,
+                        path: path.clone(),
+                        node: node.clone(),
+                        job: ctx.round,
+                        queue_ms,
+                    },
+                );
+                let run_ms = out.cost_ref_ms.max(0.0) as u64;
+                let cpu_ms = out.cost_ref_ms;
+                let outcome = self.nav_ended(id, &path, out.outputs, now, cpu_ms)?;
+                self.emit(
+                    st,
+                    ctx.round,
+                    id,
+                    EventKind::TaskEnd {
+                        instance: id,
+                        path: path.clone(),
+                        node: node.clone(),
+                        run_ms,
+                        cpu_ms,
+                    },
+                );
+                self.push_release(st, id, &node, false);
+                self.apply_outcome(ctx, st, id, outcome)
+            }
+            Err(error) => {
+                self.emit(
+                    st,
+                    ctx.round,
+                    id,
+                    EventKind::TaskFail {
+                        instance: id,
+                        path: path.clone(),
+                        error,
+                    },
+                );
+                self.push_release(st, id, &node, false);
+                let outcome = self.nav_failed(id, &path, FailureKind::Program, now)?;
+                self.apply_outcome(ctx, st, id, outcome)
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_child_done(
+        &mut self,
+        ctx: &StepCtx<'_>,
+        st: &mut StepState,
+        id: InstanceId,
+        path: String,
+        child: InstanceId,
+        success: bool,
+        outputs: BTreeMap<String, Value>,
+        cpu_ms: f64,
+    ) -> EngineResult<()> {
+        let now = ctx.now();
+        let tmpl;
+        {
+            let Some(slot) = self.slots.get(&id) else {
+                self.stale(
+                    st,
+                    ctx.round,
+                    id,
+                    Some(&path),
+                    "child completion: unknown instance",
+                );
+                return Ok(());
+            };
+            tmpl = slot.template.clone();
+            let Some(rec) = slot.tasks.get(&path) else {
+                self.stale(
+                    st,
+                    ctx.round,
+                    id,
+                    Some(&path),
+                    "child completion: unknown task",
+                );
+                return Ok(());
+            };
+            if rec.state != TaskState::Dispatched {
+                self.emit(
+                    st,
+                    ctx.round,
+                    id,
+                    EventKind::SubprocessDuplicate {
+                        instance: id,
+                        path,
+                        child,
+                    },
+                );
+                return Ok(());
+            }
+        }
+        self.mark_nav(st, &tmpl, id, &path);
+        if success {
+            // A template subprocess task keeps only its declared outputs;
+            // a parallel subprocess child collects the whole whiteboard.
+            let is_child = self
+                .slots
+                .get(&id)
+                .and_then(|s| s.tasks.get(&path))
+                .map(|r| r.is_parallel_child())
+                .unwrap_or(false);
+            let filtered = if is_child {
+                outputs
+            } else {
+                match tmpl.task(&path) {
+                    Some(decl) if !decl.outputs.is_empty() => outputs
+                        .into_iter()
+                        .filter(|(k, _)| decl.outputs.iter().any(|f| &f.name == k))
+                        .collect(),
+                    _ => outputs,
+                }
+            };
+            let outcome = self.nav_ended(id, &path, filtered, now, cpu_ms)?;
+            self.emit(
+                st,
+                ctx.round,
+                id,
+                EventKind::TaskEnd {
+                    instance: id,
+                    path,
+                    node: "subprocess".to_string(),
+                    run_ms: 0,
+                    cpu_ms,
+                },
+            );
+            self.apply_outcome(ctx, st, id, outcome)
+        } else {
+            self.emit(
+                st,
+                ctx.round,
+                id,
+                EventKind::TaskFail {
+                    instance: id,
+                    path: path.clone(),
+                    error: format!("child instance {child} aborted"),
+                },
+            );
+            let outcome = self.nav_failed(id, &path, FailureKind::Program, now)?;
+            self.apply_outcome(ctx, st, id, outcome)
+        }
+    }
+
+    fn nav_ended(
+        &mut self,
+        id: InstanceId,
+        path: &str,
+        outputs: BTreeMap<String, Value>,
+        now: SimTime,
+        cpu_ms: f64,
+    ) -> EngineResult<NavOutcome> {
+        let Some(slot) = self.slots.get_mut(&id) else {
+            return Ok(NavOutcome::default());
+        };
+        let mut view = InstanceView {
+            template: slot.template.as_ref(),
+            header: &mut slot.header,
+            tasks: &mut slot.tasks,
+        };
+        navigator::on_task_ended(&mut view, path, outputs, now, cpu_ms)
+    }
+
+    fn nav_failed(
+        &mut self,
+        id: InstanceId,
+        path: &str,
+        kind: FailureKind,
+        now: SimTime,
+    ) -> EngineResult<NavOutcome> {
+        let Some(slot) = self.slots.get_mut(&id) else {
+            return Ok(NavOutcome::default());
+        };
+        let mut view = InstanceView {
+            template: slot.template.as_ref(),
+            header: &mut slot.header,
+            tasks: &mut slot.tasks,
+        };
+        navigator::on_task_failed(&mut view, path, kind, now)
+    }
+
+    /// Mark the records a navigation step starting at `path` can touch:
+    /// the record itself, its parallel parent (which may conclude), and
+    /// the dataflow targets of both (the mapping phase writes into
+    /// successor input buffers).  The header (whiteboard) is always dirty.
+    fn mark_nav(&self, st: &mut StepState, tmpl: &ProcessTemplate, id: InstanceId, path: &str) {
+        st.mark_header(id);
+        st.mark(id, path);
+        let parent = TaskRecord::new(path).parallel_parent().map(str::to_string);
+        let mut sources = vec![path.to_string()];
+        if let Some(p) = parent {
+            sources.push(p.clone());
+            st.mark(id, &p);
+        }
+        for source in sources {
+            for flow in tmpl.dataflows_from_task(&source) {
+                if let DataRef::TaskField(t, _) = &flow.to {
+                    st.mark(id, t);
+                }
+            }
+        }
+    }
+
+    /// Drain a navigation outcome: activate ready tasks (request a node,
+    /// spawn a subprocess, or expand a parallel task in place), run
+    /// compensations, and conclude the instance if it went terminal.
+    fn apply_outcome(
+        &mut self,
+        ctx: &StepCtx<'_>,
+        st: &mut StepState,
+        id: InstanceId,
+        outcome: NavOutcome,
+    ) -> EngineResult<()> {
+        let now = ctx.now();
+        let mut ready: VecDeque<String> = outcome.newly_ready.into();
+        let mut compensations: VecDeque<(String, String)> = outcome.compensations.into();
+        let mut skipped = outcome.newly_skipped;
+        let mut completed = outcome.completed;
+        let mut aborted = outcome.aborted;
+        let suspended = outcome.suspended;
+        loop {
+            if let Some((task, program)) = compensations.pop_front() {
+                st.mark(id, &task);
+                self.emit(
+                    st,
+                    ctx.round,
+                    id,
+                    EventKind::TaskCompensate {
+                        instance: id,
+                        path: task.clone(),
+                        program: program.clone(),
+                    },
+                );
+                // Compensations run inline on the recorded inputs; their
+                // outcome does not feed back into navigation.
+                if let Some(prog) = ctx.library.get(&program) {
+                    let inputs = self
+                        .slots
+                        .get(&id)
+                        .and_then(|s| s.tasks.get(&task))
+                        .map(|r| r.inputs.clone())
+                        .unwrap_or_default();
+                    let _ = prog(&inputs);
+                }
+                continue;
+            }
+            let Some(path) = ready.pop_front() else {
+                break;
+            };
+            st.mark(id, &path);
+            let act = {
+                let Some(slot) = self.slots.get(&id) else {
+                    break;
+                };
+                let tmpl = slot.template.clone();
+                match slot.tasks.get(&path) {
+                    None => Act::Stale("ready task has no record"),
+                    Some(rec) if rec.state != TaskState::Ready => Act::Skip,
+                    Some(rec) => match rec.parallel_parent() {
+                        Some(parent) => match navigator::parallel_body(&tmpl, parent) {
+                            Some(ParallelBody::Activity(_)) => Act::Request,
+                            Some(ParallelBody::Subprocess(t)) => Act::Spawn {
+                                template: t.clone(),
+                                initial: rec.inputs.clone(),
+                            },
+                            None => Act::Stale("parallel child without parallel parent"),
+                        },
+                        None => match tmpl.task(&path).map(|t| &t.kind) {
+                            Some(TaskKind::Activity { .. }) => Act::Request,
+                            Some(TaskKind::Subprocess { template }) => Act::Spawn {
+                                template: template.clone(),
+                                initial: navigator::bind_inputs_parts(
+                                    &tmpl,
+                                    &slot.header,
+                                    &slot.tasks,
+                                    &path,
+                                ),
+                            },
+                            Some(TaskKind::Parallel { .. }) => Act::Expand,
+                            None => Act::Stale("ready task not in template"),
+                        },
+                    },
+                }
+            };
+            match act {
+                Act::Skip => {}
+                Act::Stale(why) => self.stale(st, ctx.round, id, Some(&path), why),
+                Act::Request => {
+                    if let Some(rec) = self.slots.get_mut(&id).and_then(|s| s.tasks.get_mut(&path))
+                    {
+                        rec.ready_at.get_or_insert(now);
+                    }
+                    let src = (id, self.next_seq(st, id));
+                    st.out.effects.push(Effect::Request {
+                        instance: id,
+                        path: path.clone(),
+                        src,
+                    });
+                }
+                Act::Spawn { template, initial } => {
+                    if let Some(rec) = self.slots.get_mut(&id).and_then(|s| s.tasks.get_mut(&path))
+                    {
+                        rec.state = TaskState::Dispatched;
+                        rec.started_at = Some(now);
+                        rec.ready_at = None;
+                        rec.inputs = initial.clone();
+                    }
+                    let src = (id, self.next_seq(st, id));
+                    st.out.effects.push(Effect::Spawn {
+                        parent: (id, path.clone()),
+                        template,
+                        initial,
+                        src,
+                    });
+                }
+                Act::Expand => {
+                    let (children, out2) = {
+                        let Some(slot) = self.slots.get_mut(&id) else {
+                            break;
+                        };
+                        let mut view = InstanceView {
+                            template: slot.template.as_ref(),
+                            header: &mut slot.header,
+                            tasks: &mut slot.tasks,
+                        };
+                        navigator::expand_parallel(&mut view, &path, now)?
+                    };
+                    for child in &children {
+                        st.mark(id, child);
+                    }
+                    ready.extend(children);
+                    ready.extend(out2.newly_ready);
+                    skipped.extend(out2.newly_skipped);
+                    completed |= out2.completed;
+                    aborted |= out2.aborted;
+                    compensations.extend(out2.compensations);
+                }
+            }
+        }
+        for p in &skipped {
+            st.mark(id, p);
+        }
+        if suspended {
+            self.emit(
+                st,
+                ctx.round,
+                id,
+                EventKind::InstanceSuspend { instance: id },
+            );
+        }
+        if completed || aborted {
+            // Terminal transitions can touch records outside the outcome
+            // lists (sphere members marked Compensated); persist it all.
+            st.mark_all(id);
+            if completed {
+                self.emit(
+                    st,
+                    ctx.round,
+                    id,
+                    EventKind::InstanceComplete { instance: id },
+                );
+            } else {
+                self.emit(st, ctx.round, id, EventKind::InstanceAbort { instance: id });
+            }
+            let parent = self.slots.get(&id).and_then(|s| s.header.parent.clone());
+            if let Some((pid, ppath)) = parent {
+                let (outputs, cpu_ms) = self
+                    .slots
+                    .get(&id)
+                    .map(|s| (s.header.whiteboard.clone(), s.cpu_ms()))
+                    .unwrap_or_default();
+                let src = (id, self.next_seq(st, id));
+                st.out.effects.push(Effect::Send(Msg {
+                    dest: pid,
+                    src,
+                    payload: Payload::ChildDone {
+                        path: ppath,
+                        child: id,
+                        success: completed,
+                        outputs,
+                        cpu_ms,
+                    },
+                }));
+            }
+        }
+        Ok(())
+    }
+
+    /// One batch per dirty instance (header + touched task records) plus
+    /// the shard meta record — the shard's group commit for this round.
+    fn build_batches(&self, ctx: &StepCtx<'_>, st: &StepState) -> EngineResult<Vec<Batch>> {
+        let mut batches = Vec::with_capacity(st.dirty.len() + 1);
+        for (id, dirty) in &st.dirty {
+            let Some(slot) = self.slots.get(id) else {
+                continue;
+            };
+            let mut b = Batch::new();
+            if st.created_roots.contains(id) {
+                // Same atomic frame as the instance's first commit: the
+                // pending-start record and the header never coexist
+                // half-applied.
+                b.delete(Space::Instance, super::pending_key(*id));
+            }
+            b.put(
+                Space::Instance,
+                shard_key(self.id, &keys::header(*id)),
+                encode(&slot.header)?,
+            );
+            if dirty.all {
+                for rec in slot.tasks.values() {
+                    b.put(
+                        Space::Instance,
+                        shard_key(self.id, &keys::task(*id, &rec.path)),
+                        encode(rec)?,
+                    );
+                }
+            } else {
+                for path in &dirty.tasks {
+                    if let Some(rec) = slot.tasks.get(path) {
+                        b.put(
+                            Space::Instance,
+                            shard_key(self.id, &keys::task(*id, path)),
+                            encode(rec)?,
+                        );
+                    }
+                }
+            }
+            batches.push(b);
+        }
+        let mut meta = Batch::new();
+        meta.put(
+            Space::Instance,
+            shard_key(self.id, "meta"),
+            encode(&ShardMeta { round: ctx.round })?,
+        );
+        batches.push(meta);
+        Ok(batches)
+    }
+}
+
+fn encode<T: Serialize>(value: &T) -> EngineResult<Vec<u8>> {
+    serde_json::to_vec(value).map_err(|e| EngineError::Internal(format!("encode: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_injection_is_deterministic_and_rate_bounded() {
+        let f = FaultInjection {
+            seed: 42,
+            rate_ppm: 100_000, // 10%
+        };
+        let hits: Vec<bool> = (0..1000u64).map(|i| f.hits(i, "T", 0)).collect();
+        assert_eq!(
+            hits,
+            (0..1000u64).map(|i| f.hits(i, "T", 0)).collect::<Vec<_>>()
+        );
+        let rate = hits.iter().filter(|h| **h).count();
+        assert!(rate > 20 && rate < 300, "10% nominal, got {rate}/1000");
+        // The attempt number perturbs the hash: a faulted task is not
+        // doomed to fault forever.
+        let stuck = (0..10u32).all(|a| f.hits(7, "T", a));
+        assert!(!stuck);
+    }
+}

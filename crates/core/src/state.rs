@@ -120,6 +120,13 @@ pub struct TaskRecord {
     pub started_at: Option<SimTime>,
     /// Virtual end (success only).
     pub ended_at: Option<SimTime>,
+    /// When the task last became `Ready` (entered the activity queue).
+    /// Persisted so queue-wait metrics survive a server crash: a task
+    /// that waited through an outage reports the full wait, not just the
+    /// post-recovery slice.  `None` while not queued — and for records
+    /// written before this field existed, which decode as `None`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub ready_at: Option<SimTime>,
     /// Dependability bookkeeping for masked system failures: budget
     /// counter, pending backoff deadline, poison set.  `None` until the
     /// first masked failure — and for records written before the policy
@@ -140,6 +147,7 @@ impl TaskRecord {
             cpu_ms: 0.0,
             started_at: None,
             ended_at: None,
+            ready_at: None,
             retry: None,
         }
     }

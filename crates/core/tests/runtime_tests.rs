@@ -647,6 +647,63 @@ fn deterministic_replay_same_disk_content() {
 }
 
 #[test]
+fn queue_wait_metric_survives_server_crash() {
+    // A task that queues through a server outage must report its *full*
+    // wait — from the moment it became Ready, not from recovery.  The
+    // enqueue time is persisted on the TaskRecord (`ready_at`), so the
+    // rebuilt server picks up where the crashed one left off.
+    let t = ProcessBuilder::new("Waiter")
+        .activity("W", "noop", |t| t)
+        .build()
+        .unwrap();
+    let mut rt = runtime(small_cluster());
+    rt.register_template(&t).unwrap();
+    let mut trace = Trace::empty();
+    // The instance is suspended before anything dispatches; the server
+    // crashes and recovers mid-wait, and the operator resumes at 300 s.
+    trace.push(SimTime::from_secs(60), TraceEventKind::ServerCrash);
+    trace.push(SimTime::from_secs(120), TraceEventKind::ServerRecover);
+    trace.push(SimTime::from_secs(300), TraceEventKind::OperatorResume);
+    rt.install_trace(&trace);
+    let id = rt.submit("Waiter", BTreeMap::new()).unwrap();
+    rt.suspend(id).unwrap();
+    rt.run_to_completion().unwrap();
+    assert_eq!(rt.instance_status(id), Some(InstanceStatus::Completed));
+    let starts = rt.awareness().of_kind(rt.store(), "task.start").unwrap();
+    let queue_ms = starts
+        .iter()
+        .find_map(|e| match &e.kind {
+            bioopera_core::EventKind::TaskStart { queue_ms, .. } => Some(*queue_ms),
+            _ => None,
+        })
+        .expect("the task must have started");
+    // The wait spans the whole outage (~300 s); a stamp re-taken at
+    // recovery would report only the post-recovery slice (~180 s).
+    assert!(
+        queue_ms >= 290_000,
+        "queue wait must span the server outage, got {queue_ms} ms"
+    );
+}
+
+#[test]
+fn stale_completion_after_abort_is_recorded_not_fatal() {
+    // Abort an instance while a job is in flight: the completion arrives
+    // for a task whose instance is terminal.  The runtime must survive
+    // (no panic, no error) — at most noting the anomaly — and the
+    // remaining workload must keep running.
+    let mut rt = runtime(small_cluster());
+    rt.register_template(&fanout_template(4, 0)).unwrap();
+    let id = rt.submit("Fanout", BTreeMap::new()).unwrap();
+    let other = rt.submit("Fanout", BTreeMap::new()).unwrap();
+    // Abort the first instance almost immediately — its Gen job (1 s
+    // cost, 2 s latency) is still in flight.
+    rt.abort(id).unwrap();
+    rt.run_to_completion().unwrap();
+    assert_eq!(rt.instance_status(id), Some(InstanceStatus::Aborted));
+    assert_eq!(rt.instance_status(other), Some(InstanceStatus::Completed));
+}
+
+#[test]
 fn store_survives_and_instance_is_queryable_after_manual_crash() {
     let mut rt = runtime(small_cluster());
     rt.register_template(&fanout_template(4, 0)).unwrap();

@@ -1,12 +1,12 @@
 //! Crash-point torture harness CLI.
 //!
 //! ```text
-//! torture [--seed N] [--store-limit N] [--runtime-samples N] [--recovery-samples N]
+//! torture [--seed N] [--store-limit N] [--runtime-samples N] [--recovery-samples N] [--shard-samples N]
 //! ```
 //!
 //! Defaults: full store crash-point enumeration, 8 sampled runtime crash
-//! points, 3 runtime double-crash points, seed from `HARNESS_SEED` (or the
-//! built-in default).  Exits non-zero and prints every violation — each
+//! points, 3 runtime double-crash points, 12 sampled shard barrier-crash
+//! points, seed from `HARNESS_SEED` (or the built-in default).  Exits non-zero and prints every violation — each
 //! carries the `HARNESS_SEED`/crash-index pair that reproduces it.
 
 use bioopera_harness::{run_full, seed_from_env, DEFAULT_SEED};
@@ -24,6 +24,7 @@ fn main() {
     let mut store_limit: Option<usize> = None;
     let mut runtime_samples = 8usize;
     let mut recovery_samples = 3usize;
+    let mut shard_samples = 12usize;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -36,10 +37,11 @@ fn main() {
             "--recovery-samples" => {
                 recovery_samples = parse_next(&mut args, "--recovery-samples") as usize
             }
+            "--shard-samples" => shard_samples = parse_next(&mut args, "--shard-samples") as usize,
             "--help" | "-h" => {
                 println!(
                     "usage: torture [--seed N] [--store-limit N] \
-                     [--runtime-samples N] [--recovery-samples N]"
+                     [--runtime-samples N] [--recovery-samples N] [--shard-samples N]"
                 );
                 return;
             }
@@ -51,7 +53,13 @@ fn main() {
     }
 
     let t0 = Instant::now();
-    let report = run_full(seed, store_limit, runtime_samples, recovery_samples);
+    let report = run_full(
+        seed,
+        store_limit,
+        runtime_samples,
+        recovery_samples,
+        shard_samples,
+    );
     println!("{}", report.summary());
     println!("  wall time: {:.2}s", t0.elapsed().as_secs_f64());
     if !report.is_clean() {

@@ -32,9 +32,11 @@
 //! [`CrashEffect`]: bioopera_store::CrashEffect
 
 pub mod runtime_torture;
+pub mod shard_torture;
 pub mod store_torture;
 
 pub use runtime_torture::{run_runtime_torture, RuntimeTortureOutcome};
+pub use shard_torture::{run_shard_torture, ShardTortureOutcome};
 pub use store_torture::{
     run_store_torture, run_store_torture_tiered, tiny_tiered_policy, StoreTortureOutcome,
 };
@@ -63,6 +65,8 @@ pub struct TortureReport {
     pub store_tiered: StoreTortureOutcome,
     /// Runtime all-vs-all outcome.
     pub runtime: RuntimeTortureOutcome,
+    /// Sharded-navigator barrier-crash outcome.
+    pub shard: ShardTortureOutcome,
 }
 
 impl TortureReport {
@@ -73,6 +77,7 @@ impl TortureReport {
             .iter()
             .chain(self.store_tiered.violations.iter())
             .chain(self.runtime.violations.iter())
+            .chain(self.shard.violations.iter())
             .map(String::as_str)
             .collect()
     }
@@ -82,6 +87,7 @@ impl TortureReport {
         self.store.violations.is_empty()
             && self.store_tiered.violations.is_empty()
             && self.runtime.violations.is_empty()
+            && self.shard.violations.is_empty()
     }
 
     /// Human-readable multi-line summary.
@@ -91,6 +97,7 @@ impl TortureReport {
              \x20 store:   {} mutations, {} crash cases, {} recovery double-crash cases, {} bit-flip cases\n\
              \x20 tiered:  {} mutations, {} crash cases, {} recovery double-crash cases, {} bit-flip cases\n\
              \x20 runtime: {} mutations, {} crash cases, {} recovery double-crash cases\n\
+             \x20 shard:   {} oracle rounds, {} barrier-crash cases, {} double-crash cases\n\
              \x20 violations: {}",
             self.seed,
             self.store.mutations,
@@ -104,6 +111,9 @@ impl TortureReport {
             self.runtime.mutations,
             self.runtime.cases,
             self.runtime.recovery_cases,
+            self.shard.rounds,
+            self.shard.cases,
+            self.shard.recovery_cases,
             self.violations().len(),
         )
     }
@@ -115,17 +125,20 @@ impl TortureReport {
 /// enumeration); `runtime_samples`/`recovery_samples` bound the sampled
 /// runtime crash points (a full runtime enumeration is hundreds of
 /// all-vs-all executions — correct, but not something `scripts/check.sh`
-/// should wait for).
+/// should wait for); `shard_samples` bounds the sampled
+/// `(round, commit-prefix)` barrier-crash points of the sharded engine.
 pub fn run_full(
     seed: u64,
     store_limit: Option<usize>,
     runtime_samples: usize,
     recovery_samples: usize,
+    shard_samples: usize,
 ) -> TortureReport {
     TortureReport {
         seed,
         store: run_store_torture(seed, store_limit),
         store_tiered: run_store_torture_tiered(seed, store_limit),
         runtime: run_runtime_torture(seed, runtime_samples, recovery_samples),
+        shard: run_shard_torture(seed, shard_samples),
     }
 }

@@ -1,0 +1,325 @@
+//! Crash-at-the-shard-barrier torture for the sharded navigator.
+//!
+//! The sharded engine commits each shard's journal prefix independently
+//! inside a round; the deterministic barrier only runs after every shard
+//! commit has landed.  A server crash can therefore leave the store with
+//! an arbitrary *subset* of the round's shard commits — some shards a
+//! round ahead of others — which is exactly the state
+//! [`ShardEngine::step_round_partial_commit`] manufactures on purpose.
+//!
+//! For a seeded sample of `(crash round, committed-shard prefix)` points
+//! this pass crashes the engine mid-round, reopens the store, recovers,
+//! and requires every root instance to converge to the crash-free
+//! oracle's terminal status *and* final whiteboard.  History digests are
+//! deliberately not compared: recovery legitimately appends its own
+//! events (`server.recover`, requeues, fresh ids for re-spawned
+//! subprocess children).  A fraction of cases crash a second time during
+//! the recovered run to cover crash-during-recovery.
+//!
+//! [`ShardEngine::step_round_partial_commit`]: bioopera_core::ShardEngine::step_round_partial_commit
+
+use bioopera_core::{ActivityLibrary, InstanceStatus, ProgramOutput, ShardConfig, ShardEngine};
+use bioopera_ocr::model::{ExternalBinding, ParallelBody, TypeTag};
+use bioopera_ocr::value::Value;
+use bioopera_ocr::{ProcessBuilder, ProcessTemplate};
+use bioopera_store::{MemDisk, Store};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Outcome of the shard-barrier torture pass.
+pub struct ShardTortureOutcome {
+    /// Rounds the crash-free oracle needed (the crash-point space).
+    pub rounds: u64,
+    /// Single-crash cases executed.
+    pub cases: usize,
+    /// Crash-during-recovery (double-crash) cases executed.
+    pub recovery_cases: usize,
+    /// Invariant violations; empty on success.
+    pub violations: Vec<String>,
+}
+
+const SHARDS: usize = 4;
+
+fn library() -> ActivityLibrary {
+    let mut lib = ActivityLibrary::new();
+    lib.register("gen.list", |inputs| {
+        let count = inputs.get("count").and_then(|v| v.as_int()).unwrap_or(3);
+        Ok(ProgramOutput::from_fields(
+            [("items", Value::int_list(0..count))],
+            1_000.0,
+        ))
+    });
+    lib.register("work.unit", |inputs| {
+        let item = inputs
+            .get("item")
+            .and_then(|v| v.as_int())
+            .ok_or_else(|| "work.unit needs an item".to_string())?;
+        Ok(ProgramOutput::from_fields(
+            [("value", Value::Int(item * item))],
+            5_000.0,
+        ))
+    });
+    lib.register("merge.sum", |inputs| {
+        let total: i64 = inputs
+            .get("results")
+            .and_then(|v| v.as_list())
+            .map(|items| {
+                items
+                    .iter()
+                    .filter_map(|v| v.get_path(&["value"]).and_then(|v| v.as_int()))
+                    .sum()
+            })
+            .unwrap_or(0);
+        Ok(ProgramOutput::from_fields(
+            [("total", Value::Int(total))],
+            2_000.0,
+        ))
+    });
+    lib.register("p.a", |inputs| {
+        let x = inputs.get("x").and_then(|v| v.as_int()).unwrap_or(7);
+        Ok(ProgramOutput::from_fields([("x", Value::Int(x))], 10.0))
+    });
+    lib.register("p.b", |inputs| {
+        let x = inputs
+            .get("x")
+            .and_then(|v| v.as_int())
+            .ok_or_else(|| "missing x".to_string())?;
+        Ok(ProgramOutput::from_fields([("y", Value::Int(x * 2))], 20.0))
+    });
+    lib
+}
+
+fn templates() -> Vec<ProcessTemplate> {
+    let chain = ProcessBuilder::new("Chain")
+        .whiteboard_default("x", TypeTag::Int, Value::Int(7))
+        .whiteboard_field("y", TypeTag::Int)
+        .activity("A", "p.a", |t| {
+            t.input("x", TypeTag::Int).output("x", TypeTag::Int)
+        })
+        .activity("B", "p.b", |t| {
+            t.input("x", TypeTag::Int).output("y", TypeTag::Int)
+        })
+        .connect("A", "B")
+        .flow_from_whiteboard("x", "A", "x")
+        .flow_to_task("A", "x", "B", "x")
+        .flow_to_whiteboard("B", "y", "y")
+        .build()
+        .unwrap();
+    let fan = ProcessBuilder::new("FanOut")
+        .whiteboard_default("count", TypeTag::Int, Value::Int(3))
+        .whiteboard_field("total", TypeTag::Int)
+        .activity("Gen", "gen.list", |t| {
+            t.input("count", TypeTag::Int)
+                .output("items", TypeTag::List)
+        })
+        .parallel(
+            "Fan",
+            "items",
+            ParallelBody::Activity(ExternalBinding::program("work.unit")),
+            "results",
+            |t| t,
+        )
+        .activity("Merge", "merge.sum", |t| {
+            t.input("results", TypeTag::List)
+                .output("total", TypeTag::Int)
+        })
+        .connect("Gen", "Fan")
+        .connect("Fan", "Merge")
+        .flow_from_whiteboard("count", "Gen", "count")
+        .flow_to_task("Gen", "items", "Fan", "items")
+        .flow_to_task("Fan", "results", "Merge", "results")
+        .flow_to_whiteboard("Merge", "total", "total")
+        .build()
+        .unwrap();
+    let parent = ProcessBuilder::new("Parent")
+        .whiteboard_default("x", TypeTag::Int, Value::Int(21))
+        .subprocess("Sub", "Chain", |t| {
+            t.input("x", TypeTag::Int).output("y", TypeTag::Int)
+        })
+        .activity("After", "p.b", |t| {
+            t.input("x", TypeTag::Int).output("y", TypeTag::Int)
+        })
+        .connect("Sub", "After")
+        .flow_from_whiteboard("x", "Sub", "x")
+        .flow_to_task("Sub", "y", "After", "x")
+        .build()
+        .unwrap();
+    vec![chain, fan, parent]
+}
+
+fn cfg() -> ShardConfig {
+    ShardConfig {
+        shards: SHARDS,
+        threads: 1,
+        ..ShardConfig::default()
+    }
+}
+
+/// Build an engine on `disk` and submit the scripted root mix.
+fn boot(disk: &MemDisk) -> Result<(ShardEngine<MemDisk>, Vec<u64>), String> {
+    let store = Store::open(disk.clone()).map_err(|e| format!("open: {e}"))?;
+    let mut eng = ShardEngine::new(store, library(), cfg());
+    for t in templates() {
+        eng.register_template(t)
+            .map_err(|e| format!("register: {e}"))?;
+    }
+    let names = ["Chain", "FanOut", "Parent"];
+    let mut ids = Vec::new();
+    for i in 0..9u64 {
+        let name = names[(i % 3) as usize];
+        let mut initial = BTreeMap::new();
+        match name {
+            "FanOut" => {
+                initial.insert("count".to_string(), Value::Int(1 + (i as i64 % 4)));
+            }
+            _ => {
+                initial.insert("x".to_string(), Value::Int(10 + i as i64));
+            }
+        }
+        ids.push(
+            eng.submit(name, initial)
+                .map_err(|e| format!("submit: {e}"))?,
+        );
+    }
+    Ok((eng, ids))
+}
+
+type RootResult = (InstanceStatus, BTreeMap<String, Value>);
+
+fn roots(eng: &ShardEngine<MemDisk>, ids: &[u64]) -> Result<Vec<RootResult>, String> {
+    ids.iter()
+        .map(|id| {
+            Ok((
+                eng.instance_status(*id)
+                    .ok_or_else(|| format!("root {id} vanished"))?,
+                eng.instance_whiteboard(*id)
+                    .ok_or_else(|| format!("root {id} whiteboard vanished"))?
+                    .clone(),
+            ))
+        })
+        .collect()
+}
+
+fn compare(tag: &str, got: &[RootResult], oracle: &[RootResult]) -> Result<(), String> {
+    for (i, (g, o)) in got.iter().zip(oracle).enumerate() {
+        if g.0 != o.0 {
+            return Err(format!(
+                "{tag}: root #{i} ended {:?}, oracle {:?}",
+                g.0, o.0
+            ));
+        }
+        if g.1 != o.1 {
+            return Err(format!(
+                "{tag}: root #{i} whiteboard diverged: {:?} vs {:?}",
+                g.1, o.1
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Recover from `disk` and drive the run to completion.
+fn recover_and_finish(disk: &MemDisk) -> Result<ShardEngine<MemDisk>, String> {
+    let store = Store::open(disk.clone()).map_err(|e| format!("reopen: {e}"))?;
+    let mut eng =
+        ShardEngine::recover(store, library(), cfg()).map_err(|e| format!("recover: {e}"))?;
+    eng.run_to_completion()
+        .map_err(|e| format!("resume: {e}"))?;
+    Ok(eng)
+}
+
+/// Run the shard-barrier crash torture: `samples` single-crash points and
+/// (roughly) a third as many double-crash points, all derived from `seed`.
+pub fn run_shard_torture(seed: u64, samples: usize) -> ShardTortureOutcome {
+    let mut out = ShardTortureOutcome {
+        rounds: 0,
+        cases: 0,
+        recovery_cases: 0,
+        violations: Vec::new(),
+    };
+
+    // Crash-free oracle.
+    let oracle_disk = MemDisk::new();
+    let oracle = match boot(&oracle_disk).and_then(|(mut eng, ids)| {
+        eng.run_to_completion()
+            .map_err(|e| format!("oracle run: {e}"))?;
+        out.rounds = eng.round();
+        roots(&eng, &ids)
+    }) {
+        Ok(roots) => roots,
+        Err(e) => {
+            out.violations.push(format!("shard oracle failed: {e}"));
+            return out;
+        }
+    };
+    if oracle
+        .iter()
+        .any(|(st, _)| *st != InstanceStatus::Completed)
+    {
+        out.violations
+            .push("shard oracle did not complete all roots".to_string());
+        return out;
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5AAD_70C7);
+    for case in 0..samples {
+        let crash_round = rng.gen_range(0..out.rounds.max(1));
+        let prefix = rng.gen_range(0..=SHARDS);
+        let double_crash = case % 3 == 2;
+        let tag = format!(
+            "seed={seed} case={case} round={crash_round} prefix={prefix}/{SHARDS} double={double_crash}"
+        );
+        out.cases += 1;
+
+        let disk = MemDisk::new();
+        let res = boot(&disk).and_then(|(mut eng, ids)| {
+            for _ in 0..crash_round {
+                eng.step_round()
+                    .map_err(|e| format!("pre-crash step: {e}"))?;
+            }
+            eng.step_round_partial_commit(prefix)
+                .map_err(|e| format!("partial commit: {e}"))?;
+            drop(eng);
+
+            if double_crash {
+                // Crash again mid-recovered-run before checking outputs.
+                out.recovery_cases += 1;
+                let store = Store::open(disk.clone()).map_err(|e| format!("reopen: {e}"))?;
+                let mut eng = ShardEngine::recover(store, library(), cfg())
+                    .map_err(|e| format!("recover: {e}"))?;
+                let prefix2 = rng.gen_range(0..=SHARDS);
+                if !eng.quiescent() {
+                    eng.step_round_partial_commit(prefix2)
+                        .map_err(|e| format!("second partial commit: {e}"))?;
+                }
+                drop(eng);
+            }
+
+            let eng = recover_and_finish(&disk)?;
+            compare(&tag, &roots(&eng, &ids)?, &oracle)
+        });
+        if let Err(e) = res {
+            out.violations.push(format!("shard torture [{tag}]: {e}"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sample_is_clean() {
+        let out = run_shard_torture(crate::DEFAULT_SEED, 6);
+        assert!(out.rounds > 0);
+        assert_eq!(out.cases, 6);
+        assert!(out.recovery_cases >= 1);
+        assert!(
+            out.violations.is_empty(),
+            "violations: {:#?}",
+            out.violations
+        );
+    }
+}

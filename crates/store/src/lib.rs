@@ -34,10 +34,12 @@ pub mod disk;
 pub mod engine;
 pub mod error;
 pub mod runs;
+pub mod shard;
 pub mod typed;
 pub mod wal;
 
 pub use disk::{CrashEffect, Disk, FaultPlan, FaultTrigger, FileDisk, MemDisk};
 pub use engine::{Batch, CompactionPolicy, Space, Store, StoreStats, TieredPolicy};
 pub use error::{StoreError, StoreResult};
+pub use shard::{parse_shard_key, shard_key, shard_prefix};
 pub use typed::TypedSpace;

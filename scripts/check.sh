@@ -22,8 +22,15 @@ echo "==> store+core suites under a forced-small memtable budget (constant spill
 BIOOPERA_MEMTABLE_BUDGET=65536 cargo test -q -p bioopera-store -p bioopera-core
 
 echo "==> crash-point torture harness (bounded; seed override: HARNESS_SEED=N)"
-# Full store crash-point enumeration + sampled runtime crash points; ~5 s.
-cargo run -q -p bioopera-harness --bin torture -- --runtime-samples 8 --recovery-samples 3
+# Full store crash-point enumeration + sampled runtime crash points +
+# sampled shard barrier-crash points; ~5 s.
+cargo run -q -p bioopera-harness --bin torture -- --runtime-samples 8 --recovery-samples 3 --shard-samples 12
+
+echo "==> shard suites forced serial (BIOOPERA_SHARDS=1 is the reference semantics)"
+# The sharded navigator must behave identically with one shard; re-run
+# its suites pinned to the single-shard config.
+BIOOPERA_SHARDS=1 cargo test -q -p bioopera-core shard
+BIOOPERA_SHARDS=1 cargo test -q -p bioopera-core --test shard_determinism
 
 echo "==> chaos: seeded flaky-node scenario (bounded; seed override: CHAOS_SEED=N)"
 # One node kills every job; the dependability policies must finish the run
@@ -48,6 +55,14 @@ echo "==> kernel bench smoke (one pass; fails loudly on a SIMD regression)"
 # variant keeps a cells/sec floor over the scalar profile kernel.
 KERNEL_BENCH_SMOKE=1 cargo run --release -q -p bioopera-bench --bin kernel_bench > /dev/null
 test -s results/BENCH_kernel.json || { echo "BENCH_kernel.json missing"; exit 1; }
+
+echo "==> shard bench smoke (small config; digest-checked across shard counts)"
+# Bounded run (~1 s release): emits results/BENCH_shard.json and asserts
+# the recorded history is bit-identical at 1/2/4/8 shards.  The 4-shard
+# speedup floor (1.5x) only applies on hosts with >= 4 available cores;
+# smaller hosts record their honest core count and skip the gate.
+SHARD_BENCH_SMOKE=1 cargo run --release -q -p bioopera-bench --bin shard_bench > /dev/null
+test -s results/BENCH_shard.json || { echo "BENCH_shard.json missing"; exit 1; }
 
 echo "==> darwin suite with SIMD force-disabled (portable fallback stays honest)"
 BIOOPERA_SIMD=scalar cargo test -q -p bioopera-darwin
