@@ -277,6 +277,40 @@ pub enum EventKind {
     OperatorSuspend,
     /// Operator resumed the whole engine.
     OperatorResume,
+    /// The tiered store spilled its memtable into sorted runs since the
+    /// previous navigator step.  The read-side counters are cumulative
+    /// store totals sampled with the spill, so the awareness index can
+    /// report tier I/O health without polling the store.
+    StoreSpill {
+        /// Spills performed since the last store event.
+        spills: u64,
+        /// Sorted runs resident after the spill.
+        runs: u64,
+        /// Cumulative reads answered by run metadata alone (key-range
+        /// check, sparse index, or bloom filter) — never a disk read.
+        bloom_skips: u64,
+        /// Cumulative block-cache hits.
+        cache_hits: u64,
+        /// Cumulative block-cache misses (block decoded from disk).
+        cache_misses: u64,
+    },
+    /// Sorted runs were merged, or pushed down the level hierarchy.
+    StoreCompaction {
+        /// Merges/push-downs since the last store event.
+        merges: u64,
+        /// Deepest populated level after the merge (1 = L0 only).
+        levels: u64,
+        /// Largest single merge input observed so far, in bytes.
+        max_merge_bytes: u64,
+    },
+    /// The retention watermark advanced: raw history records durably
+    /// covered by the awareness rollup were retired from the store.
+    StoreRetention {
+        /// Records retired by this advance.
+        retired: u64,
+        /// Exclusive upper bound (store key) of the retired window.
+        below: String,
+    },
     /// A record written before the typed taxonomy (old string format).
     Legacy {
         /// The old free-form kind, e.g. `task.end`.
@@ -329,6 +363,9 @@ impl EventKind {
             EventKind::ServerRecover { .. } => "server.recover",
             EventKind::OperatorSuspend => "operator.suspend",
             EventKind::OperatorResume => "operator.resume",
+            EventKind::StoreSpill { .. } => "store.spill",
+            EventKind::StoreCompaction { .. } => "store.compaction",
+            EventKind::StoreRetention { .. } => "store.retention",
             EventKind::Legacy { kind, .. } => kind,
         }
     }
@@ -527,6 +564,11 @@ pub struct AwarenessIndex {
     nodes_down: BTreeSet<String>,
     nodes_quarantined: BTreeSet<String>,
     total_cpu_ms: f64,
+    /// Tier I/O health counters folded from `store.*` events: `spills`,
+    /// `merges` and `retired` accumulate deltas; `runs`, `levels`,
+    /// `bloom_skips`, `cache_hits` and `cache_misses` hold the latest
+    /// sampled store totals; `max_merge_bytes` keeps the maximum.
+    store_io: BTreeMap<String, u64>,
     /// Events folded into a durable [`RollupRecord`] before this index
     /// was opened: they are part of every aggregate (counts, histograms,
     /// gauges) but carry no in-memory log entry or postings.  Zero when
@@ -579,6 +621,32 @@ impl AwarenessIndex {
             // A server crash loses all volatile dispatch state; rebuild
             // requeues what was dispatched.
             EventKind::ServerRecover { .. } => self.in_flight = 0,
+            EventKind::StoreSpill {
+                spills,
+                runs,
+                bloom_skips,
+                cache_hits,
+                cache_misses,
+            } => {
+                *self.store_io.entry("spills".into()).or_insert(0) += spills;
+                self.store_io.insert("runs".into(), *runs);
+                self.store_io.insert("bloom_skips".into(), *bloom_skips);
+                self.store_io.insert("cache_hits".into(), *cache_hits);
+                self.store_io.insert("cache_misses".into(), *cache_misses);
+            }
+            EventKind::StoreCompaction {
+                merges,
+                levels,
+                max_merge_bytes,
+            } => {
+                *self.store_io.entry("merges".into()).or_insert(0) += merges;
+                self.store_io.insert("levels".into(), *levels);
+                let top = self.store_io.entry("max_merge_bytes".into()).or_insert(0);
+                *top = (*top).max(*max_merge_bytes);
+            }
+            EventKind::StoreRetention { retired, .. } => {
+                *self.store_io.entry("retired".into()).or_insert(0) += retired;
+            }
             _ => {}
         }
         let i = self.log.len();
@@ -656,6 +724,7 @@ impl AwarenessIndex {
             nodes_down: r.nodes_down.iter().cloned().collect(),
             nodes_quarantined: r.nodes_quarantined.iter().cloned().collect(),
             total_cpu_ms: r.total_cpu_ms,
+            store_io: r.store_io.clone(),
             base_len: r.base,
             base_counts: r.counts.clone(),
             ..AwarenessIndex::default()
@@ -682,6 +751,7 @@ impl AwarenessIndex {
             nodes_down: self.nodes_down.iter().cloned().collect(),
             nodes_quarantined: self.nodes_quarantined.iter().cloned().collect(),
             total_cpu_ms: self.total_cpu_ms,
+            store_io: self.store_io.clone(),
         }
     }
 
@@ -738,6 +808,14 @@ impl AwarenessIndex {
     pub fn total_cpu_ms(&self) -> f64 {
         self.total_cpu_ms
     }
+
+    /// Tier I/O health counters folded from `store.*` events — spill and
+    /// merge totals, the latest sampled bloom-skip and block-cache
+    /// hit/miss counters, and records retired by retention.  Empty until
+    /// the first store event is recorded.
+    pub fn store_io(&self) -> &BTreeMap<String, u64> {
+        &self.store_io
+    }
 }
 
 /// Sequence keys are zero-padded to 20 digits so every representable `u64`
@@ -783,6 +861,9 @@ struct RollupRecord {
     nodes_quarantined: Vec<String>,
     /// Total reference-CPU milliseconds charged.
     total_cpu_ms: f64,
+    /// Tier I/O counters folded from `store.*` events.  Decodes as empty
+    /// from rollups written before the field existed.
+    store_io: BTreeMap<String, u64>,
 }
 
 /// Append-only writer/reader for the History space, with buffered appends
@@ -902,6 +983,16 @@ impl Awareness {
     /// `base` of the newest durable rollup (0 when none exists yet).
     pub fn rollup_base(&self) -> u64 {
         self.rollup_base
+    }
+
+    /// History-space key of the first event **not** covered by the
+    /// durable rollup — the exclusive upper bound below which raw `ev/`
+    /// records may be retired by windowed retention without losing any
+    /// aggregate (the rollup already summarizes them, and
+    /// [`Awareness::open_tail`] never scans below it).  `None` until a
+    /// rollup has been committed.
+    pub fn rolled_up_below(&self) -> Option<String> {
+        (self.rollup_base > 0).then(|| format!("ev/{}", event_key(self.rollup_base)))
     }
 
     /// Events deserialized by the open that produced this handle: the
@@ -1394,5 +1485,139 @@ mod tests {
             tail.index().counts_by_kind(),
             exact.index().counts_by_kind()
         );
+    }
+
+    fn spill(spills: u64, runs: u64, skips: u64, hits: u64, misses: u64) -> EventKind {
+        EventKind::StoreSpill {
+            spills,
+            runs,
+            bloom_skips: skips,
+            cache_hits: hits,
+            cache_misses: misses,
+        }
+    }
+
+    #[test]
+    fn store_events_fold_tier_io_deltas_and_sampled_gauges() {
+        let store = Store::open(MemDisk::new()).unwrap();
+        let mut aw = Awareness::open(&store).unwrap();
+        assert!(aw.index().store_io().is_empty());
+        aw.record(SimTime::from_secs(1), spill(2, 3, 10, 4, 5));
+        aw.record(SimTime::from_secs(2), spill(1, 2, 25, 9, 8));
+        aw.record(
+            SimTime::from_secs(3),
+            EventKind::StoreCompaction {
+                merges: 1,
+                levels: 2,
+                max_merge_bytes: 4096,
+            },
+        );
+        aw.record(
+            SimTime::from_secs(4),
+            EventKind::StoreCompaction {
+                merges: 2,
+                levels: 3,
+                max_merge_bytes: 1024,
+            },
+        );
+        aw.record(
+            SimTime::from_secs(5),
+            EventKind::StoreRetention {
+                retired: 7,
+                below: "ev/00000000000000000040".into(),
+            },
+        );
+        aw.record(
+            SimTime::from_secs(6),
+            EventKind::StoreRetention {
+                retired: 3,
+                below: "ev/00000000000000000080".into(),
+            },
+        );
+
+        let io = aw.index().store_io();
+        // Per-event deltas accumulate...
+        assert_eq!(io.get("spills"), Some(&3));
+        assert_eq!(io.get("merges"), Some(&3));
+        assert_eq!(io.get("retired"), Some(&10));
+        // ...cumulative sampled gauges keep the latest observation...
+        assert_eq!(io.get("runs"), Some(&2));
+        assert_eq!(io.get("bloom_skips"), Some(&25));
+        assert_eq!(io.get("cache_hits"), Some(&9));
+        assert_eq!(io.get("cache_misses"), Some(&8));
+        assert_eq!(io.get("levels"), Some(&3));
+        // ...and the merge high-water mark keeps the max, not the latest.
+        assert_eq!(io.get("max_merge_bytes"), Some(&4096));
+
+        // Store events are ordinary history records with stable labels.
+        assert_eq!(aw.index().count("store.spill"), 2);
+        assert_eq!(aw.index().count("store.compaction"), 2);
+        assert_eq!(aw.index().count("store.retention"), 2);
+        aw.flush(&store).unwrap();
+        assert_eq!(aw.of_kind(&store, "store.retention").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn tier_io_counters_survive_the_rollup_fold() {
+        let disk = MemDisk::new();
+        let store = Store::open(disk.clone()).unwrap();
+        let mut aw = Awareness::open(&store).unwrap();
+        aw.set_rollup_every(4);
+        for i in 0..24u64 {
+            aw.record(SimTime::from_secs(i), spill(1, i % 5, 2 * i, i, i / 2));
+            if i % 6 == 5 {
+                aw.record(
+                    SimTime::from_secs(i),
+                    EventKind::StoreCompaction {
+                        merges: 1,
+                        levels: 2,
+                        max_merge_bytes: 100 * i,
+                    },
+                );
+            }
+            aw.flush(&store).unwrap();
+        }
+        aw.record(
+            SimTime::from_secs(99),
+            EventKind::StoreRetention {
+                retired: 12,
+                below: "ev/00000000000000000016".into(),
+            },
+        );
+        aw.flush(&store).unwrap();
+        assert!(aw.rollup_base() > 0, "cadence never produced a rollup");
+        // The retirement bound tracks the durable rollup base exactly.
+        assert_eq!(
+            aw.rolled_up_below(),
+            Some(format!("ev/{}", event_key(aw.rollup_base())))
+        );
+
+        let exact = Awareness::open(&store).unwrap();
+        let tail = Awareness::open_tail(&store).unwrap();
+        assert!(tail.open_scanned() < exact.open_scanned());
+        // The rollup carries the folded tier counters, so the O(tail)
+        // open answers identically to the full scan.
+        assert_eq!(tail.index().store_io(), exact.index().store_io());
+        assert_eq!(exact.index().store_io().get("spills"), Some(&24));
+        assert_eq!(exact.index().store_io().get("retired"), Some(&12));
+        assert_eq!(exact.index().store_io().get("max_merge_bytes"), Some(&2300));
+    }
+
+    #[test]
+    fn rollups_written_before_tier_io_decode_as_empty() {
+        let mut index = AwarenessIndex::default();
+        index.ingest(&HistoryEvent {
+            at: SimTime::from_secs(1),
+            kind: task_end("A", "n1", 10),
+        });
+        let json = serde_json::to_string(&index.to_rollup(1)).unwrap();
+        // Bytes exactly as pre-tier rollups had them: no `store_io`
+        // member at all.
+        let legacy = json.replace(",\"store_io\":{}", "");
+        assert_ne!(legacy, json, "rollup no longer serializes store_io");
+        let back: RollupRecord = serde_json::from_str(&legacy).unwrap();
+        let rebuilt = AwarenessIndex::from_rollup(&back);
+        assert!(rebuilt.store_io().is_empty());
+        assert_eq!(rebuilt.count("task.end"), 1);
     }
 }

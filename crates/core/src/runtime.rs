@@ -37,7 +37,7 @@ use bioopera_cluster::{Cluster, JobId, JobOutcome, NetworkState, SimKernel, SimT
 use bioopera_ocr::model::{ParallelBody, ProcessTemplate, TaskKind};
 use bioopera_ocr::value::Value;
 use bioopera_ocr::ExternalBinding;
-use bioopera_store::{Batch, CompactionPolicy, Disk, Space, Store};
+use bioopera_store::{Batch, CompactionPolicy, Disk, Space, Store, StoreStats};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Events driving the runtime's kernel.
@@ -219,6 +219,16 @@ pub struct Runtime<D: Disk + Clone> {
     event_log: Vec<(SimTime, String)>,
     heartbeat_scheduled: bool,
     auto_restarts: u32,
+
+    // ---- store awareness ----
+    /// Tier counters at the last store-event emission; diffed at each
+    /// step boundary to turn spills and merges into `store.*` events.
+    tier_stats: Option<StoreStats>,
+    /// Retire raw `ev/` history records once the durable awareness
+    /// rollup covers them (windowed retention; opt-in).
+    history_retention: bool,
+    /// `rollup_base` the last retention advance was issued for.
+    retained_rollup_base: u64,
 }
 
 impl<D: Disk + Clone> Runtime<D> {
@@ -267,6 +277,9 @@ impl<D: Disk + Clone> Runtime<D> {
             event_log: Vec::new(),
             heartbeat_scheduled: false,
             auto_restarts: 0,
+            tier_stats: None,
+            history_retention: std::env::var("BIOOPERA_HISTORY_RETENTION").is_ok_and(|v| v == "1"),
+            retained_rollup_base: 0,
         };
         rt.rebuild_from_store()?;
         Ok(rt)
@@ -481,12 +494,92 @@ impl<D: Disk + Clone> Runtime<D> {
 
     /// Flush buffered awareness events (one batch).  No-op while the
     /// server is down — the store is poisoned and the pending tail is
-    /// discarded by the crash path.
+    /// discarded by the crash path.  Tier activity since the previous
+    /// flush is recorded as `store.*` events riding the same batch, and
+    /// (when enabled) raw history below the durable rollup is retired.
     fn flush_awareness(&mut self) -> EngineResult<()> {
         if self.server_up {
+            self.record_store_events();
             self.awareness.flush(&self.store)?;
+            self.maybe_retain_history()?;
         }
         Ok(())
+    }
+
+    /// Turn the store's tier counters into awareness events: one
+    /// `store.spill` and/or `store.compaction` per step boundary where
+    /// the counters moved, carrying the deltas (and sampling the
+    /// cumulative read-side counters so the index can report cache and
+    /// bloom health).
+    fn record_store_events(&mut self) {
+        let stats = self.store.stats();
+        let prev = self.tier_stats.replace(stats);
+        let (prev_spills, prev_merges) = prev.map_or((0, 0), |p| (p.spills, p.run_merges));
+        let now = self.kernel.now();
+        if stats.spills > prev_spills {
+            self.awareness.record(
+                now,
+                EventKind::StoreSpill {
+                    spills: stats.spills - prev_spills,
+                    runs: stats.runs as u64,
+                    bloom_skips: stats.bloom_skips,
+                    cache_hits: stats.cache_hits,
+                    cache_misses: stats.cache_misses,
+                },
+            );
+        }
+        if stats.run_merges > prev_merges {
+            self.awareness.record(
+                now,
+                EventKind::StoreCompaction {
+                    merges: stats.run_merges - prev_merges,
+                    levels: stats.levels as u64,
+                    max_merge_bytes: stats.max_merge_bytes,
+                },
+            );
+        }
+    }
+
+    /// Windowed retention: once the awareness rollup durably covers a
+    /// prefix of the event log, retire the raw `ev/` records below it.
+    /// The rollup already answers every aggregate query over that
+    /// prefix, and [`Awareness::open_tail`] never scans below its base,
+    /// so no recovery path needs the retired records.  Off by default;
+    /// enabled via [`set_history_retention`](Runtime::set_history_retention)
+    /// or `BIOOPERA_HISTORY_RETENTION=1`.
+    fn maybe_retain_history(&mut self) -> EngineResult<()> {
+        if !self.history_retention {
+            return Ok(());
+        }
+        let base = self.awareness.rollup_base();
+        if base == 0 || base == self.retained_rollup_base {
+            return Ok(());
+        }
+        let Some(below) = self.awareness.rolled_up_below() else {
+            return Ok(());
+        };
+        let retired = self.store.retain_below(Space::History, "ev/", &below)?;
+        self.retained_rollup_base = base;
+        if retired > 0 {
+            // Recorded now, durable with the next step's batch.
+            self.awareness.record(
+                self.kernel.now(),
+                EventKind::StoreRetention { retired, below },
+            );
+        }
+        Ok(())
+    }
+
+    /// Enable or disable windowed history retention (see
+    /// [`maybe_retain_history`](Runtime::maybe_retain_history)).
+    pub fn set_history_retention(&mut self, on: bool) {
+        self.history_retention = on;
+    }
+
+    /// Override the awareness rollup cadence (tests and benches force
+    /// tiny values so the rollup and retention paths run constantly).
+    pub fn set_rollup_every(&mut self, every: u64) {
+        self.awareness.set_rollup_every(every);
     }
 
     /// Snapshot everything this run tells the operator — per-kind event

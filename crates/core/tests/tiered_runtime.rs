@@ -1,0 +1,214 @@
+//! Runtime × tiered-store integration: a squeezed memtable budget pulls
+//! spills and run merges into ordinary workloads, and the runtime must
+//! (a) keep producing the exact untiered results, (b) surface the tier
+//! activity as `store.*` awareness events, and (c) — when windowed
+//! retention is enabled — retire rolled-up history without losing any
+//! aggregate or breaking recovery.
+//!
+//! Every test funnels through [`tiny_tiered_env`] before touching a
+//! store, so the whole binary runs under one consistent tiered policy.
+
+use bioopera_cluster::{Cluster, NodeSpec, SimTime};
+use bioopera_core::{
+    ActivityLibrary, Awareness, InstanceStatus, ProgramOutput, Runtime, RuntimeConfig,
+};
+use bioopera_ocr::model::{ExternalBinding, ParallelBody, TypeTag};
+use bioopera_ocr::value::Value;
+use bioopera_ocr::{ProcessBuilder, ProcessTemplate};
+use bioopera_store::{MemDisk, Space};
+use std::collections::BTreeMap;
+
+/// Force the tiny tiered policy exactly once, before any store opens.
+/// Tests in this binary run on parallel threads but all call this first,
+/// so every `Store::open` sees the same environment.
+fn tiny_tiered_env() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        std::env::set_var("BIOOPERA_MEMTABLE_BUDGET", "512");
+        std::env::set_var("BIOOPERA_RUN_MERGE", "2");
+        std::env::set_var("BIOOPERA_LEVEL_BASE", "4096");
+    });
+}
+
+fn cluster() -> Cluster {
+    Cluster::new(
+        "tiered",
+        vec![
+            NodeSpec::new("n1", 2, 500, "linux"),
+            NodeSpec::new("n2", 2, 500, "linux"),
+        ],
+    )
+}
+
+fn library() -> ActivityLibrary {
+    let mut lib = ActivityLibrary::new();
+    lib.register("gen.list", |inputs| {
+        let count = inputs.get("count").and_then(|v| v.as_int()).unwrap_or(4);
+        Ok(ProgramOutput::from_fields(
+            [("items", Value::int_list(0..count))],
+            1_000.0,
+        ))
+    });
+    lib.register("work.unit", |inputs| {
+        let item = inputs
+            .get("item")
+            .and_then(|v| v.as_int())
+            .ok_or_else(|| "work.unit needs an item".to_string())?;
+        Ok(ProgramOutput::from_fields(
+            [("value", Value::Int(item * item))],
+            30_000.0,
+        ))
+    });
+    lib.register("merge.sum", |inputs| {
+        let total: i64 = inputs
+            .get("results")
+            .and_then(|v| v.as_list())
+            .map(|items| {
+                items
+                    .iter()
+                    .filter_map(|v| v.get_path(&["value"]).and_then(|v| v.as_int()))
+                    .sum()
+            })
+            .unwrap_or(0);
+        Ok(ProgramOutput::from_fields(
+            [("total", Value::Int(total))],
+            2_000.0,
+        ))
+    });
+    lib
+}
+
+fn fanout_template(count: i64) -> ProcessTemplate {
+    ProcessBuilder::new("Fanout")
+        .whiteboard_default("count", TypeTag::Int, Value::Int(count))
+        .whiteboard_field("total", TypeTag::Int)
+        .activity("Gen", "gen.list", |t| {
+            t.input("count", TypeTag::Int)
+                .output("items", TypeTag::List)
+        })
+        .parallel(
+            "Fan",
+            "items",
+            ParallelBody::Activity(ExternalBinding::program("work.unit")),
+            "results",
+            |t| t,
+        )
+        .activity("Merge", "merge.sum", |t| {
+            t.input("results", TypeTag::List)
+                .output("total", TypeTag::Int)
+        })
+        .connect("Gen", "Fan")
+        .connect("Fan", "Merge")
+        .flow_from_whiteboard("count", "Gen", "count")
+        .flow_to_task("Gen", "items", "Fan", "items")
+        .flow_to_task("Fan", "results", "Merge", "results")
+        .flow_to_whiteboard("Merge", "total", "total")
+        .build()
+        .unwrap()
+}
+
+fn runtime_on(disk: MemDisk) -> Runtime<MemDisk> {
+    let cfg = RuntimeConfig {
+        heartbeat: SimTime::from_secs(20),
+        ..Default::default()
+    };
+    Runtime::new(disk, cluster(), library(), cfg).unwrap()
+}
+
+fn expected_total(n: i64) -> i64 {
+    (0..n).map(|i| i * i).sum()
+}
+
+#[test]
+fn tiny_budget_workload_completes_and_surfaces_spill_events() {
+    tiny_tiered_env();
+    let mut rt = runtime_on(MemDisk::new());
+    rt.register_template(&fanout_template(8)).unwrap();
+    let id = rt.submit("Fanout", BTreeMap::new()).unwrap();
+    rt.run_to_completion().unwrap();
+
+    // (a) The tiered engine is semantics-preserving: same terminal
+    // status and whiteboard as any untiered run.
+    assert_eq!(rt.instance_status(id), Some(InstanceStatus::Completed));
+    assert_eq!(
+        rt.whiteboard(id).unwrap()["total"],
+        Value::Int(expected_total(8))
+    );
+
+    // (b) The 512-byte budget forced real spills and merges...
+    let stats = rt.store().stats();
+    assert!(stats.spills > 0, "no spills under a 512-byte budget");
+    assert!(stats.runs > 0 || stats.run_merges > 0);
+
+    // ...and the runtime folded them into the awareness index as
+    // `store.*` events, without polling: counters arrive via history.
+    let io = rt.awareness().index().store_io();
+    assert!(
+        io.get("spills").copied().unwrap_or(0) > 0,
+        "store_io missing spills: {io:?}"
+    );
+    assert!(rt.awareness().index().count("store.spill") > 0);
+}
+
+#[test]
+fn history_retention_retires_rolled_up_records_and_recovery_survives() {
+    tiny_tiered_env();
+    let disk = MemDisk::new();
+    let mut rt = runtime_on(disk.clone());
+    rt.set_rollup_every(8);
+    rt.set_history_retention(true);
+    rt.register_template(&fanout_template(10)).unwrap();
+    let id = rt.submit("Fanout", BTreeMap::new()).unwrap();
+    rt.run_to_completion().unwrap();
+    assert_eq!(rt.instance_status(id), Some(InstanceStatus::Completed));
+
+    // The watermark advanced with the rollup and physically retired the
+    // covered prefix: no raw `ev/` record below it survives.
+    let (start, below) = rt
+        .store()
+        .retention(Space::History)
+        .expect("retention never advanced");
+    assert_eq!(start, "ev/");
+    let first_raw = rt
+        .store()
+        .scan_prefix(Space::History, "ev/")
+        .unwrap()
+        .into_iter()
+        .map(|(k, _)| k)
+        .next()
+        .expect("tail must keep raw events");
+    assert!(
+        first_raw >= below,
+        "raw record {first_raw} survives below watermark {below}"
+    );
+    let retired = rt
+        .awareness()
+        .index()
+        .store_io()
+        .get("retired")
+        .copied()
+        .unwrap_or(0);
+    assert!(retired > 0, "retention advanced but retired no records");
+
+    // Aggregates are preserved: an O(tail) reopen over the retired log
+    // answers the same durable counts the live index accumulated.
+    let tail = Awareness::open_tail(rt.store()).unwrap();
+    assert_eq!(
+        tail.index().count("task.end"),
+        rt.awareness().index().count("task.end")
+    );
+    assert_eq!(tail.index().run_ms(), rt.awareness().index().run_ms());
+    assert!(tail.index().count("task.end") > 0);
+
+    // And recovery does not need the retired records: a fresh runtime
+    // over the same disk reopens and completes new work.
+    drop(rt);
+    let mut rt = runtime_on(disk);
+    let id2 = rt.submit("Fanout", BTreeMap::new()).unwrap();
+    rt.run_to_completion().unwrap();
+    assert_eq!(rt.instance_status(id2), Some(InstanceStatus::Completed));
+    assert_eq!(
+        rt.whiteboard(id2).unwrap()["total"],
+        Value::Int(expected_total(10))
+    );
+}

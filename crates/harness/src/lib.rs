@@ -38,7 +38,8 @@ pub mod store_torture;
 pub use runtime_torture::{run_runtime_torture, RuntimeTortureOutcome};
 pub use shard_torture::{run_shard_torture, ShardTortureOutcome};
 pub use store_torture::{
-    run_store_torture, run_store_torture_tiered, tiny_tiered_policy, StoreTortureOutcome,
+    run_store_torture, run_store_torture_leveled, run_store_torture_tiered, tiny_leveled_policy,
+    tiny_tiered_policy, StoreTortureOutcome,
 };
 
 /// Default seed when `HARNESS_SEED` is not set.
@@ -63,6 +64,10 @@ pub struct TortureReport {
     /// crash points inside memtable spills and run merge compactions are
     /// part of the enumeration.
     pub store_tiered: StoreTortureOutcome,
+    /// Store-workload enumeration outcome under a tiny *leveled* policy:
+    /// level-merge commits, multi-run splits, retention-watermark advances
+    /// and input-run GC all become enumerated crash points.
+    pub store_leveled: StoreTortureOutcome,
     /// Runtime all-vs-all outcome.
     pub runtime: RuntimeTortureOutcome,
     /// Sharded-navigator barrier-crash outcome.
@@ -76,6 +81,7 @@ impl TortureReport {
             .violations
             .iter()
             .chain(self.store_tiered.violations.iter())
+            .chain(self.store_leveled.violations.iter())
             .chain(self.runtime.violations.iter())
             .chain(self.shard.violations.iter())
             .map(String::as_str)
@@ -86,6 +92,7 @@ impl TortureReport {
     pub fn is_clean(&self) -> bool {
         self.store.violations.is_empty()
             && self.store_tiered.violations.is_empty()
+            && self.store_leveled.violations.is_empty()
             && self.runtime.violations.is_empty()
             && self.shard.violations.is_empty()
     }
@@ -96,6 +103,7 @@ impl TortureReport {
             "torture harness HARNESS_SEED={}\n\
              \x20 store:   {} mutations, {} crash cases, {} recovery double-crash cases, {} bit-flip cases\n\
              \x20 tiered:  {} mutations, {} crash cases, {} recovery double-crash cases, {} bit-flip cases\n\
+             \x20 leveled: {} mutations, {} crash cases, {} recovery double-crash cases, {} bit-flip cases\n\
              \x20 runtime: {} mutations, {} crash cases, {} recovery double-crash cases\n\
              \x20 shard:   {} oracle rounds, {} barrier-crash cases, {} double-crash cases\n\
              \x20 violations: {}",
@@ -108,6 +116,10 @@ impl TortureReport {
             self.store_tiered.cases,
             self.store_tiered.recovery_cases,
             self.store_tiered.bitflip_cases,
+            self.store_leveled.mutations,
+            self.store_leveled.cases,
+            self.store_leveled.recovery_cases,
+            self.store_leveled.bitflip_cases,
             self.runtime.mutations,
             self.runtime.cases,
             self.runtime.recovery_cases,
@@ -138,6 +150,7 @@ pub fn run_full(
         seed,
         store: run_store_torture(seed, store_limit),
         store_tiered: run_store_torture_tiered(seed, store_limit),
+        store_leveled: run_store_torture_leveled(seed, store_limit),
         runtime: run_runtime_torture(seed, runtime_samples, recovery_samples),
         shard: run_shard_torture(seed, shard_samples),
     }

@@ -1,18 +1,22 @@
 //! Store-level crash-point enumeration.
 //!
-//! A scripted batch workload (puts, deletes, compactions across all four
-//! spaces) is first executed crash-free to obtain the oracle state and the
-//! exact number of disk mutations.  Every mutation index is then re-run as
+//! A scripted batch workload (puts, deletes, compactions and retention
+//! advances across all four spaces) is first executed crash-free to obtain
+//! the oracle state and the exact number of disk mutations.  Every mutation index is then re-run as
 //! a crash point under each [`CrashEffect`], optionally with a *second*
 //! crash injected during the recovery replay, plus a pass of at-rest
 //! bit-flip corruption of the persisted WAL (and, in tiered mode, of the
 //! sorted-run files).
 //!
-//! The pass runs in two configurations: the untiered snapshot + WAL engine
-//! ([`run_store_torture`]) and the tiered engine under a deliberately tiny
-//! memtable budget ([`run_store_torture_tiered`]), whose probe trace pulls
-//! every spill and run-merge disk write — run-file writes, manifest
-//! commits, stale WAL/snapshot/run deletions — into the enumeration.
+//! The pass runs in three configurations: the untiered snapshot + WAL
+//! engine ([`run_store_torture`]), the tiered engine under a deliberately
+//! tiny memtable budget ([`run_store_torture_tiered`]), whose probe trace
+//! pulls every spill and run-merge disk write — run-file writes, manifest
+//! commits, stale WAL/snapshot/run deletions — into the enumeration, and
+//! the leveled engine under squeezed level budgets
+//! ([`run_store_torture_leveled`]), which adds level-merge commits,
+//! multi-run splits, retention-watermark advances and victim GC to the
+//! enumerated mutation trace.
 //!
 //! After every injected fault the invariants are:
 //!
@@ -47,6 +51,22 @@ pub fn tiny_tiered_policy() -> TieredPolicy {
     TieredPolicy {
         memtable_budget_bytes: 512,
         run_merge_threshold: 2,
+        ..TieredPolicy::default()
+    }
+}
+
+/// Tiny *leveled* policy for the leveled torture pass: on top of the
+/// tiny memtable budget, the L1 byte budget is squeezed so push-downs
+/// cascade into L2+ — level-merge commits, multi-run splits and victim
+/// GC all land inside the crash-point enumeration.
+pub fn tiny_leveled_policy() -> TieredPolicy {
+    TieredPolicy {
+        memtable_budget_bytes: 512,
+        run_merge_threshold: 2,
+        level_base_bytes: 1024,
+        level_growth: 2,
+        level_run_bytes: 768,
+        ..TieredPolicy::default()
     }
 }
 
@@ -78,6 +98,17 @@ pub enum Step {
     Apply(Vec<ScriptOp>),
     /// Snapshot the state and truncate the WAL.
     Compact,
+    /// Advance the retention watermark: retire every record of `space`
+    /// with `start <= key < below` and drop all future writes below the
+    /// watermark.  Commits through a single manifest mutation.
+    Retain {
+        /// Space tag (0..=3).
+        space: u8,
+        /// Inclusive lower bound of the retired window.
+        start: String,
+        /// Exclusive upper bound of the retired window.
+        below: String,
+    },
 }
 
 /// Outcome of the store torture pass.
@@ -96,9 +127,10 @@ pub struct StoreTortureOutcome {
 }
 
 /// Deterministic scripted workload: ~24 batches of 1–4 operations over a
-/// small key universe in all four spaces, with two compactions landing
-/// mid-script so crash points inside `compact()` are part of the
-/// enumeration.
+/// small key universe in all four spaces, with two compactions and two
+/// retention advances landing mid-script so crash points inside
+/// `compact()` and `retain_below()` — including the widening of an
+/// existing watermark hull — are part of the enumeration.
 pub fn scripted_workload(seed: u64) -> Vec<Step> {
     let mut rng = StdRng::seed_from_u64(seed);
     let keys: Vec<String> = (0..12).map(|i| format!("torture/k{i:02}")).collect();
@@ -120,6 +152,22 @@ pub fn scripted_workload(seed: u64) -> Vec<Step> {
         steps.push(Step::Apply(ops));
         if b == 7 || b == 15 {
             steps.push(Step::Compact);
+        }
+        if b == 11 {
+            steps.push(Step::Retain {
+                space: 3,
+                start: "torture/k00".into(),
+                below: "torture/k03".into(),
+            });
+        }
+        if b == 19 {
+            // Widens the existing hull: subsequent batches keep writing
+            // keys below the watermark, which must stay invisible.
+            steps.push(Step::Retain {
+                space: 3,
+                start: "torture/k02".into(),
+                below: "torture/k05".into(),
+            });
         }
     }
     steps
@@ -147,27 +195,103 @@ fn to_batch(ops: &[ScriptOp]) -> Batch {
     b
 }
 
-/// Logical-state prefixes: `prefixes[j]` is the model state after the first
-/// `j` batches (compactions are state-identities).
-fn prefix_models(steps: &[Step]) -> Vec<Model> {
-    let mut models = vec![Model::new()];
-    let mut cur = Model::new();
-    for step in steps {
-        if let Step::Apply(ops) = step {
-            for op in ops {
-                match op {
-                    ScriptOp::Put { space, key, value } => {
-                        cur.insert((*space, key.clone()), value.clone());
-                    }
-                    ScriptOp::Delete { space, key } => {
-                        cur.remove(&(*space, key.clone()));
+/// Per-space retention watermark hulls, mirrored from the engine.
+type Retain = [Option<(String, String)>; 4];
+
+fn retained(retain: &Retain, space: u8, key: &str) -> bool {
+    match &retain[space as usize] {
+        Some((start, below)) => start.as_str() <= key && key < below.as_str(),
+        None => false,
+    }
+}
+
+/// Reference interpreter for the script: the logical contents plus the
+/// retention watermark, with writes below the watermark dropped exactly as
+/// the engine drops them at apply (and at WAL replay).
+#[derive(Clone, Default)]
+struct ScriptState {
+    data: Model,
+    retain: Retain,
+}
+
+impl ScriptState {
+    fn apply(&mut self, ops: &[ScriptOp]) {
+        for op in ops {
+            match op {
+                ScriptOp::Put { space, key, value } => {
+                    if !retained(&self.retain, *space, key) {
+                        self.data.insert((*space, key.clone()), value.clone());
                     }
                 }
+                ScriptOp::Delete { space, key } => {
+                    self.data.remove(&(*space, key.clone()));
+                }
             }
-            models.push(cur.clone());
         }
     }
-    models
+
+    fn retain_below(&mut self, space: u8, start: &str, below: &str) {
+        if below <= start {
+            return;
+        }
+        let hull = match &self.retain[space as usize] {
+            Some((s, b)) => (
+                s.as_str().min(start).to_string(),
+                b.as_str().max(below).to_string(),
+            ),
+            None => (start.to_string(), below.to_string()),
+        };
+        let doomed: Vec<(u8, String)> = self
+            .data
+            .range((space, hull.0.clone())..(space, hull.1.clone()))
+            .map(|(k, _)| k.clone())
+            .collect();
+        for k in &doomed {
+            self.data.remove(k);
+        }
+        self.retain[space as usize] = Some(hull);
+    }
+
+    /// The contents with every record covered by `retain` removed — the
+    /// state a WAL-truncated replay converges on when a *later* retention
+    /// watermark already sits in the durable manifest.
+    fn filtered(&self, retain: &Retain) -> Model {
+        self.data
+            .iter()
+            .filter(|((space, key), _)| !retained(retain, *space, key))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+}
+
+/// Model states after every script step, tagged with the number of batches
+/// acknowledged by that point.  Compactions are state-identities; retention
+/// steps change state *without* advancing the batch count, so a crash
+/// inside `retain_below` legitimately recovers to either the entry before
+/// or after the retention at the same acknowledged count.
+fn script_states(steps: &[Step]) -> Vec<(usize, ScriptState)> {
+    let mut states = vec![(0usize, ScriptState::default())];
+    let mut cur = ScriptState::default();
+    let mut acked = 0usize;
+    for step in steps {
+        match step {
+            Step::Apply(ops) => {
+                cur.apply(ops);
+                acked += 1;
+                states.push((acked, cur.clone()));
+            }
+            Step::Compact => {}
+            Step::Retain {
+                space,
+                start,
+                below,
+            } => {
+                cur.retain_below(*space, start, below);
+                states.push((acked, cur.clone()));
+            }
+        }
+    }
+    states
 }
 
 fn dump(store: &Store<MemDisk>) -> Result<Model, String> {
@@ -191,6 +315,20 @@ fn probe(steps: &[Step], tiered: Option<TieredPolicy>) -> u64 {
         match step {
             Step::Apply(ops) => store.apply(to_batch(ops)).expect("probe apply"),
             Step::Compact => store.compact().expect("probe compact"),
+            Step::Retain {
+                space,
+                start,
+                below,
+            } => {
+                store
+                    .retain_below(
+                        Space::from_u8(*space).expect("script space tag"),
+                        start,
+                        below,
+                    )
+                    .map(|_| ())
+                    .expect("probe retain");
+            }
         }
     }
     disk.mutation_count()
@@ -202,7 +340,7 @@ fn probe(steps: &[Step], tiered: Option<TieredPolicy>) -> u64 {
 /// violation.
 fn store_case(
     steps: &[Step],
-    prefixes: &[Model],
+    states: &[(usize, ScriptState)],
     crash_index: u64,
     effect: CrashEffect,
     recovery_crash: Option<u64>,
@@ -219,6 +357,17 @@ fn store_case(
                 let res = match step {
                     Step::Apply(ops) => store.apply(to_batch(ops)).map(|()| true),
                     Step::Compact => store.compact().map(|()| false),
+                    Step::Retain {
+                        space,
+                        start,
+                        below,
+                    } => store
+                        .retain_below(
+                            Space::from_u8(*space).expect("script space tag"),
+                            start,
+                            below,
+                        )
+                        .map(|_| false),
                 };
                 match res {
                     Ok(true) => acked += 1,
@@ -268,23 +417,26 @@ fn store_case(
     let got = dump(&store)?;
 
     // Durability: all acknowledged batches present.  Atomicity: the state
-    // is a whole-batch prefix; only the single in-flight batch may appear
-    // beyond the acknowledged ones (write completed, ack lost).
-    let recovered = if got == prefixes[acked] {
-        acked
-    } else if acked + 1 < prefixes.len() && got == prefixes[acked + 1] {
-        acked + 1
-    } else {
-        return Err(format!(
-            "recovered state is neither the {acked}-batch nor the {}-batch prefix \
-             ({} acknowledged)",
-            acked + 1,
-            acked
-        ));
-    };
+    // is a whole-step prefix of the script at the acknowledged batch count
+    // — only the single in-flight batch (write completed, ack lost) or the
+    // in-flight retention advance (manifest committed, ack lost) may
+    // appear beyond it.  Never a partial batch, never a partial retention.
+    let recovered = states
+        .iter()
+        .filter(|(a, _)| *a == acked || *a == acked + 1)
+        .find(|(_, s)| s.data == got)
+        .map(|(a, _)| *a)
+        .ok_or_else(|| {
+            format!(
+                "recovered state is no whole-step prefix at {acked} or {} acknowledged batches",
+                acked + 1
+            )
+        })?;
 
     // Resume the script from the first batch the recovered state lacks;
-    // the resumed run must converge byte-identically on the oracle.
+    // compactions and retention advances re-run unconditionally (both are
+    // idempotent on already-covered state), so the resumed run must
+    // converge byte-identically on the oracle.
     let mut batch_no = 0usize;
     for step in steps {
         match step {
@@ -300,9 +452,22 @@ fn store_case(
             Step::Compact => store
                 .compact()
                 .map_err(|e| format!("resume compact failed: {e}"))?,
+            Step::Retain {
+                space,
+                start,
+                below,
+            } => {
+                store
+                    .retain_below(
+                        Space::from_u8(*space).expect("script space tag"),
+                        start,
+                        below,
+                    )
+                    .map_err(|e| format!("resume retain failed: {e}"))?;
+            }
         }
     }
-    let oracle = prefixes.last().expect("non-empty prefixes");
+    let oracle = &states.last().expect("non-empty states").1.data;
     if dump(&store)? != *oracle {
         return Err("resumed run diverged from the crash-free oracle".into());
     }
@@ -321,7 +486,7 @@ fn store_case(
 /// whole-batch prefix (torn tail) or a typed corruption error.
 fn bitflip_case(
     steps: &[Step],
-    prefixes: &[Model],
+    states: &[(usize, ScriptState)],
     prefix_steps: usize,
     offset_pick: u64,
     bit: u32,
@@ -330,6 +495,7 @@ fn bitflip_case(
     let disk = MemDisk::new();
     let store = Store::open_with(disk.clone(), tiered).map_err(|e| format!("open failed: {e}"))?;
     let mut batches_done = 0usize;
+    let mut final_state = ScriptState::default();
     for step in steps.iter().take(prefix_steps) {
         match step {
             Step::Apply(ops) => {
@@ -337,10 +503,25 @@ fn bitflip_case(
                     .apply(to_batch(ops))
                     .map_err(|e| format!("workload apply failed: {e}"))?;
                 batches_done += 1;
+                final_state.apply(ops);
             }
             Step::Compact => store
                 .compact()
                 .map_err(|e| format!("workload compact failed: {e}"))?,
+            Step::Retain {
+                space,
+                start,
+                below,
+            } => {
+                store
+                    .retain_below(
+                        Space::from_u8(*space).expect("script space tag"),
+                        start,
+                        below,
+                    )
+                    .map_err(|e| format!("workload retain failed: {e}"))?;
+                final_state.retain_below(*space, start, below);
+            }
         }
     }
     drop(store);
@@ -394,7 +575,15 @@ fn bitflip_case(
                     }
                 }
             }
-            if !typed_corruption && !prefixes[..=batches_done].contains(&got) {
+            // A WAL flip may truncate batches, but the retention watermark
+            // lives in the (uncorrupted) manifest and keeps filtering the
+            // replay — so acceptable states are whole-step prefixes viewed
+            // through the *final* committed watermark.
+            let acceptable = states
+                .iter()
+                .filter(|(a, _)| *a <= batches_done)
+                .any(|(_, s)| s.filtered(&final_state.retain) == got);
+            if !typed_corruption && !acceptable {
                 return Err(format!(
                     "state after flipping bit {bit} at byte {offset} of {victim} \
                      is not a whole-batch prefix"
@@ -451,13 +640,24 @@ pub fn run_store_torture_tiered(seed: u64, limit: Option<usize>) -> StoreTorture
     run_store_torture_with(seed, limit, Some(tiny_tiered_policy()))
 }
 
+/// Full store torture pass over the **leveled** engine.
+///
+/// Same scripted workload and invariants again, but under
+/// [`tiny_leveled_policy`]: level byte budgets are squeezed so L0 floods
+/// push runs into L1 and beyond during the script, adding level-merge run
+/// writes, manifest commits with `lrun` lines, input-run GC and
+/// retention-watermark advances to the enumerated crash points.
+pub fn run_store_torture_leveled(seed: u64, limit: Option<usize>) -> StoreTortureOutcome {
+    run_store_torture_with(seed, limit, Some(tiny_leveled_policy()))
+}
+
 fn run_store_torture_with(
     seed: u64,
     limit: Option<usize>,
     tiered: Option<TieredPolicy>,
 ) -> StoreTortureOutcome {
     let steps = scripted_workload(seed);
-    let prefixes = prefix_models(&steps);
+    let states = script_states(&steps);
     let mutations = probe(&steps, tiered);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
 
@@ -498,7 +698,7 @@ fn run_store_torture_with(
                     "HARNESS_SEED={seed} tiered={} crash-index={k} effect={effect:?}",
                     tiered.is_some()
                 ),
-                || store_case(&steps, &prefixes, k, effect, None, tiered),
+                || store_case(&steps, &states, k, effect, None, tiered),
             );
         }
         // Second crash during the recovery replay/GC of the torn-write image.
@@ -512,7 +712,7 @@ fn run_store_torture_with(
                      recovery-crash={r}",
                     tiered.is_some()
                 ),
-                || store_case(&steps, &prefixes, k, effect, Some(r), tiered),
+                || store_case(&steps, &states, k, effect, Some(r), tiered),
             );
         }
     }
@@ -533,7 +733,7 @@ fn run_store_torture_with(
                  offset-pick={offset_pick} bit={bit}",
                 tiered.is_some()
             ),
-            || bitflip_case(&steps, &prefixes, prefix_steps, offset_pick, bit, tiered),
+            || bitflip_case(&steps, &states, prefix_steps, offset_pick, bit, tiered),
         );
     }
 

@@ -3,7 +3,8 @@
 //! `HARNESS_SEED=<seed> cargo test -p bioopera-harness`.
 
 use bioopera_harness::{
-    run_runtime_torture, run_store_torture, run_store_torture_tiered, seed_from_env, DEFAULT_SEED,
+    run_runtime_torture, run_store_torture, run_store_torture_leveled, run_store_torture_tiered,
+    seed_from_env, DEFAULT_SEED,
 };
 
 #[test]
@@ -38,6 +39,39 @@ fn tiered_store_full_crash_point_enumeration_holds_all_invariants() {
         "{} violations (first: {})",
         tiered.violations.len(),
         tiered.violations[0]
+    );
+}
+
+#[test]
+fn leveled_store_full_crash_point_enumeration_holds_all_invariants() {
+    let seed = seed_from_env(DEFAULT_SEED);
+    let leveled = run_store_torture_leveled(seed, None);
+    let untiered = run_store_torture(seed, None);
+    // Squeezed level budgets must pull level-merge commits, run splits and
+    // retention advances into the trace on top of the plain WAL writes.
+    assert!(
+        leveled.mutations > untiered.mutations + 8,
+        "leveled probe added no level-merge mutations ({} vs {})",
+        leveled.mutations,
+        untiered.mutations
+    );
+    assert!(
+        leveled.violations.is_empty(),
+        "{} violations (first: {})",
+        leveled.violations.len(),
+        leveled.violations[0]
+    );
+}
+
+#[test]
+fn leveled_store_enumeration_holds_under_an_alternate_seed() {
+    let seed = seed_from_env(DEFAULT_SEED) ^ 0x5EED_CAFE;
+    let out = run_store_torture_leveled(seed, Some(10));
+    assert!(
+        out.violations.is_empty(),
+        "{} violations (first: {})",
+        out.violations.len(),
+        out.violations[0]
     );
 }
 

@@ -7,10 +7,32 @@
 //! everything and [`Store::compact`] rolls the log into a snapshot —
 //! the pre-tiering behavior, byte-for-byte.  With a policy installed,
 //! a memtable set that outgrows its budget **spills** to an immutable
-//! sorted-run file ([`crate::runs`]); reads then check memtable → runs
-//! newest-to-oldest (bloom filters skip runs that cannot hold the key),
-//! and once enough runs accumulate a crash-safe merge compaction folds
-//! them into one and drops tombstones.
+//! sorted-run file ([`crate::runs`]), and runs are organized into a
+//! **leveled tier**:
+//!
+//! * **L0** holds freshly-spilled runs with overlapping key ranges,
+//!   read newest-to-oldest (bloom filters skip runs that cannot hold
+//!   the key).
+//! * **L1 and deeper** hold runs with pairwise-disjoint key ranges, so
+//!   a point read binary-searches the level's sparse run index and
+//!   probes at most **one** run per level.
+//!
+//! Once `run_merge_threshold` L0 runs accumulate, a bounded compaction
+//! merges them (plus only the *overlapping* L1 runs) into L1; a level
+//! that outgrows its byte budget pushes one victim run (plus overlaps)
+//! down a level.  Per-compaction work is therefore O(level window), not
+//! O(history), and tombstones are dropped only when the merge output
+//! lands in the bottom level — nothing older exists to resurrect.
+//! Point reads at L1+ go through a budgeted shared [`BlockCache`] of
+//! decoded blocks (blooms and sparse indexes stay pinned inside each
+//! [`Run`]).
+//!
+//! **Windowed retention** retires a key range for good: the manifest
+//! records a per-space `retain` watermark, reads treat the range as
+//! absent, writes into it are dropped on apply (including WAL replay),
+//! and compactions reclaim the bytes physically.  The awareness layer
+//! advances the watermark over raw `ev/` records once a durable rollup
+//! covers them.
 //!
 //! # Locking model
 //!
@@ -19,23 +41,25 @@
 //!
 //! * `wal: Mutex<WalState>` — the disk handle, epoch, WAL counters and
 //!   tier bookkeeping.  Only writers (`apply`, `apply_many`, `compact`,
-//!   spill/merge) take it.
+//!   spill/merge/retention) take it.
 //! * `mem: RwLock<MemTables>` — the four per-space memtables.  Readers
 //!   (`get`, `scan_prefix`, `len`) take only the read lock; a write lock
 //!   is held just for the in-memory application of an already-durable
 //!   batch.
-//! * `tiers: RwLock<Vec<Run>>` — the opened sorted runs, oldest first.
+//! * `levels: RwLock<Levels>` — the opened sorted runs (L0 plus the
+//!   disjoint deeper levels) and the retention watermarks.
 //!
-//! Lock order is always `wal` → `mem` → `tiers`.  Writers acquire `wal`
+//! Lock order is always `wal` → `mem` → `levels`.  Writers acquire `wal`
 //! first and keep holding it while they take the `mem` write lock, so
 //! the order in which batches become durable in the WAL is exactly the
 //! order in which they become visible — recovery can never disagree
 //! with what a reader observed.  Readers hold their `mem` read guard
-//! across the `tiers` lookup, so a spill (which takes both write locks
+//! across the `levels` lookup, so a spill (which takes both write locks
 //! before clearing the memtable and publishing the new run) is atomic
 //! from a reader's point of view.  Frame encoding happens *before* any
 //! lock is taken.
 
+use crate::cache::{BlockCache, DEFAULT_BLOCK_CACHE_BUDGET};
 use crate::disk::Disk;
 use crate::error::{StoreError, StoreResult};
 use crate::runs::{self, parse_run_name, run_name, Run, RunEntry};
@@ -148,6 +172,10 @@ impl Batch {
     }
 }
 
+/// Inclusive composite `(space, key)` bounds of one sorted run, as
+/// reported by [`Store::level_ranges`].
+pub type RunRange = ((u8, String), (u8, String));
+
 /// Counters describing the store's physical state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StoreStats {
@@ -172,11 +200,24 @@ pub struct StoreStats {
     pub spills: u64,
     /// Run merge compactions performed by this handle since open.
     pub run_merges: u64,
-    /// Run lookups answered "definitely absent" by a bloom filter alone
-    /// (no disk read).
+    /// Run lookups answered "definitely absent" by run metadata alone —
+    /// key-range check, sparse index, or bloom filter; never a disk
+    /// read.
     pub bloom_skips: u64,
-    /// Run lookups that had to read a data block.
+    /// Run lookups that had to consult a data block (cached or not).
     pub run_probes: u64,
+    /// Block-cache lookups answered without decoding from disk.
+    pub cache_hits: u64,
+    /// Block-cache lookups that decoded the block from disk.
+    pub cache_misses: u64,
+    /// Populated levels beneath L0 (0 = everything still in L0).
+    pub levels: usize,
+    /// Input bytes of the largest single leveled compaction so far —
+    /// the "merge work is bounded" witness the bench asserts against
+    /// total live bytes.
+    pub max_merge_bytes: u64,
+    /// Records logically retired by retention watermark advances.
+    pub retired: u64,
 }
 
 /// When to roll the WAL into a snapshot automatically.  Installed with
@@ -207,8 +248,11 @@ impl Default for CompactionPolicy {
 
 /// Bounded-memory tiering: once the memtables' estimated resident size
 /// exceeds `memtable_budget_bytes`, the commit that crossed the budget
-/// spills them to a sorted-run file; once `run_merge_threshold` runs
-/// exist they are merged into one (dropping tombstones).
+/// spills them to an L0 sorted-run file; once `run_merge_threshold` L0
+/// runs exist they are merged — together with only the *overlapping*
+/// L1 runs — into L1, and a deeper level that outgrows its byte budget
+/// pushes one victim run down a level.  Tombstones are dropped only
+/// when a merge output lands in the bottom level.
 ///
 /// With no tiered policy installed (the default) the store behaves —
 /// and lays bytes down — exactly as the pre-tiering engine, unless runs
@@ -217,8 +261,22 @@ impl Default for CompactionPolicy {
 pub struct TieredPolicy {
     /// Spill once the memtables' estimated bytes exceed this.
     pub memtable_budget_bytes: u64,
-    /// Merge all runs into one once this many exist.
+    /// Compact L0 into L1 once this many L0 runs exist.
     pub run_merge_threshold: usize,
+    /// Byte budget of L1; level *i* holds `level_base_bytes *
+    /// level_growth^(i-1)`.  `0` derives a default from the memtable
+    /// budget (`budget * threshold * 4`) so tiny test budgets exercise
+    /// deep levels.
+    pub level_base_bytes: u64,
+    /// Fan-out between consecutive level budgets.
+    pub level_growth: u64,
+    /// Target size of each run a compaction writes; merge output is
+    /// split at this boundary so one oversized run never forms.  `0`
+    /// derives `max(memtable_budget_bytes, 4096)`.
+    pub level_run_bytes: u64,
+    /// Budget of the shared decoded-block cache
+    /// ([`crate::cache::BlockCache`]); `0` disables caching.
+    pub block_cache_budget: u64,
 }
 
 impl Default for TieredPolicy {
@@ -226,16 +284,22 @@ impl Default for TieredPolicy {
         TieredPolicy {
             memtable_budget_bytes: 4 * 1024 * 1024,
             run_merge_threshold: 4,
+            level_base_bytes: 0,
+            level_growth: 8,
+            level_run_bytes: 0,
+            block_cache_budget: DEFAULT_BLOCK_CACHE_BUDGET,
         }
     }
 }
 
 impl TieredPolicy {
     /// Policy requested through the environment, if any:
-    /// `BIOOPERA_MEMTABLE_BUDGET` (bytes) enables tiering, and
-    /// `BIOOPERA_RUN_MERGE` optionally overrides the merge threshold.
-    /// This is how the test suite forces constant spilling across the
-    /// whole workspace without touching call sites.
+    /// `BIOOPERA_MEMTABLE_BUDGET` (bytes) enables tiering;
+    /// `BIOOPERA_RUN_MERGE`, `BIOOPERA_LEVEL_BASE` and
+    /// `BIOOPERA_BLOCK_CACHE_BUDGET` optionally override the L0
+    /// threshold, the L1 byte budget and the cache budget.  This is how
+    /// the test suite forces constant spilling and deep levels across
+    /// the whole workspace without touching call sites.
     pub fn from_env() -> Option<TieredPolicy> {
         let budget = std::env::var("BIOOPERA_MEMTABLE_BUDGET")
             .ok()?
@@ -246,10 +310,44 @@ impl TieredPolicy {
             .ok()
             .and_then(|v| v.trim().parse().ok())
             .unwrap_or(TieredPolicy::default().run_merge_threshold);
+        let level_base = std::env::var("BIOOPERA_LEVEL_BASE")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(0);
+        let cache = std::env::var("BIOOPERA_BLOCK_CACHE_BUDGET")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(DEFAULT_BLOCK_CACHE_BUDGET);
         Some(TieredPolicy {
             memtable_budget_bytes: budget,
             run_merge_threshold: merge.max(2),
+            level_base_bytes: level_base,
+            block_cache_budget: cache,
+            ..TieredPolicy::default()
         })
+    }
+
+    /// Byte budget of level `level` (1-based; L0 is run-count-gated).
+    fn level_cap(&self, level: usize) -> u64 {
+        let base = if self.level_base_bytes > 0 {
+            self.level_base_bytes
+        } else {
+            self.memtable_budget_bytes
+                .saturating_mul(self.run_merge_threshold as u64)
+                .saturating_mul(4)
+                .max(4096)
+        };
+        let growth = self.level_growth.max(2);
+        base.saturating_mul(growth.saturating_pow(level.saturating_sub(1) as u32))
+    }
+
+    /// Target output-run size for leveled compactions.
+    fn run_target(&self) -> u64 {
+        if self.level_run_bytes > 0 {
+            self.level_run_bytes
+        } else {
+            self.memtable_budget_bytes.max(4096)
+        }
     }
 }
 
@@ -274,6 +372,15 @@ struct WalState<D: Disk> {
     tier_live: [usize; 4],
     spills: u64,
     run_merges: u64,
+    /// Records logically retired by retention advances through this
+    /// handle.
+    retired: u64,
+    /// Input bytes of the largest single compaction so far.
+    merge_bytes_max: u64,
+    /// Per-level round-robin compaction cursor (index 0 = L1): the
+    /// composite upper bound of the last victim, so successive
+    /// push-downs sweep the key space instead of re-picking one run.
+    level_cursors: Vec<Option<(u8, String)>>,
 }
 
 impl<D: Disk> WalState<D> {
@@ -301,24 +408,177 @@ struct TierMetrics {
     run_probes: AtomicU64,
 }
 
-/// Look `key` up in the runs, newest to oldest.  `Ok(None)` — in no
-/// run; `Ok(Some(None))` — newest occurrence is a tombstone;
-/// `Ok(Some(Some(v)))` — newest occurrence is live.
-fn runs_lookup<D: Disk>(
-    tiers: &[Run],
+/// The opened sorted-run tier plus the retention watermarks.  L0 holds
+/// freshly-spilled runs with overlapping key ranges (stored oldest
+/// first, read newest-to-oldest); each deeper level holds runs whose
+/// composite `(space, key)` ranges are pairwise disjoint and sorted,
+/// so a point read binary-searches to at most one candidate run per
+/// level.  Deeper always means older data.
+#[derive(Default)]
+struct Levels {
+    /// L0: overlapping runs, oldest first.
+    l0: Vec<Run>,
+    /// `deeper[i]` is level `i + 1`.
+    deeper: Vec<Vec<Run>>,
+    /// Per-space retention watermark `[start, below)`: keys inside are
+    /// permanently retired — invisible to reads, dropped on writes
+    /// (including WAL replay), physically reclaimed by compactions.
+    retain: [Option<(String, String)>; 4],
+}
+
+impl Levels {
+    /// True when no run exists at any level.
+    fn no_runs(&self) -> bool {
+        self.l0.is_empty() && self.deeper.iter().all(Vec::is_empty)
+    }
+
+    fn run_count(&self) -> usize {
+        self.l0.len() + self.deeper.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Populated levels beneath L0 (deepest non-empty level's number).
+    fn depth(&self) -> usize {
+        self.deeper
+            .iter()
+            .rposition(|l| !l.is_empty())
+            .map_or(0, |i| i + 1)
+    }
+
+    /// Every run, oldest data first: deepest level upward, then L0 in
+    /// spill order.  This is the fold order for merging scans (later
+    /// entries overwrite earlier ones).
+    fn iter_oldest_first(&self) -> impl Iterator<Item = &Run> {
+        self.deeper.iter().rev().flatten().chain(self.l0.iter())
+    }
+
+    /// Is `key` inside the retention watermark of `space`?
+    fn retained(&self, space: u8, key: &str) -> bool {
+        self.retain
+            .get(space as usize)
+            .and_then(|r| r.as_ref())
+            .is_some_and(|(start, below)| key >= start.as_str() && key < below.as_str())
+    }
+
+    /// Might any run surface `key`?  Bloom-only, no I/O; used to decide
+    /// whether a delete needs a tombstone.
+    fn may_contain_any(&self, space: u8, key: &str) -> bool {
+        self.iter_oldest_first().any(|r| r.may_contain(space, key))
+    }
+}
+
+/// The run at a disjoint level that could hold `(space, key)`, if any:
+/// binary search on the sorted run ranges, at most one candidate.
+fn level_run_for<'a>(level: &'a [Run], space: u8, key: &str) -> Option<&'a Run> {
+    let target = (space, key);
+    let idx = level.partition_point(|r| r.min_key().is_some_and(|mk| mk <= target));
+    let run = level.get(idx.checked_sub(1)?)?;
+    run.max_key().is_some_and(|mk| mk >= target).then_some(run)
+}
+
+/// Probe one run for `key`, cheapest gate first: the key-range check
+/// (two composite compares — history workloads write sequential keys,
+/// so sibling L0 runs rarely overlap), then the sparse index, then the
+/// *block cache* — a cached block answers definitively, skipping the
+/// bloom — and only a cold block pays the bloom gate before decoding.
+/// `hash` memoizes the bloom hash pair across the runs of one lookup;
+/// a fully warm lookup never hashes at all.  `Ok(None)` — not in this
+/// run; `Ok(Some(None))` — tombstoned here; `Ok(Some(Some(v)))` — live.
+/// Per-lookup counter staging: one atomic flush per lookup instead of
+/// one RMW per run probed.
+#[derive(Default)]
+struct LookupCounts {
+    skips: u64,
+    probes: u64,
+    /// Bloom hash memo, shared by every run one lookup touches.
+    hash: Option<(u64, u64)>,
+}
+
+impl LookupCounts {
+    fn flush(&self, metrics: &TierMetrics) {
+        if self.skips > 0 {
+            metrics.bloom_skips.fetch_add(self.skips, Ordering::Relaxed);
+        }
+        if self.probes > 0 {
+            metrics.run_probes.fetch_add(self.probes, Ordering::Relaxed);
+        }
+    }
+}
+
+fn probe_run<D: Disk>(
+    run: &Run,
+    disk: &D,
+    cache: &BlockCache,
+    space: u8,
+    key: &str,
+    counts: &mut LookupCounts,
+) -> StoreResult<Option<Option<Bytes>>> {
+    let in_range = match (run.min_key(), run.max_key()) {
+        (Some(lo), Some(hi)) => lo <= (space, key) && (space, key) <= hi,
+        _ => false,
+    };
+    if !in_range {
+        counts.skips += 1;
+        return Ok(None);
+    }
+    let Some(idx) = run.block_for(space, key) else {
+        counts.skips += 1; // sparse index proves absence, no disk read
+        return Ok(None);
+    };
+    let offset = run.block_offset(idx);
+    if let Some(found) = cache.lookup(run.id(), offset, key) {
+        counts.probes += 1;
+        return Ok(found);
+    }
+    let h = *counts
+        .hash
+        .get_or_insert_with(|| crate::bloom::hash_pair(space, key));
+    if !run.may_contain_hashed(h) {
+        counts.skips += 1;
+        return Ok(None);
+    }
+    counts.probes += 1;
+    cache.lookup_or_load(run.id(), offset, key, || run.load_block_at(disk, idx))
+}
+
+/// Look `key` up across the tier: L0 newest-to-oldest, then one
+/// candidate run per disjoint level, shallowest (newest) first.
+/// `Ok(None)` — in no run; `Ok(Some(None))` — newest occurrence is a
+/// tombstone (or the key is retired); `Ok(Some(Some(v)))` — live.
+fn levels_lookup<D: Disk>(
+    levels: &Levels,
     disk: &D,
     metrics: &TierMetrics,
+    cache: &BlockCache,
     space: u8,
     key: &str,
 ) -> StoreResult<Option<Option<Bytes>>> {
-    for run in tiers.iter().rev() {
-        if !run.may_contain(space, key) {
-            metrics.bloom_skips.fetch_add(1, Ordering::Relaxed);
-            continue;
-        }
-        metrics.run_probes.fetch_add(1, Ordering::Relaxed);
-        if let Some(hit) = run.get(disk, space, key)? {
+    if levels.retained(space, key) {
+        return Ok(Some(None));
+    }
+    let mut counts = LookupCounts::default();
+    let res = levels_lookup_inner(levels, disk, cache, space, key, &mut counts);
+    counts.flush(metrics);
+    res
+}
+
+fn levels_lookup_inner<D: Disk>(
+    levels: &Levels,
+    disk: &D,
+    cache: &BlockCache,
+    space: u8,
+    key: &str,
+    counts: &mut LookupCounts,
+) -> StoreResult<Option<Option<Bytes>>> {
+    for run in levels.l0.iter().rev() {
+        if let Some(hit) = probe_run(run, disk, cache, space, key, counts)? {
             return Ok(Some(hit));
+        }
+    }
+    for level in &levels.deeper {
+        if let Some(run) = level_run_for(level, space, key) {
+            if let Some(hit) = probe_run(run, disk, cache, space, key, counts)? {
+                return Ok(Some(hit));
+            }
         }
     }
     Ok(None)
@@ -348,14 +608,19 @@ enum Prior {
 }
 
 /// Apply a durable batch to the memtables, maintaining the live counts
-/// against the run tier.  Fallible only because resolving whether an
-/// absent key is live in a run may read run blocks (bloom-gated; always
-/// infallible and free when `tiers` is empty).
+/// against the run tier.  Writes inside a retention watermark are
+/// dropped outright — the watermark only ever covers windows whose
+/// durable rollup already subsumes them, and dropping here is what
+/// keeps WAL replay consistent with the advanced manifest.  Fallible
+/// only because resolving whether an absent key is live in a run may
+/// read run blocks (bloom-gated; always infallible and free when the
+/// tier is empty).
 fn apply_ops_tiered<D: Disk>(
     mem: &mut MemTables,
-    tiers: &[Run],
+    levels: &Levels,
     disk: &D,
     metrics: &TierMetrics,
+    cache: &BlockCache,
     ops: Vec<WalOp>,
 ) -> StoreResult<()> {
     for op in ops {
@@ -365,7 +630,7 @@ fn apply_ops_tiered<D: Disk>(
                 // frame that still passed its CRC; drop them rather
                 // than panic — they were never addressable anyway.
                 let si = space as usize;
-                if si >= 4 {
+                if si >= 4 || levels.retained(space, &key) {
                     continue;
                 }
                 let prior = match mem.spaces[si].get(&key) {
@@ -382,8 +647,8 @@ fn apply_ops_tiered<D: Disk>(
                         mem.live[si] += 1;
                     }
                     Prior::Absent => {
-                        let live_in_runs = !tiers.is_empty()
-                            && runs_lookup(tiers, disk, metrics, space, &key)?
+                        let live_in_runs = !levels.no_runs()
+                            && levels_lookup(levels, disk, metrics, cache, space, &key)?
                                 .is_some_and(|v| v.is_some());
                         if !live_in_runs {
                             mem.live[si] += 1;
@@ -395,7 +660,7 @@ fn apply_ops_tiered<D: Disk>(
             }
             WalOp::Delete { space, key } => {
                 let si = space as usize;
-                if si >= 4 {
+                if si >= 4 || levels.retained(space, &key) {
                     continue;
                 }
                 let prior = match mem.spaces[si].get(&key) {
@@ -410,7 +675,7 @@ fn apply_ops_tiered<D: Disk>(
                         // A tombstone is only worth keeping if some run
                         // might still surface the key (bloom check, no
                         // I/O); otherwise plain removal suffices.
-                        if tiers.iter().any(|r| r.may_contain(space, &key)) {
+                        if levels.may_contain_any(space, &key) {
                             mem.approx_bytes += entry_cost(key.len(), 0);
                             mem.spaces[si].insert(key, None);
                         } else {
@@ -419,8 +684,8 @@ fn apply_ops_tiered<D: Disk>(
                     }
                     Prior::Tombstone => {} // already deleted
                     Prior::Absent => {
-                        let live_in_runs = !tiers.is_empty()
-                            && runs_lookup(tiers, disk, metrics, space, &key)?
+                        let live_in_runs = !levels.no_runs()
+                            && levels_lookup(levels, disk, metrics, cache, space, &key)?
                                 .is_some_and(|v| v.is_some());
                         if live_in_runs {
                             mem.live[si] -= 1;
@@ -440,9 +705,10 @@ fn apply_ops_tiered<D: Disk>(
 pub struct Store<D: Disk> {
     wal: Arc<Mutex<WalState<D>>>,
     mem: Arc<RwLock<MemTables>>,
-    tiers: Arc<RwLock<Vec<Run>>>,
+    levels: Arc<RwLock<Levels>>,
     disk: Arc<D>,
     metrics: Arc<TierMetrics>,
+    cache: Arc<BlockCache>,
     poisoned: Arc<AtomicBool>,
 }
 
@@ -451,9 +717,10 @@ impl<D: Disk> Clone for Store<D> {
         Store {
             wal: Arc::clone(&self.wal),
             mem: Arc::clone(&self.mem),
-            tiers: Arc::clone(&self.tiers),
+            levels: Arc::clone(&self.levels),
             disk: Arc::clone(&self.disk),
             metrics: Arc::clone(&self.metrics),
+            cache: Arc::clone(&self.cache),
             poisoned: Arc::clone(&self.poisoned),
         }
     }
@@ -478,29 +745,120 @@ const SNAPSHOT_CHUNK: usize = 1024;
 struct ManifestState {
     epoch: u64,
     tier_live: [usize; 4],
+    /// L0 runs, oldest first.
     run_names: Vec<String>,
+    /// Deeper runs as `(level, name)`, level ≥ 1, range order within a
+    /// level.
+    level_runs: Vec<(usize, String)>,
+    retain: [Option<(String, String)>; 4],
 }
 
-/// Serialize the manifest.  With no runs the output is the bare epoch
-/// digits — **byte-identical** to what every pre-tiering engine version
-/// wrote, so a store that never spills produces an unchanged directory.
-/// With runs, extra lines follow: `live t i c h` (per-space live counts
-/// of the runs-only view) and one `run <name>` line per run in
-/// oldest-to-newest order.
-fn format_manifest(epoch: u64, tier_live: &[usize; 4], run_names: &[&str]) -> String {
-    if run_names.is_empty() {
+impl ManifestState {
+    fn empty() -> Self {
+        ManifestState {
+            epoch: 0,
+            tier_live: [0; 4],
+            run_names: Vec::new(),
+            level_runs: Vec::new(),
+            retain: Default::default(),
+        }
+    }
+}
+
+/// Escape a retention-watermark key for the line-oriented manifest:
+/// percent-encode the bytes that would break tokenization.
+fn escape_key(key: &str) -> String {
+    let mut out = String::with_capacity(key.len());
+    for c in key.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            ' ' => out.push_str("%20"),
+            '\n' => out.push_str("%0A"),
+            '\r' => out.push_str("%0D"),
+            '\t' => out.push_str("%09"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape_key(s: &str) -> StoreResult<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(c) = rest.chars().next() {
+        if c == '%' {
+            let byte = rest
+                .get(1..3)
+                .and_then(|h| u8::from_str_radix(h, 16).ok())
+                .filter(u8::is_ascii)
+                .ok_or_else(|| StoreError::Corruption("manifest retain escape malformed".into()))?;
+            out.push(byte as char);
+            rest = &rest[3..];
+        } else {
+            out.push(c);
+            rest = &rest[c.len_utf8()..];
+        }
+    }
+    Ok(out)
+}
+
+/// Serialize the manifest.  With no runs and no retention the output is
+/// the bare epoch digits — **byte-identical** to what every pre-tiering
+/// engine version wrote, so a store that never spills produces an
+/// unchanged directory.  Otherwise extra lines follow: `live t i c h`
+/// (per-space live counts of the runs-only view, present whenever runs
+/// are listed), `retain <space> <start> <below>` watermarks (keys
+/// %-escaped), one `run <name>` line per L0 run oldest-to-newest, and
+/// one `lrun <level> <name>` line per deeper run in level-then-range
+/// order.
+fn format_manifest(
+    epoch: u64,
+    tier_live: &[usize; 4],
+    l0_names: &[&str],
+    level_names: &[(usize, &str)],
+    retain: &[Option<(String, String)>; 4],
+) -> String {
+    let any_runs = !l0_names.is_empty() || !level_names.is_empty();
+    if !any_runs && retain.iter().all(Option::is_none) {
         return epoch.to_string();
     }
-    let mut out = format!(
-        "{epoch}\nlive {} {} {} {}\n",
-        tier_live[0], tier_live[1], tier_live[2], tier_live[3]
-    );
-    for name in run_names {
+    let mut out = format!("{epoch}\n");
+    if any_runs {
+        out.push_str(&format!(
+            "live {} {} {} {}\n",
+            tier_live[0], tier_live[1], tier_live[2], tier_live[3]
+        ));
+    }
+    for (space, range) in retain.iter().enumerate() {
+        if let Some((start, below)) = range {
+            out.push_str(&format!(
+                "retain {space} {} {}\n",
+                escape_key(start),
+                escape_key(below)
+            ));
+        }
+    }
+    for name in l0_names {
         out.push_str("run ");
         out.push_str(name);
         out.push('\n');
     }
+    for (level, name) in level_names {
+        out.push_str(&format!("lrun {level} {name}\n"));
+    }
     out
+}
+
+/// [`format_manifest`] over an in-memory [`Levels`] value.
+fn manifest_for(epoch: u64, tier_live: &[usize; 4], levels: &Levels) -> String {
+    let l0: Vec<&str> = levels.l0.iter().map(Run::name).collect();
+    let lnames: Vec<(usize, &str)> = levels
+        .deeper
+        .iter()
+        .enumerate()
+        .flat_map(|(i, lvl)| lvl.iter().map(move |r| (i + 1, r.name())))
+        .collect();
+    format_manifest(epoch, tier_live, &l0, &lnames, &levels.retain)
 }
 
 fn parse_manifest(bytes: Vec<u8>) -> StoreResult<ManifestState> {
@@ -513,9 +871,11 @@ fn parse_manifest(bytes: Vec<u8>) -> StoreResult<ManifestState> {
         .trim()
         .parse::<u64>()
         .map_err(|_| StoreError::Corruption("manifest not a number".into()))?;
-    let mut tier_live = [0usize; 4];
+    let mut state = ManifestState {
+        epoch,
+        ..ManifestState::empty()
+    };
     let mut saw_live = false;
-    let mut run_names = Vec::new();
     for line in lines {
         let line = line.trim();
         if line.is_empty() {
@@ -532,7 +892,7 @@ fn parse_manifest(bytes: Vec<u8>) -> StoreResult<ManifestState> {
                     "manifest live counts malformed".into(),
                 ));
             }
-            tier_live.copy_from_slice(&counts);
+            state.tier_live.copy_from_slice(&counts);
             saw_live = true;
         } else if let Some(name) = line.strip_prefix("run ") {
             if parse_run_name(name).is_none() {
@@ -540,23 +900,42 @@ fn parse_manifest(bytes: Vec<u8>) -> StoreResult<ManifestState> {
                     "manifest lists malformed run name {name:?}"
                 )));
             }
-            run_names.push(name.to_string());
+            state.run_names.push(name.to_string());
+        } else if let Some(rest) = line.strip_prefix("lrun ") {
+            let (level, name) = rest
+                .split_once(' ')
+                .and_then(|(l, n)| Some((l.parse::<usize>().ok()?, n)))
+                .filter(|(l, n)| *l >= 1 && parse_run_name(n).is_some())
+                .ok_or_else(|| {
+                    StoreError::Corruption(format!("manifest has malformed lrun line {line:?}"))
+                })?;
+            state.level_runs.push((level, name.to_string()));
+        } else if let Some(rest) = line.strip_prefix("retain ") {
+            let fields: Vec<&str> = rest.split(' ').collect();
+            let parsed = match fields.as_slice() {
+                [space, start, below] => space
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|s| *s < 4)
+                    .map(|s| (s, *start, *below)),
+                _ => None,
+            };
+            let (space, start, below) = parsed.ok_or_else(|| {
+                StoreError::Corruption(format!("manifest has malformed retain line {line:?}"))
+            })?;
+            state.retain[space] = Some((unescape_key(start)?, unescape_key(below)?));
         } else {
             return Err(StoreError::Corruption(format!(
                 "manifest has unknown line {line:?}"
             )));
         }
     }
-    if !run_names.is_empty() && !saw_live {
+    if (!state.run_names.is_empty() || !state.level_runs.is_empty()) && !saw_live {
         return Err(StoreError::Corruption(
             "manifest lists runs but no live counts".into(),
         ));
     }
-    Ok(ManifestState {
-        epoch,
-        tier_live,
-        run_names,
-    })
+    Ok(state)
 }
 
 impl<D: Disk> Store<D> {
@@ -578,26 +957,43 @@ impl<D: Disk> Store<D> {
         let disk = Arc::new(disk);
         let manifest = match disk.read(MANIFEST)? {
             Some(bytes) => parse_manifest(bytes)?,
-            None => ManifestState {
-                epoch: 0,
-                tier_live: [0; 4],
-                run_names: Vec::new(),
-            },
+            None => ManifestState::empty(),
         };
         let epoch = manifest.epoch;
 
-        // Open every run the manifest lists (oldest first).  A listed
-        // run that is missing or unreadable is corruption: the manifest
-        // write was the commit point that promised it.
-        let mut runs_vec: Vec<Run> = Vec::with_capacity(manifest.run_names.len());
+        // Open every run the manifest lists (L0 oldest first, then the
+        // deeper levels).  A listed run that is missing or unreadable is
+        // corruption: the manifest write was the commit point that
+        // promised it.
         let mut next_run_id = 0u64;
-        for name in &manifest.run_names {
-            let id = parse_run_name(name).expect("validated by parse_manifest");
-            next_run_id = next_run_id.max(id + 1);
-            runs_vec.push(Run::open(&*disk, name)?);
+        let mut levels = Levels {
+            retain: manifest.retain.clone(),
+            ..Default::default()
+        };
+        {
+            let mut open_run = |name: &str| -> StoreResult<Run> {
+                let id = parse_run_name(name).expect("validated by parse_manifest");
+                next_run_id = next_run_id.max(id + 1);
+                Run::open(&*disk, name)
+            };
+            for name in &manifest.run_names {
+                levels.l0.push(open_run(name)?);
+            }
+            for (level, name) in &manifest.level_runs {
+                if levels.deeper.len() < *level {
+                    levels.deeper.resize_with(*level, Vec::new);
+                }
+                levels.deeper[*level - 1].push(open_run(name)?);
+            }
+        }
+        for level in &mut levels.deeper {
+            level.sort_by(|a, b| a.min_key().cmp(&b.min_key()));
         }
 
         let metrics = Arc::new(TierMetrics::default());
+        let cache = Arc::new(BlockCache::new(
+            tiered.map_or(DEFAULT_BLOCK_CACHE_BUDGET, |t| t.block_cache_budget),
+        ));
         // Seed the live counts from the manifest — this is what makes
         // reopen O(tail): no run data block is read to learn how many
         // records the tier holds.
@@ -612,7 +1008,7 @@ impl<D: Disk> Store<D> {
         // epoch roll), so the snapshot is only consulted when no runs
         // are listed.  Snapshots are written atomically, so a torn
         // snapshot is corruption.
-        if runs_vec.is_empty() {
+        if levels.no_runs() {
             if let Some(snap) = disk.read(&snapshot_name(epoch))? {
                 let replay = wal::replay_shared(Bytes::from(snap))?;
                 if replay.torn_tail {
@@ -620,7 +1016,7 @@ impl<D: Disk> Store<D> {
                 }
                 for batch in replay.batches {
                     batches_applied += 1;
-                    apply_ops_tiered(&mut mem, &[], &*disk, &metrics, batch)?;
+                    apply_ops_tiered(&mut mem, &levels, &*disk, &metrics, &cache, batch)?;
                 }
             }
         }
@@ -636,7 +1032,7 @@ impl<D: Disk> Store<D> {
                     for batch in replay.batches {
                         batches_applied += 1;
                         batches_in_epoch += 1;
-                        apply_ops_tiered(&mut mem, &runs_vec, &*disk, &metrics, batch)?;
+                        apply_ops_tiered(&mut mem, &levels, &*disk, &metrics, &cache, batch)?;
                     }
                     if replay.torn_tail {
                         // Repair: drop the torn tail *on disk*, not just in
@@ -668,11 +1064,15 @@ impl<D: Disk> Store<D> {
         // leaves a state this same pass cleans on the next open.
         let keep_wal = wal_name(epoch);
         let keep_snap = snapshot_name(epoch);
+        let listed_run = |name: &str| {
+            manifest.run_names.iter().any(|r| r == name)
+                || manifest.level_runs.iter().any(|(_, r)| r == name)
+        };
         for name in disk.list()? {
             let stale = name.ends_with(".tmp")
                 || (name.starts_with("wal-") && name != keep_wal)
-                || (name.starts_with("snapshot-") && (name != keep_snap || !runs_vec.is_empty()))
-                || (name.starts_with("run-") && !manifest.run_names.iter().any(|r| r == &name));
+                || (name.starts_with("snapshot-") && (name != keep_snap || !levels.no_runs()))
+                || (name.starts_with("run-") && !listed_run(&name));
             if stale {
                 disk.delete(&name)?;
             }
@@ -693,11 +1093,15 @@ impl<D: Disk> Store<D> {
                 tier_live: manifest.tier_live,
                 spills: 0,
                 run_merges: 0,
+                retired: 0,
+                merge_bytes_max: 0,
+                level_cursors: Vec::new(),
             })),
             mem: Arc::new(RwLock::new(mem)),
-            tiers: Arc::new(RwLock::new(runs_vec)),
+            levels: Arc::new(RwLock::new(levels)),
             disk,
             metrics,
+            cache,
             poisoned: Arc::new(AtomicBool::new(false)),
         })
     }
@@ -740,14 +1144,19 @@ impl<D: Disk> Store<D> {
             wal.batches_in_epoch += 1;
             // Still holding the WAL lock: visibility order == durable order.
             let mut mem = self.mem.write();
-            let tiers = self.tiers.read();
-            if let Err(e) =
-                apply_ops_tiered(&mut mem, &tiers, &*self.disk, &self.metrics, batch.ops)
-            {
+            let levels = self.levels.read();
+            if let Err(e) = apply_ops_tiered(
+                &mut mem,
+                &levels,
+                &*self.disk,
+                &self.metrics,
+                &self.cache,
+                batch.ops,
+            ) {
                 self.poisoned.store(true, Ordering::SeqCst);
                 return Err(e);
             }
-            self.roll_due(&wal, &mem, &tiers)
+            self.roll_due(&wal, &mem)
         };
         if auto {
             self.maybe_roll()?;
@@ -791,15 +1200,21 @@ impl<D: Disk> Store<D> {
             wal.batches_applied += pending.len() as u64;
             wal.batches_in_epoch += pending.len() as u64;
             let mut mem = self.mem.write();
-            let tiers = self.tiers.read();
+            let levels = self.levels.read();
             for ops in pending {
-                if let Err(e) = apply_ops_tiered(&mut mem, &tiers, &*self.disk, &self.metrics, ops)
-                {
+                if let Err(e) = apply_ops_tiered(
+                    &mut mem,
+                    &levels,
+                    &*self.disk,
+                    &self.metrics,
+                    &self.cache,
+                    ops,
+                ) {
                     self.poisoned.store(true, Ordering::SeqCst);
                     return Err(e);
                 }
             }
-            self.roll_due(&wal, &mem, &tiers)
+            self.roll_due(&wal, &mem)
         };
         if auto {
             self.maybe_roll()?;
@@ -826,11 +1241,11 @@ impl<D: Disk> Store<D> {
         self.apply(b)
     }
 
-    /// Fetch a record.  Memtable first (tombstones shadow the tier), then
-    /// the runs newest-to-oldest, each consulted only when its bloom
-    /// filter admits the key.  The memtable guard is held across the run
-    /// lookup so a concurrent spill cannot move the key out from under
-    /// the reader.
+    /// Fetch a record.  Memtable first (tombstones shadow the tier),
+    /// then L0 newest-to-oldest (bloom-gated), then at most one run per
+    /// disjoint deeper level, through the shared block cache.  The
+    /// memtable guard is held across the tier lookup so a concurrent
+    /// spill cannot move the key out from under the reader.
     pub fn get(&self, space: Space, key: &str) -> StoreResult<Option<Bytes>> {
         if self.poisoned.load(Ordering::SeqCst) {
             return Err(StoreError::Poisoned);
@@ -840,11 +1255,18 @@ impl<D: Disk> Store<D> {
             Some(Some(v)) => Ok(Some(v.clone())),
             Some(None) => Ok(None), // tombstone: deleted after the last spill
             None => {
-                let tiers = self.tiers.read();
-                if tiers.is_empty() {
+                let levels = self.levels.read();
+                if levels.no_runs() {
                     return Ok(None);
                 }
-                match runs_lookup(&tiers, &*self.disk, &self.metrics, space.as_u8(), key)? {
+                match levels_lookup(
+                    &levels,
+                    &*self.disk,
+                    &self.metrics,
+                    &self.cache,
+                    space.as_u8(),
+                    key,
+                )? {
                     Some(Some(v)) => Ok(Some(v)),
                     _ => Ok(None),
                 }
@@ -862,10 +1284,11 @@ impl<D: Disk> Store<D> {
             return Err(StoreError::Poisoned);
         }
         let mem = self.mem.read();
-        let tiers = self.tiers.read();
+        let levels = self.levels.read();
         let mem_map = &mem.spaces[space.as_u8() as usize];
-        if tiers.is_empty() {
-            // Fast path: no tier means no tombstones and no merge map.
+        if levels.no_runs() {
+            // Fast path: no tier means no tombstones and no merge map
+            // (and the memtable never holds retired keys).
             return Ok(mem_map
                 .range::<str, _>((Bound::Included(prefix), Bound::Unbounded))
                 .take_while(|(k, _)| k.starts_with(prefix))
@@ -873,7 +1296,7 @@ impl<D: Disk> Store<D> {
                 .collect());
         }
         let mut merged: BTreeMap<String, Option<Bytes>> = BTreeMap::new();
-        for run in tiers.iter() {
+        for run in levels.iter_oldest_first() {
             for (k, v) in run.scan_prefix(&*self.disk, space.as_u8(), prefix)? {
                 merged.insert(k, v);
             }
@@ -886,6 +1309,7 @@ impl<D: Disk> Store<D> {
         }
         Ok(merged
             .into_iter()
+            .filter(|(k, _)| !levels.retained(space.as_u8(), k))
             .filter_map(|(k, v)| v.map(|v| (k, v)))
             .collect())
     }
@@ -899,16 +1323,16 @@ impl<D: Disk> Store<D> {
             return Err(StoreError::Poisoned);
         }
         let mem = self.mem.read();
-        let tiers = self.tiers.read();
+        let levels = self.levels.read();
         let mem_map = &mem.spaces[space.as_u8() as usize];
-        if tiers.is_empty() {
+        if levels.no_runs() {
             return Ok(mem_map
                 .range::<str, _>((Bound::Included(start), Bound::Unbounded))
                 .filter_map(|(k, v)| v.as_ref().map(|v| (k.clone(), v.clone())))
                 .collect());
         }
         let mut merged: BTreeMap<String, Option<Bytes>> = BTreeMap::new();
-        for run in tiers.iter() {
+        for run in levels.iter_oldest_first() {
             for (k, v) in run.scan_from(&*self.disk, space.as_u8(), start)? {
                 merged.insert(k, v);
             }
@@ -918,6 +1342,7 @@ impl<D: Disk> Store<D> {
         }
         Ok(merged
             .into_iter()
+            .filter(|(k, _)| !levels.retained(space.as_u8(), k))
             .filter_map(|(k, v)| v.map(|v| (k, v)))
             .collect())
     }
@@ -948,9 +1373,9 @@ impl<D: Disk> Store<D> {
             return Err(StoreError::Poisoned);
         }
         let mut wal = self.wal.lock();
-        if wal.tiered.is_some() || !self.tiers.read().is_empty() {
+        if wal.tiered.is_some() || !self.levels.read().no_runs() {
             self.spill_locked(&mut wal)?;
-            if self.tiers.read().len() > 1 {
+            if self.levels.read().run_count() > 1 {
                 self.merge_runs_locked(&mut wal)?;
             }
             Ok(())
@@ -970,8 +1395,10 @@ impl<D: Disk> Store<D> {
         self.spill_locked(&mut wal)
     }
 
-    /// Merge every run into one, dropping tombstones.  No-op with fewer
-    /// than two runs.
+    /// Merge every run — all levels — into one L0 run, dropping
+    /// tombstones and reclaiming retired keys.  No-op with fewer than
+    /// two runs.  This is the full (unbounded) fold; steady-state
+    /// maintenance uses the bounded [`Store::compact_levels`] instead.
     pub fn merge_runs(&self) -> StoreResult<()> {
         if self.poisoned.load(Ordering::SeqCst) {
             return Err(StoreError::Poisoned);
@@ -980,10 +1407,23 @@ impl<D: Disk> Store<D> {
         self.merge_runs_locked(&mut wal)
     }
 
+    /// One round of bounded leveled maintenance: compact L0 into L1
+    /// when the policy's L0 run-count threshold is reached, then push a
+    /// victim run down from any level over its byte budget.  Normally
+    /// triggered automatically after a spill; exposed for tests and
+    /// benches.
+    pub fn compact_levels(&self) -> StoreResult<()> {
+        if self.poisoned.load(Ordering::SeqCst) {
+            return Err(StoreError::Poisoned);
+        }
+        let mut wal = self.wal.lock();
+        self.level_maintenance_locked(&mut wal)
+    }
+
     /// Is a roll (spill or snapshot compaction) due?  Called by
     /// committers while still holding their locks; the actual roll
     /// happens in [`Store::maybe_roll`] after they release.
-    fn roll_due(&self, wal: &WalState<D>, mem: &MemTables, _tiers: &[Run]) -> bool {
+    fn roll_due(&self, wal: &WalState<D>, mem: &MemTables) -> bool {
         wal.tiered
             .is_some_and(|t| mem.approx_bytes > t.memtable_budget_bytes)
             || wal.over_threshold()
@@ -1006,15 +1446,9 @@ impl<D: Disk> Store<D> {
         if !budget_hit && !wal.over_threshold() {
             return Ok(());
         }
-        if wal.tiered.is_some() || !self.tiers.read().is_empty() {
+        if wal.tiered.is_some() || !self.levels.read().no_runs() {
             self.spill_locked(&mut wal)?;
-            let threshold = wal
-                .tiered
-                .map(|t| t.run_merge_threshold)
-                .unwrap_or_else(|| TieredPolicy::default().run_merge_threshold);
-            if self.tiers.read().len() >= threshold {
-                self.merge_runs_locked(&mut wal)?;
-            }
+            self.level_maintenance_locked(&mut wal)?;
             Ok(())
         } else {
             self.compact_locked(&mut wal)
@@ -1060,13 +1494,19 @@ impl<D: Disk> Store<D> {
             wal.disk.write_atomic(&name, &data)?;
             let run = Run::open(&*wal.disk, &name)?;
             let manifest = {
-                let tiers = self.tiers.read();
-                let mut names: Vec<&str> = tiers.iter().map(Run::name).collect();
+                let levels = self.levels.read();
+                let mut names: Vec<&str> = levels.l0.iter().map(Run::name).collect();
                 names.push(&name);
+                let lnames: Vec<(usize, &str)> = levels
+                    .deeper
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(i, lvl)| lvl.iter().map(move |r| (i + 1, r.name())))
+                    .collect();
                 // After the spill the runs-only view IS the full view
                 // (memtables drain into the run), so the live counts to
                 // persist are the current merged counts.
-                format_manifest(next, &live_now, &names)
+                format_manifest(next, &live_now, &names, &lnames, &levels.retain)
             };
             wal.disk.write_atomic(MANIFEST, manifest.as_bytes())?;
             wal.disk.delete(&wal_name(wal.epoch))?;
@@ -1087,12 +1527,12 @@ impl<D: Disk> Store<D> {
             // both write locks makes the swap invisible: no reader can
             // observe the drained memtable without the new run.
             let mut mem = self.mem.write();
-            let mut tiers = self.tiers.write();
+            let mut levels = self.levels.write();
             for map in &mut mem.spaces {
                 map.clear();
             }
             mem.approx_bytes = 0;
-            tiers.push(run);
+            levels.l0.push(run);
         }
         wal.epoch = next;
         wal.wal_bytes = 0;
@@ -1103,16 +1543,24 @@ impl<D: Disk> Store<D> {
         Ok(())
     }
 
-    /// The merge body; the caller holds the WAL lock.  Folds every run
-    /// oldest-to-newest into one sorted image, **dropping tombstones**
-    /// (nothing older than the merged run exists to resurrect), then
-    /// commits by rewriting the manifest — same epoch, same live counts
-    /// (a merge never changes the visible view) — and GCs the inputs.
+    /// The full-merge body; the caller holds the WAL lock.  Folds every
+    /// run at every level oldest-to-newest into one sorted L0 image,
+    /// **dropping tombstones** (nothing older than the merged run
+    /// exists to resurrect) and reclaiming retired keys, then commits
+    /// by rewriting the manifest — same epoch, same live counts (a
+    /// merge never changes the visible view) — and GCs the inputs.
     fn merge_runs_locked(&self, wal: &mut WalState<D>) -> StoreResult<()> {
-        let old: Vec<Run> = self.tiers.read().clone();
+        let (old, retain) = {
+            let levels = self.levels.read();
+            (
+                levels.iter_oldest_first().cloned().collect::<Vec<Run>>(),
+                levels.retain.clone(),
+            )
+        };
         if old.len() <= 1 {
             return Ok(());
         }
+        let input_bytes: u64 = old.iter().map(|r| r.data_bytes).sum();
         let name = run_name(wal.next_run_id);
         let io: StoreResult<Run> = (|| {
             let mut merged: BTreeMap<(u8, String), Option<Bytes>> = BTreeMap::new();
@@ -1128,7 +1576,12 @@ impl<D: Disk> Store<D> {
                     }
                 }
             }
-            merged.retain(|_, v| v.is_some());
+            let retired = |space: u8, key: &str| {
+                retain[space as usize]
+                    .as_ref()
+                    .is_some_and(|(s, b)| key >= s.as_str() && key < b.as_str())
+            };
+            merged.retain(|(space, key), v| v.is_some() && !retired(*space, key));
             let entries: Vec<RunEntry<'_>> = merged
                 .iter()
                 .map(|((space, key), value)| RunEntry {
@@ -1140,7 +1593,7 @@ impl<D: Disk> Store<D> {
             let data = runs::build_run(&entries);
             wal.disk.write_atomic(&name, &data)?;
             let run = Run::open(&*wal.disk, &name)?;
-            let manifest = format_manifest(wal.epoch, &wal.tier_live, &[&name]);
+            let manifest = format_manifest(wal.epoch, &wal.tier_live, &[&name], &[], &retain);
             wal.disk.write_atomic(MANIFEST, manifest.as_bytes())?;
             Ok(run)
         })();
@@ -1156,16 +1609,382 @@ impl<D: Disk> Store<D> {
         // so no reader can touch a deleted file.  (A crash between the
         // manifest commit above and these deletes only leaves unlisted
         // run files, which recovery hygiene removes.)
-        *self.tiers.write() = vec![run];
+        {
+            let mut levels = self.levels.write();
+            levels.l0 = vec![run];
+            levels.deeper.clear();
+        }
         wal.next_run_id += 1;
         wal.run_merges += 1;
+        wal.merge_bytes_max = wal.merge_bytes_max.max(input_bytes);
+        wal.level_cursors.clear();
         for r in &old {
+            self.cache.purge_run(r.id());
             if let Err(e) = wal.disk.delete(r.name()) {
                 self.poisoned.store(true, Ordering::SeqCst);
                 return Err(e);
             }
         }
         Ok(())
+    }
+
+    /// Leveled maintenance driver; the caller holds the WAL lock.
+    /// Compact L0 down once it reaches the policy's run-count
+    /// threshold, then cascade: any deeper level holding more bytes
+    /// than its budget (and more than one run) pushes one victim run
+    /// down.  Each push-down moves bytes strictly deeper, so the loop
+    /// terminates; the iteration cap is a pure safety net.
+    fn level_maintenance_locked(&self, wal: &mut WalState<D>) -> StoreResult<()> {
+        let policy = match wal.tiered {
+            Some(p) => p,
+            None => return Ok(()),
+        };
+        if self.levels.read().l0.len() >= policy.run_merge_threshold {
+            self.push_down_locked(wal, 0)?;
+        }
+        for _ in 0..64 {
+            let over = {
+                let levels = self.levels.read();
+                (1..=levels.deeper.len()).find(|&i| {
+                    let lvl = &levels.deeper[i - 1];
+                    lvl.len() > 1
+                        && lvl.iter().map(|r| r.data_bytes).sum::<u64>() > policy.level_cap(i)
+                })
+            };
+            match over {
+                Some(level) => self.push_down_locked(wal, level)?,
+                None => return Ok(()),
+            }
+        }
+        Ok(())
+    }
+
+    /// One bounded compaction step; the caller holds the WAL lock.
+    /// `source == 0` merges every L0 run (plus only the *overlapping*
+    /// L1 runs) into L1; `source >= 1` pushes one cursor-picked victim
+    /// run (plus its overlaps at `source + 1`) down a level.  The merge
+    /// output is split into runs of the policy's target size, so no
+    /// oversized run ever forms.  Commit point is the single manifest
+    /// write; inputs are GC'd after the in-memory swap.  Tombstones are
+    /// dropped only when every level deeper than the output is empty —
+    /// nothing older exists to resurrect.
+    fn push_down_locked(&self, wal: &mut WalState<D>, source: usize) -> StoreResult<()> {
+        let target = source + 1;
+        let policy = wal.tiered.unwrap_or_default();
+        let (sources, overlaps, bottom, mut new_levels) = {
+            let levels = self.levels.read();
+            let sources: Vec<Run> = if source == 0 {
+                levels.l0.clone()
+            } else {
+                let lvl = match levels.deeper.get(source - 1) {
+                    Some(l) if !l.is_empty() => l,
+                    _ => return Ok(()),
+                };
+                // Round-robin victim: first run past the cursor, else
+                // wrap to the front.
+                let pick = match wal.level_cursors.get(source - 1).and_then(|c| c.as_ref()) {
+                    Some((cs, ck)) => lvl
+                        .iter()
+                        .position(|r| r.min_key().is_some_and(|mk| mk > (*cs, ck.as_str())))
+                        .unwrap_or(0),
+                    None => 0,
+                };
+                vec![lvl[pick].clone()]
+            };
+            if sources.is_empty() {
+                return Ok(());
+            }
+            let lo = sources
+                .iter()
+                .filter_map(Run::min_key)
+                .min()
+                .map(|(s, k)| (s, k.to_owned()));
+            let hi = sources
+                .iter()
+                .filter_map(Run::max_key)
+                .max()
+                .map(|(s, k)| (s, k.to_owned()));
+            let overlaps: Vec<Run> = match (&lo, &hi) {
+                (Some(lo), Some(hi)) => levels
+                    .deeper
+                    .get(target - 1)
+                    .map(|lvl| {
+                        lvl.iter()
+                            .filter(|r| match (r.min_key(), r.max_key()) {
+                                (Some(rmin), Some(rmax)) => {
+                                    !((rmax.0, rmax.1.to_owned()) < *lo
+                                        || (rmin.0, rmin.1.to_owned()) > *hi)
+                                }
+                                // A degenerate empty run folds away.
+                                _ => true,
+                            })
+                            .cloned()
+                            .collect()
+                    })
+                    .unwrap_or_default(),
+                _ => Vec::new(),
+            };
+            let bottom = levels.deeper.iter().skip(target).all(Vec::is_empty);
+            // The tier as it will look after this step, minus the new
+            // runs (added once written).
+            let mut base = Levels {
+                l0: if source == 0 {
+                    Vec::new()
+                } else {
+                    levels.l0.clone()
+                },
+                deeper: levels.deeper.clone(),
+                retain: levels.retain.clone(),
+            };
+            if source >= 1 {
+                base.deeper[source - 1].retain(|r| !sources.iter().any(|s| s.name() == r.name()));
+            }
+            if base.deeper.len() < target {
+                base.deeper.resize_with(target, Vec::new);
+            }
+            base.deeper[target - 1].retain(|r| !overlaps.iter().any(|o| o.name() == r.name()));
+            (sources, overlaps, bottom, base)
+        };
+
+        let run_target = policy.run_target();
+        let io: StoreResult<(Vec<Run>, u64)> = (|| {
+            let mut merged: BTreeMap<(u8, String), Option<Bytes>> = BTreeMap::new();
+            let mut input_bytes = 0u64;
+            // Overlaps (target level) hold strictly older data than the
+            // sources, so they fold first and the sources overwrite.
+            for run in overlaps.iter().chain(sources.iter()) {
+                input_bytes += run.data_bytes;
+                for op in run.load_all(&*wal.disk)? {
+                    match op {
+                        WalOp::Put { space, key, value } => {
+                            merged.insert((space, key), Some(value));
+                        }
+                        WalOp::Delete { space, key } => {
+                            merged.insert((space, key), None);
+                        }
+                    }
+                }
+            }
+            let retired = |space: u8, key: &str| {
+                new_levels.retain[space as usize]
+                    .as_ref()
+                    .is_some_and(|(s, b)| key >= s.as_str() && key < b.as_str())
+            };
+            merged.retain(|(space, key), v| !retired(*space, key) && (v.is_some() || !bottom));
+            let mut new_runs: Vec<Run> = Vec::new();
+            let mut chunk: Vec<RunEntry<'_>> = Vec::new();
+            let mut chunk_bytes = 0u64;
+            for ((space, key), value) in merged.iter() {
+                let cost = entry_cost(key.len(), value.as_ref().map_or(0, |v| v.len()));
+                if !chunk.is_empty() && chunk_bytes + cost > run_target {
+                    let name = run_name(wal.next_run_id + new_runs.len() as u64);
+                    wal.disk.write_atomic(&name, &runs::build_run(&chunk))?;
+                    new_runs.push(Run::open(&*wal.disk, &name)?);
+                    chunk.clear();
+                    chunk_bytes = 0;
+                }
+                chunk.push(RunEntry {
+                    space: *space,
+                    key,
+                    value: value.as_deref(),
+                });
+                chunk_bytes += cost;
+            }
+            if !chunk.is_empty() {
+                let name = run_name(wal.next_run_id + new_runs.len() as u64);
+                wal.disk.write_atomic(&name, &runs::build_run(&chunk))?;
+                new_runs.push(Run::open(&*wal.disk, &name)?);
+            }
+            Ok((new_runs, input_bytes))
+        })();
+        let (new_runs, input_bytes) = match io {
+            Ok(v) => v,
+            Err(e) => {
+                self.poisoned.store(true, Ordering::SeqCst);
+                return Err(e);
+            }
+        };
+        {
+            let tgt = &mut new_levels.deeper[target - 1];
+            tgt.extend(new_runs.iter().cloned());
+            tgt.sort_by(|a, b| a.min_key().cmp(&b.min_key()));
+        }
+        let manifest = manifest_for(wal.epoch, &wal.tier_live, &new_levels);
+        if let Err(e) = wal.disk.write_atomic(MANIFEST, manifest.as_bytes()) {
+            self.poisoned.store(true, Ordering::SeqCst);
+            return Err(e);
+        }
+        // Publish in memory before GC'ing inputs: the write lock waits
+        // out every reader still scanning the old runs.
+        let cursor = sources
+            .last()
+            .and_then(Run::max_key)
+            .map(|(s, k)| (s, k.to_owned()));
+        *self.levels.write() = new_levels;
+        wal.next_run_id += new_runs.len() as u64;
+        wal.run_merges += 1;
+        wal.merge_bytes_max = wal.merge_bytes_max.max(input_bytes);
+        if source >= 1 {
+            if wal.level_cursors.len() < source {
+                wal.level_cursors.resize(source, None);
+            }
+            wal.level_cursors[source - 1] = cursor;
+        }
+        for r in sources.iter().chain(overlaps.iter()) {
+            self.cache.purge_run(r.id());
+            if let Err(e) = wal.disk.delete(r.name()) {
+                self.poisoned.store(true, Ordering::SeqCst);
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Advance the retention watermark of `space`: every key in
+    /// `[start, below)` — widened to the convex hull of any existing
+    /// watermark — is permanently retired.  Retired keys are invisible
+    /// to reads, writes to them are dropped on apply (including WAL
+    /// replay), and compactions reclaim the bytes physically.  The
+    /// single manifest write is the commit point (one disk mutation);
+    /// it persists the widened watermark together with the decremented
+    /// runs-view live counts.  Returns how many visible records the
+    /// advance retired.
+    pub fn retain_below(&self, space: Space, start: &str, below: &str) -> StoreResult<u64> {
+        if self.poisoned.load(Ordering::SeqCst) {
+            return Err(StoreError::Poisoned);
+        }
+        if below <= start {
+            return Ok(0);
+        }
+        let mut wal = self.wal.lock();
+        let si = space.as_u8() as usize;
+        let old = self.levels.read().retain[si].clone();
+        let (new_start, new_below) = match &old {
+            Some((s, b)) => (
+                s.as_str().min(start).to_string(),
+                b.as_str().max(below).to_string(),
+            ),
+            None => (start.to_string(), below.to_string()),
+        };
+        if old
+            .as_ref()
+            .is_some_and(|(s, b)| *s == new_start && *b == new_below)
+        {
+            return Ok(0); // already covered
+        }
+        // The newly retired region(s): the hull minus the old range.
+        let deltas: Vec<(String, String)> = match &old {
+            Some((s, b)) => {
+                let mut d = Vec::new();
+                if new_start.as_str() < s.as_str() {
+                    d.push((new_start.clone(), s.clone()));
+                }
+                if new_below.as_str() > b.as_str() {
+                    d.push((b.clone(), new_below.clone()));
+                }
+                d
+            }
+            None => vec![(new_start.clone(), new_below.clone())],
+        };
+        // Count what the advance retires, in both views: the runs-only
+        // view corrects the persisted live counts, the merged view
+        // (memtable overlay) corrects `len`.  Also price the memtable
+        // entries to purge.
+        let (merged_retired, runs_retired, purge_cost) = {
+            let mem = self.mem.read();
+            let levels = self.levels.read();
+            let mut runs_view: BTreeMap<String, bool> = BTreeMap::new();
+            for (lo, hi) in &deltas {
+                for run in levels.iter_oldest_first() {
+                    for (k, v) in run.scan_from(&*self.disk, space.as_u8(), lo)? {
+                        if k.as_str() >= hi.as_str() {
+                            break;
+                        }
+                        runs_view.insert(k, v.is_some());
+                    }
+                }
+            }
+            let runs_retired = runs_view.values().filter(|live| **live).count();
+            let mut merged: BTreeMap<&str, bool> =
+                runs_view.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+            let mut purge_cost = 0u64;
+            for (lo, hi) in &deltas {
+                for (k, v) in mem.spaces[si]
+                    .range::<str, _>((Bound::Included(lo.as_str()), Bound::Excluded(hi.as_str())))
+                {
+                    merged.insert(k.as_str(), v.is_some());
+                    purge_cost += entry_cost(k.len(), v.as_ref().map_or(0, |b| b.len()));
+                }
+            }
+            let merged_retired = merged.values().filter(|live| **live).count();
+            (merged_retired, runs_retired, purge_cost)
+        };
+        let mut tier_live = wal.tier_live;
+        tier_live[si] -= runs_retired;
+        let manifest = {
+            let levels = self.levels.read();
+            let mut retain = levels.retain.clone();
+            retain[si] = Some((new_start.clone(), new_below.clone()));
+            let l0: Vec<&str> = levels.l0.iter().map(Run::name).collect();
+            let lnames: Vec<(usize, &str)> = levels
+                .deeper
+                .iter()
+                .enumerate()
+                .flat_map(|(i, lvl)| lvl.iter().map(move |r| (i + 1, r.name())))
+                .collect();
+            format_manifest(wal.epoch, &tier_live, &l0, &lnames, &retain)
+        };
+        if let Err(e) = wal.disk.write_atomic(MANIFEST, manifest.as_bytes()) {
+            self.poisoned.store(true, Ordering::SeqCst);
+            return Err(e);
+        }
+        // Committed: publish the watermark and purge the in-range
+        // memtable entries under both write locks (atomic to readers).
+        {
+            let mut mem = self.mem.write();
+            let mut levels = self.levels.write();
+            for (lo, hi) in &deltas {
+                let keys: Vec<String> = mem.spaces[si]
+                    .range::<str, _>((Bound::Included(lo.as_str()), Bound::Excluded(hi.as_str())))
+                    .map(|(k, _)| k.clone())
+                    .collect();
+                for k in keys {
+                    mem.spaces[si].remove(&k);
+                }
+            }
+            mem.approx_bytes -= purge_cost;
+            mem.live[si] -= merged_retired;
+            levels.retain[si] = Some((new_start, new_below));
+        }
+        wal.tier_live = tier_live;
+        wal.retired += merged_retired as u64;
+        Ok(merged_retired as u64)
+    }
+
+    /// The retention watermark of `space`, if any: the `[start, below)`
+    /// range of permanently retired keys.
+    pub fn retention(&self, space: Space) -> Option<(String, String)> {
+        self.levels.read().retain[space.as_u8() as usize].clone()
+    }
+
+    /// Introspection for invariant tests: for each level beneath L0,
+    /// the composite `(space, key)` range of every run, in level order.
+    pub fn level_ranges(&self) -> Vec<Vec<RunRange>> {
+        self.levels
+            .read()
+            .deeper
+            .iter()
+            .map(|lvl| {
+                lvl.iter()
+                    .filter_map(|r| match (r.min_key(), r.max_key()) {
+                        (Some(lo), Some(hi)) => {
+                            Some(((lo.0, lo.1.to_owned()), (hi.0, hi.1.to_owned())))
+                        }
+                        _ => None,
+                    })
+                    .collect()
+            })
+            .collect()
     }
 
     /// The compaction body; the caller holds the WAL lock, which also
@@ -1214,10 +2033,16 @@ impl<D: Disk> Store<D> {
         // ambiguous from this handle's point of view: poison it so every
         // further call fails until a re-open re-establishes the truth
         // (recovery handles both the committed and the uncommitted case).
+        // An untiered compaction runs with no runs on disk, but a
+        // retention watermark may still be set — preserve it (bare
+        // epoch digits when there is none, for byte-compatibility).
+        let manifest = {
+            let levels = self.levels.read();
+            format_manifest(next, &wal.tier_live, &[], &[], &levels.retain)
+        };
         let io: StoreResult<()> = (|| {
             wal.disk.write_atomic(&snapshot_name(next), &snap)?;
-            wal.disk
-                .write_atomic(MANIFEST, next.to_string().as_bytes())?;
+            wal.disk.write_atomic(MANIFEST, manifest.as_bytes())?;
             let old_wal = wal_name(wal.epoch);
             let old_snap = snapshot_name(wal.epoch);
             wal.disk.delete(&old_wal)?;
@@ -1248,12 +2073,17 @@ impl<D: Disk> Store<D> {
             records,
             recovered_torn_tail: wal.recovered_torn_tail,
             recovered_truncated_bytes: wal.recovered_truncated_bytes,
-            runs: self.tiers.read().len(),
+            runs: self.levels.read().run_count(),
             memtable_bytes,
             spills: wal.spills,
             run_merges: wal.run_merges,
             bloom_skips: self.metrics.bloom_skips.load(Ordering::Relaxed),
             run_probes: self.metrics.run_probes.load(Ordering::Relaxed),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            levels: self.levels.read().depth(),
+            max_merge_bytes: wal.merge_bytes_max,
+            retired: wal.retired,
         }
     }
 
@@ -1867,6 +2697,7 @@ mod tests {
         TieredPolicy {
             memtable_budget_bytes: 2048,
             run_merge_threshold: 3,
+            ..TieredPolicy::default()
         }
     }
 
@@ -1877,17 +2708,15 @@ mod tests {
             Some(bytes) => {
                 parse_manifest(bytes).unwrap_or_else(|_| panic!("{ctx}: manifest unreadable"))
             }
-            None => ManifestState {
-                epoch: 0,
-                tier_live: [0; 4],
-                run_names: Vec::new(),
-            },
+            None => ManifestState::empty(),
         };
+        let no_runs = manifest.run_names.is_empty() && manifest.level_runs.is_empty();
         for name in disk.list().unwrap() {
             let ok = name == MANIFEST
                 || name == wal_name(manifest.epoch)
-                || (manifest.run_names.is_empty() && name == snapshot_name(manifest.epoch))
-                || manifest.run_names.contains(&name);
+                || (no_runs && name == snapshot_name(manifest.epoch))
+                || manifest.run_names.contains(&name)
+                || manifest.level_runs.iter().any(|(_, n)| *n == name);
             assert!(ok, "{ctx}: stale file `{name}` survived recovery");
         }
     }
@@ -1951,18 +2780,26 @@ mod tests {
         };
         check(&store);
 
-        // Point lookups for keys no run can hold must be answered by the
-        // bloom filters without touching run data.
-        let skips_before = store.stats().bloom_skips;
+        // Point lookups for keys no run holds must be answered without
+        // reading run data from disk: range/bloom gates skip runs, and
+        // any block consulted must already sit in the cache.
+        let before = store.stats();
+        let reads_before = disk.bytes_read();
         for i in 0..50 {
             assert_eq!(
                 store.get(Space::History, &format!("absent/{i}")).unwrap(),
                 None
             );
         }
+        let after = store.stats();
         assert!(
-            store.stats().bloom_skips > skips_before,
-            "bloom filters never skipped a run"
+            after.bloom_skips > before.bloom_skips || after.cache_hits > before.cache_hits,
+            "absent keys consulted neither the gates nor the cache"
+        );
+        assert_eq!(
+            disk.bytes_read(),
+            reads_before,
+            "an absent-key lookup read run data from disk"
         );
 
         // The exact same state is visible after recovery.
@@ -1995,13 +2832,13 @@ mod tests {
 
         // … the tombstone rides the next spill into a run …
         store.spill().unwrap();
-        let runs = store.tiers.read().clone();
+        let runs = store.levels.read().l0.clone();
         assert_eq!(runs.len(), 2);
         assert_eq!(runs[1].tombstones, 1);
 
         // … and the merge folds it away for good.
         store.merge_runs().unwrap();
-        let runs = store.tiers.read().clone();
+        let runs = store.levels.read().l0.clone();
         assert_eq!(runs.len(), 1);
         assert_eq!(runs[0].tombstones, 0);
         assert_eq!(runs[0].entries, 9);
@@ -2250,5 +3087,257 @@ mod tests {
         store.compact().unwrap();
         assert_eq!(store.stats().epoch, epoch);
         assert_eq!(store.stats().runs, 1);
+    }
+
+    /// Thresholds small enough that a few hundred records cascade past L1.
+    fn tiny_leveled() -> TieredPolicy {
+        TieredPolicy {
+            memtable_budget_bytes: 512,
+            run_merge_threshold: 2,
+            level_base_bytes: 1024,
+            level_growth: 2,
+            level_run_bytes: 768,
+            ..TieredPolicy::default()
+        }
+    }
+
+    #[test]
+    fn leveled_push_down_keeps_levels_disjoint_and_model_equivalent() {
+        let disk = MemDisk::new();
+        let store = Store::open_with(disk.clone(), Some(tiny_leveled())).unwrap();
+        let mut model: BTreeMap<(u8, String), Vec<u8>> = BTreeMap::new();
+        for i in 0..300u32 {
+            let space = if i % 3 == 0 {
+                Space::History
+            } else {
+                Space::Instance
+            };
+            let key = format!("k/{:03}", (i * 7) % 120);
+            let value = vec![i as u8; 90];
+            store
+                .put(space, key.clone(), Bytes::from(value.clone()))
+                .unwrap();
+            model.insert((space.as_u8(), key), value);
+            if i % 13 == 4 {
+                let dk = format!("k/{:03}", (i * 7 + 7) % 120);
+                store.delete(space, dk.clone()).unwrap();
+                model.remove(&(space.as_u8(), dk));
+            }
+        }
+        let stats = store.stats();
+        assert!(stats.spills > 2, "workload never spilled");
+        assert!(stats.run_merges > 0, "workload never pushed a run down");
+        let ranges = store.level_ranges();
+        assert!(
+            ranges.iter().any(|level| !level.is_empty()),
+            "no run ever reached L1+"
+        );
+        // Every deeper level holds runs with valid, sorted, pairwise
+        // disjoint composite-key ranges.
+        for (li, level) in ranges.iter().enumerate() {
+            for (lo, hi) in level {
+                assert!(lo <= hi, "L{}: inverted range", li + 1);
+            }
+            for pair in level.windows(2) {
+                assert!(
+                    pair[0].1 < pair[1].0,
+                    "L{}: runs overlap or are unsorted: {:?} vs {:?}",
+                    li + 1,
+                    pair[0],
+                    pair[1]
+                );
+            }
+        }
+
+        let check = |store: &Store<MemDisk>| {
+            for space in [Space::History, Space::Instance] {
+                let expect: Vec<(String, Bytes)> = model
+                    .range((space.as_u8(), String::new())..((space.as_u8() + 1), String::new()))
+                    .map(|((_, k), v)| (k.clone(), Bytes::from(v.clone())))
+                    .collect();
+                assert_eq!(store.scan_prefix(space, "").unwrap(), expect, "{space:?}");
+                for (k, v) in &expect {
+                    assert_eq!(
+                        store.get(space, k).unwrap().as_ref(),
+                        Some(v),
+                        "{space:?}/{k}"
+                    );
+                }
+            }
+        };
+        check(&store);
+        drop(store);
+        let reopened = Store::open_with(disk.clone(), Some(tiny_leveled())).unwrap();
+        check(&reopened);
+        assert_only_live_files(&disk, "leveled reopen");
+    }
+
+    #[test]
+    fn retention_drops_covered_prefix_and_survives_reopen() {
+        let disk = MemDisk::new();
+        let store = Store::open_with(disk.clone(), Some(tiny_tiered())).unwrap();
+        for i in 0..30u32 {
+            store
+                .put(
+                    Space::History,
+                    format!("ev/{i:04}"),
+                    Bytes::from(vec![i as u8; 60]),
+                )
+                .unwrap();
+        }
+        store.put(Space::Instance, "keepme", &b"v"[..]).unwrap();
+        store.spill().unwrap();
+        assert_eq!(store.len(Space::History).unwrap(), 30);
+
+        let retired = store
+            .retain_below(Space::History, "ev/", "ev/0020")
+            .unwrap();
+        assert_eq!(retired, 20, "exactly the covered records retire");
+        assert_eq!(store.len(Space::History).unwrap(), 10);
+        assert_eq!(store.get(Space::History, "ev/0005").unwrap(), None);
+        assert_eq!(
+            store.get(Space::History, "ev/0025").unwrap().unwrap(),
+            &[25u8; 60][..]
+        );
+        assert_eq!(
+            store.retention(Space::History),
+            Some(("ev/".to_string(), "ev/0020".to_string()))
+        );
+        // Other spaces are untouched.
+        assert_eq!(
+            store.get(Space::Instance, "keepme").unwrap().unwrap(),
+            &b"v"[..]
+        );
+        // Scans start past the watermark.
+        let scanned = store.scan_prefix(Space::History, "ev/").unwrap();
+        assert_eq!(scanned.len(), 10);
+        assert_eq!(scanned[0].0, "ev/0020");
+
+        // A write below the watermark is accepted but never becomes
+        // visible — the retention contract is a floor, not a suggestion.
+        store
+            .put(Space::History, "ev/0003", &b"zombie"[..])
+            .unwrap();
+        assert_eq!(store.get(Space::History, "ev/0003").unwrap(), None);
+        assert_eq!(store.len(Space::History).unwrap(), 10);
+
+        // Re-retaining an already-covered window is a no-op.
+        assert_eq!(
+            store
+                .retain_below(Space::History, "ev/", "ev/0010")
+                .unwrap(),
+            0
+        );
+
+        drop(store);
+        let reopened = Store::open_with(disk.clone(), Some(tiny_tiered())).unwrap();
+        assert_eq!(
+            reopened.retention(Space::History),
+            Some(("ev/".to_string(), "ev/0020".to_string()))
+        );
+        assert_eq!(reopened.len(Space::History).unwrap(), 10);
+        assert_eq!(reopened.get(Space::History, "ev/0003").unwrap(), None);
+        assert_eq!(reopened.get(Space::History, "ev/0005").unwrap(), None);
+        assert_eq!(
+            reopened.get(Space::History, "ev/0025").unwrap().unwrap(),
+            &[25u8; 60][..]
+        );
+        assert_only_live_files(&disk, "after retention reopen");
+    }
+
+    #[test]
+    fn crash_at_retention_manifest_recovers_to_old_or_new_watermark() {
+        use crate::disk::CrashEffect;
+        // retain_below commits through exactly one disk mutation (the
+        // manifest rewrite).  Crash on it with every effect: recovery
+        // must land on either the old state or the new one, never a mix.
+        for effect in [
+            CrashEffect::Drop,
+            CrashEffect::Torn { keep: 9 },
+            CrashEffect::AfterApply,
+        ] {
+            let disk = MemDisk::new();
+            let store = Store::open_with(disk.clone(), Some(tiny_tiered())).unwrap();
+            for i in 0..20u32 {
+                store
+                    .put(
+                        Space::History,
+                        format!("ev/{i:04}"),
+                        Bytes::from(vec![i as u8; 60]),
+                    )
+                    .unwrap();
+            }
+            store.spill().unwrap();
+
+            disk.set_fault_plan(Some(FaultPlan::at_mutation(0, effect)));
+            assert!(
+                store
+                    .retain_below(Space::History, "ev/", "ev/0010")
+                    .is_err(),
+                "{effect:?}: crash must surface"
+            );
+            assert!(store.is_poisoned(), "{effect:?}");
+            disk.reboot();
+
+            let recovered = Store::open_with(disk.clone(), Some(tiny_tiered())).unwrap();
+            match recovered.retention(Space::History) {
+                None => {
+                    // Old state: nothing retired.
+                    assert_eq!(recovered.len(Space::History).unwrap(), 20, "{effect:?}");
+                    assert!(
+                        recovered.get(Space::History, "ev/0005").unwrap().is_some(),
+                        "{effect:?}"
+                    );
+                }
+                Some((start, below)) => {
+                    // New state: the full watermark, with every covered
+                    // record invisible.
+                    assert_eq!(
+                        (start.as_str(), below.as_str()),
+                        ("ev/", "ev/0010"),
+                        "{effect:?}"
+                    );
+                    assert_eq!(recovered.len(Space::History).unwrap(), 10, "{effect:?}");
+                    assert_eq!(
+                        recovered.get(Space::History, "ev/0005").unwrap(),
+                        None,
+                        "{effect:?}"
+                    );
+                }
+            }
+            assert!(
+                recovered.get(Space::History, "ev/0015").unwrap().is_some(),
+                "{effect:?}: record above the watermark vanished"
+            );
+            assert_only_live_files(&disk, "retention crash recovery");
+            // The recovered store keeps working, including a clean retry.
+            recovered
+                .retain_below(Space::History, "ev/", "ev/0010")
+                .unwrap();
+            assert_eq!(recovered.len(Space::History).unwrap(), 10, "{effect:?}");
+        }
+    }
+
+    #[test]
+    fn manifest_retention_watermark_escaping_roundtrips() {
+        // Watermark bounds with spaces, percent signs, newlines and
+        // control bytes must survive the manifest's escaped encoding.
+        let disk = MemDisk::new();
+        let store = Store::open_with(disk.clone(), Some(tiny_tiered())).unwrap();
+        let start = "a b%1\t\u{1}";
+        let below = "a b%2\nz 100%";
+        let retired = store.retain_below(Space::Template, start, below).unwrap();
+        assert_eq!(retired, 0);
+        assert_eq!(
+            store.retention(Space::Template),
+            Some((start.to_string(), below.to_string()))
+        );
+        drop(store);
+        let reopened = Store::open_with(disk, Some(tiny_tiered())).unwrap();
+        assert_eq!(
+            reopened.retention(Space::Template),
+            Some((start.to_string(), below.to_string())),
+            "watermark bounds did not roundtrip through the manifest"
+        );
     }
 }

@@ -29,6 +29,7 @@
 //! task done) atomic across failures.
 
 pub mod bloom;
+pub mod cache;
 pub mod crc;
 pub mod disk;
 pub mod engine;

@@ -87,6 +87,9 @@ struct BlockMeta {
 #[derive(Debug, Clone)]
 pub struct Run {
     name: String,
+    /// Numeric id parsed from the name — the block cache keys cached
+    /// blocks by `(run id, block offset)` so a purge after GC is exact.
+    id: u64,
     blocks: Vec<BlockMeta>,
     bloom: Bloom,
     /// Live (non-tombstone) ops across all blocks.
@@ -306,6 +309,7 @@ impl Run {
             }
             Some(Run {
                 name: name.to_string(),
+                id: parse_run_name(name).unwrap_or(u64::MAX),
                 blocks,
                 bloom,
                 entries,
@@ -318,6 +322,49 @@ impl Run {
 
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Numeric id parsed from `run-{id:06}` at open time.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Smallest `(space, key)` held by this run; `None` for an empty run.
+    pub fn min_key(&self) -> Option<(u8, &str)> {
+        self.blocks.first().map(|b| (b.space, b.first_key.as_str()))
+    }
+
+    /// Largest `(space, key)` held by this run; `None` for an empty run.
+    pub fn max_key(&self) -> Option<(u8, &str)> {
+        self.blocks.last().map(|b| (b.space, b.last_key.as_str()))
+    }
+
+    /// Index of the one block whose range may contain `(space, key)`,
+    /// found by binary search over the sparse index.
+    pub(crate) fn block_for(&self, space: u8, key: &str) -> Option<usize> {
+        let idx = self
+            .blocks
+            .partition_point(|b| (b.space, b.first_key.as_str()) <= (space, key));
+        if idx == 0 {
+            return None;
+        }
+        let block = &self.blocks[idx - 1];
+        if block.space != space || block.last_key.as_str() < key {
+            return None;
+        }
+        Some(idx - 1)
+    }
+
+    /// Data-region offset of block `idx` — the block cache's key.
+    pub(crate) fn block_offset(&self, idx: usize) -> u64 {
+        self.blocks[idx].offset
+    }
+
+    /// Read and CRC-check block `idx`; the caller (block cache) owns the
+    /// decoded ops afterwards, so cached entries are always
+    /// post-validation.
+    pub(crate) fn load_block_at<D: Disk>(&self, disk: &D, idx: usize) -> StoreResult<Vec<WalOp>> {
+        self.load_block(disk, &self.blocks[idx])
     }
 
     /// Resident-memory footprint of the opened run (index + bloom),
@@ -334,6 +381,12 @@ impl Run {
     /// Bloom check only — `false` proves the pair is absent.
     pub fn may_contain(&self, space: u8, key: &str) -> bool {
         self.bloom.may_contain(space, key)
+    }
+
+    /// [`Run::may_contain`] with the `(space, key)` hash pair
+    /// precomputed — lets a lookup across many runs hash once.
+    pub fn may_contain_hashed(&self, hash: (u64, u64)) -> bool {
+        self.bloom.may_contain_hashed(hash)
     }
 
     /// Read and decode one data block, zero-copy.
@@ -363,17 +416,10 @@ impl Run {
         space: u8,
         key: &str,
     ) -> StoreResult<Option<Option<Bytes>>> {
-        let idx = self
-            .blocks
-            .partition_point(|b| (b.space, b.first_key.as_str()) <= (space, key));
-        if idx == 0 {
+        let Some(idx) = self.block_for(space, key) else {
             return Ok(None);
-        }
-        let block = &self.blocks[idx - 1];
-        if block.space != space || block.last_key.as_str() < key {
-            return Ok(None);
-        }
-        for op in self.load_block(disk, block)? {
+        };
+        for op in self.load_block_at(disk, idx)? {
             match op {
                 WalOp::Put {
                     space: s,

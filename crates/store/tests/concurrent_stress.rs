@@ -141,6 +141,7 @@ fn tiered_spills_and_merges_under_concurrent_readers_never_break_a_scan() {
         Some(TieredPolicy {
             memtable_budget_bytes: 2048,
             run_merge_threshold: 2,
+            ..TieredPolicy::default()
         }),
     )
     .unwrap();

@@ -140,6 +140,7 @@ proptest! {
         let policy = TieredPolicy {
             memtable_budget_bytes: budget,
             run_merge_threshold: threshold,
+            ..TieredPolicy::default()
         };
         let disk = MemDisk::new();
         let mut store = Store::open_with(disk.clone(), Some(policy)).unwrap();
@@ -195,7 +196,11 @@ proptest! {
         let tiered_disk = MemDisk::new();
         let tiered = Store::open_with(
             tiered_disk.clone(),
-            Some(TieredPolicy { memtable_budget_bytes: 256, run_merge_threshold: 2 }),
+            Some(TieredPolicy {
+                memtable_budget_bytes: 256,
+                run_merge_threshold: 2,
+                ..TieredPolicy::default()
+            }),
         )
         .unwrap();
         let plain_disk = MemDisk::new();

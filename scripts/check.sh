@@ -21,6 +21,28 @@ echo "==> store+core suites under a forced-small memtable budget (constant spill
 # traces quadratic in merge work; ~40 s at 64 KiB.)
 BIOOPERA_MEMTABLE_BUDGET=65536 cargo test -q -p bioopera-store -p bioopera-core
 
+echo "==> leveled squeeze: store + runtime/shard suites at a 512-byte budget"
+# The deepest-stress point of the leveled engine: a spill every few
+# records (512 B budget), an L0→L1 merge every second spill
+# (BIOOPERA_RUN_MERGE=2) and constant level-overflow push-downs
+# (BIOOPERA_LEVEL_BASE=2048).  The heavy dependability traces are
+# minutes of merge work at this budget on the 1-core CI host, so this
+# step runs the store suite plus the runtime and shard integration
+# suites that assert tiering is semantics-invisible; the 64 KiB step
+# above already walks the whole core package through the tiered engine.
+BIOOPERA_MEMTABLE_BUDGET=512 BIOOPERA_RUN_MERGE=2 BIOOPERA_LEVEL_BASE=2048 \
+  cargo test -q -p bioopera-store
+BIOOPERA_MEMTABLE_BUDGET=512 BIOOPERA_RUN_MERGE=2 BIOOPERA_LEVEL_BASE=2048 \
+  cargo test -q -p bioopera-core --test runtime_tests --test shard_determinism \
+  --test tiered_runtime --test tiered_shard_determinism
+# Bounded torture sample under the same squeeze: the runtime and shard
+# probes open their stores through the env, so barrier-crash recovery
+# and double-crash cases run on top of real spills and level merges
+# (~13 s; the full enumeration runs untiered below).
+BIOOPERA_MEMTABLE_BUDGET=512 BIOOPERA_RUN_MERGE=2 BIOOPERA_LEVEL_BASE=2048 \
+  cargo run -q -p bioopera-harness --bin torture -- --store-limit 8 \
+  --runtime-samples 2 --recovery-samples 1 --shard-samples 8
+
 echo "==> crash-point torture harness (bounded; seed override: HARNESS_SEED=N)"
 # Full store crash-point enumeration + sampled runtime crash points +
 # sampled shard barrier-crash points; ~5 s.
