@@ -93,8 +93,8 @@ fn chain_template() -> ProcessTemplate {
 }
 
 /// Drive `instances` chains on `shards` shards; returns (wall seconds,
-/// rounds, grants, history digest).
-fn run_config(shards: usize, instances: u64) -> (f64, u64, u64, u64) {
+/// rounds, grants, history digest, awareness counts by kind).
+fn run_config(shards: usize, instances: u64) -> (f64, u64, u64, u64, Vec<(String, usize)>) {
     let store = Store::open(MemDisk::new()).unwrap();
     let cfg = ShardConfig {
         shards,
@@ -104,7 +104,7 @@ fn run_config(shards: usize, instances: u64) -> (f64, u64, u64, u64) {
         node_capacity: instances as usize,
         ..ShardConfig::default()
     };
-    let mut eng = ShardEngine::new(store, library(), cfg);
+    let mut eng = ShardEngine::new(store, library(), cfg).expect("engine");
     eng.register_template(chain_template()).unwrap();
     for i in 0..instances {
         let mut initial = BTreeMap::new();
@@ -112,10 +112,19 @@ fn run_config(shards: usize, instances: u64) -> (f64, u64, u64, u64) {
         eng.submit("Chain", initial).unwrap();
     }
     let t0 = Instant::now();
-    let stats = eng.run_to_completion().unwrap();
+    let outcome = eng.run_to_completion().unwrap();
     let wall = t0.elapsed().as_secs_f64();
+    assert!(outcome.is_completed(), "no chain may end up suspended");
+    let stats = eng.stats();
     assert_eq!(stats.completed, instances, "all chains must complete");
-    (wall, stats.rounds, stats.grants, eng.history_digest())
+    let counts = eng.awareness().index().counts_by_kind();
+    (
+        wall,
+        stats.rounds,
+        stats.grants,
+        eng.history_digest(),
+        counts,
+    )
 }
 
 fn main() {
@@ -128,13 +137,21 @@ fn main() {
     let mut configs = Vec::new();
     let mut serial_wall = 0.0f64;
     let mut digest: Option<u64> = None;
+    let mut awareness_counts: Option<Vec<(String, usize)>> = None;
     for &shards in &[1usize, 2, 4, 8] {
-        let (wall, rounds, grants, d) = run_config(shards, instances);
+        let (wall, rounds, grants, d, counts) = run_config(shards, instances);
         match digest {
             None => digest = Some(d),
             Some(base) => assert_eq!(
                 d, base,
                 "history digest diverged at {shards} shards — determinism broken"
+            ),
+        }
+        match &awareness_counts {
+            None => awareness_counts = Some(counts),
+            Some(base) => assert_eq!(
+                &counts, base,
+                "awareness index diverged at {shards} shards — barrier feed broken"
             ),
         }
         if shards == 1 {

@@ -28,6 +28,7 @@
 
 pub mod awareness;
 pub mod dependability;
+mod diagnostics;
 pub mod dispatcher;
 pub mod error;
 pub mod library;
@@ -50,7 +51,7 @@ pub use lineage::{Lineage, RecomputePlan};
 pub use metrics::{
     mean_utilization_where, series_csv, Histogram, RollupBin, RunReport, SeriesRollup, SeriesSample,
 };
-pub use planner::{OutageImpact, Planner};
+pub use planner::{OutageImpact, Planner, PlannerNode, PlannerSnapshot};
 pub use runtime::{RunStats, Runtime, RuntimeConfig};
-pub use shard::{FaultInjection, ShardConfig, ShardEngine, ShardRunStats};
-pub use state::{InstanceHeader, InstanceId, InstanceStatus, TaskRecord, TaskState};
+pub use shard::{ControlOp, FaultInjection, ShardConfig, ShardEngine, ShardRunStats};
+pub use state::{InstanceHeader, InstanceId, InstanceStatus, RunOutcome, TaskRecord, TaskState};

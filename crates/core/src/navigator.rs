@@ -634,7 +634,11 @@ pub fn on_task_failed(
 }
 
 /// On operator resume, give suspended/failed tasks another chance.
-pub fn on_resume(view: &mut InstanceView<'_>) -> NavOutcome {
+///
+/// Also re-checks completion: an instance whose last task ended while it
+/// was parked (in-flight work drains under suspension) has nothing left
+/// to re-activate and must flip terminal now, not never.
+pub fn on_resume(view: &mut InstanceView<'_>, now: SimTime) -> NavOutcome {
     let mut out = NavOutcome::default();
     if view.header.status == InstanceStatus::Suspended {
         view.header.status = InstanceStatus::Running;
@@ -645,6 +649,10 @@ pub fn on_resume(view: &mut InstanceView<'_>) -> NavOutcome {
             rec.state = TaskState::Ready;
             out.newly_ready.push(path.clone());
         }
+    }
+    if out.newly_ready.is_empty() {
+        let done = check_completion(view, now);
+        out.completed = done.completed;
     }
     out
 }
@@ -1096,7 +1104,7 @@ mod tests {
         let out = on_task_failed(&mut view, "A", FailureKind::Program, SimTime::ZERO).unwrap();
         assert!(out.suspended);
         assert_eq!(view.header.status, InstanceStatus::Suspended);
-        let out = on_resume(&mut view);
+        let out = on_resume(&mut view, SimTime::ZERO);
         assert_eq!(out.newly_ready, vec!["A"]);
         assert_eq!(view.header.status, InstanceStatus::Running);
         assert_eq!(view.tasks["A"].attempts, 0, "resume resets the budget");

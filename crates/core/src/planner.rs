@@ -7,10 +7,18 @@
 //! processes accordingly, notifying the administrator of the processes
 //! that will stop, how far in their execution these processes are, their
 //! priority, and so forth."
+//!
+//! The analysis itself is a pure function of a [`PlannerSnapshot`] — a
+//! plain-data view of (cluster nodes, in-flight jobs, instance task
+//! state) that both engines know how to produce: the serial [`Runtime`]
+//! from its live cluster simulator, the shard engine from its journals
+//! and dispatch service.  Keeping one core means a what-if answer can
+//! never depend on which step loop executed the workload.
 
 use crate::runtime::Runtime;
 use crate::state::{InstanceId, TaskState};
 use bioopera_ocr::model::TaskKind;
+use bioopera_ocr::ProcessTemplate;
 use bioopera_store::Disk;
 use std::collections::BTreeSet;
 
@@ -103,89 +111,128 @@ impl OutageImpact {
     }
 }
 
-/// The what-if planner.
-pub struct Planner;
+/// One cluster node as the planner sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlannerNode {
+    /// Node name.
+    pub name: String,
+    /// Operating system, when the engine models one (the shard engine's
+    /// logical nodes do not; an OS-constrained binding then has no
+    /// feasible survivor, which is the conservative answer).
+    pub os: Option<String>,
+    /// CPUs (or slot capacity) this node contributes.
+    pub cpus: u32,
+    /// Is the node currently usable (up, not quarantined)?
+    pub up: bool,
+}
 
-impl Planner {
-    /// Analyze the impact of taking `offline` nodes away from the runtime's
-    /// cluster, using the live instance state and configuration space.
-    pub fn what_if_offline<D: Disk + Clone>(rt: &Runtime<D>, offline: &[&str]) -> OutageImpact {
+/// One task as the planner sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlannerTask {
+    /// Task path (parallel children use indexed paths).
+    pub path: String,
+    /// Current execution state.
+    pub state: TaskState,
+    /// Placement constraints `(os, hosts)` of the activity behind the
+    /// task, if it is activity-like.
+    pub binding: Option<(Option<String>, Vec<String>)>,
+}
+
+/// One non-terminal instance as the planner sees it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannerInstance {
+    /// Instance id.
+    pub id: InstanceId,
+    /// Template name.
+    pub template: String,
+    /// Every task record of the instance.
+    pub tasks: Vec<PlannerTask>,
+}
+
+/// Engine-agnostic input to the what-if analysis: plain data, no
+/// references into an engine, so the core is a pure function either
+/// facade can call with a view assembled from its own state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannerSnapshot {
+    /// Cluster nodes.
+    pub nodes: Vec<PlannerNode>,
+    /// In-flight `(instance, task path, node)` jobs.
+    pub in_flight: Vec<(InstanceId, String, String)>,
+    /// Non-terminal instances.
+    pub instances: Vec<PlannerInstance>,
+}
+
+impl PlannerSnapshot {
+    /// Analyze the impact of taking `offline` nodes away.
+    pub fn what_if(&self, offline: &[&str]) -> OutageImpact {
         let offline_set: BTreeSet<&str> = offline.iter().copied().collect();
-        let survivors: Vec<&bioopera_cluster::Node> = rt
-            .cluster()
-            .nodes()
+        let survivors: Vec<&PlannerNode> = self
+            .nodes
             .iter()
-            .filter(|n| !offline_set.contains(n.spec.name.as_str()) && n.is_up())
+            .filter(|n| !offline_set.contains(n.name.as_str()) && n.up)
             .collect();
-        let cpus_lost = rt
-            .cluster()
-            .nodes()
+        let cpus_lost = self
+            .nodes
             .iter()
-            .filter(|n| offline_set.contains(n.spec.name.as_str()))
-            .map(|n| n.cpus_online())
+            .filter(|n| offline_set.contains(n.name.as_str()))
+            .map(|n| n.cpus)
             .sum();
 
         // Placement feasibility of a binding on the surviving set.
         let feasible = |os: Option<&str>, hosts: &[String]| -> bool {
             survivors.iter().any(|n| {
-                os.map(|o| o == n.spec.os).unwrap_or(true)
-                    && (hosts.is_empty() || hosts.contains(&n.spec.name))
+                os.map(|o| n.os.as_deref() == Some(o)).unwrap_or(true)
+                    && (hosts.is_empty() || hosts.contains(&n.name))
             })
+        };
+        let task_of = |instance: InstanceId, path: &str| -> Option<&PlannerTask> {
+            self.instances
+                .iter()
+                .find(|i| i.id == instance)?
+                .tasks
+                .iter()
+                .find(|t| t.path == path)
         };
 
         let mut affected_jobs = Vec::new();
-        for (instance, task, node) in rt.in_flight_jobs() {
+        for (instance, task, node) in &self.in_flight {
             if !offline_set.contains(node.as_str()) {
                 continue;
             }
-            // Look up the binding constraints of the task.
-            let reschedulable = rt
-                .task_records(instance)
-                .and_then(|tasks| tasks.get(&task))
-                .map(|_| {
-                    // Parallel children inherit the parent body's binding;
-                    // plain activities their own.
-                    let binding = task_binding(rt, instance, &task);
-                    match binding {
-                        Some((os, hosts)) => feasible(os.as_deref(), &hosts),
-                        None => !survivors.is_empty(),
-                    }
+            let reschedulable = task_of(*instance, task)
+                .map(|t| match &t.binding {
+                    Some((os, hosts)) => feasible(os.as_deref(), hosts),
+                    None => !survivors.is_empty(),
                 })
                 .unwrap_or(false);
             affected_jobs.push(AffectedJob {
-                instance,
-                task,
-                node,
+                instance: *instance,
+                task: task.clone(),
+                node: node.clone(),
                 reschedulable,
             });
         }
 
         let mut instances = Vec::new();
-        for (id, status, template) in rt.instances() {
-            if status.is_terminal() {
-                continue;
-            }
-            let Some(tasks) = rt.task_records(id) else {
-                continue;
-            };
+        for inst in &self.instances {
             let mut total = 0usize;
             let mut done = 0usize;
             let mut stall = survivors.is_empty();
-            for rec in tasks.values() {
+            for t in &inst.tasks {
                 total += 1;
-                if rec.state == TaskState::Ended || rec.state == TaskState::Skipped {
+                if t.state == TaskState::Ended || t.state == TaskState::Skipped {
                     done += 1;
-                } else if matches!(rec.state, TaskState::Ready | TaskState::Dispatched) {
-                    if let Some((os, hosts)) = task_binding(rt, id, &rec.path) {
-                        if !feasible(os.as_deref(), &hosts) {
+                } else if matches!(t.state, TaskState::Ready | TaskState::Dispatched) {
+                    if let Some((os, hosts)) = &t.binding {
+                        if !feasible(os.as_deref(), hosts) {
                             stall = true;
                         }
                     }
                 }
             }
             instances.push(InstanceImpact {
-                instance: id,
-                template,
+                instance: inst.id,
+                template: inst.template.clone(),
                 progress: if total == 0 {
                     0.0
                 } else {
@@ -204,28 +251,13 @@ impl Planner {
     }
 }
 
-/// Placement constraints `(os, hosts)` of the activity behind a task path.
-fn task_binding<D: Disk + Clone>(
-    rt: &Runtime<D>,
-    instance: InstanceId,
-    path: &str,
+/// Placement constraints `(os, hosts)` of the activity a task declaration
+/// resolves to.  `decl_name` is the declared task — a parallel child
+/// passes its parent's name, since children inherit the body's binding.
+pub(crate) fn binding_of(
+    template: &ProcessTemplate,
+    decl_name: &str,
 ) -> Option<(Option<String>, Vec<String>)> {
-    let tasks = rt.task_records(instance)?;
-    let rec = tasks.get(path)?;
-    let (_, template_name) = rt
-        .instances()
-        .into_iter()
-        .find(|(id, _, _)| *id == instance)
-        .map(|(id, _, t)| (id, t))?;
-    let template_bytes = rt
-        .store()
-        .get(
-            bioopera_store::Space::Template,
-            &crate::state::keys::template(&template_name),
-        )
-        .ok()??;
-    let template: bioopera_ocr::ProcessTemplate = serde_json::from_slice(&template_bytes).ok()?;
-    let decl_name = rec.parallel_parent().unwrap_or(path);
     match &template.task(decl_name)?.kind {
         TaskKind::Activity { binding } => Some((binding.os.clone(), binding.hosts.clone())),
         TaskKind::Parallel {
@@ -233,5 +265,16 @@ fn task_binding<D: Disk + Clone>(
             ..
         } => Some((b.os.clone(), b.hosts.clone())),
         _ => None,
+    }
+}
+
+/// The what-if planner.
+pub struct Planner;
+
+impl Planner {
+    /// Analyze the impact of taking `offline` nodes away from the runtime's
+    /// cluster, using the live instance state and configuration space.
+    pub fn what_if_offline<D: Disk + Clone>(rt: &Runtime<D>, offline: &[&str]) -> OutageImpact {
+        rt.planner_snapshot().what_if(offline)
     }
 }

@@ -31,7 +31,9 @@ use crate::error::{EngineError, EngineResult};
 use crate::library::{ActivityLibrary, ProgramOutput};
 use crate::metrics::{RunReport, SeriesRollup};
 use crate::navigator::{self, FailureKind, InstanceView, NavOutcome};
-use crate::state::{keys, InstanceHeader, InstanceId, InstanceStatus, TaskRecord, TaskState};
+use crate::state::{
+    keys, InstanceHeader, InstanceId, InstanceStatus, RunOutcome, TaskRecord, TaskState,
+};
 use bioopera_cluster::trace::{Trace, TraceEvent, TraceEventKind};
 use bioopera_cluster::{Cluster, JobId, JobOutcome, NetworkState, SimKernel, SimTime};
 use bioopera_ocr::model::{ParallelBody, ProcessTemplate, TaskKind};
@@ -373,10 +375,24 @@ impl<D: Disk + Clone> Runtime<D> {
         }
     }
 
-    /// Drive the simulation until every instance is terminal.
-    pub fn run_to_completion(&mut self) -> EngineResult<()> {
+    /// Drive the simulation until every instance is terminal or the only
+    /// non-terminal instances are operator-suspended.
+    ///
+    /// Suspension is a steering state, not a failure: the run quiesces
+    /// with [`RunOutcome::Quiesced`] instead of wedging, and a `resume`
+    /// followed by another `run_to_completion` picks the work back up.
+    pub fn run_to_completion(&mut self) -> EngineResult<RunOutcome> {
         while self.step()? {}
-        Ok(())
+        let suspended = self
+            .instances
+            .values()
+            .filter(|m| m.header.status == InstanceStatus::Suspended)
+            .count() as u64;
+        if suspended > 0 {
+            Ok(RunOutcome::Quiesced { suspended })
+        } else {
+            Ok(RunOutcome::Completed)
+        }
     }
 
     /// One scheduler iteration: dispatch, then process the next event.
@@ -626,6 +642,51 @@ impl<D: Disk + Clone> Runtime<D> {
             .collect()
     }
 
+    /// Plain-data view of (cluster, in-flight jobs, instance task state)
+    /// for the engine-agnostic what-if core — see
+    /// [`crate::planner::PlannerSnapshot`].
+    pub fn planner_snapshot(&self) -> crate::planner::PlannerSnapshot {
+        use crate::planner::{PlannerInstance, PlannerNode, PlannerSnapshot, PlannerTask};
+        let nodes = self
+            .cluster
+            .nodes()
+            .iter()
+            .map(|n| PlannerNode {
+                name: n.spec.name.clone(),
+                os: Some(n.spec.os.clone()),
+                cpus: n.cpus_online(),
+                up: n.is_up(),
+            })
+            .collect();
+        let mut instances = Vec::new();
+        for (id, mem) in &self.instances {
+            if mem.header.status.is_terminal() {
+                continue;
+            }
+            instances.push(PlannerInstance {
+                id: *id,
+                template: mem.header.template.clone(),
+                tasks: mem
+                    .tasks
+                    .values()
+                    .map(|rec| PlannerTask {
+                        path: rec.path.clone(),
+                        state: rec.state,
+                        binding: crate::planner::binding_of(
+                            &mem.template,
+                            rec.parallel_parent().unwrap_or(&rec.path),
+                        ),
+                    })
+                    .collect(),
+            });
+        }
+        PlannerSnapshot {
+            nodes,
+            in_flight: self.in_flight_jobs(),
+            instances,
+        }
+    }
+
     /// How many times the runtime performed the automatic operator-restart
     /// that re-schedules non-reporting TEUs.
     pub fn auto_restarts(&self) -> u32 {
@@ -720,6 +781,7 @@ impl<D: Disk + Clone> Runtime<D> {
 
     /// Operator resume.
     pub fn resume(&mut self, id: InstanceId) -> EngineResult<()> {
+        let now = self.kernel.now();
         let outcome = {
             let mem = self
                 .instances
@@ -730,7 +792,7 @@ impl<D: Disk + Clone> Runtime<D> {
                 header: &mut mem.header,
                 tasks: &mut mem.tasks,
             };
-            navigator::on_resume(&mut view)
+            navigator::on_resume(&mut view, now)
         };
         self.persist_after_nav(id, &outcome, &[])?;
         self.apply_outcome(id, outcome)?;
@@ -2481,43 +2543,16 @@ impl<D: Disk + Clone> Runtime<D> {
     }
 
     /// A bounded breakdown of what is stuck, appended to the deadlock
-    /// diagnostic: the first few non-terminal instances and, for each,
-    /// the first few tasks still in a non-terminal state.  Bounded so a
-    /// 100k-instance stall stays a readable message, not a memory spike.
+    /// diagnostic — rendered by the shared [`crate::diagnostics::survey`]
+    /// so "suspended (resumable)" vs "stuck" reads identically on the
+    /// serial and shard paths.
     fn deadlock_detail(&self) -> String {
-        use std::fmt::Write as _;
-        const MAX_INSTANCES: usize = 8;
-        const MAX_TASKS: usize = 4;
-        let mut out = String::new();
-        let mut shown = 0usize;
-        let mut stuck = 0usize;
-        for (id, mem) in &self.instances {
-            if mem.header.status.is_terminal() {
-                continue;
-            }
-            stuck += 1;
-            if shown >= MAX_INSTANCES {
-                continue;
-            }
-            shown += 1;
-            let _ = write!(out, "; inst {} [{:?}]", id, mem.header.status);
-            for (i, rec) in mem
-                .tasks
-                .values()
-                .filter(|r| !r.state.is_terminal())
-                .enumerate()
-            {
-                if i >= MAX_TASKS {
-                    out.push_str(" …");
-                    break;
-                }
-                let _ = write!(out, " {}={:?}", rec.path, rec.state);
-            }
-        }
-        if stuck > shown {
-            let _ = write!(out, "; (+{} more instances)", stuck - shown);
-        }
-        out
+        crate::diagnostics::survey(
+            self.instances
+                .iter()
+                .map(|(id, mem)| (*id, mem.header.status, &mem.tasks)),
+        )
+        .1
     }
 
     fn all_terminal(&self) -> bool {

@@ -28,16 +28,18 @@ pub mod services;
 pub mod stepper;
 
 pub use router::{
-    merge_outboxes, owner, splitmix64, Effect, Msg, Payload, ShardEvent, ShardId, SrcKey,
-    StepOutput,
+    merge_outboxes, owner, splitmix64, ControlOp, Effect, Msg, Payload, ShardEvent, ShardId,
+    SrcKey, StepOutput,
 };
 pub use services::{DispatchService, LogicalNode};
 pub use stepper::{FaultInjection, InstanceSlot, Shard, ShardMeta, StepCtx};
 
-use crate::awareness::EventKind;
+use crate::awareness::{Awareness, EventKind};
+use crate::diagnostics;
 use crate::error::{EngineError, EngineResult};
 use crate::library::ActivityLibrary;
-use crate::state::{keys, InstanceId, InstanceStatus, TaskState};
+use crate::planner::{OutageImpact, PlannerNode, PlannerSnapshot};
+use crate::state::{keys, InstanceId, InstanceStatus, RunOutcome, TaskState};
 use bioopera_cluster::SimTime;
 use bioopera_ocr::model::{ProcessTemplate, TaskKind};
 use bioopera_ocr::value::Value;
@@ -49,6 +51,13 @@ use std::sync::Arc;
 /// get sequence numbers in a range of their own so they sort after the
 /// shard-side events of the same instance within a round.
 const BARRIER_SEQ_BASE: u64 = 1 << 48;
+
+/// Operator control messages (suspend/resume) take the highest sequence
+/// range of all: within a round they sort after every other message and
+/// event of the same instance, so the steering point in the instance's
+/// history is a pure function of the operator-call sequence — identical
+/// at every shard and thread count.
+const OPERATOR_SEQ_BASE: u64 = 1 << 56;
 
 /// Shard-count override: `BIOOPERA_SHARDS=N` (N >= 1).
 pub fn shards_from_env(default: usize) -> usize {
@@ -111,6 +120,8 @@ pub struct ShardRunStats {
     pub events: u64,
     /// Node grants issued over the engine's lifetime.
     pub grants: u64,
+    /// Instances parked in the suspended set (resumable, not stuck).
+    pub suspended: u64,
 }
 
 /// The sharded navigator engine.
@@ -122,8 +133,10 @@ pub struct ShardEngine<D: Disk> {
     shards: Vec<Shard>,
     inboxes: Vec<Vec<Msg>>,
     service: DispatchService,
+    awareness: Awareness,
     round: u64,
     next_instance: InstanceId,
+    operator_seq: u64,
     events_recorded: u64,
     history_digest: u64,
     counts: BTreeMap<String, u64>,
@@ -131,26 +144,34 @@ pub struct ShardEngine<D: Disk> {
 
 impl<D: Disk> ShardEngine<D> {
     /// A fresh engine over an empty (or at least shard-unused) store.
-    pub fn new(store: Store<D>, library: ActivityLibrary, mut cfg: ShardConfig) -> Self {
+    pub fn new(
+        store: Store<D>,
+        library: ActivityLibrary,
+        mut cfg: ShardConfig,
+    ) -> EngineResult<Self> {
         cfg.shards = cfg.shards.max(1);
         cfg.threads = cfg.threads.clamp(1, cfg.shards);
         let shards = (0..cfg.shards).map(Shard::new).collect();
         let inboxes = vec![Vec::new(); cfg.shards];
         let service = DispatchService::new(cfg.nodes, cfg.node_capacity, cfg.quarantine_threshold);
-        ShardEngine {
+        let awareness = Awareness::open_tail(&store)
+            .map_err(|e| EngineError::Internal(format!("awareness open: {e}")))?;
+        Ok(ShardEngine {
             store,
             library,
             templates: BTreeMap::new(),
             shards,
             inboxes,
             service,
+            awareness,
             round: 0,
             next_instance: 1,
+            operator_seq: 0,
             events_recorded: 0,
             history_digest: FNV_OFFSET,
             counts: BTreeMap::new(),
             cfg,
-        }
+        })
     }
 
     /// Register (and persist) a template.
@@ -212,6 +233,83 @@ impl<D: Disk> ShardEngine<D> {
     /// so a non-empty `in_flight` implies a non-empty inbox.)
     pub fn quiescent(&self) -> bool {
         self.inboxes.iter().all(Vec::is_empty) && self.service.queued() == 0
+    }
+
+    /// Route an operator steering command through the deterministic
+    /// outbox order: the message is delivered at the next round, sorted
+    /// after every other message of the instance ([`OPERATOR_SEQ_BASE`]).
+    fn steer(&mut self, id: InstanceId, op: ControlOp) -> EngineResult<()> {
+        if id == 0 || id >= self.next_instance {
+            return Err(EngineError::UnknownInstance(id));
+        }
+        if self.instance_status(id).is_some_and(|s| s.is_terminal()) {
+            return Ok(());
+        }
+        self.operator_seq += 1;
+        let seq = OPERATOR_SEQ_BASE + self.operator_seq;
+        self.route(Msg {
+            dest: id,
+            src: (id, seq),
+            payload: Payload::Control { op },
+        });
+        Ok(())
+    }
+
+    /// Operator suspend of one instance: in-flight work drains, nothing
+    /// new activates, ready tasks park until [`ShardEngine::resume`].
+    /// Takes effect at the next round, at a deterministic point in the
+    /// instance's history.  No-op on terminal instances.
+    pub fn suspend(&mut self, id: InstanceId) -> EngineResult<()> {
+        self.steer(id, ControlOp::Suspend)
+    }
+
+    /// Operator resume: un-parks the instance, resets failed-task retry
+    /// budgets, and re-activates every ready task.
+    pub fn resume(&mut self, id: InstanceId) -> EngineResult<()> {
+        self.steer(id, ControlOp::Resume)
+    }
+
+    /// Engine-wide operator suspend: every running instance parks.
+    pub fn suspend_all(&mut self) -> EngineResult<()> {
+        let ids: Vec<InstanceId> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.slots.iter())
+            .filter(|(_, slot)| slot.header.status == InstanceStatus::Running)
+            .map(|(id, _)| *id)
+            .collect();
+        // Sorted delivery: slots iterate in id order per shard; merge.
+        let mut ids = ids;
+        ids.sort_unstable();
+        for id in ids {
+            self.steer(id, ControlOp::Suspend)?;
+        }
+        Ok(())
+    }
+
+    /// Engine-wide operator resume: every suspended instance un-parks.
+    pub fn resume_all(&mut self) -> EngineResult<()> {
+        let mut ids: Vec<InstanceId> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.slots.iter())
+            .filter(|(_, slot)| slot.header.status == InstanceStatus::Suspended)
+            .map(|(id, _)| *id)
+            .collect();
+        ids.sort_unstable();
+        for id in ids {
+            self.steer(id, ControlOp::Resume)?;
+        }
+        Ok(())
+    }
+
+    /// Instances currently parked in the suspended set.
+    pub fn suspended_count(&self) -> u64 {
+        self.shards
+            .iter()
+            .flat_map(|s| s.slots.values())
+            .filter(|slot| slot.header.status == InstanceStatus::Suspended)
+            .count() as u64
     }
 
     /// Run one BSP round: parallel shard steps, then the barrier.
@@ -362,13 +460,32 @@ impl<D: Disk> ShardEngine<D> {
         self.commit_events(round, &events)
     }
 
+    /// Commit the round's totally-ordered events and feed the incremental
+    /// awareness index from the same stream, in the same group commit.
+    ///
+    /// The awareness rollup batch rides `apply_many` with the event batch,
+    /// so a crash can never persist one without the other: monitoring
+    /// queries over a recovered store always agree with the recorded
+    /// history, exactly as on the serial path.
     fn commit_events(&mut self, round: u64, events: &[ShardEvent]) -> EngineResult<()> {
         if !events.is_empty() {
+            let at = SimTime::from_secs(round);
             let mut b = Batch::new();
             for (i, e) in events.iter().enumerate() {
                 b.put(Space::History, event_key(round, i), encode(e)?);
+                self.awareness.record(at, e.kind.clone());
             }
-            self.store.apply(b).map_err(EngineError::Store)?;
+            let mut batches = vec![b];
+            match self.awareness.pending_batch() {
+                Ok(Some(ab)) => batches.push(ab),
+                Ok(None) => {}
+                Err(e) => {
+                    self.awareness.discard_pending();
+                    return Err(EngineError::Store(e));
+                }
+            }
+            self.store.apply_many(batches).map_err(EngineError::Store)?;
+            self.awareness.confirm_flushed();
         }
         for e in events {
             self.fold_event(e);
@@ -389,9 +506,15 @@ impl<D: Disk> ShardEngine<D> {
         self.history_digest = h;
     }
 
-    /// Run rounds to quiescence; error (with a bounded diagnostic) if the
-    /// workload wedges or exceeds the round ceiling.
-    pub fn run_to_completion(&mut self) -> EngineResult<ShardRunStats> {
+    /// Run rounds to quiescence.
+    ///
+    /// Returns [`RunOutcome::Completed`] when every instance is terminal,
+    /// or [`RunOutcome::Quiesced`] when the only remaining non-terminal
+    /// instances are operator-suspended — parked work is a steering
+    /// state, not a wedge; `resume` + another `run_to_completion` picks
+    /// it back up.  Errors (with a bounded diagnostic) only when a
+    /// *non-suspended* instance is stranded or the round ceiling trips.
+    pub fn run_to_completion(&mut self) -> EngineResult<RunOutcome> {
         while self.step_round()? {
             if self.round > self.cfg.max_rounds {
                 return Err(EngineError::Internal(format!(
@@ -401,54 +524,38 @@ impl<D: Disk> ShardEngine<D> {
                 )));
             }
         }
-        let stats = self.stats();
-        let stuck = stats.instances - stats.completed - stats.aborted;
-        if stuck > 0 {
+        let (summary, detail) = self.survey();
+        if summary.stuck > 0 {
             return Err(EngineError::Internal(format!(
-                "quiescent with {stuck} non-terminal instance(s){}",
-                self.stuck_detail()
+                "quiescent with {} stuck non-terminal instance(s){detail}",
+                summary.stuck
             )));
         }
-        Ok(stats)
+        if summary.suspended > 0 {
+            Ok(RunOutcome::Quiesced {
+                suspended: summary.suspended as u64,
+            })
+        } else {
+            Ok(RunOutcome::Completed)
+        }
+    }
+
+    /// Shared bounded breakdown of non-terminal state (same renderer as
+    /// the serial facade, so "suspended (resumable)" vs "stuck" reads
+    /// identically on both paths).
+    fn survey(&self) -> (diagnostics::StallSummary, String) {
+        diagnostics::survey(
+            self.shards
+                .iter()
+                .flat_map(|s| s.slots.iter())
+                .map(|(id, slot)| (*id, slot.header.status, &slot.tasks)),
+        )
     }
 
     /// Bounded per-instance breakdown of non-terminal state, mirroring
     /// the serial engine's deadlock diagnostic.
     fn stuck_detail(&self) -> String {
-        const MAX_INSTANCES: usize = 8;
-        const MAX_TASKS: usize = 4;
-        let mut detail = String::new();
-        let mut shown = 0usize;
-        let mut total = 0usize;
-        for shard in &self.shards {
-            for (id, slot) in &shard.slots {
-                if slot.header.status.is_terminal() {
-                    continue;
-                }
-                total += 1;
-                if shown >= MAX_INSTANCES {
-                    continue;
-                }
-                shown += 1;
-                detail.push_str(&format!("; inst {} [{:?}]", id, slot.header.status));
-                for (i, rec) in slot
-                    .tasks
-                    .values()
-                    .filter(|r| !r.state.is_terminal())
-                    .enumerate()
-                {
-                    if i >= MAX_TASKS {
-                        detail.push_str(" …");
-                        break;
-                    }
-                    detail.push_str(&format!(" {}={:?}", rec.path, rec.state));
-                }
-            }
-        }
-        if total > shown {
-            detail.push_str(&format!("; (+{} more instances)", total - shown));
-        }
-        detail
+        self.survey().1
     }
 
     /// Torture hook: run one round's shard steps **serially**, commit only
@@ -505,6 +612,10 @@ impl<D: Disk> ShardEngine<D> {
             shards.push(shard);
         }
         let service = DispatchService::new(cfg.nodes, cfg.node_capacity, cfg.quarantine_threshold);
+        // The awareness rollup was group-committed with every event batch,
+        // so an O(tail) reopen lands on a state consistent with `sev/`.
+        let awareness = Awareness::open_tail(&store)
+            .map_err(|e| EngineError::Internal(format!("awareness open: {e}")))?;
         let mut engine = ShardEngine {
             inboxes: vec![Vec::new(); cfg.shards],
             round: round + 1,
@@ -517,8 +628,31 @@ impl<D: Disk> ShardEngine<D> {
             templates,
             shards,
             service,
+            awareness,
+            operator_seq: 0,
             cfg,
         };
+        // Reconcile the durable suspended set against the recovered
+        // headers.  Both sides of a suspend/resume flip commit in one
+        // atomic frame, so a mismatch means the record outlived its
+        // instance (e.g. a pruned terminal slot): drop it.
+        let susp = engine
+            .store
+            .scan_prefix(Space::Instance, "susp/")
+            .map_err(EngineError::Store)?;
+        for (key, _bytes) in susp {
+            let parked = key
+                .strip_prefix("susp/")
+                .and_then(|s| s.parse::<InstanceId>().ok())
+                .and_then(|id| engine.instance_status(id))
+                == Some(InstanceStatus::Suspended);
+            if !parked {
+                engine
+                    .store
+                    .delete(Space::Instance, key)
+                    .map_err(EngineError::Store)?;
+            }
+        }
         // Fold the committed history back into the digest/counters so the
         // lifetime view stays continuous across the crash.
         let persisted = engine
@@ -609,7 +743,13 @@ impl<D: Disk> ShardEngine<D> {
         let mut batches: Vec<Batch> = Vec::new();
         for shard in &mut self.shards {
             for (id, slot) in &mut shard.slots {
-                if slot.header.status != InstanceStatus::Running {
+                // Suspended instances re-drive too — their in-doubt work
+                // is rewound to `Ready` so nothing is lost — but stay
+                // parked: no re-request, no re-spawn until resume, whose
+                // full ready-task re-activation picks the rewound tasks
+                // up.
+                let parked = slot.header.status == InstanceStatus::Suspended;
+                if slot.header.status != InstanceStatus::Running && !parked {
                     continue;
                 }
                 let tmpl = slot.template.clone();
@@ -633,7 +773,9 @@ impl<D: Disk> ShardEngine<D> {
                     match rec.state {
                         TaskState::Ready => {
                             rec.ready_at.get_or_insert(now);
-                            requests.push((*id, rec.path.clone()));
+                            if !parked {
+                                requests.push((*id, rec.path.clone()));
+                            }
                             batch.put(
                                 Space::Instance,
                                 shard_key(shard.id, &keys::task(*id, &rec.path)),
@@ -647,6 +789,19 @@ impl<D: Disk> ShardEngine<D> {
                             if subprocess_like
                                 && !live_children.contains(&(*id, rec.path.clone())) =>
                         {
+                            if parked {
+                                // Lost spawn of a parked parent: rewind so
+                                // resume's ready-task sweep re-spawns it.
+                                rec.state = TaskState::Ready;
+                                rec.node = None;
+                                rec.ready_at.get_or_insert(now);
+                                batch.put(
+                                    Space::Instance,
+                                    shard_key(shard.id, &keys::task(*id, &rec.path)),
+                                    encode(&*rec)?,
+                                );
+                                continue;
+                            }
                             let template = match rec.parallel_parent() {
                                 Some(parent) => {
                                     match crate::navigator::parallel_body(&tmpl, parent) {
@@ -673,7 +828,9 @@ impl<D: Disk> ShardEngine<D> {
                             rec.node = None;
                             rec.ready_at.get_or_insert(now);
                             requeued += 1;
-                            requests.push((*id, rec.path.clone()));
+                            if !parked {
+                                requests.push((*id, rec.path.clone()));
+                            }
                             batch.put(
                                 Space::Instance,
                                 shard_key(shard.id, &keys::task(*id, &rec.path)),
@@ -766,7 +923,8 @@ impl<D: Disk> ShardEngine<D> {
                 match slot.header.status {
                     InstanceStatus::Completed => stats.completed += 1,
                     InstanceStatus::Aborted => stats.aborted += 1,
-                    _ => {}
+                    InstanceStatus::Suspended => stats.suspended += 1,
+                    InstanceStatus::Running => {}
                 }
             }
         }
@@ -836,6 +994,73 @@ impl<D: Disk> ShardEngine<D> {
         &self.cfg
     }
 
+    /// The awareness model, fed incrementally from the barrier's
+    /// totally-ordered event stream (crash-atomic with the group commit).
+    pub fn awareness(&self) -> &Awareness {
+        &self.awareness
+    }
+
+    /// Plain-data view of (logical nodes, in-flight jobs, instance task
+    /// state) for the engine-agnostic what-if core — a pure function of
+    /// the journals and the dispatch service, nothing step-loop-specific.
+    pub fn planner_snapshot(&self) -> PlannerSnapshot {
+        let round = self.round;
+        let nodes = self
+            .service
+            .nodes()
+            .iter()
+            .map(|n| PlannerNode {
+                name: n.name.clone(),
+                os: None,
+                cpus: n.capacity as u32,
+                up: n.quarantined_until == 0 || n.quarantined_until <= round,
+            })
+            .collect();
+        let mut slots: Vec<(&InstanceId, &InstanceSlot)> =
+            self.shards.iter().flat_map(|s| s.slots.iter()).collect();
+        slots.sort_by_key(|(id, _)| **id);
+        let mut in_flight = Vec::new();
+        let mut instances = Vec::new();
+        for (id, slot) in slots {
+            if slot.header.status.is_terminal() {
+                continue;
+            }
+            for rec in slot.tasks.values() {
+                if rec.state == TaskState::Dispatched {
+                    if let Some(node) = &rec.node {
+                        in_flight.push((*id, rec.path.clone(), node.clone()));
+                    }
+                }
+            }
+            instances.push(crate::planner::PlannerInstance {
+                id: *id,
+                template: slot.header.template.clone(),
+                tasks: slot
+                    .tasks
+                    .values()
+                    .map(|rec| crate::planner::PlannerTask {
+                        path: rec.path.clone(),
+                        state: rec.state,
+                        binding: crate::planner::binding_of(
+                            &slot.template,
+                            rec.parallel_parent().unwrap_or(&rec.path),
+                        ),
+                    })
+                    .collect(),
+            });
+        }
+        PlannerSnapshot {
+            nodes,
+            in_flight,
+            instances,
+        }
+    }
+
+    /// What-if outage analysis (paper §3.5) over the sharded state.
+    pub fn what_if_offline(&self, offline: &[&str]) -> OutageImpact {
+        self.planner_snapshot().what_if(offline)
+    }
+
     /// Decode the committed history events (in commit order).
     pub fn persisted_events(&self) -> EngineResult<Vec<ShardEvent>> {
         let mut events = Vec::new();
@@ -870,6 +1095,14 @@ type ChildResult = (
 struct PendingStart {
     template: String,
     initial: BTreeMap<String, Value>,
+}
+
+/// Key of a durable suspended-set record (outside every shard prefix,
+/// like `pending/`, so recovery can reconcile the parked set without
+/// knowing shard ownership).  Written and deleted in the same atomic
+/// frame as the header status flip.
+pub(crate) fn suspended_key(id: InstanceId) -> String {
+    format!("susp/{id:012}")
 }
 
 /// Key of a pending-start record (outside every shard prefix, so it is
@@ -938,7 +1171,7 @@ mod tests {
             threads,
             ..ShardConfig::default()
         };
-        let mut eng = ShardEngine::new(store, chain_library(), cfg);
+        let mut eng = ShardEngine::new(store, chain_library(), cfg).expect("engine");
         eng.register_template(chain_template()).unwrap();
         eng
     }
@@ -949,7 +1182,9 @@ mod tests {
         let ids: Vec<InstanceId> = (0..10)
             .map(|_| eng.submit("Chain", BTreeMap::new()).unwrap())
             .collect();
-        let stats = eng.run_to_completion().unwrap();
+        let outcome = eng.run_to_completion().unwrap();
+        assert_eq!(outcome, RunOutcome::Completed);
+        let stats = eng.stats();
         assert_eq!(stats.completed, 10);
         assert_eq!(stats.aborted, 0);
         for id in ids {
@@ -957,6 +1192,98 @@ mod tests {
         }
         assert_eq!(eng.event_counts()["instance.complete"], 10);
         assert_eq!(eng.event_counts()["task.end"], 20);
+    }
+
+    #[test]
+    fn suspended_run_quiesces_then_resume_completes() {
+        let mut eng = engine(2, 2);
+        let ids: Vec<InstanceId> = (0..6)
+            .map(|_| eng.submit("Chain", BTreeMap::new()).unwrap())
+            .collect();
+        eng.suspend(ids[0]).unwrap();
+        let outcome = eng.run_to_completion().unwrap();
+        assert_eq!(outcome, RunOutcome::Quiesced { suspended: 1 });
+        assert_eq!(eng.instance_status(ids[0]), Some(InstanceStatus::Suspended));
+        assert!(
+            eng.store()
+                .get(Space::Instance, &suspended_key(ids[0]))
+                .unwrap()
+                .is_some(),
+            "parked instance is in the durable suspended set"
+        );
+        for id in &ids[1..] {
+            assert_eq!(eng.instance_status(*id), Some(InstanceStatus::Completed));
+        }
+        // The planner facade sees the sharded state.
+        let impact = eng.what_if_offline(&["node0"]);
+        assert!(impact.report().contains("what-if"));
+        eng.resume(ids[0]).unwrap();
+        let outcome = eng.run_to_completion().unwrap();
+        assert_eq!(outcome, RunOutcome::Completed);
+        assert_eq!(eng.instance_status(ids[0]), Some(InstanceStatus::Completed));
+        assert!(
+            eng.store()
+                .get(Space::Instance, &suspended_key(ids[0]))
+                .unwrap()
+                .is_none(),
+            "resume removes the durable suspended-set record"
+        );
+        // The awareness index was fed from the barrier's event stream.
+        assert_eq!(eng.awareness().index().count("instance.complete"), 6);
+        assert_eq!(eng.awareness().index().count("instance.suspend"), 1);
+        assert_eq!(eng.awareness().index().count("instance.resume"), 1);
+    }
+
+    #[test]
+    fn suspend_survives_crash_and_resume_after_recovery_completes() {
+        let disk = MemDisk::new();
+        let store = Store::open(disk.clone()).unwrap();
+        let cfg = ShardConfig {
+            shards: 4,
+            threads: 2,
+            ..ShardConfig::default()
+        };
+        let mut eng = ShardEngine::new(store, chain_library(), cfg.clone()).expect("engine");
+        eng.register_template(chain_template()).unwrap();
+        let ids: Vec<InstanceId> = (0..8)
+            .map(|_| eng.submit("Chain", BTreeMap::new()).unwrap())
+            .collect();
+        eng.step_round().unwrap();
+        eng.suspend(ids[3]).unwrap();
+        eng.step_round().unwrap();
+        eng.step_round_partial_commit(2).unwrap();
+        drop(eng);
+        let store = Store::open(disk).unwrap();
+        let mut eng = ShardEngine::recover(store, chain_library(), cfg).unwrap();
+        assert_eq!(
+            eng.instance_status(ids[3]),
+            Some(InstanceStatus::Suspended),
+            "suspension survives the crash"
+        );
+        let outcome = eng.run_to_completion().unwrap();
+        assert_eq!(outcome, RunOutcome::Quiesced { suspended: 1 });
+        eng.resume(ids[3]).unwrap();
+        let outcome = eng.run_to_completion().unwrap();
+        assert_eq!(outcome, RunOutcome::Completed);
+        let stats = eng.stats();
+        assert_eq!(stats.completed, 8, "{stats:?}");
+        assert_eq!(stats.suspended, 0);
+    }
+
+    #[test]
+    fn suspend_all_parks_everything_and_resume_all_unparks() {
+        let mut eng = engine(3, 2);
+        for _ in 0..5 {
+            eng.submit("Chain", BTreeMap::new()).unwrap();
+        }
+        eng.step_round().unwrap();
+        eng.suspend_all().unwrap();
+        let outcome = eng.run_to_completion().unwrap();
+        assert_eq!(outcome.suspended(), 5);
+        eng.resume_all().unwrap();
+        let outcome = eng.run_to_completion().unwrap();
+        assert_eq!(outcome, RunOutcome::Completed);
+        assert_eq!(eng.stats().completed, 5);
     }
 
     #[test]
@@ -984,7 +1311,7 @@ mod tests {
             threads: 1,
             ..ShardConfig::default()
         };
-        let mut eng = ShardEngine::new(store, chain_library(), cfg.clone());
+        let mut eng = ShardEngine::new(store, chain_library(), cfg.clone()).expect("engine");
         eng.register_template(chain_template()).unwrap();
         for _ in 0..12 {
             eng.submit("Chain", BTreeMap::new()).unwrap();
@@ -997,7 +1324,8 @@ mod tests {
         drop(eng);
         let store = Store::open(disk).unwrap();
         let mut eng = ShardEngine::recover(store, chain_library(), cfg).unwrap();
-        let stats = eng.run_to_completion().unwrap();
+        eng.run_to_completion().unwrap();
+        let stats = eng.stats();
         assert_eq!(
             stats.completed, 12,
             "all submitted work completes: {stats:?}"

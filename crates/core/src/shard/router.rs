@@ -90,6 +90,23 @@ pub enum Payload {
         /// Reference-CPU milliseconds the child consumed.
         cpu_ms: f64,
     },
+    /// An operator steering command.  Routed through the same sorted
+    /// inbox as everything else, so suspend/resume take effect at a
+    /// deterministic point in the instance's event order regardless of
+    /// shard or thread count.
+    Control {
+        /// What the operator asked for.
+        op: ControlOp,
+    },
+}
+
+/// Operator steering operations delivered via [`Payload::Control`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlOp {
+    /// Park the instance: finish nothing new, keep ready tasks ready.
+    Suspend,
+    /// Un-park the instance and re-activate every ready task.
+    Resume,
 }
 
 /// A shard-step effect drained at the barrier.

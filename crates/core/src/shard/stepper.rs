@@ -17,7 +17,7 @@
 //! for the barrier, which is what makes an N-shard run bit-identical to a
 //! 1-shard run.
 
-use super::router::{splitmix64, Effect, Msg, Payload, ShardEvent, ShardId, StepOutput};
+use super::router::{splitmix64, ControlOp, Effect, Msg, Payload, ShardEvent, ShardId, StepOutput};
 use crate::awareness::EventKind;
 use crate::error::{EngineError, EngineResult};
 use crate::library::ActivityLibrary;
@@ -130,6 +130,13 @@ struct StepState {
     /// Root instances created this step: their commit retires the
     /// engine-level pending-start record.
     created_roots: BTreeSet<InstanceId>,
+    /// Instances that entered the suspended set this step: their commit
+    /// writes the durable `susp/` record in the same atomic frame as the
+    /// header that carries the `Suspended` status.
+    suspended_now: BTreeSet<InstanceId>,
+    /// Instances that left the suspended set this step (resume): their
+    /// commit deletes the `susp/` record atomically with the header.
+    resumed_now: BTreeSet<InstanceId>,
 }
 
 impl StepState {
@@ -159,6 +166,9 @@ enum Act {
     },
     Expand,
     Skip,
+    /// The instance is suspended: leave the task `Ready` (with its
+    /// queue-wait clock running) and activate nothing until resume.
+    Park,
     Stale(&'static str),
 }
 
@@ -268,6 +278,7 @@ impl Shard {
                 outputs,
                 cpu_ms,
             } => self.on_child_done(ctx, st, msg.dest, path, child, success, outputs, cpu_ms),
+            Payload::Control { op } => self.on_control(ctx, st, msg.dest, op),
         }
     }
 
@@ -432,6 +443,13 @@ impl Shard {
                 self.push_release(st, id, &node, false);
                 return Ok(());
             };
+            if slot.header.status == InstanceStatus::Suspended {
+                // Parked: hand the slot back and keep the task Ready —
+                // resume re-requests it.
+                self.stale(st, ctx.round, id, Some(&path), "grant: instance suspended");
+                self.push_release(st, id, &node, false);
+                return Ok(());
+            }
             tmpl = slot.template.clone();
             let Some(rec) = slot.tasks.get_mut(&path) else {
                 self.stale(st, ctx.round, id, Some(&path), "grant: unknown task");
@@ -677,6 +695,82 @@ impl Shard {
         }
     }
 
+    /// Operator suspend/resume, delivered through the sorted inbox so the
+    /// steering point is deterministic.  Suspend parks the instance:
+    /// status flips to `Suspended` (durably, together with a `susp/` set
+    /// record), in-flight work is allowed to drain, and nothing new
+    /// activates.  Resume flips it back, resets failed-task budgets
+    /// ([`navigator::on_resume`]), and re-activates every `Ready` task —
+    /// both the ones parked while suspended and the ones re-readied by
+    /// the resume itself.
+    fn on_control(
+        &mut self,
+        ctx: &StepCtx<'_>,
+        st: &mut StepState,
+        id: InstanceId,
+        op: ControlOp,
+    ) -> EngineResult<()> {
+        let Some(slot) = self.slots.get_mut(&id) else {
+            self.stale(st, ctx.round, id, None, "control: unknown instance");
+            return Ok(());
+        };
+        match op {
+            ControlOp::Suspend => {
+                if slot.header.status != InstanceStatus::Running {
+                    let why = "suspend: instance not running";
+                    self.stale(st, ctx.round, id, None, why);
+                    return Ok(());
+                }
+                slot.header.status = InstanceStatus::Suspended;
+                st.mark_header(id);
+                st.suspended_now.insert(id);
+                st.resumed_now.remove(&id);
+                self.emit(
+                    st,
+                    ctx.round,
+                    id,
+                    EventKind::InstanceSuspend { instance: id },
+                );
+                Ok(())
+            }
+            ControlOp::Resume => {
+                if slot.header.status != InstanceStatus::Suspended {
+                    let why = "resume: instance not suspended";
+                    self.stale(st, ctx.round, id, None, why);
+                    return Ok(());
+                }
+                let now = ctx.now();
+                let mut outcome = {
+                    let mut view = InstanceView {
+                        template: slot.template.as_ref(),
+                        header: &mut slot.header,
+                        tasks: &mut slot.tasks,
+                    };
+                    navigator::on_resume(&mut view, now)
+                };
+                // Re-activate everything that is Ready now: the resume
+                // re-readied Failed tasks, and parked tasks stayed Ready
+                // the whole time.  BTreeMap order keeps this deterministic.
+                outcome.newly_ready = slot
+                    .tasks
+                    .values()
+                    .filter(|r| r.state == TaskState::Ready)
+                    .map(|r| r.path.clone())
+                    .collect();
+                st.mark_all(id);
+                st.resumed_now.insert(id);
+                st.suspended_now.remove(&id);
+                self.emit(
+                    st,
+                    ctx.round,
+                    id,
+                    EventKind::InstanceResume { instance: id },
+                );
+                self.apply_outcome(ctx, st, id, outcome)
+            }
+        }
+    }
+
     fn nav_ended(
         &mut self,
         id: InstanceId,
@@ -788,37 +882,47 @@ impl Shard {
                     break;
                 };
                 let tmpl = slot.template.clone();
-                match slot.tasks.get(&path) {
-                    None => Act::Stale("ready task has no record"),
-                    Some(rec) if rec.state != TaskState::Ready => Act::Skip,
-                    Some(rec) => match rec.parallel_parent() {
-                        Some(parent) => match navigator::parallel_body(&tmpl, parent) {
-                            Some(ParallelBody::Activity(_)) => Act::Request,
-                            Some(ParallelBody::Subprocess(t)) => Act::Spawn {
-                                template: t.clone(),
-                                initial: rec.inputs.clone(),
+                if slot.header.status == InstanceStatus::Suspended {
+                    Act::Park
+                } else {
+                    match slot.tasks.get(&path) {
+                        None => Act::Stale("ready task has no record"),
+                        Some(rec) if rec.state != TaskState::Ready => Act::Skip,
+                        Some(rec) => match rec.parallel_parent() {
+                            Some(parent) => match navigator::parallel_body(&tmpl, parent) {
+                                Some(ParallelBody::Activity(_)) => Act::Request,
+                                Some(ParallelBody::Subprocess(t)) => Act::Spawn {
+                                    template: t.clone(),
+                                    initial: rec.inputs.clone(),
+                                },
+                                None => Act::Stale("parallel child without parallel parent"),
                             },
-                            None => Act::Stale("parallel child without parallel parent"),
-                        },
-                        None => match tmpl.task(&path).map(|t| &t.kind) {
-                            Some(TaskKind::Activity { .. }) => Act::Request,
-                            Some(TaskKind::Subprocess { template }) => Act::Spawn {
-                                template: template.clone(),
-                                initial: navigator::bind_inputs_parts(
-                                    &tmpl,
-                                    &slot.header,
-                                    &slot.tasks,
-                                    &path,
-                                ),
+                            None => match tmpl.task(&path).map(|t| &t.kind) {
+                                Some(TaskKind::Activity { .. }) => Act::Request,
+                                Some(TaskKind::Subprocess { template }) => Act::Spawn {
+                                    template: template.clone(),
+                                    initial: navigator::bind_inputs_parts(
+                                        &tmpl,
+                                        &slot.header,
+                                        &slot.tasks,
+                                        &path,
+                                    ),
+                                },
+                                Some(TaskKind::Parallel { .. }) => Act::Expand,
+                                None => Act::Stale("ready task not in template"),
                             },
-                            Some(TaskKind::Parallel { .. }) => Act::Expand,
-                            None => Act::Stale("ready task not in template"),
                         },
-                    },
+                    }
                 }
             };
             match act {
                 Act::Skip => {}
+                Act::Park => {
+                    if let Some(rec) = self.slots.get_mut(&id).and_then(|s| s.tasks.get_mut(&path))
+                    {
+                        rec.ready_at.get_or_insert(now);
+                    }
+                }
                 Act::Stale(why) => self.stale(st, ctx.round, id, Some(&path), why),
                 Act::Request => {
                     if let Some(rec) = self.slots.get_mut(&id).and_then(|s| s.tasks.get_mut(&path))
@@ -876,6 +980,10 @@ impl Shard {
             st.mark(id, p);
         }
         if suspended {
+            // Policy-driven suspension (FailurePolicy::Suspend) parks the
+            // instance exactly like an operator suspend.
+            st.suspended_now.insert(id);
+            st.resumed_now.remove(&id);
             self.emit(
                 st,
                 ctx.round,
@@ -935,6 +1043,14 @@ impl Shard {
                 // pending-start record and the header never coexist
                 // half-applied.
                 b.delete(Space::Instance, super::pending_key(*id));
+            }
+            // The durable suspended set rides the same atomic frame as
+            // the header that carries the status flip, so a crash can
+            // never observe one without the other.
+            if st.suspended_now.contains(id) {
+                b.put(Space::Instance, super::suspended_key(*id), vec![1]);
+            } else if st.resumed_now.contains(id) {
+                b.delete(Space::Instance, super::suspended_key(*id));
             }
             b.put(
                 Space::Instance,

@@ -38,6 +38,40 @@ impl InstanceStatus {
     }
 }
 
+/// How a `run_to_completion` call ended.
+///
+/// A suspended instance is *not* an error: the operator parked it on
+/// purpose and can resume it at any time (paper §3.4 — steering a
+/// long-running experiment without losing dependability guarantees).
+/// The engines therefore report quiescence-with-parked-work as a normal
+/// outcome instead of wedging or mis-diagnosing a deadlock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Every instance reached a terminal status.
+    Completed,
+    /// Nothing left to do *right now*: every non-terminal instance is
+    /// suspended and waits for an operator `resume`.
+    Quiesced {
+        /// How many instances are parked.
+        suspended: u64,
+    },
+}
+
+impl RunOutcome {
+    /// Did every instance reach a terminal status?
+    pub fn is_completed(self) -> bool {
+        matches!(self, RunOutcome::Completed)
+    }
+
+    /// Number of suspended instances awaiting an operator resume.
+    pub fn suspended(self) -> u64 {
+        match self {
+            RunOutcome::Completed => 0,
+            RunOutcome::Quiesced { suspended } => suspended,
+        }
+    }
+}
+
 /// The instance-space header record.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct InstanceHeader {

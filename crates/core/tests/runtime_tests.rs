@@ -3,7 +3,7 @@
 
 use bioopera_cluster::{Cluster, NodeSpec, SimTime, Trace, TraceEventKind};
 use bioopera_core::navigator; // used indirectly via runtime
-use bioopera_core::state::{InstanceStatus, TaskState};
+use bioopera_core::state::{InstanceStatus, RunOutcome, TaskState};
 use bioopera_core::{ActivityLibrary, ProgramOutput, Runtime, RuntimeConfig};
 use bioopera_ocr::model::{EventAction, ExternalBinding, FailurePolicy, ParallelBody, TypeTag};
 use bioopera_ocr::value::Value;
@@ -324,6 +324,26 @@ fn operator_suspend_drains_and_resume_continues() {
     // Wall time reflects the suspension.
     let stats = rt.stats(id).unwrap();
     assert!(stats.wall >= SimTime::from_hours(2));
+}
+
+#[test]
+fn api_suspend_quiesces_run_and_resume_completes() {
+    // Regression for the suspended-instance wedge: an API-suspended
+    // instance must not spin or error `run_to_completion` — the run
+    // quiesces with a suspended count, and resume picks it back up.
+    let mut rt = runtime(small_cluster());
+    rt.register_template(&fanout_template(4, 0)).unwrap();
+    let parked = rt.submit("Fanout", BTreeMap::new()).unwrap();
+    let free = rt.submit("Fanout", BTreeMap::new()).unwrap();
+    rt.suspend(parked).unwrap();
+    let outcome = rt.run_to_completion().unwrap();
+    assert_eq!(outcome, RunOutcome::Quiesced { suspended: 1 });
+    assert_eq!(rt.instance_status(parked), Some(InstanceStatus::Suspended));
+    assert_eq!(rt.instance_status(free), Some(InstanceStatus::Completed));
+    rt.resume(parked).unwrap();
+    let outcome = rt.run_to_completion().unwrap();
+    assert_eq!(outcome, RunOutcome::Completed);
+    assert_eq!(rt.instance_status(parked), Some(InstanceStatus::Completed));
 }
 
 #[test]

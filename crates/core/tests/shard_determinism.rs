@@ -156,7 +156,7 @@ fn build_engine(
         faults,
         ..ShardConfig::default()
     };
-    let mut eng = ShardEngine::new(store, library(), cfg);
+    let mut eng = ShardEngine::new(store, library(), cfg).expect("engine");
     eng.register_template(chain_template()).unwrap();
     eng.register_template(fan_template()).unwrap();
     eng.register_template(parent_template()).unwrap();
@@ -193,6 +193,89 @@ fn run_workload(
     )
 }
 
+/// Operator steering schedule: `(suspend_round, resume_gap, root_idx)`
+/// — suspend root `idx` when the engine reaches `suspend_round`, resume
+/// it `resume_gap` rounds after that.  Calls are keyed to the engine's
+/// round counter, which advances identically at every (shards, threads)
+/// point, so the same schedule produces the same operator-call sequence
+/// — and therefore the same history — in every configuration.
+type OpSchedule = [(u64, u64, usize)];
+
+/// Run a workload with suspend/resume injected at the scheduled rounds,
+/// then drive to quiescence and return the observable fingerprint.
+fn run_workload_with_ops(
+    workload: &[(usize, i64)],
+    ops: &OpSchedule,
+    shards: usize,
+    threads: usize,
+) -> (u64, u64, BTreeMap<String, u64>) {
+    let mut eng = build_engine(shards, threads, None);
+    let ids: Vec<u64> = workload
+        .iter()
+        .map(|(tmpl, knob)| {
+            let name = TEMPLATES[tmpl % TEMPLATES.len()];
+            let mut initial = BTreeMap::new();
+            match name {
+                "Chain" | "Parent" => {
+                    initial.insert("x".to_string(), Value::Int(*knob));
+                }
+                _ => {
+                    initial.insert("count".to_string(), Value::Int(1 + knob.rem_euclid(4)));
+                }
+            }
+            eng.submit(name, initial).unwrap()
+        })
+        .collect();
+    // Expand to a sorted (round, is_resume, instance) action list.
+    let mut actions: Vec<(u64, bool, u64)> = Vec::new();
+    for (sus_round, gap, idx) in ops {
+        let id = ids[idx % ids.len()];
+        actions.push((*sus_round, false, id));
+        actions.push((sus_round + 1 + gap, true, id));
+    }
+    actions.sort_unstable();
+    let mut i = 0usize;
+    loop {
+        while i < actions.len() && actions[i].0 <= eng.round() {
+            let (_, is_resume, id) = actions[i];
+            if is_resume {
+                eng.resume(id).unwrap();
+            } else {
+                eng.suspend(id).unwrap();
+            }
+            i += 1;
+        }
+        if !eng.step_round().unwrap() {
+            if i < actions.len() {
+                // Quiesced before the next scheduled round: fast-forward
+                // the remaining schedule (still a deterministic point —
+                // quiescence timing is config-invariant).
+                let (_, is_resume, id) = actions[i];
+                if is_resume {
+                    eng.resume(id).unwrap();
+                } else {
+                    eng.suspend(id).unwrap();
+                }
+                i += 1;
+                continue;
+            }
+            break;
+        }
+    }
+    // Every suspend is paired with a later resume, so the run must end
+    // fully terminal, never wedged.
+    let outcome = eng.run_to_completion().unwrap();
+    assert!(
+        outcome.is_completed(),
+        "paired resumes must unpark: {outcome:?}"
+    );
+    (
+        eng.history_digest(),
+        eng.state_digest(),
+        eng.event_counts().clone(),
+    )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -212,6 +295,24 @@ proptest! {
         });
         let baseline = run_workload(&workload, 1, 1, faults.clone());
         let sharded = run_workload(&workload, shards, threads, faults);
+        prop_assert_eq!(&sharded.0, &baseline.0, "history digest diverged");
+        prop_assert_eq!(&sharded.1, &baseline.1, "state digest diverged");
+        prop_assert_eq!(&sharded.2, &baseline.2, "event counts diverged");
+    }
+
+    /// Suspension/resume injected at arbitrary rounds must leave the
+    /// history bit-identical across (shards, threads) points: operator
+    /// steering rides the same deterministic `(instance, seq)` outbox as
+    /// everything else.
+    #[test]
+    fn sharded_replay_matches_serial_baseline_with_suspension(
+        workload in prop::collection::vec((0usize..3, 0i64..100), 1..16),
+        ops in prop::collection::vec((0u64..12, 0u64..6, 0usize..16), 1..4),
+        shards in 2usize..9,
+        threads in 1usize..5,
+    ) {
+        let baseline = run_workload_with_ops(&workload, &ops, 1, 1);
+        let sharded = run_workload_with_ops(&workload, &ops, shards, threads);
         prop_assert_eq!(&sharded.0, &baseline.0, "history digest diverged");
         prop_assert_eq!(&sharded.1, &baseline.1, "state digest diverged");
         prop_assert_eq!(&sharded.2, &baseline.2, "event counts diverged");
@@ -270,7 +371,7 @@ fn recovery_after_partial_commit_converges_to_oracle_outputs() {
                 threads: 1,
                 ..ShardConfig::default()
             };
-            let mut eng = ShardEngine::new(store, library(), cfg.clone());
+            let mut eng = ShardEngine::new(store, library(), cfg.clone()).expect("engine");
             eng.register_template(chain_template()).unwrap();
             eng.register_template(fan_template()).unwrap();
             eng.register_template(parent_template()).unwrap();

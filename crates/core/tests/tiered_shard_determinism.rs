@@ -159,7 +159,7 @@ fn run_workload(
         faults,
         ..ShardConfig::default()
     };
-    let mut eng = ShardEngine::new(store, library(), cfg);
+    let mut eng = ShardEngine::new(store, library(), cfg).expect("engine");
     eng.register_template(chain_template()).unwrap();
     eng.register_template(fan_template()).unwrap();
     eng.register_template(parent_template()).unwrap();

@@ -14,7 +14,13 @@
 //! deliberately not compared: recovery legitimately appends its own
 //! events (`server.recover`, requeues, fresh ids for re-spawned
 //! subprocess children).  A fraction of cases crash a second time during
-//! the recovered run to cover crash-during-recovery.
+//! the recovered run to cover crash-during-recovery, and another
+//! fraction suspends a sampled root *at the crashing barrier* — the
+//! suspend control message is in flight (or its durable record is in
+//! the committed prefix) when the server dies — covering the
+//! suspend→crash→recover→resume path: whatever the crash preserved, the
+//! recovered run must quiesce rather than wedge, and an operator resume
+//! must drive every root to the oracle's outputs.
 //!
 //! [`ShardEngine::step_round_partial_commit`]: bioopera_core::ShardEngine::step_round_partial_commit
 
@@ -35,6 +41,8 @@ pub struct ShardTortureOutcome {
     pub cases: usize,
     /// Crash-during-recovery (double-crash) cases executed.
     pub recovery_cases: usize,
+    /// Suspend-at-the-crashing-barrier cases executed.
+    pub suspend_cases: usize,
     /// Invariant violations; empty on success.
     pub violations: Vec<String>,
 }
@@ -159,7 +167,7 @@ fn cfg() -> ShardConfig {
 /// Build an engine on `disk` and submit the scripted root mix.
 fn boot(disk: &MemDisk) -> Result<(ShardEngine<MemDisk>, Vec<u64>), String> {
     let store = Store::open(disk.clone()).map_err(|e| format!("open: {e}"))?;
-    let mut eng = ShardEngine::new(store, library(), cfg());
+    let mut eng = ShardEngine::new(store, library(), cfg()).expect("engine");
     for t in templates() {
         eng.register_template(t)
             .map_err(|e| format!("register: {e}"))?;
@@ -219,13 +227,26 @@ fn compare(tag: &str, got: &[RootResult], oracle: &[RootResult]) -> Result<(), S
     Ok(())
 }
 
-/// Recover from `disk` and drive the run to completion.
+/// Recover from `disk` and drive the run to completion.  A run that
+/// quiesces with suspended instances is *not* a failure — that is the
+/// suspended-wedge fix working as intended — the operator resumes and
+/// the run must then finish for real.
 fn recover_and_finish(disk: &MemDisk) -> Result<ShardEngine<MemDisk>, String> {
     let store = Store::open(disk.clone()).map_err(|e| format!("reopen: {e}"))?;
     let mut eng =
         ShardEngine::recover(store, library(), cfg()).map_err(|e| format!("recover: {e}"))?;
-    eng.run_to_completion()
+    let outcome = eng
+        .run_to_completion()
         .map_err(|e| format!("resume: {e}"))?;
+    if !outcome.is_completed() {
+        eng.resume_all().map_err(|e| format!("resume_all: {e}"))?;
+        let outcome = eng
+            .run_to_completion()
+            .map_err(|e| format!("post-resume run: {e}"))?;
+        if !outcome.is_completed() {
+            return Err(format!("still quiesced after resume: {outcome:?}"));
+        }
+    }
     Ok(eng)
 }
 
@@ -236,6 +257,7 @@ pub fn run_shard_torture(seed: u64, samples: usize) -> ShardTortureOutcome {
         rounds: 0,
         cases: 0,
         recovery_cases: 0,
+        suspend_cases: 0,
         violations: Vec::new(),
     };
 
@@ -267,16 +289,30 @@ pub fn run_shard_torture(seed: u64, samples: usize) -> ShardTortureOutcome {
         let crash_round = rng.gen_range(0..out.rounds.max(1));
         let prefix = rng.gen_range(0..=SHARDS);
         let double_crash = case % 3 == 2;
+        let suspend_at_barrier = case % 2 == 1;
+        let suspend_root = rng.gen_range(0..9u64) as usize;
         let tag = format!(
-            "seed={seed} case={case} round={crash_round} prefix={prefix}/{SHARDS} double={double_crash}"
+            "seed={seed} case={case} round={crash_round} prefix={prefix}/{SHARDS} \
+             double={double_crash} suspend={suspend_at_barrier}"
         );
         out.cases += 1;
+        if suspend_at_barrier {
+            out.suspend_cases += 1;
+        }
 
         let disk = MemDisk::new();
         let res = boot(&disk).and_then(|(mut eng, ids)| {
             for _ in 0..crash_round {
                 eng.step_round()
                     .map_err(|e| format!("pre-crash step: {e}"))?;
+            }
+            if suspend_at_barrier {
+                // Park a root right before the crashing barrier: the
+                // suspend control message (and, if its owner shard is in
+                // the committed prefix, the durable susp/ record) dies
+                // with the server in an arbitrary intermediate state.
+                eng.suspend(ids[suspend_root % ids.len()])
+                    .map_err(|e| format!("suspend: {e}"))?;
             }
             eng.step_round_partial_commit(prefix)
                 .map_err(|e| format!("partial commit: {e}"))?;
@@ -316,6 +352,7 @@ mod tests {
         assert!(out.rounds > 0);
         assert_eq!(out.cases, 6);
         assert!(out.recovery_cases >= 1);
+        assert!(out.suspend_cases >= 1);
         assert!(
             out.violations.is_empty(),
             "violations: {:#?}",

@@ -54,6 +54,25 @@ echo "==> shard suites forced serial (BIOOPERA_SHARDS=1 is the reference semanti
 BIOOPERA_SHARDS=1 cargo test -q -p bioopera-core shard
 BIOOPERA_SHARDS=1 cargo test -q -p bioopera-core --test shard_determinism
 
+echo "==> unified-engine smoke: fig5/fig6 reports byte-identical under BIOOPERA_SHARDS=4"
+# One step loop means the shard knob must never change what a report
+# binary produces: run the figure reproductions under the forced-serial
+# config and under 4 shards, then diff stdout and every results artifact
+# byte-for-byte (~4 min; fig5 simulates the full shared-pool month twice).
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+mkdir -p "$smoke_dir/serial" "$smoke_dir/sharded"
+for fig in fig5_shared_lifecycle fig6_nonshared_lifecycle; do
+  BIOOPERA_SHARDS=1 BIOOPERA_RESULTS="$smoke_dir/serial" \
+    cargo run --release -q -p bioopera-bench --bin "$fig" \
+    > "$smoke_dir/serial/${fig}.stdout" 2> /dev/null
+  BIOOPERA_SHARDS=4 BIOOPERA_RESULTS="$smoke_dir/sharded" \
+    cargo run --release -q -p bioopera-bench --bin "$fig" \
+    > "$smoke_dir/sharded/${fig}.stdout" 2> /dev/null
+done
+diff -r -q "$smoke_dir/serial" "$smoke_dir/sharded" \
+  || { echo "figure reports diverged between BIOOPERA_SHARDS=1 and =4"; exit 1; }
+
 echo "==> chaos: seeded flaky-node scenario (bounded; seed override: CHAOS_SEED=N)"
 # One node kills every job; the dependability policies must finish the run
 # within the retry ceiling and quarantine the killer.  Prints the seed and
